@@ -1,0 +1,153 @@
+//! Core-based anomaly detection (CoreScope — the paper's reference 53).
+//!
+//! Shin, Eliassi-Rad & Faloutsos observe the **mirror pattern**: in real
+//! graphs a vertex's coreness tracks its degree closely (`log c(v)` is
+//! almost linear in `log d(v)`), and vertices that break the pattern are
+//! structurally anomalous — e.g. a "loner star" hub whose neighbors are all
+//! periphery (huge degree, tiny coreness, the fingerprint of fake-follower
+//! accounts), or a small dense block lifting coreness above its degree
+//! trend.
+//!
+//! [`mirror_anomaly_scores`] fits the log-log trend by least squares and
+//! scores every vertex by its absolute residual, exactly CoreScope's
+//! "Core-A" idea.
+
+use bestk_core::CoreDecomposition;
+use bestk_graph::{CsrGraph, VertexId};
+
+/// Result of a mirror-pattern anomaly analysis.
+#[derive(Debug, Clone)]
+pub struct MirrorAnomalies {
+    /// `score[v]` = |residual| of vertex `v` in the log-log fit (0 for
+    /// isolated vertices, which are excluded from the fit).
+    pub score: Vec<f64>,
+    /// Fitted slope of `ln(coreness)` on `ln(degree)`.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Pearson correlation of the log-log pair over non-isolated vertices
+    /// (close to 1 on "normal" graphs — the mirror pattern itself).
+    pub correlation: f64,
+}
+
+impl MirrorAnomalies {
+    /// Vertices ranked most-anomalous first (ties by id).
+    pub fn ranked(&self) -> Vec<VertexId> {
+        let mut order: Vec<VertexId> = (0..self.score.len() as VertexId).collect();
+        order.sort_by(|&a, &b| {
+            self.score[b as usize]
+                .total_cmp(&self.score[a as usize])
+                .then(a.cmp(&b))
+        });
+        order
+    }
+}
+
+/// Fits the mirror pattern and scores deviations; `O(n)` after the
+/// decomposition.
+pub fn mirror_anomaly_scores(g: &CsrGraph, d: &CoreDecomposition) -> MirrorAnomalies {
+    let n = g.num_vertices();
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for v in g.vertices() {
+        let deg = g.degree(v);
+        if deg > 0 {
+            xs.push((deg as f64).ln());
+            ys.push((d.coreness(v) as f64).max(1.0).ln());
+        }
+    }
+    let m = xs.len() as f64;
+    let (slope, intercept, correlation) = if xs.len() < 2 {
+        (0.0, 0.0, 0.0)
+    } else {
+        let mean_x = xs.iter().sum::<f64>() / m;
+        let mean_y = ys.iter().sum::<f64>() / m;
+        let mut sxx = 0.0;
+        let mut syy = 0.0;
+        let mut sxy = 0.0;
+        for (&x, &y) in xs.iter().zip(&ys) {
+            sxx += (x - mean_x) * (x - mean_x);
+            syy += (y - mean_y) * (y - mean_y);
+            sxy += (x - mean_x) * (y - mean_y);
+        }
+        let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+        let intercept = mean_y - slope * mean_x;
+        let corr = if sxx > 0.0 && syy > 0.0 { sxy / (sxx * syy).sqrt() } else { 0.0 };
+        (slope, intercept, corr)
+    };
+    let mut score = vec![0.0f64; n];
+    for v in g.vertices() {
+        let deg = g.degree(v);
+        if deg > 0 {
+            let x = (deg as f64).ln();
+            let y = (d.coreness(v) as f64).max(1.0).ln();
+            score[v as usize] = (y - (slope * x + intercept)).abs();
+        }
+    }
+    MirrorAnomalies { score, slope, intercept, correlation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bestk_core::core_decomposition;
+    use bestk_graph::generators;
+    use bestk_graph::GraphBuilder;
+
+    #[test]
+    fn loner_star_hub_is_most_anomalous() {
+        // Power-law background plus a hub whose 300 neighbors are all
+        // fresh periphery vertices: degree 300+, coreness 1.
+        let base = generators::chung_lu_power_law(3_000, 8.0, 2.4, 6);
+        let n = base.num_vertices() as u32;
+        let mut b = GraphBuilder::new();
+        b.extend_edges(base.edges());
+        let hub = n;
+        for leaf in 0..300u32 {
+            b.add_edge(hub, n + 1 + leaf);
+        }
+        let g = b.build();
+        let d = core_decomposition(&g);
+        let a = mirror_anomaly_scores(&g, &d);
+        assert_eq!(a.ranked()[0], hub, "the loner star must rank first");
+        assert!(a.slope > 0.0, "mirror pattern: coreness grows with degree");
+        assert!(a.correlation > 0.5, "correlation {}", a.correlation);
+    }
+
+    #[test]
+    fn homogeneous_graph_has_low_scores() {
+        // A regular-ish graph: everyone on the trend line.
+        let g = bestk_graph::generators::regular::grid(20, 20);
+        let d = core_decomposition(&g);
+        let a = mirror_anomaly_scores(&g, &d);
+        let max = a.score.iter().cloned().fold(0.0, f64::max);
+        assert!(max < 1.0, "max residual {max}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let g = CsrGraph::empty(3);
+        let d = core_decomposition(&g);
+        let a = mirror_anomaly_scores(&g, &d);
+        assert!(a.score.iter().all(|&s| s == 0.0));
+        assert_eq!(a.correlation, 0.0);
+        assert_eq!(a.ranked().len(), 3);
+        // Single edge.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        let g = b.build();
+        let d = core_decomposition(&g);
+        let a = mirror_anomaly_scores(&g, &d);
+        assert!(a.score.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn scores_are_deterministic_and_finite() {
+        let g = generators::rmat(10, 8, 0.57, 0.19, 0.19, 3);
+        let d = core_decomposition(&g);
+        let a1 = mirror_anomaly_scores(&g, &d);
+        let a2 = mirror_anomaly_scores(&g, &d);
+        assert_eq!(a1.ranked(), a2.ranked());
+        assert!(a1.score.iter().all(|s| s.is_finite()));
+    }
+}

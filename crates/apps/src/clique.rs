@@ -1,0 +1,300 @@
+//! Exact maximum clique (paper §V-D, Table VIII).
+//!
+//! Branch-and-bound over the degeneracy (peel) ordering with a greedy-
+//! coloring upper bound (Tomita-style). The outer loop processes each vertex
+//! `v` with candidate set "later neighbors in the peel order", which has at
+//! most `c(v) ≤ kmax` members — so the exponential search runs inside
+//! subproblems of at most `kmax + 1` vertices, which is what makes exact
+//! maximum clique tractable on sparse real-world graphs.
+//!
+//! The paper uses the maximum clique to check whether `MC ⊆ S*` (the best
+//! average-degree core contains the maximum clique) — see
+//! [`contains_clique`].
+
+use bestk_core::CoreDecomposition;
+use bestk_graph::{CsrGraph, VertexId};
+
+/// Computes a maximum clique of `g`. Exact; returns vertices in ascending
+/// order (empty for a vertex-free graph).
+pub fn maximum_clique(g: &CsrGraph, d: &CoreDecomposition) -> Vec<VertexId> {
+    let (clique, exact) = maximum_clique_with_budget(g, d, None);
+    debug_assert!(exact);
+    clique
+}
+
+/// Like [`maximum_clique`] but with an optional wall-clock budget. Returns
+/// the best clique found and whether the search completed (i.e. the result
+/// is provably maximum). With `budget = None` the search always completes.
+pub fn maximum_clique_with_budget(
+    g: &CsrGraph,
+    d: &CoreDecomposition,
+    budget: Option<std::time::Duration>,
+) -> (Vec<VertexId>, bool) {
+    let n = g.num_vertices();
+    if n == 0 {
+        return (Vec::new(), true);
+    }
+    let deadline = budget.map(|b| std::time::Instant::now() + b);
+    let mut position = vec![0u32; n];
+    for (i, &v) in d.peel_ordering().iter().enumerate() {
+        position[v as usize] = i as u32;
+    }
+    let mut best: Vec<VertexId> = vec![d.peel_ordering()[0]];
+    let mut exact = true;
+    for &v in d.peel_ordering() {
+        // Coreness bound: a clique containing v has at most c(v) + 1
+        // vertices.
+        if (d.coreness(v) as usize + 1) <= best.len() {
+            continue;
+        }
+        if let Some(dl) = deadline {
+            if std::time::Instant::now() >= dl {
+                exact = false;
+                break;
+            }
+        }
+        // Candidates: later neighbors in the peel order (≤ c(v) of them).
+        let cands: Vec<VertexId> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| position[u as usize] > position[v as usize])
+            .collect();
+        if cands.len() < best.len() {
+            continue;
+        }
+        let mut local = LocalSearch::new(g, &cands, deadline);
+        let mut current = vec![v];
+        local.expand(&mut current, (0..cands.len() as u32).collect(), &mut best);
+        if local.timed_out {
+            exact = false;
+            break;
+        }
+    }
+    best.sort_unstable();
+    (best, exact)
+}
+
+/// Dense-bitset branch and bound inside one vertex's candidate neighborhood.
+struct LocalSearch<'a> {
+    /// Candidate vertices (original ids), indexed by local id.
+    cands: &'a [VertexId],
+    /// `adj[i]` = bitset of local ids adjacent to local vertex `i`.
+    adj: Vec<Vec<u64>>,
+    /// Optional wall-clock deadline, checked periodically while branching.
+    deadline: Option<std::time::Instant>,
+    /// Branch counter between deadline checks.
+    ticks: u32,
+    /// Set once the deadline fires; the caller must treat `best` as a lower
+    /// bound only.
+    timed_out: bool,
+}
+
+impl<'a> LocalSearch<'a> {
+    fn new(g: &CsrGraph, cands: &'a [VertexId], deadline: Option<std::time::Instant>) -> Self {
+        let k = cands.len();
+        let words = k.div_ceil(64);
+        let mut local_of = std::collections::HashMap::with_capacity(k);
+        for (i, &u) in cands.iter().enumerate() {
+            local_of.insert(u, i);
+        }
+        let mut adj = vec![vec![0u64; words]; k];
+        for (i, &u) in cands.iter().enumerate() {
+            for &w in g.neighbors(u) {
+                if let Some(&j) = local_of.get(&w) {
+                    adj[i][j / 64] |= 1u64 << (j % 64);
+                }
+            }
+        }
+        LocalSearch { cands, adj, deadline, ticks: 0, timed_out: false }
+    }
+
+    /// Tomita-style expansion: greedily color `pool`, then branch on
+    /// vertices in reverse color order, pruning with
+    /// `|current| + color(v) <= |best|`.
+    fn expand(&mut self, current: &mut Vec<VertexId>, pool: Vec<u32>, best: &mut Vec<VertexId>) {
+        if self.timed_out {
+            return;
+        }
+        if let Some(dl) = self.deadline {
+            self.ticks += 1;
+            if self.ticks.is_multiple_of(256) && std::time::Instant::now() >= dl {
+                self.timed_out = true;
+                return;
+            }
+        }
+        if pool.is_empty() {
+            if current.len() > best.len() {
+                *best = current.clone();
+            }
+            return;
+        }
+        // Greedy coloring of the pool; vertices emitted in ascending color.
+        let (order, colors) = self.greedy_coloring(&pool);
+        for idx in (0..order.len()).rev() {
+            let v = order[idx];
+            if current.len() + colors[idx] as usize <= best.len() {
+                // Everything earlier has an even smaller bound.
+                return;
+            }
+            current.push(self.cands[v as usize]);
+            let next_pool: Vec<u32> = order[..idx]
+                .iter()
+                .copied()
+                .filter(|&u| self.adjacent(v, u))
+                .collect();
+            self.expand(current, next_pool, best);
+            current.pop();
+        }
+    }
+
+    #[inline]
+    fn adjacent(&self, a: u32, b: u32) -> bool {
+        self.adj[a as usize][b as usize / 64] >> (b % 64) & 1 == 1
+    }
+
+    /// Colors `pool` greedily; returns vertices sorted by color (ascending)
+    /// with their colors (1-based). `color(v)` bounds the largest clique in
+    /// the pool containing `v` within its prefix.
+    fn greedy_coloring(&self, pool: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        let mut classes: Vec<Vec<u32>> = Vec::new();
+        for &v in pool {
+            let mut placed = false;
+            'class: for class in classes.iter_mut() {
+                for &u in class.iter() {
+                    if self.adjacent(v, u) {
+                        continue 'class;
+                    }
+                }
+                class.push(v);
+                placed = true;
+                break;
+            }
+            if !placed {
+                classes.push(vec![v]);
+            }
+        }
+        let mut order = Vec::with_capacity(pool.len());
+        let mut colors = Vec::with_capacity(pool.len());
+        for (ci, class) in classes.iter().enumerate() {
+            for &v in class {
+                order.push(v);
+                colors.push(ci as u32 + 1);
+            }
+        }
+        (order, colors)
+    }
+}
+
+/// Whether `clique` is fully contained in `set` (both arbitrary order).
+/// Used for the paper's `MC ⊆ S*` column in Table VIII.
+pub fn contains_clique(set: &[VertexId], clique: &[VertexId]) -> bool {
+    let lookup: std::collections::HashSet<VertexId> = set.iter().copied().collect();
+    clique.iter().all(|v| lookup.contains(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bestk_core::core_decomposition;
+    use bestk_graph::generators::{self, regular};
+    use bestk_graph::GraphBuilder;
+
+    fn mc(g: &CsrGraph) -> Vec<VertexId> {
+        let d = core_decomposition(g);
+        let clique = maximum_clique(g, &d);
+        // Verify it is actually a clique.
+        for i in 0..clique.len() {
+            for j in (i + 1)..clique.len() {
+                assert!(g.has_edge(clique[i], clique[j]), "not a clique: {clique:?}");
+            }
+        }
+        clique
+    }
+
+    #[test]
+    fn complete_graph() {
+        assert_eq!(mc(&regular::complete(7)).len(), 7);
+    }
+
+    #[test]
+    fn triangle_free_graphs() {
+        assert_eq!(mc(&regular::cycle(8)).len(), 2);
+        assert_eq!(mc(&regular::star(5)).len(), 2);
+        assert_eq!(mc(&regular::grid(4, 4)).len(), 2);
+    }
+
+    #[test]
+    fn figure2_max_clique_is_k4() {
+        let g = generators::paper_figure2();
+        let clique = mc(&g);
+        assert_eq!(clique.len(), 4);
+    }
+
+    #[test]
+    fn planted_clique_found() {
+        // Random sparse graph plus a planted K8 on high ids.
+        let base = generators::erdos_renyi_gnm(200, 600, 3);
+        let mut b = GraphBuilder::new();
+        b.extend_edges(base.edges());
+        for u in 200..208u32 {
+            for v in (u + 1)..208 {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        let clique = mc(&g);
+        assert_eq!(clique.len(), 8);
+        assert_eq!(clique, (200..208).collect::<Vec<_>>());
+    }
+
+    /// Brute-force maximum clique by subset enumeration (tiny graphs only).
+    fn brute_force_mc_size(g: &CsrGraph) -> usize {
+        let n = g.num_vertices();
+        assert!(n <= 20);
+        let mut best = 0usize;
+        for mask in 0u32..(1 << n) {
+            let verts: Vec<VertexId> =
+                (0..n as VertexId).filter(|&v| mask >> v & 1 == 1).collect();
+            if verts.len() <= best {
+                continue;
+            }
+            let ok = verts
+                .iter()
+                .enumerate()
+                .all(|(i, &u)| verts[i + 1..].iter().all(|&w| g.has_edge(u, w)));
+            if ok {
+                best = verts.len();
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_random_graphs() {
+        for seed in 0..6 {
+            let g = generators::erdos_renyi_gnm(14, 40, seed);
+            assert_eq!(mc(&g).len(), brute_force_mc_size(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dense_overlapping_cliques() {
+        let g = generators::overlapping_cliques(100, 12, (5, 9), 7);
+        let clique = mc(&g);
+        assert!(clique.len() >= 5, "at least the smallest generated clique");
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(mc(&CsrGraph::empty(0)).is_empty());
+        assert_eq!(mc(&CsrGraph::empty(3)).len(), 1);
+    }
+
+    #[test]
+    fn containment_check() {
+        assert!(contains_clique(&[1, 2, 3, 4], &[2, 4]));
+        assert!(!contains_clique(&[1, 2, 3], &[2, 5]));
+        assert!(contains_clique(&[1], &[]));
+    }
+}

@@ -1,0 +1,174 @@
+//! Community search: the best community containing a query vertex.
+//!
+//! The paper's related work highlights community *search* as a major k-core
+//! application (references 15, 16, 25, 28, 38, 39): given a query vertex,
+//! return a cohesive subgraph containing it. Two classic formulations, both
+//! answered in `O(depth)` from the precomputed per-core profiles:
+//!
+//! * [`max_min_degree_community`] — Sozio & Gionis' "cocktail party"
+//!   objective: the connected subgraph containing `q` maximizing the
+//!   minimum degree. The answer is exactly the innermost core containing
+//!   `q` (the forest node of `q`'s coreness level).
+//! * [`best_scored_community`] — the best-k twist this workspace enables:
+//!   among all cores containing `q` (its ancestor chain), return the one a
+//!   community metric scores highest — "the best community around q"
+//!   instead of "the globally best community".
+
+use bestk_core::{BestKAnalysis, CommunityMetric};
+use bestk_graph::{CsrGraph, VertexId};
+
+/// A community-search answer.
+#[derive(Debug, Clone)]
+pub struct Community {
+    /// Vertices of the community (sorted ascending).
+    pub vertices: Vec<VertexId>,
+    /// The core level `k` the community came from.
+    pub k: u32,
+    /// The metric score ([`f64::NAN`] for the min-degree objective, which
+    /// reports `k` itself).
+    pub score: f64,
+}
+
+/// The maximal-min-degree community of `q` (Sozio–Gionis): the
+/// `c(q)`-core containing `q`. Every vertex has degree ≥ `c(q)` inside it,
+/// and no connected subgraph containing `q` does better.
+pub fn max_min_degree_community(analysis: &BestKAnalysis, q: VertexId) -> Community {
+    let forest = analysis.forest();
+    let node = forest.node_of(q);
+    let mut vertices = forest.core_vertices(node);
+    vertices.sort_unstable();
+    Community { vertices, k: forest.node(node).coreness, score: f64::NAN }
+}
+
+/// The best-scoring community containing `q` under `metric`, drawn from
+/// `q`'s ancestor chain in the core forest. Optional constraints: minimum
+/// core level `min_k` and a maximum community size.
+///
+/// Returns `None` when no ancestor satisfies the constraints or every score
+/// is `NaN`.
+pub fn best_scored_community<M: CommunityMetric + ?Sized>(
+    analysis: &BestKAnalysis,
+    q: VertexId,
+    metric: &M,
+    min_k: u32,
+    max_size: Option<usize>,
+) -> Option<Community> {
+    let forest = analysis.forest();
+    let profile = analysis.core_profile();
+    let scores = profile.scores(metric);
+    let mut best: Option<(u32, f64)> = None;
+    for node in forest.ancestors(forest.node_of(q)) {
+        let level = forest.node(node).coreness;
+        if level < min_k {
+            continue;
+        }
+        let size = profile.primaries[node as usize].num_vertices as usize;
+        if max_size.is_some_and(|cap| size > cap) {
+            continue;
+        }
+        let s = scores[node as usize];
+        if !s.is_nan() && best.is_none_or(|(_, bs)| s > bs) {
+            best = Some((node, s));
+        }
+    }
+    best.map(|(node, score)| {
+        let mut vertices = forest.core_vertices(node);
+        vertices.sort_unstable();
+        Community { vertices, k: forest.node(node).coreness, score }
+    })
+}
+
+/// Convenience check: the minimum degree of `vertices` within themselves.
+pub fn min_internal_degree(g: &CsrGraph, vertices: &[VertexId]) -> usize {
+    let mut inside = vec![false; g.num_vertices()];
+    for &v in vertices {
+        inside[v as usize] = true;
+    }
+    vertices
+        .iter()
+        .map(|&v| g.neighbors(v).iter().filter(|&&u| inside[u as usize]).count())
+        .min()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bestk_core::{analyze, analyze_basic, Metric};
+    use bestk_graph::generators::{self, regular};
+    use bestk_graph::GraphBuilder;
+
+    #[test]
+    fn min_degree_community_on_figure2() {
+        let g = generators::paper_figure2();
+        let a = analyze_basic(&g);
+        // Query v1 (in a K4): the 3-core containing it is its K4.
+        let c = max_min_degree_community(&a, 0);
+        assert_eq!(c.k, 3);
+        assert_eq!(c.vertices, vec![0, 1, 2, 3]);
+        assert_eq!(min_internal_degree(&g, &c.vertices), 3);
+        // Query v5 (coreness 2): the whole graph.
+        let c = max_min_degree_community(&a, 4);
+        assert_eq!(c.k, 2);
+        assert_eq!(c.vertices.len(), 12);
+    }
+
+    #[test]
+    fn min_degree_is_maximal() {
+        // No connected subgraph containing q beats the c(q)-core's minimum
+        // degree (spot check against all cores on a random graph).
+        let g = generators::erdos_renyi_gnm(150, 600, 5);
+        let a = analyze_basic(&g);
+        let d = a.decomposition();
+        for q in g.vertices().take(25) {
+            let c = max_min_degree_community(&a, q);
+            assert_eq!(c.k, d.coreness(q));
+            assert!(min_internal_degree(&g, &c.vertices) >= c.k as usize);
+        }
+    }
+
+    #[test]
+    fn scored_community_prefers_dense_ancestor() {
+        // Chain: q in a K8 hanging off a sparse ring.
+        let mut b = GraphBuilder::new();
+        for u in 0..8u32 {
+            for v in (u + 1)..8 {
+                b.add_edge(u, v);
+            }
+        }
+        for i in 0..20u32 {
+            b.add_edge(8 + i, 8 + (i + 1) % 20);
+        }
+        b.add_edge(0, 8);
+        let g = b.build();
+        let a = analyze(&g);
+        let c = best_scored_community(&a, 0, &Metric::InternalDensity, 0, None).unwrap();
+        assert_eq!(c.k, 7);
+        assert_eq!(c.vertices, (0..8).collect::<Vec<_>>());
+        assert!((c.score - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scored_community_respects_constraints() {
+        let g = regular::clique_chain(3, 6); // one connected 5-core of 18
+        let a = analyze_basic(&g);
+        let c = best_scored_community(&a, 0, &Metric::AverageDegree, 0, None).unwrap();
+        assert_eq!(c.vertices.len(), 18);
+        // Impossible min_k.
+        assert!(best_scored_community(&a, 0, &Metric::AverageDegree, 99, None).is_none());
+        // Size cap below the only core's size.
+        assert!(best_scored_community(&a, 0, &Metric::AverageDegree, 0, Some(10)).is_none());
+    }
+
+    #[test]
+    fn scored_community_on_low_coreness_query() {
+        // A pendant vertex: its only community is the whole component.
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let g = b.build();
+        let a = analyze_basic(&g);
+        let c = best_scored_community(&a, 3, &Metric::AverageDegree, 0, None).unwrap();
+        assert_eq!(c.k, 1);
+        assert_eq!(c.vertices.len(), 4);
+    }
+}

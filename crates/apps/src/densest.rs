@@ -1,0 +1,357 @@
+//! Densest subgraph (paper §V-D, Table VIII).
+//!
+//! The densest-subgraph (DS) problem asks for the vertex set maximizing the
+//! average degree `2 m(S) / n(S)`. Four solvers are provided:
+//!
+//! * [`opt_d`] — the paper's `Opt-D`: the best single k-core under the
+//!   average-degree metric (Algorithm 5). A ½-approximation, because the
+//!   `kmax`-core — itself ½-approximate [Fang et al. 2019] — is among the
+//!   candidates.
+//! * [`core_app`] — re-implementation of the core-based approximation the
+//!   paper compares against (`CoreApp`): return the densest connected
+//!   component of the `kmax`-core set.
+//! * [`charikar_peeling`] — the classic greedy ½-approximation: peel the
+//!   minimum-degree vertex and keep the best prefix.
+//! * [`goldberg_exact`] — the exact flow-based oracle (binary search over
+//!   the density guess with Goldberg's cut construction); for small graphs
+//!   and tests.
+
+use bestk_core::{analyze_basic, BestKAnalysis, Metric};
+use bestk_graph::subgraph::induced_edge_count;
+use bestk_graph::{CsrGraph, VertexId};
+
+use crate::flow::FlowNetwork;
+
+/// A densest-subgraph answer: the vertex set and its average degree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseSubgraph {
+    /// Vertices of the subgraph (sorted ascending).
+    pub vertices: Vec<VertexId>,
+    /// Its average degree `2 m(S) / n(S)`.
+    pub average_degree: f64,
+}
+
+fn answer(g: &CsrGraph, mut vertices: Vec<VertexId>) -> DenseSubgraph {
+    vertices.sort_unstable();
+    vertices.dedup();
+    let m = induced_edge_count(g, &vertices);
+    let average_degree = if vertices.is_empty() {
+        0.0
+    } else {
+        2.0 * m as f64 / vertices.len() as f64
+    };
+    DenseSubgraph { vertices, average_degree }
+}
+
+/// `Opt-D`: best single k-core by average degree. `O(m)` after analysis.
+///
+/// Accepts a prebuilt [`BestKAnalysis`] so the (shared) decomposition cost
+/// is not re-paid when several applications run on one graph.
+pub fn opt_d(g: &CsrGraph, analysis: &BestKAnalysis) -> DenseSubgraph {
+    match analysis.best_single_core_vertices(&Metric::AverageDegree) {
+        Some(verts) => answer(g, verts),
+        None => DenseSubgraph { vertices: Vec::new(), average_degree: 0.0 },
+    }
+}
+
+/// Convenience wrapper running the analysis internally.
+pub fn opt_d_standalone(g: &CsrGraph) -> DenseSubgraph {
+    opt_d(g, &analyze_basic(g))
+}
+
+/// `CoreApp`-style approximation: the densest connected component of the
+/// `kmax`-core set (the k-core-based ½-approximation of Fang et al. 2019
+/// that the paper benchmarks against in Table VIII).
+pub fn core_app(g: &CsrGraph, analysis: &BestKAnalysis) -> DenseSubgraph {
+    let d = analysis.decomposition();
+    let kmax = d.kmax();
+    let profile = analysis.core_profile();
+    // Forest nodes with coreness == kmax are exactly the kmax-cores.
+    let mut best: Option<(u32, f64)> = None;
+    for (i, node) in analysis.forest().nodes().iter().enumerate() {
+        if node.coreness != kmax {
+            continue;
+        }
+        let pv = &profile.primaries[i];
+        let avg = if pv.num_vertices == 0 {
+            f64::NAN
+        } else {
+            2.0 * pv.internal_edges as f64 / pv.num_vertices as f64
+        };
+        if avg.is_finite() && best.is_none_or(|(_, b)| avg > b) {
+            best = Some((i as u32, avg));
+        }
+    }
+    match best {
+        Some((node, _)) => answer(g, analysis.forest().core_vertices(node)),
+        None => DenseSubgraph { vertices: Vec::new(), average_degree: 0.0 },
+    }
+}
+
+/// Charikar's greedy peeling: remove the minimum-degree vertex until the
+/// graph is empty; return the intermediate subgraph with the highest average
+/// degree. `O(n + m)` with a bucket queue; ½-approximate.
+pub fn charikar_peeling(g: &CsrGraph) -> DenseSubgraph {
+    let n = g.num_vertices();
+    if n == 0 {
+        return DenseSubgraph { vertices: Vec::new(), average_degree: 0.0 };
+    }
+    // Bucket queue over current degrees.
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v as VertexId)).collect();
+    let max_deg = g.max_degree();
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); max_deg + 1];
+    for v in 0..n {
+        buckets[degree[v]].push(v as VertexId);
+    }
+    let mut removed = vec![false; n];
+    let mut cur_min = 0usize;
+    let mut remaining_edges = g.num_edges();
+    let mut remaining_vertices = n;
+    // Track the density of every suffix; record the best cut position.
+    let mut removal_order = Vec::with_capacity(n);
+    let mut best_density = 2.0 * remaining_edges as f64 / remaining_vertices as f64;
+    let mut best_cut = 0usize; // remove this many vertices for the best suffix
+    for step in 0..n {
+        // Find the current minimum-degree vertex (lazy deletion).
+        let v = loop {
+            while cur_min <= max_deg && buckets[cur_min].is_empty() {
+                cur_min += 1;
+            }
+            let cand = buckets[cur_min].pop().expect("bucket non-empty");
+            if !removed[cand as usize] && degree[cand as usize] == cur_min {
+                break cand;
+            }
+        };
+        removed[v as usize] = true;
+        removal_order.push(v);
+        remaining_edges -= degree[v as usize];
+        remaining_vertices -= 1;
+        for &u in g.neighbors(v) {
+            if !removed[u as usize] {
+                let du = degree[u as usize];
+                degree[u as usize] = du - 1;
+                buckets[du - 1].push(u);
+                cur_min = cur_min.min(du - 1);
+            }
+        }
+        if remaining_vertices > 0 {
+            let density = 2.0 * remaining_edges as f64 / remaining_vertices as f64;
+            if density > best_density {
+                best_density = density;
+                best_cut = step + 1;
+            }
+        }
+    }
+    let kept: Vec<VertexId> = {
+        let cut: std::collections::HashSet<VertexId> =
+            removal_order[..best_cut].iter().copied().collect();
+        (0..n as VertexId).filter(|v| !cut.contains(v)).collect()
+    };
+    answer(g, kept)
+}
+
+/// Exact densest subgraph via Goldberg's flow construction: binary search
+/// the density guess `ρ`; a min cut of the associated network is non-trivial
+/// iff some subgraph has `m(S)/n(S) > ρ`. Terminates when the interval is
+/// below `1/(n(n-1))`, the minimum gap between distinct densities.
+///
+/// `O(log n · maxflow)` — intended for graphs up to a few thousand edges
+/// (tests and Table VIII's quality validation), not for the full datasets.
+pub fn goldberg_exact(g: &CsrGraph) -> DenseSubgraph {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    if n == 0 || m == 0 {
+        return DenseSubgraph { vertices: g.vertices().take(1).collect(), average_degree: 0.0 };
+    }
+    // Density here is m(S)/n(S); average degree is twice that.
+    let mut lo = 0.0f64;
+    let mut hi = m as f64;
+    let gap = 1.0 / (n as f64 * (n as f64 - 1.0));
+    let mut best: Vec<VertexId> = Vec::new();
+    while hi - lo >= gap {
+        let guess = (lo + hi) / 2.0;
+        let side = goldberg_cut(g, guess);
+        if side.is_empty() {
+            hi = guess;
+        } else {
+            lo = guess;
+            best = side;
+        }
+    }
+    if best.is_empty() {
+        // Densest is at density exactly lo = 0? Fall back to a single edge.
+        let (u, v) = g.edges().next().expect("m > 0");
+        best = vec![u, v];
+    }
+    answer(g, best)
+}
+
+/// One Goldberg cut: returns the source-side vertex set (empty ⇒ no subgraph
+/// with density > `guess`).
+fn goldberg_cut(g: &CsrGraph, guess: f64) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let m = g.num_edges() as f64;
+    let s = n;
+    let t = n + 1;
+    let mut net = FlowNetwork::new(n + 2);
+    for v in 0..n {
+        net.add_edge(s, v, m);
+        net.add_edge(v, t, m + 2.0 * guess - g.degree(v as VertexId) as f64);
+    }
+    for (u, v) in g.edges() {
+        net.add_edge(u as usize, v as usize, 1.0);
+        net.add_edge(v as usize, u as usize, 1.0);
+    }
+    net.max_flow(s, t);
+    let side = net.min_cut_source_side(s);
+    (0..n as VertexId).filter(|&v| side[v as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bestk_core::analyze_basic;
+    use bestk_graph::generators::{self, regular};
+    use bestk_graph::GraphBuilder;
+
+    /// K5 with a long path attached: the densest subgraph is exactly the K5.
+    fn k5_with_tail() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.add_edge(u, v);
+            }
+        }
+        b.extend_edges([(4, 5), (5, 6), (6, 7), (7, 8)]);
+        b.build()
+    }
+
+    #[test]
+    fn exact_finds_the_planted_clique() {
+        let g = k5_with_tail();
+        let exact = goldberg_exact(&g);
+        assert_eq!(exact.vertices, vec![0, 1, 2, 3, 4]);
+        assert!((exact.average_degree - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opt_d_matches_exact_on_clique_plus_tail() {
+        let g = k5_with_tail();
+        let a = analyze_basic(&g);
+        let res = opt_d(&g, &a);
+        assert_eq!(res.vertices, vec![0, 1, 2, 3, 4]);
+        assert!((res.average_degree - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peeling_finds_the_planted_clique() {
+        let g = k5_with_tail();
+        let res = charikar_peeling(&g);
+        assert_eq!(res.vertices, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn core_app_returns_kmax_core() {
+        let g = k5_with_tail();
+        let a = analyze_basic(&g);
+        let res = core_app(&g, &a);
+        assert_eq!(res.vertices, vec![0, 1, 2, 3, 4]);
+        assert!((res.average_degree - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_methods_respect_half_approximation_on_random_graphs() {
+        for seed in 0..4 {
+            let g = generators::erdos_renyi_gnm(60, 240, seed);
+            let a = analyze_basic(&g);
+            let exact = goldberg_exact(&g);
+            for (name, approx) in [
+                ("opt_d", opt_d(&g, &a)),
+                ("core_app", core_app(&g, &a)),
+                ("peeling", charikar_peeling(&g)),
+            ] {
+                assert!(
+                    approx.average_degree >= exact.average_degree / 2.0 - 1e-9,
+                    "{name} below 1/2-approx on seed {seed}: {} vs exact {}",
+                    approx.average_degree,
+                    exact.average_degree
+                );
+                assert!(
+                    approx.average_degree <= exact.average_degree + 1e-9,
+                    "{name} beats the exact optimum?! seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn opt_d_never_below_core_app() {
+        // Opt-D maximizes over all cores; the kmax-core is one of them.
+        for seed in 0..4 {
+            let g = generators::chung_lu_power_law(300, 8.0, 2.3, seed);
+            let a = analyze_basic(&g);
+            let d = opt_d(&g, &a);
+            let c = core_app(&g, &a);
+            assert!(
+                d.average_degree >= c.average_degree - 1e-9,
+                "seed {seed}: opt_d {} < core_app {}",
+                d.average_degree,
+                c.average_degree
+            );
+        }
+    }
+
+    #[test]
+    fn density_reported_matches_vertex_set() {
+        let g = generators::erdos_renyi_gnm(80, 300, 9);
+        let a = analyze_basic(&g);
+        for res in [opt_d(&g, &a), core_app(&g, &a), charikar_peeling(&g)] {
+            let m = bestk_graph::subgraph::induced_edge_count(&g, &res.vertices);
+            let expect = 2.0 * m as f64 / res.vertices.len() as f64;
+            assert!((res.average_degree - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = CsrGraph::empty(0);
+        assert_eq!(charikar_peeling(&empty).vertices.len(), 0);
+        let single = CsrGraph::empty(1);
+        assert_eq!(charikar_peeling(&single).average_degree, 0.0);
+        let edgeless = CsrGraph::empty(5);
+        let a = analyze_basic(&edgeless);
+        assert_eq!(opt_d(&edgeless, &a).average_degree, 0.0);
+        let exact = goldberg_exact(&edgeless);
+        assert_eq!(exact.average_degree, 0.0);
+    }
+
+    #[test]
+    fn exact_on_two_unequal_cliques() {
+        // K6 and K4 disjoint: exact must return the K6.
+        let mut b = GraphBuilder::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                b.add_edge(u, v);
+            }
+        }
+        for u in 6..10u32 {
+            for v in (u + 1)..10 {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        let exact = goldberg_exact(&g);
+        assert_eq!(exact.vertices, vec![0, 1, 2, 3, 4, 5]);
+        assert!((exact.average_degree - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_beats_peeling_on_known_adversarial_shape() {
+        // Peeling is only 1/2-approximate; on most graphs it is close.
+        // Here we simply check exact >= peeling on a structured instance.
+        let g = regular::clique_chain(3, 6);
+        let exact = goldberg_exact(&g);
+        let peel = charikar_peeling(&g);
+        assert!(exact.average_degree >= peel.average_degree - 1e-9);
+    }
+}

@@ -1,0 +1,239 @@
+//! Maximum flow (Dinic's algorithm).
+//!
+//! Substrate for the exact densest-subgraph oracle (Goldberg's flow-based
+//! method) that validates the approximation quality claims of §V-D on small
+//! graphs. Capacities are `f64` because Goldberg's construction binary
+//! searches a fractional density guess.
+
+/// A flow network under construction / after a max-flow run.
+///
+/// Standard adjacency-list Dinic with paired reverse edges; `O(V²E)` in
+/// general, far faster on the shallow networks Goldberg's reduction builds.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    /// `edges[i]`: (to, capacity-remaining); edge `i ^ 1` is its reverse.
+    to: Vec<u32>,
+    cap: Vec<f64>,
+    head: Vec<Vec<u32>>, // per-vertex incident edge indices
+}
+
+const EPS: f64 = 1e-9;
+
+impl FlowNetwork {
+    /// A network with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork { to: Vec::new(), cap: Vec::new(), head: vec![Vec::new(); n] }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Adds a directed edge `u → v` with capacity `cap` (and its zero-
+    /// capacity reverse). Returns the edge index.
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: f64) -> usize {
+        assert!(cap >= 0.0, "capacity must be non-negative");
+        let id = self.to.len();
+        self.to.push(v as u32);
+        self.cap.push(cap);
+        self.head[u].push(id as u32);
+        self.to.push(u as u32);
+        self.cap.push(0.0);
+        self.head[v].push(id as u32 + 1);
+        id
+    }
+
+    /// Runs Dinic from `s` to `t`; returns the max-flow value. Residual
+    /// capacities are left in place (see [`min_cut_source_side`]).
+    ///
+    /// [`min_cut_source_side`]: FlowNetwork::min_cut_source_side
+    pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        assert_ne!(s, t, "source and sink must differ");
+        let n = self.head.len();
+        let mut total = 0.0;
+        let mut level = vec![u32::MAX; n];
+        let mut iter = vec![0usize; n];
+        loop {
+            // BFS level graph.
+            level.iter_mut().for_each(|l| *l = u32::MAX);
+            level[s] = 0;
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(s);
+            while let Some(v) = queue.pop_front() {
+                for &e in &self.head[v] {
+                    let e = e as usize;
+                    let w = self.to[e] as usize;
+                    if self.cap[e] > EPS && level[w] == u32::MAX {
+                        level[w] = level[v] + 1;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            if level[t] == u32::MAX {
+                return total;
+            }
+            iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let pushed = self.dfs(s, t, f64::INFINITY, &level, &mut iter);
+                if pushed <= EPS {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+    }
+
+    /// Iterative blocking-flow DFS (explicit stack keeps deep networks safe).
+    fn dfs(&mut self, s: usize, t: usize, limit: f64, level: &[u32], iter: &mut [usize]) -> f64 {
+        // Path of (vertex, edge chosen from that vertex).
+        let mut path: Vec<(usize, usize)> = Vec::new();
+        let mut v = s;
+        loop {
+            if v == t {
+                // Push the bottleneck along the path.
+                let bottleneck = path
+                    .iter()
+                    .map(|&(_, e)| self.cap[e])
+                    .fold(limit, f64::min);
+                for &(_, e) in &path {
+                    self.cap[e] -= bottleneck;
+                    self.cap[e ^ 1] += bottleneck;
+                }
+                return bottleneck;
+            }
+            let mut advanced = false;
+            while iter[v] < self.head[v].len() {
+                let e = self.head[v][iter[v]] as usize;
+                let w = self.to[e] as usize;
+                if self.cap[e] > EPS && level[w] == level[v] + 1 {
+                    path.push((v, e));
+                    v = w;
+                    advanced = true;
+                    break;
+                }
+                iter[v] += 1;
+            }
+            if !advanced {
+                // Dead end: retreat (or give up at the source).
+                match path.pop() {
+                    None => return 0.0,
+                    Some((pv, _)) => {
+                        iter[pv] += 1;
+                        v = pv;
+                    }
+                }
+            }
+        }
+    }
+
+    /// After [`max_flow`](FlowNetwork::max_flow), the set of vertices
+    /// reachable from `s` in the residual network — the source side of a
+    /// minimum cut.
+    pub fn min_cut_source_side(&self, s: usize) -> Vec<bool> {
+        let n = self.head.len();
+        let mut seen = vec![false; n];
+        seen[s] = true;
+        let mut stack = vec![s];
+        while let Some(v) = stack.pop() {
+            for &e in &self.head[v] {
+                let e = e as usize;
+                let w = self.to[e] as usize;
+                if self.cap[e] > EPS && !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 5.0);
+        assert!((net.max_flow(0, 1) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_takes_minimum() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5.0);
+        net.add_edge(1, 2, 3.0);
+        assert!((net.max_flow(0, 2) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_paths_sum() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 2.0);
+        net.add_edge(1, 3, 2.0);
+        net.add_edge(0, 2, 3.0);
+        net.add_edge(2, 3, 3.0);
+        assert!((net.max_flow(0, 3) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_textbook_network() {
+        // CLRS-style example with a known max flow of 23.
+        let mut net = FlowNetwork::new(6);
+        net.add_edge(0, 1, 16.0);
+        net.add_edge(0, 2, 13.0);
+        net.add_edge(1, 2, 10.0);
+        net.add_edge(2, 1, 4.0);
+        net.add_edge(1, 3, 12.0);
+        net.add_edge(3, 2, 9.0);
+        net.add_edge(2, 4, 14.0);
+        net.add_edge(4, 3, 7.0);
+        net.add_edge(3, 5, 20.0);
+        net.add_edge(4, 5, 4.0);
+        assert!((net.max_flow(0, 5) - 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn augmenting_through_reverse_edges() {
+        // Flow must reroute through the middle edge's reverse.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 1.0);
+        net.add_edge(0, 2, 1.0);
+        net.add_edge(1, 2, 1.0);
+        net.add_edge(1, 3, 1.0);
+        net.add_edge(2, 3, 1.0);
+        assert!((net.max_flow(0, 3) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_cut_matches_flow() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3.0);
+        net.add_edge(1, 2, 1.0); // bottleneck
+        net.add_edge(2, 3, 3.0);
+        let f = net.max_flow(0, 3);
+        assert!((f - 1.0).abs() < 1e-9);
+        let side = net.min_cut_source_side(0);
+        assert_eq!(side, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn disconnected_sink_yields_zero() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 10.0);
+        assert_eq!(net.max_flow(0, 2), 0.0);
+        let side = net.min_cut_source_side(0);
+        assert!(side[0] && side[1] && !side[2]);
+    }
+
+    #[test]
+    fn fractional_capacities() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 0.5);
+        net.add_edge(0, 2, 0.25);
+        net.add_edge(1, 2, 1.0);
+        assert!((net.max_flow(0, 2) - 0.75).abs() < 1e-9);
+    }
+}

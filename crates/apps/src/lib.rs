@@ -1,0 +1,44 @@
+//! # bestk-apps
+//!
+//! Applications of best-k core decomposition (paper §V-D): three NP-hard
+//! problems where the per-core profiles computed by `bestk-core` serve as a
+//! fast approximation or a search-space pruner.
+//!
+//! * [`densest`] — densest subgraph: the paper's `Opt-D` (best single
+//!   k-core by average degree, ½-approximate) versus a `CoreApp`-style
+//!   comparator, Charikar peeling, and an exact flow-based oracle.
+//! * [`clique`] — exact maximum clique over the degeneracy ordering, used to
+//!   check the paper's `MC ⊆ S*` observation (Table VIII).
+//! * [`sizecore`] — `Opt-SC` for size-constrained k-core queries
+//!   (Table IX).
+//! * [`flow`] — Dinic max-flow, the substrate for the exact densest-subgraph
+//!   oracle.
+//! * [`spreaders`] — influential-spreader identification by k-shell
+//!   (Kitsak et al.) with an SIR simulation substrate to measure it.
+//! * [`community`] — community search: the max-min-degree community of a
+//!   query vertex (Sozio–Gionis) and its best-scored generalization.
+//! * [`coloring`] — smallest-last greedy coloring with the degeneracy+1
+//!   bound (Matula & Beck, the paper's reference 42).
+//! * [`anomaly`] — CoreScope-style mirror-pattern anomaly scores (the
+//!   paper's reference 53).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod anomaly;
+pub mod clique;
+pub mod coloring;
+pub mod community;
+pub mod densest;
+pub mod flow;
+pub mod sizecore;
+pub mod spreaders;
+
+pub use anomaly::{mirror_anomaly_scores, MirrorAnomalies};
+pub use clique::{contains_clique, maximum_clique};
+pub use coloring::{smallest_last_coloring, Coloring};
+pub use community::{best_scored_community, max_min_degree_community, Community};
+pub use densest::{charikar_peeling, core_app, goldberg_exact, opt_d, DenseSubgraph};
+pub use flow::FlowNetwork;
+pub use sizecore::{opt_sc, SizeConstrainedCore};
+pub use spreaders::{compare_heuristics, rank_by_coreness, rank_by_degree, sir_spread};

@@ -1,0 +1,40 @@
+//! Wall-clock timing helpers for the harness binaries.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` once and returns its result with the elapsed wall time.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Formats a duration the way the paper's runtime plots label their y-axis
+/// (1ms … 10⁵ s): milliseconds below 10 s, seconds above.
+pub fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs < 10.0 {
+        format!("{:.1}ms", secs * 1e3)
+    } else {
+        format!("{secs:.1}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_returns_value_and_duration() {
+        let (v, d) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_duration(Duration::from_millis(1)), "1.0ms");
+        assert_eq!(fmt_duration(Duration::from_secs(42)), "42.0s");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.5ms");
+    }
+}

@@ -1,0 +1,141 @@
+//! Minimal dependency-free argument parsing.
+//!
+//! Grammar: `bestk <command> [positional ...] [--flag] [--key value]`.
+//! `--key=value` is accepted as a synonym for `--key value`.
+
+use std::collections::BTreeMap;
+
+use crate::CliError;
+
+/// Parsed command line: the command word, positional arguments, and options.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    /// The subcommand (first non-flag token).
+    pub command: String,
+    /// Positional arguments after the command.
+    pub positional: Vec<String>,
+    /// `--key value` / `--key=value` options and bare `--flag`s (value
+    /// `""`).
+    pub options: BTreeMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Parses raw argv (without the program name).
+    pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
+        let mut parsed = ParsedArgs::default();
+        let mut it = argv.iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(stripped) = tok.strip_prefix("--") {
+                if stripped.is_empty() {
+                    return Err(CliError::Usage("empty option name '--'".into()));
+                }
+                if let Some((k, v)) = stripped.split_once('=') {
+                    parsed.options.insert(k.to_string(), v.to_string());
+                } else if it.peek().is_some_and(|next| !next.starts_with("--")) {
+                    let v = it.next().expect("peeked");
+                    parsed.options.insert(stripped.to_string(), v.clone());
+                } else {
+                    parsed.options.insert(stripped.to_string(), String::new());
+                }
+            } else if parsed.command.is_empty() {
+                parsed.command = tok.clone();
+            } else {
+                parsed.positional.push(tok.clone());
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The `i`-th positional argument or a usage error naming it.
+    pub fn positional(&self, i: usize, name: &str) -> Result<&str, CliError> {
+        self.positional
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing <{name}> argument")))
+    }
+
+    /// An option as a string, if present.
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Whether a bare flag (or any value) was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// A parsed numeric option with a default.
+    pub fn opt_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{key} expects a number, got {raw:?}"))),
+        }
+    }
+
+    /// A required numeric option.
+    pub fn require_num<T: std::str::FromStr>(&self, key: &str) -> Result<T, CliError> {
+        let raw = self
+            .options
+            .get(key)
+            .ok_or_else(|| CliError::Usage(format!("missing required --{key}")))?;
+        raw.parse()
+            .map_err(|_| CliError::Usage(format!("--{key} expects a number, got {raw:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(&s.iter().map(|t| t.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn command_positionals_and_options() {
+        let p = parse(&["analyze", "g.txt", "--metric", "ad", "--triangles"]);
+        assert_eq!(p.command, "analyze");
+        assert_eq!(p.positional, vec!["g.txt"]);
+        assert_eq!(p.opt("metric"), Some("ad"));
+        assert!(p.flag("triangles"));
+        assert!(!p.flag("nope"));
+    }
+
+    #[test]
+    fn equals_syntax() {
+        let p = parse(&["sck", "g.bin", "--k=5", "--h=40"]);
+        assert_eq!(p.opt_num::<u32>("k", 0).unwrap(), 5);
+        assert_eq!(p.require_num::<usize>("h").unwrap(), 40);
+    }
+
+    #[test]
+    fn numeric_errors() {
+        let p = parse(&["sck", "--k", "abc"]);
+        assert!(p.opt_num::<u32>("k", 0).is_err());
+        assert!(p.require_num::<u32>("missing").is_err());
+        assert_eq!(p.opt_num::<u32>("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let p = parse(&["x", "--a", "--b", "val"]);
+        assert!(p.flag("a"));
+        assert_eq!(p.opt("a"), Some(""));
+        assert_eq!(p.opt("b"), Some("val"));
+    }
+
+    #[test]
+    fn missing_positional_reports_name() {
+        let p = parse(&["analyze"]);
+        let err = p.positional(0, "graph").unwrap_err();
+        assert!(err.to_string().contains("<graph>"));
+    }
+
+    #[test]
+    fn double_dash_alone_is_an_error() {
+        let argv = vec!["--".to_string()];
+        assert!(ParsedArgs::parse(&argv).is_err());
+    }
+}

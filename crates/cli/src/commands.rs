@@ -1,0 +1,536 @@
+//! Subcommand implementations.
+
+use std::io::Write;
+
+use bestk_apps as apps;
+use bestk_core::{analyze as analyze_graph, analyze_basic, CommunityMetric, Metric};
+use bestk_graph::{generators, io, stats};
+
+use crate::args::ParsedArgs;
+use crate::{load_graph, metric_by_abbrev, CliError};
+
+/// Which metrics a command should report on.
+fn metric_selection(args: &ParsedArgs) -> Result<Vec<Metric>, CliError> {
+    match args.opt("metric") {
+        Some(abbrev) => Ok(vec![metric_by_abbrev(abbrev)?]),
+        None if args.flag("extended") => Ok(Metric::EXTENDED.to_vec()),
+        None => Ok(Metric::ALL.to_vec()),
+    }
+}
+
+/// `bestk stats <graph>`.
+pub fn stats(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let g = load_graph(args.positional(0, "graph")?)?;
+    let s = stats::graph_stats(&g);
+    let d = bestk_core::core_decomposition(&g);
+    writeln!(out, "vertices        {}", s.num_vertices)?;
+    writeln!(out, "edges           {}", s.num_edges)?;
+    writeln!(out, "average degree  {:.2}", s.average_degree)?;
+    writeln!(out, "max degree      {}", s.max_degree)?;
+    writeln!(out, "min degree      {}", s.min_degree)?;
+    writeln!(out, "isolated        {}", s.isolated_vertices)?;
+    writeln!(out, "kmax            {}", d.kmax())?;
+    let cs = bestk_core::corestats::core_stats(&d);
+    writeln!(out, "mean coreness   {:.2}", cs.mean_coreness)?;
+    writeln!(out, "median coreness {}", cs.median_coreness)?;
+    writeln!(out, "shells          {} populated", cs.populated_shells)?;
+    writeln!(out, "top core size   {}", cs.top_core_size)?;
+    let cc = bestk_graph::connectivity::connected_components(&g);
+    writeln!(out, "components      {}", cc.count)?;
+    Ok(())
+}
+
+/// `bestk analyze <graph> [--metric M] [--extended]`.
+pub fn analyze(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let g = load_graph(args.positional(0, "graph")?)?;
+    let metrics = metric_selection(args)?;
+    let needs_triangles = metrics.iter().any(|m| m.needs_triangles());
+    let a = if needs_triangles { analyze_graph(&g) } else { analyze_basic(&g) };
+    writeln!(out, "kmax = {}, distinct cores = {}", a.kmax(), a.forest().node_count())?;
+    writeln!(
+        out,
+        "{:<24} {:>10} {:>14} {:>11} {:>14} {:>9}",
+        "metric", "best-set k", "set score", "best-core k", "core score", "core |S|"
+    )?;
+    for m in metrics {
+        let set = a.best_core_set(&m);
+        let core = a.best_single_core(&m);
+        let size = core
+            .map(|b| a.forest().core_vertices(b.node).len().to_string())
+            .unwrap_or_else(|| "-".into());
+        writeln!(
+            out,
+            "{:<24} {:>10} {:>14} {:>11} {:>14} {:>9}",
+            m.name(),
+            set.map(|b| b.k.to_string()).unwrap_or_else(|| "-".into()),
+            set.map(|b| format!("{:.6}", b.score)).unwrap_or_else(|| "-".into()),
+            core.map(|b| b.k.to_string()).unwrap_or_else(|| "-".into()),
+            core.map(|b| format!("{:.6}", b.score)).unwrap_or_else(|| "-".into()),
+            size,
+        )?;
+    }
+    Ok(())
+}
+
+/// `bestk profile <graph> --metric M [--single]`.
+pub fn profile(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let g = load_graph(args.positional(0, "graph")?)?;
+    let metric = metric_by_abbrev(
+        args.opt("metric")
+            .ok_or_else(|| CliError::Usage("profile requires --metric".into()))?,
+    )?;
+    let a = if metric.needs_triangles() { analyze_graph(&g) } else { analyze_basic(&g) };
+    if args.flag("single") {
+        writeln!(out, "k,score")?;
+        for (k, s) in a.single_core_scores(&metric) {
+            writeln!(out, "{k},{s}")?;
+        }
+    } else {
+        writeln!(out, "k,score")?;
+        for (k, s) in a.core_set_scores(&metric).iter().enumerate() {
+            if !s.is_nan() {
+                writeln!(out, "{k},{s}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `bestk densest <graph> [--method ...]`.
+pub fn densest(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let g = load_graph(args.positional(0, "graph")?)?;
+    let method = args.opt("method").unwrap_or("opt-d");
+    let res = match method {
+        "opt-d" => {
+            let a = analyze_basic(&g);
+            apps::opt_d(&g, &a)
+        }
+        "core-app" => {
+            let a = analyze_basic(&g);
+            apps::core_app(&g, &a)
+        }
+        "peel" => apps::charikar_peeling(&g),
+        "exact" => {
+            if g.num_edges() > 100_000 {
+                return Err(CliError::Failed(
+                    "exact method is flow-based; refusing graphs over 100k edges".into(),
+                ));
+            }
+            apps::goldberg_exact(&g)
+        }
+        other => return Err(CliError::Usage(format!("unknown method {other:?}"))),
+    };
+    writeln!(out, "method          {method}")?;
+    writeln!(out, "average degree  {:.4}", res.average_degree)?;
+    writeln!(out, "vertices        {}", res.vertices.len())?;
+    writeln!(out, "members         {:?}", preview(&res.vertices, 20))?;
+    Ok(())
+}
+
+/// `bestk clique <graph>`.
+pub fn clique(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let g = load_graph(args.positional(0, "graph")?)?;
+    let d = bestk_core::core_decomposition(&g);
+    let clique = apps::maximum_clique(&g, &d);
+    writeln!(out, "maximum clique size {}", clique.len())?;
+    writeln!(out, "members             {:?}", preview(&clique, 50))?;
+    Ok(())
+}
+
+/// `bestk sck <graph> --k K --h H --query V`.
+pub fn sck(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let g = load_graph(args.positional(0, "graph")?)?;
+    let k: u32 = args.require_num("k")?;
+    let h: usize = args.require_num("h")?;
+    let q: u32 = args.require_num("query")?;
+    if (q as usize) >= g.num_vertices() {
+        return Err(CliError::Usage(format!(
+            "query vertex {q} out of range (n = {})",
+            g.num_vertices()
+        )));
+    }
+    let a = analyze_basic(&g);
+    match apps::opt_sc(&g, &a, k, h, q) {
+        None => Err(CliError::Failed(format!(
+            "infeasible: no core with level >= {k} and >= {h} vertices contains {q}"
+        ))),
+        Some(res) => {
+            writeln!(out, "source core k'  {}", res.source_core_k)?;
+            writeln!(out, "result size     {} (target {h})", res.vertices.len())?;
+            writeln!(out, "hit (<=5% dev)  {}", res.hits(h, 0.05))?;
+            writeln!(out, "query component {}", res.query_component(&g).len())?;
+            writeln!(out, "members         {:?}", preview(&res.vertices, 20))?;
+            Ok(())
+        }
+    }
+}
+
+/// `bestk community <graph> --query V [--metric M] [--min-k K] [--max-size S]`.
+pub fn community(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let g = load_graph(args.positional(0, "graph")?)?;
+    let q: u32 = args.require_num("query")?;
+    if (q as usize) >= g.num_vertices() {
+        return Err(CliError::Usage(format!(
+            "query vertex {q} out of range (n = {})",
+            g.num_vertices()
+        )));
+    }
+    let a = analyze_basic(&g);
+    // Always report the max-min-degree community (Sozio-Gionis).
+    let mmd = apps::max_min_degree_community(&a, q);
+    writeln!(out, "max-min-degree community: k = {}, |S| = {}", mmd.k, mmd.vertices.len())?;
+    if let Some(abbrev) = args.opt("metric") {
+        let metric = metric_by_abbrev(abbrev)?;
+        if metric.needs_triangles() {
+            return Err(CliError::Usage(
+                "triangle-based metrics are not supported for community search".into(),
+            ));
+        }
+        let min_k: u32 = args.opt_num("min-k", 0)?;
+        let max_size: Option<usize> = match args.opt("max-size") {
+            None => None,
+            Some(_) => Some(args.require_num("max-size")?),
+        };
+        match apps::best_scored_community(&a, q, &metric, min_k, max_size) {
+            Some(c) => {
+                writeln!(
+                    out,
+                    "best {} community: k = {}, score = {:.6}, |S| = {}",
+                    metric.name(),
+                    c.k,
+                    c.score,
+                    c.vertices.len()
+                )?;
+                writeln!(out, "members         {:?}", preview(&c.vertices, 20))?;
+            }
+            None => writeln!(out, "no community satisfies the constraints")?,
+        }
+    }
+    Ok(())
+}
+
+/// `bestk truss <graph> [--metric M] [--single]`.
+pub fn truss(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let g = load_graph(args.positional(0, "graph")?)?;
+    let metrics = metric_selection(args)?;
+    let idx = bestk_truss::EdgeIndex::build(&g);
+    let t = bestk_truss::decomposition::truss_decomposition_with_index(&g, &idx);
+    writeln!(out, "tmax = {}", t.tmax())?;
+    if args.flag("single") {
+        writeln!(out, "{:<24} {:>9} {:>14} {:>8}", "metric", "best k", "score", "|S|")?;
+        for m in metrics {
+            match bestk_truss::best_single_k_truss(&g, &idx, &t, &m) {
+                Some(best) => writeln!(
+                    out,
+                    "{:<24} {:>9} {:>14.6} {:>8}",
+                    m.name(),
+                    best.truss.k,
+                    best.score,
+                    best.truss.vertices.len()
+                )?,
+                None => writeln!(out, "{:<24} {:>9} {:>14} {:>8}", m.name(), "-", "-", "-")?,
+            }
+        }
+        return Ok(());
+    }
+    let profile = bestk_truss::truss_set_profile(&g, &idx, &t);
+    writeln!(out, "{:<24} {:>9} {:>14}", "metric", "best k", "score")?;
+    for m in metrics {
+        match profile.best(&m) {
+            Some(best) => writeln!(
+                out,
+                "{:<24} {:>9} {:>14.6}",
+                m.name(),
+                best.k,
+                best.score
+            )?,
+            None => writeln!(out, "{:<24} {:>9} {:>14}", m.name(), "-", "-")?,
+        }
+    }
+    Ok(())
+}
+
+/// `bestk generate <family> --n N [...] --seed S --out FILE`.
+pub fn generate(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let family = args.positional(0, "family")?;
+    let seed: u64 = args.opt_num("seed", 42)?;
+    let g = match family {
+        "er-gnm" => {
+            let n: usize = args.require_num("n")?;
+            let m: usize = args.require_num("m")?;
+            generators::erdos_renyi_gnm(n, m, seed)
+        }
+        "er-gnp" => {
+            let n: usize = args.require_num("n")?;
+            let p: f64 = args.require_num("p")?;
+            generators::erdos_renyi_gnp(n, p, seed)
+        }
+        "chung-lu" => {
+            let n: usize = args.require_num("n")?;
+            let avg: f64 = args.opt_num("avg-deg", 10.0)?;
+            let gamma: f64 = args.opt_num("gamma", 2.5)?;
+            generators::chung_lu_power_law(n, avg, gamma, seed)
+        }
+        "rmat" => {
+            let scale: u32 = args.require_num("scale")?;
+            let ef: usize = args.opt_num("edge-factor", 16)?;
+            generators::rmat(scale, ef, 0.57, 0.19, 0.19, seed)
+        }
+        "ba" => {
+            let n: usize = args.require_num("n")?;
+            let attach: usize = args.opt_num("attach", 3)?;
+            generators::barabasi_albert(n, attach, seed)
+        }
+        "ws" => {
+            let n: usize = args.require_num("n")?;
+            let k: usize = args.opt_num("k", 6)?;
+            let beta: f64 = args.opt_num("beta", 0.1)?;
+            generators::watts_strogatz(n, k, beta, seed)
+        }
+        "cliques" => {
+            let n: usize = args.require_num("n")?;
+            let cliques: usize = args.require_num("cliques")?;
+            let lo: usize = args.opt_num("min-size", 3)?;
+            let hi: usize = args.opt_num("max-size", 10)?;
+            generators::overlapping_cliques(n, cliques, (lo, hi), seed)
+        }
+        other => return Err(CliError::Usage(format!("unknown family {other:?}"))),
+    };
+    let path = args
+        .opt("out")
+        .ok_or_else(|| CliError::Usage("generate requires --out FILE".into()))?;
+    write_by_extension(&g, path)?;
+    writeln!(
+        out,
+        "wrote {}: n={}, m={}",
+        path,
+        g.num_vertices(),
+        g.num_edges()
+    )?;
+    Ok(())
+}
+
+/// `bestk convert <in> <out>`.
+pub fn convert(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let src = args.positional(0, "in")?;
+    let dst = args.positional(1, "out")?;
+    let g = load_graph(src)?;
+    write_by_extension(&g, dst)?;
+    writeln!(out, "wrote {dst}: n={}, m={}", g.num_vertices(), g.num_edges())?;
+    Ok(())
+}
+
+fn write_by_extension(g: &bestk_graph::CsrGraph, path: &str) -> Result<(), CliError> {
+    if path.ends_with(".bin") {
+        io::write_binary_path(g, path)?;
+    } else if path.ends_with(".metis") || path.ends_with(".graph") {
+        io::write_metis_path(g, path)?;
+    } else if path.ends_with(".dot") {
+        io::write_dot_path(g, path, None)?;
+    } else {
+        io::write_edge_list_path(g, path)?;
+    }
+    Ok(())
+}
+
+fn preview(v: &[u32], limit: usize) -> Vec<u32> {
+    v.iter().copied().take(limit).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bestk_graph::GraphBuilder;
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        crate::run(&argv, &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    fn fixture_path(name: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("bestk-cli-cmd-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_str().unwrap().to_string()
+    }
+
+    fn write_figure2() -> String {
+        let path = fixture_path("fig2.txt");
+        let g = bestk_graph::generators::paper_figure2();
+        io::write_edge_list_path(&g, &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn stats_reports_kmax() {
+        let path = write_figure2();
+        let out = run(&["stats", &path]).unwrap();
+        assert!(out.contains("vertices        12"));
+        assert!(out.contains("edges           19"));
+        assert!(out.contains("kmax            3"));
+        assert!(out.contains("components      1"));
+    }
+
+    #[test]
+    fn analyze_reports_all_metrics() {
+        let path = write_figure2();
+        let out = run(&["analyze", &path]).unwrap();
+        assert!(out.contains("average degree"));
+        assert!(out.contains("clustering coefficient"));
+        // Example 4: best set k for average degree is 2.
+        let ad_line = out.lines().find(|l| l.starts_with("average degree")).unwrap();
+        assert!(ad_line.split_whitespace().any(|t| t == "2"), "{ad_line}");
+    }
+
+    #[test]
+    fn analyze_single_metric_and_extended() {
+        let path = write_figure2();
+        let out = run(&["analyze", &path, "--metric", "cc"]).unwrap();
+        assert!(out.contains("clustering coefficient"));
+        assert!(!out.contains("modularity"));
+        let out = run(&["analyze", &path, "--extended"]).unwrap();
+        assert!(out.contains("separability"));
+    }
+
+    #[test]
+    fn profile_emits_csv() {
+        let path = write_figure2();
+        let out = run(&["profile", &path, "--metric", "ad"]).unwrap();
+        let mut lines = out.lines();
+        assert_eq!(lines.next(), Some("k,score"));
+        assert!(out.lines().count() >= 4);
+        let out = run(&["profile", &path, "--metric", "ad", "--single"]).unwrap();
+        assert!(out.starts_with("k,score"));
+        assert!(run(&["profile", &path]).is_err(), "missing --metric");
+    }
+
+    #[test]
+    fn densest_methods_agree_on_figure2() {
+        let path = write_figure2();
+        for method in ["opt-d", "core-app", "peel", "exact"] {
+            let out = run(&["densest", &path, "--method", method]).unwrap();
+            assert!(out.contains("average degree"), "{method}");
+        }
+        assert!(run(&["densest", &path, "--method", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn clique_on_figure2_is_k4() {
+        let path = write_figure2();
+        let out = run(&["clique", &path]).unwrap();
+        assert!(out.contains("maximum clique size 4"));
+    }
+
+    #[test]
+    fn sck_roundtrip_and_errors() {
+        let path = fixture_path("k20.txt");
+        let mut b = GraphBuilder::new();
+        for u in 0..20u32 {
+            for v in (u + 1)..20 {
+                b.add_edge(u, v);
+            }
+        }
+        io::write_edge_list_path(&b.build(), &path).unwrap();
+        let out = run(&["sck", &path, "--k", "5", "--h", "10", "--query", "0"]).unwrap();
+        assert!(out.contains("hit (<=5% dev)  true"), "{out}");
+        assert!(run(&["sck", &path, "--k", "5", "--h", "10", "--query", "99"]).is_err());
+        assert!(run(&["sck", &path, "--k", "25", "--h", "10", "--query", "0"]).is_err());
+        assert!(run(&["sck", &path, "--h", "10", "--query", "0"]).is_err(), "missing --k");
+    }
+
+    #[test]
+    fn community_command_on_figure2() {
+        let path = write_figure2();
+        // v1 sits in a K4 — the max-min-degree community is that 3-core.
+        let out = run(&["community", &path, "--query", "0"]).unwrap();
+        assert!(out.contains("k = 3, |S| = 4"), "{out}");
+        let out = run(&["community", &path, "--query", "0", "--metric", "den"]).unwrap();
+        assert!(out.contains("best internal density community"), "{out}");
+        assert!(out.contains("score = 1.000000"), "{out}");
+        assert!(run(&["community", &path, "--query", "99"]).is_err());
+        assert!(run(&["community", &path, "--query", "0", "--metric", "cc"]).is_err());
+        // Constraints: impossible min-k falls through gracefully.
+        let out =
+            run(&["community", &path, "--query", "0", "--metric", "ad", "--min-k", "50"]).unwrap();
+        assert!(out.contains("no community satisfies"), "{out}");
+    }
+
+    #[test]
+    fn truss_on_figure2() {
+        let path = write_figure2();
+        let out = run(&["truss", &path, "--metric", "den"]).unwrap();
+        assert!(out.contains("tmax = 4"));
+        assert!(out.lines().any(|l| l.starts_with("internal density") && l.contains('4')));
+    }
+
+    #[test]
+    fn truss_single_on_figure2() {
+        let path = write_figure2();
+        let out = run(&["truss", &path, "--metric", "den", "--single"]).unwrap();
+        assert!(out.contains("tmax = 4"));
+        // Best single 4-truss is a K4: density 1 over 4 vertices.
+        let line = out.lines().find(|l| l.starts_with("internal density")).unwrap();
+        assert!(line.contains("1.000000"), "{line}");
+        assert!(line.trim_end().ends_with('4'), "{line}");
+    }
+
+    #[test]
+    fn convert_to_metis_and_back() {
+        let txt = fixture_path("m.txt");
+        let metis = fixture_path("m.metis");
+        let back = fixture_path("m2.txt");
+        let g = bestk_graph::generators::paper_figure2();
+        io::write_edge_list_path(&g, &txt).unwrap();
+        run(&["convert", &txt, &metis]).unwrap();
+        let out = run(&["stats", &metis]).unwrap();
+        assert!(out.contains("edges           19"), "{out}");
+        run(&["convert", &metis, &back]).unwrap();
+        let g2 = crate::load_graph(&back).unwrap();
+        assert_eq!(g2.num_edges(), 19);
+    }
+
+    #[test]
+    fn convert_to_dot() {
+        let txt = fixture_path("d.txt");
+        let dot = fixture_path("d.dot");
+        io::write_edge_list_path(&bestk_graph::generators::regular::complete(4), &txt).unwrap();
+        run(&["convert", &txt, &dot]).unwrap();
+        let content = std::fs::read_to_string(&dot).unwrap();
+        assert!(content.starts_with("graph bestk {"));
+        assert_eq!(content.matches(" -- ").count(), 6);
+    }
+
+    #[test]
+    fn generate_and_convert_roundtrip() {
+        let txt = fixture_path("gen.txt");
+        let bin = fixture_path("gen.bin");
+        let out = run(&["generate", "er-gnm", "--n", "50", "--m", "120", "--seed", "7", "--out", &txt]).unwrap();
+        assert!(out.contains("m=120"));
+        let out = run(&["convert", &txt, &bin]).unwrap();
+        assert!(out.contains("m=120"));
+        let g = crate::load_graph(&bin).unwrap();
+        assert_eq!(g.num_edges(), 120);
+        assert!(run(&["generate", "bogus", "--out", &txt]).is_err());
+        assert!(run(&["generate", "er-gnm", "--n", "50", "--m", "120"]).is_err(), "missing --out");
+    }
+
+    #[test]
+    fn generate_all_families() {
+        for (family, extra) in [
+            ("er-gnp", vec!["--n", "40", "--p", "0.1"]),
+            ("ws", vec!["--n", "60", "--k", "4"]),
+            ("chung-lu", vec!["--n", "100"]),
+            ("rmat", vec!["--scale", "6"]),
+            ("ba", vec!["--n", "50"]),
+            ("cliques", vec!["--n", "60", "--cliques", "10"]),
+        ] {
+            let path = fixture_path(&format!("{family}.txt"));
+            let mut args = vec!["generate", family];
+            args.extend(extra.iter());
+            args.extend(["--out", &path]);
+            let out = run(&args).unwrap();
+            assert!(out.contains("wrote"), "{family}");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! # bestk-cli
+//!
+//! Library backing the `bestk` command-line tool. The binary is a thin shim
+//! over [`run`], which parses a subcommand and writes its report to the
+//! given writer (fully unit-testable, no process spawning needed).
+//!
+//! ```text
+//! bestk stats    <graph>                       dataset statistics
+//! bestk analyze  <graph> [--metric M] [--extended]
+//!                                              best k-core set + best single core
+//! bestk profile  <graph> --metric M [--single] per-k score series as CSV
+//! bestk densest  <graph> [--method opt-d|core-app|peel|exact]
+//! bestk clique   <graph>                       exact maximum clique
+//! bestk sck      <graph> --k K --h H --query V size-constrained k-core
+//! bestk truss    <graph> [--metric M]          best k-truss set
+//! bestk generate <family> --n N [...] --out F  synthetic graphs
+//! bestk convert  <in> <out>                    text <-> binary by extension
+//! ```
+//!
+//! Graphs are read from SNAP-style text edge lists or the workspace binary
+//! format, auto-detected by content.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod args;
+mod commands;
+mod load;
+
+use std::fmt;
+use std::io::Write;
+
+pub use args::ParsedArgs;
+pub use load::load_graph;
+
+/// CLI failure modes.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation: unknown command, missing argument, malformed value.
+    Usage(String),
+    /// The graph file could not be read or parsed.
+    Graph(bestk_graph::GraphError),
+    /// Output could not be written.
+    Io(std::io::Error),
+    /// The request was well-formed but unsatisfiable (e.g. infeasible
+    /// query).
+    Failed(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
+            CliError::Graph(e) => write!(f, "graph error: {e}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Failed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<bestk_graph::GraphError> for CliError {
+    fn from(e: bestk_graph::GraphError) -> Self {
+        CliError::Graph(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+const USAGE: &str = "usage: bestk <command> [args]
+commands:
+  stats    <graph>                                   dataset statistics
+  analyze  <graph> [--metric M] [--extended]         best k per metric
+  profile  <graph> --metric M [--single]             per-k scores (CSV)
+  densest  <graph> [--method opt-d|core-app|peel|exact]
+  clique   <graph>                                   exact maximum clique
+  sck      <graph> --k K --h H --query V             size-constrained k-core
+  community <graph> --query V [--metric M]           community search around V
+  truss    <graph> [--metric M] [--single]           best k-truss (set)
+  generate <family> --n N [--m M|--avg-deg D|...] --seed S --out FILE
+  convert  <in> <out>                                text <-> binary
+metrics M: ad den cr con mod cc sep td (default: all six paper metrics)
+families: er-gnm er-gnp chung-lu rmat ba ws cliques";
+
+/// Parses `argv` and executes the chosen subcommand, writing the report to
+/// `out`.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let parsed = ParsedArgs::parse(argv)?;
+    match parsed.command.as_str() {
+        "" | "help" | "-h" | "--help" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        "stats" => commands::stats(&parsed, out),
+        "analyze" => commands::analyze(&parsed, out),
+        "profile" => commands::profile(&parsed, out),
+        "densest" => commands::densest(&parsed, out),
+        "clique" => commands::clique(&parsed, out),
+        "sck" => commands::sck(&parsed, out),
+        "community" => commands::community(&parsed, out),
+        "truss" => commands::truss(&parsed, out),
+        "generate" => commands::generate(&parsed, out),
+        "convert" => commands::convert(&parsed, out),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+/// Resolves a metric abbreviation.
+pub(crate) fn metric_by_abbrev(abbrev: &str) -> Result<bestk_core::Metric, CliError> {
+    bestk_core::Metric::EXTENDED
+        .iter()
+        .copied()
+        .find(|m| m.abbrev() == abbrev)
+        .ok_or_else(|| CliError::Usage(format!("unknown metric {abbrev:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(args: &[&str]) -> Result<String, CliError> {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        run(&argv, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_str(&["help"]).unwrap();
+        assert!(out.contains("usage: bestk"));
+        assert!(run_str(&[]).unwrap().contains("usage"));
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        let err = run_str(&["frobnicate"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn metric_lookup() {
+        assert_eq!(metric_by_abbrev("ad").unwrap(), bestk_core::Metric::AverageDegree);
+        assert_eq!(metric_by_abbrev("sep").unwrap(), bestk_core::Metric::Separability);
+        assert!(metric_by_abbrev("xyz").is_err());
+    }
+}

@@ -1,0 +1,16 @@
+//! `bestk` — the command-line entry point. All logic lives in the library
+//! (`bestk_cli::run`) so it can be unit-tested without spawning processes.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match bestk_cli::run(&args, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The paper's baseline algorithms (§III-A and §IV-B).
+//!
+//! Both baselines re-materialize every k-core (set) and recompute its score
+//! from scratch: `O(Σ_k (q_k + |V(C_k)|))` overall, where `q_k` is the
+//! per-set scoring cost. They are implemented faithfully — bin-sorted
+//! coreness retrieval, per-k rescans, per-k triangle recounts — because they
+//! are both the experimental comparator (Figures 7 and 8) and the test
+//! oracle for the optimal algorithms.
+
+use bestk_graph::connectivity::bfs_restricted;
+use bestk_graph::subgraph::induced_subgraph;
+use bestk_graph::CsrGraph;
+
+use crate::decomposition::CoreDecomposition;
+use crate::metrics::PrimaryValues;
+use crate::triangles::{count_triangles, count_triplets};
+
+/// §III-A: primary values of every k-core set, recomputed from scratch per
+/// `k`. With `with_triangles`, each k-core set is materialized and its
+/// triangles recounted — the cost that dominates the paper's Figure 7(d).
+pub fn baseline_core_set_primaries(
+    g: &CsrGraph,
+    d: &CoreDecomposition,
+    with_triangles: bool,
+) -> Vec<PrimaryValues> {
+    let kmax = d.kmax();
+    let mut primaries = vec![PrimaryValues::default(); kmax as usize + 1];
+    for k in 0..=kmax {
+        let verts = d.core_set_vertices(k);
+        let mut pv = PrimaryValues { num_vertices: verts.len() as u64, ..Default::default() };
+        let mut in_twice = 0u64;
+        for &v in verts {
+            for &u in g.neighbors(v) {
+                if d.coreness(u) >= k {
+                    in_twice += 1;
+                } else {
+                    pv.boundary_edges += 1;
+                }
+            }
+        }
+        pv.internal_edges = in_twice / 2;
+        if with_triangles {
+            let sub = induced_subgraph(g, verts);
+            pv.triangles = count_triangles(&sub.graph);
+            pv.triplets = count_triplets(&sub.graph);
+        }
+        primaries[k as usize] = pv;
+    }
+    primaries
+}
+
+/// §IV-B: primary values of every individual k-core, recomputed from
+/// scratch. Returns `(k, primaries)` pairs for every *distinct* k-core —
+/// following Def. 6, a core is reported at level `k` only if it contains at
+/// least one coreness-`k` vertex (so nested identical vertex sets are not
+/// repeated), which makes the output directly comparable to the forest
+/// nodes of the optimal Algorithm 5.
+pub fn baseline_single_core_primaries(
+    g: &CsrGraph,
+    d: &CoreDecomposition,
+    with_triangles: bool,
+) -> Vec<(u32, PrimaryValues)> {
+    let n = g.num_vertices();
+    let mut out = Vec::new();
+    let mut claimed = vec![u32::MAX; n]; // per-k visited stamp
+    for k in 0..=d.kmax() {
+        // Components of the induced subgraph on coreness >= k, discovered by
+        // restricted BFS from every coreness-k seed (Def. 6: the core must
+        // own a shell vertex).
+        for &s in d.shell(k) {
+            if claimed[s as usize] == k {
+                continue;
+            }
+            let comp = bfs_restricted(g, s, |v| d.coreness(v) >= k);
+            for &v in &comp {
+                claimed[v as usize] = k;
+            }
+            let mut pv = PrimaryValues { num_vertices: comp.len() as u64, ..Default::default() };
+            let mut in_twice = 0u64;
+            for &v in &comp {
+                for &u in g.neighbors(v) {
+                    if d.coreness(u) >= k {
+                        in_twice += 1;
+                    } else {
+                        pv.boundary_edges += 1;
+                    }
+                }
+            }
+            pv.internal_edges = in_twice / 2;
+            if with_triangles {
+                let sub = induced_subgraph(g, &comp);
+                pv.triangles = count_triangles(&sub.graph);
+                pv.triplets = count_triplets(&sub.graph);
+            }
+            out.push((k, pv));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bestcore::single_core_primaries;
+    use crate::bestkset::{core_set_primaries, core_set_primaries_with_triangles};
+    use crate::decomposition::core_decomposition;
+    use crate::forest::CoreForest;
+    use crate::ordering::OrderedGraph;
+    use bestk_graph::generators::{self, regular};
+
+    #[test]
+    fn baseline_matches_optimal_core_set_primaries() {
+        for seed in 0..4 {
+            let g = generators::erdos_renyi_gnm(140, 500, seed + 11);
+            let d = core_decomposition(&g);
+            let o = OrderedGraph::build(&g, &d);
+            assert_eq!(
+                baseline_core_set_primaries(&g, &d, false),
+                core_set_primaries(&o),
+                "basic, seed {seed}"
+            );
+            assert_eq!(
+                baseline_core_set_primaries(&g, &d, true),
+                core_set_primaries_with_triangles(&o),
+                "triangles, seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_matches_optimal_on_structured_graphs() {
+        for g in [
+            generators::paper_figure2(),
+            regular::clique_chain(4, 5),
+            regular::complete(8),
+            generators::overlapping_cliques(120, 20, (3, 9), 6),
+            generators::planted_partition(&[30, 20, 25], 0.4, 0.02, 9).graph,
+        ] {
+            let d = core_decomposition(&g);
+            let o = OrderedGraph::build(&g, &d);
+            assert_eq!(
+                baseline_core_set_primaries(&g, &d, true),
+                core_set_primaries_with_triangles(&o)
+            );
+        }
+    }
+
+    /// Compares the per-core baseline with Algorithm 5 as multisets of
+    /// (k, primaries).
+    fn assert_cores_match(g: &CsrGraph, with_triangles: bool) {
+        let d = core_decomposition(g);
+        let o = OrderedGraph::build(g, &d);
+        let f = CoreForest::build(g, &d);
+        let optimal = single_core_primaries(&o, &f, with_triangles);
+        let mut from_forest: Vec<(u32, PrimaryValues)> = f
+            .nodes()
+            .iter()
+            .zip(optimal)
+            .map(|(node, pv)| (node.coreness, pv))
+            .collect();
+        let mut from_baseline = baseline_single_core_primaries(g, &d, with_triangles);
+        let key = |(k, pv): &(u32, PrimaryValues)| {
+            (*k, pv.num_vertices, pv.internal_edges, pv.boundary_edges, pv.triangles, pv.triplets)
+        };
+        from_forest.sort_by_key(key);
+        from_baseline.sort_by_key(key);
+        assert_eq!(from_forest, from_baseline);
+    }
+
+    #[test]
+    fn baseline_matches_optimal_single_cores() {
+        for seed in 0..4 {
+            let g = generators::erdos_renyi_gnm(130, 420, seed + 23);
+            assert_cores_match(&g, false);
+            assert_cores_match(&g, true);
+        }
+    }
+
+    #[test]
+    fn baseline_matches_optimal_single_cores_structured() {
+        assert_cores_match(&generators::paper_figure2(), true);
+        assert_cores_match(&regular::clique_chain(3, 6), true);
+        assert_cores_match(&generators::overlapping_cliques(100, 15, (4, 8), 2), true);
+        let mut b = bestk_graph::GraphBuilder::new();
+        b.extend_edges([(0, 1), (1, 2), (2, 0)]);
+        b.reserve_vertices(6);
+        assert_cores_match(&b.build(), true);
+    }
+
+    #[test]
+    fn figure2_distinct_cores() {
+        let g = generators::paper_figure2();
+        let d = core_decomposition(&g);
+        let cores = baseline_single_core_primaries(&g, &d, false);
+        // Exactly three distinct cores: the 2-core (whole graph) and two K4s.
+        assert_eq!(cores.len(), 3);
+        let ks: Vec<u32> = cores.iter().map(|(k, _)| *k).collect();
+        assert_eq!(ks, vec![2, 3, 3]);
+    }
+}

@@ -1,0 +1,378 @@
+//! Core decomposition (paper §II-A).
+//!
+//! The Batagelj–Zaveršnik peeling algorithm: repeatedly remove a vertex of
+//! minimum degree; the value of `k` being peeled when a vertex is removed is
+//! its *coreness*. With bucketed degree queues the whole decomposition runs
+//! in `O(n + m)` time and `O(n)` extra space.
+
+use bestk_graph::{CsrGraph, VertexId};
+
+/// The result of a core decomposition: every vertex's coreness plus the
+/// vertex ordering the paper's algorithms build on.
+///
+/// Vertices are stored bin-sorted by coreness (ascending, ties by id), so the
+/// vertex set of any k-core set `C_k` is a contiguous *suffix* of
+/// [`vertices_by_coreness`](Self::vertices_by_coreness) — retrieving it is
+/// `O(|V(C_k)|)`, exactly the baseline's §III-A retrieval step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreDecomposition {
+    coreness: Vec<u32>,
+    kmax: u32,
+    /// Vertices sorted by (coreness, id) ascending.
+    order: Vec<VertexId>,
+    /// Vertices in the order they were peeled (a degeneracy ordering).
+    peel_order: Vec<VertexId>,
+    /// `shell_start[k]..shell_start[k + 1]` indexes the k-shell `H_k` inside
+    /// `order`. Length `kmax + 2`.
+    shell_start: Vec<usize>,
+}
+
+impl CoreDecomposition {
+    /// Coreness `c(v)` (paper Def. 3).
+    #[inline]
+    pub fn coreness(&self, v: VertexId) -> u32 {
+        self.coreness[v as usize]
+    }
+
+    /// The full coreness array, indexed by vertex id.
+    #[inline]
+    pub fn coreness_slice(&self) -> &[u32] {
+        &self.coreness
+    }
+
+    /// The degeneracy `kmax`: largest `k` with a non-empty k-core.
+    #[inline]
+    pub fn kmax(&self) -> u32 {
+        self.kmax
+    }
+
+    /// All vertices sorted by `(coreness, id)` ascending — the paper's vertex
+    /// rank order (Def. 5).
+    #[inline]
+    pub fn vertices_by_coreness(&self) -> &[VertexId] {
+        &self.order
+    }
+
+    /// The k-shell `H_k = {v | c(v) = k}` as a sorted-by-id slice.
+    #[inline]
+    pub fn shell(&self, k: u32) -> &[VertexId] {
+        if k > self.kmax {
+            return &[];
+        }
+        let k = k as usize;
+        &self.order[self.shell_start[k]..self.shell_start[k + 1]]
+    }
+
+    /// The vertex set of the k-core set `C_k` (all vertices with coreness
+    /// ≥ k), as the suffix of the rank order; `O(1)` to obtain.
+    #[inline]
+    pub fn core_set_vertices(&self, k: u32) -> &[VertexId] {
+        if k > self.kmax {
+            return &[];
+        }
+        &self.order[self.shell_start[k as usize]..]
+    }
+
+    /// Number of vertices in the k-core set.
+    #[inline]
+    pub fn core_set_size(&self, k: u32) -> usize {
+        self.core_set_vertices(k).len()
+    }
+
+    /// Number of vertices in the graph.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.coreness.len()
+    }
+
+    /// The peeling order — a true *degeneracy ordering*: when vertex `v` is
+    /// peeled, at most `c(v) ≤ kmax` of its neighbors are still unpeeled
+    /// (i.e. appear later in this order). Useful for branch-and-bound
+    /// algorithms such as maximum clique (paper §V-D).
+    #[inline]
+    pub fn peel_ordering(&self) -> &[VertexId] {
+        &self.peel_order
+    }
+}
+
+/// Runs the `O(m)` bucket-based core decomposition of [Batagelj &
+/// Zaveršnik 2003] (paper §II-A, reference \[7\]).
+pub fn core_decomposition(g: &CsrGraph) -> CoreDecomposition {
+    let n = g.num_vertices();
+    if n == 0 {
+        return CoreDecomposition {
+            coreness: Vec::new(),
+            kmax: 0,
+            order: Vec::new(),
+            peel_order: Vec::new(),
+            shell_start: vec![0, 0],
+        };
+    }
+    let max_deg = g.max_degree();
+
+    // Bucket sort vertices by current degree.
+    // pos[v]: index of v in vert; vert: vertices sorted by degree;
+    // bin[d]: start index of degree-d block inside vert.
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v as VertexId)).collect();
+    let mut bin = vec![0usize; max_deg + 2];
+    for &d in &degree {
+        bin[d + 1] += 1;
+    }
+    for d in 0..=max_deg {
+        bin[d + 1] += bin[d];
+    }
+    let mut start = bin.clone(); // start[d] = first index of degree-d block
+    let mut vert = vec![0 as VertexId; n];
+    let mut pos = vec![0usize; n];
+    {
+        let mut cursor = bin.clone();
+        for v in 0..n {
+            let d = degree[v];
+            vert[cursor[d]] = v as VertexId;
+            pos[v] = cursor[d];
+            cursor[d] += 1;
+        }
+    }
+
+    let mut coreness = vec![0u32; n];
+    let mut kmax = 0u32;
+    for i in 0..n {
+        let v = vert[i];
+        let k = degree[v as usize];
+        coreness[v as usize] = k as u32;
+        kmax = kmax.max(k as u32);
+        for &u in g.neighbors(v) {
+            let du = degree[u as usize];
+            if du > k {
+                // Move u to the front of its degree block, then shrink the
+                // block: u's degree drops by one.
+                let pu = pos[u as usize];
+                let pw = start[du];
+                let w = vert[pw];
+                if u != w {
+                    vert[pu] = w;
+                    vert[pw] = u;
+                    pos[w as usize] = pu;
+                    pos[u as usize] = pw;
+                }
+                start[du] += 1;
+                degree[u as usize] = du - 1;
+            }
+        }
+    }
+
+    // Bin-sort vertices by coreness (stable in id because we scan ids
+    // ascending), recording shell boundaries — the §III-A ordering.
+    let mut shell_start = vec![0usize; kmax as usize + 2];
+    for &c in &coreness {
+        shell_start[c as usize + 1] += 1;
+    }
+    for k in 0..=kmax as usize {
+        shell_start[k + 1] += shell_start[k];
+    }
+    let mut order = vec![0 as VertexId; n];
+    let mut cursor = shell_start.clone();
+    for (v, &c) in coreness.iter().enumerate() {
+        let c = c as usize;
+        order[cursor[c]] = v as VertexId;
+        cursor[c] += 1;
+    }
+
+    CoreDecomposition { coreness, kmax, order, peel_order: vert, shell_start }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bestk_graph::generators::{self, regular};
+    use bestk_graph::GraphBuilder;
+
+    #[test]
+    fn paper_figure2_coreness() {
+        // Example 2: v5, v6, v7, v8 have coreness 2; the rest coreness 3.
+        let g = generators::paper_figure2();
+        let d = core_decomposition(&g);
+        assert_eq!(d.kmax(), 3);
+        for v in [4u32, 5, 6, 7] {
+            assert_eq!(d.coreness(v), 2, "v{}", v + 1);
+        }
+        for v in [0u32, 1, 2, 3, 8, 9, 10, 11] {
+            assert_eq!(d.coreness(v), 3, "v{}", v + 1);
+        }
+    }
+
+    #[test]
+    fn paper_figure2_shells_and_core_sets() {
+        let g = generators::paper_figure2();
+        let d = core_decomposition(&g);
+        assert_eq!(d.shell(2), &[4, 5, 6, 7]);
+        assert_eq!(d.shell(3), &[0, 1, 2, 3, 8, 9, 10, 11]);
+        assert!(d.shell(0).is_empty());
+        assert!(d.shell(1).is_empty());
+        assert!(d.shell(4).is_empty());
+        assert_eq!(d.core_set_size(3), 8);
+        assert_eq!(d.core_set_size(2), 12);
+        assert_eq!(d.core_set_size(0), 12);
+        assert!(d.core_set_vertices(4).is_empty());
+        assert!(d.core_set_vertices(99).is_empty());
+    }
+
+    #[test]
+    fn complete_graph_coreness() {
+        let g = regular::complete(7);
+        let d = core_decomposition(&g);
+        assert_eq!(d.kmax(), 6);
+        assert!(g.vertices().all(|v| d.coreness(v) == 6));
+    }
+
+    #[test]
+    fn cycle_and_path_and_star() {
+        let d = core_decomposition(&regular::cycle(10));
+        assert_eq!(d.kmax(), 2);
+        assert!((0..10).all(|v| d.coreness(v) == 2));
+
+        let d = core_decomposition(&regular::path(10));
+        assert_eq!(d.kmax(), 1);
+
+        let d = core_decomposition(&regular::star(9));
+        assert_eq!(d.kmax(), 1);
+        assert!((0..10).all(|v| d.coreness(v) == 1));
+    }
+
+    #[test]
+    fn isolated_vertices_have_coreness_zero() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.reserve_vertices(4);
+        let d = core_decomposition(&b.build());
+        assert_eq!(d.coreness(0), 1);
+        assert_eq!(d.coreness(2), 0);
+        assert_eq!(d.coreness(3), 0);
+        assert_eq!(d.shell(0), &[2, 3]);
+        assert_eq!(d.kmax(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let d = core_decomposition(&bestk_graph::CsrGraph::empty(0));
+        assert_eq!(d.kmax(), 0);
+        assert_eq!(d.num_vertices(), 0);
+        assert!(d.core_set_vertices(0).is_empty());
+    }
+
+    #[test]
+    fn clique_chain_coreness() {
+        let g = regular::clique_chain(3, 5);
+        let d = core_decomposition(&g);
+        assert_eq!(d.kmax(), 4);
+        assert!(g.vertices().all(|v| d.coreness(v) == 4));
+    }
+
+    #[test]
+    fn order_is_sorted_by_coreness_then_id() {
+        let g = generators::erdos_renyi_gnm(300, 1200, 3);
+        let d = core_decomposition(&g);
+        let order = d.vertices_by_coreness();
+        assert_eq!(order.len(), 300);
+        for w in order.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let key = |v: u32| (d.coreness(v), v);
+            assert!(key(a) < key(b), "order not strictly sorted by (coreness, id)");
+        }
+    }
+
+    /// Definitional check: c(v) ≥ k iff v survives peeling to min degree k.
+    fn naive_coreness(g: &bestk_graph::CsrGraph) -> Vec<u32> {
+        let n = g.num_vertices();
+        let mut coreness = vec![0u32; n];
+        let mut alive = vec![true; n];
+        for k in 1..=n as u32 {
+            // Peel vertices with degree < k among alive ones.
+            loop {
+                let mut removed = false;
+                for v in 0..n {
+                    if alive[v] {
+                        let deg = g
+                            .neighbors(v as VertexId)
+                            .iter()
+                            .filter(|&&u| alive[u as usize])
+                            .count();
+                        if (deg as u32) < k {
+                            alive[v] = false;
+                            removed = true;
+                        }
+                    }
+                }
+                if !removed {
+                    break;
+                }
+            }
+            for v in 0..n {
+                if alive[v] {
+                    coreness[v] = k;
+                }
+            }
+            if alive.iter().all(|&a| !a) {
+                break;
+            }
+        }
+        coreness
+    }
+
+    #[test]
+    fn matches_naive_peeling_on_random_graphs() {
+        for seed in 0..5 {
+            let g = generators::erdos_renyi_gnm(60, 150, seed);
+            let d = core_decomposition(&g);
+            assert_eq!(d.coreness_slice(), &naive_coreness(&g)[..], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn peel_ordering_is_a_degeneracy_ordering() {
+        for (name, g) in [
+            ("cl", generators::chung_lu_power_law(400, 8.0, 2.4, 10)),
+            ("er", generators::erdos_renyi_gnm(300, 1500, 4)),
+        ] {
+            let d = core_decomposition(&g);
+            let peel = d.peel_ordering();
+            assert_eq!(peel.len(), g.num_vertices());
+            let mut position = vec![0usize; g.num_vertices()];
+            for (i, &v) in peel.iter().enumerate() {
+                position[v as usize] = i;
+            }
+            for v in g.vertices() {
+                let later = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&u| position[u as usize] > position[v as usize])
+                    .count();
+                assert!(
+                    later <= d.kmax() as usize,
+                    "{name}: vertex {v} has {later} later neighbors > kmax {}",
+                    d.kmax()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn later_rank_neighbors_have_geq_coreness() {
+        // In the (coreness, id) rank order, every neighbor appearing later
+        // than v has coreness >= c(v) — the property Algorithm 3's triangle
+        // attribution relies on.
+        let g = generators::chung_lu_power_law(500, 8.0, 2.4, 10);
+        let d = core_decomposition(&g);
+        let mut position = vec![0usize; g.num_vertices()];
+        for (i, &v) in d.vertices_by_coreness().iter().enumerate() {
+            position[v as usize] = i;
+        }
+        for v in g.vertices() {
+            for &u in g.neighbors(v) {
+                if position[u as usize] > position[v as usize] {
+                    assert!(d.coreness(u) >= d.coreness(v));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! The core forest and its LCPS construction (paper §IV-A, Algorithm 4).
+//!
+//! Every k-core of the graph maps to one tree node holding exactly the
+//! core's *k-shell* vertices (`S ∩ H_k`, paper Def. 6); deeper vertices live
+//! in descendant nodes. The forest encodes the disjointness/containment
+//! hierarchy of all k-cores in `O(n)` space and is built in `O(n + m)` time
+//! by a Level Component Priority Search: a best-first traversal that always
+//! expands the highest-priority frontier vertex, where the priority of a
+//! frontier edge `(w → v)` is `min(c(w), c(v))` — the deepest core level the
+//! edge certifies connectivity for.
+
+use std::collections::VecDeque;
+
+use bestk_graph::{CsrGraph, VertexId};
+
+use crate::decomposition::CoreDecomposition;
+
+/// One node of the core forest: a k-core's shell vertices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreForestNode {
+    /// The `k` of the associated k-core.
+    pub coreness: u32,
+    /// The vertices of the core with coreness exactly `k` (the node's
+    /// "delta"; not necessarily connected among themselves).
+    pub vertices: Vec<VertexId>,
+    /// Parent node index, `None` for roots.
+    pub parent: Option<u32>,
+    /// Child node indices (each a deeper core contained in this one).
+    pub children: Vec<u32>,
+}
+
+/// The compressed core forest, nodes sorted by **descending** coreness so
+/// that every child precedes its parent — the processing order Algorithm 5
+/// requires.
+#[derive(Debug, Clone)]
+pub struct CoreForest {
+    nodes: Vec<CoreForestNode>,
+    /// `vertex_node[v]` = index of the node containing `v`.
+    vertex_node: Vec<u32>,
+}
+
+impl CoreForest {
+    /// Builds the forest with LCPS (Algorithm 4), then compresses empty
+    /// nodes and sorts by descending coreness.
+    pub fn build(g: &CsrGraph, d: &CoreDecomposition) -> Self {
+        Builder::new(g, d).run()
+    }
+
+    /// Number of nodes (= number of distinct k-cores over all k that own at
+    /// least one shell vertex).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Node accessor.
+    #[inline]
+    pub fn node(&self, i: u32) -> &CoreForestNode {
+        &self.nodes[i as usize]
+    }
+
+    /// All nodes, children before parents.
+    #[inline]
+    pub fn nodes(&self) -> &[CoreForestNode] {
+        &self.nodes
+    }
+
+    /// Index of the node whose shell contains `v`.
+    #[inline]
+    pub fn node_of(&self, v: VertexId) -> u32 {
+        self.vertex_node[v as usize]
+    }
+
+    /// Root node indices (one per connected component of the graph).
+    pub fn roots(&self) -> Vec<u32> {
+        (0..self.nodes.len() as u32)
+            .filter(|&i| self.nodes[i as usize].parent.is_none())
+            .collect()
+    }
+
+    /// Reconstructs the full vertex set of the k-core associated with node
+    /// `i` (the node's shell plus all descendant shells), in
+    /// `O(|V(core)|)` — the paper's §IV-B retrieval primitive.
+    pub fn core_vertices(&self, i: u32) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        let mut stack = vec![i];
+        while let Some(j) = stack.pop() {
+            let node = &self.nodes[j as usize];
+            out.extend_from_slice(&node.vertices);
+            stack.extend_from_slice(&node.children);
+        }
+        out
+    }
+
+    /// The chain of node indices from node `i` up to its root (inclusive).
+    pub fn ancestors(&self, i: u32) -> Vec<u32> {
+        let mut chain = vec![i];
+        let mut cur = i;
+        while let Some(p) = self.nodes[cur as usize].parent {
+            chain.push(p);
+            cur = p;
+        }
+        chain
+    }
+}
+
+/// LCPS traversal state (one instance per [`CoreForest::build`]).
+struct Builder<'a> {
+    g: &'a CsrGraph,
+    d: &'a CoreDecomposition,
+    nodes: Vec<CoreForestNode>,
+    vertex_node: Vec<u32>,
+    visited: Vec<bool>,
+    /// `bins[p]`: frontier vertices enqueued with priority `p`.
+    bins: Vec<VecDeque<VertexId>>,
+    pending: usize,
+    cur_max: usize,
+}
+
+impl<'a> Builder<'a> {
+    fn new(g: &'a CsrGraph, d: &'a CoreDecomposition) -> Self {
+        let n = g.num_vertices();
+        Builder {
+            g,
+            d,
+            nodes: Vec::new(),
+            vertex_node: vec![u32::MAX; n],
+            visited: vec![false; n],
+            bins: vec![VecDeque::new(); d.kmax() as usize + 1],
+            pending: 0,
+            cur_max: 0,
+        }
+    }
+
+    fn new_node(&mut self, coreness: u32, parent: Option<u32>) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(CoreForestNode { coreness, vertices: Vec::new(), parent, children: Vec::new() });
+        id
+    }
+
+    fn push(&mut self, v: VertexId, p: usize) {
+        self.bins[p].push_back(v);
+        self.pending += 1;
+        self.cur_max = self.cur_max.max(p);
+    }
+
+    fn pop_max(&mut self) -> (VertexId, usize) {
+        while self.bins[self.cur_max].is_empty() {
+            self.cur_max -= 1;
+        }
+        let v = self.bins[self.cur_max].pop_front().expect("bin checked non-empty");
+        self.pending -= 1;
+        (v, self.cur_max)
+    }
+
+    fn run(mut self) -> CoreForest {
+        let n = self.g.num_vertices();
+        for s in 0..n as VertexId {
+            if self.visited[s as usize] {
+                continue;
+            }
+            self.traverse_tree(s);
+        }
+        self.compress_and_sort()
+    }
+
+    /// One LCPS tree: the connected component of `s`.
+    fn traverse_tree(&mut self, s: VertexId) {
+        // `path` is the current root-to-node chain; levels strictly increase.
+        let root = self.new_node(0, None);
+        let mut path: Vec<u32> = vec![root];
+        self.push(s, 0);
+        while self.pending > 0 {
+            let (v, r) = self.pop_max();
+            if self.visited[v as usize] {
+                continue;
+            }
+            self.visited[v as usize] = true;
+
+            // Adjust the path: the invariant `r <= level(top)` holds because
+            // every enqueued priority is bounded by the level current when it
+            // was enqueued, and we always pop the maximum.
+            let top_level = |nodes: &Vec<CoreForestNode>, path: &Vec<u32>| {
+                nodes[*path.last().expect("path never empties") as usize].coreness
+            };
+            if top_level(&self.nodes, &path) > r as u32 {
+                // Line 10: k > r — climb until the enclosing core of level
+                // <= r, keeping the detached sub-chain correctly parented.
+                let mut detached: Option<u32> = None;
+                while top_level(&self.nodes, &path) > r as u32 {
+                    detached = path.pop();
+                }
+                if top_level(&self.nodes, &path) < r as u32 {
+                    // No node at level r exists on the path yet: splice one
+                    // in between the remaining path and the detached chain.
+                    let parent = *path.last().expect("path never empties");
+                    let nid = self.new_node(r as u32, Some(parent));
+                    if let Some(dchild) = detached {
+                        self.nodes[dchild as usize].parent = Some(nid);
+                    }
+                    path.push(nid);
+                }
+            }
+            let cv = self.d.coreness(v);
+            if cv > top_level(&self.nodes, &path) {
+                // Line 11: c(v) > r — enter a deeper core.
+                let parent = *path.last().expect("path never empties");
+                let nid = self.new_node(cv, Some(parent));
+                path.push(nid);
+            }
+
+            // Line 12: insert v into the node pointed to by the path.
+            let cur = *path.last().expect("path never empties");
+            debug_assert_eq!(self.nodes[cur as usize].coreness, cv, "vertex lands at its own level");
+            self.nodes[cur as usize].vertices.push(v);
+            self.vertex_node[v as usize] = cur;
+
+            // Lines 14-16: enqueue unvisited neighbors at the connectivity
+            // priority min(c(w), c(v)).
+            for &w in self.g.neighbors(v) {
+                if !self.visited[w as usize] {
+                    let p = self.d.coreness(w).min(cv) as usize;
+                    self.push(w, p);
+                }
+            }
+        }
+    }
+
+    /// Adaptation steps (ii) and (iii): drop empty nodes (splicing children
+    /// to the parent) and sort the survivors by descending coreness,
+    /// remapping all indices.
+    fn compress_and_sort(mut self) -> CoreForest {
+        let total = self.nodes.len();
+        // Resolve each node's compressed parent: nearest non-empty ancestor.
+        let mut kept: Vec<u32> = (0..total as u32)
+            .filter(|&i| !self.nodes[i as usize].vertices.is_empty())
+            .collect();
+        // Sort by descending coreness (stable, so construction order breaks
+        // ties deterministically).
+        kept.sort_by_key(|&i| std::cmp::Reverse(self.nodes[i as usize].coreness));
+        let mut remap = vec![u32::MAX; total];
+        for (new_idx, &old) in kept.iter().enumerate() {
+            remap[old as usize] = new_idx as u32;
+        }
+        let find_parent = |nodes: &Vec<CoreForestNode>, mut i: u32| -> Option<u32> {
+            loop {
+                match nodes[i as usize].parent {
+                    None => return None,
+                    Some(p) => {
+                        if nodes[p as usize].vertices.is_empty() {
+                            i = p;
+                        } else {
+                            return Some(p);
+                        }
+                    }
+                }
+            }
+        };
+        let mut new_nodes: Vec<CoreForestNode> = Vec::with_capacity(kept.len());
+        for &old in &kept {
+            let parent = find_parent(&self.nodes, old).map(|p| remap[p as usize]);
+            let node = &mut self.nodes[old as usize];
+            new_nodes.push(CoreForestNode {
+                coreness: node.coreness,
+                vertices: std::mem::take(&mut node.vertices),
+                parent,
+                children: Vec::new(),
+            });
+        }
+        for i in 0..new_nodes.len() {
+            if let Some(p) = new_nodes[i].parent {
+                new_nodes[p as usize].children.push(i as u32);
+            }
+        }
+        let mut vertex_node = self.vertex_node;
+        for slot in vertex_node.iter_mut() {
+            debug_assert_ne!(*slot, u32::MAX, "every vertex must be placed");
+            *slot = remap[*slot as usize];
+        }
+        CoreForest { nodes: new_nodes, vertex_node }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::core_decomposition;
+    use bestk_graph::generators::{self, regular};
+    use bestk_graph::GraphBuilder;
+
+    fn forest(g: &CsrGraph) -> CoreForest {
+        let d = core_decomposition(g);
+        CoreForest::build(g, &d)
+    }
+
+    #[test]
+    fn figure4_core_forest() {
+        // Paper Figure 4: one tree; NS1 (k=2, {v5..v8}) is the root with two
+        // children NS2 = {v1..v4} and NS3 = {v9..v12}, both k=3.
+        let g = generators::paper_figure2();
+        let f = forest(&g);
+        assert_eq!(f.node_count(), 3);
+        let roots = f.roots();
+        assert_eq!(roots.len(), 1);
+        let root = f.node(roots[0]);
+        assert_eq!(root.coreness, 2);
+        let mut shell = root.vertices.clone();
+        shell.sort_unstable();
+        assert_eq!(shell, vec![4, 5, 6, 7]);
+        assert_eq!(root.children.len(), 2);
+        let mut child_sets: Vec<Vec<u32>> = root
+            .children
+            .iter()
+            .map(|&c| {
+                let mut v = f.node(c).vertices.clone();
+                v.sort_unstable();
+                assert_eq!(f.node(c).coreness, 3);
+                v
+            })
+            .collect();
+        child_sets.sort();
+        assert_eq!(child_sets, vec![vec![0, 1, 2, 3], vec![8, 9, 10, 11]]);
+    }
+
+    #[test]
+    fn figure4_reconstruction_counts() {
+        // Example 6: |S1| = |NS1| + |S2| + |S3| = 12.
+        let g = generators::paper_figure2();
+        let f = forest(&g);
+        let root = f.roots()[0];
+        let mut s1 = f.core_vertices(root);
+        s1.sort_unstable();
+        assert_eq!(s1, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nodes_sorted_children_before_parents() {
+        let g = generators::chung_lu_power_law(400, 6.0, 2.4, 3);
+        let f = forest(&g);
+        for (i, node) in f.nodes().iter().enumerate() {
+            if let Some(p) = node.parent {
+                assert!((p as usize) > i, "parent must come after child");
+                assert!(
+                    f.node(p).coreness < node.coreness,
+                    "parent coreness must be strictly smaller"
+                );
+            }
+            for &c in &node.children {
+                assert!((c as usize) < i);
+            }
+        }
+        // Descending coreness order.
+        for w in f.nodes().windows(2) {
+            assert!(w[0].coreness >= w[1].coreness);
+        }
+    }
+
+    #[test]
+    fn every_vertex_in_exactly_one_node() {
+        let g = generators::erdos_renyi_gnm(300, 900, 2);
+        let f = forest(&g);
+        let mut count = vec![0usize; g.num_vertices()];
+        for node in f.nodes() {
+            for &v in &node.vertices {
+                count[v as usize] += 1;
+            }
+        }
+        assert!(count.iter().all(|&c| c == 1));
+        // vertex_node agrees with the node contents.
+        for (i, node) in f.nodes().iter().enumerate() {
+            for &v in &node.vertices {
+                assert_eq!(f.node_of(v), i as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn node_vertices_have_node_coreness() {
+        let g = generators::overlapping_cliques(200, 25, (4, 10), 9);
+        let d = core_decomposition(&g);
+        let f = CoreForest::build(&g, &d);
+        for node in f.nodes() {
+            for &v in &node.vertices {
+                assert_eq!(d.coreness(v), node.coreness);
+            }
+        }
+    }
+
+    /// Oracle: the k-cores of G for a given k are the connected components
+    /// of the subgraph induced by coreness >= k.
+    fn naive_k_cores(g: &CsrGraph, d: &CoreDecomposition, k: u32) -> Vec<Vec<VertexId>> {
+        let verts: Vec<VertexId> =
+            g.vertices().filter(|&v| d.coreness(v) >= k).collect();
+        let sub = bestk_graph::subgraph::induced_subgraph(g, &verts);
+        let cc = bestk_graph::connectivity::connected_components(&sub.graph);
+        let mut groups = vec![Vec::new(); cc.count];
+        for (dense, &comp) in cc.component.iter().enumerate() {
+            groups[comp as usize].push(sub.vertices[dense]);
+        }
+        groups.iter_mut().for_each(|g| g.sort_unstable());
+        groups.sort();
+        groups
+    }
+
+    /// Forest answer: for level k, the k-cores are the reconstructed vertex
+    /// sets of the "k-level entry nodes": nodes with coreness >= k whose
+    /// parent has coreness < k (or no parent).
+    fn forest_k_cores(f: &CoreForest, k: u32) -> Vec<Vec<VertexId>> {
+        let mut out = Vec::new();
+        for (i, node) in f.nodes().iter().enumerate() {
+            if node.coreness >= k {
+                let parent_below = match node.parent {
+                    None => true,
+                    Some(p) => f.node(p).coreness < k,
+                };
+                if parent_below {
+                    let mut verts = f.core_vertices(i as u32);
+                    verts.sort_unstable();
+                    out.push(verts);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn forest_reproduces_k_cores_on_random_graphs() {
+        for seed in 0..4 {
+            let g = generators::erdos_renyi_gnm(150, 450, seed + 50);
+            let d = core_decomposition(&g);
+            let f = CoreForest::build(&g, &d);
+            for k in 1..=d.kmax() {
+                assert_eq!(
+                    forest_k_cores(&f, k),
+                    naive_k_cores(&g, &d, k),
+                    "k={k} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forest_reproduces_k_cores_on_structured_graphs() {
+        for g in [
+            generators::paper_figure2(),
+            regular::clique_chain(4, 5),
+            generators::planted_partition(&[30, 25, 20], 0.4, 0.02, 7).graph,
+            generators::overlapping_cliques(150, 30, (3, 8), 1),
+        ] {
+            let d = core_decomposition(&g);
+            let f = CoreForest::build(&g, &d);
+            for k in 1..=d.kmax() {
+                assert_eq!(forest_k_cores(&f, k), naive_k_cores(&g, &d, k), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_components_make_separate_trees() {
+        let mut b = GraphBuilder::new();
+        // Two disjoint triangles and an isolated vertex.
+        b.extend_edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        b.reserve_vertices(7);
+        let f = forest(&b.build());
+        assert_eq!(f.roots().len(), 3);
+        // The isolated vertex forms a coreness-0 node.
+        let zero = f.node(f.node_of(6));
+        assert_eq!(zero.coreness, 0);
+        assert_eq!(zero.vertices, vec![6]);
+    }
+
+    #[test]
+    fn bridged_cliques_are_one_core() {
+        // Two K4s plus a bridge: every vertex has coreness 3 and the whole
+        // graph is a single (connected) 3-core -> exactly one forest node.
+        let g = regular::clique_chain(2, 4);
+        let f = forest(&g);
+        assert_eq!(f.node_count(), 1);
+        assert_eq!(f.node(0).coreness, 3);
+        assert_eq!(f.node(0).vertices.len(), 8);
+    }
+
+    #[test]
+    fn ancestors_chain() {
+        let g = generators::paper_figure2();
+        let f = forest(&g);
+        let deep = f.node_of(0); // v1, in a 3-core node
+        let chain = f.ancestors(deep);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(f.node(chain[1]).coreness, 2);
+        assert!(f.node(chain[1]).parent.is_none());
+    }
+
+    #[test]
+    fn empty_graph_forest() {
+        let f = forest(&CsrGraph::empty(0));
+        assert_eq!(f.node_count(), 0);
+        assert!(f.roots().is_empty());
+    }
+}

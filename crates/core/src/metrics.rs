@@ -1,0 +1,441 @@
+//! Primary values and community scoring metrics (paper §II-C).
+//!
+//! The paper's key observation is that most community scoring metrics are
+//! functions of five *primary values* of the evaluated subgraph `S`:
+//! `n(S)`, `m(S)`, `b(S)`, `Δ(S)`, and `t(S)`. All sweep algorithms in this
+//! crate maintain a [`PrimaryValues`] incrementally and delegate scoring to a
+//! [`CommunityMetric`]; adding a new metric therefore needs no new graph
+//! traversal.
+
+/// The five primary values of a subgraph `S` (paper §II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrimaryValues {
+    /// `n(S)`: number of vertices.
+    pub num_vertices: u64,
+    /// `m(S)`: number of internal edges.
+    pub internal_edges: u64,
+    /// `b(S)`: number of boundary edges (exactly one endpoint in `S`).
+    pub boundary_edges: u64,
+    /// `Δ(S)`: number of triangles. Only maintained by the triangle sweeps.
+    pub triangles: u64,
+    /// `t(S)`: number of triplets (paths of length 2, counted per center:
+    /// `Σ_v C(d(v, S), 2)`). Only maintained by the triangle sweeps.
+    pub triplets: u64,
+}
+
+impl PrimaryValues {
+    /// Accumulates another subgraph's primaries (used by the core forest to
+    /// merge child cores into their parent).
+    pub fn add_assign(&mut self, other: &PrimaryValues) {
+        self.num_vertices += other.num_vertices;
+        self.internal_edges += other.internal_edges;
+        self.boundary_edges += other.boundary_edges;
+        self.triangles += other.triangles;
+        self.triplets += other.triplets;
+    }
+}
+
+/// Whole-graph quantities some metrics need (cut ratio and modularity are
+/// normalized by the size of the full graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphContext {
+    /// `n`: vertices in the input graph.
+    pub total_vertices: u64,
+    /// `m`: edges in the input graph.
+    pub total_edges: u64,
+}
+
+/// A community scoring metric computable from [`PrimaryValues`].
+///
+/// Implement this trait to plug a custom metric into every algorithm of the
+/// crate (paper §VI-A: "our algorithms can handle most community metrics
+/// based on the studied 5 primary values").
+///
+/// Scores may be `NaN` where the metric is undefined (e.g. clustering
+/// coefficient of a triplet-free subgraph); the best-k selection skips
+/// non-finite scores.
+pub trait CommunityMetric {
+    /// Human-readable metric name.
+    fn name(&self) -> &str;
+
+    /// Whether the metric needs `Δ(S)` / `t(S)` — if so, the sweeps use the
+    /// `O(m^1.5)` triangle variant (Algorithm 3) instead of the `O(n)` one.
+    fn needs_triangles(&self) -> bool {
+        false
+    }
+
+    /// The score of a subgraph with primaries `pv` inside a graph `ctx`.
+    fn score(&self, pv: &PrimaryValues, ctx: &GraphContext) -> f64;
+}
+
+/// The six representative metrics evaluated in the paper (§II-C), abbreviated
+/// in the experiments as `ad`, `den`, `cr`, `con`, `mod`, `cc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// `2 m(S) / n(S)` — average degree.
+    AverageDegree,
+    /// `2 m(S) / (n(S) (n(S) - 1))` — internal density.
+    InternalDensity,
+    /// `1 - b(S) / (n(S) (n - n(S)))` — cut ratio.
+    CutRatio,
+    /// `1 - b(S) / (2 m(S) + b(S))` — conductance (as a goodness score:
+    /// higher is better, following the paper's formulation).
+    Conductance,
+    /// Newman modularity of the two-way partition `{S, V \ S}`.
+    Modularity,
+    /// `3 Δ(S) / t(S)` — (global) clustering coefficient.
+    ClusteringCoefficient,
+    /// `m(S) / b(S)` — separability [Yang & Leskovec 2015]: ratio of
+    /// internal to boundary edges; `+∞` for a perfectly isolated community.
+    /// Not part of the paper's six, included to demonstrate §VI-A
+    /// extensibility.
+    Separability,
+    /// `Δ(S) / C(n(S), 3)` — triangle density: fraction of vertex triples
+    /// that close a triangle. Not part of the paper's six.
+    TriangleDensity,
+}
+
+impl Metric {
+    /// All six paper metrics, in the paper's order.
+    pub const ALL: [Metric; 6] = [
+        Metric::AverageDegree,
+        Metric::InternalDensity,
+        Metric::CutRatio,
+        Metric::Conductance,
+        Metric::Modularity,
+        Metric::ClusteringCoefficient,
+    ];
+
+    /// The paper's six plus the extension metrics (§VI-A: any metric over
+    /// the five primary values plugs in unchanged).
+    pub const EXTENDED: [Metric; 8] = [
+        Metric::AverageDegree,
+        Metric::InternalDensity,
+        Metric::CutRatio,
+        Metric::Conductance,
+        Metric::Modularity,
+        Metric::ClusteringCoefficient,
+        Metric::Separability,
+        Metric::TriangleDensity,
+    ];
+
+    /// The abbreviation used in the paper's experiment tables.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            Metric::AverageDegree => "ad",
+            Metric::InternalDensity => "den",
+            Metric::CutRatio => "cr",
+            Metric::Conductance => "con",
+            Metric::Modularity => "mod",
+            Metric::ClusteringCoefficient => "cc",
+            Metric::Separability => "sep",
+            Metric::TriangleDensity => "td",
+        }
+    }
+}
+
+impl CommunityMetric for Metric {
+    fn name(&self) -> &str {
+        match self {
+            Metric::AverageDegree => "average degree",
+            Metric::InternalDensity => "internal density",
+            Metric::CutRatio => "cut ratio",
+            Metric::Conductance => "conductance",
+            Metric::Modularity => "modularity",
+            Metric::ClusteringCoefficient => "clustering coefficient",
+            Metric::Separability => "separability",
+            Metric::TriangleDensity => "triangle density",
+        }
+    }
+
+    fn needs_triangles(&self) -> bool {
+        matches!(self, Metric::ClusteringCoefficient | Metric::TriangleDensity)
+    }
+
+    fn score(&self, pv: &PrimaryValues, ctx: &GraphContext) -> f64 {
+        let n_s = pv.num_vertices as f64;
+        let m_s = pv.internal_edges as f64;
+        let b_s = pv.boundary_edges as f64;
+        match self {
+            Metric::AverageDegree => {
+                if pv.num_vertices == 0 {
+                    f64::NAN
+                } else {
+                    2.0 * m_s / n_s
+                }
+            }
+            Metric::InternalDensity => {
+                if pv.num_vertices < 2 {
+                    f64::NAN
+                } else {
+                    2.0 * m_s / (n_s * (n_s - 1.0))
+                }
+            }
+            Metric::CutRatio => {
+                if pv.num_vertices == 0 {
+                    f64::NAN
+                } else if pv.num_vertices == ctx.total_vertices {
+                    // No external vertices; nothing can cross the boundary.
+                    1.0
+                } else {
+                    1.0 - b_s / (n_s * (ctx.total_vertices as f64 - n_s))
+                }
+            }
+            Metric::Conductance => {
+                if 2.0 * m_s + b_s == 0.0 {
+                    f64::NAN
+                } else {
+                    1.0 - b_s / (2.0 * m_s + b_s)
+                }
+            }
+            Metric::Modularity => {
+                let m = ctx.total_edges as f64;
+                if ctx.total_edges == 0 {
+                    return f64::NAN;
+                }
+                // Two-community partition {S, V \ S}; the boundary is shared.
+                let m_rest = m - m_s - b_s;
+                let part = |edges: f64| {
+                    let total_deg = 2.0 * edges + b_s;
+                    edges / m - (total_deg / (2.0 * m)).powi(2)
+                };
+                part(m_s) + part(m_rest)
+            }
+            Metric::ClusteringCoefficient => {
+                if pv.triplets == 0 {
+                    f64::NAN
+                } else {
+                    3.0 * pv.triangles as f64 / pv.triplets as f64
+                }
+            }
+            Metric::Separability => {
+                if pv.num_vertices == 0 || pv.internal_edges == 0 {
+                    f64::NAN
+                } else if pv.boundary_edges == 0 {
+                    f64::INFINITY
+                } else {
+                    pv.internal_edges as f64 / pv.boundary_edges as f64
+                }
+            }
+            Metric::TriangleDensity => {
+                let n = pv.num_vertices as f64;
+                let triples = n * (n - 1.0) * (n - 2.0) / 6.0;
+                if triples <= 0.0 {
+                    f64::NAN
+                } else {
+                    pv.triangles as f64 / triples
+                }
+            }
+        }
+    }
+}
+
+/// Picks the best `k` from a score array indexed by `k` (`scores[k]` is the
+/// score of the k-core set / k-core at `k`).
+///
+/// `NaN` scores (metric undefined) are skipped; infinities are legitimate
+/// values (e.g. separability of an isolated community). Ties break toward
+/// the **largest** `k` (paper §V-A: "the largest k is recorded if multiple
+/// values of k are the best"). Returns `None` if every score is `NaN`.
+pub fn best_k(scores: &[f64]) -> Option<(u32, f64)> {
+    let mut best: Option<(u32, f64)> = None;
+    for (k, &s) in scores.iter().enumerate().rev() {
+        if !s.is_nan() && best.is_none_or(|(_, bs)| s > bs) {
+            best = Some((k as u32, s));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(n: u64, m: u64) -> GraphContext {
+        GraphContext { total_vertices: n, total_edges: m }
+    }
+
+    #[test]
+    fn average_degree_and_density() {
+        // A triangle inside a 10-vertex, 20-edge graph.
+        let pv = PrimaryValues {
+            num_vertices: 3,
+            internal_edges: 3,
+            boundary_edges: 4,
+            ..Default::default()
+        };
+        let c = ctx(10, 20);
+        assert_eq!(Metric::AverageDegree.score(&pv, &c), 2.0);
+        assert_eq!(Metric::InternalDensity.score(&pv, &c), 1.0);
+    }
+
+    #[test]
+    fn cut_ratio() {
+        let pv = PrimaryValues {
+            num_vertices: 4,
+            internal_edges: 5,
+            boundary_edges: 6,
+            ..Default::default()
+        };
+        let c = ctx(10, 20);
+        // 1 - 6 / (4 * 6)
+        assert!((Metric::CutRatio.score(&pv, &c) - 0.75).abs() < 1e-12);
+        // Whole graph: defined as 1.
+        let whole = PrimaryValues { num_vertices: 10, internal_edges: 20, ..Default::default() };
+        assert_eq!(Metric::CutRatio.score(&whole, &c), 1.0);
+    }
+
+    #[test]
+    fn conductance() {
+        let pv = PrimaryValues {
+            num_vertices: 4,
+            internal_edges: 5,
+            boundary_edges: 10,
+            ..Default::default()
+        };
+        let c = ctx(10, 20);
+        assert!((Metric::Conductance.score(&pv, &c) - 0.5).abs() < 1e-12);
+        let empty = PrimaryValues::default();
+        assert!(Metric::Conductance.score(&empty, &c).is_nan());
+    }
+
+    #[test]
+    fn modularity_whole_graph_is_zero() {
+        let c = ctx(10, 20);
+        let whole = PrimaryValues { num_vertices: 10, internal_edges: 20, ..Default::default() };
+        assert!((Metric::Modularity.score(&whole, &c)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modularity_of_balanced_split() {
+        // Two 3-cliques joined by one edge: S = one clique.
+        // m = 7, m_S = 3, b = 1, m_rest = 3.
+        let c = ctx(6, 7);
+        let pv = PrimaryValues {
+            num_vertices: 3,
+            internal_edges: 3,
+            boundary_edges: 1,
+            ..Default::default()
+        };
+        let score = Metric::Modularity.score(&pv, &c);
+        let expected = 2.0 * (3.0 / 7.0 - (7.0 / 14.0f64).powi(2));
+        assert!((score - expected).abs() < 1e-12, "{score} vs {expected}");
+        assert!(score > 0.0, "assortative split should have positive modularity");
+    }
+
+    #[test]
+    fn clustering_coefficient() {
+        let c = ctx(10, 20);
+        // A triangle: 1 triangle, 3 triplets -> cc = 1.
+        let pv = PrimaryValues { triangles: 1, triplets: 3, num_vertices: 3, internal_edges: 3, ..Default::default() };
+        assert_eq!(Metric::ClusteringCoefficient.score(&pv, &c), 1.0);
+        let no_triplets = PrimaryValues::default();
+        assert!(Metric::ClusteringCoefficient.score(&no_triplets, &c).is_nan());
+    }
+
+    #[test]
+    fn nan_guards() {
+        let c = ctx(10, 20);
+        let empty = PrimaryValues::default();
+        assert!(Metric::AverageDegree.score(&empty, &c).is_nan());
+        assert!(Metric::InternalDensity.score(&empty, &c).is_nan());
+        assert!(Metric::CutRatio.score(&empty, &c).is_nan());
+        let single = PrimaryValues { num_vertices: 1, ..Default::default() };
+        assert!(Metric::InternalDensity.score(&single, &c).is_nan());
+        assert!(Metric::Modularity.score(&empty, &ctx(5, 0)).is_nan());
+    }
+
+    #[test]
+    fn needs_triangles_only_for_triangle_metrics() {
+        for m in Metric::EXTENDED {
+            assert_eq!(
+                m.needs_triangles(),
+                matches!(m, Metric::ClusteringCoefficient | Metric::TriangleDensity),
+                "{}",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn abbreviations_are_the_papers() {
+        let abbrevs: Vec<_> = Metric::ALL.iter().map(|m| m.abbrev()).collect();
+        assert_eq!(abbrevs, vec!["ad", "den", "cr", "con", "mod", "cc"]);
+        assert_eq!(Metric::Separability.abbrev(), "sep");
+        assert_eq!(Metric::TriangleDensity.abbrev(), "td");
+    }
+
+    #[test]
+    fn separability_scores() {
+        let c = ctx(20, 50);
+        let pv = PrimaryValues {
+            num_vertices: 5,
+            internal_edges: 8,
+            boundary_edges: 2,
+            ..Default::default()
+        };
+        assert_eq!(Metric::Separability.score(&pv, &c), 4.0);
+        let isolated = PrimaryValues {
+            num_vertices: 5,
+            internal_edges: 8,
+            boundary_edges: 0,
+            ..Default::default()
+        };
+        assert_eq!(Metric::Separability.score(&isolated, &c), f64::INFINITY);
+        assert!(Metric::Separability.score(&PrimaryValues::default(), &c).is_nan());
+    }
+
+    #[test]
+    fn triangle_density_scores() {
+        let c = ctx(20, 50);
+        let k4 = PrimaryValues { num_vertices: 4, triangles: 4, ..Default::default() };
+        assert_eq!(Metric::TriangleDensity.score(&k4, &c), 1.0);
+        let sparse = PrimaryValues { num_vertices: 5, triangles: 2, ..Default::default() };
+        assert!((Metric::TriangleDensity.score(&sparse, &c) - 0.2).abs() < 1e-12);
+        let pair = PrimaryValues { num_vertices: 2, ..Default::default() };
+        assert!(Metric::TriangleDensity.score(&pair, &c).is_nan());
+    }
+
+    #[test]
+    fn best_k_accepts_infinite_scores() {
+        assert_eq!(
+            best_k(&[1.0, f64::INFINITY, 2.0]),
+            Some((1, f64::INFINITY))
+        );
+    }
+
+    #[test]
+    fn best_k_prefers_largest_on_ties() {
+        assert_eq!(best_k(&[1.0, 3.0, 3.0, 2.0]), Some((2, 3.0)));
+        assert_eq!(best_k(&[f64::NAN, 1.0, f64::NAN]), Some((1, 1.0)));
+        assert_eq!(best_k(&[f64::NAN, f64::NAN]), None);
+        assert_eq!(best_k(&[]), None);
+        assert_eq!(best_k(&[f64::NEG_INFINITY, -5.0]), Some((1, -5.0)));
+    }
+
+    #[test]
+    fn custom_metric_via_trait() {
+        /// Triangle density: Δ(S) / C(n(S), 3).
+        struct TriangleDensity;
+        impl CommunityMetric for TriangleDensity {
+            fn name(&self) -> &str {
+                "triangle density"
+            }
+            fn needs_triangles(&self) -> bool {
+                true
+            }
+            fn score(&self, pv: &PrimaryValues, _: &GraphContext) -> f64 {
+                let n = pv.num_vertices as f64;
+                let denom = n * (n - 1.0) * (n - 2.0) / 6.0;
+                if denom <= 0.0 {
+                    f64::NAN
+                } else {
+                    pv.triangles as f64 / denom
+                }
+            }
+        }
+        let pv = PrimaryValues { num_vertices: 4, triangles: 4, ..Default::default() };
+        let score = TriangleDensity.score(&pv, &ctx(4, 6));
+        assert_eq!(score, 1.0); // K4 contains all 4 possible triangles
+    }
+}

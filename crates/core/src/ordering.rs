@@ -1,0 +1,303 @@
+//! Vertex ordering for optimal neighbor queries (paper §III-B, Algorithm 1).
+//!
+//! Every adjacency list is rewritten in ascending *vertex rank* (Def. 5:
+//! coreness first, id as tie-break), and three position tags are recorded per
+//! vertex (paper Table II):
+//!
+//! | tag    | meaning                                                    |
+//! |--------|------------------------------------------------------------|
+//! | `same` | first neighbor `u` with `c(u) ≥ c(v)`                      |
+//! | `plus` | first neighbor `u` with `c(u) > c(v)`                      |
+//! | `high` | first neighbor `u` with `rank(u) > rank(v)`                |
+//!
+//! After the `O(m)` construction, `|N(v, ·)|` queries answer in `O(1)` and
+//! `N(v, ·)` slices in `O(|N(v, ·)|)` — the primitive every sweep in this
+//! crate is built on.
+
+use bestk_graph::{CsrGraph, VertexId};
+
+use crate::decomposition::CoreDecomposition;
+
+/// A graph whose adjacency lists are re-ordered by vertex rank, with the
+/// paper's position tags. Borrows the graph and its decomposition.
+#[derive(Debug)]
+pub struct OrderedGraph<'a> {
+    graph: &'a CsrGraph,
+    decomp: &'a CoreDecomposition,
+    /// Rank-ordered adjacency, aligned with `graph.offsets()`.
+    adj: Vec<VertexId>,
+    /// Position tags, relative to each list start.
+    same: Vec<u32>,
+    plus: Vec<u32>,
+    high: Vec<u32>,
+}
+
+impl<'a> OrderedGraph<'a> {
+    /// Builds the ordering in `O(n + m)` time and `O(m)` space (Algorithm 1).
+    ///
+    /// The edge set is sorted by flattening `kmax + 1` coreness bins: walking
+    /// vertices in rank order and scattering each edge to its opposite
+    /// endpoint's list yields every `N'(u)` in ascending rank without any
+    /// comparison sort.
+    pub fn build(graph: &'a CsrGraph, decomp: &'a CoreDecomposition) -> Self {
+        let n = graph.num_vertices();
+        assert_eq!(n, decomp.num_vertices(), "decomposition does not match graph");
+        let offsets = graph.offsets();
+        let mut adj = vec![0 as VertexId; graph.raw_neighbors().len()];
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        // Vertices in rank order = the decomposition's (coreness, id) order;
+        // pushing v into every neighbor's new list in this order leaves each
+        // list sorted by rank (lines 5-11 of Algorithm 1, with the explicit
+        // bins replaced by the precomputed rank order).
+        for &v in decomp.vertices_by_coreness() {
+            for &u in graph.neighbors(v) {
+                adj[cursor[u as usize]] = v;
+                cursor[u as usize] += 1;
+            }
+        }
+
+        // One scan per list records the tags (line 13).
+        let mut same = vec![0u32; n];
+        let mut plus = vec![0u32; n];
+        let mut high = vec![0u32; n];
+        for v in 0..n {
+            let cv = decomp.coreness(v as VertexId);
+            let list = &adj[offsets[v]..offsets[v + 1]];
+            let deg = list.len() as u32;
+            let mut s = deg;
+            let mut p = deg;
+            let mut h = deg;
+            for (i, &u) in list.iter().enumerate() {
+                let cu = decomp.coreness(u);
+                if s == deg && cu >= cv {
+                    s = i as u32;
+                }
+                if p == deg && cu > cv {
+                    p = i as u32;
+                }
+                if h == deg && (cu > cv || (cu == cv && u > v as VertexId)) {
+                    h = i as u32;
+                }
+            }
+            same[v] = s;
+            plus[v] = p;
+            high[v] = h;
+        }
+        OrderedGraph { graph, decomp, adj, same, plus, high }
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &CsrGraph {
+        self.graph
+    }
+
+    /// The underlying decomposition.
+    #[inline]
+    pub fn decomposition(&self) -> &CoreDecomposition {
+        self.decomp
+    }
+
+    /// Whether `rank(u) > rank(v)` (Def. 5).
+    #[inline]
+    pub fn rank_gt(&self, u: VertexId, v: VertexId) -> bool {
+        let (cu, cv) = (self.decomp.coreness(u), self.decomp.coreness(v));
+        cu > cv || (cu == cv && u > v)
+    }
+
+    #[inline]
+    fn range(&self, v: VertexId) -> (usize, usize) {
+        let v = v as usize;
+        (self.graph.offsets()[v], self.graph.offsets()[v + 1])
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.graph.degree(v)
+    }
+
+    /// The full rank-ordered neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let (s, e) = self.range(v);
+        &self.adj[s..e]
+    }
+
+    /// `N(v, <)`: neighbors with strictly smaller coreness.
+    #[inline]
+    pub fn neighbors_lt(&self, v: VertexId) -> &[VertexId] {
+        let (s, _) = self.range(v);
+        &self.adj[s..s + self.same[v as usize] as usize]
+    }
+
+    /// `N(v, =)`: neighbors with equal coreness.
+    #[inline]
+    pub fn neighbors_eq(&self, v: VertexId) -> &[VertexId] {
+        let (s, _) = self.range(v);
+        &self.adj[s + self.same[v as usize] as usize..s + self.plus[v as usize] as usize]
+    }
+
+    /// `N(v, >)`: neighbors with strictly larger coreness.
+    #[inline]
+    pub fn neighbors_gt(&self, v: VertexId) -> &[VertexId] {
+        let (s, e) = self.range(v);
+        &self.adj[s + self.plus[v as usize] as usize..e]
+    }
+
+    /// `N(v, ≥)`: neighbors with coreness at least `c(v)`.
+    #[inline]
+    pub fn neighbors_ge(&self, v: VertexId) -> &[VertexId] {
+        let (s, e) = self.range(v);
+        &self.adj[s + self.same[v as usize] as usize..e]
+    }
+
+    /// `N(v, >r)`: neighbors with strictly larger rank.
+    #[inline]
+    pub fn neighbors_gt_rank(&self, v: VertexId) -> &[VertexId] {
+        let (s, e) = self.range(v);
+        &self.adj[s + self.high[v as usize] as usize..e]
+    }
+
+    /// `|N(v, <)|` in `O(1)`.
+    #[inline]
+    pub fn count_lt(&self, v: VertexId) -> usize {
+        self.same[v as usize] as usize
+    }
+
+    /// `|N(v, =)|` in `O(1)`.
+    #[inline]
+    pub fn count_eq(&self, v: VertexId) -> usize {
+        (self.plus[v as usize] - self.same[v as usize]) as usize
+    }
+
+    /// `|N(v, >)|` in `O(1)`.
+    #[inline]
+    pub fn count_gt(&self, v: VertexId) -> usize {
+        self.degree(v) - self.plus[v as usize] as usize
+    }
+
+    /// `|N(v, ≥)|` in `O(1)`.
+    #[inline]
+    pub fn count_ge(&self, v: VertexId) -> usize {
+        self.degree(v) - self.same[v as usize] as usize
+    }
+
+    /// `|N(v, >r)|` in `O(1)`.
+    #[inline]
+    pub fn count_gt_rank(&self, v: VertexId) -> usize {
+        self.degree(v) - self.high[v as usize] as usize
+    }
+
+    /// The raw `(same, plus, high)` tags of `v` (paper Fig. 3 values).
+    #[inline]
+    pub fn tags(&self, v: VertexId) -> (u32, u32, u32) {
+        let v = v as usize;
+        (self.same[v], self.plus[v], self.high[v])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::core_decomposition;
+    use bestk_graph::generators;
+
+    fn fig2() -> (bestk_graph::CsrGraph, CoreDecomposition) {
+        let g = generators::paper_figure2();
+        let d = core_decomposition(&g);
+        (g, d)
+    }
+
+    #[test]
+    fn figure3_tags() {
+        // Figure 3 lists (same, plus, high) for v1, v6, v8, v9.
+        let (g, d) = fig2();
+        let o = OrderedGraph::build(&g, &d);
+        assert_eq!(o.tags(0), (0, 3, 0)); // v1
+        assert_eq!(o.tags(5), (0, 3, 1)); // v6
+        assert_eq!(o.tags(7), (0, 2, 2)); // v8
+        assert_eq!(o.tags(8), (1, 4, 1)); // v9
+    }
+
+    #[test]
+    fn figure3_ordered_neighbor_lists() {
+        let (g, d) = fig2();
+        let o = OrderedGraph::build(&g, &d);
+        // v6 ~ v5, v7, v8 (coreness 2, ascending id), then v3 (coreness 3).
+        assert_eq!(o.neighbors(5), &[4, 6, 7, 2]);
+        // v8 ~ v6, v7 (coreness 2), then v9 (coreness 3).
+        assert_eq!(o.neighbors(7), &[5, 6, 8]);
+        // v9 ~ v8 (coreness 2), then v10, v11, v12.
+        assert_eq!(o.neighbors(8), &[7, 9, 10, 11]);
+    }
+
+    #[test]
+    fn example3_count_queries() {
+        // Example 3: |N(v6, >)| = |N(v6)| - plus = 1.
+        let (g, d) = fig2();
+        let o = OrderedGraph::build(&g, &d);
+        assert_eq!(o.count_gt(5), 1);
+        assert_eq!(o.count_eq(5), 3);
+        assert_eq!(o.count_lt(5), 0);
+        assert_eq!(o.count_ge(5), 4);
+        assert_eq!(o.count_gt_rank(5), 3);
+        // v9: one lower-coreness neighbor (v8), three same, none higher.
+        assert_eq!(o.count_lt(8), 1);
+        assert_eq!(o.count_eq(8), 3);
+        assert_eq!(o.count_gt(8), 0);
+    }
+
+    #[test]
+    fn slices_agree_with_counts_and_definition() {
+        let g = generators::erdos_renyi_gnm(200, 900, 5);
+        let d = core_decomposition(&g);
+        let o = OrderedGraph::build(&g, &d);
+        for v in g.vertices() {
+            let cv = d.coreness(v);
+            assert_eq!(o.neighbors_lt(v).len(), o.count_lt(v));
+            assert_eq!(o.neighbors_eq(v).len(), o.count_eq(v));
+            assert_eq!(o.neighbors_gt(v).len(), o.count_gt(v));
+            assert_eq!(o.neighbors_ge(v).len(), o.count_ge(v));
+            assert_eq!(o.neighbors_gt_rank(v).len(), o.count_gt_rank(v));
+            assert!(o.neighbors_lt(v).iter().all(|&u| d.coreness(u) < cv));
+            assert!(o.neighbors_eq(v).iter().all(|&u| d.coreness(u) == cv));
+            assert!(o.neighbors_gt(v).iter().all(|&u| d.coreness(u) > cv));
+            assert!(o.neighbors_gt_rank(v).iter().all(|&u| o.rank_gt(u, v)));
+            // The reordered list is a permutation of the original.
+            let mut a: Vec<_> = o.neighbors(v).to_vec();
+            let mut b: Vec<_> = g.neighbors(v).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn lists_are_sorted_by_rank() {
+        let g = generators::chung_lu_power_law(300, 6.0, 2.5, 8);
+        let d = core_decomposition(&g);
+        let o = OrderedGraph::build(&g, &d);
+        for v in g.vertices() {
+            let list = o.neighbors(v);
+            for w in list.windows(2) {
+                assert!(
+                    o.rank_gt(w[1], w[0]),
+                    "neighbors of {v} not rank-sorted: {:?} before {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = bestk_graph::CsrGraph::empty(3);
+        let d = core_decomposition(&g);
+        let o = OrderedGraph::build(&g, &d);
+        assert_eq!(o.count_ge(0), 0);
+        assert!(o.neighbors(2).is_empty());
+        assert_eq!(o.tags(1), (0, 0, 0));
+    }
+}

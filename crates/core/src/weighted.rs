@@ -1,0 +1,408 @@
+//! Weighted-core ("s-core") decomposition and the best-s weighted core set
+//! — the extension the paper's §VII points at (references \[23\], \[27\],
+//! \[60\]: s-core decomposition generalizes k-core to weighted degrees, and
+//! "our algorithm may shed light on finding the best k-core on weighted
+//! graphs if we apply the weighted community scores").
+//!
+//! The s-core of a weighted graph is the maximal subgraph in which every
+//! vertex has *weighted* degree ≥ s; the s-core number of a vertex is the
+//! largest such s containing it. Containment holds exactly as for k-cores,
+//! so the paper's top-down incremental framework transfers: per-vertex
+//! weight sums toward lower/equal/higher s-core numbers (`w<`, `w=`, `w>`)
+//! play the role of the `|N(v, ·)|` counts, and the per-level primaries
+//! reuse [`PrimaryValues`] with `internal_edges` / `boundary_edges`
+//! carrying *weights*, so every weight-compatible [`CommunityMetric`]
+//! (weighted average degree, weighted conductance, weighted modularity, …)
+//! scores unchanged.
+
+use bestk_graph::weighted::WeightedCsrGraph;
+use bestk_graph::VertexId;
+
+use crate::metrics::{CommunityMetric, GraphContext, PrimaryValues};
+
+/// The result of a weighted (s-core) decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedCoreDecomposition {
+    /// `score[v]` = the s-core number of `v`.
+    score: Vec<u64>,
+    /// Largest s-core number.
+    smax: u64,
+    /// Distinct s-core numbers, ascending.
+    levels: Vec<u64>,
+    /// Vertices sorted by (s-core number, id) ascending.
+    order: Vec<VertexId>,
+    /// `level_start[i]..level_start[i + 1]` indexes the shell of
+    /// `levels[i]` inside `order`.
+    level_start: Vec<usize>,
+}
+
+impl WeightedCoreDecomposition {
+    /// The s-core number of `v`.
+    #[inline]
+    pub fn score(&self, v: VertexId) -> u64 {
+        self.score[v as usize]
+    }
+
+    /// Largest s with a non-empty s-core.
+    #[inline]
+    pub fn smax(&self) -> u64 {
+        self.smax
+    }
+
+    /// Distinct s-core numbers, ascending.
+    #[inline]
+    pub fn levels(&self) -> &[u64] {
+        &self.levels
+    }
+
+    /// The shell of the `i`-th level (vertices with exactly that s-core
+    /// number), sorted by id.
+    #[inline]
+    pub fn shell_at(&self, i: usize) -> &[VertexId] {
+        &self.order[self.level_start[i]..self.level_start[i + 1]]
+    }
+
+    /// The vertex set of the s-core set at the `i`-th level (everything
+    /// with s-core number ≥ `levels[i]`).
+    #[inline]
+    pub fn core_set_at(&self, i: usize) -> &[VertexId] {
+        &self.order[self.level_start[i]..]
+    }
+}
+
+/// Runs the weighted peeling decomposition with a lazy bucket queue over
+/// integer weighted degrees: `O(n + m + W)` time where `W` is the maximum
+/// weighted degree.
+pub fn weighted_core_decomposition(g: &WeightedCsrGraph) -> WeightedCoreDecomposition {
+    let n = g.num_vertices();
+    if n == 0 {
+        return WeightedCoreDecomposition {
+            score: Vec::new(),
+            smax: 0,
+            levels: Vec::new(),
+            order: Vec::new(),
+            level_start: vec![0],
+        };
+    }
+    let mut wdeg: Vec<u64> = (0..n).map(|v| g.weighted_degree(v as VertexId)).collect();
+    let max_wdeg = wdeg.iter().copied().max().unwrap_or(0) as usize;
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); max_wdeg + 1];
+    for v in 0..n {
+        buckets[wdeg[v] as usize].push(v as VertexId);
+    }
+    let mut processed = vec![false; n];
+    let mut score = vec![0u64; n];
+    let mut level = 0u64;
+    let mut cur = 0usize;
+    let mut remaining = n;
+    while remaining > 0 {
+        // Advance to the lowest bucket with a fresh entry.
+        let v = loop {
+            while cur < buckets.len() && buckets[cur].is_empty() {
+                cur += 1;
+            }
+            let cand = buckets[cur].pop().expect("non-empty bucket");
+            if !processed[cand as usize] && wdeg[cand as usize] as usize == cur {
+                break cand;
+            }
+        };
+        processed[v as usize] = true;
+        remaining -= 1;
+        level = level.max(wdeg[v as usize]);
+        score[v as usize] = level;
+        for (u, w) in g.neighbors_with_weights(v) {
+            if !processed[u as usize] {
+                let du = wdeg[u as usize];
+                let nu = du.saturating_sub(w as u64);
+                wdeg[u as usize] = nu;
+                buckets[nu as usize].push(u);
+                cur = cur.min(nu as usize);
+            }
+        }
+    }
+    let smax = score.iter().copied().max().unwrap_or(0);
+    // Group vertices by level.
+    let mut levels: Vec<u64> = score.clone();
+    levels.sort_unstable();
+    levels.dedup();
+    let level_index = |s: u64| levels.binary_search(&s).expect("level present");
+    let mut counts = vec![0usize; levels.len() + 1];
+    for &s in &score {
+        counts[level_index(s) + 1] += 1;
+    }
+    for i in 0..levels.len() {
+        counts[i + 1] += counts[i];
+    }
+    let level_start = counts.clone();
+    let mut order = vec![0 as VertexId; n];
+    let mut cursor = counts;
+    for (v, &s) in score.iter().enumerate() {
+        let i = level_index(s);
+        order[cursor[i]] = v as VertexId;
+        cursor[i] += 1;
+    }
+    WeightedCoreDecomposition { score, smax, levels, order, level_start }
+}
+
+/// Per-level primaries of every s-core set. `primaries[i]` corresponds to
+/// `levels[i]`; `internal_edges` / `boundary_edges` carry edge **weights**.
+#[derive(Debug, Clone)]
+pub struct WeightedCoreSetProfile {
+    /// Distinct s-core numbers, ascending (aligned with `primaries`).
+    pub levels: Vec<u64>,
+    /// Weighted primaries of each s-core set.
+    pub primaries: Vec<PrimaryValues>,
+    /// Context with `total_edges` = total edge weight.
+    pub context: GraphContext,
+}
+
+impl WeightedCoreSetProfile {
+    /// Scores every s-core set under a weight-compatible metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric needs triangles (not maintained for weighted
+    /// sweeps).
+    pub fn scores<M: CommunityMetric + ?Sized>(&self, metric: &M) -> Vec<f64> {
+        assert!(
+            !metric.needs_triangles(),
+            "triangle-based metrics are not supported on weighted profiles"
+        );
+        self.primaries.iter().map(|pv| metric.score(pv, &self.context)).collect()
+    }
+
+    /// The best s (ties to the largest s) and its score.
+    pub fn best<M: CommunityMetric + ?Sized>(&self, metric: &M) -> Option<(u64, f64)> {
+        let scores = self.scores(metric);
+        let mut best: Option<(u64, f64)> = None;
+        for (i, &s) in scores.iter().enumerate().rev() {
+            if !s.is_nan() && best.is_none_or(|(_, bs)| s > bs) {
+                best = Some((self.levels[i], s));
+            }
+        }
+        best
+    }
+}
+
+/// Computes the weighted per-level profile with the paper's top-down
+/// incremental sweep in `O(n + m)` after decomposition.
+pub fn weighted_core_set_profile(
+    g: &WeightedCsrGraph,
+    d: &WeightedCoreDecomposition,
+) -> WeightedCoreSetProfile {
+    let n = g.num_vertices();
+    // Per-vertex weight sums toward lower / equal / higher s-core numbers —
+    // the weighted analogue of Algorithm 1's |N(v, ·)| tags.
+    let mut w_lt = vec![0u64; n];
+    let mut w_eq = vec![0u64; n];
+    let mut w_gt = vec![0u64; n];
+    for v in 0..n as VertexId {
+        let sv = d.score(v);
+        for (u, w) in g.neighbors_with_weights(v) {
+            let su = d.score(u);
+            let w = w as u64;
+            if su < sv {
+                w_lt[v as usize] += w;
+            } else if su == sv {
+                w_eq[v as usize] += w;
+            } else {
+                w_gt[v as usize] += w;
+            }
+        }
+    }
+    let level_count = d.levels().len();
+    let mut primaries = vec![PrimaryValues::default(); level_count];
+    let mut in_twice = 0u64;
+    let mut out = 0i64;
+    let mut num = 0u64;
+    for i in (0..level_count).rev() {
+        for &v in d.shell_at(i) {
+            in_twice += 2 * w_gt[v as usize] + w_eq[v as usize];
+            out += w_lt[v as usize] as i64 - w_gt[v as usize] as i64;
+            num += 1;
+        }
+        debug_assert!(in_twice.is_multiple_of(2));
+        debug_assert!(out >= 0);
+        primaries[i] = PrimaryValues {
+            num_vertices: num,
+            internal_edges: in_twice / 2,
+            boundary_edges: out as u64,
+            ..Default::default()
+        };
+    }
+    WeightedCoreSetProfile {
+        levels: d.levels().to_vec(),
+        primaries,
+        context: GraphContext {
+            total_vertices: g.num_vertices() as u64,
+            total_edges: g.total_weight(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::core_decomposition;
+    use crate::metrics::Metric;
+    use crate::ordering::OrderedGraph;
+    use bestk_graph::generators;
+    use bestk_graph::weighted::{unit_weights, WeightedGraphBuilder};
+
+    #[test]
+    fn unit_weights_reduce_to_unweighted_coreness() {
+        for seed in 0..4 {
+            let g = generators::erdos_renyi_gnm(120, 420, seed);
+            let wg = unit_weights(&g);
+            let wd = weighted_core_decomposition(&wg);
+            let d = core_decomposition(&g);
+            for v in g.vertices() {
+                assert_eq!(wd.score(v), d.coreness(v) as u64, "v={v} seed={seed}");
+            }
+            assert_eq!(wd.smax(), d.kmax() as u64);
+        }
+    }
+
+    #[test]
+    fn unit_weight_profile_matches_unweighted_primaries() {
+        let g = generators::chung_lu_power_law(300, 8.0, 2.4, 7);
+        let wg = unit_weights(&g);
+        let wd = weighted_core_decomposition(&wg);
+        let wp = weighted_core_set_profile(&wg, &wd);
+        let d = core_decomposition(&g);
+        let o = OrderedGraph::build(&g, &d);
+        let up = crate::bestkset::core_set_primaries(&o);
+        for (i, &level) in wp.levels.iter().enumerate() {
+            let k = level as usize;
+            assert_eq!(wp.primaries[i].num_vertices, up[k].num_vertices, "level {level}");
+            assert_eq!(wp.primaries[i].internal_edges, up[k].internal_edges);
+            assert_eq!(wp.primaries[i].boundary_edges, up[k].boundary_edges);
+        }
+    }
+
+    #[test]
+    fn weighted_triangle_example() {
+        // A triangle with weights 5, 3, 1: weighted degrees 8, 6, 4.
+        // Peeling: v2 (wdeg 4) at level 4; then the 5-edge pair remains.
+        let mut b = WeightedGraphBuilder::new();
+        b.add_edge(0, 1, 5);
+        b.add_edge(1, 2, 3);
+        b.add_edge(2, 0, 1);
+        let wg = b.build();
+        let wd = weighted_core_decomposition(&wg);
+        assert_eq!(wd.score(2), 4);
+        assert_eq!(wd.score(0), 5);
+        assert_eq!(wd.score(1), 5);
+        assert_eq!(wd.smax(), 5);
+        assert_eq!(wd.levels(), &[4, 5]);
+    }
+
+    #[test]
+    fn heavy_community_beats_topologically_denser_one() {
+        // Two triangles: one with heavy edges (weight 10), one with light
+        // edges (weight 1), plus a light bridge. Weighted best-s by average
+        // (weighted) degree must pick the heavy triangle's s-core.
+        let mut b = WeightedGraphBuilder::new();
+        b.add_edge(0, 1, 10);
+        b.add_edge(1, 2, 10);
+        b.add_edge(2, 0, 10);
+        b.add_edge(3, 4, 1);
+        b.add_edge(4, 5, 1);
+        b.add_edge(5, 3, 1);
+        b.add_edge(2, 3, 1);
+        let wg = b.build();
+        let wd = weighted_core_decomposition(&wg);
+        let profile = weighted_core_set_profile(&wg, &wd);
+        let (best_s, _) = profile.best(&Metric::AverageDegree).unwrap();
+        assert_eq!(best_s, 20, "the heavy triangle forms the 20-core");
+        // Its core set is exactly the heavy triangle.
+        let i = profile.levels.iter().position(|&l| l == best_s).unwrap();
+        assert_eq!(profile.primaries[i].num_vertices, 3);
+        assert_eq!(profile.primaries[i].internal_edges, 30);
+    }
+
+    #[test]
+    fn profile_against_direct_recount() {
+        // Random weighted graph; check each level against a from-scratch
+        // weighted count.
+        let g = generators::erdos_renyi_gnm(80, 240, 9);
+        let mut b = WeightedGraphBuilder::new();
+        let mut rng = bestk_graph::rng::Xoshiro256::seed_from_u64(4);
+        for (u, v) in g.edges() {
+            b.add_edge(u, v, 1 + rng.next_below(9) as u32);
+        }
+        let wg = b.build();
+        let wd = weighted_core_decomposition(&wg);
+        let profile = weighted_core_set_profile(&wg, &wd);
+        for (i, &level) in profile.levels.iter().enumerate() {
+            let inside: Vec<bool> = (0..wg.num_vertices() as u32)
+                .map(|v| wd.score(v) >= level)
+                .collect();
+            let mut win2 = 0u64;
+            let mut wout = 0u64;
+            let mut num = 0u64;
+            for v in 0..wg.num_vertices() as u32 {
+                if !inside[v as usize] {
+                    continue;
+                }
+                num += 1;
+                for (u, w) in wg.neighbors_with_weights(v) {
+                    if inside[u as usize] {
+                        win2 += w as u64;
+                    } else {
+                        wout += w as u64;
+                    }
+                }
+            }
+            assert_eq!(profile.primaries[i].num_vertices, num, "level {level}");
+            assert_eq!(profile.primaries[i].internal_edges, win2 / 2);
+            assert_eq!(profile.primaries[i].boundary_edges, wout);
+        }
+    }
+
+    #[test]
+    fn scores_reject_triangle_metrics() {
+        let wg = unit_weights(&generators::paper_figure2());
+        let wd = weighted_core_decomposition(&wg);
+        let profile = weighted_core_set_profile(&wg, &wd);
+        let res = std::panic::catch_unwind(|| profile.scores(&Metric::ClusteringCoefficient));
+        assert!(res.is_err());
+        assert!(profile.best(&Metric::Conductance).is_some());
+    }
+
+    #[test]
+    fn empty_weighted_graph() {
+        let wg = WeightedGraphBuilder::new().build();
+        let wd = weighted_core_decomposition(&wg);
+        assert_eq!(wd.smax(), 0);
+        let profile = weighted_core_set_profile(&wg, &wd);
+        assert!(profile.levels.is_empty());
+        assert!(profile.best(&Metric::AverageDegree).is_none());
+    }
+
+    #[test]
+    fn s_core_monotone_containment() {
+        let g = generators::overlapping_cliques(100, 20, (3, 8), 2);
+        let mut b = WeightedGraphBuilder::new();
+        let mut rng = bestk_graph::rng::Xoshiro256::seed_from_u64(8);
+        for (u, v) in g.edges() {
+            b.add_edge(u, v, 1 + rng.next_below(5) as u32);
+        }
+        let wg = b.build();
+        let wd = weighted_core_decomposition(&wg);
+        // Definition check: within the s-core set at each level, every
+        // vertex retains weighted degree >= that level.
+        for (i, &level) in wd.levels().iter().enumerate() {
+            let members: std::collections::HashSet<VertexId> =
+                wd.core_set_at(i).iter().copied().collect();
+            for &v in wd.core_set_at(i) {
+                let deg: u64 = wg
+                    .neighbors_with_weights(v)
+                    .filter(|(u, _)| members.contains(u))
+                    .map(|(_, w)| w as u64)
+                    .sum();
+                assert!(deg >= level, "v={v} deg={deg} level={level}");
+            }
+        }
+    }
+}

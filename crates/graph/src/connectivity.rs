@@ -1,0 +1,194 @@
+//! Connected components and traversal helpers.
+//!
+//! The k-core definition (paper Def. 1) requires connectivity, so both the
+//! baselines and the LCPS forest construction in `bestk-core` lean on these
+//! routines. Everything is iterative (no recursion) and allocation-bounded by
+//! `O(n)`.
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// The decomposition of a graph into connected components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectedComponents {
+    /// `component[v]` is the component index of vertex `v` (dense, 0-based).
+    pub component: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl ConnectedComponents {
+    /// Vertices of each component, grouped; `O(n)`.
+    pub fn groups(&self) -> Vec<Vec<VertexId>> {
+        let mut groups = vec![Vec::new(); self.count];
+        for (v, &c) in self.component.iter().enumerate() {
+            groups[c as usize].push(v as VertexId);
+        }
+        groups
+    }
+
+    /// Size of each component.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &c in &self.component {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Index of the largest component (`None` when the graph has no vertices).
+    pub fn largest(&self) -> Option<usize> {
+        let sizes = self.sizes();
+        (0..self.count).max_by_key(|&c| sizes[c])
+    }
+}
+
+/// Computes connected components with an iterative BFS; `O(n + m)`.
+pub fn connected_components(g: &CsrGraph) -> ConnectedComponents {
+    let n = g.num_vertices();
+    let mut component = vec![u32::MAX; n];
+    let mut queue: Vec<VertexId> = Vec::new();
+    let mut count = 0u32;
+    for s in 0..n {
+        if component[s] != u32::MAX {
+            continue;
+        }
+        component[s] = count;
+        queue.push(s as VertexId);
+        while let Some(v) = queue.pop() {
+            for &u in g.neighbors(v) {
+                if component[u as usize] == u32::MAX {
+                    component[u as usize] = count;
+                    queue.push(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    ConnectedComponents { component, count: count as usize }
+}
+
+/// BFS from `source` restricted to vertices for which `allowed` returns true.
+///
+/// Returns every reached allowed vertex, including `source` (if allowed).
+/// Used by the size-constrained k-core application to carve the component of
+/// a query vertex out of a k-core set.
+pub fn bfs_restricted(
+    g: &CsrGraph,
+    source: VertexId,
+    mut allowed: impl FnMut(VertexId) -> bool,
+) -> Vec<VertexId> {
+    if !allowed(source) {
+        return Vec::new();
+    }
+    let mut visited = vec![false; g.num_vertices()];
+    visited[source as usize] = true;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(source);
+    let mut out = Vec::new();
+    while let Some(v) = queue.pop_front() {
+        out.push(v);
+        for &u in g.neighbors(v) {
+            if !visited[u as usize] && allowed(u) {
+                visited[u as usize] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    out
+}
+
+/// Whether the whole graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &CsrGraph) -> bool {
+    g.num_vertices() == 0 || connected_components(g).count == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn two_triangles() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        b.build()
+    }
+
+    #[test]
+    fn single_component() {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0, 1), (1, 2)]);
+        let g = b.build();
+        let cc = connected_components(&g);
+        assert_eq!(cc.count, 1);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn two_components_with_isolated_vertex() {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0, 1), (1, 2), (3, 4), (4, 5), (5, 3)]);
+        b.reserve_vertices(7);
+        let g = b.build();
+        let cc = connected_components(&g);
+        assert_eq!(cc.count, 3); // path, triangle, isolated vertex 6
+        assert_eq!(cc.sizes().iter().sum::<usize>(), 7);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn groups_partition_the_vertex_set() {
+        let g = two_triangles();
+        let cc = connected_components(&g);
+        let groups = cc.groups();
+        assert_eq!(groups.len(), 2);
+        let mut all: Vec<_> = groups.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..6).collect::<Vec<_>>());
+        // Vertices within a group share a component id.
+        for group in &groups {
+            let c = cc.component[group[0] as usize];
+            assert!(group.iter().all(|&v| cc.component[v as usize] == c));
+        }
+    }
+
+    #[test]
+    fn largest_component() {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0, 1), (2, 3), (3, 4), (4, 2), (4, 5)]);
+        let g = b.build();
+        let cc = connected_components(&g);
+        let largest = cc.largest().unwrap();
+        assert_eq!(cc.sizes()[largest], 4);
+    }
+
+    #[test]
+    fn largest_on_empty_graph_is_none() {
+        let g = CsrGraph::empty(0);
+        assert!(connected_components(&g).largest().is_none());
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn restricted_bfs_respects_filter() {
+        let g = two_triangles();
+        // Only even vertices allowed: from 0 we can reach 0 and 2.
+        let reached = bfs_restricted(&g, 0, |v| v % 2 == 0);
+        let mut reached = reached;
+        reached.sort_unstable();
+        assert_eq!(reached, vec![0, 2]);
+    }
+
+    #[test]
+    fn restricted_bfs_with_disallowed_source() {
+        let g = two_triangles();
+        assert!(bfs_restricted(&g, 0, |_| false).is_empty());
+    }
+
+    #[test]
+    fn restricted_bfs_reaches_whole_component() {
+        let g = two_triangles();
+        let mut reached = bfs_restricted(&g, 3, |_| true);
+        reached.sort_unstable();
+        assert_eq!(reached, vec![3, 4, 5]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type shared by the graph substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing, reading, or writing graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a vertex id that does not fit the requested vertex
+    /// universe (e.g. larger than the declared vertex count).
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The number of vertices the graph was declared with.
+        num_vertices: usize,
+    },
+    /// The input described a graph larger than the `u32` id space supports.
+    TooManyVertices(u64),
+    /// A parse error while reading a text edge list.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// The binary format header was malformed or had the wrong magic/version.
+    BadBinaryFormat(String),
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
+                f,
+                "vertex id {vertex} out of range for graph with {num_vertices} vertices"
+            ),
+            GraphError::TooManyVertices(n) => {
+                write!(f, "{n} vertices exceed the u32 vertex id space")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::BadBinaryFormat(msg) => write!(f, "bad binary graph: {msg}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 9, num_vertices: 4 };
+        assert!(e.to_string().contains("vertex id 9"));
+        assert!(e.to_string().contains("4 vertices"));
+
+        let e = GraphError::TooManyVertices(1 << 40);
+        assert!(e.to_string().contains("u32"));
+
+        let e = GraphError::Parse { line: 3, message: "bad token".into() };
+        assert!(e.to_string().contains("line 3"));
+
+        let e = GraphError::BadBinaryFormat("wrong magic".into());
+        assert!(e.to_string().contains("wrong magic"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = GraphError::from(inner);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Community-structured generators: planted partitions and overlapping
+//! cliques.
+//!
+//! These produce the ground-truth communities used by the case-study
+//! reproduction (paper Tables V–VII) and the very dense, high-`kmax` graphs
+//! that stand in for Hollywood / Human-Jung in Table III.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+use crate::rng::Xoshiro256;
+
+/// A planted-partition graph together with its ground truth.
+#[derive(Debug, Clone)]
+pub struct PlantedPartition {
+    /// The generated graph.
+    pub graph: CsrGraph,
+    /// `membership[v]` = community index of vertex `v`.
+    pub membership: Vec<u32>,
+    /// Vertices of each community.
+    pub communities: Vec<Vec<VertexId>>,
+}
+
+/// Planted-partition (stochastic block) model: `sizes[i]` vertices in block
+/// `i`, intra-block edge probability `p_in`, inter-block probability `p_out`.
+///
+/// Expected `O(n + m)` via per-block / per-block-pair skip sampling.
+pub fn planted_partition(sizes: &[usize], p_in: f64, p_out: f64, seed: u64) -> PlantedPartition {
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let n: usize = sizes.iter().sum();
+    assert!(n <= u32::MAX as usize);
+    let mut membership = Vec::with_capacity(n);
+    let mut communities = Vec::with_capacity(sizes.len());
+    let mut start = 0usize;
+    for (c, &s) in sizes.iter().enumerate() {
+        membership.extend(std::iter::repeat_n(c as u32, s));
+        communities.push((start as VertexId..(start + s) as VertexId).collect());
+        start += s;
+    }
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    b.reserve_vertices(n);
+    // Sample every vertex pair with the probability dictated by membership,
+    // using one geometric-skip walk per probability class. For the modest
+    // block counts used in the harness this two-pass structure (diagonal
+    // blocks at p_in, off-diagonal at p_out) is the fast path.
+    let mut starts = Vec::with_capacity(sizes.len());
+    let mut acc = 0usize;
+    for &s in sizes {
+        starts.push(acc);
+        acc += s;
+    }
+    // Intra-block edges.
+    for (bi, &s) in sizes.iter().enumerate() {
+        let base = starts[bi];
+        sample_pairs_within(&mut rng, s, p_in, |u, v| {
+            b.add_edge((base + u) as VertexId, (base + v) as VertexId);
+        });
+    }
+    // Inter-block edges, per ordered block pair.
+    for bi in 0..sizes.len() {
+        for bj in (bi + 1)..sizes.len() {
+            sample_bipartite(&mut rng, sizes[bi], sizes[bj], p_out, |u, v| {
+                b.add_edge((starts[bi] + u) as VertexId, (starts[bj] + v) as VertexId);
+            });
+        }
+    }
+    PlantedPartition { graph: b.build(), membership, communities }
+}
+
+/// Geometric-skip sampling of unordered pairs within `0..s`.
+fn sample_pairs_within(rng: &mut Xoshiro256, s: usize, p: f64, mut emit: impl FnMut(usize, usize)) {
+    if s < 2 || p <= 0.0 {
+        return;
+    }
+    if p >= 1.0 {
+        for v in 1..s {
+            for w in 0..v {
+                emit(w, v);
+            }
+        }
+        return;
+    }
+    let log_q = (1.0 - p).ln();
+    let mut v = 1usize;
+    let mut w = -1i64;
+    while v < s {
+        let r = rng.next_f64();
+        w += 1 + ((1.0 - r).ln() / log_q).floor() as i64;
+        while w >= v as i64 && v < s {
+            w -= v as i64;
+            v += 1;
+        }
+        if v < s {
+            emit(w as usize, v);
+        }
+    }
+}
+
+/// Geometric-skip sampling over the `su × sv` bipartite pair grid.
+fn sample_bipartite(
+    rng: &mut Xoshiro256,
+    su: usize,
+    sv: usize,
+    p: f64,
+    mut emit: impl FnMut(usize, usize),
+) {
+    if su == 0 || sv == 0 || p <= 0.0 {
+        return;
+    }
+    if p >= 1.0 {
+        for u in 0..su {
+            for v in 0..sv {
+                emit(u, v);
+            }
+        }
+        return;
+    }
+    let total = su as u64 * sv as u64;
+    let log_q = (1.0 - p).ln();
+    let mut pos: i64 = -1;
+    loop {
+        let r = rng.next_f64();
+        pos += 1 + ((1.0 - r).ln() / log_q).floor() as i64;
+        if pos as u64 >= total {
+            return;
+        }
+        let u = (pos as u64 / sv as u64) as usize;
+        let v = (pos as u64 % sv as u64) as usize;
+        emit(u, v);
+    }
+}
+
+/// Union of `cliques` random cliques, each of a size drawn uniformly from
+/// `size_range`, over a universe of `n` vertices; members are sampled with a
+/// Zipf-like skew so that some vertices join many cliques.
+///
+/// This mimics affiliation graphs (actors × movies, Hollywood) whose k-core
+/// degeneracy is enormous compared to their average degree — the regime where
+/// the paper's `kmax`-long sweeps are most expensive.
+pub fn overlapping_cliques(
+    n: usize,
+    cliques: usize,
+    size_range: (usize, usize),
+    seed: u64,
+) -> CsrGraph {
+    assert!(n <= u32::MAX as usize);
+    let (lo, hi) = size_range;
+    assert!(lo >= 2 && hi >= lo && hi <= n, "invalid clique size range");
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    b.reserve_vertices(n);
+    let mut members: Vec<VertexId> = Vec::with_capacity(hi);
+    for _ in 0..cliques {
+        let size = lo + rng.next_index(hi - lo + 1);
+        members.clear();
+        // Skewed sampling: squaring a uniform variate biases toward low ids,
+        // producing hub vertices shared by many cliques.
+        while members.len() < size {
+            let r = rng.next_f64();
+            let v = ((r * r) * n as f64) as usize;
+            let v = v.min(n - 1) as VertexId;
+            if !members.contains(&v) {
+                members.push(v);
+            }
+        }
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                b.add_edge(members[i], members[j]);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subgraph::{boundary_edge_count, induced_edge_count};
+
+    #[test]
+    fn planted_partition_ground_truth_shape() {
+        let pp = planted_partition(&[30, 20, 10], 0.5, 0.01, 4);
+        assert_eq!(pp.graph.num_vertices(), 60);
+        assert_eq!(pp.membership.len(), 60);
+        assert_eq!(pp.communities.len(), 3);
+        assert_eq!(pp.communities[0].len(), 30);
+        assert_eq!(pp.communities[2].len(), 10);
+        assert_eq!(pp.membership[0], 0);
+        assert_eq!(pp.membership[59], 2);
+        assert!(pp.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn planted_partition_is_assortative() {
+        let pp = planted_partition(&[50, 50], 0.4, 0.02, 11);
+        let c0 = &pp.communities[0];
+        let internal = induced_edge_count(&pp.graph, c0);
+        let boundary = boundary_edge_count(&pp.graph, c0);
+        // Expected internal ~ 0.4 * C(50,2) = 490; boundary ~ 0.02 * 2500 = 50.
+        assert!(internal > 5 * boundary, "internal {internal}, boundary {boundary}");
+    }
+
+    #[test]
+    fn planted_partition_extreme_probabilities() {
+        let pp = planted_partition(&[4, 3], 1.0, 0.0, 1);
+        // Two disjoint cliques: C(4,2) + C(3,2) = 6 + 3.
+        assert_eq!(pp.graph.num_edges(), 9);
+        let pp = planted_partition(&[3, 3], 0.0, 1.0, 1);
+        // Complete bipartite only.
+        assert_eq!(pp.graph.num_edges(), 9);
+    }
+
+    #[test]
+    fn planted_partition_deterministic() {
+        let a = planted_partition(&[20, 20], 0.3, 0.05, 8);
+        let b = planted_partition(&[20, 20], 0.3, 0.05, 8);
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn overlapping_cliques_dense_core() {
+        let g = overlapping_cliques(500, 60, (8, 20), 21);
+        assert!(g.validate().is_ok());
+        // Dense: minimum clique size 8 forces max degree >= 7.
+        assert!(g.max_degree() >= 7);
+        // Hubs: skewed membership should give someone a big degree.
+        assert!(g.max_degree() > 30, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn overlapping_cliques_deterministic() {
+        assert_eq!(
+            overlapping_cliques(100, 10, (3, 6), 2),
+            overlapping_cliques(100, 10, (3, 6), 2)
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Seeded synthetic graph generators.
+//!
+//! The paper evaluates on ten SNAP / NetworkRepository datasets (Table III)
+//! that cannot be redistributed here; the workloads in this module are their
+//! structural stand-ins (see `DESIGN.md` §4). Every generator takes an
+//! explicit `seed` and is bit-reproducible.
+//!
+//! * [`erdos_renyi_gnm`] / [`erdos_renyi_gnp`] — homogeneous random graphs
+//!   (flat coreness spectrum; the "uninteresting" control case).
+//! * [`chung_lu_power_law`] — expected-degree power-law graphs; matches the
+//!   heavy-tailed degree/coreness spectra of the SNAP social networks.
+//! * [`barabasi_albert`] — preferential attachment; collaboration-network
+//!   stand-in.
+//! * [`rmat`] — Graph500-style recursive-matrix graphs; web/social stand-in.
+//! * [`watts_strogatz`] — small-world ring lattices with rewiring (the
+//!   clustering-coefficient reference model).
+//! * [`planted_partition`] — ground-truth communities for the case study.
+//! * [`overlapping_cliques`] — very dense high-`kmax` graphs mimicking
+//!   Hollywood / Human-Jung.
+//! * [`regular`] module — deterministic fixtures (complete, cycle, star, …).
+//! * [`paper_figure2`] — the 12-vertex worked example of the paper.
+
+mod community;
+mod paper;
+mod random;
+pub mod regular;
+
+pub use community::{overlapping_cliques, planted_partition, PlantedPartition};
+pub use paper::paper_figure2;
+pub use random::{
+    barabasi_albert, chung_lu_power_law, erdos_renyi_gnm, erdos_renyi_gnp, rmat, watts_strogatz,
+};

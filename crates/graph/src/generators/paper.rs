@@ -1,0 +1,54 @@
+//! The worked example of the paper (Figure 2).
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+
+/// The 12-vertex example graph of the paper's Figure 2.
+///
+/// Paper vertex `v_i` is vertex `i - 1` here. The graph is a single 2-core;
+/// its 3-core set consists of two 4-cliques `{v1..v4}` and `{v9..v12}`, and
+/// vertices `v5..v8` form the 2-shell. Every worked example of the paper
+/// (Examples 2–6, Figure 3's ordering tags, Figure 4's core forest) runs on
+/// this graph, and the `bestk-core` tests replay them against it.
+pub fn paper_figure2() -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    // 4-clique on v1, v2, v3, v4.
+    b.extend_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+    // 4-clique on v9, v10, v11, v12.
+    b.extend_edges([(8, 9), (8, 10), (8, 11), (9, 10), (9, 11), (10, 11)]);
+    // The 2-shell: v5, v6, v7, v8 and their attachments.
+    // v5 ~ v3, v6;  v6 ~ v3, v7, v8;  v7 ~ v8;  v8 ~ v9.
+    b.extend_edges([(4, 2), (4, 5), (5, 2), (5, 6), (5, 7), (6, 7), (7, 8)]);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_has_12_vertices_and_19_edges() {
+        let g = paper_figure2();
+        assert_eq!(g.num_vertices(), 12);
+        // Example 4 computes in = 19 internal edges for the full graph.
+        assert_eq!(g.num_edges(), 19);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn figure2_degrees_match_the_figure() {
+        let g = paper_figure2();
+        // v3 touches the clique (3 edges) plus v5 and v6.
+        assert_eq!(g.degree(2), 5);
+        // v5 ~ {v3, v6}.
+        assert_eq!(g.neighbors(4), &[2, 5]);
+        // v6 ~ {v3, v5, v7, v8}.
+        assert_eq!(g.neighbors(5), &[2, 4, 6, 7]);
+        // v7 ~ {v6, v8}.
+        assert_eq!(g.neighbors(6), &[5, 7]);
+        // v8 ~ {v6, v7, v9}.
+        assert_eq!(g.neighbors(7), &[5, 6, 8]);
+        // Minimum degree 2: the whole graph is a 2-core (Example 2).
+        assert!(g.vertices().all(|v| g.degree(v) >= 2));
+    }
+}

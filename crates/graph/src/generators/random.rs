@@ -1,0 +1,378 @@
+//! Random-graph families: Erdős–Rényi, Chung–Lu, Barabási–Albert, R-MAT.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+use crate::rng::Xoshiro256;
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct edges sampled uniformly from
+/// all vertex pairs (best effort: fewer if `m` exceeds the number of pairs).
+///
+/// Expected `O(m)` time via rejection sampling; suitable while
+/// `m ≪ n² / 2`, which holds for every sparse workload in the harness.
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(n <= u32::MAX as usize, "n exceeds u32 id space");
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let m = m.min(max_edges);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::with_capacity(m);
+    b.reserve_vertices(n);
+    while seen.len() < m {
+        let u = rng.next_index(n) as VertexId;
+        let v = rng.next_index(n) as VertexId;
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            b.add_edge(key.0, key.1);
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)`: each pair independently present with probability
+/// `p`, generated in expected `O(n + m)` time with geometric skipping
+/// (Batagelj–Brandes), not `O(n²)`.
+pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!(n <= u32::MAX as usize, "n exceeds u32 id space");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+    let mut b = GraphBuilder::new();
+    b.reserve_vertices(n);
+    if p <= 0.0 || n < 2 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                b.add_edge(u, v);
+            }
+        }
+        return b.build();
+    }
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let log_q = (1.0 - p).ln();
+    // Batagelj–Brandes skip sampling over the strictly-lower triangle:
+    // row v, column w < v; the gap between successive present pairs is
+    // Geometric(p)-distributed.
+    let mut v = 1usize;
+    let mut w = -1i64;
+    while v < n {
+        let r = rng.next_f64();
+        w += 1 + ((1.0 - r).ln() / log_q).floor() as i64;
+        while w >= v as i64 && v < n {
+            w -= v as i64;
+            v += 1;
+        }
+        if v < n {
+            b.add_edge(w as VertexId, v as VertexId);
+        }
+    }
+    b.build()
+}
+
+/// Chung–Lu expected-degree model with a power-law weight sequence
+/// `w_i ∝ (i + i0)^(-1/(γ-1))`, scaled so the expected average degree is
+/// `avg_degree`. Edges are sampled with the efficient "miller-hagberg" style
+/// procedure over the weight-sorted vertex sequence, expected `O(n + m)`.
+///
+/// This is the primary stand-in for the paper's heavy-tailed social networks:
+/// it produces the wide coreness spectra (large `kmax`, many shells) that the
+/// best-k algorithms sweep over.
+pub fn chung_lu_power_law(n: usize, avg_degree: f64, gamma: f64, seed: u64) -> CsrGraph {
+    assert!(n <= u32::MAX as usize, "n exceeds u32 id space");
+    assert!(gamma > 1.0, "gamma must exceed 1");
+    assert!(avg_degree >= 0.0);
+    let mut b = GraphBuilder::new();
+    b.reserve_vertices(n);
+    if n < 2 || avg_degree == 0.0 {
+        return b.build();
+    }
+    // Zipf-like weights, already descending in i.
+    let alpha = 1.0 / (gamma - 1.0);
+    let mut weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let scale = avg_degree * n as f64 / wsum;
+    for w in &mut weights {
+        *w *= scale;
+        // Cap at sqrt(total weight) to keep edge probabilities <= 1-ish; the
+        // classic Chung-Lu validity condition w_i * w_j <= W.
+        *w = w.min((avg_degree * n as f64).sqrt());
+    }
+    let total_w: f64 = weights.iter().sum();
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    // For each u (in descending weight order), sample neighbors v > u with
+    // probability p_uv = w_u * w_v / W using skip sampling with the upper
+    // bound q = w_u * w_{u+1} / W and acceptance w_v / w_{u+1}.
+    for u in 0..n - 1 {
+        let mut v = u + 1;
+        let q = (weights[u] * weights[v] / total_w).min(1.0);
+        if q <= 0.0 {
+            continue;
+        }
+        let log_q = (1.0 - q).ln();
+        // First candidate via geometric skip when q < 1.
+        loop {
+            if q < 1.0 {
+                let r = rng.next_f64();
+                let skip = ((1.0 - r).ln() / log_q).floor() as usize;
+                v += skip;
+            }
+            if v >= n {
+                break;
+            }
+            let p = (weights[u] * weights[v] / total_w).min(1.0);
+            if rng.next_bool(p / q) {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+            v += 1;
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `attach + 1` vertices, then each new vertex attaches to `attach` existing
+/// vertices chosen proportionally to degree (by sampling endpoints of the
+/// running edge list). `O(n · attach)`.
+pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> CsrGraph {
+    assert!(n <= u32::MAX as usize, "n exceeds u32 id space");
+    assert!(attach >= 1, "attach must be at least 1");
+    assert!(n > attach, "need more vertices than the attachment count");
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n * attach);
+    b.reserve_vertices(n);
+    // `targets` holds every edge endpoint ever created; sampling a uniform
+    // element of it is exactly degree-proportional sampling.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * attach);
+    let seedsize = attach + 1;
+    for u in 0..seedsize as VertexId {
+        for v in (u + 1)..seedsize as VertexId {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    let mut picked: Vec<VertexId> = Vec::with_capacity(attach);
+    for u in seedsize..n {
+        picked.clear();
+        // Rejection-sample `attach` distinct targets.
+        while picked.len() < attach {
+            let t = endpoints[rng.next_index(endpoints.len())];
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        for &t in &picked {
+            b.add_edge(u as VertexId, t);
+            endpoints.push(u as VertexId);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small-world graph (the model behind the paper's
+/// clustering-coefficient reference \[59\]): a ring lattice where every
+/// vertex connects to its `k/2` nearest neighbors on each side, with each
+/// edge rewired to a uniform random endpoint with probability `beta`.
+///
+/// `beta = 0` is the pure lattice (high clustering, long paths); `beta = 1`
+/// approaches a random graph. Rewiring can occasionally produce duplicate
+/// pairs, which the builder collapses, so `m ≤ n·k/2`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(n <= u32::MAX as usize, "n exceeds u32 id space");
+    assert!(k.is_multiple_of(2), "k must be even (k/2 neighbors per side)");
+    assert!(k < n, "lattice degree must be below n");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n * k / 2);
+    b.reserve_vertices(n);
+    for v in 0..n {
+        for offset in 1..=k / 2 {
+            let u = (v + offset) % n;
+            if rng.next_bool(beta) {
+                // Rewire: keep v, pick a random other endpoint.
+                let mut t = rng.next_index(n);
+                while t == v {
+                    t = rng.next_index(n);
+                }
+                b.add_edge(v as VertexId, t as VertexId);
+            } else {
+                b.add_edge(v as VertexId, u as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// R-MAT (recursive matrix) generator à la Graph500.
+///
+/// Generates `edge_factor * 2^scale` directed samples in the
+/// `2^scale × 2^scale` adjacency matrix with quadrant probabilities
+/// `(a, b, c, 1 - a - b - c)`, then symmetrizes and deduplicates. With the
+/// Graph500 parameters `(0.57, 0.19, 0.19)` this yields skewed, community-
+/// rich graphs resembling web/social crawls.
+pub fn rmat(scale: u32, edge_factor: usize, a: f64, b_: f64, c: f64, seed: u64) -> CsrGraph {
+    assert!(scale < 31, "scale must keep ids within u32");
+    let d = 1.0 - a - b_ - c;
+    assert!(a >= 0.0 && b_ >= 0.0 && c >= 0.0 && d >= -1e-9, "probabilities must sum to <= 1");
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(m);
+    builder.reserve_vertices(n);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r = rng.next_f64();
+            if r < a {
+                // top-left: nothing to add
+            } else if r < a + b_ {
+                v |= 1;
+            } else if r < a + b_ + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        builder.add_edge(u as VertexId, v as VertexId);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::connected_components;
+    use crate::stats::degree_histogram;
+
+    #[test]
+    fn gnm_exact_edge_count_and_determinism() {
+        let g1 = erdos_renyi_gnm(200, 800, 5);
+        let g2 = erdos_renyi_gnm(200, 800, 5);
+        assert_eq!(g1.num_edges(), 800);
+        assert_eq!(g1.num_vertices(), 200);
+        assert_eq!(g1, g2);
+        assert!(g1.validate().is_ok());
+        let g3 = erdos_renyi_gnm(200, 800, 6);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn gnm_caps_at_complete_graph() {
+        let g = erdos_renyi_gnm(5, 1000, 1);
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn gnp_edge_density_tracks_p() {
+        let n = 500;
+        let p = 0.02;
+        let g = erdos_renyi_gnp(n, p, 17);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        assert!((got - expected).abs() < expected * 0.2, "got {got}, expected ~{expected}");
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(erdos_renyi_gnp(50, 0.0, 1).num_edges(), 0);
+        assert_eq!(erdos_renyi_gnp(6, 1.0, 1).num_edges(), 15);
+        assert_eq!(erdos_renyi_gnp(0, 0.5, 1).num_vertices(), 0);
+        assert_eq!(erdos_renyi_gnp(1, 0.5, 1).num_edges(), 0);
+    }
+
+    #[test]
+    fn chung_lu_hits_target_average_degree() {
+        let g = chung_lu_power_law(5000, 10.0, 2.5, 23);
+        let avg = g.average_degree();
+        assert!((avg - 10.0).abs() < 2.0, "avg degree {avg}");
+        assert!(g.validate().is_ok());
+        // Heavy tail: max degree far above the mean.
+        assert!(g.max_degree() > 40, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn chung_lu_deterministic() {
+        assert_eq!(
+            chung_lu_power_law(1000, 6.0, 2.3, 9),
+            chung_lu_power_law(1000, 6.0, 2.3, 9)
+        );
+    }
+
+    #[test]
+    fn barabasi_albert_structure() {
+        let g = barabasi_albert(2000, 3, 77);
+        assert_eq!(g.num_vertices(), 2000);
+        // Each of the n - 4 late vertices adds 3 edges; the seed clique has 6.
+        assert_eq!(g.num_edges(), 6 + (2000 - 4) * 3);
+        assert!(g.validate().is_ok());
+        // Preferential attachment keeps the graph connected.
+        assert_eq!(connected_components(&g).count, 1);
+        // Hubs exist.
+        assert!(g.max_degree() > 30);
+    }
+
+    #[test]
+    fn rmat_skewed_degrees() {
+        let g = rmat(10, 8, 0.57, 0.19, 0.19, 3);
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.num_edges() > 4000, "m = {}", g.num_edges());
+        assert!(g.validate().is_ok());
+        let hist = degree_histogram(&g);
+        // Skew: some vertex has degree much larger than average.
+        let avg = g.average_degree();
+        assert!((hist.len() - 1) as f64 > 4.0 * avg);
+    }
+
+    #[test]
+    fn rmat_deterministic() {
+        assert_eq!(rmat(8, 4, 0.57, 0.19, 0.19, 1), rmat(8, 4, 0.57, 0.19, 0.19, 1));
+    }
+
+    #[test]
+    fn watts_strogatz_lattice_limit() {
+        // beta = 0: the exact ring lattice, everyone degree k.
+        let g = watts_strogatz(50, 4, 0.0, 1);
+        assert_eq!(g.num_edges(), 100);
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        assert!(crate::connectivity::is_connected(&g));
+        // Neighbor structure: 0 ~ {1, 2, 48, 49}.
+        assert_eq!(g.neighbors(0), &[1, 2, 48, 49]);
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_reduces_clustering() {
+        // Count triangles by hand: the beta=0 lattice with k=4 has n
+        // triangles; heavy rewiring destroys most of them.
+        fn triangles(g: &CsrGraph) -> usize {
+            let mut t = 0;
+            for (u, v) in g.edges() {
+                for &w in g.neighbors(v) {
+                    if w > v && g.has_edge(u, w) {
+                        t += 1;
+                    }
+                }
+            }
+            t
+        }
+        let lattice = watts_strogatz(200, 4, 0.0, 2);
+        let random = watts_strogatz(200, 4, 1.0, 2);
+        assert_eq!(triangles(&lattice), 200);
+        assert!(triangles(&random) < 50, "rewired: {}", triangles(&random));
+        // Edge budget: rewiring may collapse duplicates but never adds.
+        assert!(random.num_edges() <= 400);
+        assert!(random.num_edges() > 300);
+    }
+
+    #[test]
+    fn watts_strogatz_deterministic() {
+        assert_eq!(watts_strogatz(100, 6, 0.2, 9), watts_strogatz(100, 6, 0.2, 9));
+        assert_ne!(watts_strogatz(100, 6, 0.2, 9), watts_strogatz(100, 6, 0.2, 10));
+    }
+}

@@ -1,0 +1,146 @@
+//! Deterministic structured graphs used as fixtures and edge cases.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n * (n.saturating_sub(1)) / 2);
+    b.reserve_vertices(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as VertexId, v as VertexId);
+        }
+    }
+    b.build()
+}
+
+/// Cycle `C_n` (empty for `n < 3`).
+pub fn cycle(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    b.reserve_vertices(n);
+    if n >= 3 {
+        for v in 0..n {
+            b.add_edge(v as VertexId, ((v + 1) % n) as VertexId);
+        }
+    }
+    b.build()
+}
+
+/// Path `P_n` on `n` vertices.
+pub fn path(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    b.reserve_vertices(n);
+    for v in 1..n {
+        b.add_edge((v - 1) as VertexId, v as VertexId);
+    }
+    b.build()
+}
+
+/// Star with `leaves` leaves around center 0.
+pub fn star(leaves: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    b.reserve_vertices(leaves + 1);
+    for v in 1..=leaves {
+        b.add_edge(0, v as VertexId);
+    }
+    b.build()
+}
+
+/// `w × h` grid graph (4-neighborhood).
+pub fn grid(w: usize, h: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    b.reserve_vertices(w * h);
+    let id = |x: usize, y: usize| (y * w + x) as VertexId;
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.add_edge(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < h {
+                b.add_edge(id(x, y), id(x, y + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Chain of `count` cliques of size `size`, consecutive cliques joined by a
+/// single bridge edge. A handy fixture: `kmax = size - 1` with thin
+/// connections the k-core set sweep must peel through.
+pub fn clique_chain(count: usize, size: usize) -> CsrGraph {
+    assert!(size >= 1);
+    let mut b = GraphBuilder::new();
+    b.reserve_vertices(count * size);
+    for c in 0..count {
+        let base = c * size;
+        for u in 0..size {
+            for v in (u + 1)..size {
+                b.add_edge((base + u) as VertexId, (base + v) as VertexId);
+            }
+        }
+        if c > 0 {
+            // Bridge from the last vertex of the previous clique.
+            b.add_edge((base - 1) as VertexId, base as VertexId);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.vertices().all(|v| g.degree(v) == 5));
+        assert_eq!(complete(0).num_vertices(), 0);
+        assert_eq!(complete(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_is_2_regular() {
+        let g = cycle(7);
+        assert_eq!(g.num_edges(), 7);
+        assert!(g.vertices().all(|v| g.degree(v) == 2));
+        assert!(is_connected(&g));
+        // Degenerate sizes yield edgeless graphs rather than multi-edges.
+        assert_eq!(cycle(2).num_edges(), 0);
+    }
+
+    #[test]
+    fn path_and_star() {
+        let p = path(5);
+        assert_eq!(p.num_edges(), 4);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(2), 2);
+        let s = star(6);
+        assert_eq!(s.num_vertices(), 7);
+        assert_eq!(s.degree(0), 6);
+        assert!(s.vertices().skip(1).all(|v| s.degree(v) == 1));
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // Edges: 4 rows × 2 horizontal + 3 cols × 3 vertical = 8 + 9.
+        assert_eq!(g.num_edges(), 17);
+        assert_eq!(g.degree(0), 2); // corner
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn clique_chain_shape() {
+        let g = clique_chain(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // 3 × C(4,2) + 2 bridges.
+        assert_eq!(g.num_edges(), 20);
+        assert!(is_connected(&g));
+        let single = clique_chain(1, 5);
+        assert_eq!(single.num_edges(), 10);
+    }
+}

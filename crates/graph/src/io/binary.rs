@@ -1,0 +1,182 @@
+//! Compact binary CSR format.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic   : 8 bytes  = b"BESTKGR1"
+//! n       : u64
+//! nnz     : u64      (= 2 m, length of the neighbor array)
+//! offsets : (n + 1) × u64
+//! nbrs    : nnz × u32
+//! ```
+//!
+//! Used by the bench harness to cache large synthetic datasets between runs;
+//! reloading is a pair of bulk reads instead of re-running a generator.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::csr::{CsrGraph, VertexId};
+use crate::error::GraphError;
+use crate::Result;
+
+const MAGIC: &[u8; 8] = b"BESTKGR1";
+
+/// Writes a graph in the binary CSR format.
+pub fn write_binary<W: Write>(g: &CsrGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(g.raw_neighbors().len() as u64).to_le_bytes())?;
+    for &off in g.offsets() {
+        w.write_all(&(off as u64).to_le_bytes())?;
+    }
+    for &nbr in g.raw_neighbors() {
+        w.write_all(&nbr.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a graph in the binary CSR format to a file path.
+pub fn write_binary_path<P: AsRef<Path>>(g: &CsrGraph, path: P) -> Result<()> {
+    write_binary(g, std::fs::File::create(path)?)
+}
+
+/// Reads a graph in the binary CSR format.
+pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(GraphError::BadBinaryFormat(format!(
+            "wrong magic {:?}",
+            String::from_utf8_lossy(&magic)
+        )));
+    }
+    let n = read_u64(&mut r)? as usize;
+    let nnz = read_u64(&mut r)? as usize;
+    if n > u32::MAX as usize {
+        return Err(GraphError::BadBinaryFormat(format!(
+            "vertex count {n} exceeds the u32 id space"
+        )));
+    }
+    // Never trust header sizes for allocation: grow buffers only as actual
+    // bytes arrive, so truncated or hostile headers fail with a clean read
+    // error instead of aborting on an enormous allocation.
+    let mut offsets = Vec::with_capacity((n + 1).min(1 << 20));
+    for _ in 0..=n {
+        offsets.push(read_u64(&mut r)? as usize);
+    }
+    if offsets.first() != Some(&0) || offsets.last() != Some(&nnz) {
+        return Err(GraphError::BadBinaryFormat("inconsistent offsets".into()));
+    }
+    let mut neighbors: Vec<VertexId> = Vec::with_capacity(nnz.min(1 << 22));
+    let mut buf = [0u8; 4];
+    for _ in 0..nnz {
+        r.read_exact(&mut buf)?;
+        let v = u32::from_le_bytes(buf);
+        if v as usize >= n {
+            return Err(GraphError::BadBinaryFormat(format!(
+                "neighbor id {v} out of range (n = {n})"
+            )));
+        }
+        neighbors.push(v);
+    }
+    if !offsets.windows(2).all(|w| w[0] <= w[1]) {
+        return Err(GraphError::BadBinaryFormat("offsets not monotone".into()));
+    }
+    Ok(CsrGraph::from_parts(offsets, neighbors))
+}
+
+/// Reads a graph in the binary CSR format from a file path.
+pub fn read_binary_path<P: AsRef<Path>>(path: P) -> Result<CsrGraph> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn roundtrip_small() {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let g = CsrGraph::empty(0);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), g);
+    }
+
+    #[test]
+    fn roundtrip_random_graph() {
+        let g = generators::erdos_renyi_gnm(500, 2000, 3);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), g);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let buf = b"NOTAGRPH\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0".to_vec();
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(GraphError::BadBinaryFormat(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_neighbor() {
+        // Handcraft: n = 1, nnz = 1, offsets [0, 1], neighbor 5.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&5u32.to_le_bytes());
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(GraphError::BadBinaryFormat(_))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("bestk-graph-bin-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin");
+        let g = generators::erdos_renyi_gnm(64, 128, 9);
+        write_binary_path(&g, &path).unwrap();
+        assert_eq!(read_binary_path(&path).unwrap(), g);
+        std::fs::remove_file(path).ok();
+    }
+}

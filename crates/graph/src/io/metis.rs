@@ -1,0 +1,210 @@
+//! METIS graph format.
+//!
+//! The interchange format of the METIS / KaHIP partitioning ecosystems:
+//! a header line `n m [fmt]` followed by `n` adjacency lines, one per
+//! vertex, listing 1-indexed neighbors. Only the unweighted variant
+//! (`fmt` absent or `0`/`00`/`000`) is supported; weighted headers are
+//! rejected with a clear error rather than silently misread.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::Result;
+
+/// Reads a METIS graph.
+pub fn read_metis<R: Read>(reader: R) -> Result<CsrGraph> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines().enumerate();
+    // Header: first non-comment line.
+    let (header_lineno, header) = loop {
+        match lines.next() {
+            None => {
+                return Err(GraphError::Parse { line: 1, message: "missing header".into() })
+            }
+            Some((i, line)) => {
+                let line = line?;
+                let trimmed = line.trim().to_string();
+                if !trimmed.is_empty() && !trimmed.starts_with('%') {
+                    break (i, trimmed);
+                }
+            }
+        }
+    };
+    let mut header_it = header.split_whitespace();
+    let parse_num = |tok: Option<&str>, what: &str| -> Result<u64> {
+        let tok = tok.ok_or_else(|| GraphError::Parse {
+            line: header_lineno + 1,
+            message: format!("header missing {what}"),
+        })?;
+        tok.parse().map_err(|e| GraphError::Parse {
+            line: header_lineno + 1,
+            message: format!("bad {what} {tok:?}: {e}"),
+        })
+    };
+    let n = parse_num(header_it.next(), "vertex count")? as usize;
+    let m = parse_num(header_it.next(), "edge count")? as usize;
+    if let Some(fmt) = header_it.next() {
+        if fmt.chars().any(|c| c != '0') {
+            return Err(GraphError::Parse {
+                line: header_lineno + 1,
+                message: format!("weighted METIS format {fmt:?} is not supported"),
+            });
+        }
+    }
+    if n > u32::MAX as usize {
+        return Err(GraphError::TooManyVertices(n as u64));
+    }
+
+    let mut b = GraphBuilder::with_capacity(m);
+    b.reserve_vertices(n);
+    let mut vertex = 0u32;
+    for (i, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.starts_with('%') {
+            continue;
+        }
+        if vertex as usize >= n {
+            if trimmed.is_empty() {
+                continue;
+            }
+            return Err(GraphError::Parse {
+                line: i + 1,
+                message: format!("more than {n} adjacency lines"),
+            });
+        }
+        for tok in trimmed.split_whitespace() {
+            let nbr: u64 = tok.parse().map_err(|e| GraphError::Parse {
+                line: i + 1,
+                message: format!("bad neighbor {tok:?}: {e}"),
+            })?;
+            if nbr == 0 || nbr > n as u64 {
+                return Err(GraphError::Parse {
+                    line: i + 1,
+                    message: format!("neighbor {nbr} out of range 1..={n}"),
+                });
+            }
+            b.add_edge(vertex, (nbr - 1) as u32);
+        }
+        vertex += 1;
+    }
+    if (vertex as usize) < n {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!("expected {n} adjacency lines, got {vertex}"),
+        });
+    }
+    let g = b.build();
+    if g.num_edges() != m {
+        // METIS counts each undirected edge once; tolerate mismatches that
+        // come from duplicate listings but report blatant inconsistencies.
+        if g.num_edges() > m {
+            return Err(GraphError::Parse {
+                line: 0,
+                message: format!("header claims {m} edges, file contains {}", g.num_edges()),
+            });
+        }
+    }
+    Ok(g)
+}
+
+/// Reads a METIS graph from a file path.
+pub fn read_metis_path<P: AsRef<Path>>(path: P) -> Result<CsrGraph> {
+    read_metis(std::fs::File::open(path)?)
+}
+
+/// Writes the graph in METIS format.
+pub fn write_metis<W: Write>(g: &CsrGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "{} {}", g.num_vertices(), g.num_edges())?;
+    for v in g.vertices() {
+        let mut first = true;
+        for &u in g.neighbors(v) {
+            if first {
+                write!(w, "{}", u + 1)?;
+                first = false;
+            } else {
+                write!(w, " {}", u + 1)?;
+            }
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes the graph in METIS format to a file path.
+pub fn write_metis_path<P: AsRef<Path>>(g: &CsrGraph, path: P) -> Result<()> {
+    write_metis(g, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn parse_classic_example() {
+        // The triangle plus a pendant, in METIS's 1-indexed format.
+        let text = "% a comment\n4 4\n2 3\n1 3 4\n1 2\n2\n";
+        let g = read_metis(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 3));
+        assert!(!g.has_edge(0, 3));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = generators::erdos_renyi_gnm(80, 300, 4);
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let g2 = read_metis(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn roundtrip_with_isolated_vertices() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 2);
+        b.reserve_vertices(5);
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        assert_eq!(read_metis(&buf[..]).unwrap(), g);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(matches!(
+            read_metis(&b""[..]),
+            Err(GraphError::Parse { .. })
+        ));
+        // Out-of-range neighbor.
+        assert!(read_metis(&b"2 1\n3\n\n"[..]).is_err());
+        // Zero neighbor (METIS is 1-indexed).
+        assert!(read_metis(&b"2 1\n0\n\n"[..]).is_err());
+        // Too few adjacency lines.
+        assert!(read_metis(&b"3 1\n2\n"[..]).is_err());
+        // Too many edges vs header.
+        assert!(read_metis(&b"3 1\n2 3\n1 3\n1 2\n"[..]).is_err());
+        // Weighted format flag.
+        assert!(read_metis(&b"2 1 011\n2\n1\n"[..]).is_err());
+        // Unweighted flag "000" accepted.
+        assert!(read_metis(&b"2 1 000\n2\n1\n"[..]).is_ok());
+    }
+
+    #[test]
+    fn header_edge_count_checked() {
+        // Header says 2 edges but only 1 present: tolerated (some writers
+        // count loosely); the reverse (more than declared) errors.
+        let ok = read_metis(&b"3 2\n2\n1\n\n"[..]);
+        assert!(ok.is_ok());
+        assert_eq!(ok.unwrap().num_edges(), 1);
+    }
+}

@@ -1,0 +1,22 @@
+//! Graph readers and writers.
+//!
+//! Four formats are supported:
+//!
+//! * [`edgelist`] — the whitespace-separated text format used by SNAP
+//!   (`# comment` lines, one `u v` pair per line). The paper's datasets ship
+//!   in this format, so the harness reads/writes it for interoperability.
+//! * [`binary`] — a compact little-endian CSR dump for fast reloads of large
+//!   synthetic datasets between benchmark runs.
+//! * [`metis`] — the METIS / KaHIP partitioning format (unweighted).
+//! * [`dot`] — Graphviz DOT export with per-vertex attributes (e.g.
+//!   coreness coloring).
+
+pub mod binary;
+pub mod dot;
+pub mod edgelist;
+pub mod metis;
+
+pub use binary::{read_binary, read_binary_path, write_binary, write_binary_path};
+pub use dot::{write_dot, write_dot_path};
+pub use metis::{read_metis, read_metis_path, write_metis, write_metis_path};
+pub use edgelist::{read_edge_list, read_edge_list_path, write_edge_list, write_edge_list_path};

@@ -1,0 +1,182 @@
+//! Induced-subgraph extraction.
+//!
+//! The paper's baseline algorithms (§III-A, §IV-B) re-materialize the k-core
+//! set for every k and score it from scratch; this module provides that
+//! materialization. The optimal algorithms never call it — that is the point
+//! of the comparison.
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// A subgraph induced by a vertex subset, with vertices renumbered densely.
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    /// The extracted graph over dense ids `0..vertices.len()`.
+    pub graph: CsrGraph,
+    /// `vertices[i]` is the original id of dense vertex `i`, ascending.
+    pub vertices: Vec<VertexId>,
+}
+
+impl InducedSubgraph {
+    /// Maps a dense subgraph id back to the original graph id.
+    #[inline]
+    pub fn original_id(&self, dense: VertexId) -> VertexId {
+        self.vertices[dense as usize]
+    }
+}
+
+/// Extracts the subgraph induced by `vertices` (duplicates allowed, order
+/// irrelevant) in `O(|vertices| + Σ deg)` time.
+pub fn induced_subgraph(g: &CsrGraph, vertices: &[VertexId]) -> InducedSubgraph {
+    let mut keep: Vec<VertexId> = vertices.to_vec();
+    keep.sort_unstable();
+    keep.dedup();
+    // Dense remap: u32::MAX marks "not in subgraph".
+    let mut remap = vec![u32::MAX; g.num_vertices()];
+    for (i, &v) in keep.iter().enumerate() {
+        remap[v as usize] = i as u32;
+    }
+    let mut offsets = Vec::with_capacity(keep.len() + 1);
+    offsets.push(0usize);
+    let mut neighbors = Vec::new();
+    for &v in &keep {
+        for &u in g.neighbors(v) {
+            let d = remap[u as usize];
+            if d != u32::MAX {
+                neighbors.push(d);
+            }
+        }
+        offsets.push(neighbors.len());
+    }
+    InducedSubgraph { graph: CsrGraph::from_parts(offsets, neighbors), vertices: keep }
+}
+
+/// Number of edges in the subgraph induced by `vertices`, without
+/// materializing it. `O(Σ deg)` with an `O(n)` scratch bitmap.
+pub fn induced_edge_count(g: &CsrGraph, vertices: &[VertexId]) -> usize {
+    let mut inside = vec![false; g.num_vertices()];
+    for &v in vertices {
+        inside[v as usize] = true;
+    }
+    let mut uniq = Vec::with_capacity(vertices.len());
+    let mut seen = vec![false; g.num_vertices()];
+    for &v in vertices {
+        if !seen[v as usize] {
+            seen[v as usize] = true;
+            uniq.push(v);
+        }
+    }
+    // Each internal edge is seen from both endpoints; halve at the end.
+    let mut twice = 0usize;
+    for &v in &uniq {
+        for &u in g.neighbors(v) {
+            if inside[u as usize] {
+                twice += 1;
+            }
+        }
+    }
+    twice / 2
+}
+
+/// Number of boundary edges of the vertex set (edges with exactly one
+/// endpoint inside). `O(Σ deg)`.
+pub fn boundary_edge_count(g: &CsrGraph, vertices: &[VertexId]) -> usize {
+    let mut inside = vec![false; g.num_vertices()];
+    let mut uniq = Vec::with_capacity(vertices.len());
+    for &v in vertices {
+        if !inside[v as usize] {
+            inside[v as usize] = true;
+            uniq.push(v);
+        }
+    }
+    let mut boundary = 0usize;
+    for &v in &uniq {
+        for &u in g.neighbors(v) {
+            if !inside[u as usize] {
+                boundary += 1;
+            }
+        }
+    }
+    boundary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// 5-vertex graph: square 0-1-2-3 with diagonal 0-2, pendant 4 on 0.
+    fn fixture() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (0, 4)]);
+        b.build()
+    }
+
+    #[test]
+    fn induced_triangle() {
+        let g = fixture();
+        let sub = induced_subgraph(&g, &[0, 1, 2]);
+        assert_eq!(sub.graph.num_vertices(), 3);
+        assert_eq!(sub.graph.num_edges(), 3);
+        assert_eq!(sub.vertices, vec![0, 1, 2]);
+        assert!(sub.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn induced_preserves_original_ids() {
+        let g = fixture();
+        let sub = induced_subgraph(&g, &[4, 2, 0]);
+        assert_eq!(sub.vertices, vec![0, 2, 4]);
+        assert_eq!(sub.original_id(1), 2);
+        // Edges 0-2 and 0-4 survive; 2-4 does not exist.
+        assert_eq!(sub.graph.num_edges(), 2);
+    }
+
+    #[test]
+    fn induced_with_duplicates_in_input() {
+        let g = fixture();
+        let sub = induced_subgraph(&g, &[1, 1, 2, 2]);
+        assert_eq!(sub.graph.num_vertices(), 2);
+        assert_eq!(sub.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn induced_empty_set() {
+        let g = fixture();
+        let sub = induced_subgraph(&g, &[]);
+        assert_eq!(sub.graph.num_vertices(), 0);
+        assert_eq!(sub.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn edge_count_without_materializing() {
+        let g = fixture();
+        assert_eq!(induced_edge_count(&g, &[0, 1, 2, 3]), 5);
+        assert_eq!(induced_edge_count(&g, &[0, 4]), 1);
+        assert_eq!(induced_edge_count(&g, &[1, 3]), 0);
+        assert_eq!(induced_edge_count(&g, &[]), 0);
+    }
+
+    #[test]
+    fn boundary_count() {
+        let g = fixture();
+        // {0}: edges to 1, 2, 3, 4.
+        assert_eq!(boundary_edge_count(&g, &[0]), 4);
+        // {0,1,2,3}: only the pendant edge 0-4 crosses.
+        assert_eq!(boundary_edge_count(&g, &[0, 1, 2, 3]), 1);
+        // Whole graph: nothing crosses.
+        assert_eq!(boundary_edge_count(&g, &[0, 1, 2, 3, 4]), 0);
+        // Duplicates in the input must not double-count.
+        assert_eq!(boundary_edge_count(&g, &[0, 0]), 4);
+    }
+
+    #[test]
+    fn edge_count_matches_materialized_subgraph() {
+        let g = fixture();
+        for set in [&[0u32, 1, 2][..], &[0, 2, 4], &[1, 2, 3, 4]] {
+            assert_eq!(
+                induced_edge_count(&g, set),
+                induced_subgraph(&g, set).graph.num_edges()
+            );
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Edge-weighted graphs.
+//!
+//! Substrate for the weighted-core extension sketched in the paper's §VII
+//! (weighted k-core / s-core decomposition, references \[23\], \[27\], \[60\]):
+//! a [`CsrGraph`] plus a parallel integer weight array, so every unweighted
+//! algorithm keeps working on the underlying topology while weighted
+//! algorithms read weights by adjacency slot.
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// An undirected simple graph with positive integer edge weights.
+///
+/// Weights are `u32` (weighted degrees accumulate in `u64`): integer
+/// weights keep the s-core peeling's bucket queue exact, and any rational
+/// weighting can be scaled into integers beforehand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedCsrGraph {
+    graph: CsrGraph,
+    /// `weights[p]` = weight of the edge in adjacency slot `p` (aligned
+    /// with `graph.raw_neighbors()`; both directions carry the same value).
+    weights: Vec<u32>,
+}
+
+impl WeightedCsrGraph {
+    /// The underlying unweighted topology.
+    #[inline]
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().map(|&w| w as u64).sum::<u64>() / 2
+    }
+
+    /// The neighbor/weight pairs of `v`.
+    #[inline]
+    pub fn neighbors_with_weights(
+        &self,
+        v: VertexId,
+    ) -> impl Iterator<Item = (VertexId, u32)> + '_ {
+        let (s, e) = (
+            self.graph.offsets()[v as usize],
+            self.graph.offsets()[v as usize + 1],
+        );
+        self.graph.raw_neighbors()[s..e]
+            .iter()
+            .copied()
+            .zip(self.weights[s..e].iter().copied())
+    }
+
+    /// Weighted degree of `v`: the sum of incident edge weights.
+    pub fn weighted_degree(&self, v: VertexId) -> u64 {
+        self.neighbors_with_weights(v).map(|(_, w)| w as u64).sum()
+    }
+
+    /// Raw weight array (aligned with the CSR adjacency).
+    #[inline]
+    pub fn slot_weights(&self) -> &[u32] {
+        &self.weights
+    }
+
+    /// Checks weight symmetry on top of the simple-graph invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        self.graph.validate()?;
+        for v in self.graph.vertices() {
+            for (u, w) in self.neighbors_with_weights(v) {
+                let back = self
+                    .neighbors_with_weights(u)
+                    .find(|&(x, _)| x == v)
+                    .map(|(_, w)| w);
+                if back != Some(w) {
+                    return Err(format!("asymmetric weight on edge ({v},{u})"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`WeightedCsrGraph`]; parallel edges have their weights
+/// summed, self loops are dropped.
+#[derive(Debug, Clone, Default)]
+pub struct WeightedGraphBuilder {
+    edges: Vec<(VertexId, VertexId, u32)>,
+    min_vertices: usize,
+}
+
+impl WeightedGraphBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures at least `n` vertices in the result.
+    pub fn reserve_vertices(&mut self, n: usize) -> &mut Self {
+        self.min_vertices = self.min_vertices.max(n);
+        self
+    }
+
+    /// Adds the undirected edge `{u, v}` with weight `w` (self loops
+    /// dropped; repeated pairs sum their weights at build time).
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: u32) -> &mut Self {
+        if u != v {
+            self.edges.push(if u < v { (u, v, w) } else { (v, u, w) });
+        }
+        self
+    }
+
+    /// Adds every weighted edge from an iterator.
+    pub fn extend_edges<I: IntoIterator<Item = (VertexId, VertexId, u32)>>(
+        &mut self,
+        iter: I,
+    ) -> &mut Self {
+        for (u, v, w) in iter {
+            self.add_edge(u, v, w);
+        }
+        self
+    }
+
+    /// Builds the weighted graph.
+    pub fn build(mut self) -> WeightedCsrGraph {
+        // Merge duplicates: sort by endpoints, sum weights.
+        self.edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        let mut merged: Vec<(VertexId, VertexId, u64)> = Vec::with_capacity(self.edges.len());
+        for (u, v, w) in self.edges {
+            match merged.last_mut() {
+                Some((lu, lv, lw)) if *lu == u && *lv == v => *lw += w as u64,
+                _ => merged.push((u, v, w as u64)),
+            }
+        }
+        let mut b = crate::builder::GraphBuilder::with_capacity(merged.len());
+        b.reserve_vertices(self.min_vertices);
+        for &(u, v, _) in &merged {
+            b.add_edge(u, v);
+        }
+        let graph = b.build();
+        // Scatter weights into adjacency slots via binary search on the
+        // sorted adjacency.
+        let mut weights = vec![0u32; graph.raw_neighbors().len()];
+        for &(u, v, w) in &merged {
+            let w = u32::try_from(w).expect("summed edge weight exceeds u32");
+            for (a, b_) in [(u, v), (v, u)] {
+                let start = graph.offsets()[a as usize];
+                let pos = graph
+                    .neighbors(a)
+                    .binary_search(&b_)
+                    .expect("edge present by construction");
+                weights[start + pos] = w;
+            }
+        }
+        WeightedCsrGraph { graph, weights }
+    }
+}
+
+/// Derives a weighted graph from an unweighted one with unit weights —
+/// weighted algorithms then reduce exactly to their unweighted versions
+/// (the crate's cross-validation trick).
+pub fn unit_weights(g: &CsrGraph) -> WeightedCsrGraph {
+    WeightedCsrGraph {
+        graph: g.clone(),
+        weights: vec![1; g.raw_neighbors().len()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut b = WeightedGraphBuilder::new();
+        b.add_edge(0, 1, 5);
+        b.add_edge(1, 2, 3);
+        b.add_edge(2, 0, 1);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.total_weight(), 9);
+        assert_eq!(g.weighted_degree(0), 6);
+        assert_eq!(g.weighted_degree(1), 8);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_edges_sum_weights() {
+        let mut b = WeightedGraphBuilder::new();
+        b.add_edge(0, 1, 2);
+        b.add_edge(1, 0, 3);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.total_weight(), 5);
+    }
+
+    #[test]
+    fn self_loops_dropped_and_reserve() {
+        let mut b = WeightedGraphBuilder::new();
+        b.add_edge(1, 1, 9);
+        b.add_edge(0, 1, 1);
+        b.reserve_vertices(5);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.weighted_degree(4), 0);
+    }
+
+    #[test]
+    fn unit_weights_match_topology() {
+        let base = crate::generators::erdos_renyi_gnm(50, 150, 3);
+        let w = unit_weights(&base);
+        assert_eq!(w.total_weight(), 150);
+        for v in base.vertices() {
+            assert_eq!(w.weighted_degree(v), base.degree(v) as u64);
+        }
+        assert!(w.validate().is_ok());
+    }
+
+    #[test]
+    fn neighbors_with_weights_alignment() {
+        let mut b = WeightedGraphBuilder::new();
+        b.add_edge(0, 2, 7);
+        b.add_edge(0, 1, 4);
+        let g = b.build();
+        let pairs: Vec<_> = g.neighbors_with_weights(0).collect();
+        assert_eq!(pairs, vec![(1, 4), (2, 7)]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Robustness property tests for the graph readers: arbitrary byte soup
+//! must produce errors, never panics or bogus graphs, and round trips must
+//! be lossless for every generator family.
+
+use proptest::prelude::*;
+
+use bestk_graph::{io, CsrGraph, GraphBuilder};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random bytes into the binary reader: error or a valid graph, never a
+    /// panic, and any accepted graph passes validation.
+    #[test]
+    fn binary_reader_survives_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(g) = io::read_binary(&bytes[..]) {
+            prop_assert!(g.validate().is_ok());
+        }
+    }
+
+    /// Garbage prefixed with the real magic: still no panic.
+    #[test]
+    fn binary_reader_survives_magic_plus_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut buf = b"BESTKGR1".to_vec();
+        buf.extend_from_slice(&bytes);
+        if let Ok(g) = io::read_binary(&buf[..]) {
+            prop_assert!(g.validate().is_ok());
+        }
+    }
+
+    /// Random text into the edge-list reader: error or valid graph.
+    #[test]
+    fn text_reader_survives_garbage(text in "[ -~\n\t]{0,300}") {
+        if let Ok((g, orig)) = io::read_edge_list(text.as_bytes()) {
+            prop_assert!(g.validate().is_ok());
+            prop_assert_eq!(orig.len(), g.num_vertices());
+        }
+    }
+
+    /// Truncating a valid binary at any point errors cleanly.
+    #[test]
+    fn truncated_binary_errors(cut in 0usize..200) {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0u32, 1u32), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let g = b.build();
+        let mut buf = Vec::new();
+        io::write_binary(&g, &mut buf).unwrap();
+        let cut = cut.min(buf.len());
+        if cut < buf.len() {
+            buf.truncate(cut);
+            prop_assert!(io::read_binary(&buf[..]).is_err());
+        }
+    }
+
+    /// Binary round trip is identity for arbitrary built graphs.
+    #[test]
+    fn binary_roundtrip_arbitrary(edges in proptest::collection::vec((0u32..60, 0u32..60), 0..200)) {
+        let mut b = GraphBuilder::new();
+        b.extend_edges(edges);
+        let g = b.build();
+        let mut buf = Vec::new();
+        io::write_binary(&g, &mut buf).unwrap();
+        let g2 = io::read_binary(&buf[..]).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    /// Text round trip preserves the edge multiset (module relabeling).
+    #[test]
+    fn text_roundtrip_arbitrary(edges in proptest::collection::vec((0u32..40, 0u32..40), 1..150)) {
+        let mut b = GraphBuilder::new();
+        b.extend_edges(edges);
+        let g = b.build();
+        prop_assume!(g.num_edges() > 0);
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        let (g2, orig) = io::read_edge_list(&buf[..]).unwrap();
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+        let mut original: Vec<(u32, u32)> = g.edges().collect();
+        let mut mapped: Vec<(u32, u32)> = g2
+            .edges()
+            .map(|(u, v)| {
+                let (a, b) = (orig[u as usize] as u32, orig[v as usize] as u32);
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        original.sort_unstable();
+        mapped.sort_unstable();
+        prop_assert_eq!(original, mapped);
+    }
+}
+
+#[test]
+fn empty_input_behaviors() {
+    assert!(io::read_binary(&b""[..]).is_err());
+    let (g, orig) = io::read_edge_list(&b""[..]).unwrap();
+    assert_eq!(g.num_vertices(), 0);
+    assert!(orig.is_empty());
+    let _ = CsrGraph::empty(0);
+}

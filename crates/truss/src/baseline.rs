@@ -1,0 +1,157 @@
+//! Per-k from-scratch rescoring of k-truss sets — the §III-A-style
+//! baseline lifted to trusses, used as comparator and test oracle.
+
+use bestk_core::metrics::PrimaryValues;
+use bestk_graph::{CsrGraph, VertexId};
+
+use crate::decomposition::TrussDecomposition;
+use crate::edgeindex::EdgeIndex;
+
+/// Primary values of every k-truss set (`k = 2 ..= tmax`, indices 0–1
+/// duplicating 2, like [`truss_set_profile`](crate::truss_set_profile)),
+/// recomputed independently per k: `O(tmax · m^1.5)` worst case.
+pub fn baseline_truss_set_primaries(
+    g: &CsrGraph,
+    idx: &EdgeIndex,
+    t: &TrussDecomposition,
+) -> Vec<PrimaryValues> {
+    let tmax = t.tmax();
+    if tmax < 2 {
+        return Vec::new();
+    }
+    let mut primaries = vec![PrimaryValues::default(); tmax as usize + 1];
+    for k in 2..=tmax {
+        primaries[k as usize] = truss_set_primaries_at(g, idx, t, k);
+    }
+    primaries[0] = primaries[2];
+    primaries[1] = primaries[2];
+    primaries
+}
+
+/// Direct computation of one k-truss set's primaries.
+pub fn truss_set_primaries_at(
+    g: &CsrGraph,
+    idx: &EdgeIndex,
+    t: &TrussDecomposition,
+    k: u32,
+) -> PrimaryValues {
+    let n = g.num_vertices();
+    // Membership: edges with t >= k; vertices incident to at least one.
+    let mut vertex_in = vec![false; n];
+    let mut internal_edges = 0u64;
+    for e in 0..idx.num_edges() as u32 {
+        if t.truss(e) >= k {
+            internal_edges += 1;
+            let (u, v) = idx.endpoints(e);
+            vertex_in[u as usize] = true;
+            vertex_in[v as usize] = true;
+        }
+    }
+    let num_vertices = vertex_in.iter().filter(|&&b| b).count() as u64;
+    // Boundary: edges (of any truss) with exactly one endpoint in the set.
+    let mut boundary_edges = 0u64;
+    for e in 0..idx.num_edges() as u32 {
+        let (u, v) = idx.endpoints(e);
+        if vertex_in[u as usize] != vertex_in[v as usize] {
+            boundary_edges += 1;
+        }
+    }
+    // Triangles and triplets in the edge-induced subgraph.
+    let mut degree = vec![0u64; n];
+    for e in 0..idx.num_edges() as u32 {
+        if t.truss(e) >= k {
+            let (u, v) = idx.endpoints(e);
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+    }
+    let triplets = degree.iter().map(|&d| d * d.saturating_sub(1) / 2).sum();
+    let mut triangles = 0u64;
+    for e in 0..idx.num_edges() as u32 {
+        if t.truss(e) < k {
+            continue;
+        }
+        let (u, v) = idx.endpoints(e);
+        // Count each triangle at its lexicographically-first edge: demand
+        // w > v (endpoints are canonical u < v, so (u,v) is the first edge
+        // exactly when w is the largest vertex).
+        for &w in g.neighbors(u) {
+            if w > v {
+                let uv_w = idx.edge_id(g, u, w);
+                let vw = idx.edge_id(g, v, w);
+                if let (Some(a), Some(b)) = (uv_w, vw) {
+                    if t.truss(a) >= k && t.truss(b) >= k {
+                        triangles += 1;
+                    }
+                }
+            }
+        }
+    }
+    PrimaryValues { num_vertices, internal_edges, boundary_edges, triangles, triplets }
+}
+
+/// The vertex set of the k-truss set (sorted ascending).
+pub fn truss_set_vertices(
+    g: &CsrGraph,
+    idx: &EdgeIndex,
+    t: &TrussDecomposition,
+    k: u32,
+) -> Vec<VertexId> {
+    let mut vertex_in = vec![false; g.num_vertices()];
+    for e in 0..idx.num_edges() as u32 {
+        if t.truss(e) >= k {
+            let (u, v) = idx.endpoints(e);
+            vertex_in[u as usize] = true;
+            vertex_in[v as usize] = true;
+        }
+    }
+    (0..g.num_vertices() as VertexId)
+        .filter(|&v| vertex_in[v as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bestkset::truss_set_profile;
+    use crate::decomposition::truss_decomposition_with_index;
+    use bestk_graph::generators::{self, regular};
+
+    fn check(g: &CsrGraph) {
+        let idx = EdgeIndex::build(g);
+        let t = truss_decomposition_with_index(g, &idx);
+        let fast = truss_set_profile(g, &idx, &t).primaries;
+        let slow = baseline_truss_set_primaries(g, &idx, &t);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn fast_profile_matches_baseline_on_random_graphs() {
+        for seed in 0..5 {
+            check(&generators::erdos_renyi_gnm(80, 360, seed));
+        }
+    }
+
+    #[test]
+    fn fast_profile_matches_baseline_on_structured_graphs() {
+        check(&generators::paper_figure2());
+        check(&regular::complete(8));
+        check(&regular::clique_chain(4, 5));
+        check(&generators::overlapping_cliques(150, 30, (3, 9), 2));
+        check(&generators::planted_partition(&[30, 25, 20], 0.4, 0.03, 3).graph);
+        check(&regular::grid(6, 6));
+        check(&regular::cycle(10));
+    }
+
+    #[test]
+    fn truss_set_vertices_match_num_vertices() {
+        let g = generators::erdos_renyi_gnm(100, 450, 8);
+        let idx = EdgeIndex::build(&g);
+        let t = truss_decomposition_with_index(&g, &idx);
+        let profile = truss_set_profile(&g, &idx, &t);
+        for k in 2..=t.tmax() {
+            let verts = truss_set_vertices(&g, &idx, &t, k);
+            assert_eq!(verts.len() as u64, profile.primaries[k as usize].num_vertices, "k={k}");
+        }
+    }
+}

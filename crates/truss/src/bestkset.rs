@@ -1,0 +1,315 @@
+//! Finding the best k-truss set (paper §VI-B).
+//!
+//! The k-truss sets are nested like k-core sets, so the same
+//! primaries-then-score framework applies. Because trusses are
+//! edge-defined, every primary value reduces to counting over the *truss
+//! numbers* of edges and the per-vertex entry levels:
+//!
+//! * `m(S_k)` — edges with `t(e) ≥ k`: one histogram suffix sum.
+//! * `n(S_k)` — vertices whose max incident truss is ≥ k: another
+//!   histogram.
+//! * `b(S_k)` — an edge is boundary exactly while one endpoint has entered
+//!   and the other has not, i.e. for `min_vt(e) < k ≤ max_vt(e)`: two
+//!   histograms.
+//! * `Δ(S_k)` — a triangle lives in the k-truss set iff the *minimum* truss
+//!   number over its three edges is ≥ k: one triangle pass recording that
+//!   minimum, then a histogram.
+//! * `t(S_k)` — per-vertex incident truss numbers sorted descending give
+//!   the degree sequence `d_k(v)` for every k at once; pair-count deltas
+//!   accumulate per level.
+//!
+//! Total cost: `O(m^1.5)` for the triangle pass (matching the k-core
+//! Algorithm 3 bound), `O(m log m)` for the rest, after the `O(m^1.5)`
+//! decomposition itself.
+
+use bestk_core::metrics::{best_k, CommunityMetric, GraphContext, PrimaryValues};
+use bestk_graph::{CsrGraph, VertexId};
+
+use crate::decomposition::TrussDecomposition;
+use crate::edgeindex::EdgeIndex;
+
+/// Per-k primary values of every k-truss set, `k = 2 ..= tmax`.
+#[derive(Debug, Clone)]
+pub struct TrussSetProfile {
+    /// Largest truss number.
+    pub tmax: u32,
+    /// `primaries[k]` describes the k-truss set; indices 0 and 1 duplicate
+    /// index 2 (k-trusses are defined from k = 2). Length `tmax + 1`
+    /// (empty when the graph has no edges).
+    pub primaries: Vec<PrimaryValues>,
+    /// Whole-graph context used for scoring.
+    pub context: GraphContext,
+}
+
+/// The answer to the best-k-truss-set problem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BestKTruss {
+    /// The best `k` (≥ 2).
+    pub k: u32,
+    /// The score of the k-truss set at that `k`.
+    pub score: f64,
+}
+
+impl TrussSetProfile {
+    /// Scores every k-truss set under `metric`; `O(tmax)`.
+    pub fn scores<M: CommunityMetric + ?Sized>(&self, metric: &M) -> Vec<f64> {
+        self.primaries.iter().map(|pv| metric.score(pv, &self.context)).collect()
+    }
+
+    /// The best `k` under `metric` (ties to the largest k; `k < 2` never
+    /// wins because indices 0–1 duplicate index 2).
+    pub fn best<M: CommunityMetric + ?Sized>(&self, metric: &M) -> Option<BestKTruss> {
+        best_k(&self.scores(metric)).map(|(k, score)| BestKTruss { k: k.max(2), score })
+    }
+}
+
+/// Computes the full [`TrussSetProfile`] from a decomposition.
+pub fn truss_set_profile(
+    g: &CsrGraph,
+    idx: &EdgeIndex,
+    t: &TrussDecomposition,
+) -> TrussSetProfile {
+    let tmax = t.tmax();
+    let context = GraphContext {
+        total_vertices: g.num_vertices() as u64,
+        total_edges: g.num_edges() as u64,
+    };
+    if tmax < 2 {
+        return TrussSetProfile { tmax, primaries: Vec::new(), context };
+    }
+    let levels = tmax as usize + 1;
+    let m = idx.num_edges();
+
+    // m(S_k): histogram of truss numbers, suffix-summed.
+    let mut edges_at = vec![0u64; levels + 1];
+    for e in 0..m as u32 {
+        edges_at[t.truss(e) as usize] += 1;
+    }
+
+    // n(S_k): histogram of vertex entry levels.
+    let mut verts_at = vec![0u64; levels + 1];
+    for v in g.vertices() {
+        let vt = t.vertex_truss(v) as usize;
+        if vt >= 2 {
+            verts_at[vt] += 1;
+        }
+    }
+
+    // b(S_k) = #{e : min_vt(e) < k <= max_vt(e)}.
+    let mut max_vt_at = vec![0u64; levels + 1];
+    let mut min_vt_at = vec![0u64; levels + 1];
+    for e in 0..m as u32 {
+        let (u, v) = idx.endpoints(e);
+        let (a, b) = (
+            t.vertex_truss(u).min(t.vertex_truss(v)) as usize,
+            t.vertex_truss(u).max(t.vertex_truss(v)) as usize,
+        );
+        max_vt_at[b.min(levels)] += 1;
+        min_vt_at[a.min(levels)] += 1;
+    }
+
+    // Δ(S_k): histogram over each triangle's minimum edge truss.
+    let tri_at = triangle_min_truss_histogram(g, idx, t, levels);
+
+    // t(S_k): per-vertex descending incident-truss walk.
+    let mut trip_at = vec![0u64; levels + 1];
+    for v in g.vertices() {
+        let mut incident: Vec<u32> = idx
+            .slots_of(g, v)
+            .map(|p| t.truss(idx.id_at_slot(p)))
+            .collect();
+        if incident.len() < 2 {
+            continue;
+        }
+        incident.sort_unstable_by_key(|&x| std::cmp::Reverse(x));
+        // Walk levels descending: at level k the degree is the count of
+        // incident truss values >= k; record the pair-count delta at each
+        // distinct level.
+        let mut d_prev = 0u64;
+        let mut i = 0usize;
+        while i < incident.len() {
+            let level = incident[i];
+            let mut j = i;
+            while j < incident.len() && incident[j] == level {
+                j += 1;
+            }
+            let d_new = j as u64;
+            trip_at[level as usize] += choose2(d_new) - choose2(d_prev);
+            d_prev = d_new;
+            i = j;
+        }
+    }
+
+    // Suffix-sum everything into per-k primaries.
+    let mut primaries = vec![PrimaryValues::default(); levels];
+    let mut m_acc = 0u64;
+    let mut n_acc = 0u64;
+    let mut maxvt_acc = 0u64;
+    let mut minvt_acc = 0u64;
+    let mut tri_acc = 0u64;
+    let mut trip_acc = 0u64;
+    for k in (2..levels).rev() {
+        m_acc += edges_at[k];
+        n_acc += verts_at[k];
+        maxvt_acc += max_vt_at[k];
+        minvt_acc += min_vt_at[k];
+        tri_acc += tri_at[k];
+        trip_acc += trip_at[k];
+        primaries[k] = PrimaryValues {
+            num_vertices: n_acc,
+            internal_edges: m_acc,
+            boundary_edges: maxvt_acc - minvt_acc,
+            triangles: tri_acc,
+            triplets: trip_acc,
+        };
+    }
+    primaries[0] = primaries[2];
+    primaries[1] = primaries[2];
+    TrussSetProfile { tmax, primaries, context }
+}
+
+/// One forward-triangle pass recording, for each triangle, the minimum
+/// truss number among its three edges; returns the per-level histogram.
+fn triangle_min_truss_histogram(
+    g: &CsrGraph,
+    idx: &EdgeIndex,
+    t: &TrussDecomposition,
+    levels: usize,
+) -> Vec<u64> {
+    let n = g.num_vertices();
+    let mut hist = vec![0u64; levels + 1];
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.sort_unstable_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    let mut pos = vec![0u32; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = i as u32;
+    }
+    let mut mark: Vec<u32> = vec![u32::MAX; n];
+    for &v in &order {
+        let pv = pos[v as usize];
+        let range = idx.slots_of(g, v);
+        for p in range.clone() {
+            let w = g.raw_neighbors()[p];
+            if pos[w as usize] > pv {
+                mark[w as usize] = idx.id_at_slot(p);
+            }
+        }
+        for p in range.clone() {
+            let u = g.raw_neighbors()[p];
+            if pos[u as usize] <= pv {
+                continue;
+            }
+            let t_vu = t.truss(idx.id_at_slot(p));
+            for q in idx.slots_of(g, u) {
+                let w = g.raw_neighbors()[q];
+                if pos[w as usize] > pos[u as usize] && mark[w as usize] != u32::MAX {
+                    let t_vw = t.truss(mark[w as usize]);
+                    let t_uw = t.truss(idx.id_at_slot(q));
+                    let min_t = t_vu.min(t_vw).min(t_uw) as usize;
+                    hist[min_t] += 1;
+                }
+            }
+        }
+        for p in range {
+            let w = g.raw_neighbors()[p];
+            mark[w as usize] = u32::MAX;
+        }
+    }
+    hist
+}
+
+#[inline]
+fn choose2(x: u64) -> u64 {
+    x * x.saturating_sub(1) / 2
+}
+
+/// One-call convenience: profile + best k under `metric`.
+pub fn best_k_truss_set<M: CommunityMetric + ?Sized>(
+    g: &CsrGraph,
+    t: &TrussDecomposition,
+    metric: &M,
+) -> Option<BestKTruss> {
+    let idx = EdgeIndex::build(g);
+    truss_set_profile(g, &idx, t).best(metric)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::truss_decomposition_with_index;
+    use bestk_core::Metric;
+    use bestk_graph::generators::{self, regular};
+
+    fn profile(g: &CsrGraph) -> TrussSetProfile {
+        let idx = EdgeIndex::build(g);
+        let t = truss_decomposition_with_index(g, &idx);
+        truss_set_profile(g, &idx, &t)
+    }
+
+    #[test]
+    fn complete_graph_profile() {
+        let g = regular::complete(5);
+        let p = profile(&g);
+        assert_eq!(p.tmax, 5);
+        for k in 2..=5usize {
+            assert_eq!(p.primaries[k].num_vertices, 5, "k={k}");
+            assert_eq!(p.primaries[k].internal_edges, 10);
+            assert_eq!(p.primaries[k].boundary_edges, 0);
+            assert_eq!(p.primaries[k].triangles, 10);
+            assert_eq!(p.primaries[k].triplets, 5 * choose2(4));
+        }
+    }
+
+    #[test]
+    fn figure2_truss_profile() {
+        let g = generators::paper_figure2();
+        let p = profile(&g);
+        assert_eq!(p.tmax, 4);
+        // 4-truss set: the two K4s — 8 vertices, 12 edges, 8 triangles.
+        assert_eq!(p.primaries[4].num_vertices, 8);
+        assert_eq!(p.primaries[4].internal_edges, 12);
+        assert_eq!(p.primaries[4].triangles, 8);
+        assert_eq!(p.primaries[4].triplets, 8 * choose2(3));
+        // 2-truss set: everything — 12 vertices, 19 edges, 10 triangles,
+        // 45 triplets (Example 5 whole-graph numbers).
+        assert_eq!(p.primaries[2].num_vertices, 12);
+        assert_eq!(p.primaries[2].internal_edges, 19);
+        assert_eq!(p.primaries[2].boundary_edges, 0);
+        assert_eq!(p.primaries[2].triangles, 10);
+        assert_eq!(p.primaries[2].triplets, 45);
+        // 3-truss set: K4s + triangles v3-v5-v6, v6-v7-v8 (v3..v8 enter).
+        assert_eq!(p.primaries[3].num_vertices, 12);
+        assert_eq!(p.primaries[3].internal_edges, 12 + 6);
+    }
+
+    #[test]
+    fn best_k_truss_on_figure2() {
+        let g = generators::paper_figure2();
+        let idx = EdgeIndex::build(&g);
+        let t = truss_decomposition_with_index(&g, &idx);
+        let best = best_k_truss_set(&g, &t, &Metric::InternalDensity).unwrap();
+        assert_eq!(best.k, 4);
+        let best_cc = best_k_truss_set(&g, &t, &Metric::ClusteringCoefficient).unwrap();
+        assert_eq!(best_cc.k, 4);
+    }
+
+    #[test]
+    fn edgeless_graph_profile_is_empty() {
+        let p = profile(&CsrGraph::empty(5));
+        assert_eq!(p.tmax, 0);
+        assert!(p.primaries.is_empty());
+    }
+
+    #[test]
+    fn profile_is_monotone() {
+        let g = generators::overlapping_cliques(200, 40, (3, 9), 4);
+        let p = profile(&g);
+        for k in 3..p.primaries.len() {
+            let (a, b) = (&p.primaries[k - 1], &p.primaries[k]);
+            assert!(b.num_vertices <= a.num_vertices);
+            assert!(b.internal_edges <= a.internal_edges);
+            assert!(b.triangles <= a.triangles);
+            assert!(b.triplets <= a.triplets);
+        }
+    }
+}

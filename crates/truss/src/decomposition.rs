@@ -1,0 +1,355 @@
+//! Truss decomposition: edge supports and truss numbers.
+//!
+//! A k-truss (`k ≥ 2`) is a subgraph in which every edge participates in at
+//! least `k − 2` triangles within the subgraph. The decomposition peels
+//! edges in ascending support order — the edge analogue of the k-core
+//! peeling — giving every edge its truss number `t(e)` in `O(m^1.5)` time
+//! [Wang & Cheng, PVLDB 2012; paper references 19, 56].
+
+use bestk_graph::{CsrGraph, VertexId};
+
+use crate::edgeindex::EdgeIndex;
+
+/// The result of a truss decomposition.
+#[derive(Debug, Clone)]
+pub struct TrussDecomposition {
+    /// `truss[e]` = truss number of edge `e` (≥ 2 for every existing edge).
+    truss: Vec<u32>,
+    /// Largest truss number (2 for a triangle-free graph with edges; 0 for
+    /// an edgeless graph).
+    tmax: u32,
+    /// `vertex_truss[v]` = max truss number over v's incident edges (0 for
+    /// isolated vertices) — the level at which v enters the k-truss set.
+    vertex_truss: Vec<u32>,
+}
+
+impl TrussDecomposition {
+    /// Truss number of edge `e`.
+    #[inline]
+    pub fn truss(&self, e: u32) -> u32 {
+        self.truss[e as usize]
+    }
+
+    /// The full per-edge truss array.
+    #[inline]
+    pub fn truss_slice(&self) -> &[u32] {
+        &self.truss
+    }
+
+    /// Largest `k` with a non-empty k-truss.
+    #[inline]
+    pub fn tmax(&self) -> u32 {
+        self.tmax
+    }
+
+    /// The level at which vertex `v` first appears in a k-truss set:
+    /// `max { t(e) : e incident to v }` (0 if isolated).
+    #[inline]
+    pub fn vertex_truss(&self, v: VertexId) -> u32 {
+        self.vertex_truss[v as usize]
+    }
+
+    /// Ids of the edges in the k-truss set (`t(e) ≥ k`); `O(m)`.
+    pub fn truss_set_edges(&self, k: u32) -> Vec<u32> {
+        (0..self.truss.len() as u32)
+            .filter(|&e| self.truss[e as usize] >= k)
+            .collect()
+    }
+}
+
+/// Computes the support (number of triangles through each edge) in
+/// `O(m^1.5)` using per-vertex marking.
+pub fn edge_supports(g: &CsrGraph, idx: &EdgeIndex) -> Vec<u32> {
+    let n = g.num_vertices();
+    let m = idx.num_edges();
+    let mut support = vec![0u32; m];
+    // Degree-descending order to bound the scan cost, as in the forward
+    // triangle algorithm.
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.sort_unstable_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    let mut pos = vec![0u32; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = i as u32;
+    }
+    // mark[w] = slot of the edge (v, w) while scanning v, so each found
+    // triangle can credit all three of its edges.
+    let mut mark: Vec<u32> = vec![u32::MAX; n];
+    for &v in &order {
+        let pv = pos[v as usize];
+        let range = idx.slots_of(g, v);
+        for p in range.clone() {
+            let w = g.raw_neighbors()[p];
+            if pos[w as usize] > pv {
+                mark[w as usize] = idx.id_at_slot(p);
+            }
+        }
+        for p in range.clone() {
+            let u = g.raw_neighbors()[p];
+            if pos[u as usize] <= pv {
+                continue;
+            }
+            let e_vu = idx.id_at_slot(p);
+            for q in idx.slots_of(g, u) {
+                let w = g.raw_neighbors()[q];
+                if pos[w as usize] > pos[u as usize] && mark[w as usize] != u32::MAX {
+                    let e_vw = mark[w as usize];
+                    let e_uw = idx.id_at_slot(q);
+                    support[e_vu as usize] += 1;
+                    support[e_vw as usize] += 1;
+                    support[e_uw as usize] += 1;
+                }
+            }
+        }
+        for p in range {
+            let w = g.raw_neighbors()[p];
+            mark[w as usize] = u32::MAX;
+        }
+    }
+    support
+}
+
+/// Runs the peeling truss decomposition; `O(m^1.5)` time, `O(m)` space.
+pub fn truss_decomposition(g: &CsrGraph) -> TrussDecomposition {
+    let idx = EdgeIndex::build(g);
+    truss_decomposition_with_index(g, &idx)
+}
+
+/// Like [`truss_decomposition`] but reuses a prebuilt [`EdgeIndex`].
+pub fn truss_decomposition_with_index(g: &CsrGraph, idx: &EdgeIndex) -> TrussDecomposition {
+    let m = idx.num_edges();
+    let n = g.num_vertices();
+    let mut support = edge_supports(g, idx);
+    // Bucket queue over supports with lazy entries.
+    let max_sup = support.iter().copied().max().unwrap_or(0) as usize;
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_sup + 1];
+    for (e, &s) in support.iter().enumerate() {
+        buckets[s as usize].push(e as u32);
+    }
+    let mut alive_edge = vec![true; m];
+    let mut truss = vec![0u32; m];
+    let mut tmax = 0u32;
+    let mut cur = 0usize;
+    let mut level = 2u32; // current k being peeled
+    let mut processed = 0usize;
+    while processed < m {
+        // Find the lowest-support alive edge (lazy bucket queue).
+        while cur <= max_sup
+            && buckets[cur]
+                .last()
+                .is_none_or(|&e| !alive_edge[e as usize] || support[e as usize] as usize != cur)
+        {
+            // Pop stale entries; advance when the bucket is exhausted.
+            match buckets[cur].last() {
+                Some(&e) if !alive_edge[e as usize] || support[e as usize] as usize != cur => {
+                    buckets[cur].pop();
+                }
+                Some(_) => break,
+                None => cur += 1,
+            }
+        }
+        let e = buckets[cur].pop().expect("an alive edge must remain");
+        let s = support[e as usize];
+        level = level.max(s + 2);
+        truss[e as usize] = level;
+        tmax = tmax.max(level);
+        alive_edge[e as usize] = false;
+        processed += 1;
+
+        // Remove e = (u, v): every surviving triangle through e loses one,
+        // so decrement the supports of its two partner edges.
+        let (u, v) = idx.endpoints(e);
+        let (a, b) = if g.degree(u) <= g.degree(v) { (u, v) } else { (v, u) };
+        for p in idx.slots_of(g, a) {
+            let w = g.raw_neighbors()[p];
+            let e_aw = idx.id_at_slot(p);
+            if !alive_edge[e_aw as usize] {
+                continue;
+            }
+            if let Some(e_bw) = idx.edge_id(g, b, w) {
+                if alive_edge[e_bw as usize] {
+                    for &edge in &[e_aw, e_bw] {
+                        let sup = support[edge as usize];
+                        // Supports never drop below the current peel floor.
+                        if sup as usize + 2 > level as usize {
+                            support[edge as usize] = sup - 1;
+                            buckets[(sup - 1) as usize].push(edge);
+                            cur = cur.min((sup - 1) as usize);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Vertex entry levels.
+    let mut vertex_truss = vec![0u32; n];
+    for e in 0..m as u32 {
+        let (u, v) = idx.endpoints(e);
+        let t = truss[e as usize];
+        vertex_truss[u as usize] = vertex_truss[u as usize].max(t);
+        vertex_truss[v as usize] = vertex_truss[v as usize].max(t);
+    }
+    TrussDecomposition { truss, tmax, vertex_truss }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bestk_graph::generators::{self, regular};
+    use bestk_graph::GraphBuilder;
+
+    fn truss_of(g: &CsrGraph) -> (TrussDecomposition, EdgeIndex) {
+        let idx = EdgeIndex::build(g);
+        (truss_decomposition_with_index(g, &idx), idx)
+    }
+
+    #[test]
+    fn complete_graph_truss() {
+        // In K_n every edge has truss number n.
+        for n in [3usize, 4, 5, 6] {
+            let g = regular::complete(n);
+            let (t, _) = truss_of(&g);
+            assert_eq!(t.tmax(), n as u32);
+            assert!(t.truss_slice().iter().all(|&x| x == n as u32), "K{n}");
+        }
+    }
+
+    #[test]
+    fn triangle_free_graphs_are_2_trusses() {
+        for g in [regular::cycle(8), regular::star(6), regular::grid(4, 3)] {
+            let (t, _) = truss_of(&g);
+            assert_eq!(t.tmax(), 2);
+            assert!(t.truss_slice().iter().all(|&x| x == 2));
+        }
+    }
+
+    #[test]
+    fn paper_figure2_truss() {
+        // The two K4s are 4-trusses; the triangles v3-v5-v6 and v6-v7-v8
+        // form 3-truss edges; the bridge-ish edges (v8, v9) is in no
+        // triangle -> truss 2.
+        let g = generators::paper_figure2();
+        let (t, idx) = truss_of(&g);
+        assert_eq!(t.tmax(), 4);
+        // All K4 edges have truss 4.
+        for (u, v) in [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            let e = idx.edge_id(&g, u, v).unwrap();
+            assert_eq!(t.truss(e), 4, "K4 edge ({u},{v})");
+        }
+        // Triangle v3(2), v5(4), v6(5): each edge is in exactly that one
+        // shared triangle after the K4 peels? v3-v5: triangles {v3,v5,v6}
+        // only -> truss 3.
+        let e = idx.edge_id(&g, 2, 4).unwrap();
+        assert_eq!(t.truss(e), 3);
+        let e = idx.edge_id(&g, 4, 5).unwrap();
+        assert_eq!(t.truss(e), 3);
+        // v8-v9 closes no triangle.
+        let e = idx.edge_id(&g, 7, 8).unwrap();
+        assert_eq!(t.truss(e), 2);
+        // Vertex entry levels.
+        assert_eq!(t.vertex_truss(0), 4);
+        assert_eq!(t.vertex_truss(4), 3);
+        assert_eq!(t.vertex_truss(8), 4);
+    }
+
+    #[test]
+    fn supports_match_brute_force() {
+        for seed in 0..4 {
+            let g = generators::erdos_renyi_gnm(60, 260, seed);
+            let idx = EdgeIndex::build(&g);
+            let support = edge_supports(&g, &idx);
+            for e in 0..idx.num_edges() as u32 {
+                let (u, v) = idx.endpoints(e);
+                let brute = g
+                    .neighbors(u)
+                    .iter()
+                    .filter(|&&w| w != v && g.has_edge(v, w))
+                    .count();
+                assert_eq!(support[e as usize] as usize, brute, "edge ({u},{v}) seed {seed}");
+            }
+        }
+    }
+
+    /// Definitional oracle: t(e) >= k iff e survives iterated deletion of
+    /// edges with < k-2 triangles.
+    fn naive_truss(g: &CsrGraph, idx: &EdgeIndex) -> Vec<u32> {
+        let m = idx.num_edges();
+        let mut truss = vec![0u32; m];
+        let mut alive = vec![true; m];
+        let mut k = 2u32;
+        let mut remaining = m;
+        while remaining > 0 {
+            loop {
+                let mut removed_any = false;
+                for e in 0..m as u32 {
+                    if !alive[e as usize] {
+                        continue;
+                    }
+                    let (u, v) = idx.endpoints(e);
+                    let sup = g
+                        .neighbors(u)
+                        .iter()
+                        .filter(|&&w| {
+                            w != v
+                                && idx.edge_id(g, v, w).is_some_and(|x| alive[x as usize])
+                                && idx.edge_id(g, u, w).is_some_and(|x| alive[x as usize])
+                        })
+                        .count() as u32;
+                    if sup < k.saturating_sub(2) {
+                        alive[e as usize] = false;
+                        truss[e as usize] = k - 1;
+                        remaining -= 1;
+                        removed_any = true;
+                    }
+                }
+                if !removed_any {
+                    break;
+                }
+            }
+            k += 1;
+        }
+        truss
+    }
+
+    #[test]
+    fn matches_naive_truss_on_random_graphs() {
+        for seed in 0..4 {
+            let g = generators::erdos_renyi_gnm(40, 180, seed + 3);
+            let idx = EdgeIndex::build(&g);
+            let fast = truss_decomposition_with_index(&g, &idx);
+            let naive = naive_truss(&g, &idx);
+            assert_eq!(fast.truss_slice(), &naive[..], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_truss_on_dense_graph() {
+        let g = generators::overlapping_cliques(60, 14, (3, 8), 5);
+        let idx = EdgeIndex::build(&g);
+        let fast = truss_decomposition_with_index(&g, &idx);
+        let naive = naive_truss(&g, &idx);
+        assert_eq!(fast.truss_slice(), &naive[..]);
+    }
+
+    #[test]
+    fn truss_set_edges_are_nested() {
+        let g = generators::erdos_renyi_gnm(80, 400, 9);
+        let (t, _) = truss_of(&g);
+        for k in 2..=t.tmax() {
+            let upper = t.truss_set_edges(k + 1);
+            let lower = t.truss_set_edges(k);
+            let lower_set: std::collections::HashSet<u32> = lower.into_iter().collect();
+            assert!(upper.iter().all(|e| lower_set.contains(e)));
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let (t, _) = truss_of(&CsrGraph::empty(0));
+        assert_eq!(t.tmax(), 0);
+        let mut b = GraphBuilder::new();
+        b.reserve_vertices(3);
+        let (t, _) = truss_of(&b.build());
+        assert_eq!(t.tmax(), 0);
+        assert_eq!(t.vertex_truss(1), 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Dense edge ids over a CSR graph.
+//!
+//! Truss algorithms are edge-centric: supports, truss numbers, and deletion
+//! flags are all per-undirected-edge arrays. This index assigns each
+//! undirected edge a dense id `0..m` (both CSR directions map to the same
+//! id) and supports `O(log d)` id lookup by endpoint pair.
+
+use bestk_graph::{CsrGraph, VertexId};
+
+/// Edge-id annotation for a [`CsrGraph`].
+#[derive(Debug, Clone)]
+pub struct EdgeIndex {
+    /// `ids[p]` = edge id of the CSR adjacency slot `p` (aligned with
+    /// `graph.raw_neighbors()`).
+    ids: Vec<u32>,
+    /// `endpoints[e]` = the edge's `(u, v)` with `u < v`.
+    endpoints: Vec<(VertexId, VertexId)>,
+}
+
+impl EdgeIndex {
+    /// Builds the index in `O(n + m)` (edges are numbered in the order
+    /// [`CsrGraph::edges`] yields them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than `u32::MAX` edges.
+    pub fn build(g: &CsrGraph) -> Self {
+        assert!(g.num_edges() <= u32::MAX as usize, "edge ids are u32");
+        let mut ids = vec![0u32; g.raw_neighbors().len()];
+        let mut endpoints = Vec::with_capacity(g.num_edges());
+        // Walk each vertex's sorted adjacency; assign ids to the (u, v)
+        // direction with u < v first, then mirror to (v, u) via a per-vertex
+        // cursor into the reverse slot.
+        let offsets = g.offsets();
+        let mut next = 0u32;
+        // cursor[v]: how many back-edges of v (to smaller ids) we've mirrored.
+        let mut cursor: Vec<usize> = offsets[..g.num_vertices()].to_vec();
+        for u in g.vertices() {
+            let (start, end) = (offsets[u as usize], offsets[u as usize + 1]);
+            for p in start..end {
+                let v = g.raw_neighbors()[p];
+                if v > u {
+                    ids[p] = next;
+                    endpoints.push((u, v));
+                    // Mirror on v's side: v's adjacency is sorted, and its
+                    // sub-`v` neighbors appear in ascending order — which is
+                    // exactly the order we visit (u ascending). So the next
+                    // unmirrored slot of v is cursor[v].
+                    let q = cursor[v as usize];
+                    debug_assert_eq!(g.raw_neighbors()[q], u, "mirror slot mismatch");
+                    ids[q] = next;
+                    cursor[v as usize] = q + 1;
+                    next += 1;
+                }
+            }
+        }
+        debug_assert_eq!(next as usize, g.num_edges());
+        EdgeIndex { ids, endpoints }
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// The endpoints `(u, v)` (with `u < v`) of edge `e`.
+    #[inline]
+    pub fn endpoints(&self, e: u32) -> (VertexId, VertexId) {
+        self.endpoints[e as usize]
+    }
+
+    /// Edge ids aligned with the graph's raw adjacency array.
+    #[inline]
+    pub fn slot_ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// The edge id at a raw adjacency slot.
+    #[inline]
+    pub fn id_at_slot(&self, slot: usize) -> u32 {
+        self.ids[slot]
+    }
+
+    /// Looks up the id of edge `{u, v}` by binary search on the sorted
+    /// adjacency of the lower-degree endpoint; `None` if absent.
+    pub fn edge_id(&self, g: &CsrGraph, u: VertexId, v: VertexId) -> Option<u32> {
+        if u == v {
+            return None;
+        }
+        let (a, b) = if g.degree(u) <= g.degree(v) { (u, v) } else { (v, u) };
+        let start = g.offsets()[a as usize];
+        let adj = g.neighbors(a);
+        adj.binary_search(&b).ok().map(|i| self.ids[start + i])
+    }
+
+    /// Iterates `(slot_range, vertex)` pairs — each vertex's adjacency slot
+    /// range, for algorithms that need slot-aligned scans.
+    pub fn slots_of(&self, g: &CsrGraph, v: VertexId) -> std::ops::Range<usize> {
+        g.offsets()[v as usize]..g.offsets()[v as usize + 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bestk_graph::generators::{self, regular};
+    use bestk_graph::GraphBuilder;
+
+    #[test]
+    fn ids_are_dense_and_symmetric() {
+        let g = generators::erdos_renyi_gnm(100, 400, 7);
+        let idx = EdgeIndex::build(&g);
+        assert_eq!(idx.num_edges(), 400);
+        // Every id appears exactly twice in the slot array.
+        let mut count = vec![0usize; 400];
+        for &id in idx.slot_ids() {
+            count[id as usize] += 1;
+        }
+        assert!(count.iter().all(|&c| c == 2));
+        // Endpoint lookup round trips.
+        for e in 0..400u32 {
+            let (u, v) = idx.endpoints(e);
+            assert!(u < v);
+            assert_eq!(idx.edge_id(&g, u, v), Some(e));
+            assert_eq!(idx.edge_id(&g, v, u), Some(e));
+        }
+    }
+
+    #[test]
+    fn missing_edges_and_self_loops() {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0, 1), (1, 2)]);
+        let g = b.build();
+        let idx = EdgeIndex::build(&g);
+        assert_eq!(idx.edge_id(&g, 0, 2), None);
+        assert_eq!(idx.edge_id(&g, 1, 1), None);
+        assert!(idx.edge_id(&g, 0, 1).is_some());
+    }
+
+    #[test]
+    fn slot_alignment() {
+        let g = regular::complete(5);
+        let idx = EdgeIndex::build(&g);
+        for v in g.vertices() {
+            let range = idx.slots_of(&g, v);
+            for (i, slot) in range.enumerate() {
+                let u = g.neighbors(v)[i];
+                let e = idx.id_at_slot(slot);
+                let (a, b) = idx.endpoints(e);
+                assert!((a, b) == (u.min(v), u.max(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let idx = EdgeIndex::build(&CsrGraph::empty(4));
+        assert_eq!(idx.num_edges(), 0);
+    }
+}

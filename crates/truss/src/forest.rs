@@ -1,0 +1,390 @@
+//! The truss forest: the §IV-A core-forest structure lifted to trusses.
+//!
+//! Every distinct k-truss maps to one node holding the truss's *shell*
+//! (its edges with truss number exactly `k`, and the vertices whose maximum
+//! incident truss is `k`); deeper trusses are descendants. Construction
+//! processes truss levels descending with a union-find over vertices: each
+//! level's edges merge components, and every merge event becomes a parent
+//! link — `O(m α(n))` after the decomposition.
+//!
+//! Like the paper's core forest it stores the whole hierarchy in `O(n + m)`
+//! space and supports `O(|truss|)` reconstruction, which is what
+//! [`enumerate_trusses`](crate::besttruss::enumerate_trusses)-style scoring
+//! needs. Isolated vertices (no incident edges) are outside every truss and
+//! thus absent from the forest.
+
+use bestk_graph::{CsrGraph, VertexId};
+
+use crate::decomposition::TrussDecomposition;
+use crate::edgeindex::EdgeIndex;
+
+/// One node of the truss forest: a k-truss's shell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrussForestNode {
+    /// The `k` of the associated k-truss.
+    pub truss: u32,
+    /// Edge ids with truss number exactly `k` inside this truss.
+    pub edges: Vec<u32>,
+    /// Vertices entering the hierarchy at this node (`vertex_truss == k`,
+    /// inside this truss).
+    pub vertices: Vec<VertexId>,
+    /// Parent node (the enclosing truss with the next smaller populated
+    /// level), `None` for roots.
+    pub parent: Option<u32>,
+    /// Child nodes (deeper trusses merged into this one).
+    pub children: Vec<u32>,
+}
+
+/// The truss forest, nodes sorted by descending truss level (children
+/// before parents).
+#[derive(Debug, Clone)]
+pub struct TrussForest {
+    nodes: Vec<TrussForestNode>,
+}
+
+impl TrussForest {
+    /// Builds the forest from a truss decomposition.
+    pub fn build(g: &CsrGraph, idx: &EdgeIndex, t: &TrussDecomposition) -> Self {
+        Builder::new(g, idx, t).run()
+    }
+
+    /// Number of nodes (= number of distinct k-trusses with a non-empty
+    /// shell).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Node accessor.
+    #[inline]
+    pub fn node(&self, i: u32) -> &TrussForestNode {
+        &self.nodes[i as usize]
+    }
+
+    /// All nodes, children before parents.
+    #[inline]
+    pub fn nodes(&self) -> &[TrussForestNode] {
+        &self.nodes
+    }
+
+    /// Root node indices.
+    pub fn roots(&self) -> Vec<u32> {
+        (0..self.nodes.len() as u32)
+            .filter(|&i| self.nodes[i as usize].parent.is_none())
+            .collect()
+    }
+
+    /// Reconstructs the truss at node `i`: its full vertex set (sorted) and
+    /// edge-id set, in `O(size)`.
+    pub fn truss_members(&self, i: u32) -> (Vec<VertexId>, Vec<u32>) {
+        let mut verts = Vec::new();
+        let mut edges = Vec::new();
+        let mut stack = vec![i];
+        while let Some(j) = stack.pop() {
+            let node = &self.nodes[j as usize];
+            verts.extend_from_slice(&node.vertices);
+            edges.extend_from_slice(&node.edges);
+            stack.extend_from_slice(&node.children);
+        }
+        verts.sort_unstable();
+        (verts, edges)
+    }
+}
+
+/// Union-find with path halving.
+struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu { parent: (0..n as u32).collect() }
+    }
+
+    fn find(&mut self, mut v: u32) -> u32 {
+        while self.parent[v as usize] != v {
+            self.parent[v as usize] = self.parent[self.parent[v as usize] as usize];
+            v = self.parent[v as usize];
+        }
+        v
+    }
+
+    /// Unions by attaching `b`'s root under `a`'s root; returns the root.
+    fn union(&mut self, a: u32, b: u32) -> u32 {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb as usize] = ra;
+        }
+        ra
+    }
+}
+
+struct Builder<'a> {
+    idx: &'a EdgeIndex,
+    t: &'a TrussDecomposition,
+    nodes: Vec<TrussForestNode>,
+    dsu: Dsu,
+    /// Current node of each component, indexed by DSU root (`u32::MAX` =
+    /// fresh component with no node yet). Only meaningful at roots.
+    comp_node: Vec<u32>,
+    /// Whether a vertex has been assigned to its entry node already.
+    claimed_bits: Vec<bool>,
+}
+
+impl<'a> Builder<'a> {
+    fn new(g: &'a CsrGraph, idx: &'a EdgeIndex, t: &'a TrussDecomposition) -> Self {
+        let n = g.num_vertices();
+        Builder {
+            idx,
+            t,
+            nodes: Vec::new(),
+            dsu: Dsu::new(n),
+            comp_node: vec![u32::MAX; n],
+            claimed_bits: vec![false; n],
+        }
+    }
+
+    fn run(mut self) -> TrussForest {
+        let m = self.idx.num_edges();
+        // Edges grouped by truss level, descending.
+        let mut by_level: Vec<(u32, u32)> = (0..m as u32).map(|e| (self.t.truss(e), e)).collect();
+        by_level.sort_unstable_by_key(|&(lvl, e)| (std::cmp::Reverse(lvl), e));
+
+        let mut i = 0usize;
+        while i < by_level.len() {
+            let level = by_level[i].0;
+            let mut j = i;
+            while j < by_level.len() && by_level[j].0 == level {
+                j += 1;
+            }
+            let level_edges = &by_level[i..j];
+            self.process_level(level, level_edges);
+            i = j;
+        }
+        self.finish()
+    }
+
+    fn process_level(&mut self, level: u32, level_edges: &[(u32, u32)]) {
+        // Pass A: old nodes of the components this level touches, deduped
+        // by their pre-union roots.
+        let mut old_entries: Vec<(u32, u32)> = Vec::new(); // (old_root, old_node)
+        for &(_, e) in level_edges {
+            let (u, v) = self.idx.endpoints(e);
+            for w in [u, v] {
+                let r = self.dsu.find(w);
+                if self.comp_node[r as usize] != u32::MAX {
+                    old_entries.push((r, self.comp_node[r as usize]));
+                }
+            }
+        }
+        old_entries.sort_unstable();
+        old_entries.dedup();
+
+        // Pass B: unions.
+        for &(_, e) in level_edges {
+            let (u, v) = self.idx.endpoints(e);
+            self.dsu.union(u, v);
+        }
+
+        // Pass C: one new node per distinct post-union root; old nodes
+        // become its children.
+        let mut new_node_of_root: Vec<(u32, u32)> = Vec::new(); // (root, node)
+        let node_at = |builder: &mut Self, root: u32, map: &mut Vec<(u32, u32)>| -> u32 {
+            if let Some(&(_, nid)) = map.iter().find(|&&(r, _)| r == root) {
+                return nid;
+            }
+            let nid = builder.nodes.len() as u32;
+            builder.nodes.push(TrussForestNode {
+                truss: level,
+                edges: Vec::new(),
+                vertices: Vec::new(),
+                parent: None,
+                children: Vec::new(),
+            });
+            map.push((root, nid));
+            nid
+        };
+        for &(old_root, old_node) in &old_entries {
+            let new_root = self.dsu.find(old_root);
+            let nid = node_at(self, new_root, &mut new_node_of_root);
+            self.nodes[old_node as usize].parent = Some(nid);
+            self.nodes[nid as usize].children.push(old_node);
+        }
+        // Assign this level's edges and entering vertices.
+        for &(_, e) in level_edges {
+            let (u, v) = self.idx.endpoints(e);
+            let root = self.dsu.find(u);
+            let nid = node_at(self, root, &mut new_node_of_root);
+            self.nodes[nid as usize].edges.push(e);
+            for w in [u, v] {
+                if self.t.vertex_truss(w) == level && !self.claimed(w) {
+                    self.nodes[nid as usize].vertices.push(w);
+                    self.mark_claimed(w);
+                }
+            }
+        }
+        // Update comp_node at the new roots.
+        for &(root, nid) in &new_node_of_root {
+            self.comp_node[root as usize] = nid;
+        }
+    }
+
+    fn claimed(&self, v: VertexId) -> bool {
+        self.claimed_bits
+            .get(v as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    fn mark_claimed(&mut self, v: VertexId) {
+        self.claimed_bits[v as usize] = true;
+    }
+
+    fn finish(mut self) -> TrussForest {
+        // Sort by descending truss, remapping indices so children precede
+        // parents (stable keeps deterministic order).
+        let total = self.nodes.len();
+        let mut order: Vec<u32> = (0..total as u32).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.nodes[i as usize].truss));
+        let mut remap = vec![0u32; total];
+        for (new_idx, &old) in order.iter().enumerate() {
+            remap[old as usize] = new_idx as u32;
+        }
+        let mut new_nodes: Vec<TrussForestNode> = Vec::with_capacity(total);
+        for &old in &order {
+            let node = &mut self.nodes[old as usize];
+            new_nodes.push(TrussForestNode {
+                truss: node.truss,
+                edges: std::mem::take(&mut node.edges),
+                vertices: std::mem::take(&mut node.vertices),
+                parent: node.parent.map(|p| remap[p as usize]),
+                children: node.children.iter().map(|&c| remap[c as usize]).collect(),
+            });
+        }
+        TrussForest { nodes: new_nodes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::besttruss::enumerate_trusses;
+    use crate::decomposition::truss_decomposition_with_index;
+    use bestk_graph::generators::{self, regular};
+
+    fn forest_of(g: &CsrGraph) -> (TrussForest, EdgeIndex, TrussDecomposition) {
+        let idx = EdgeIndex::build(g);
+        let t = truss_decomposition_with_index(g, &idx);
+        (TrussForest::build(g, &idx, &t), idx, t)
+    }
+
+    #[test]
+    fn figure2_truss_forest() {
+        // Levels: two 4-trusses (the K4s), one 3-truss node, one 2-truss
+        // root (the whole graph's edges).
+        let g = generators::paper_figure2();
+        let (f, _, _) = forest_of(&g);
+        let count_at = |k: u32| f.nodes().iter().filter(|n| n.truss == k).count();
+        assert_eq!(count_at(4), 2);
+        assert!(count_at(2) >= 1);
+        // Shell edge counts at level 4: each K4 contributes its 6 edges.
+        for node in f.nodes().iter().filter(|n| n.truss == 4) {
+            assert_eq!(node.edges.len(), 6);
+            assert_eq!(node.vertices.len(), 4);
+            assert!(node.parent.is_some());
+        }
+        // The root holds the truss-2 shell (edges in no triangle).
+        let roots = f.roots();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(f.node(roots[0]).truss, 2);
+    }
+
+    #[test]
+    fn structure_invariants() {
+        for g in [
+            generators::erdos_renyi_gnm(150, 600, 3),
+            generators::overlapping_cliques(200, 40, (3, 10), 7),
+            regular::clique_chain(4, 5),
+            generators::paper_figure2(),
+        ] {
+            let (f, idx, t) = forest_of(&g);
+            // Children precede parents; parents have strictly lower level.
+            for (i, node) in f.nodes().iter().enumerate() {
+                if let Some(p) = node.parent {
+                    assert!((p as usize) > i);
+                    assert!(f.node(p).truss < node.truss);
+                    assert!(f.node(p).children.contains(&(i as u32)));
+                }
+                assert!(!node.edges.is_empty(), "every node has shell edges");
+                for &e in &node.edges {
+                    assert_eq!(t.truss(e), node.truss);
+                }
+                for &v in &node.vertices {
+                    assert_eq!(t.vertex_truss(v), node.truss);
+                }
+            }
+            // Every edge in exactly one node; every non-isolated vertex in
+            // exactly one node.
+            let mut edge_seen = vec![false; idx.num_edges()];
+            let mut vert_seen = vec![false; g.num_vertices()];
+            for node in f.nodes() {
+                for &e in &node.edges {
+                    assert!(!edge_seen[e as usize]);
+                    edge_seen[e as usize] = true;
+                }
+                for &v in &node.vertices {
+                    assert!(!vert_seen[v as usize]);
+                    vert_seen[v as usize] = true;
+                }
+            }
+            assert!(edge_seen.iter().all(|&b| b));
+            for v in g.vertices() {
+                assert_eq!(vert_seen[v as usize], g.degree(v) > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_matches_enumeration() {
+        for g in [
+            generators::erdos_renyi_gnm(100, 420, 9),
+            generators::overlapping_cliques(120, 25, (3, 9), 5),
+            generators::paper_figure2(),
+        ] {
+            let (f, idx, t) = forest_of(&g);
+            let enumerated = enumerate_trusses(&g, &idx, &t, false);
+            // Forest nodes and enumerated trusses must agree as multisets
+            // of (k, sorted vertex set).
+            let mut from_forest: Vec<(u32, Vec<VertexId>)> = (0..f.node_count() as u32)
+                .map(|i| {
+                    let (verts, _) = f.truss_members(i);
+                    (f.node(i).truss, verts)
+                })
+                .collect();
+            let mut from_enum: Vec<(u32, Vec<VertexId>)> =
+                enumerated.into_iter().map(|ti| (ti.k, ti.vertices)).collect();
+            from_forest.sort();
+            from_enum.sort();
+            assert_eq!(from_forest, from_enum);
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_forest_is_empty() {
+        let (f, _, _) = forest_of(&CsrGraph::empty(4));
+        assert_eq!(f.node_count(), 0);
+        assert!(f.roots().is_empty());
+    }
+
+    #[test]
+    fn disjoint_cliques_are_separate_trees() {
+        let g = bestk_graph::transform::disjoint_union(
+            &regular::complete(5),
+            &regular::complete(4),
+        );
+        let (f, _, _) = forest_of(&g);
+        assert_eq!(f.roots().len(), 2);
+        let mut levels: Vec<u32> = f.nodes().iter().map(|n| n.truss).collect();
+        levels.sort_unstable();
+        assert_eq!(levels, vec![4, 5]);
+    }
+}

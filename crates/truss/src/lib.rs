@@ -1,0 +1,56 @@
+//! # bestk-truss
+//!
+//! The paper's §VI-B extension: *finding the best k in **truss**
+//! decomposition*. A k-truss is a subgraph in which every edge closes at
+//! least `k − 2` triangles inside the subgraph; truss decomposition assigns
+//! every edge its *truss number* `t(e)` — the largest `k` whose k-truss
+//! contains it. Like k-cores, k-trusses are nested (`(k+1)-truss ⊆
+//! k-truss`), which is exactly the containment property the paper's best-k
+//! framework needs.
+//!
+//! The crate mirrors `bestk-core`'s structure one level up the cohesion
+//! hierarchy:
+//!
+//! * [`edgeindex`] — CSR edge-id index (the substrate truss algorithms
+//!   need: a dense id per undirected edge, shared by both directions).
+//! * [`decomposition`] — edge-support computation and the
+//!   `O(m^1.5)`-peeling truss decomposition.
+//! * [`bestkset`] — primary values of every k-truss set and the best-k
+//!   selection, reusing `bestk-core`'s [`CommunityMetric`] /
+//!   [`PrimaryValues`] machinery (paper §VI-B: "rank the incident edges of
+//!   every vertex by their truss numbers … to facilitate the incremental
+//!   score computation").
+//! * [`baseline`] — per-k from-scratch rescoring, the comparator/oracle.
+//!
+//! [`CommunityMetric`]: bestk_core::CommunityMetric
+//! [`PrimaryValues`]: bestk_core::PrimaryValues
+//!
+//! ## Example
+//!
+//! ```
+//! use bestk_graph::generators;
+//! use bestk_core::Metric;
+//! use bestk_truss::{truss_decomposition, best_k_truss_set};
+//!
+//! let g = generators::paper_figure2();
+//! let t = truss_decomposition(&g);
+//! assert_eq!(t.tmax(), 4); // the two K4s are 4-trusses
+//! let best = best_k_truss_set(&g, &t, &Metric::InternalDensity).unwrap();
+//! assert_eq!(best.k, 4);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod bestkset;
+pub mod besttruss;
+pub mod decomposition;
+pub mod edgeindex;
+pub mod forest;
+
+pub use bestkset::{best_k_truss_set, truss_set_profile, BestKTruss, TrussSetProfile};
+pub use besttruss::{best_single_k_truss, enumerate_trusses, BestSingleTruss, TrussInfo};
+pub use decomposition::{truss_decomposition, TrussDecomposition};
+pub use edgeindex::EdgeIndex;
+pub use forest::{TrussForest, TrussForestNode};

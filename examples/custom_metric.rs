@@ -1,0 +1,88 @@
+//! Plugging a custom community metric into every algorithm (§VI-A).
+//!
+//! The paper's extensibility claim: any metric computable from the five
+//! primary values works with the optimal sweeps unchanged. This example
+//! defines two custom metrics — a size-penalized density ("find a dense
+//! core that isn't tiny") and a triangle-participation score — and runs the
+//! full best-k machinery on them without touching any library code.
+//!
+//! ```sh
+//! cargo run --release --example custom_metric
+//! ```
+
+use bestk::core::{analyze, CommunityMetric, GraphContext, PrimaryValues};
+use bestk::graph::generators;
+
+/// Density times log-size: rewards dense subgraphs that are also large —
+/// counters density's bias toward tiny cliques.
+struct SizeAwareDensity;
+
+impl CommunityMetric for SizeAwareDensity {
+    fn name(&self) -> &str {
+        "size-aware density"
+    }
+    fn score(&self, pv: &PrimaryValues, _: &GraphContext) -> f64 {
+        if pv.num_vertices < 2 {
+            return f64::NAN;
+        }
+        let n = pv.num_vertices as f64;
+        let density = 2.0 * pv.internal_edges as f64 / (n * (n - 1.0));
+        density * n.ln()
+    }
+}
+
+/// Triangles per edge: how much of the subgraph is triangle-supported.
+struct TrianglesPerEdge;
+
+impl CommunityMetric for TrianglesPerEdge {
+    fn name(&self) -> &str {
+        "triangles per edge"
+    }
+    fn needs_triangles(&self) -> bool {
+        true
+    }
+    fn score(&self, pv: &PrimaryValues, _: &GraphContext) -> f64 {
+        if pv.internal_edges == 0 {
+            f64::NAN
+        } else {
+            pv.triangles as f64 / pv.internal_edges as f64
+        }
+    }
+}
+
+fn main() {
+    let g = generators::chung_lu_power_law(30_000, 9.0, 2.4, 123);
+    println!("graph: n={}, m={}", g.num_vertices(), g.num_edges());
+    let analysis = analyze(&g);
+    println!("kmax = {}\n", analysis.kmax());
+
+    for metric in [&SizeAwareDensity as &dyn CommunityMetric, &TrianglesPerEdge] {
+        let set = analysis.best_core_set(metric).expect("finite score");
+        let core = analysis.best_single_core(metric).expect("finite score");
+        let members = analysis
+            .best_single_core_vertices(metric)
+            .expect("members");
+        println!(
+            "{:<22}  best set k = {:<4} (score {:.4})   best single core k = {:<4} |S| = {} (score {:.4})",
+            metric.name(),
+            set.k,
+            set.score,
+            core.k,
+            members.len(),
+            core.score
+        );
+    }
+
+    // The same custom metrics drive the per-k series (Figure 5 style).
+    let series = analysis.core_set_scores(&SizeAwareDensity);
+    let peak = series
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_finite())
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap();
+    println!(
+        "\nsize-aware density peaks at k = {} with {:.4} (vs plain density's k = kmax bias)",
+        peak.0, peak.1
+    );
+}

@@ -1,0 +1,88 @@
+//! End-to-end social-network analysis walkthrough.
+//!
+//! A miniature of the paper's full evaluation on one R-MAT "social network":
+//! dataset statistics (Table III), the best k per metric (Table IV), the
+//! score-versus-k curve (Figure 5), the core-forest shape, a Table VIII-
+//! style densest-subgraph comparison, and a size-constrained membership
+//! query (Table IX).
+//!
+//! ```sh
+//! cargo run --release --example social_network_analysis
+//! ```
+
+use bestk::apps::{core_app, opt_d, opt_sc};
+use bestk::core::{analyze, CommunityMetric, Metric};
+use bestk::graph::{generators, stats};
+
+fn main() {
+    let g = generators::rmat(15, 12, 0.57, 0.19, 0.19, 42);
+
+    // --- Table III-style statistics.
+    let s = stats::graph_stats(&g);
+    println!("== dataset ==");
+    println!("n = {}, m = {}, d_avg = {:.1}, d_max = {}", s.num_vertices, s.num_edges, s.average_degree, s.max_degree);
+
+    let analysis = analyze(&g);
+    println!("kmax = {}", analysis.kmax());
+    println!("distinct k-cores (forest nodes) = {}", analysis.forest().node_count());
+
+    // --- Table IV-style best k per metric.
+    println!("\n== best k per metric ==");
+    for metric in Metric::ALL {
+        let set = analysis.best_core_set(&metric);
+        let core = analysis.best_single_core(&metric);
+        println!(
+            "{:<24} CS-k = {:<6} C-k = {}",
+            metric.name(),
+            set.map(|b| b.k.to_string()).unwrap_or_else(|| "-".into()),
+            core.map(|b| b.k.to_string()).unwrap_or_else(|| "-".into()),
+        );
+    }
+
+    // --- Figure 5-style curve (coarse): average degree of C_k.
+    println!("\n== average degree of the k-core set vs k ==");
+    let series = analysis.core_set_scores(&Metric::AverageDegree);
+    let step = (series.len() / 12).max(1);
+    for k in (0..series.len()).step_by(step) {
+        let bar_len = (series[k] / series.iter().cloned().fold(0.0, f64::max) * 50.0) as usize;
+        println!("k = {k:>4}: {:>8.2} |{}", series[k], "#".repeat(bar_len));
+    }
+
+    // --- Core forest shape.
+    let roots = analysis.forest().roots();
+    println!("\n== core forest ==");
+    println!("{} trees (connected components)", roots.len());
+    let deepest = analysis
+        .forest()
+        .nodes()
+        .iter()
+        .map(|n| n.coreness)
+        .max()
+        .unwrap_or(0);
+    println!("deepest core level = {deepest}");
+
+    // --- Densest subgraph (Table VIII style).
+    println!("\n== densest subgraph ==");
+    let d = opt_d(&g, &analysis);
+    let ca = core_app(&g, &analysis);
+    println!("Opt-D:    avg degree {:.2} over {} vertices ({:.3}% of V)", d.average_degree, d.vertices.len(), 100.0 * d.vertices.len() as f64 / s.num_vertices as f64);
+    println!("CoreApp:  avg degree {:.2} over {} vertices", ca.average_degree, ca.vertices.len());
+
+    // --- Size-constrained k-core query (Table IX style).
+    println!("\n== size-constrained k-core query ==");
+    let decomp = analysis.decomposition();
+    let k = (analysis.kmax() / 3).max(2);
+    let q = g
+        .vertices()
+        .find(|&v| decomp.coreness(v) >= k + 2)
+        .expect("a vertex with enough coreness");
+    match opt_sc(&g, &analysis, k, 40, q) {
+        Some(res) => println!(
+            "query (k={k}, h=40, q={q}): got {} vertices from a {}-core (hit@5% = {})",
+            res.vertices.len(),
+            res.source_core_k,
+            res.hits(40, 0.05)
+        ),
+        None => println!("query (k={k}, h=40, q={q}): infeasible"),
+    }
+}

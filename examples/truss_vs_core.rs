@@ -1,0 +1,91 @@
+//! Best-k across two decompositions: k-core versus k-truss (§VI-B).
+//!
+//! The paper notes that the best-k framework transfers to any nested
+//! decomposition; this example runs both on the same graph and contrasts
+//! the subgraphs each one's best k selects. Trusses demand triangle
+//! support, so their best sets are smaller and denser than the best core
+//! sets at the same metric.
+//!
+//! ```sh
+//! cargo run --release --example truss_vs_core
+//! ```
+
+use bestk::core::{analyze, CommunityMetric, Metric};
+use bestk::graph::generators;
+use bestk::truss::baseline::truss_set_vertices;
+use bestk::truss::{truss_set_profile, EdgeIndex};
+
+fn main() {
+    // A collaboration-style graph: overlapping cliques over 3000 vertices.
+    let g = generators::overlapping_cliques(3_000, 500, (4, 14), 77);
+    println!("graph: n={}, m={}", g.num_vertices(), g.num_edges());
+
+    // --- k-core side.
+    let core_analysis = analyze(&g);
+    println!("kmax (core) = {}", core_analysis.kmax());
+
+    // --- k-truss side.
+    let idx = EdgeIndex::build(&g);
+    let t = bestk::truss::decomposition::truss_decomposition_with_index(&g, &idx);
+    let truss_profile = truss_set_profile(&g, &idx, &t);
+    println!("tmax (truss) = {}", t.tmax());
+
+    println!(
+        "\n{:<24} {:>9} {:>11} {:>10} {:>11} {:>10} {:>10}",
+        "metric", "core k*", "core score", "core |S|", "truss k*", "truss score", "truss |S|"
+    );
+    for metric in Metric::ALL {
+        let core_best = core_analysis.best_core_set(&metric);
+        let truss_best = truss_profile.best(&metric);
+        let core_size = core_best
+            .map(|b| core_analysis.decomposition().core_set_size(b.k))
+            .unwrap_or(0);
+        let truss_size = truss_best
+            .map(|b| truss_set_vertices(&g, &idx, &t, b.k).len())
+            .unwrap_or(0);
+        println!(
+            "{:<24} {:>9} {:>11.4} {:>10} {:>11} {:>10.4} {:>10}",
+            metric.name(),
+            core_best.map(|b| b.k.to_string()).unwrap_or_else(|| "-".into()),
+            core_best.map(|b| b.score).unwrap_or(f64::NAN),
+            core_size,
+            truss_best.map(|b| b.k.to_string()).unwrap_or_else(|| "-".into()),
+            truss_best.map(|b| b.score).unwrap_or(f64::NAN),
+            truss_size,
+        );
+    }
+
+    // Best single truss (§VI-B's harder problem, solved by enumeration).
+    if let Some(best) =
+        bestk::truss::best_single_k_truss(&g, &idx, &t, &Metric::InternalDensity)
+    {
+        println!(
+            "\nbest single k-truss by density: k = {}, score = {:.4}, |S| = {}",
+            best.truss.k,
+            best.score,
+            best.truss.vertices.len()
+        );
+    }
+    // And the truss forest mirrors the paper's §IV-A core forest.
+    let tf = bestk::truss::TrussForest::build(&g, &idx, &t);
+    println!(
+        "truss forest: {} nodes, {} roots",
+        tf.node_count(),
+        tf.roots().len()
+    );
+
+    // The structural relationship the paper leans on: the k-truss is always
+    // inside the (k-1)-core, so truss selections are at least as cohesive.
+    let k = t.tmax();
+    let truss_members = truss_set_vertices(&g, &idx, &t, k);
+    let d = core_analysis.decomposition();
+    let inside = truss_members
+        .iter()
+        .all(|&v| d.coreness(v) >= k.saturating_sub(1));
+    println!(
+        "\ntmax-truss ({} vertices) inside the (tmax-1)-core set: {}",
+        truss_members.len(),
+        inside
+    );
+    assert!(inside, "k-truss must be contained in the (k-1)-core");
+}

@@ -1,0 +1,96 @@
+//! Best s on a weighted graph (§VII extension).
+//!
+//! Models a collaboration network where edge weights count joint papers: a
+//! small team with *heavy* ties versus a larger team with many weak ties.
+//! Unweighted best-k sees only topology and picks the larger team; the
+//! weighted s-core sweep picks the heavy one — the scenario §VII's weighted
+//! references ([1], [29]) motivate.
+//!
+//! ```sh
+//! cargo run --release --example weighted_cores
+//! ```
+
+use bestk::core::weighted::{weighted_core_decomposition, weighted_core_set_profile};
+use bestk::core::{analyze_basic, Metric};
+use bestk::graph::weighted::WeightedGraphBuilder;
+use bestk::graph::{generators, GraphBuilder};
+
+fn main() {
+    // Background: sparse random collaboration graph.
+    let background = generators::erdos_renyi_gnm(400, 900, 11);
+    let n = background.num_vertices() as u32;
+
+    // Team A: 6 researchers, 10 joint papers per pair (heavy K6).
+    // Team B: 12 researchers, 1 joint paper per pair (light K12).
+    let mut wb = WeightedGraphBuilder::new();
+    for (u, v) in background.edges() {
+        wb.add_edge(u, v, 1);
+    }
+    for u in n..n + 6 {
+        for v in (u + 1)..n + 6 {
+            wb.add_edge(u, v, 10);
+        }
+    }
+    for u in n + 6..n + 18 {
+        for v in (u + 1)..n + 18 {
+            wb.add_edge(u, v, 1);
+        }
+    }
+    // Wire both teams into the background.
+    wb.add_edge(n, 0, 1);
+    wb.add_edge(n + 6, 1, 1);
+    let wg = wb.build();
+    println!(
+        "weighted graph: n={}, m={}, total weight={}",
+        wg.num_vertices(),
+        wg.num_edges(),
+        wg.total_weight()
+    );
+
+    // --- Unweighted view: topology only.
+    let mut ub = GraphBuilder::new();
+    for v in wg.graph().vertices() {
+        for &u in wg.graph().neighbors(v) {
+            ub.add_edge(v, u);
+        }
+    }
+    let unweighted = ub.build();
+    let ua = analyze_basic(&unweighted);
+    let ub_best = ua.best_core_set(&Metric::AverageDegree).unwrap();
+    let core_members = ua.decomposition().core_set_vertices(ub_best.k);
+    println!(
+        "\nunweighted best k-core set: k = {}, avg degree = {:.2}, |S| = {}",
+        ub_best.k,
+        ub_best.score,
+        core_members.len()
+    );
+    let picks_light_team = core_members.iter().all(|&v| v >= n + 6);
+    println!("  -> selects the larger light-tie team: {picks_light_team}");
+
+    // --- Weighted view: the heavy team dominates.
+    let wd = weighted_core_decomposition(&wg);
+    let profile = weighted_core_set_profile(&wg, &wd);
+    let (best_s, score) = profile.best(&Metric::AverageDegree).unwrap();
+    println!(
+        "\nweighted best s-core set: s = {best_s}, weighted avg degree = {score:.2}"
+    );
+    let idx = profile.levels.iter().position(|&l| l == best_s).unwrap();
+    let members = wd.core_set_at(idx);
+    println!("  members: {members:?}");
+    let picks_heavy_team = members.iter().all(|&v| (n..n + 6).contains(&v));
+    println!("  -> selects the heavy-tie team: {picks_heavy_team}");
+    assert!(picks_heavy_team, "weighted sweep should isolate the heavy K6");
+
+    // Weighted conductance of every s-core set, for flavor.
+    println!("\ns-core set profile (weighted conductance):");
+    let con = profile.scores(&Metric::Conductance);
+    for (i, &level) in profile.levels.iter().enumerate().rev().take(8) {
+        println!(
+            "  s = {:>3}: n = {:>3}, w_in = {:>4}, con = {:.4}",
+            level,
+            profile.primaries[i].num_vertices,
+            profile.primaries[i].internal_edges,
+            con[i]
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! # bestk
+//!
+//! Umbrella crate for the `bestk` workspace — a from-scratch Rust
+//! reproduction of *"Finding the Best k in Core Decomposition: A Time and
+//! Space Optimal Solution"* (Chu et al., ICDE 2020).
+//!
+//! This crate re-exports the three library crates so applications depend on
+//! a single name:
+//!
+//! * [`graph`] — graph substrate ([`bestk_graph`]): CSR storage, builders,
+//!   I/O, synthetic generators.
+//! * [`core`] — the paper's algorithms ([`bestk_core`]): core decomposition,
+//!   vertex ordering, best k-core set, core forest, best single k-core.
+//! * [`apps`] — downstream applications ([`bestk_apps`]): densest subgraph,
+//!   maximum clique, size-constrained k-core.
+//! * [`truss`] — the §VI-B extension ([`bestk_truss`]): truss decomposition
+//!   and the best k-truss set.
+//!
+//! See `examples/` for runnable walkthroughs and `crates/bench` for the
+//! evaluation harness that regenerates every table and figure of the paper.
+
+pub use bestk_apps as apps;
+pub use bestk_core as core;
+pub use bestk_graph as graph;
+pub use bestk_truss as truss;

@@ -1,0 +1,125 @@
+//! Hand-computed reference values for every metric on concrete graphs —
+//! belt-and-braces numeric checks that the end-to-end pipeline reproduces
+//! arithmetic done on paper.
+
+use bestk::core::{analyze, CommunityMetric, GraphContext, Metric, PrimaryValues};
+use bestk::graph::{generators, GraphBuilder};
+
+/// Two K4s joined by a single edge: n = 8, m = 13.
+/// All vertices have coreness 3 (each K4 provides degree 3).
+fn two_k4_bridge() -> bestk::graph::CsrGraph {
+    let mut b = GraphBuilder::new();
+    for base in [0u32, 4] {
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                b.add_edge(base + u, base + v);
+            }
+        }
+    }
+    b.add_edge(3, 4);
+    b.build()
+}
+
+#[test]
+fn whole_graph_scores_on_two_k4s() {
+    let g = two_k4_bridge();
+    let a = analyze(&g);
+    assert_eq!(a.kmax(), 3);
+    // C_0 = C_3 = whole graph (everything has coreness 3).
+    let pv = &a.set_profile().primaries[3];
+    assert_eq!(pv.num_vertices, 8);
+    assert_eq!(pv.internal_edges, 13);
+    assert_eq!(pv.boundary_edges, 0);
+    assert_eq!(pv.triangles, 8); // 4 per K4, bridge closes none
+    // Triplets: six degree-3 vertices (C(3,2)=3 each) + two degree-4
+    // endpoints (C(4,2)=6 each) = 18 + 12.
+    assert_eq!(pv.triplets, 30);
+
+    let scores = a.core_set_scores(&Metric::AverageDegree);
+    assert!((scores[3] - 26.0 / 8.0).abs() < 1e-12);
+    let den = a.core_set_scores(&Metric::InternalDensity);
+    assert!((den[3] - 13.0 / 28.0).abs() < 1e-12);
+    let cc = a.core_set_scores(&Metric::ClusteringCoefficient);
+    assert!((cc[3] - 24.0 / 30.0).abs() < 1e-12);
+    // Whole graph: cut ratio 1 by convention, conductance 1, modularity 0.
+    assert_eq!(a.core_set_scores(&Metric::CutRatio)[3], 1.0);
+    assert_eq!(a.core_set_scores(&Metric::Conductance)[3], 1.0);
+    assert!(a.core_set_scores(&Metric::Modularity)[3].abs() < 1e-12);
+}
+
+#[test]
+fn single_core_scores_on_two_k4s() {
+    // The two K4s are one 3-core? No: the bridge endpoints both have
+    // coreness 3 and the graph is connected, so the whole graph is a single
+    // connected 3-core.
+    let g = two_k4_bridge();
+    let a = analyze(&g);
+    assert_eq!(a.forest().node_count(), 1);
+    let best = a.best_single_core(&Metric::AverageDegree).unwrap();
+    assert!((best.score - 26.0 / 8.0).abs() < 1e-12);
+}
+
+#[test]
+fn per_metric_formulas_from_primaries() {
+    // One synthetic primary set, every formula by hand.
+    // S: 6 vertices, 9 internal edges, 4 boundary edges, 2 triangles,
+    // 12 triplets; G: 20 vertices, 40 edges.
+    let pv = PrimaryValues {
+        num_vertices: 6,
+        internal_edges: 9,
+        boundary_edges: 4,
+        triangles: 2,
+        triplets: 12,
+    };
+    let ctx = GraphContext { total_vertices: 20, total_edges: 40 };
+    assert!((Metric::AverageDegree.score(&pv, &ctx) - 3.0).abs() < 1e-12);
+    assert!((Metric::InternalDensity.score(&pv, &ctx) - 18.0 / 30.0).abs() < 1e-12);
+    assert!((Metric::CutRatio.score(&pv, &ctx) - (1.0 - 4.0 / (6.0 * 14.0))).abs() < 1e-12);
+    assert!((Metric::Conductance.score(&pv, &ctx) - (1.0 - 4.0 / 22.0)).abs() < 1e-12);
+    // Modularity: m_S = 9, b = 4, m_rest = 40 - 9 - 4 = 27.
+    let expected_mod = (9.0 / 40.0 - (22.0f64 / 80.0).powi(2))
+        + (27.0 / 40.0 - (58.0f64 / 80.0).powi(2));
+    assert!((Metric::Modularity.score(&pv, &ctx) - expected_mod).abs() < 1e-12);
+    assert!((Metric::ClusteringCoefficient.score(&pv, &ctx) - 0.5).abs() < 1e-12);
+    assert!((Metric::Separability.score(&pv, &ctx) - 2.25).abs() < 1e-12);
+    assert!((Metric::TriangleDensity.score(&pv, &ctx) - 2.0 / 20.0).abs() < 1e-12);
+}
+
+#[test]
+fn figure2_all_metric_values_by_hand() {
+    // The paper's Figure 2 graph; every k-core-set score at k = 3:
+    // n = 8, m = 12, b = 3, Δ = 8, t = 24 (Examples 4–6).
+    let g = generators::paper_figure2();
+    let a = analyze(&g);
+    let s3 = |m: Metric| a.core_set_scores(&m)[3];
+    assert!((s3(Metric::AverageDegree) - 3.0).abs() < 1e-12);
+    assert!((s3(Metric::InternalDensity) - 24.0 / 56.0).abs() < 1e-12);
+    assert!((s3(Metric::CutRatio) - (1.0 - 3.0 / (8.0 * 4.0))).abs() < 1e-12);
+    assert!((s3(Metric::Conductance) - (1.0 - 3.0 / 27.0)).abs() < 1e-12);
+    assert!((s3(Metric::ClusteringCoefficient) - 1.0).abs() < 1e-12);
+    // Modularity at k = 3: m_S = 12, b = 3, m = 19, m_rest = 4.
+    let expected = (12.0 / 19.0 - (27.0f64 / 38.0).powi(2))
+        + (4.0 / 19.0 - (11.0f64 / 38.0).powi(2));
+    assert!((s3(Metric::Modularity) - expected).abs() < 1e-12);
+}
+
+#[test]
+fn moderate_scale_end_to_end_sanity() {
+    // A 40k-edge graph end-to-end: scores finite where expected, best-k
+    // values in range, forest consistent with the decomposition.
+    let g = generators::chung_lu_power_law(10_000, 8.0, 2.4, 31);
+    let a = analyze(&g);
+    for m in Metric::ALL {
+        let best = a.best_core_set(&m).expect("finite score");
+        assert!(best.k <= a.kmax());
+        let core = a.best_single_core(&m).expect("finite score");
+        assert!(core.k <= a.kmax());
+    }
+    let total_forest_vertices: usize = a
+        .forest()
+        .nodes()
+        .iter()
+        .map(|n| n.vertices.len())
+        .sum();
+    assert_eq!(total_forest_vertices, g.num_vertices());
+}

@@ -1,0 +1,200 @@
+//! Cross-crate integration tests: the full pipeline from generation through
+//! I/O, analysis, and the §V-D applications.
+
+use bestk::apps::{charikar_peeling, contains_clique, maximum_clique, opt_d, opt_sc};
+use bestk::core::{analyze, analyze_basic, CommunityMetric, Metric};
+use bestk::graph::{generators, io, GraphBuilder};
+
+#[test]
+fn generate_save_load_analyze() {
+    let g = generators::chung_lu_power_law(5_000, 9.0, 2.4, 11);
+    // Binary round trip.
+    let mut buf = Vec::new();
+    io::write_binary(&g, &mut buf).unwrap();
+    let g2 = io::read_binary(&buf[..]).unwrap();
+    assert_eq!(g, g2);
+    // Text round trip preserves the analysis outcome (relabel-invariant
+    // because the writer emits ascending ids, so relabeling is identity
+    // on the contiguous id space).
+    let mut text = Vec::new();
+    io::write_edge_list(&g, &mut text).unwrap();
+    let (g3, _) = io::read_edge_list(&text[..]).unwrap();
+    let a2 = analyze_basic(&g2);
+    let a3 = analyze_basic(&g3);
+    assert_eq!(a2.kmax(), a3.kmax());
+    for m in [Metric::AverageDegree, Metric::Conductance, Metric::Modularity] {
+        assert_eq!(
+            a2.best_core_set(&m).map(|b| b.k),
+            a3.best_core_set(&m).map(|b| b.k),
+            "{}",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    let g = generators::rmat(12, 10, 0.57, 0.19, 0.19, 5);
+    let a = analyze(&g);
+    let b = analyze(&g);
+    for m in Metric::ALL {
+        assert_eq!(a.best_core_set(&m), b.best_core_set(&m));
+        assert_eq!(a.best_single_core(&m), b.best_single_core(&m));
+    }
+}
+
+#[test]
+fn best_set_score_is_max_of_series() {
+    let g = generators::chung_lu_power_law(3_000, 8.0, 2.5, 3);
+    let a = analyze(&g);
+    for m in Metric::ALL {
+        let series = a.core_set_scores(&m);
+        let best = a.best_core_set(&m).unwrap();
+        let max = series
+            .iter()
+            .copied()
+            .filter(|s| s.is_finite())
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            (best.score - max).abs() < 1e-12,
+            "{}: best {} vs max {}",
+            m.name(),
+            best.score,
+            max
+        );
+        assert!((series[best.k as usize] - best.score).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn best_single_core_beats_every_set_score_under_density() {
+    // The best single core under a size-normalized metric is at least as
+    // good as the best whole-set score, because each set's score is a
+    // "mixture" of its cores — concretely, the densest single core's
+    // internal density is >= the best set's density on these graphs.
+    let g = generators::overlapping_cliques(2_000, 300, (4, 12), 8);
+    let a = analyze(&g);
+    let set = a.best_core_set(&Metric::InternalDensity).unwrap();
+    let core = a.best_single_core(&Metric::InternalDensity).unwrap();
+    assert!(core.score >= set.score - 1e-12);
+}
+
+#[test]
+fn applications_compose_with_analysis() {
+    let g = generators::chung_lu_power_law(4_000, 10.0, 2.3, 17);
+    let a = analyze_basic(&g);
+
+    // Densest subgraph: Opt-D at least matches peeling on quality here.
+    let d = opt_d(&g, &a);
+    let peel = charikar_peeling(&g);
+    assert!(d.average_degree > 0.0);
+    assert!(peel.average_degree > 0.0);
+
+    // Maximum clique is inside the kmax-core set (a clique of size s is a
+    // (s-1)-core).
+    let decomp = a.decomposition();
+    let clique = maximum_clique(&g, decomp);
+    assert!(clique.len() >= 3);
+    let k = clique.len() as u32 - 1;
+    let core_set = decomp.core_set_vertices(k);
+    assert!(contains_clique(core_set, &clique));
+
+    // Size-constrained query round trip.
+    let q = *clique.first().unwrap();
+    if let Some(res) = opt_sc(&g, &a, 2, 30, q) {
+        assert!(res.vertices.contains(&q));
+    }
+}
+
+#[test]
+fn handcrafted_graph_full_pipeline() {
+    // Two communities of different character, as in the case study.
+    let mut b = GraphBuilder::new();
+    // K6 "research group".
+    for u in 0..6u32 {
+        for v in (u + 1)..6 {
+            b.add_edge(u, v);
+        }
+    }
+    // Sparse ring of 12 around it.
+    for i in 0..12u32 {
+        b.add_edge(6 + i, 6 + (i + 1) % 12);
+    }
+    b.add_edge(0, 6);
+    let g = b.build();
+    let a = analyze(&g);
+    assert_eq!(a.kmax(), 5);
+    // Density picks the K6.
+    let members = a.best_single_core_vertices(&Metric::InternalDensity).unwrap();
+    assert_eq!(members.len(), 6);
+    assert!(members.iter().all(|&v| v < 6));
+    // The k-core set score series has length kmax + 1 and is finite at the
+    // ends for average degree.
+    let series = a.core_set_scores(&Metric::AverageDegree);
+    assert_eq!(series.len(), 6);
+    assert!(series.iter().all(|s| s.is_finite()));
+}
+
+#[test]
+fn truss_forest_and_community_search_compose() {
+    let g = generators::overlapping_cliques(800, 150, (4, 10), 13);
+    // Truss side.
+    let idx = bestk::truss::EdgeIndex::build(&g);
+    let t = bestk::truss::decomposition::truss_decomposition_with_index(&g, &idx);
+    let f = bestk::truss::TrussForest::build(&g, &idx, &t);
+    assert!(f.node_count() > 0);
+    // Deepest truss node reconstructs to a subgraph whose minimum degree is
+    // at least tmax - 1 (each edge in >= tmax - 2 triangles forces degree).
+    let deepest = 0u32; // nodes sorted descending by level
+    assert_eq!(f.node(deepest).truss, t.tmax());
+    let (verts, edges) = f.truss_members(deepest);
+    assert!(verts.len() as u32 >= t.tmax());
+    assert!(edges.len() >= verts.len() - 1);
+    // Community search around a deep vertex.
+    let a = analyze(&g);
+    let q = verts[0];
+    let c = bestk::apps::max_min_degree_community(&a, q);
+    assert!(c.vertices.contains(&q));
+    assert!(
+        bestk::apps::community::min_internal_degree(&g, &c.vertices) >= c.k as usize
+    );
+    let scored =
+        bestk::apps::best_scored_community(&a, q, &Metric::InternalDensity, 0, None).unwrap();
+    assert!(scored.vertices.contains(&q));
+    // Spreader ranking is consistent with the decomposition.
+    let ranked = bestk::apps::rank_by_coreness(&g, a.decomposition());
+    assert_eq!(
+        a.decomposition().coreness(ranked[0]),
+        a.decomposition().kmax()
+    );
+}
+
+#[test]
+fn custom_metric_flows_through_the_whole_api() {
+    /// Sparsity-seeking metric: negative average degree.
+    struct SparsestSet;
+    impl CommunityMetric for SparsestSet {
+        fn name(&self) -> &str {
+            "sparsest"
+        }
+        fn score(
+            &self,
+            pv: &bestk::core::PrimaryValues,
+            _: &bestk::core::GraphContext,
+        ) -> f64 {
+            if pv.num_vertices == 0 {
+                f64::NAN
+            } else {
+                -(2.0 * pv.internal_edges as f64 / pv.num_vertices as f64)
+            }
+        }
+    }
+    let g = generators::chung_lu_power_law(2_000, 8.0, 2.4, 4);
+    let a = analyze_basic(&g);
+    let best = a.best_core_set(&SparsestSet).unwrap();
+    // The sparsest k-core set is the whole graph (k = 0 or 1, which dilute
+    // density with low-degree vertices) — certainly not the top core.
+    assert!(best.k <= 1);
+    let single = a.best_single_core(&SparsestSet).unwrap();
+    assert!(single.score <= 0.0);
+}
