@@ -1,0 +1,54 @@
+//! # bestk-analyze
+//!
+//! A source-level static-analysis pass that enforces the workspace's
+//! reliability contract (`DESIGN.md` §"Lint policy"): crate roots forbid
+//! `unsafe`, library code never unwraps or panics, truncating integer
+//! casts go through the blessed `bestk_graph::cast` helpers, and every
+//! module is documented.
+//!
+//! It is deliberately *lexical*: [`source::SourceModel`] blanks comments
+//! and string literals and tracks `#[cfg(test)]` regions, then
+//! [`lints::check_file`] pattern-matches over the surviving code. No
+//! `syn`, no rustc internals — the checker builds offline in under a
+//! second and its false-positive escape hatch is an explicit, reasoned
+//! `// bestk-analyze: allow(<lint>) — <reason>` comment that is itself
+//! linted.
+//!
+//! Run it as `cargo run -p bestk-analyze -- check` (CI does); exit code 0
+//! means clean, 1 means violations, 2 means the invocation itself failed.
+//!
+//! bestk-analyze: allow-file(bad-allow) — these docs quote the directive syntax
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lints;
+pub mod report;
+pub mod source;
+pub mod walk;
+
+use std::io;
+use std::path::Path;
+
+pub use report::Diagnostic;
+
+/// Runs the full lint pass over the workspace rooted at `root`.
+///
+/// Returns the diagnostics plus the number of files checked. Integration
+/// tests and benches (`tests/`, `benches/` trees) are held only to the
+/// `module-doc` and `bad-allow` rules — they are test code, where unwraps
+/// and panics are the assertion mechanism.
+pub fn run(root: &Path) -> io::Result<(Vec<Diagnostic>, usize)> {
+    let files = walk::discover(root)?;
+    let mut diags = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(&file.abs_path)?;
+        let role = lints::classify(&file.rel_path);
+        let mut file_diags = lints::check_file(&file.rel_path, role, &text);
+        if file.is_integration_test {
+            file_diags.retain(|d| d.lint == "module-doc" || d.lint == "bad-allow");
+        }
+        diags.extend(file_diags);
+    }
+    Ok((diags, files.len()))
+}

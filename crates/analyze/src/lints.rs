@@ -1,0 +1,381 @@
+//! The policy lints and their evaluation over a [`SourceModel`].
+//!
+//! Four lints encode the workspace contract (see `DESIGN.md` §"Lint
+//! policy"):
+//!
+//! | lint | rule |
+//! |------|------|
+//! | `forbid-unsafe` | every crate root carries `#![forbid(unsafe_code)]` |
+//! | `no-unwrap` | no `.unwrap()` / `.expect(` outside `#[cfg(test)]` |
+//! | `no-panic` | no `panic!` / `todo!` / `unimplemented!` outside `#[cfg(test)]` |
+//! | `no-raw-cast` | no truncating `as u8/u16/u32/i8/i16/i32/VertexId` outside the blessed `cast` module |
+//! | `module-doc` | every source file opens with a `//!` module doc |
+//!
+//! Suppressions are explicit and carry a reason:
+//!
+//! * `// bestk-analyze: allow(<lint>) — <reason>` on the offending line or
+//!   the line directly above it;
+//! * `bestk-analyze: allow-file(<lint>) — <reason>` anywhere in the file
+//!   (conventionally in the module doc) for file-wide exemptions.
+//!
+//! A suppression without a reason is itself a violation (`bad-allow`).
+//!
+//! bestk-analyze: allow-file(bad-allow) — these docs quote the directive syntax
+
+use crate::report::Diagnostic;
+use crate::source::SourceModel;
+
+/// Stable lint identifiers (the names used in allow comments).
+pub const LINTS: &[(&str, &str)] = &[
+    (
+        "forbid-unsafe",
+        "crate roots must declare #![forbid(unsafe_code)]",
+    ),
+    (
+        "no-unwrap",
+        "no .unwrap()/.expect() in non-test code; propagate errors or document",
+    ),
+    (
+        "no-panic",
+        "no panic!/todo!/unimplemented! in non-test code",
+    ),
+    (
+        "no-raw-cast",
+        "no truncating `as` casts outside the blessed cast module",
+    ),
+    (
+        "module-doc",
+        "every source file opens with a //! module doc",
+    ),
+    (
+        "bad-allow",
+        "allow comments must name a known lint and give a reason",
+    ),
+];
+
+/// True if `name` is a known lint id.
+pub fn is_known_lint(name: &str) -> bool {
+    LINTS.iter().any(|(id, _)| *id == name)
+}
+
+/// The truncating cast targets `no-raw-cast` rejects. `as usize`/`as u64`
+/// widen on every supported target when the source is a `u32` vertex id —
+/// the dominant cast direction in this workspace — so they stay legal;
+/// the narrowing direction must go through `bestk_graph::cast`.
+const NARROWING_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "VertexId"];
+
+/// Role of a file within its crate, which decides lint applicability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileRole {
+    /// `src/lib.rs` or `src/main.rs`: a crate root (gets `forbid-unsafe`).
+    CrateRoot,
+    /// The blessed checked-cast module (`cast.rs`): exempt from
+    /// `no-raw-cast` — it is where the casts are supposed to live.
+    CastModule,
+    /// Any other library source file.
+    Library,
+}
+
+/// Classifies a path inside a crate's `src/` tree.
+pub fn classify(path: &str) -> FileRole {
+    let file = path.rsplit('/').next().unwrap_or(path);
+    if path.ends_with("src/lib.rs") || path.ends_with("src/main.rs") {
+        FileRole::CrateRoot
+    } else if file == "cast.rs" {
+        FileRole::CastModule
+    } else {
+        FileRole::Library
+    }
+}
+
+/// Parsed allow comment: the lint it suppresses and whether it is
+/// file-wide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Allow {
+    lint: String,
+    file_wide: bool,
+    has_reason: bool,
+}
+
+/// Extracts every `bestk-analyze:` directive from a comment string.
+fn parse_allows(comment: &str) -> Vec<Allow> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("bestk-analyze:") {
+        rest = &rest[pos + "bestk-analyze:".len()..];
+        let directive = rest.trim_start();
+        let file_wide = directive.starts_with("allow-file(");
+        let keyword = if file_wide { "allow-file(" } else { "allow(" };
+        if let Some(body) = directive.strip_prefix(keyword) {
+            if let Some(close) = body.find(')') {
+                let lint = body[..close].trim().to_string();
+                let tail = &body[close + 1..];
+                // A reason is anything substantive after a dash separator.
+                let has_reason = tail
+                    .trim_start()
+                    .trim_start_matches(['—', '-', ':'])
+                    .trim()
+                    .len()
+                    >= 3;
+                out.push(Allow {
+                    lint,
+                    file_wide,
+                    has_reason,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Runs every lint over one file. `path` is the repo-relative path used in
+/// diagnostics; `role` comes from [`classify`].
+pub fn check_file(path: &str, role: FileRole, text: &str) -> Vec<Diagnostic> {
+    let model = SourceModel::parse(text);
+    let mut diags = Vec::new();
+
+    // Collect suppressions first: per-line and file-wide. Malformed
+    // directives are gathered and only reported afterwards, so that a
+    // file-wide `allow-file(bad-allow)` can exempt documentation that
+    // *quotes* the directive syntax (this crate's own docs, notably).
+    let mut file_allows: Vec<String> = Vec::new();
+    let mut line_allows: Vec<Vec<String>> = vec![Vec::new(); model.lines.len()];
+    let mut bad_allows: Vec<Diagnostic> = Vec::new();
+    for (i, line) in model.lines.iter().enumerate() {
+        for allow in parse_allows(&line.comment) {
+            if !is_known_lint(&allow.lint) {
+                bad_allows.push(Diagnostic::new(
+                    path,
+                    i + 1,
+                    "bad-allow",
+                    format!("allow names unknown lint {:?}", allow.lint),
+                ));
+                continue;
+            }
+            if !allow.has_reason {
+                bad_allows.push(Diagnostic::new(
+                    path,
+                    i + 1,
+                    "bad-allow",
+                    format!("allow({}) must state a reason after a dash", allow.lint),
+                ));
+                continue;
+            }
+            if allow.file_wide {
+                file_allows.push(allow.lint);
+            } else {
+                // Applies to its own line and the next line (the common
+                // "comment above the offending statement" placement).
+                line_allows[i].push(allow.lint.clone());
+                if i + 1 < line_allows.len() {
+                    line_allows[i + 1].push(allow.lint);
+                }
+            }
+        }
+    }
+    if !file_allows.iter().any(|l| l == "bad-allow") {
+        diags.extend(bad_allows);
+    }
+    let allowed = |lint: &str, line: usize| {
+        file_allows.iter().any(|l| l == lint) || line_allows[line].iter().any(|l| l == lint)
+    };
+
+    // module-doc: the first lines of the file must include a `//!` doc.
+    if role != FileRole::CrateRoot || !text.is_empty() {
+        let has_doc = model.lines.iter().take(30).any(|l| l.is_module_doc);
+        if !has_doc && !file_allows.iter().any(|l| l == "module-doc") {
+            diags.push(Diagnostic::new(
+                path,
+                1,
+                "module-doc",
+                "file has no `//!` module documentation".to_string(),
+            ));
+        }
+    }
+
+    // forbid-unsafe: crate roots must carry the attribute.
+    if role == FileRole::CrateRoot
+        && !text.contains("#![forbid(unsafe_code)]")
+        && !file_allows.iter().any(|l| l == "forbid-unsafe")
+    {
+        diags.push(Diagnostic::new(
+            path,
+            1,
+            "forbid-unsafe",
+            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        ));
+    }
+
+    // Pattern lints over blanked code, skipping test regions.
+    for (i, line) in model.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        for (needle, lint, what) in [
+            (".unwrap()", "no-unwrap", "`.unwrap()`"),
+            (".expect(", "no-unwrap", "`.expect()`"),
+            ("panic!", "no-panic", "`panic!`"),
+            ("todo!", "no-panic", "`todo!`"),
+            ("unimplemented!", "no-panic", "`unimplemented!`"),
+        ] {
+            if code.contains(needle) && !allowed(lint, i) {
+                diags.push(Diagnostic::new(
+                    path,
+                    i + 1,
+                    lint,
+                    format!("{what} in non-test code (propagate the error or add an allow comment with a reason)"),
+                ));
+            }
+        }
+        if role != FileRole::CastModule && !allowed("no-raw-cast", i) {
+            for target in NARROWING_TARGETS {
+                if has_cast_to(code, target) {
+                    diags.push(Diagnostic::new(
+                        path,
+                        i + 1,
+                        "no-raw-cast",
+                        format!("truncating `as {target}` cast (use bestk_graph::cast helpers)"),
+                    ));
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// Detects `as <target>` as a token sequence: `as` must stand alone and
+/// the target must end at a word boundary (so `as u32` hits but `as u64`
+/// does not hit the `u8`-check, etc.).
+fn has_cast_to(code: &str, target: &str) -> bool {
+    let mut rest = code;
+    while let Some(pos) = rest.find(" as ") {
+        let after = &rest[pos + 4..];
+        let tail = after.trim_start();
+        if let Some(after_target) = tail.strip_prefix(target) {
+            let boundary = after_target
+                .chars()
+                .next()
+                .map(|c| !c.is_alphanumeric() && c != '_')
+                .unwrap_or(true);
+            if boundary {
+                return true;
+            }
+        }
+        rest = &rest[pos + 4..];
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lints_of(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.lint).collect()
+    }
+
+    const DOC: &str = "//! Docs.\n";
+
+    #[test]
+    fn clean_file_passes() {
+        let src = format!("{DOC}pub fn f(x: u32) -> usize {{ x as usize }}\n");
+        assert!(check_file("a.rs", FileRole::Library, &src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_library_code_fires() {
+        let src = format!("{DOC}fn f() {{ let x: Option<u8> = None; x.unwrap(); }}\n");
+        let d = check_file("a.rs", FileRole::Library, &src);
+        assert_eq!(lints_of(&d), vec!["no-unwrap"]);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn unwrap_in_test_module_is_fine() {
+        let src =
+            format!("{DOC}#[cfg(test)]\nmod tests {{\n    fn t() {{ None::<u8>.unwrap(); }}\n}}\n");
+        assert!(check_file("a.rs", FileRole::Library, &src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_string_or_comment_is_fine() {
+        let src = format!("{DOC}// .unwrap() here\nlet s = \".unwrap()\";\n");
+        assert!(check_file("a.rs", FileRole::Library, &src).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_with_reason_suppresses() {
+        let src = format!(
+            "{DOC}// bestk-analyze: allow(no-unwrap) — mutex poisoning is fatal by design\nlock.lock().unwrap();\n"
+        );
+        assert!(check_file("a.rs", FileRole::Library, &src).is_empty());
+        let trailing = format!(
+            "{DOC}lock.lock().unwrap(); // bestk-analyze: allow(no-unwrap) — poisoning is fatal\n"
+        );
+        assert!(check_file("a.rs", FileRole::Library, &trailing).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected() {
+        let src = format!("{DOC}// bestk-analyze: allow(no-unwrap)\nx.unwrap();\n");
+        let d = check_file("a.rs", FileRole::Library, &src);
+        assert!(lints_of(&d).contains(&"bad-allow"), "{d:?}");
+    }
+
+    #[test]
+    fn allow_unknown_lint_is_rejected() {
+        let src = format!("{DOC}// bestk-analyze: allow(no-such) — whatever reason\n");
+        let d = check_file("a.rs", FileRole::Library, &src);
+        assert_eq!(lints_of(&d), vec!["bad-allow"]);
+    }
+
+    #[test]
+    fn panic_family_fires() {
+        let src = format!("{DOC}fn f() {{ panic!(\"x\"); }}\nfn g() {{ todo!() }}\n");
+        let d = check_file("a.rs", FileRole::Library, &src);
+        assert_eq!(lints_of(&d), vec!["no-panic", "no-panic"]);
+    }
+
+    #[test]
+    fn narrowing_casts_fire_and_widening_do_not() {
+        let src = format!("{DOC}let a = x as u32;\nlet b = x as usize;\nlet c = x as u64;\n");
+        let d = check_file("a.rs", FileRole::Library, &src);
+        assert_eq!(lints_of(&d), vec!["no-raw-cast"]);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn cast_module_is_blessed() {
+        let src = format!("{DOC}pub fn vertex_id(i: usize) -> u32 {{ i as u32 }}\n");
+        assert!(check_file("crates/graph/src/cast.rs", FileRole::CastModule, &src).is_empty());
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        let src = format!("{DOC}let a = x as u64;\nlet b = y as usize;\nlet c = alias_u32;\n");
+        assert!(check_file("a.rs", FileRole::Library, &src).is_empty());
+    }
+
+    #[test]
+    fn missing_module_doc_fires() {
+        let d = check_file("a.rs", FileRole::Library, "fn f() {}\n");
+        assert_eq!(lints_of(&d), vec!["module-doc"]);
+    }
+
+    #[test]
+    fn crate_root_without_forbid_fires() {
+        let d = check_file("src/lib.rs", FileRole::CrateRoot, DOC);
+        assert_eq!(lints_of(&d), vec!["forbid-unsafe"]);
+        let ok = format!("{DOC}#![forbid(unsafe_code)]\n");
+        assert!(check_file("src/lib.rs", FileRole::CrateRoot, &ok).is_empty());
+    }
+
+    #[test]
+    fn classify_roles() {
+        assert_eq!(classify("crates/graph/src/lib.rs"), FileRole::CrateRoot);
+        assert_eq!(classify("crates/cli/src/main.rs"), FileRole::CrateRoot);
+        assert_eq!(classify("crates/graph/src/cast.rs"), FileRole::CastModule);
+        assert_eq!(classify("crates/core/src/verify.rs"), FileRole::Library);
+    }
+}

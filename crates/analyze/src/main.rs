@@ -1,0 +1,86 @@
+//! CLI entry point for `bestk-analyze`.
+//!
+//! ```text
+//! bestk-analyze check [--root <dir>]     run the lint pass (default root: cwd)
+//! bestk-analyze lints                    list the lints and what they enforce
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+bestk-analyze — workspace lint pass for the bestk repository
+
+USAGE:
+    bestk-analyze check [--root <dir>]
+    bestk-analyze lints
+
+Exit codes: 0 = clean, 1 = violations, 2 = usage or I/O error.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("bestk-analyze: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return Ok(ExitCode::from(2));
+    };
+    match cmd.as_str() {
+        "check" => {
+            let root = parse_root(&args[1..])?;
+            if !root.is_dir() {
+                return Err(format!("root {} is not a directory", root.display()));
+            }
+            let (diags, files) = bestk_analyze::run(&root)
+                .map_err(|e| format!("walking {}: {e}", root.display()))?;
+            print!("{}", bestk_analyze::report::render(&diags, files));
+            Ok(if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            })
+        }
+        "lints" => {
+            for (id, what) in bestk_analyze::lints::LINTS {
+                println!("{id:14} {what}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command {other:?} (try --help)")),
+    }
+}
+
+/// Parses `--root <dir>` / `--root=<dir>`; defaults to the current
+/// directory, which is the workspace root under `cargo run -p`.
+fn parse_root(args: &[String]) -> Result<PathBuf, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(v) = a.strip_prefix("--root=") {
+            root = Some(PathBuf::from(v));
+        } else if a == "--root" {
+            let v = it.next().ok_or("--root needs a value")?;
+            root = Some(PathBuf::from(v));
+        } else {
+            return Err(format!("unknown argument {a:?}"));
+        }
+    }
+    Ok(root.unwrap_or_else(|| PathBuf::from(".")))
+}

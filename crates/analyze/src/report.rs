@@ -1,0 +1,109 @@
+//! Diagnostic type and report rendering for `bestk-analyze`.
+//!
+//! Diagnostics render in the conventional `path:line: [lint] message`
+//! shape so editors and CI log scrapers pick them up, followed by a
+//! per-lint summary table.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One lint violation, anchored to a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Repo-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable lint id (see [`crate::lints::LINTS`]).
+    pub lint: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic; `lint` must be a known id from the lint table.
+    pub fn new(path: &str, line: usize, lint: &'static str, message: String) -> Self {
+        Diagnostic {
+            path: path.to_string(),
+            line,
+            lint,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Renders the full report: every diagnostic sorted by (path, line), then
+/// a per-lint count summary and the verdict line.
+pub fn render(diags: &[Diagnostic], files_checked: usize) -> String {
+    let mut out = String::new();
+    let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
+    sorted.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    for d in &sorted {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+        let mut by_lint: BTreeMap<&str, usize> = BTreeMap::new();
+        for d in diags {
+            *by_lint.entry(d.lint).or_insert(0) += 1;
+        }
+        for (lint, count) in &by_lint {
+            out.push_str(&format!("  {count:4}  {lint}\n"));
+        }
+        out.push('\n');
+    }
+    if diags.is_empty() {
+        out.push_str(&format!(
+            "bestk-analyze: {files_checked} files checked, no violations\n"
+        ));
+    } else {
+        out.push_str(&format!(
+            "bestk-analyze: {files_checked} files checked, {} violation{} found\n",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape() {
+        let d = Diagnostic::new("crates/x/src/a.rs", 7, "no-unwrap", "bad".to_string());
+        assert_eq!(d.to_string(), "crates/x/src/a.rs:7: [no-unwrap] bad");
+    }
+
+    #[test]
+    fn render_sorts_and_summarizes() {
+        let diags = vec![
+            Diagnostic::new("b.rs", 2, "no-panic", "x".into()),
+            Diagnostic::new("a.rs", 9, "no-unwrap", "y".into()),
+            Diagnostic::new("a.rs", 1, "no-unwrap", "z".into()),
+        ];
+        let r = render(&diags, 3);
+        let first = r.lines().next().unwrap_or("");
+        assert!(first.starts_with("a.rs:1:"), "{r}");
+        assert!(r.contains("   2  no-unwrap"), "{r}");
+        assert!(r.contains("3 violations found"), "{r}");
+    }
+
+    #[test]
+    fn render_clean() {
+        let r = render(&[], 42);
+        assert!(r.contains("42 files checked, no violations"));
+    }
+}

@@ -1,0 +1,373 @@
+//! Lexical source model: the preprocessing every lint runs on.
+//!
+//! [`SourceModel::parse`] makes one pass over a Rust source file and
+//! produces, per line:
+//!
+//! * **code text** — the line with comments and string/char literals
+//!   blanked out (replaced by spaces, so column numbers survive), which is
+//!   what pattern lints match against;
+//! * **comment text** — the concatenated comments of the line, which is
+//!   where `bestk-analyze: allow(...)` suppressions and module docs live;
+//! * **test flag** — whether the line sits inside a `#[cfg(test)]` item,
+//!   tracked by brace depth.
+//!
+//! This is a lexer-level approximation, not a parser: precise enough for
+//! policy lints over a codebase that compiles (rustc guarantees
+//! well-formed tokens), and dependency-free, which the offline build
+//! demands. Known approximations are documented on [`SourceModel::parse`].
+//!
+//! bestk-analyze: allow-file(bad-allow) — these docs quote the directive syntax
+
+/// One analyzed line of source.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code with comments and literals blanked (same length as the input).
+    pub code: String,
+    /// All comment text on the line (`//`, `///`, `//!`, and block
+    /// comment fragments), concatenated.
+    pub comment: String,
+    /// True if the line starts inside a `#[cfg(test)]`-gated item.
+    pub in_test: bool,
+    /// True if the line's first non-whitespace token is an inner doc
+    /// comment (`//!`).
+    pub is_module_doc: bool,
+}
+
+/// The per-line analysis of one file.
+#[derive(Debug, Default)]
+pub struct SourceModel {
+    /// Lines, 0-indexed (diagnostics report 1-indexed).
+    pub lines: Vec<Line>,
+}
+
+/// Scanner state carried across characters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+impl SourceModel {
+    /// Parses `text` into per-line code/comment/test-region views.
+    ///
+    /// Approximations (all conservative for the policy lints):
+    /// * a `#[cfg(test)]` attribute marks the *next* braced item as test
+    ///   code, whatever the cfg predicate's polarity — `#[cfg(not(test))]`
+    ///   is treated as test-gated too (no such attribute exists in this
+    ///   workspace);
+    /// * char literals are recognized by a short lookahead, so lifetime
+    ///   ticks (`'a`) never open a literal;
+    /// * code inside macros is scanned like any other code.
+    pub fn parse(text: &str) -> SourceModel {
+        let bytes = text.as_bytes();
+        let mut lines = Vec::new();
+        let mut line = Line::default();
+        let mut mode = Mode::Code;
+        // Brace depth, and the depths at which `#[cfg(test)]` items opened.
+        let mut depth: i64 = 0;
+        let mut test_regions: Vec<i64> = Vec::new();
+        // Set when `#[cfg(test)]` was seen and its item's `{` is pending.
+        let mut pending_test_item = false;
+        line.in_test = false;
+
+        let mut i = 0usize;
+        let n = bytes.len();
+        while i < n {
+            let c = bytes[i] as char;
+            if c == '\n' {
+                if matches!(mode, Mode::LineComment) {
+                    mode = Mode::Code;
+                }
+                line.finish();
+                lines.push(std::mem::take(&mut line));
+                line.in_test = !test_regions.is_empty();
+                i += 1;
+                continue;
+            }
+            match mode {
+                Mode::Code => {
+                    if c == '/' && bytes.get(i + 1) == Some(&b'/') {
+                        mode = Mode::LineComment;
+                        line.code.push_str("  ");
+                        line.comment.push_str("//");
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+                        mode = Mode::BlockComment(1);
+                        line.code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' {
+                        mode = Mode::Str;
+                        line.code.push(' ');
+                        i += 1;
+                        continue;
+                    }
+                    // Raw strings: r"..." / r#"..."# / br##"..."## etc.
+                    if (c == 'r' || c == 'b') && !prev_is_ident(&line.code) {
+                        if let Some((hashes, consumed)) = raw_string_open(&bytes[i..]) {
+                            mode = Mode::RawStr(hashes);
+                            for _ in 0..consumed {
+                                line.code.push(' ');
+                            }
+                            i += consumed;
+                            continue;
+                        }
+                    }
+                    if c == '\'' {
+                        if let Some(len) = char_literal_len(&bytes[i..]) {
+                            for _ in 0..len {
+                                line.code.push(' ');
+                            }
+                            i += len;
+                            continue;
+                        }
+                        // A lifetime tick: keep scanning as code.
+                        line.code.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    if c == '{' {
+                        if pending_test_item {
+                            test_regions.push(depth);
+                            pending_test_item = false;
+                        }
+                        depth += 1;
+                    } else if c == '}' {
+                        depth -= 1;
+                        if test_regions.last().is_some_and(|&d| depth <= d) {
+                            test_regions.pop();
+                        }
+                    }
+                    line.code.push(c);
+                    // Detect `#[cfg(test)]` (or any cfg attribute naming
+                    // `test`) once the closing bracket lands on this line.
+                    if c == ']' && line.code.contains("#[cfg(") {
+                        let code = &line.code;
+                        if let Some(start) = code.rfind("#[cfg(") {
+                            let attr = &code[start..];
+                            if attr.contains("test") {
+                                pending_test_item = true;
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+                Mode::LineComment => {
+                    line.code.push(' ');
+                    line.comment.push(c);
+                    i += 1;
+                }
+                Mode::BlockComment(level) => {
+                    if c == '*' && bytes.get(i + 1) == Some(&b'/') {
+                        mode = if level == 1 {
+                            Mode::Code
+                        } else {
+                            Mode::BlockComment(level - 1)
+                        };
+                        line.code.push_str("  ");
+                        i += 2;
+                    } else if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+                        mode = Mode::BlockComment(level + 1);
+                        line.code.push_str("  ");
+                        i += 2;
+                    } else {
+                        line.code.push(' ');
+                        line.comment.push(c);
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if c == '\\' {
+                        if bytes.get(i + 1) == Some(&b'\n') {
+                            // Line-continuation escape: let the newline be
+                            // handled by the top of the loop.
+                            line.code.push(' ');
+                            i += 1;
+                        } else {
+                            line.code.push_str("  ");
+                            i += 2; // skip the escaped character (may be `"`)
+                        }
+                    } else if c == '"' {
+                        mode = Mode::Code;
+                        line.code.push(' ');
+                        i += 1;
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if c == '"' && closes_raw(&bytes[i..], hashes) {
+                        mode = Mode::Code;
+                        let consumed = 1 + hashes as usize;
+                        for _ in 0..consumed {
+                            line.code.push(' ');
+                        }
+                        i += consumed;
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        if !line.code.is_empty() || !line.comment.is_empty() {
+            line.finish();
+            lines.push(line);
+        }
+        SourceModel { lines }
+    }
+}
+
+impl Line {
+    /// Finalizes the derived flags once the line is complete: a module-doc
+    /// line is a pure `//!` comment (blank code, comment opens with `//!`).
+    fn finish(&mut self) {
+        self.is_module_doc = self.code.trim().is_empty() && self.comment.starts_with("//!");
+    }
+}
+
+/// True if the blanked code so far ends in an identifier character — used
+/// to tell `r"..."`/`br"..."` raw-string openers from identifiers that
+/// merely end in `r` or `b` (e.g. `var"` cannot occur in valid Rust).
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .last()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Recognizes a raw-string opener (`r`, `br`, any number of `#`s, then
+/// `"`); returns (hash count, bytes consumed through the quote).
+fn raw_string_open(bytes: &[u8]) -> Option<(u32, usize)> {
+    let mut i = 0usize;
+    if bytes.get(i) == Some(&b'b') {
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0u32;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'"') {
+        Some((hashes, i + 1))
+    } else {
+        None
+    }
+}
+
+/// Whether a `"` at the head of `bytes` is followed by enough `#`s to close
+/// a raw string opened with `hashes` hashes.
+fn closes_raw(bytes: &[u8], hashes: u32) -> bool {
+    let h = hashes as usize;
+    bytes.len() > h && bytes[1..=h].iter().all(|&b| b == b'#')
+}
+
+/// Recognizes a char literal at the head of `bytes` (`'x'`, `'\n'`,
+/// `'\x7f'`, `'\u{1F600}'`); returns its byte length, or `None` for a
+/// lifetime tick.
+fn char_literal_len(bytes: &[u8]) -> Option<usize> {
+    if bytes.first() != Some(&b'\'') {
+        return None;
+    }
+    if bytes.get(1) == Some(&b'\\') {
+        // Escape: find the closing quote within a short window.
+        for (j, &b) in bytes.iter().enumerate().skip(2).take(12) {
+            if b == b'\'' {
+                return Some(j + 1);
+            }
+        }
+        return None;
+    }
+    // Unescaped: exactly one char (possibly multi-byte) then a quote.
+    let s = std::str::from_utf8(bytes).ok()?;
+    let mut chars = s.char_indices().skip(1);
+    let (_, c) = chars.next()?;
+    if c == '\'' {
+        return None; // `''` is not a char literal
+    }
+    let (close_at, close) = chars.next()?;
+    (close == '\'').then_some(close_at + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_blanked_and_captured() {
+        let m = SourceModel::parse("let x = 1; // trailing note\n/* block */ let y = 2;\n");
+        assert!(m.lines[0].code.contains("let x = 1;"));
+        assert!(!m.lines[0].code.contains("trailing"));
+        assert!(m.lines[0].comment.contains("trailing note"));
+        assert!(m.lines[1].code.contains("let y = 2;"));
+        assert!(!m.lines[1].code.contains("block"));
+    }
+
+    #[test]
+    fn strings_are_blanked() {
+        let m = SourceModel::parse("let s = \"panic! .unwrap() as u32\";\n");
+        assert!(!m.lines[0].code.contains("panic!"));
+        assert!(!m.lines[0].code.contains("unwrap"));
+        assert!(m.lines[0].code.contains("let s ="));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let m = SourceModel::parse(
+            "let a = r#\"quote \" inside .unwrap()\"#;\nlet b = \"esc \\\" .expect(\";\nlet c = 1;\n",
+        );
+        assert!(!m.lines[0].code.contains("unwrap"));
+        assert!(!m.lines[1].code.contains("expect"));
+        assert!(m.lines[2].code.contains("let c = 1;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let m = SourceModel::parse("fn f<'a>(x: &'a str) { let c = '\\''; let d = 'x'; }\n");
+        assert!(m.lines[0].code.contains("fn f<'a>(x: &'a str)"));
+        assert!(!m.lines[0].code.contains("'x'"));
+    }
+
+    #[test]
+    fn multiline_block_comment() {
+        let m = SourceModel::parse("/* one\n .unwrap()\n two */ let x = 3;\n");
+        assert!(!m.lines[1].code.contains("unwrap"));
+        assert!(m.lines[1].comment.contains(".unwrap()"));
+        assert!(m.lines[2].code.contains("let x = 3;"));
+    }
+
+    #[test]
+    fn cfg_test_regions() {
+        let src = "\
+fn lib() { x.unwrap(); }
+
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); }
+}
+
+fn lib2() {}
+";
+        let m = SourceModel::parse(src);
+        assert!(!m.lines[0].in_test);
+        assert!(m.lines[4].in_test, "inside cfg(test) mod");
+        assert!(!m.lines[7].in_test, "after the test mod closes");
+    }
+
+    #[test]
+    fn module_doc_detection() {
+        let m = SourceModel::parse("//! Module docs.\n\nfn x() {}\n");
+        assert!(m.lines[0].is_module_doc);
+        assert!(!m.lines[2].is_module_doc);
+    }
+}

@@ -1,0 +1,118 @@
+//! Workspace file discovery for `bestk-analyze`.
+//!
+//! Walks `crates/*/src/**/*.rs` plus the workspace-root `src/` (the
+//! umbrella crate) and `tests/` trees under a given root, returning
+//! repo-relative paths. Implemented on plain `std::fs` — no walkdir/glob
+//! dependency — with deterministic (sorted) output so reports are stable.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A discovered source file: its repo-relative display path and whether it
+/// lives under a `tests/` tree (integration tests get the relaxed rules of
+/// `#[cfg(test)]` code).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    /// Absolute path on disk.
+    pub abs_path: PathBuf,
+    /// True for files under a `tests/` directory (integration tests).
+    pub is_integration_test: bool,
+}
+
+/// Discovers every `.rs` file the lint pass covers, sorted by path:
+/// `crates/<name>/src/**` and `crates/<name>/tests/**` for each crate
+/// directory, plus the workspace root's own `src/` and `tests/`.
+pub fn discover(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            collect_tree(root, &dir.join("src"), false, &mut out)?;
+            collect_tree(root, &dir.join("tests"), true, &mut out)?;
+            collect_tree(root, &dir.join("benches"), true, &mut out)?;
+        }
+    }
+    collect_tree(root, &root.join("src"), false, &mut out)?;
+    collect_tree(root, &root.join("tests"), true, &mut out)?;
+    out.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files under `dir` (silently skipping it if
+/// absent).
+fn collect_tree(
+    root: &Path,
+    dir: &Path,
+    is_integration_test: bool,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_tree(root, &path, is_integration_test, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile {
+                rel_path: rel,
+                abs_path: path,
+                is_integration_test,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovers_this_workspace() {
+        // The analyze crate always runs from somewhere inside the repo;
+        // resolve the workspace root relative to this crate's manifest.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .map(Path::to_path_buf);
+        let Some(root) = root else { return };
+        let files = discover(&root).expect("walk succeeds");
+        let paths: Vec<&str> = files.iter().map(|f| f.rel_path.as_str()).collect();
+        assert!(paths.contains(&"crates/graph/src/lib.rs"), "{paths:?}");
+        assert!(paths.contains(&"crates/analyze/src/walk.rs"));
+        let proptests = files
+            .iter()
+            .find(|f| f.rel_path == "tests/proptests.rs")
+            .expect("umbrella tests discovered");
+        assert!(proptests.is_integration_test);
+        // Deterministic ordering.
+        let mut sorted = paths.clone();
+        sorted.sort();
+        assert_eq!(paths, sorted);
+    }
+
+    #[test]
+    fn missing_root_is_empty() {
+        let files = discover(Path::new("/nonexistent-bestk-root")).expect("ok");
+        assert!(files.is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! End-to-end fixture tests: build a synthetic workspace on disk, run the
+//! full `bestk_analyze::run` pass over it, and assert that injected
+//! violations — an `unwrap()` in library code, a crate root without
+//! `#![forbid(unsafe_code)]`, an unblessed truncating cast — are each
+//! reported, while the clean twin passes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Scratch workspace under the target dir (always writable during tests),
+/// removed on drop so reruns start clean.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Fixture {
+        let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/demo/src")).expect("mkdir fixture");
+        Fixture { root }
+    }
+
+    fn write(&self, rel: &str, text: &str) {
+        let path = self.root.join(rel);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).expect("mkdir parent");
+        }
+        fs::write(path, text).expect("write fixture file");
+    }
+
+    fn lints(&self) -> Vec<String> {
+        let (diags, _) = bestk_analyze::run(&self.root).expect("run succeeds");
+        let mut lints: Vec<String> = diags.iter().map(|d| d.lint.to_string()).collect();
+        lints.sort();
+        lints
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+const CLEAN_LIB: &str = "//! Demo crate.\n#![forbid(unsafe_code)]\npub mod util;\n";
+
+#[test]
+fn clean_workspace_passes() {
+    let fx = Fixture::new("clean");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\npub fn twice(x: u64) -> u64 { x * 2 }\n",
+    );
+    assert_eq!(fx.lints(), Vec::<String>::new());
+}
+
+#[test]
+fn injected_unwrap_fails() {
+    let fx = Fixture::new("unwrap");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\npub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    );
+    assert_eq!(fx.lints(), vec!["no-unwrap"]);
+}
+
+#[test]
+fn missing_forbid_unsafe_fails() {
+    let fx = Fixture::new("unsafe");
+    fx.write("crates/demo/src/lib.rs", "//! Demo crate.\npub fn f() {}\n");
+    assert_eq!(fx.lints(), vec!["forbid-unsafe"]);
+}
+
+#[test]
+fn unblessed_truncating_cast_fails() {
+    let fx = Fixture::new("cast");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\npub fn id(i: usize) -> u32 { i as u32 }\n",
+    );
+    assert_eq!(fx.lints(), vec!["no-raw-cast"]);
+}
+
+#[test]
+fn cast_module_and_allow_comments_are_honored() {
+    let fx = Fixture::new("blessed");
+    fx.write(
+        "crates/demo/src/lib.rs",
+        CLEAN_LIB.replace("util", "cast").as_str(),
+    );
+    fx.write(
+        "crates/demo/src/cast.rs",
+        "//! Checked casts.\npub fn id(i: usize) -> u32 { i as u32 }\n",
+    );
+    fx.write(
+        "crates/demo/src/other.rs",
+        "//! Other.\n\
+         // bestk-analyze: allow(no-panic) — invariant breach is unrecoverable here\n\
+         pub fn f(ok: bool) { if !ok { panic!(\"bad\") } }\n",
+    );
+    assert_eq!(fx.lints(), Vec::<String>::new());
+}
+
+#[test]
+fn missing_module_doc_fails() {
+    let fx = Fixture::new("nodoc");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write("crates/demo/src/util.rs", "pub fn f() {}\n");
+    assert_eq!(fx.lints(), vec!["module-doc"]);
+}
+
+#[test]
+fn panic_in_cfg_test_passes_but_library_panic_fails() {
+    let fx = Fixture::new("panics");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\n\
+         pub fn f() { todo!() }\n\
+         #[cfg(test)]\n\
+         mod tests {\n    #[test]\n    fn t() { panic!(\"fine in tests\") }\n}\n",
+    );
+    assert_eq!(fx.lints(), vec!["no-panic"]);
+}

@@ -13,6 +13,7 @@
 //! "Core-A" idea.
 
 use bestk_core::CoreDecomposition;
+use bestk_graph::cast;
 use bestk_graph::{CsrGraph, VertexId};
 
 /// Result of a mirror-pattern anomaly analysis.
@@ -33,7 +34,7 @@ pub struct MirrorAnomalies {
 impl MirrorAnomalies {
     /// Vertices ranked most-anomalous first (ties by id).
     pub fn ranked(&self) -> Vec<VertexId> {
-        let mut order: Vec<VertexId> = (0..self.score.len() as VertexId).collect();
+        let mut order: Vec<VertexId> = (0..cast::vertex_id(self.score.len())).collect();
         order.sort_by(|&a, &b| {
             self.score[b as usize]
                 .total_cmp(&self.score[a as usize])
@@ -72,7 +73,11 @@ pub fn mirror_anomaly_scores(g: &CsrGraph, d: &CoreDecomposition) -> MirrorAnoma
         }
         let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
         let intercept = mean_y - slope * mean_x;
-        let corr = if sxx > 0.0 && syy > 0.0 { sxy / (sxx * syy).sqrt() } else { 0.0 };
+        let corr = if sxx > 0.0 && syy > 0.0 {
+            sxy / (sxx * syy).sqrt()
+        } else {
+            0.0
+        };
         (slope, intercept, corr)
     };
     let mut score = vec![0.0f64; n];
@@ -84,7 +89,12 @@ pub fn mirror_anomaly_scores(g: &CsrGraph, d: &CoreDecomposition) -> MirrorAnoma
             score[v as usize] = (y - (slope * x + intercept)).abs();
         }
     }
-    MirrorAnomalies { score, slope, intercept, correlation }
+    MirrorAnomalies {
+        score,
+        slope,
+        intercept,
+        correlation,
+    }
 }
 
 #[cfg(test)]

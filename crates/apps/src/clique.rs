@@ -12,6 +12,7 @@
 //! [`contains_clique`].
 
 use bestk_core::CoreDecomposition;
+use bestk_graph::cast;
 use bestk_graph::{CsrGraph, VertexId};
 
 /// Computes a maximum clique of `g`. Exact; returns vertices in ascending
@@ -37,7 +38,7 @@ pub fn maximum_clique_with_budget(
     let deadline = budget.map(|b| std::time::Instant::now() + b);
     let mut position = vec![0u32; n];
     for (i, &v) in d.peel_ordering().iter().enumerate() {
-        position[v as usize] = i as u32;
+        position[v as usize] = cast::u32_of(i);
     }
     let mut best: Vec<VertexId> = vec![d.peel_ordering()[0]];
     let mut exact = true;
@@ -65,7 +66,11 @@ pub fn maximum_clique_with_budget(
         }
         let mut local = LocalSearch::new(g, &cands, deadline);
         let mut current = vec![v];
-        local.expand(&mut current, (0..cands.len() as u32).collect(), &mut best);
+        local.expand(
+            &mut current,
+            (0..cast::u32_of(cands.len())).collect(),
+            &mut best,
+        );
         if local.timed_out {
             exact = false;
             break;
@@ -106,7 +111,13 @@ impl<'a> LocalSearch<'a> {
                 }
             }
         }
-        LocalSearch { cands, adj, deadline, ticks: 0, timed_out: false }
+        LocalSearch {
+            cands,
+            adj,
+            deadline,
+            ticks: 0,
+            timed_out: false,
+        }
     }
 
     /// Tomita-style expansion: greedily color `pool`, then branch on
@@ -179,7 +190,7 @@ impl<'a> LocalSearch<'a> {
         for (ci, class) in classes.iter().enumerate() {
             for &v in class {
                 order.push(v);
-                colors.push(ci as u32 + 1);
+                colors.push(cast::u32_of(ci) + 1);
             }
         }
         (order, colors)
@@ -254,8 +265,7 @@ mod tests {
         assert!(n <= 20);
         let mut best = 0usize;
         for mask in 0u32..(1 << n) {
-            let verts: Vec<VertexId> =
-                (0..n as VertexId).filter(|&v| mask >> v & 1 == 1).collect();
+            let verts: Vec<VertexId> = (0..n as VertexId).filter(|&v| mask >> v & 1 == 1).collect();
             if verts.len() <= best {
                 continue;
             }

@@ -9,6 +9,7 @@
 //! ordering.
 
 use bestk_core::CoreDecomposition;
+use bestk_graph::cast;
 use bestk_graph::CsrGraph;
 
 /// A proper vertex coloring.
@@ -41,7 +42,7 @@ pub fn smallest_last_coloring(g: &CsrGraph, d: &CoreDecomposition) -> Coloring {
     let mut used = vec![u32::MAX; max_colors];
     let mut num_colors = 0u32;
     for (stamp, &v) in d.peel_ordering().iter().rev().enumerate() {
-        let stamp = stamp as u32;
+        let stamp = cast::u32_of(stamp);
         for &u in g.neighbors(v) {
             let cu = colors[u as usize];
             if cu != u32::MAX && (cu as usize) < max_colors {

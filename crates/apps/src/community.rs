@@ -37,7 +37,11 @@ pub fn max_min_degree_community(analysis: &BestKAnalysis, q: VertexId) -> Commun
     let node = forest.node_of(q);
     let mut vertices = forest.core_vertices(node);
     vertices.sort_unstable();
-    Community { vertices, k: forest.node(node).coreness, score: f64::NAN }
+    Community {
+        vertices,
+        k: forest.node(node).coreness,
+        score: f64::NAN,
+    }
 }
 
 /// The best-scoring community containing `q` under `metric`, drawn from
@@ -74,7 +78,11 @@ pub fn best_scored_community<M: CommunityMetric + ?Sized>(
     best.map(|(node, score)| {
         let mut vertices = forest.core_vertices(node);
         vertices.sort_unstable();
-        Community { vertices, k: forest.node(node).coreness, score }
+        Community {
+            vertices,
+            k: forest.node(node).coreness,
+            score,
+        }
     })
 }
 
@@ -86,7 +94,12 @@ pub fn min_internal_degree(g: &CsrGraph, vertices: &[VertexId]) -> usize {
     }
     vertices
         .iter()
-        .map(|&v| g.neighbors(v).iter().filter(|&&u| inside[u as usize]).count())
+        .map(|&v| {
+            g.neighbors(v)
+                .iter()
+                .filter(|&&u| inside[u as usize])
+                .count()
+        })
         .min()
         .unwrap_or(0)
 }

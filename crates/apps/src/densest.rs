@@ -17,6 +17,7 @@
 //!   and tests.
 
 use bestk_core::{analyze_basic, BestKAnalysis, Metric};
+use bestk_graph::cast;
 use bestk_graph::subgraph::induced_edge_count;
 use bestk_graph::{CsrGraph, VertexId};
 
@@ -40,7 +41,10 @@ fn answer(g: &CsrGraph, mut vertices: Vec<VertexId>) -> DenseSubgraph {
     } else {
         2.0 * m as f64 / vertices.len() as f64
     };
-    DenseSubgraph { vertices, average_degree }
+    DenseSubgraph {
+        vertices,
+        average_degree,
+    }
 }
 
 /// `Opt-D`: best single k-core by average degree. `O(m)` after analysis.
@@ -50,7 +54,10 @@ fn answer(g: &CsrGraph, mut vertices: Vec<VertexId>) -> DenseSubgraph {
 pub fn opt_d(g: &CsrGraph, analysis: &BestKAnalysis) -> DenseSubgraph {
     match analysis.best_single_core_vertices(&Metric::AverageDegree) {
         Some(verts) => answer(g, verts),
-        None => DenseSubgraph { vertices: Vec::new(), average_degree: 0.0 },
+        None => DenseSubgraph {
+            vertices: Vec::new(),
+            average_degree: 0.0,
+        },
     }
 }
 
@@ -79,12 +86,15 @@ pub fn core_app(g: &CsrGraph, analysis: &BestKAnalysis) -> DenseSubgraph {
             2.0 * pv.internal_edges as f64 / pv.num_vertices as f64
         };
         if avg.is_finite() && best.is_none_or(|(_, b)| avg > b) {
-            best = Some((i as u32, avg));
+            best = Some((cast::u32_of(i), avg));
         }
     }
     match best {
         Some((node, _)) => answer(g, analysis.forest().core_vertices(node)),
-        None => DenseSubgraph { vertices: Vec::new(), average_degree: 0.0 },
+        None => DenseSubgraph {
+            vertices: Vec::new(),
+            average_degree: 0.0,
+        },
     }
 }
 
@@ -94,14 +104,17 @@ pub fn core_app(g: &CsrGraph, analysis: &BestKAnalysis) -> DenseSubgraph {
 pub fn charikar_peeling(g: &CsrGraph) -> DenseSubgraph {
     let n = g.num_vertices();
     if n == 0 {
-        return DenseSubgraph { vertices: Vec::new(), average_degree: 0.0 };
+        return DenseSubgraph {
+            vertices: Vec::new(),
+            average_degree: 0.0,
+        };
     }
     // Bucket queue over current degrees.
-    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v as VertexId)).collect();
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(cast::vertex_id(v))).collect();
     let max_deg = g.max_degree();
     let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); max_deg + 1];
     for v in 0..n {
-        buckets[degree[v]].push(v as VertexId);
+        buckets[degree[v]].push(cast::vertex_id(v));
     }
     let mut removed = vec![false; n];
     let mut cur_min = 0usize;
@@ -117,9 +130,10 @@ pub fn charikar_peeling(g: &CsrGraph) -> DenseSubgraph {
             while cur_min <= max_deg && buckets[cur_min].is_empty() {
                 cur_min += 1;
             }
-            let cand = buckets[cur_min].pop().expect("bucket non-empty");
-            if !removed[cand as usize] && degree[cand as usize] == cur_min {
-                break cand;
+            if let Some(cand) = buckets[cur_min].pop() {
+                if !removed[cand as usize] && degree[cand as usize] == cur_min {
+                    break cand;
+                }
             }
         };
         removed[v as usize] = true;
@@ -145,7 +159,9 @@ pub fn charikar_peeling(g: &CsrGraph) -> DenseSubgraph {
     let kept: Vec<VertexId> = {
         let cut: std::collections::HashSet<VertexId> =
             removal_order[..best_cut].iter().copied().collect();
-        (0..n as VertexId).filter(|v| !cut.contains(v)).collect()
+        (0..cast::vertex_id(n))
+            .filter(|v| !cut.contains(v))
+            .collect()
     };
     answer(g, kept)
 }
@@ -161,7 +177,10 @@ pub fn goldberg_exact(g: &CsrGraph) -> DenseSubgraph {
     let n = g.num_vertices();
     let m = g.num_edges();
     if n == 0 || m == 0 {
-        return DenseSubgraph { vertices: g.vertices().take(1).collect(), average_degree: 0.0 };
+        return DenseSubgraph {
+            vertices: g.vertices().take(1).collect(),
+            average_degree: 0.0,
+        };
     }
     // Density here is m(S)/n(S); average degree is twice that.
     let mut lo = 0.0f64;
@@ -180,8 +199,9 @@ pub fn goldberg_exact(g: &CsrGraph) -> DenseSubgraph {
     }
     if best.is_empty() {
         // Densest is at density exactly lo = 0? Fall back to a single edge.
-        let (u, v) = g.edges().next().expect("m > 0");
-        best = vec![u, v];
+        if let Some((u, v)) = g.edges().next() {
+            best = vec![u, v];
+        }
     }
     answer(g, best)
 }
@@ -196,7 +216,7 @@ fn goldberg_cut(g: &CsrGraph, guess: f64) -> Vec<VertexId> {
     let mut net = FlowNetwork::new(n + 2);
     for v in 0..n {
         net.add_edge(s, v, m);
-        net.add_edge(v, t, m + 2.0 * guess - g.degree(v as VertexId) as f64);
+        net.add_edge(v, t, m + 2.0 * guess - g.degree(cast::vertex_id(v)) as f64);
     }
     for (u, v) in g.edges() {
         net.add_edge(u as usize, v as usize, 1.0);
@@ -204,7 +224,9 @@ fn goldberg_cut(g: &CsrGraph, guess: f64) -> Vec<VertexId> {
     }
     net.max_flow(s, t);
     let side = net.min_cut_source_side(s);
-    (0..n as VertexId).filter(|&v| side[v as usize]).collect()
+    (0..cast::vertex_id(n))
+        .filter(|&v| side[v as usize])
+        .collect()
 }
 
 #[cfg(test)]

@@ -5,6 +5,8 @@
 //! graphs. Capacities are `f64` because Goldberg's construction binary
 //! searches a fractional density guess.
 
+use bestk_graph::cast;
+
 /// A flow network under construction / after a max-flow run.
 ///
 /// Standard adjacency-list Dinic with paired reverse edges; `O(V²E)` in
@@ -22,7 +24,11 @@ const EPS: f64 = 1e-9;
 impl FlowNetwork {
     /// A network with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
-        FlowNetwork { to: Vec::new(), cap: Vec::new(), head: vec![Vec::new(); n] }
+        FlowNetwork {
+            to: Vec::new(),
+            cap: Vec::new(),
+            head: vec![Vec::new(); n],
+        }
     }
 
     /// Number of vertices.
@@ -35,12 +41,12 @@ impl FlowNetwork {
     pub fn add_edge(&mut self, u: usize, v: usize, cap: f64) -> usize {
         assert!(cap >= 0.0, "capacity must be non-negative");
         let id = self.to.len();
-        self.to.push(v as u32);
+        self.to.push(cast::u32_of(v));
         self.cap.push(cap);
-        self.head[u].push(id as u32);
-        self.to.push(u as u32);
+        self.head[u].push(cast::u32_of(id));
+        self.to.push(cast::u32_of(u));
         self.cap.push(0.0);
-        self.head[v].push(id as u32 + 1);
+        self.head[v].push(cast::u32_of(id) + 1);
         id
     }
 
@@ -92,10 +98,7 @@ impl FlowNetwork {
         loop {
             if v == t {
                 // Push the bottleneck along the path.
-                let bottleneck = path
-                    .iter()
-                    .map(|&(_, e)| self.cap[e])
-                    .fold(limit, f64::min);
+                let bottleneck = path.iter().map(|&(_, e)| self.cap[e]).fold(limit, f64::min);
                 for &(_, e) in &path {
                     self.cap[e] -= bottleneck;
                     self.cap[e ^ 1] += bottleneck;

@@ -12,6 +12,7 @@
 //! `q`), cascading deletions of vertices whose degree drops below `k`.
 
 use bestk_core::{BestKAnalysis, Metric};
+use bestk_graph::cast;
 use bestk_graph::connectivity::bfs_restricted;
 use bestk_graph::{CsrGraph, VertexId};
 
@@ -87,7 +88,11 @@ pub fn opt_sc(
 
     // Step 2: peel toward h.
     let vertices = peel_to_size(g, &members, k, h, q);
-    Some(SizeConstrainedCore { vertices, source_core_k, query: q })
+    Some(SizeConstrainedCore {
+        vertices,
+        source_core_k,
+        query: q,
+    })
 }
 
 /// Greedy peel of `members` down toward `h`, protecting `q` and keeping the
@@ -109,7 +114,12 @@ fn peel_to_size(
     let mut degree = vec![0u32; n];
     let mut max_deg = 0u32;
     for &v in members {
-        let d = g.neighbors(v).iter().filter(|&&u| inside[u as usize]).count() as u32;
+        let d = cast::u32_of(
+            g.neighbors(v)
+                .iter()
+                .filter(|&&u| inside[u as usize])
+                .count(),
+        );
         degree[v as usize] = d;
         max_deg = max_deg.max(d);
     }
@@ -134,7 +144,9 @@ fn peel_to_size(
             if cur_min >= buckets.len() {
                 break 'outer; // only q left deletable
             }
-            let cand = buckets[cur_min].pop().expect("bucket non-empty");
+            let Some(cand) = buckets[cur_min].pop() else {
+                continue;
+            };
             if inside[cand as usize] && degree[cand as usize] as usize == cur_min {
                 if cand == q {
                     // Defer q: re-push and try the next entry; if q is the
@@ -143,7 +155,9 @@ fn peel_to_size(
                     let others: Vec<VertexId> = buckets[cur_min]
                         .iter()
                         .copied()
-                        .filter(|&u| u != q && inside[u as usize] && degree[u as usize] as usize == cur_min)
+                        .filter(|&u| {
+                            u != q && inside[u as usize] && degree[u as usize] as usize == cur_min
+                        })
                         .collect();
                     buckets[cur_min].push(cand);
                     match others.last() {
@@ -160,7 +174,16 @@ fn peel_to_size(
         if !inside[v as usize] {
             continue;
         }
-        remove(g, v, &mut inside, &mut degree, &mut buckets, &mut forced, k, &mut cur_min);
+        remove(
+            g,
+            v,
+            &mut inside,
+            &mut degree,
+            &mut buckets,
+            &mut forced,
+            k,
+            &mut cur_min,
+        );
         remaining -= 1;
         // Complete the step's cascade ("and the vertices with degree less
         // than k"), regardless of the size target.
@@ -170,11 +193,24 @@ fn peel_to_size(
                 // its degree falls below k; it simply stays in the residue.
                 continue;
             }
-            remove(g, u, &mut inside, &mut degree, &mut buckets, &mut forced, k, &mut cur_min);
+            remove(
+                g,
+                u,
+                &mut inside,
+                &mut degree,
+                &mut buckets,
+                &mut forced,
+                k,
+                &mut cur_min,
+            );
             remaining -= 1;
         }
     }
-    members.iter().copied().filter(|&v| inside[v as usize]).collect()
+    members
+        .iter()
+        .copied()
+        .filter(|&v| inside[v as usize])
+        .collect()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -228,7 +264,10 @@ mod tests {
     fn infeasible_when_core_too_small() {
         let g = regular::complete(6); // 5-core of 6 vertices
         let a = analyze_basic(&g);
-        assert!(opt_sc(&g, &a, 3, 100, 0).is_none(), "h larger than any core");
+        assert!(
+            opt_sc(&g, &a, 3, 100, 0).is_none(),
+            "h larger than any core"
+        );
         assert!(opt_sc(&g, &a, 9, 3, 0).is_none(), "k above kmax");
     }
 
@@ -276,14 +315,12 @@ mod tests {
                     assert!(comp.len() <= res.vertices.len());
                     // Non-query survivors keep degree >= k inside the
                     // survivor set.
-                    let set: std::collections::HashSet<_> =
-                        res.vertices.iter().copied().collect();
+                    let set: std::collections::HashSet<_> = res.vertices.iter().copied().collect();
                     for &v in &res.vertices {
                         if v == q {
                             continue;
                         }
-                        let deg =
-                            g.neighbors(v).iter().filter(|u| set.contains(u)).count();
+                        let deg = g.neighbors(v).iter().filter(|u| set.contains(u)).count();
                         assert!(deg >= 4, "vertex {v} has degree {deg} < k");
                     }
                 }
@@ -317,9 +354,6 @@ mod tests {
         assert!(total >= 10, "expected feasible queries, got {total}");
         // The paper reports >90% hit rates when c(q) clearly exceeds k; we
         // only require a sane majority on the synthetic stand-in.
-        assert!(
-            hits * 2 >= total,
-            "hit rate too low: {hits}/{total}"
-        );
+        assert!(hits * 2 >= total, "hit rate too low: {hits}/{total}");
     }
 }

@@ -159,15 +159,16 @@ mod tests {
         let mut a = Xoshiro256::seed_from_u64(9);
         let mut b = Xoshiro256::seed_from_u64(9);
         let ga = generators::erdos_renyi_gnm(200, 600, 5);
-        assert_eq!(sir_spread(&ga, 3, 0.2, &mut a), sir_spread(&ga, 3, 0.2, &mut b));
+        assert_eq!(
+            sir_spread(&ga, 3, 0.2, &mut a),
+            sir_spread(&ga, 3, 0.2, &mut b)
+        );
     }
 
     #[test]
     fn spread_cannot_leave_component() {
-        let g = bestk_graph::transform::disjoint_union(
-            &regular::complete(5),
-            &regular::complete(10),
-        );
+        let g =
+            bestk_graph::transform::disjoint_union(&regular::complete(5), &regular::complete(10));
         let mut rng = Xoshiro256::seed_from_u64(2);
         assert!(sir_spread(&g, 0, 1.0, &mut rng) <= 5);
         assert!(sir_spread(&g, 7, 1.0, &mut rng) <= 10);
@@ -179,7 +180,10 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(3);
         let low = average_spread(&g, 0, 0.02, 30, &mut rng);
         let high = average_spread(&g, 0, 0.5, 30, &mut rng);
-        assert!(high > low, "high-beta epidemics spread further ({high} vs {low})");
+        assert!(
+            high > low,
+            "high-beta epidemics spread further ({high} vs {low})"
+        );
     }
 
     #[test]

@@ -1,62 +1,61 @@
-//! Criterion bench: the §V-D applications (Tables VIII and IX in micro
-//! form) — densest-subgraph solvers and size-constrained k-core queries.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+//! Micro-bench: the §V-D applications (Tables VIII and IX in micro form) —
+//! densest-subgraph solvers and size-constrained k-core queries.
 
 use bestk_apps::{charikar_peeling, core_app, opt_d, opt_sc};
+use bestk_bench::Bench;
 use bestk_core::analyze_basic;
 use bestk_graph::generators;
 
-fn bench_densest(c: &mut Criterion) {
-    let mut group = c.benchmark_group("densest_subgraph");
-    group.sample_size(10);
+fn bench_densest(b: &Bench) {
     for (name, g) in [
-        ("chung_lu_50k", generators::chung_lu_power_law(50_000, 10.0, 2.4, 1)),
-        ("cliques_10k", generators::overlapping_cliques(10_000, 1_500, (5, 25), 3)),
+        (
+            "chung_lu_50k",
+            generators::chung_lu_power_law(50_000, 10.0, 2.4, 1),
+        ),
+        (
+            "cliques_10k",
+            generators::overlapping_cliques(10_000, 1_500, (5, 25), 3),
+        ),
     ] {
         // End-to-end timings (analysis included), matching Table VIII.
-        group.bench_with_input(BenchmarkId::new("opt_d_end_to_end", name), &g, |b, g| {
-            b.iter(|| {
-                let a = analyze_basic(g);
-                black_box(opt_d(g, &a))
-            })
+        b.run(&format!("densest/opt_d_end_to_end/{name}"), || {
+            let a = analyze_basic(&g);
+            opt_d(&g, &a)
         });
-        group.bench_with_input(BenchmarkId::new("core_app_end_to_end", name), &g, |b, g| {
-            b.iter(|| {
-                let a = analyze_basic(g);
-                black_box(core_app(g, &a))
-            })
+        b.run(&format!("densest/core_app_end_to_end/{name}"), || {
+            let a = analyze_basic(&g);
+            core_app(&g, &a)
         });
-        group.bench_with_input(BenchmarkId::new("charikar_peeling", name), &g, |b, g| {
-            b.iter(|| black_box(charikar_peeling(g)))
+        b.run(&format!("densest/charikar_peeling/{name}"), || {
+            charikar_peeling(&g)
         });
     }
-    group.finish();
 }
 
-fn bench_size_constrained(c: &mut Criterion) {
+fn bench_size_constrained(b: &Bench) {
     let g = generators::chung_lu_power_law(50_000, 12.0, 2.3, 9);
     let a = analyze_basic(&g);
     let d = a.decomposition();
     // A batch of feasible queries.
-    let queries: Vec<u32> = g.vertices().filter(|&v| d.coreness(v) >= 8).take(64).collect();
+    let queries: Vec<u32> = g
+        .vertices()
+        .filter(|&v| d.coreness(v) >= 8)
+        .take(64)
+        .collect();
     assert!(!queries.is_empty());
-    let mut group = c.benchmark_group("size_constrained_core");
-    group.sample_size(10);
-    group.bench_function("opt_sc_batch64", |b| {
-        b.iter(|| {
-            let mut hits = 0usize;
-            for &q in &queries {
-                if let Some(res) = opt_sc(&g, &a, 6, 50, q) {
-                    hits += res.hits(50, 0.05) as usize;
-                }
+    b.run("size_constrained_core/opt_sc_batch64", || {
+        let mut hits = 0usize;
+        for &q in &queries {
+            if let Some(res) = opt_sc(&g, &a, 6, 50, q) {
+                hits += res.hits(50, 0.05) as usize;
             }
-            black_box(hits)
-        })
+        }
+        hits
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_densest, bench_size_constrained);
-criterion_main!(benches);
+fn main() {
+    let b = Bench::from_env();
+    bench_densest(&b);
+    bench_size_constrained(&b);
+}

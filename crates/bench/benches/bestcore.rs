@@ -1,10 +1,8 @@
-//! Criterion bench: Figure 8 in micro form — optimal (Algorithm 5) versus
+//! Micro-bench: Figure 8 in micro form — optimal (Algorithm 5) versus
 //! baseline (§IV-B) for the best single k-core, plus the LCPS forest
 //! construction itself (part of the optimal side's index building).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use bestk_bench::Bench;
 use bestk_core::baseline::baseline_single_core_primaries;
 use bestk_core::bestcore::single_core_primaries;
 use bestk_core::{core_decomposition, CoreForest, OrderedGraph};
@@ -12,61 +10,57 @@ use bestk_graph::generators;
 
 fn inputs() -> Vec<(&'static str, bestk_graph::CsrGraph)> {
     vec![
-        ("chung_lu_50k", generators::chung_lu_power_law(50_000, 10.0, 2.4, 1)),
-        ("cliques_10k", generators::overlapping_cliques(10_000, 1_500, (5, 25), 3)),
+        (
+            "chung_lu_50k",
+            generators::chung_lu_power_law(50_000, 10.0, 2.4, 1),
+        ),
+        (
+            "cliques_10k",
+            generators::overlapping_cliques(10_000, 1_500, (5, 25), 3),
+        ),
     ]
 }
 
-fn bench_forest_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lcps_forest_build");
-    group.sample_size(10);
+fn bench_forest_build(b: &Bench) {
     for (name, g) in inputs() {
         let d = core_decomposition(&g);
-        group.bench_with_input(BenchmarkId::from_parameter(name), &(&g, &d), |b, (g, d)| {
-            b.iter(|| black_box(CoreForest::build(g, d)))
+        b.run(&format!("lcps_forest_build/{name}"), || {
+            CoreForest::build(&g, &d)
         });
     }
-    group.finish();
 }
 
-fn bench_single_core(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bestcore_avg_degree");
-    group.sample_size(10);
+fn bench_single_core(b: &Bench) {
     for (name, g) in inputs() {
         let d = core_decomposition(&g);
         let o = OrderedGraph::build(&g, &d);
         let f = CoreForest::build(&g, &d);
-        group.bench_with_input(BenchmarkId::new("optimal", name), &(&o, &f), |b, (o, f)| {
-            b.iter(|| black_box(single_core_primaries(o, f, false)))
+        b.run(&format!("bestcore_avg_degree/optimal/{name}"), || {
+            single_core_primaries(&o, &f, false)
         });
-        group.bench_with_input(BenchmarkId::new("baseline", name), &(&g, &d), |b, (g, d)| {
-            b.iter(|| black_box(baseline_single_core_primaries(g, d, false)))
+        b.run(&format!("bestcore_avg_degree/baseline/{name}"), || {
+            baseline_single_core_primaries(&g, &d, false)
         });
     }
-    group.finish();
 }
 
-fn bench_single_core_triangles(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bestcore_clustering_coefficient");
-    group.sample_size(10);
+fn bench_single_core_triangles(b: &Bench) {
     for (name, g) in inputs() {
         let d = core_decomposition(&g);
         let o = OrderedGraph::build(&g, &d);
         let f = CoreForest::build(&g, &d);
-        group.bench_with_input(BenchmarkId::new("optimal", name), &(&o, &f), |b, (o, f)| {
-            b.iter(|| black_box(single_core_primaries(o, f, true)))
+        b.run(&format!("bestcore_clustering/optimal/{name}"), || {
+            single_core_primaries(&o, &f, true)
         });
-        group.bench_with_input(BenchmarkId::new("baseline", name), &(&g, &d), |b, (g, d)| {
-            b.iter(|| black_box(baseline_single_core_primaries(g, d, true)))
+        b.run(&format!("bestcore_clustering/baseline/{name}"), || {
+            baseline_single_core_primaries(&g, &d, true)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_forest_build,
-    bench_single_core,
-    bench_single_core_triangles
-);
-criterion_main!(benches);
+fn main() {
+    let b = Bench::from_env();
+    bench_forest_build(&b);
+    bench_single_core(&b);
+    bench_single_core_triangles(&b);
+}

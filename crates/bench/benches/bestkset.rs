@@ -1,11 +1,9 @@
-//! Criterion bench: Figure 7 in micro form — optimal (Algorithms 2/3)
-//! versus baseline (§III-A) score computation for the best k-core set, for
-//! a basic metric (average degree) and a triangle metric (clustering
+//! Micro-bench: Figure 7 in micro form — optimal (Algorithms 2/3) versus
+//! baseline (§III-A) score computation for the best k-core set, for a
+//! basic metric (average degree) and a triangle metric (clustering
 //! coefficient).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use bestk_bench::Bench;
 use bestk_core::baseline::baseline_core_set_primaries;
 use bestk_core::bestkset::{
     core_set_primaries, core_set_primaries_bottom_up, core_set_primaries_with_triangles,
@@ -15,64 +13,62 @@ use bestk_graph::generators;
 
 fn inputs() -> Vec<(&'static str, bestk_graph::CsrGraph)> {
     vec![
-        ("chung_lu_50k", generators::chung_lu_power_law(50_000, 10.0, 2.4, 1)),
-        ("cliques_10k", generators::overlapping_cliques(10_000, 1_500, (5, 25), 3)),
+        (
+            "chung_lu_50k",
+            generators::chung_lu_power_law(50_000, 10.0, 2.4, 1),
+        ),
+        (
+            "cliques_10k",
+            generators::overlapping_cliques(10_000, 1_500, (5, 25), 3),
+        ),
     ]
 }
 
-fn bench_basic_metrics(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bestkset_avg_degree");
-    group.sample_size(10);
+fn bench_basic_metrics(b: &Bench) {
     for (name, g) in inputs() {
         let d = core_decomposition(&g);
         let o = OrderedGraph::build(&g, &d);
-        group.bench_with_input(BenchmarkId::new("optimal", name), &o, |b, o| {
-            b.iter(|| black_box(core_set_primaries(o)))
+        b.run(&format!("bestkset_avg_degree/optimal/{name}"), || {
+            core_set_primaries(&o)
         });
-        group.bench_with_input(BenchmarkId::new("baseline", name), &(&g, &d), |b, (g, d)| {
-            b.iter(|| black_box(baseline_core_set_primaries(g, d, false)))
+        b.run(&format!("bestkset_avg_degree/baseline/{name}"), || {
+            baseline_core_set_primaries(&g, &d, false)
         });
     }
-    group.finish();
 }
 
-fn bench_triangle_metrics(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bestkset_clustering_coefficient");
-    group.sample_size(10);
+fn bench_triangle_metrics(b: &Bench) {
     for (name, g) in inputs() {
         let d = core_decomposition(&g);
         let o = OrderedGraph::build(&g, &d);
-        group.bench_with_input(BenchmarkId::new("optimal", name), &o, |b, o| {
-            b.iter(|| black_box(core_set_primaries_with_triangles(o)))
+        b.run(&format!("bestkset_clustering/optimal/{name}"), || {
+            core_set_primaries_with_triangles(&o)
         });
-        group.bench_with_input(BenchmarkId::new("baseline", name), &(&g, &d), |b, (g, d)| {
-            b.iter(|| black_box(baseline_core_set_primaries(g, d, true)))
+        b.run(&format!("bestkset_clustering/baseline/{name}"), || {
+            baseline_core_set_primaries(&g, &d, true)
         });
     }
-    group.finish();
 }
 
 /// Ablation (DESIGN.md §6.2): sweep direction for the basic primaries.
 /// Both directions are O(n); the point is that neither needs re-counting —
 /// unlike a bottom-up *triangle* sweep, which would degenerate to the
 /// baseline (benchmarked above as `baseline`).
-fn bench_sweep_direction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sweep_direction_ablation");
-    group.sample_size(10);
+fn bench_sweep_direction(b: &Bench) {
     let g = generators::chung_lu_power_law(50_000, 10.0, 2.4, 1);
     let d = core_decomposition(&g);
     let o = OrderedGraph::build(&g, &d);
-    group.bench_function("top_down", |b| b.iter(|| black_box(core_set_primaries(&o))));
-    group.bench_function("bottom_up", |b| {
-        b.iter(|| black_box(core_set_primaries_bottom_up(&o)))
+    b.run("sweep_direction_ablation/top_down", || {
+        core_set_primaries(&o)
     });
-    group.finish();
+    b.run("sweep_direction_ablation/bottom_up", || {
+        core_set_primaries_bottom_up(&o)
+    });
 }
 
-criterion_group!(
-    benches,
-    bench_basic_metrics,
-    bench_triangle_metrics,
-    bench_sweep_direction
-);
-criterion_main!(benches);
+fn main() {
+    let b = Bench::from_env();
+    bench_basic_metrics(&b);
+    bench_triangle_metrics(&b);
+    bench_sweep_direction(&b);
+}

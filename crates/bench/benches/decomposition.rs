@@ -1,47 +1,50 @@
-//! Criterion bench: core decomposition (the shared `O(m)` preprocessing of
+//! Micro-bench: core decomposition (the shared `O(m)` preprocessing of
 //! every algorithm in the paper; the "core decomposition" slice of the
 //! Figure 7/8 stacked bars).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
-
+use bestk_bench::Bench;
 use bestk_core::core_decomposition;
 use bestk_core::hindex::{hindex_core_decomposition, hindex_core_decomposition_async};
 use bestk_graph::generators;
 
-fn bench_decomposition(c: &mut Criterion) {
-    let mut group = c.benchmark_group("core_decomposition");
-    group.sample_size(10);
+fn bench_decomposition(b: &Bench) {
     for (name, g) in [
-        ("chung_lu_100k", generators::chung_lu_power_law(100_000, 10.0, 2.4, 1)),
+        (
+            "chung_lu_100k",
+            generators::chung_lu_power_law(100_000, 10.0, 2.4, 1),
+        ),
         ("rmat_s16", generators::rmat(16, 12, 0.57, 0.19, 0.19, 2)),
-        ("cliques_20k", generators::overlapping_cliques(20_000, 3_000, (5, 25), 3)),
+        (
+            "cliques_20k",
+            generators::overlapping_cliques(20_000, 3_000, (5, 25), 3),
+        ),
     ] {
-        group.throughput(Throughput::Elements(g.num_edges() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
-            b.iter(|| black_box(core_decomposition(g)))
+        let m = g.num_edges() as u64;
+        b.run_elements(&format!("core_decomposition/{name}"), m, || {
+            core_decomposition(&g)
         });
     }
-    group.finish();
 }
 
 /// Peeling versus h-index iteration (the distributed-style alternative):
 /// peeling wins sequentially; the gap is the price a distributed/streaming
 /// deployment pays per round.
-fn bench_decomposition_strategies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("decomposition_strategy");
-    group.sample_size(10);
+fn bench_decomposition_strategies(b: &Bench) {
     let g = generators::chung_lu_power_law(100_000, 10.0, 2.4, 1);
-    group.throughput(Throughput::Elements(g.num_edges() as u64));
-    group.bench_function("bz_peeling", |b| b.iter(|| black_box(core_decomposition(&g))));
-    group.bench_function("hindex_sync", |b| {
-        b.iter(|| black_box(hindex_core_decomposition(&g)))
+    let m = g.num_edges() as u64;
+    b.run_elements("decomposition_strategy/bz_peeling", m, || {
+        core_decomposition(&g)
     });
-    group.bench_function("hindex_async", |b| {
-        b.iter(|| black_box(hindex_core_decomposition_async(&g)))
+    b.run_elements("decomposition_strategy/hindex_sync", m, || {
+        hindex_core_decomposition(&g)
     });
-    group.finish();
+    b.run_elements("decomposition_strategy/hindex_async", m, || {
+        hindex_core_decomposition_async(&g)
+    });
 }
 
-criterion_group!(benches, bench_decomposition, bench_decomposition_strategies);
-criterion_main!(benches);
+fn main() {
+    let b = Bench::from_env();
+    bench_decomposition(&b);
+    bench_decomposition_strategies(&b);
+}

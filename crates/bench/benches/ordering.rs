@@ -1,28 +1,29 @@
-//! Criterion bench: vertex ordering (Algorithm 1) — the "index building"
-//! slice of Figure 7 — plus the DESIGN.md §6.1 ablation: `O(1)` position-tag
+//! Micro-bench: vertex ordering (Algorithm 1) — the "index building" slice
+//! of Figure 7 — plus the DESIGN.md §6.1 ablation: `O(1)` position-tag
 //! neighbor counts versus binary-searching the rank-sorted adjacency on
 //! every query.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
-
+use bestk_bench::Bench;
 use bestk_core::{core_decomposition, CoreDecomposition, OrderedGraph};
 use bestk_graph::{generators, CsrGraph, VertexId};
 
-fn bench_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ordering_build");
-    group.sample_size(10);
+fn bench_build(b: &Bench) {
     for (name, g) in [
-        ("chung_lu_100k", generators::chung_lu_power_law(100_000, 10.0, 2.4, 1)),
-        ("cliques_20k", generators::overlapping_cliques(20_000, 3_000, (5, 25), 3)),
+        (
+            "chung_lu_100k",
+            generators::chung_lu_power_law(100_000, 10.0, 2.4, 1),
+        ),
+        (
+            "cliques_20k",
+            generators::overlapping_cliques(20_000, 3_000, (5, 25), 3),
+        ),
     ] {
         let d = core_decomposition(&g);
-        group.throughput(Throughput::Elements(g.num_edges() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(name), &(&g, &d), |b, (g, d)| {
-            b.iter(|| black_box(OrderedGraph::build(g, d)))
+        let m = g.num_edges() as u64;
+        b.run_elements(&format!("ordering_build/{name}"), m, || {
+            OrderedGraph::build(&g, &d)
         });
     }
-    group.finish();
 }
 
 /// Ablation comparator: answer |N(v, >)| by binary-searching the rank-sorted
@@ -39,37 +40,31 @@ fn count_gt_binary_search(
     g.degree(v) - pos
 }
 
-fn bench_queries(c: &mut Criterion) {
+fn bench_queries(b: &Bench) {
     let g = generators::chung_lu_power_law(50_000, 12.0, 2.4, 5);
     let d = core_decomposition(&g);
     let o = OrderedGraph::build(&g, &d);
-    let mut group = c.benchmark_group("neighbor_count_query");
-    group.throughput(Throughput::Elements(g.num_vertices() as u64));
-    group.bench_function("position_tags", |b| {
-        b.iter(|| {
-            let mut acc = 0usize;
-            for v in g.vertices() {
-                acc += o.count_gt(v) + o.count_eq(v);
-            }
-            black_box(acc)
-        })
+    let n = g.num_vertices() as u64;
+    b.run_elements("neighbor_count_query/position_tags", n, || {
+        let mut acc = 0usize;
+        for v in g.vertices() {
+            acc += o.count_gt(v) + o.count_eq(v);
+        }
+        acc
     });
-    group.bench_function("binary_search", |b| {
-        b.iter(|| {
-            let mut acc = 0usize;
-            for v in g.vertices() {
-                acc += count_gt_binary_search(&g, &d, &o, v);
-                // |N(v,=)| via a second search over the lower boundary.
-                let list = o.neighbors(v);
-                let cv = d.coreness(v);
-                let lo = list.partition_point(|&u| d.coreness(u) < cv);
-                let hi = list.partition_point(|&u| d.coreness(u) <= cv);
-                acc += hi - lo;
-            }
-            black_box(acc)
-        })
+    b.run_elements("neighbor_count_query/binary_search", n, || {
+        let mut acc = 0usize;
+        for v in g.vertices() {
+            acc += count_gt_binary_search(&g, &d, &o, v);
+            // |N(v,=)| via a second search over the lower boundary.
+            let list = o.neighbors(v);
+            let cv = d.coreness(v);
+            let lo = list.partition_point(|&u| d.coreness(u) < cv);
+            let hi = list.partition_point(|&u| d.coreness(u) <= cv);
+            acc += hi - lo;
+        }
+        acc
     });
-    group.finish();
 }
 
 /// Ablation (DESIGN.md §6.3): Algorithm 1's flattened bin sort of the edge
@@ -83,20 +78,21 @@ fn comparison_sorted_adjacency(g: &CsrGraph, d: &CoreDecomposition) -> Vec<Verte
     adj
 }
 
-fn bench_sort_strategy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("edge_sort_ablation");
-    group.sample_size(10);
+fn bench_sort_strategy(b: &Bench) {
     let g = generators::chung_lu_power_law(100_000, 10.0, 2.4, 1);
     let d = core_decomposition(&g);
-    group.throughput(Throughput::Elements(g.num_edges() as u64));
-    group.bench_function("flattened_bin_sort", |b| {
-        b.iter(|| black_box(OrderedGraph::build(&g, &d)))
+    let m = g.num_edges() as u64;
+    b.run_elements("edge_sort_ablation/flattened_bin_sort", m, || {
+        OrderedGraph::build(&g, &d)
     });
-    group.bench_function("comparison_sort", |b| {
-        b.iter(|| black_box(comparison_sorted_adjacency(&g, &d)))
+    b.run_elements("edge_sort_ablation/comparison_sort", m, || {
+        comparison_sorted_adjacency(&g, &d)
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_build, bench_queries, bench_sort_strategy);
-criterion_main!(benches);
+fn main() {
+    let b = Bench::from_env();
+    bench_build(&b);
+    bench_queries(&b);
+    bench_sort_strategy(&b);
+}

@@ -1,42 +1,45 @@
-//! Criterion bench: triangle counting strategies (DESIGN.md §6.4 ablation) —
+//! Micro-bench: triangle counting strategies (DESIGN.md §6.4 ablation) —
 //! degree-ordered forward counting, rank-ordered marking (what Algorithm 3
 //! uses), and the paper's literal merge-intersection variant.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
-
+use bestk_bench::Bench;
 use bestk_core::triangles::{
     count_triangles, count_triangles_merge, count_triangles_ordered, count_triangles_parallel,
 };
 use bestk_core::{core_decomposition, OrderedGraph};
 use bestk_graph::generators;
 
-fn bench_triangle_counting(c: &mut Criterion) {
-    let mut group = c.benchmark_group("triangle_counting");
-    group.sample_size(10);
+fn bench_triangle_counting(b: &Bench) {
     for (name, g) in [
-        ("chung_lu_50k", generators::chung_lu_power_law(50_000, 10.0, 2.4, 1)),
-        ("cliques_10k", generators::overlapping_cliques(10_000, 1_500, (5, 25), 3)),
+        (
+            "chung_lu_50k",
+            generators::chung_lu_power_law(50_000, 10.0, 2.4, 1),
+        ),
+        (
+            "cliques_10k",
+            generators::overlapping_cliques(10_000, 1_500, (5, 25), 3),
+        ),
         ("rmat_s15", generators::rmat(15, 12, 0.57, 0.19, 0.19, 2)),
     ] {
         let d = core_decomposition(&g);
         let o = OrderedGraph::build(&g, &d);
-        group.throughput(Throughput::Elements(g.num_edges() as u64));
-        group.bench_with_input(BenchmarkId::new("forward_degree", name), &g, |b, g| {
-            b.iter(|| black_box(count_triangles(g)))
+        let m = g.num_edges() as u64;
+        b.run_elements(&format!("triangles/forward_degree/{name}"), m, || {
+            count_triangles(&g)
         });
-        group.bench_with_input(BenchmarkId::new("rank_marking", name), &o, |b, o| {
-            b.iter(|| black_box(count_triangles_ordered(o)))
+        b.run_elements(&format!("triangles/rank_marking/{name}"), m, || {
+            count_triangles_ordered(&o)
         });
-        group.bench_with_input(BenchmarkId::new("rank_merge", name), &o, |b, o| {
-            b.iter(|| black_box(count_triangles_merge(o)))
+        b.run_elements(&format!("triangles/rank_merge/{name}"), m, || {
+            count_triangles_merge(&o)
         });
-        group.bench_with_input(BenchmarkId::new("forward_parallel4", name), &g, |b, g| {
-            b.iter(|| black_box(count_triangles_parallel(g, 4)))
+        b.run_elements(&format!("triangles/forward_parallel4/{name}"), m, || {
+            count_triangles_parallel(&g, 4)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_triangle_counting);
-criterion_main!(benches);
+fn main() {
+    let b = Bench::from_env();
+    bench_triangle_counting(&b);
+}

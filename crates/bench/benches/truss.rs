@@ -1,52 +1,49 @@
-//! Criterion bench: the §VI-B truss extension — decomposition cost, and the
+//! Micro-bench: the §VI-B truss extension — decomposition cost, and the
 //! optimal truss-set profile versus the per-k baseline rescoring.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
-
+use bestk_bench::Bench;
 use bestk_graph::generators;
 use bestk_truss::baseline::baseline_truss_set_primaries;
 use bestk_truss::{truss_set_profile, EdgeIndex};
 
 fn inputs() -> Vec<(&'static str, bestk_graph::CsrGraph)> {
     vec![
-        ("chung_lu_20k", generators::chung_lu_power_law(20_000, 10.0, 2.4, 1)),
-        ("cliques_5k", generators::overlapping_cliques(5_000, 800, (4, 16), 3)),
+        (
+            "chung_lu_20k",
+            generators::chung_lu_power_law(20_000, 10.0, 2.4, 1),
+        ),
+        (
+            "cliques_5k",
+            generators::overlapping_cliques(5_000, 800, (4, 16), 3),
+        ),
     ]
 }
 
-fn bench_truss_decomposition(c: &mut Criterion) {
-    let mut group = c.benchmark_group("truss_decomposition");
-    group.sample_size(10);
+fn bench_truss_decomposition(b: &Bench) {
     for (name, g) in inputs() {
         let idx = EdgeIndex::build(&g);
-        group.throughput(Throughput::Elements(g.num_edges() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(name), &(&g, &idx), |b, (g, idx)| {
-            b.iter(|| black_box(bestk_truss::decomposition::truss_decomposition_with_index(g, idx)))
+        let m = g.num_edges() as u64;
+        b.run_elements(&format!("truss_decomposition/{name}"), m, || {
+            bestk_truss::decomposition::truss_decomposition_with_index(&g, &idx)
         });
     }
-    group.finish();
 }
 
-fn bench_truss_profile(c: &mut Criterion) {
-    let mut group = c.benchmark_group("best_k_truss_set");
-    group.sample_size(10);
+fn bench_truss_profile(b: &Bench) {
     for (name, g) in inputs() {
         let idx = EdgeIndex::build(&g);
         let t = bestk_truss::decomposition::truss_decomposition_with_index(&g, &idx);
-        group.bench_with_input(
-            BenchmarkId::new("optimal", name),
-            &(&g, &idx, &t),
-            |b, (g, idx, t)| b.iter(|| black_box(truss_set_profile(g, idx, t))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("baseline", name),
-            &(&g, &idx, &t),
-            |b, (g, idx, t)| b.iter(|| black_box(baseline_truss_set_primaries(g, idx, t))),
-        );
+        b.run(&format!("best_k_truss_set/optimal/{name}"), || {
+            truss_set_profile(&g, &idx, &t)
+        });
+        b.run(&format!("best_k_truss_set/baseline/{name}"), || {
+            baseline_truss_set_primaries(&g, &idx, &t)
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_truss_decomposition, bench_truss_profile);
-criterion_main!(benches);
+fn main() {
+    let b = Bench::from_env();
+    bench_truss_decomposition(&b);
+    bench_truss_profile(&b);
+}

@@ -13,6 +13,7 @@
 //! recovers, plus the Table VII-style score matrix of the two winners.
 
 use bestk_core::{analyze, CommunityMetric, GraphContext, Metric, PrimaryValues};
+use bestk_graph::cast;
 use bestk_graph::generators;
 use bestk_graph::subgraph::{boundary_edge_count, induced_edge_count, induced_subgraph};
 use bestk_graph::VertexId;
@@ -34,9 +35,12 @@ fn main() {
     );
 
     let mut winners: Vec<(Metric, Vec<VertexId>, u32)> = Vec::new();
-    let mut table = TableWriter::new(["metric", "best single k-core", "k", "size", "block overlap"]);
+    let mut table =
+        TableWriter::new(["metric", "best single k-core", "k", "size", "block overlap"]);
     for m in Metric::ALL {
-        let best = a.best_single_core(&m).expect("finite score exists");
+        let Some(best) = a.best_single_core(&m) else {
+            continue;
+        };
         let verts = a.forest().core_vertices(best.node);
         let overlap = dominant_block(&sizes, &verts);
         table.row([
@@ -52,16 +56,13 @@ fn main() {
     table.print();
 
     // Table VII analogue: full score matrix of the two headline communities.
-    let community_a = &winners
-        .iter()
-        .find(|(m, ..)| *m == Metric::InternalDensity)
-        .expect("density winner")
-        .1;
-    let community_b = &winners
-        .iter()
-        .find(|(m, ..)| *m == Metric::CutRatio)
-        .expect("cut-ratio winner")
-        .1;
+    let (Some((_, community_a, _)), Some((_, community_b, _))) = (
+        winners.iter().find(|(m, ..)| *m == Metric::InternalDensity),
+        winners.iter().find(|(m, ..)| *m == Metric::CutRatio),
+    ) else {
+        eprintln!("headline metrics produced no winner; skipping score matrix");
+        return;
+    };
     println!("\nScores of detected communities (Table VII analogue)\n");
     let mut scores = TableWriter::new(["ID", "ad", "den", "cc", "cr", "con"]);
     for (id, verts) in [("A", community_a), ("B", community_b)] {
@@ -82,8 +83,8 @@ fn build_case_study_graph(sizes: &[usize]) -> bestk_graph::CsrGraph {
     // Background: sparse planted partition over blocks 2+ (the "rest of
     // DBLP"), generated first so A and B can be spliced over blocks 0 and 1.
     let pp = generators::planted_partition(sizes, 0.02, 0.003, 0xCA5E);
-    let b_start = sizes[0] as VertexId;
-    let b_end = b_start + sizes[1] as VertexId;
+    let b_start = cast::vertex_id(sizes[0]);
+    let b_end = b_start + cast::vertex_id(sizes[1]);
     let in_a = |v: VertexId| v < b_start;
     let in_b = |v: VertexId| (b_start..b_end).contains(&v);
 
@@ -108,7 +109,10 @@ fn build_case_study_graph(sizes: &[usize]) -> bestk_graph::CsrGraph {
     for u in 0..b_start {
         // ~2 external ties per member into the background blocks.
         for _ in 0..2 {
-            let t = b_end + rng.next_below((pp.graph.num_vertices() as u64) - b_end as u64) as u32;
+            let t = b_end
+                + cast::u32_from_u64(
+                    rng.next_below((pp.graph.num_vertices() as u64) - b_end as u64),
+                );
             builder.add_edge(u, t);
         }
     }
@@ -141,11 +145,9 @@ fn dominant_block(sizes: &[usize], verts: &[VertexId]) -> String {
         let b = bounds.partition_point(|&x| x <= v as usize) - 1;
         counts[b] += 1;
     }
-    let (best, &cnt) = counts
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, &c)| c)
-        .expect("non-empty");
+    let Some((best, &cnt)) = counts.iter().enumerate().max_by_key(|(_, &c)| c) else {
+        return "no members".to_string();
+    };
     let label = match best {
         0 => "A (dense group)".to_string(),
         1 => "B (isolated group)".to_string(),

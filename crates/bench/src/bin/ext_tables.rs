@@ -8,6 +8,7 @@
 use bestk_bench::{dataset_filter_from_args, spec_by_key, time, TableWriter};
 use bestk_core::weighted::{weighted_core_decomposition, weighted_core_set_profile};
 use bestk_core::Metric;
+use bestk_graph::cast;
 use bestk_graph::rng::Xoshiro256;
 use bestk_graph::weighted::WeightedGraphBuilder;
 use bestk_truss::{truss_set_profile, EdgeIndex};
@@ -16,21 +17,28 @@ fn main() {
     let specs = dataset_filter_from_args()
         .map(|keys| {
             keys.iter()
-                .map(|k| spec_by_key(k).expect("unknown dataset key"))
+                .map(|k| {
+                    spec_by_key(k).unwrap_or_else(|| {
+                        eprintln!("unknown dataset key {k:?}");
+                        std::process::exit(2)
+                    })
+                })
                 .collect::<Vec<_>>()
         })
         .unwrap_or_else(|| {
             ["ap", "g", "d", "y"]
                 .iter()
-                .map(|k| spec_by_key(k).unwrap())
+                .filter_map(|k| spec_by_key(k))
                 .collect()
         });
 
     // --- Best k-truss set per metric.
     let mut header: Vec<String> = vec!["Algo".into()];
     header.extend(specs.iter().map(|s| s.key.to_uppercase()));
-    let mut truss_rows: Vec<Vec<String>> =
-        Metric::ALL.iter().map(|m| vec![format!("TS-{}", m.abbrev())]).collect();
+    let mut truss_rows: Vec<Vec<String>> = Metric::ALL
+        .iter()
+        .map(|m| vec![format!("TS-{}", m.abbrev())])
+        .collect();
     let mut tmax_row: Vec<String> = vec!["tmax".into()];
     let mut time_row: Vec<String> = vec!["decomp (s)".into()];
     for spec in &specs {
@@ -62,7 +70,11 @@ fn main() {
 
     // --- Weighted best-s: random integer weights over the same topology.
     println!("\nExtension table (§VII): best s for the weighted s-core set (weights 1..9)\n");
-    let weighted_metrics = [Metric::AverageDegree, Metric::Conductance, Metric::Modularity];
+    let weighted_metrics = [
+        Metric::AverageDegree,
+        Metric::Conductance,
+        Metric::Modularity,
+    ];
     let mut wrows: Vec<Vec<String>> = weighted_metrics
         .iter()
         .map(|m| vec![format!("WS-{}", m.abbrev())])
@@ -75,7 +87,7 @@ fn main() {
         let mut b = WeightedGraphBuilder::new();
         b.reserve_vertices(g.num_vertices());
         for (u, v) in g.edges() {
-            b.add_edge(u, v, 1 + rng.next_below(9) as u32);
+            b.add_edge(u, v, 1 + cast::u32_from_u64(rng.next_below(9)));
         }
         let wg = b.build();
         let wd = weighted_core_decomposition(&wg);

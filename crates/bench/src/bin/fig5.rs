@@ -19,18 +19,26 @@ fn main() {
     let specs = bestk_bench::dataset_filter_from_args()
         .map(|keys| {
             keys.iter()
-                .map(|k| bestk_bench::spec_by_key(k).expect("unknown dataset key"))
+                .map(|k| {
+                    bestk_bench::spec_by_key(k).unwrap_or_else(|| {
+                        eprintln!("unknown dataset key {k:?}");
+                        std::process::exit(2)
+                    })
+                })
                 .collect::<Vec<_>>()
         })
         .unwrap_or_else(|| {
             ["lj", "o", "fs"]
                 .iter()
-                .map(|k| bestk_bench::spec_by_key(k).unwrap())
+                .filter_map(|k| bestk_bench::spec_by_key(k))
                 .collect()
         });
 
     for metric in FIG5_METRICS {
-        println!("# Figure 5 ({}): score of every k-core set", metric.abbrev());
+        println!(
+            "# Figure 5 ({}): score of every k-core set",
+            metric.abbrev()
+        );
         println!("dataset,k,score");
         for spec in &specs {
             let g = bestk_bench::load(spec);
@@ -56,7 +64,9 @@ fn sparkline(name: &str, scores: &[f64]) {
     }
     let (lo, hi) = finite
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &s| (lo.min(s), hi.max(s)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &s| {
+            (lo.min(s), hi.max(s))
+        });
     let ramp: &[u8] = b" .:-=+*#%@";
     let width = 60.min(finite.len());
     let mut line = String::new();

@@ -18,13 +18,18 @@ fn main() {
     let specs = bestk_bench::dataset_filter_from_args()
         .map(|keys| {
             keys.iter()
-                .map(|k| bestk_bench::spec_by_key(k).expect("unknown dataset key"))
+                .map(|k| {
+                    bestk_bench::spec_by_key(k).unwrap_or_else(|| {
+                        eprintln!("unknown dataset key {k:?}");
+                        std::process::exit(2)
+                    })
+                })
                 .collect::<Vec<_>>()
         })
         .unwrap_or_else(|| {
             ["lj", "o", "fs"]
                 .iter()
-                .map(|k| bestk_bench::spec_by_key(k).unwrap())
+                .filter_map(|k| bestk_bench::spec_by_key(k))
                 .collect()
         });
 

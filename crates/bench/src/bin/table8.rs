@@ -16,7 +16,10 @@ use bestk_core::analyze_basic;
 fn mc_cap() -> u32 {
     for arg in std::env::args().skip(1) {
         if let Some(v) = arg.strip_prefix("--mc-cap=") {
-            return v.parse().expect("numeric --mc-cap");
+            return v.parse().unwrap_or_else(|e| {
+                eprintln!("bad --mc-cap value {v:?}: {e}");
+                std::process::exit(2)
+            });
         }
     }
     600
@@ -63,7 +66,10 @@ fn main() {
             format!("{:.2}", od.average_degree),
             format!("{:.3}", (t_analysis + t_od).as_secs_f64()),
             mc_cell,
-            format!("{:.3}%", 100.0 * od.vertices.len() as f64 / g.num_vertices() as f64),
+            format!(
+                "{:.3}%",
+                100.0 * od.vertices.len() as f64 / g.num_vertices() as f64
+            ),
         ]);
     }
     println!("Table VIII (stand-ins): Opt-D on densest subgraph & maximum clique\n");

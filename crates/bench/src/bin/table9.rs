@@ -20,7 +20,10 @@ fn main() {
     let key = bestk_bench::dataset_filter_from_args()
         .and_then(|keys| keys.first().cloned())
         .unwrap_or_else(|| "d".to_string());
-    let spec = spec_by_key(&key).expect("unknown dataset key");
+    let Some(spec) = spec_by_key(&key) else {
+        eprintln!("unknown dataset key {key:?}");
+        std::process::exit(2);
+    };
     eprintln!("running Opt-SC queries on {} ...", spec.key);
     let g = bestk_bench::load(&spec);
     let analysis = analyze_basic(&g);
@@ -29,21 +32,15 @@ fn main() {
     // Coreness classes: five representative coreness values that actually
     // occur, spread over the k-range (like the paper's 30/43/51/64/113 rows).
     let kmax = d.kmax();
-    let mut classes: Vec<u32> = [
-        kmax / 4,
-        kmax / 3,
-        kmax / 2,
-        (2 * kmax) / 3,
-        kmax,
-    ]
-    .into_iter()
-    .filter_map(|target| {
-        // Snap to the nearest coreness with at least one vertex.
-        (0..=kmax)
-            .filter(|&c| !d.shell(c).is_empty())
-            .min_by_key(|&c| c.abs_diff(target))
-    })
-    .collect();
+    let mut classes: Vec<u32> = [kmax / 4, kmax / 3, kmax / 2, (2 * kmax) / 3, kmax]
+        .into_iter()
+        .filter_map(|target| {
+            // Snap to the nearest coreness with at least one vertex.
+            (0..=kmax)
+                .filter(|&c| !d.shell(c).is_empty())
+                .min_by_key(|&c| c.abs_diff(target))
+        })
+        .collect();
     classes.sort_unstable();
     classes.dedup();
 

@@ -6,6 +6,7 @@
 //! rationale. Generated graphs are cached as binary CSR files under
 //! `target/bestk-datasets/` so repeated harness runs pay generation once.
 
+use bestk_graph::cast;
 use bestk_graph::{generators, io, CsrGraph};
 
 /// How to synthesize one dataset.
@@ -148,7 +149,7 @@ pub fn generate(spec: &DatasetSpec) -> CsrGraph {
                 let members = rng.sample_distinct(n, size);
                 for i in 0..members.len() {
                     for j in (i + 1)..members.len() {
-                        b.add_edge(members[i] as u32, members[j] as u32);
+                        b.add_edge(cast::u32_of(members[i]), cast::u32_of(members[j]));
                     }
                 }
             }

@@ -1,0 +1,122 @@
+//! Minimal micro-benchmark harness.
+//!
+//! The workspace builds fully offline, so the Criterion dev-dependency was
+//! replaced with this self-contained runner: warm up once, run a fixed
+//! number of measured iterations, report min / mean wall time (min is the
+//! low-noise statistic; mean shows jitter). Interface conventions follow
+//! the binaries in `src/bin/`: a `--filter=<substring>` argument selects
+//! benchmarks by name and `BESTK_BENCH_ITERS` scales the iteration count.
+
+use std::time::{Duration, Instant};
+
+use crate::timer::fmt_duration;
+
+/// A benchmark session: name filtering plus iteration control, shared by
+/// every registered benchmark.
+#[derive(Debug)]
+pub struct Bench {
+    filter: Option<String>,
+    iters: u32,
+}
+
+impl Bench {
+    /// Builds a session from the process arguments (`--filter=<substring>`)
+    /// and environment (`BESTK_BENCH_ITERS`, default 5).
+    pub fn from_env() -> Bench {
+        let filter = std::env::args()
+            .skip(1)
+            .find_map(|a| a.strip_prefix("--filter=").map(str::to_string));
+        let iters = std::env::var("BESTK_BENCH_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5);
+        Bench {
+            filter,
+            iters: iters.max(1),
+        }
+    }
+
+    /// A session with explicit settings (used by tests).
+    pub fn with_settings(filter: Option<String>, iters: u32) -> Bench {
+        Bench {
+            filter,
+            iters: iters.max(1),
+        }
+    }
+
+    /// Whether `name` passes the `--filter` selection.
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Runs one benchmark: a warm-up call, then the measured iterations.
+    /// Returns the per-iteration timings (empty if filtered out).
+    pub fn run<T>(&self, name: &str, mut f: impl FnMut() -> T) -> Vec<Duration> {
+        self.run_with_throughput(name, None, &mut f)
+    }
+
+    /// Like [`run`](Self::run), additionally reporting `elements / second`
+    /// computed from the minimum iteration time.
+    pub fn run_elements<T>(
+        &self,
+        name: &str,
+        elements: u64,
+        mut f: impl FnMut() -> T,
+    ) -> Vec<Duration> {
+        self.run_with_throughput(name, Some(elements), &mut f)
+    }
+
+    fn run_with_throughput<T>(
+        &self,
+        name: &str,
+        elements: Option<u64>,
+        f: &mut impl FnMut() -> T,
+    ) -> Vec<Duration> {
+        if !self.selected(name) {
+            return Vec::new();
+        }
+        std::hint::black_box(f()); // warm-up: page in data, train branches
+        let mut timings = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            timings.push(start.elapsed());
+        }
+        let min = timings.iter().min().copied().unwrap_or_default();
+        let mean = timings.iter().sum::<Duration>() / self.iters;
+        let rate = match elements {
+            Some(e) if min > Duration::ZERO => {
+                format!("  {:.1} Melem/s", e as f64 / min.as_secs_f64() / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{name:<48} min {:>10}  mean {:>10}  ({} iters){rate}",
+            fmt_duration(min),
+            fmt_duration(mean),
+            self.iters
+        );
+        timings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let b = Bench::with_settings(Some("match".into()), 2);
+        assert!(b.run("no_hit", || 1).is_empty());
+        assert_eq!(b.run("does_match", || 1).len(), 2);
+    }
+
+    #[test]
+    fn no_filter_runs_everything() {
+        let b = Bench::with_settings(None, 3);
+        let mut calls = 0;
+        let timings = b.run("anything", || calls += 1);
+        assert_eq!(timings.len(), 3);
+        assert_eq!(calls, 4, "warm-up plus three measured iterations");
+    }
+}

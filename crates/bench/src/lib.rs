@@ -21,16 +21,20 @@
 //!
 //! Run with `cargo run -p bestk-bench --release --bin <target>`. Every
 //! binary accepts an optional comma-separated dataset filter, e.g.
-//! `--datasets=ap,dblp`. Criterion micro-benchmarks live in `benches/`.
+//! `--datasets=ap,dblp`. Micro-benchmarks live in `benches/` on the
+//! in-repo [`harness`] (`cargo bench -p bestk-bench`, filter with
+//! `--filter=<substr>`, iteration count via `BESTK_BENCH_ITERS`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod datasets;
+pub mod harness;
 pub mod table;
 pub mod timer;
 
 pub use datasets::{all_specs, load, spec_by_key, DatasetSpec};
+pub use harness::Bench;
 pub use table::TableWriter;
 pub use timer::time;
 

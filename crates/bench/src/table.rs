@@ -11,7 +11,10 @@ pub struct TableWriter {
 impl TableWriter {
     /// A table with the given column headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
-        TableWriter { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TableWriter {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; short rows are padded with empty cells.
@@ -58,7 +61,10 @@ impl TableWriter {
                     line.push_str("  ");
                 }
                 line.push_str(cell);
-                line.extend(std::iter::repeat_n(' ', w.saturating_sub(cell.chars().count())));
+                line.extend(std::iter::repeat_n(
+                    ' ',
+                    w.saturating_sub(cell.chars().count()),
+                ));
             }
             line.trim_end().to_string()
         };

@@ -31,8 +31,7 @@ impl ParsedArgs {
                 }
                 if let Some((k, v)) = stripped.split_once('=') {
                     parsed.options.insert(k.to_string(), v.to_string());
-                } else if it.peek().is_some_and(|next| !next.starts_with("--")) {
-                    let v = it.next().expect("peeked");
+                } else if let Some(v) = it.next_if(|next| !next.starts_with("--")) {
                     parsed.options.insert(stripped.to_string(), v.clone());
                 } else {
                     parsed.options.insert(stripped.to_string(), String::new());
@@ -62,6 +61,25 @@ impl ParsedArgs {
     /// Whether a bare flag (or any value) was given.
     pub fn flag(&self, key: &str) -> bool {
         self.options.contains_key(key)
+    }
+
+    /// Rejects options the command does not understand, so a typo'd flag
+    /// (`--verfy`) fails loudly instead of being silently ignored.
+    pub fn reject_unknown(&self, allowed: &[&str]) -> Result<(), CliError> {
+        for key in self.options.keys() {
+            if !allowed.contains(&key.as_str()) {
+                let accepted = if allowed.is_empty() {
+                    "this command takes no options".to_string()
+                } else {
+                    let names: Vec<String> = allowed.iter().map(|a| format!("--{a}")).collect();
+                    format!("accepted: {}", names.join(" "))
+                };
+                return Err(CliError::Usage(format!(
+                    "unknown option --{key} ({accepted})"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// A parsed numeric option with a default.
@@ -131,6 +149,18 @@ mod tests {
         let p = parse(&["analyze"]);
         let err = p.positional(0, "graph").unwrap_err();
         assert!(err.to_string().contains("<graph>"));
+    }
+
+    #[test]
+    fn reject_unknown_names_the_typo_and_the_accepted_set() {
+        let p = parse(&["stats", "g.txt", "--verfy"]);
+        let err = p.reject_unknown(&["verify"]).unwrap_err().to_string();
+        assert!(err.contains("--verfy"), "{err}");
+        assert!(err.contains("--verify"), "{err}");
+        assert!(p.reject_unknown(&["verfy", "verify"]).is_ok());
+        let none = parse(&["clique", "g.txt", "--x"]);
+        let err = none.reject_unknown(&[]).unwrap_err().to_string();
+        assert!(err.contains("takes no options"), "{err}");
     }
 
     #[test]

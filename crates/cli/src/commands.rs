@@ -18,11 +18,21 @@ fn metric_selection(args: &ParsedArgs) -> Result<Vec<Metric>, CliError> {
     }
 }
 
-/// `bestk stats <graph>`.
+/// Maps a failed invariant check onto the CLI error space.
+fn verify_failed(e: bestk_graph::verify::VerifyError) -> CliError {
+    CliError::Failed(format!("verification FAILED: {e}"))
+}
+
+/// `bestk stats <graph> [--verify]`.
 pub fn stats(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&["verify"])?;
     let g = load_graph(args.positional(0, "graph")?)?;
     let s = stats::graph_stats(&g);
     let d = bestk_core::core_decomposition(&g);
+    if args.flag("verify") {
+        bestk_graph::verify::verify_graph(&g).map_err(verify_failed)?;
+        bestk_core::verify::verify_decomposition(&g, &d).map_err(verify_failed)?;
+    }
     writeln!(out, "vertices        {}", s.num_vertices)?;
     writeln!(out, "edges           {}", s.num_edges)?;
     writeln!(out, "average degree  {:.2}", s.average_degree)?;
@@ -37,16 +47,48 @@ pub fn stats(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "top core size   {}", cs.top_core_size)?;
     let cc = bestk_graph::connectivity::connected_components(&g);
     writeln!(out, "components      {}", cc.count)?;
+    if args.flag("verify") {
+        writeln!(
+            out,
+            "verify          csr + core-decomposition invariants hold"
+        )?;
+    }
     Ok(())
 }
 
-/// `bestk analyze <graph> [--metric M] [--extended]`.
+/// `bestk analyze <graph> [--metric M] [--extended] [--verify]`.
 pub fn analyze(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&["metric", "extended", "verify"])?;
     let g = load_graph(args.positional(0, "graph")?)?;
     let metrics = metric_selection(args)?;
     let needs_triangles = metrics.iter().any(|m| m.needs_triangles());
-    let a = if needs_triangles { analyze_graph(&g) } else { analyze_basic(&g) };
-    writeln!(out, "kmax = {}, distinct cores = {}", a.kmax(), a.forest().node_count())?;
+    let a = if needs_triangles {
+        analyze_graph(&g)
+    } else {
+        analyze_basic(&g)
+    };
+    if args.flag("verify") {
+        bestk_graph::verify::verify_graph(&g).map_err(verify_failed)?;
+        bestk_core::verify::verify_decomposition(&g, a.decomposition()).map_err(verify_failed)?;
+        for m in &metrics {
+            if let Some(best) = a.best_core_set(m) {
+                bestk_core::verify::verify_best_core_set(&g, m, &best).map_err(verify_failed)?;
+            }
+            if let Some(best) = a.best_single_core(m) {
+                bestk_core::verify::verify_best_single_core(&g, m, &best).map_err(verify_failed)?;
+            }
+        }
+        writeln!(
+            out,
+            "verify: decomposition + best-k answers re-checked against baselines"
+        )?;
+    }
+    writeln!(
+        out,
+        "kmax = {}, distinct cores = {}",
+        a.kmax(),
+        a.forest().node_count()
+    )?;
     writeln!(
         out,
         "{:<24} {:>10} {:>14} {:>11} {:>14} {:>9}",
@@ -63,9 +105,11 @@ pub fn analyze(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
             "{:<24} {:>10} {:>14} {:>11} {:>14} {:>9}",
             m.name(),
             set.map(|b| b.k.to_string()).unwrap_or_else(|| "-".into()),
-            set.map(|b| format!("{:.6}", b.score)).unwrap_or_else(|| "-".into()),
+            set.map(|b| format!("{:.6}", b.score))
+                .unwrap_or_else(|| "-".into()),
             core.map(|b| b.k.to_string()).unwrap_or_else(|| "-".into()),
-            core.map(|b| format!("{:.6}", b.score)).unwrap_or_else(|| "-".into()),
+            core.map(|b| format!("{:.6}", b.score))
+                .unwrap_or_else(|| "-".into()),
             size,
         )?;
     }
@@ -74,12 +118,17 @@ pub fn analyze(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
 
 /// `bestk profile <graph> --metric M [--single]`.
 pub fn profile(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&["metric", "single"])?;
     let g = load_graph(args.positional(0, "graph")?)?;
     let metric = metric_by_abbrev(
         args.opt("metric")
             .ok_or_else(|| CliError::Usage("profile requires --metric".into()))?,
     )?;
-    let a = if metric.needs_triangles() { analyze_graph(&g) } else { analyze_basic(&g) };
+    let a = if metric.needs_triangles() {
+        analyze_graph(&g)
+    } else {
+        analyze_basic(&g)
+    };
     if args.flag("single") {
         writeln!(out, "k,score")?;
         for (k, s) in a.single_core_scores(&metric) {
@@ -98,6 +147,7 @@ pub fn profile(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
 
 /// `bestk densest <graph> [--method ...]`.
 pub fn densest(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&["method"])?;
     let g = load_graph(args.positional(0, "graph")?)?;
     let method = args.opt("method").unwrap_or("opt-d");
     let res = match method {
@@ -129,6 +179,7 @@ pub fn densest(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
 
 /// `bestk clique <graph>`.
 pub fn clique(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&[])?;
     let g = load_graph(args.positional(0, "graph")?)?;
     let d = bestk_core::core_decomposition(&g);
     let clique = apps::maximum_clique(&g, &d);
@@ -139,6 +190,7 @@ pub fn clique(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
 
 /// `bestk sck <graph> --k K --h H --query V`.
 pub fn sck(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&["k", "h", "query"])?;
     let g = load_graph(args.positional(0, "graph")?)?;
     let k: u32 = args.require_num("k")?;
     let h: usize = args.require_num("h")?;
@@ -167,6 +219,7 @@ pub fn sck(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
 
 /// `bestk community <graph> --query V [--metric M] [--min-k K] [--max-size S]`.
 pub fn community(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&["query", "metric", "min-k", "max-size"])?;
     let g = load_graph(args.positional(0, "graph")?)?;
     let q: u32 = args.require_num("query")?;
     if (q as usize) >= g.num_vertices() {
@@ -178,7 +231,12 @@ pub fn community(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError>
     let a = analyze_basic(&g);
     // Always report the max-min-degree community (Sozio-Gionis).
     let mmd = apps::max_min_degree_community(&a, q);
-    writeln!(out, "max-min-degree community: k = {}, |S| = {}", mmd.k, mmd.vertices.len())?;
+    writeln!(
+        out,
+        "max-min-degree community: k = {}, |S| = {}",
+        mmd.k,
+        mmd.vertices.len()
+    )?;
     if let Some(abbrev) = args.opt("metric") {
         let metric = metric_by_abbrev(abbrev)?;
         if metric.needs_triangles() {
@@ -209,15 +267,25 @@ pub fn community(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError>
     Ok(())
 }
 
-/// `bestk truss <graph> [--metric M] [--single]`.
+/// `bestk truss <graph> [--metric M] [--single] [--verify]`.
 pub fn truss(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&["metric", "single", "verify"])?;
     let g = load_graph(args.positional(0, "graph")?)?;
     let metrics = metric_selection(args)?;
     let idx = bestk_truss::EdgeIndex::build(&g);
     let t = bestk_truss::decomposition::truss_decomposition_with_index(&g, &idx);
+    if args.flag("verify") {
+        bestk_graph::verify::verify_graph(&g).map_err(verify_failed)?;
+        bestk_truss::verify::verify_truss_decomposition(&g, &idx, &t).map_err(verify_failed)?;
+        writeln!(out, "verify: truss decomposition invariants hold")?;
+    }
     writeln!(out, "tmax = {}", t.tmax())?;
     if args.flag("single") {
-        writeln!(out, "{:<24} {:>9} {:>14} {:>8}", "metric", "best k", "score", "|S|")?;
+        writeln!(
+            out,
+            "{:<24} {:>9} {:>14} {:>8}",
+            "metric", "best k", "score", "|S|"
+        )?;
         for m in metrics {
             match bestk_truss::best_single_k_truss(&g, &idx, &t, &m) {
                 Some(best) => writeln!(
@@ -237,13 +305,7 @@ pub fn truss(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "{:<24} {:>9} {:>14}", "metric", "best k", "score")?;
     for m in metrics {
         match profile.best(&m) {
-            Some(best) => writeln!(
-                out,
-                "{:<24} {:>9} {:>14.6}",
-                m.name(),
-                best.k,
-                best.score
-            )?,
+            Some(best) => writeln!(out, "{:<24} {:>9} {:>14.6}", m.name(), best.k, best.score)?,
             None => writeln!(out, "{:<24} {:>9} {:>14}", m.name(), "-", "-")?,
         }
     }
@@ -252,6 +314,23 @@ pub fn truss(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
 
 /// `bestk generate <family> --n N [...] --seed S --out FILE`.
 pub fn generate(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&[
+        "seed",
+        "n",
+        "m",
+        "p",
+        "avg-deg",
+        "gamma",
+        "scale",
+        "edge-factor",
+        "attach",
+        "k",
+        "beta",
+        "cliques",
+        "min-size",
+        "max-size",
+        "out",
+    ])?;
     let family = args.positional(0, "family")?;
     let seed: u64 = args.opt_num("seed", 42)?;
     let g = match family {
@@ -312,11 +391,17 @@ pub fn generate(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> 
 
 /// `bestk convert <in> <out>`.
 pub fn convert(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&[])?;
     let src = args.positional(0, "in")?;
     let dst = args.positional(1, "out")?;
     let g = load_graph(src)?;
     write_by_extension(&g, dst)?;
-    writeln!(out, "wrote {dst}: n={}, m={}", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        out,
+        "wrote {dst}: n={}, m={}",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     Ok(())
 }
 
@@ -379,7 +464,10 @@ mod tests {
         assert!(out.contains("average degree"));
         assert!(out.contains("clustering coefficient"));
         // Example 4: best set k for average degree is 2.
-        let ad_line = out.lines().find(|l| l.starts_with("average degree")).unwrap();
+        let ad_line = out
+            .lines()
+            .find(|l| l.starts_with("average degree"))
+            .unwrap();
         assert!(ad_line.split_whitespace().any(|t| t == "2"), "{ad_line}");
     }
 
@@ -436,7 +524,10 @@ mod tests {
         assert!(out.contains("hit (<=5% dev)  true"), "{out}");
         assert!(run(&["sck", &path, "--k", "5", "--h", "10", "--query", "99"]).is_err());
         assert!(run(&["sck", &path, "--k", "25", "--h", "10", "--query", "0"]).is_err());
-        assert!(run(&["sck", &path, "--h", "10", "--query", "0"]).is_err(), "missing --k");
+        assert!(
+            run(&["sck", &path, "--h", "10", "--query", "0"]).is_err(),
+            "missing --k"
+        );
     }
 
     #[test]
@@ -451,8 +542,17 @@ mod tests {
         assert!(run(&["community", &path, "--query", "99"]).is_err());
         assert!(run(&["community", &path, "--query", "0", "--metric", "cc"]).is_err());
         // Constraints: impossible min-k falls through gracefully.
-        let out =
-            run(&["community", &path, "--query", "0", "--metric", "ad", "--min-k", "50"]).unwrap();
+        let out = run(&[
+            "community",
+            &path,
+            "--query",
+            "0",
+            "--metric",
+            "ad",
+            "--min-k",
+            "50",
+        ])
+        .unwrap();
         assert!(out.contains("no community satisfies"), "{out}");
     }
 
@@ -461,7 +561,9 @@ mod tests {
         let path = write_figure2();
         let out = run(&["truss", &path, "--metric", "den"]).unwrap();
         assert!(out.contains("tmax = 4"));
-        assert!(out.lines().any(|l| l.starts_with("internal density") && l.contains('4')));
+        assert!(out
+            .lines()
+            .any(|l| l.starts_with("internal density") && l.contains('4')));
     }
 
     #[test]
@@ -470,7 +572,10 @@ mod tests {
         let out = run(&["truss", &path, "--metric", "den", "--single"]).unwrap();
         assert!(out.contains("tmax = 4"));
         // Best single 4-truss is a K4: density 1 over 4 vertices.
-        let line = out.lines().find(|l| l.starts_with("internal density")).unwrap();
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("internal density"))
+            .unwrap();
         assert!(line.contains("1.000000"), "{line}");
         assert!(line.trim_end().ends_with('4'), "{line}");
     }
@@ -502,17 +607,44 @@ mod tests {
     }
 
     #[test]
+    fn verify_flag_passes_on_honest_outputs() {
+        let path = write_figure2();
+        let out = run(&["stats", &path, "--verify"]).unwrap();
+        assert!(out.contains("invariants hold"), "{out}");
+        let out = run(&["analyze", &path, "--verify"]).unwrap();
+        assert!(out.contains("re-checked against baselines"), "{out}");
+        let out = run(&["truss", &path, "--verify"]).unwrap();
+        assert!(out.contains("truss decomposition invariants hold"), "{out}");
+    }
+
+    #[test]
+    fn typoed_flag_is_rejected_not_ignored() {
+        let path = write_figure2();
+        let err = run(&["stats", &path, "--verfy"]).unwrap_err().to_string();
+        assert!(err.contains("--verfy"), "{err}");
+        assert!(err.contains("--verify"), "{err}");
+        let err = run(&["clique", &path, "--verify"]).unwrap_err().to_string();
+        assert!(err.contains("takes no options"), "{err}");
+    }
+
+    #[test]
     fn generate_and_convert_roundtrip() {
         let txt = fixture_path("gen.txt");
         let bin = fixture_path("gen.bin");
-        let out = run(&["generate", "er-gnm", "--n", "50", "--m", "120", "--seed", "7", "--out", &txt]).unwrap();
+        let out = run(&[
+            "generate", "er-gnm", "--n", "50", "--m", "120", "--seed", "7", "--out", &txt,
+        ])
+        .unwrap();
         assert!(out.contains("m=120"));
         let out = run(&["convert", &txt, &bin]).unwrap();
         assert!(out.contains("m=120"));
         let g = crate::load_graph(&bin).unwrap();
         assert_eq!(g.num_edges(), 120);
         assert!(run(&["generate", "bogus", "--out", &txt]).is_err());
-        assert!(run(&["generate", "er-gnm", "--n", "50", "--m", "120"]).is_err(), "missing --out");
+        assert!(
+            run(&["generate", "er-gnm", "--n", "50", "--m", "120"]).is_err(),
+            "missing --out"
+        );
     }
 
     #[test]

@@ -85,6 +85,8 @@ commands:
   generate <family> --n N [--m M|--avg-deg D|...] --seed S --out FILE
   convert  <in> <out>                                text <-> binary
 metrics M: ad den cr con mod cc sep td (default: all six paper metrics)
+stats/analyze/truss accept --verify: re-check every reported answer against
+the executable-specification oracles (slower; exits non-zero on mismatch)
 families: er-gnm er-gnp chung-lu rmat ba ws cliques";
 
 /// Parses `argv` and executes the chosen subcommand, writing the report to
@@ -146,8 +148,14 @@ mod tests {
 
     #[test]
     fn metric_lookup() {
-        assert_eq!(metric_by_abbrev("ad").unwrap(), bestk_core::Metric::AverageDegree);
-        assert_eq!(metric_by_abbrev("sep").unwrap(), bestk_core::Metric::Separability);
+        assert_eq!(
+            metric_by_abbrev("ad").unwrap(),
+            bestk_core::Metric::AverageDegree
+        );
+        assert_eq!(
+            metric_by_abbrev("sep").unwrap(),
+            bestk_core::Metric::Separability
+        );
         assert!(metric_by_abbrev("xyz").is_err());
     }
 }

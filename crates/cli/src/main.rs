@@ -1,6 +1,8 @@
 //! `bestk` — the command-line entry point. All logic lives in the library
 //! (`bestk_cli::run`) so it can be unit-tested without spawning processes.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

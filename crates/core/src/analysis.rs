@@ -44,7 +44,12 @@ fn analyze_inner(g: &CsrGraph, with_triangles: bool) -> BestKAnalysis {
     let set_profile = core_set_profile(&ordered, with_triangles);
     let forest = CoreForest::build(g, &decomp);
     let core_profile = single_core_profile(&ordered, &forest, with_triangles);
-    BestKAnalysis { decomp, forest, set_profile, core_profile }
+    BestKAnalysis {
+        decomp,
+        forest,
+        set_profile,
+        core_profile,
+    }
 }
 
 impl BestKAnalysis {
@@ -100,7 +105,8 @@ impl BestKAnalysis {
         &self,
         metric: &M,
     ) -> Option<Vec<VertexId>> {
-        self.best_single_core(metric).map(|b| self.forest.core_vertices(b.node))
+        self.best_single_core(metric)
+            .map(|b| self.forest.core_vertices(b.node))
     }
 
     /// Materializes the vertex set of the best k-core set under `metric`.
@@ -108,7 +114,8 @@ impl BestKAnalysis {
         &self,
         metric: &M,
     ) -> Option<Vec<VertexId>> {
-        self.best_core_set(metric).map(|b| self.decomp.core_set_vertices(b.k).to_vec())
+        self.best_core_set(metric)
+            .map(|b| self.decomp.core_set_vertices(b.k).to_vec())
     }
 }
 
@@ -129,10 +136,15 @@ mod tests {
         assert_eq!(a.best_core_set(&Metric::AverageDegree).unwrap().k, 2);
         let best = a.best_single_core(&Metric::AverageDegree).unwrap();
         assert_eq!(best.k, 2);
-        let verts = a.best_single_core_vertices(&Metric::InternalDensity).unwrap();
+        let verts = a
+            .best_single_core_vertices(&Metric::InternalDensity)
+            .unwrap();
         assert_eq!(verts.len(), 4);
         // Clustering coefficient prefers the 3-core set (Example 5).
-        assert_eq!(a.best_core_set(&Metric::ClusteringCoefficient).unwrap().k, 3);
+        assert_eq!(
+            a.best_core_set(&Metric::ClusteringCoefficient).unwrap().k,
+            3
+        );
     }
 
     #[test]

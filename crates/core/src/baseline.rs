@@ -27,7 +27,10 @@ pub fn baseline_core_set_primaries(
     let mut primaries = vec![PrimaryValues::default(); kmax as usize + 1];
     for k in 0..=kmax {
         let verts = d.core_set_vertices(k);
-        let mut pv = PrimaryValues { num_vertices: verts.len() as u64, ..Default::default() };
+        let mut pv = PrimaryValues {
+            num_vertices: verts.len() as u64,
+            ..Default::default()
+        };
         let mut in_twice = 0u64;
         for &v in verts {
             for &u in g.neighbors(v) {
@@ -75,7 +78,10 @@ pub fn baseline_single_core_primaries(
             for &v in &comp {
                 claimed[v as usize] = k;
             }
-            let mut pv = PrimaryValues { num_vertices: comp.len() as u64, ..Default::default() };
+            let mut pv = PrimaryValues {
+                num_vertices: comp.len() as u64,
+                ..Default::default()
+            };
             let mut in_twice = 0u64;
             for &v in &comp {
                 for &u in g.neighbors(v) {
@@ -160,7 +166,14 @@ mod tests {
             .collect();
         let mut from_baseline = baseline_single_core_primaries(g, &d, with_triangles);
         let key = |(k, pv): &(u32, PrimaryValues)| {
-            (*k, pv.num_vertices, pv.internal_edges, pv.boundary_edges, pv.triangles, pv.triplets)
+            (
+                *k,
+                pv.num_vertices,
+                pv.internal_edges,
+                pv.boundary_edges,
+                pv.triangles,
+                pv.triplets,
+            )
         };
         from_forest.sort_by_key(key);
         from_baseline.sort_by_key(key);

@@ -10,6 +10,7 @@
 use crate::forest::CoreForest;
 use crate::metrics::{CommunityMetric, GraphContext, PrimaryValues};
 use crate::ordering::OrderedGraph;
+use bestk_graph::cast;
 
 /// Per-core primary values for every node of the core forest.
 #[derive(Debug, Clone)]
@@ -48,7 +49,10 @@ impl SingleCoreProfile {
             "metric {:?} needs triangles; build the profile with triangles",
             metric.name()
         );
-        self.primaries.iter().map(|pv| metric.score(pv, &self.context)).collect()
+        self.primaries
+            .iter()
+            .map(|pv| metric.score(pv, &self.context))
+            .collect()
     }
 
     /// The best single k-core under `metric`; ties prefer the largest `k`
@@ -60,7 +64,11 @@ impl SingleCoreProfile {
         let mut best: Option<BestCore> = None;
         for (i, &s) in scores.iter().enumerate() {
             if !s.is_nan() && best.is_none_or(|b| s > b.score) {
-                best = Some(BestCore { node: i as u32, k: self.coreness[i], score: s });
+                best = Some(BestCore {
+                    node: cast::u32_of(i),
+                    k: self.coreness[i],
+                    score: s,
+                });
             }
         }
         best
@@ -104,7 +112,7 @@ pub fn single_core_primaries(
     let mut kshell_nbr: Vec<bestk_graph::VertexId> = Vec::new();
 
     for i in 0..node_count {
-        let node = forest.node(i as u32);
+        let node = forest.node(cast::u32_of(i));
         // Children first (they precede i in the array): aggregate.
         let mut pv = PrimaryValues::default();
         for &c in &node.children {
@@ -122,7 +130,10 @@ pub fn single_core_primaries(
             out += lt as i64 - gt as i64;
             pv.num_vertices += 1;
         }
-        debug_assert!(in_twice.is_multiple_of(2), "same-shell half-edges must pair up within a node");
+        debug_assert!(
+            in_twice.is_multiple_of(2),
+            "same-shell half-edges must pair up within a node"
+        );
         debug_assert!(out >= 0, "boundary count cannot go negative");
         pv.internal_edges += in_twice / 2;
         pv.boundary_edges = out as u64;
@@ -152,8 +163,8 @@ pub fn single_core_primaries(
             kshell_nbr.clear();
             for &v in &node.vertices {
                 for &u in o.neighbors_gt(v) {
-                    if nbr_seen[u as usize] != i as u32 {
-                        nbr_seen[u as usize] = i as u32;
+                    if nbr_seen[u as usize] != cast::u32_of(i) {
+                        nbr_seen[u as usize] = cast::u32_of(i);
                         kshell_nbr.push(u);
                     }
                 }
@@ -238,7 +249,9 @@ mod tests {
         //   S2, S3: the two K4s — 4 vertices, 6 edges, 3 boundary edges each
         //   split 2/1 (v3 has two shell neighbors, v9 one);
         //   S1: the whole graph — 12 vertices, 19 edges, 0 boundary.
-        let fx = Fixture { g: generators::paper_figure2() };
+        let fx = Fixture {
+            g: generators::paper_figure2(),
+        };
         let (p, f) = fx.profile(true);
         assert_eq!(p.primaries.len(), 3);
         // Root is last (lowest coreness).
@@ -257,8 +270,7 @@ mod tests {
             assert_eq!(p.primaries[i].triplets, 12);
         }
         // Boundary edges of the K4s: v3 has 2 (to v5, v6), v9 has 1 (to v8).
-        let mut boundaries: Vec<u64> =
-            (0..2).map(|i| p.primaries[i].boundary_edges).collect();
+        let mut boundaries: Vec<u64> = (0..2).map(|i| p.primaries[i].boundary_edges).collect();
         boundaries.sort_unstable();
         assert_eq!(boundaries, vec![1, 2]);
         // Whole graph: 10 triangles, 45 triplets (Example 5 at k=2).
@@ -272,7 +284,9 @@ mod tests {
         // 2·19/12 ≈ 3.17, beating both K4s (3.0) — so the best single core
         // under average degree is the root. Under internal density the K4s
         // win (density 1).
-        let fx = Fixture { g: generators::paper_figure2() };
+        let fx = Fixture {
+            g: generators::paper_figure2(),
+        };
         let (p, f) = fx.profile(false);
         let best = p.best(&Metric::AverageDegree).unwrap();
         assert_eq!(best.k, 2);
@@ -297,7 +311,11 @@ mod tests {
             for i in 0..f.node_count() {
                 let verts = f.core_vertices(i as u32);
                 let pv = &primaries[i];
-                assert_eq!(pv.num_vertices as usize, verts.len(), "n node={i} seed={seed}");
+                assert_eq!(
+                    pv.num_vertices as usize,
+                    verts.len(),
+                    "n node={i} seed={seed}"
+                );
                 assert_eq!(
                     pv.internal_edges as usize,
                     induced_edge_count(&g, &verts),
@@ -317,8 +335,14 @@ mod tests {
     fn per_core_triangles_match_naive() {
         for (label, g) in [
             ("er", generators::erdos_renyi_gnm(90, 380, 31)),
-            ("cliques", generators::overlapping_cliques(120, 18, (4, 9), 13)),
-            ("planted", generators::planted_partition(&[25, 25, 25], 0.35, 0.03, 2).graph),
+            (
+                "cliques",
+                generators::overlapping_cliques(120, 18, (4, 9), 13),
+            ),
+            (
+                "planted",
+                generators::planted_partition(&[25, 25, 25], 0.35, 0.03, 2).graph,
+            ),
         ] {
             let d = core_decomposition(&g);
             let o = OrderedGraph::build(&g, &d);
@@ -372,7 +396,9 @@ mod tests {
 
     #[test]
     fn sequence_is_sorted_like_figure6() {
-        let fx = Fixture { g: generators::chung_lu_power_law(500, 7.0, 2.4, 5) };
+        let fx = Fixture {
+            g: generators::chung_lu_power_law(500, 7.0, 2.4, 5),
+        };
         let (p, _) = fx.profile(false);
         let seq = p.sequence(&Metric::AverageDegree);
         assert!(!seq.is_empty());
@@ -386,7 +412,9 @@ mod tests {
         // Three K5s bridged in a chain: all one 4-core? No — bridges have
         // both endpoints with coreness 4, so the whole chain is a single
         // connected 4-core (cf. forest tests); the profile has one node.
-        let fx = Fixture { g: regular::clique_chain(3, 5) };
+        let fx = Fixture {
+            g: regular::clique_chain(3, 5),
+        };
         let (p, _) = fx.profile(false);
         assert_eq!(p.primaries.len(), 1);
         assert_eq!(p.primaries[0].num_vertices, 15);
@@ -395,7 +423,9 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let fx = Fixture { g: bestk_graph::CsrGraph::empty(0) };
+        let fx = Fixture {
+            g: bestk_graph::CsrGraph::empty(0),
+        };
         let (p, _) = fx.profile(true);
         assert!(p.primaries.is_empty());
         assert!(p.best(&Metric::AverageDegree).is_none());

@@ -46,7 +46,10 @@ impl CoreSetProfile {
             "metric {:?} needs triangles; build the profile with triangles",
             metric.name()
         );
-        self.primaries.iter().map(|pv| metric.score(pv, &self.context)).collect()
+        self.primaries
+            .iter()
+            .map(|pv| metric.score(pv, &self.context))
+            .collect()
     }
 
     /// The best k under `metric` (ties to the largest k), with its score.
@@ -87,7 +90,10 @@ pub fn core_set_primaries(o: &OrderedGraph<'_>) -> Vec<PrimaryValues> {
             out += lt as i64 - gt as i64;
             num += 1;
         }
-        debug_assert!(in_twice.is_multiple_of(2), "half-edges must pair up per shell");
+        debug_assert!(
+            in_twice.is_multiple_of(2),
+            "half-edges must pair up per shell"
+        );
         debug_assert!(out >= 0, "boundary count cannot go negative");
         let pv = &mut primaries[k as usize];
         pv.num_vertices = num;
@@ -346,7 +352,11 @@ mod tests {
             for k in 0..=d.kmax() {
                 let verts = d.core_set_vertices(k);
                 let pv = &primaries[k as usize];
-                assert_eq!(pv.num_vertices as usize, verts.len(), "n at k={k} seed={seed}");
+                assert_eq!(
+                    pv.num_vertices as usize,
+                    verts.len(),
+                    "n at k={k} seed={seed}"
+                );
                 assert_eq!(
                     pv.internal_edges as usize,
                     induced_edge_count(&g, verts),
@@ -378,10 +388,7 @@ mod tests {
                 }
             }
         }
-        let triplets = sg
-            .vertices()
-            .map(|v| choose2(sg.degree(v) as u64))
-            .sum();
+        let triplets = sg.vertices().map(|v| choose2(sg.degree(v) as u64)).sum();
         (triangles, triplets)
     }
 
@@ -420,7 +427,10 @@ mod tests {
             ("fig2", generators::paper_figure2()),
             ("er", generators::erdos_renyi_gnm(200, 800, 4)),
             ("cl", generators::chung_lu_power_law(300, 7.0, 2.4, 5)),
-            ("cliques", generators::overlapping_cliques(150, 25, (3, 9), 6)),
+            (
+                "cliques",
+                generators::overlapping_cliques(150, 25, (3, 9), 6),
+            ),
         ] {
             let d = core_decomposition(&g);
             let o = OrderedGraph::build(&g, &d);

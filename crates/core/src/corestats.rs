@@ -5,6 +5,7 @@
 //! those distributions from a [`CoreDecomposition`] in `O(n)`.
 
 use crate::decomposition::CoreDecomposition;
+use bestk_graph::cast;
 
 /// Summary of a graph's coreness structure.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,7 +52,7 @@ pub fn core_stats(d: &CoreDecomposition) -> CoreStats {
         for (k, &s) in shell_sizes.iter().enumerate() {
             seen += s;
             if seen >= target {
-                median_coreness = k as u32;
+                median_coreness = cast::u32_of(k);
                 break;
             }
         }
@@ -75,7 +76,7 @@ pub fn top_decile_concentration(d: &CoreDecomposition) -> f64 {
     if n == 0 || d.kmax() == 0 {
         return 0.0;
     }
-    let threshold = (d.kmax() as f64 * 0.9).ceil() as u32;
+    let threshold = (d.kmax() * 9).div_ceil(10);
     let deep = d
         .coreness_slice()
         .iter()

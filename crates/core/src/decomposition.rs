@@ -5,6 +5,7 @@
 //! its *coreness*. With bucketed degree queues the whole decomposition runs
 //! in `O(n + m)` time and `O(n)` extra space.
 
+use bestk_graph::cast;
 use bestk_graph::{CsrGraph, VertexId};
 
 /// The result of a core decomposition: every vertex's coreness plus the
@@ -113,7 +114,7 @@ pub fn core_decomposition(g: &CsrGraph) -> CoreDecomposition {
     // Bucket sort vertices by current degree.
     // pos[v]: index of v in vert; vert: vertices sorted by degree;
     // bin[d]: start index of degree-d block inside vert.
-    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v as VertexId)).collect();
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(cast::vertex_id(v))).collect();
     let mut bin = vec![0usize; max_deg + 2];
     for &d in &degree {
         bin[d + 1] += 1;
@@ -122,13 +123,13 @@ pub fn core_decomposition(g: &CsrGraph) -> CoreDecomposition {
         bin[d + 1] += bin[d];
     }
     let mut start = bin.clone(); // start[d] = first index of degree-d block
-    let mut vert = vec![0 as VertexId; n];
+    let mut vert: Vec<VertexId> = vec![0; n];
     let mut pos = vec![0usize; n];
     {
         let mut cursor = bin.clone();
         for v in 0..n {
             let d = degree[v];
-            vert[cursor[d]] = v as VertexId;
+            vert[cursor[d]] = cast::vertex_id(v);
             pos[v] = cursor[d];
             cursor[d] += 1;
         }
@@ -139,8 +140,8 @@ pub fn core_decomposition(g: &CsrGraph) -> CoreDecomposition {
     for i in 0..n {
         let v = vert[i];
         let k = degree[v as usize];
-        coreness[v as usize] = k as u32;
-        kmax = kmax.max(k as u32);
+        coreness[v as usize] = cast::u32_of(k);
+        kmax = kmax.max(cast::u32_of(k));
         for &u in g.neighbors(v) {
             let du = degree[u as usize];
             if du > k {
@@ -170,15 +171,21 @@ pub fn core_decomposition(g: &CsrGraph) -> CoreDecomposition {
     for k in 0..=kmax as usize {
         shell_start[k + 1] += shell_start[k];
     }
-    let mut order = vec![0 as VertexId; n];
+    let mut order: Vec<VertexId> = vec![0; n];
     let mut cursor = shell_start.clone();
     for (v, &c) in coreness.iter().enumerate() {
         let c = c as usize;
-        order[cursor[c]] = v as VertexId;
+        order[cursor[c]] = cast::vertex_id(v);
         cursor[c] += 1;
     }
 
-    CoreDecomposition { coreness, kmax, order, peel_order: vert, shell_start }
+    CoreDecomposition {
+        coreness,
+        kmax,
+        order,
+        peel_order: vert,
+        shell_start,
+    }
 }
 
 #[cfg(test)]
@@ -277,7 +284,10 @@ mod tests {
         for w in order.windows(2) {
             let (a, b) = (w[0], w[1]);
             let key = |v: u32| (d.coreness(v), v);
-            assert!(key(a) < key(b), "order not strictly sorted by (coreness, id)");
+            assert!(
+                key(a) < key(b),
+                "order not strictly sorted by (coreness, id)"
+            );
         }
     }
 

@@ -9,6 +9,7 @@
 //! frontier edge `(w → v)` is `min(c(w), c(v))` — the deepest core level the
 //! edge certifies connectivity for.
 
+use bestk_graph::cast;
 use std::collections::VecDeque;
 
 use bestk_graph::{CsrGraph, VertexId};
@@ -72,7 +73,7 @@ impl CoreForest {
 
     /// Root node indices (one per connected component of the graph).
     pub fn roots(&self) -> Vec<u32> {
-        (0..self.nodes.len() as u32)
+        (0..cast::u32_of(self.nodes.len()))
             .filter(|&i| self.nodes[i as usize].parent.is_none())
             .collect()
     }
@@ -132,8 +133,13 @@ impl<'a> Builder<'a> {
     }
 
     fn new_node(&mut self, coreness: u32, parent: Option<u32>) -> u32 {
-        let id = self.nodes.len() as u32;
-        self.nodes.push(CoreForestNode { coreness, vertices: Vec::new(), parent, children: Vec::new() });
+        let id = cast::u32_of(self.nodes.len());
+        self.nodes.push(CoreForestNode {
+            coreness,
+            vertices: Vec::new(),
+            parent,
+            children: Vec::new(),
+        });
         id
     }
 
@@ -144,17 +150,18 @@ impl<'a> Builder<'a> {
     }
 
     fn pop_max(&mut self) -> (VertexId, usize) {
-        while self.bins[self.cur_max].is_empty() {
+        loop {
+            if let Some(v) = self.bins[self.cur_max].pop_front() {
+                self.pending -= 1;
+                return (v, self.cur_max);
+            }
             self.cur_max -= 1;
         }
-        let v = self.bins[self.cur_max].pop_front().expect("bin checked non-empty");
-        self.pending -= 1;
-        (v, self.cur_max)
     }
 
     fn run(mut self) -> CoreForest {
         let n = self.g.num_vertices();
-        for s in 0..n as VertexId {
+        for s in 0..cast::vertex_id(n) {
             if self.visited[s as usize] {
                 continue;
             }
@@ -180,20 +187,22 @@ impl<'a> Builder<'a> {
             // every enqueued priority is bounded by the level current when it
             // was enqueued, and we always pop the maximum.
             let top_level = |nodes: &Vec<CoreForestNode>, path: &Vec<u32>| {
+                // bestk-analyze: allow(no-unwrap) — the root never leaves the path
                 nodes[*path.last().expect("path never empties") as usize].coreness
             };
-            if top_level(&self.nodes, &path) > r as u32 {
+            if top_level(&self.nodes, &path) > cast::u32_of(r) {
                 // Line 10: k > r — climb until the enclosing core of level
                 // <= r, keeping the detached sub-chain correctly parented.
                 let mut detached: Option<u32> = None;
-                while top_level(&self.nodes, &path) > r as u32 {
+                while top_level(&self.nodes, &path) > cast::u32_of(r) {
                     detached = path.pop();
                 }
-                if top_level(&self.nodes, &path) < r as u32 {
+                if top_level(&self.nodes, &path) < cast::u32_of(r) {
                     // No node at level r exists on the path yet: splice one
                     // in between the remaining path and the detached chain.
+                    // bestk-analyze: allow(no-unwrap) — the root never leaves the path
                     let parent = *path.last().expect("path never empties");
-                    let nid = self.new_node(r as u32, Some(parent));
+                    let nid = self.new_node(cast::u32_of(r), Some(parent));
                     if let Some(dchild) = detached {
                         self.nodes[dchild as usize].parent = Some(nid);
                     }
@@ -203,14 +212,19 @@ impl<'a> Builder<'a> {
             let cv = self.d.coreness(v);
             if cv > top_level(&self.nodes, &path) {
                 // Line 11: c(v) > r — enter a deeper core.
+                // bestk-analyze: allow(no-unwrap) — the root never leaves the path
                 let parent = *path.last().expect("path never empties");
                 let nid = self.new_node(cv, Some(parent));
                 path.push(nid);
             }
 
             // Line 12: insert v into the node pointed to by the path.
+            // bestk-analyze: allow(no-unwrap) — the root never leaves the path
             let cur = *path.last().expect("path never empties");
-            debug_assert_eq!(self.nodes[cur as usize].coreness, cv, "vertex lands at its own level");
+            debug_assert_eq!(
+                self.nodes[cur as usize].coreness, cv,
+                "vertex lands at its own level"
+            );
             self.nodes[cur as usize].vertices.push(v);
             self.vertex_node[v as usize] = cur;
 
@@ -231,7 +245,7 @@ impl<'a> Builder<'a> {
     fn compress_and_sort(mut self) -> CoreForest {
         let total = self.nodes.len();
         // Resolve each node's compressed parent: nearest non-empty ancestor.
-        let mut kept: Vec<u32> = (0..total as u32)
+        let mut kept: Vec<u32> = (0..cast::u32_of(total))
             .filter(|&i| !self.nodes[i as usize].vertices.is_empty())
             .collect();
         // Sort by descending coreness (stable, so construction order breaks
@@ -239,7 +253,7 @@ impl<'a> Builder<'a> {
         kept.sort_by_key(|&i| std::cmp::Reverse(self.nodes[i as usize].coreness));
         let mut remap = vec![u32::MAX; total];
         for (new_idx, &old) in kept.iter().enumerate() {
-            remap[old as usize] = new_idx as u32;
+            remap[old as usize] = cast::u32_of(new_idx);
         }
         let find_parent = |nodes: &Vec<CoreForestNode>, mut i: u32| -> Option<u32> {
             loop {
@@ -268,7 +282,7 @@ impl<'a> Builder<'a> {
         }
         for i in 0..new_nodes.len() {
             if let Some(p) = new_nodes[i].parent {
-                new_nodes[p as usize].children.push(i as u32);
+                new_nodes[p as usize].children.push(cast::u32_of(i));
             }
         }
         let mut vertex_node = self.vertex_node;
@@ -276,7 +290,10 @@ impl<'a> Builder<'a> {
             debug_assert_ne!(*slot, u32::MAX, "every vertex must be placed");
             *slot = remap[*slot as usize];
         }
-        CoreForest { nodes: new_nodes, vertex_node }
+        CoreForest {
+            nodes: new_nodes,
+            vertex_node,
+        }
     }
 }
 
@@ -388,8 +405,7 @@ mod tests {
     /// Oracle: the k-cores of G for a given k are the connected components
     /// of the subgraph induced by coreness >= k.
     fn naive_k_cores(g: &CsrGraph, d: &CoreDecomposition, k: u32) -> Vec<Vec<VertexId>> {
-        let verts: Vec<VertexId> =
-            g.vertices().filter(|&v| d.coreness(v) >= k).collect();
+        let verts: Vec<VertexId> = g.vertices().filter(|&v| d.coreness(v) >= k).collect();
         let sub = bestk_graph::subgraph::induced_subgraph(g, &verts);
         let cc = bestk_graph::connectivity::connected_components(&sub.graph);
         let mut groups = vec![Vec::new(); cc.count];

@@ -19,6 +19,7 @@
 //! decomposition and as the substrate a distributed/semi-external port
 //! would build on.
 
+use bestk_graph::cast;
 use bestk_graph::{CsrGraph, VertexId};
 
 /// The result of an h-index iteration run.
@@ -34,14 +35,16 @@ pub struct HIndexDecomposition {
 /// `O(n)` space beyond the graph.
 pub fn hindex_core_decomposition(g: &CsrGraph) -> HIndexDecomposition {
     let n = g.num_vertices();
-    let mut values: Vec<u32> = (0..n).map(|v| g.degree(v as VertexId) as u32).collect();
+    let mut values: Vec<u32> = (0..n)
+        .map(|v| cast::u32_of(g.degree(cast::vertex_id(v))))
+        .collect();
     let mut next = values.clone();
     let mut scratch: Vec<u32> = Vec::new();
     let mut rounds = 0usize;
     loop {
         let mut changed = false;
         for v in 0..n {
-            let h = neighborhood_h_index(g, v as VertexId, &values, &mut scratch);
+            let h = neighborhood_h_index(g, cast::vertex_id(v), &values, &mut scratch);
             next[v] = h;
             changed |= h != values[v];
         }
@@ -51,20 +54,25 @@ pub fn hindex_core_decomposition(g: &CsrGraph) -> HIndexDecomposition {
             break;
         }
     }
-    HIndexDecomposition { coreness: values, rounds }
+    HIndexDecomposition {
+        coreness: values,
+        rounds,
+    }
 }
 
 /// Asynchronous variant: updates in place (Gauss–Seidel style), which
 /// converges in fewer rounds; the fixpoint is identical.
 pub fn hindex_core_decomposition_async(g: &CsrGraph) -> HIndexDecomposition {
     let n = g.num_vertices();
-    let mut values: Vec<u32> = (0..n).map(|v| g.degree(v as VertexId) as u32).collect();
+    let mut values: Vec<u32> = (0..n)
+        .map(|v| cast::u32_of(g.degree(cast::vertex_id(v))))
+        .collect();
     let mut scratch: Vec<u32> = Vec::new();
     let mut rounds = 0usize;
     loop {
         let mut changed = false;
         for v in 0..n {
-            let h = neighborhood_h_index(g, v as VertexId, &values, &mut scratch);
+            let h = neighborhood_h_index(g, cast::vertex_id(v), &values, &mut scratch);
             if h != values[v] {
                 values[v] = h;
                 changed = true;
@@ -75,18 +83,16 @@ pub fn hindex_core_decomposition_async(g: &CsrGraph) -> HIndexDecomposition {
             break;
         }
     }
-    HIndexDecomposition { coreness: values, rounds }
+    HIndexDecomposition {
+        coreness: values,
+        rounds,
+    }
 }
 
 /// The h-index of `v`'s neighbor values, computed with a counting pass
 /// bounded by `d(v)` (values above the degree can be clamped: the h-index
 /// never exceeds the list length).
-fn neighborhood_h_index(
-    g: &CsrGraph,
-    v: VertexId,
-    values: &[u32],
-    scratch: &mut Vec<u32>,
-) -> u32 {
+fn neighborhood_h_index(g: &CsrGraph, v: VertexId, values: &[u32], scratch: &mut Vec<u32>) -> u32 {
     let neighbors = g.neighbors(v);
     let d = neighbors.len();
     scratch.clear();
@@ -99,7 +105,7 @@ fn neighborhood_h_index(
     for h in (0..=d).rev() {
         at_least += scratch[h];
         if at_least as usize >= h {
-            return h as u32;
+            return cast::u32_of(h);
         }
     }
     0

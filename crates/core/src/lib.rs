@@ -61,6 +61,7 @@ pub mod hindex;
 pub mod metrics;
 pub mod ordering;
 pub mod triangles;
+pub mod verify;
 pub mod weighted;
 
 pub use analysis::{analyze, analyze_basic, BestKAnalysis};

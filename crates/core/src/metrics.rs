@@ -7,6 +7,8 @@
 //! [`CommunityMetric`]; adding a new metric therefore needs no new graph
 //! traversal.
 
+use bestk_graph::cast;
+
 /// The five primary values of a subgraph `S` (paper §II-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PrimaryValues {
@@ -149,7 +151,10 @@ impl CommunityMetric for Metric {
     }
 
     fn needs_triangles(&self) -> bool {
-        matches!(self, Metric::ClusteringCoefficient | Metric::TriangleDensity)
+        matches!(
+            self,
+            Metric::ClusteringCoefficient | Metric::TriangleDensity
+        )
     }
 
     fn score(&self, pv: &PrimaryValues, ctx: &GraphContext) -> f64 {
@@ -241,7 +246,7 @@ pub fn best_k(scores: &[f64]) -> Option<(u32, f64)> {
     let mut best: Option<(u32, f64)> = None;
     for (k, &s) in scores.iter().enumerate().rev() {
         if !s.is_nan() && best.is_none_or(|(_, bs)| s > bs) {
-            best = Some((k as u32, s));
+            best = Some((cast::u32_of(k), s));
         }
     }
     best
@@ -252,7 +257,10 @@ mod tests {
     use super::*;
 
     fn ctx(n: u64, m: u64) -> GraphContext {
-        GraphContext { total_vertices: n, total_edges: m }
+        GraphContext {
+            total_vertices: n,
+            total_edges: m,
+        }
     }
 
     #[test]
@@ -281,7 +289,11 @@ mod tests {
         // 1 - 6 / (4 * 6)
         assert!((Metric::CutRatio.score(&pv, &c) - 0.75).abs() < 1e-12);
         // Whole graph: defined as 1.
-        let whole = PrimaryValues { num_vertices: 10, internal_edges: 20, ..Default::default() };
+        let whole = PrimaryValues {
+            num_vertices: 10,
+            internal_edges: 20,
+            ..Default::default()
+        };
         assert_eq!(Metric::CutRatio.score(&whole, &c), 1.0);
     }
 
@@ -302,7 +314,11 @@ mod tests {
     #[test]
     fn modularity_whole_graph_is_zero() {
         let c = ctx(10, 20);
-        let whole = PrimaryValues { num_vertices: 10, internal_edges: 20, ..Default::default() };
+        let whole = PrimaryValues {
+            num_vertices: 10,
+            internal_edges: 20,
+            ..Default::default()
+        };
         assert!((Metric::Modularity.score(&whole, &c)).abs() < 1e-12);
     }
 
@@ -320,17 +336,28 @@ mod tests {
         let score = Metric::Modularity.score(&pv, &c);
         let expected = 2.0 * (3.0 / 7.0 - (7.0 / 14.0f64).powi(2));
         assert!((score - expected).abs() < 1e-12, "{score} vs {expected}");
-        assert!(score > 0.0, "assortative split should have positive modularity");
+        assert!(
+            score > 0.0,
+            "assortative split should have positive modularity"
+        );
     }
 
     #[test]
     fn clustering_coefficient() {
         let c = ctx(10, 20);
         // A triangle: 1 triangle, 3 triplets -> cc = 1.
-        let pv = PrimaryValues { triangles: 1, triplets: 3, num_vertices: 3, internal_edges: 3, ..Default::default() };
+        let pv = PrimaryValues {
+            triangles: 1,
+            triplets: 3,
+            num_vertices: 3,
+            internal_edges: 3,
+            ..Default::default()
+        };
         assert_eq!(Metric::ClusteringCoefficient.score(&pv, &c), 1.0);
         let no_triplets = PrimaryValues::default();
-        assert!(Metric::ClusteringCoefficient.score(&no_triplets, &c).is_nan());
+        assert!(Metric::ClusteringCoefficient
+            .score(&no_triplets, &c)
+            .is_nan());
     }
 
     #[test]
@@ -340,7 +367,10 @@ mod tests {
         assert!(Metric::AverageDegree.score(&empty, &c).is_nan());
         assert!(Metric::InternalDensity.score(&empty, &c).is_nan());
         assert!(Metric::CutRatio.score(&empty, &c).is_nan());
-        let single = PrimaryValues { num_vertices: 1, ..Default::default() };
+        let single = PrimaryValues {
+            num_vertices: 1,
+            ..Default::default()
+        };
         assert!(Metric::InternalDensity.score(&single, &c).is_nan());
         assert!(Metric::Modularity.score(&empty, &ctx(5, 0)).is_nan());
     }
@@ -382,26 +412,36 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(Metric::Separability.score(&isolated, &c), f64::INFINITY);
-        assert!(Metric::Separability.score(&PrimaryValues::default(), &c).is_nan());
+        assert!(Metric::Separability
+            .score(&PrimaryValues::default(), &c)
+            .is_nan());
     }
 
     #[test]
     fn triangle_density_scores() {
         let c = ctx(20, 50);
-        let k4 = PrimaryValues { num_vertices: 4, triangles: 4, ..Default::default() };
+        let k4 = PrimaryValues {
+            num_vertices: 4,
+            triangles: 4,
+            ..Default::default()
+        };
         assert_eq!(Metric::TriangleDensity.score(&k4, &c), 1.0);
-        let sparse = PrimaryValues { num_vertices: 5, triangles: 2, ..Default::default() };
+        let sparse = PrimaryValues {
+            num_vertices: 5,
+            triangles: 2,
+            ..Default::default()
+        };
         assert!((Metric::TriangleDensity.score(&sparse, &c) - 0.2).abs() < 1e-12);
-        let pair = PrimaryValues { num_vertices: 2, ..Default::default() };
+        let pair = PrimaryValues {
+            num_vertices: 2,
+            ..Default::default()
+        };
         assert!(Metric::TriangleDensity.score(&pair, &c).is_nan());
     }
 
     #[test]
     fn best_k_accepts_infinite_scores() {
-        assert_eq!(
-            best_k(&[1.0, f64::INFINITY, 2.0]),
-            Some((1, f64::INFINITY))
-        );
+        assert_eq!(best_k(&[1.0, f64::INFINITY, 2.0]), Some((1, f64::INFINITY)));
     }
 
     #[test]
@@ -434,7 +474,11 @@ mod tests {
                 }
             }
         }
-        let pv = PrimaryValues { num_vertices: 4, triangles: 4, ..Default::default() };
+        let pv = PrimaryValues {
+            num_vertices: 4,
+            triangles: 4,
+            ..Default::default()
+        };
         let score = TriangleDensity.score(&pv, &ctx(4, 6));
         assert_eq!(score, 1.0); // K4 contains all 4 possible triangles
     }

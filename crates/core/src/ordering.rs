@@ -14,6 +14,7 @@
 //! `N(v, ·)` slices in `O(|N(v, ·)|)` — the primitive every sweep in this
 //! crate is built on.
 
+use bestk_graph::cast;
 use bestk_graph::{CsrGraph, VertexId};
 
 use crate::decomposition::CoreDecomposition;
@@ -41,9 +42,13 @@ impl<'a> OrderedGraph<'a> {
     /// comparison sort.
     pub fn build(graph: &'a CsrGraph, decomp: &'a CoreDecomposition) -> Self {
         let n = graph.num_vertices();
-        assert_eq!(n, decomp.num_vertices(), "decomposition does not match graph");
+        assert_eq!(
+            n,
+            decomp.num_vertices(),
+            "decomposition does not match graph"
+        );
         let offsets = graph.offsets();
-        let mut adj = vec![0 as VertexId; graph.raw_neighbors().len()];
+        let mut adj: Vec<VertexId> = vec![0; graph.raw_neighbors().len()];
         let mut cursor: Vec<usize> = offsets[..n].to_vec();
         // Vertices in rank order = the decomposition's (coreness, id) order;
         // pushing v into every neighbor's new list in this order leaves each
@@ -61,29 +66,36 @@ impl<'a> OrderedGraph<'a> {
         let mut plus = vec![0u32; n];
         let mut high = vec![0u32; n];
         for v in 0..n {
-            let cv = decomp.coreness(v as VertexId);
+            let cv = decomp.coreness(cast::vertex_id(v));
             let list = &adj[offsets[v]..offsets[v + 1]];
-            let deg = list.len() as u32;
+            let deg = cast::u32_of(list.len());
             let mut s = deg;
             let mut p = deg;
             let mut h = deg;
             for (i, &u) in list.iter().enumerate() {
                 let cu = decomp.coreness(u);
                 if s == deg && cu >= cv {
-                    s = i as u32;
+                    s = cast::u32_of(i);
                 }
                 if p == deg && cu > cv {
-                    p = i as u32;
+                    p = cast::u32_of(i);
                 }
-                if h == deg && (cu > cv || (cu == cv && u > v as VertexId)) {
-                    h = i as u32;
+                if h == deg && (cu > cv || (cu == cv && u > cast::vertex_id(v))) {
+                    h = cast::u32_of(i);
                 }
             }
             same[v] = s;
             plus[v] = p;
             high[v] = h;
         }
-        OrderedGraph { graph, decomp, adj, same, plus, high }
+        OrderedGraph {
+            graph,
+            decomp,
+            adj,
+            same,
+            plus,
+            high,
+        }
     }
 
     /// The underlying graph.

@@ -5,6 +5,7 @@
 //! and the ablation benches. All counters are `O(m^1.5)` \[Latapy 2008,
 //! paper reference 35\].
 
+use bestk_graph::cast;
 use bestk_graph::{CsrGraph, VertexId};
 
 use crate::ordering::OrderedGraph;
@@ -18,11 +19,11 @@ use crate::ordering::OrderedGraph;
 pub fn count_triangles(g: &CsrGraph) -> u64 {
     let n = g.num_vertices();
     // Order: degree descending, ties by id; position in this order.
-    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut order: Vec<VertexId> = (0..cast::vertex_id(n)).collect();
     order.sort_unstable_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
     let mut pos = vec![0u32; n];
     for (i, &v) in order.iter().enumerate() {
-        pos[v as usize] = i as u32;
+        pos[v as usize] = cast::u32_of(i);
     }
     // forward[v]: neighbors of v that come *later* in the order.
     let mut marked = vec![0u32; n];
@@ -64,11 +65,11 @@ pub fn count_triangles_parallel(g: &CsrGraph, threads: usize) -> u64 {
     if threads == 1 || n < 1024 {
         return count_triangles(g);
     }
-    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut order: Vec<VertexId> = (0..cast::vertex_id(n)).collect();
     order.sort_unstable_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
     let mut pos = vec![0u32; n];
     for (i, &v) in order.iter().enumerate() {
-        pos[v as usize] = i as u32;
+        pos[v as usize] = cast::u32_of(i);
     }
     let order = &order;
     let pos = &pos;
@@ -93,8 +94,7 @@ pub fn count_triangles_parallel(g: &CsrGraph, threads: usize) -> u64 {
                     for &u in g.neighbors(v) {
                         if pos[u as usize] > pv {
                             for &w in g.neighbors(u) {
-                                if pos[w as usize] > pos[u as usize]
-                                    && marked[w as usize] == stamp
+                                if pos[w as usize] > pos[u as usize] && marked[w as usize] == stamp
                                 {
                                     local += 1;
                                 }
@@ -152,7 +152,11 @@ pub fn count_triangles_merge(o: &OrderedGraph<'_>) -> u64 {
     for v in o.graph().vertices() {
         for &u in o.neighbors_gt_rank(v) {
             let (a, b) = {
-                let (x, y) = if o.degree(u) > o.degree(v) { (v, u) } else { (u, v) };
+                let (x, y) = if o.degree(u) > o.degree(v) {
+                    (v, u)
+                } else {
+                    (u, v)
+                };
                 (o.neighbors_gt_rank(x), o.neighbors_gt_rank(y))
             };
             triangles += sorted_intersection_size(o, a, b);
@@ -223,7 +227,11 @@ mod tests {
             assert_eq!(count_triangles(&g), expected, "forward, seed {seed}");
             let d = core_decomposition(&g);
             let o = OrderedGraph::build(&g, &d);
-            assert_eq!(count_triangles_ordered(&o), expected, "ordered, seed {seed}");
+            assert_eq!(
+                count_triangles_ordered(&o),
+                expected,
+                "ordered, seed {seed}"
+            );
             assert_eq!(count_triangles_merge(&o), expected, "merge, seed {seed}");
         }
     }
@@ -243,7 +251,10 @@ mod tests {
     fn parallel_counter_matches_sequential() {
         for (g, label) in [
             (generators::chung_lu_power_law(3000, 10.0, 2.4, 7), "cl"),
-            (generators::overlapping_cliques(800, 120, (4, 12), 9), "cliques"),
+            (
+                generators::overlapping_cliques(800, 120, (4, 12), 9),
+                "cliques",
+            ),
             (regular::complete(40), "k40"),
             (CsrGraph::empty(10), "empty"),
         ] {

@@ -1,0 +1,382 @@
+//! Executable specification of the core-decomposition pipeline.
+//!
+//! The paper's optimality argument leans on structural invariants that the
+//! hot paths maintain implicitly: coreness is the unique fixpoint of the
+//! neighborhood h-index operator, the rank order is bin-sorted by
+//! `(coreness, id)`, every k-core set is a suffix of that order, and the
+//! peel order is a degeneracy ordering. This module re-checks all of them
+//! from first principles, plus cross-checks best-k answers against the
+//! §III-A/§IV-B baselines — so future performance rewrites of the hot
+//! loops have a machine-checkable contract to satisfy, not just example
+//! tests.
+//!
+//! Everything here is deliberately *independent* of the code it verifies:
+//! the h-index fixpoint check never runs the peeling algorithm, and the
+//! best-k checks rescore every k from scratch.
+
+use bestk_graph::cast;
+use bestk_graph::verify::{VerifyError, VerifyResult};
+use bestk_graph::CsrGraph;
+
+use crate::baseline::{baseline_core_set_primaries, baseline_single_core_primaries};
+use crate::bestcore::BestCore;
+use crate::bestkset::BestKSet;
+use crate::decomposition::CoreDecomposition;
+use crate::metrics::{best_k, CommunityMetric, GraphContext};
+
+/// The h-index of a multiset of values: the largest `h` such that at least
+/// `h` of the values are `>= h`.
+fn h_index(values: &mut [u32]) -> u32 {
+    values.sort_unstable_by(|a, b| b.cmp(a));
+    let mut h = 0u32;
+    for (i, &v) in values.iter().enumerate() {
+        if v as usize > i {
+            h = cast::u32_of(i + 1);
+        } else {
+            break;
+        }
+    }
+    h
+}
+
+/// Verifies a [`CoreDecomposition`] against its full specification:
+///
+/// 1. **h-index fixpoint** (Lü et al. 2016): for every vertex,
+///    `H({c(u) : u ∈ N(v)}) == c(v)`. Coreness is the *unique* fixpoint of
+///    this operator that is pointwise ≤ degree, so this single local check
+///    certifies the global peeling result without re-running peeling.
+/// 2. **rank order**: `vertices_by_coreness()` is a permutation of `V`
+///    strictly sorted by `(coreness, id)`.
+/// 3. **shell partition**: concatenating `shell(0) ... shell(kmax)`
+///    reproduces the rank order exactly, and every `shell(k)` member has
+///    coreness `k`.
+/// 4. **suffix property**: `core_set_vertices(k)` is precisely the suffix
+///    of the rank order holding all vertices with coreness ≥ k.
+/// 5. **kmax**: equals the maximum coreness (0 on empty graphs).
+/// 6. **degeneracy peel order**: `peel_ordering()` is a permutation in
+///    which every vertex has at most `c(v)` neighbors appearing later.
+pub fn verify_decomposition(g: &CsrGraph, d: &CoreDecomposition) -> VerifyResult {
+    let n = g.num_vertices();
+    if d.num_vertices() != n {
+        return Err(VerifyError::new(
+            "core.vertex-count",
+            format!(
+                "decomposition covers {} vertices, graph has {n}",
+                d.num_vertices()
+            ),
+        ));
+    }
+
+    // 1. h-index fixpoint.
+    let mut scratch: Vec<u32> = Vec::new();
+    for v in g.vertices() {
+        scratch.clear();
+        scratch.extend(g.neighbors(v).iter().map(|&u| d.coreness(u)));
+        let h = h_index(&mut scratch);
+        if h != d.coreness(v) {
+            return Err(VerifyError::new(
+                "core.hindex-fixpoint",
+                format!("H(N({v})) = {h} but c({v}) = {}", d.coreness(v)),
+            ));
+        }
+    }
+
+    // 5. kmax (checked early so later clauses may trust it).
+    let true_kmax = g.vertices().map(|v| d.coreness(v)).max().unwrap_or(0);
+    if d.kmax() != true_kmax {
+        return Err(VerifyError::new(
+            "core.kmax",
+            format!("kmax() = {} but max coreness = {true_kmax}", d.kmax()),
+        ));
+    }
+
+    // 2. rank order: strictly sorted permutation.
+    let order = d.vertices_by_coreness();
+    if order.len() != n {
+        return Err(VerifyError::new(
+            "core.rank-order-permutation",
+            format!("rank order has {} entries for {n} vertices", order.len()),
+        ));
+    }
+    let mut seen = vec![false; n];
+    for &v in order {
+        if (v as usize) >= n || seen[v as usize] {
+            return Err(VerifyError::new(
+                "core.rank-order-permutation",
+                format!("vertex {v} out of range or repeated in rank order"),
+            ));
+        }
+        seen[v as usize] = true;
+    }
+    for w in order.windows(2) {
+        let key = |v: u32| (d.coreness(v), v);
+        if key(w[0]) >= key(w[1]) {
+            return Err(VerifyError::new(
+                "core.rank-order-sorted",
+                format!(
+                    "rank order not strictly (coreness, id)-sorted at {} -> {}",
+                    w[0], w[1]
+                ),
+            ));
+        }
+    }
+
+    // 3. shell partition.
+    let mut rebuilt: Vec<u32> = Vec::with_capacity(n);
+    for k in 0..=d.kmax() {
+        for &v in d.shell(k) {
+            if d.coreness(v) != k {
+                return Err(VerifyError::new(
+                    "core.shell-membership",
+                    format!(
+                        "vertex {v} with coreness {} listed in shell {k}",
+                        d.coreness(v)
+                    ),
+                ));
+            }
+            rebuilt.push(v);
+        }
+    }
+    if rebuilt != order {
+        return Err(VerifyError::new(
+            "core.shell-partition",
+            "concatenated shells do not reproduce the rank order".to_string(),
+        ));
+    }
+
+    // 4. suffix property.
+    for k in 0..=d.kmax() {
+        let suffix = d.core_set_vertices(k);
+        let expect = order.len() - order.partition_point(|&v| d.coreness(v) < k);
+        if suffix.len() != expect {
+            return Err(VerifyError::new(
+                "core.suffix",
+                format!("C_{k} holds {} vertices, want {expect}", suffix.len()),
+            ));
+        }
+        if !suffix.is_empty() && suffix != &order[order.len() - suffix.len()..] {
+            return Err(VerifyError::new(
+                "core.suffix",
+                format!("C_{k} is not the rank-order suffix"),
+            ));
+        }
+    }
+
+    // 6. peel order: permutation + degeneracy bound.
+    let peel = d.peel_ordering();
+    if peel.len() != n {
+        return Err(VerifyError::new(
+            "core.peel-permutation",
+            format!("peel order has {} entries for {n} vertices", peel.len()),
+        ));
+    }
+    let mut position = vec![usize::MAX; n];
+    for (i, &v) in peel.iter().enumerate() {
+        if (v as usize) >= n || position[v as usize] != usize::MAX {
+            return Err(VerifyError::new(
+                "core.peel-permutation",
+                format!("vertex {v} out of range or repeated in peel order"),
+            ));
+        }
+        position[v as usize] = i;
+    }
+    for v in g.vertices() {
+        let later = g
+            .neighbors(v)
+            .iter()
+            .filter(|&&u| position[u as usize] > position[v as usize])
+            .count();
+        if later > d.coreness(v) as usize {
+            return Err(VerifyError::new(
+                "core.peel-degeneracy",
+                format!(
+                    "vertex {v} has {later} later neighbors but coreness {}",
+                    d.coreness(v)
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Verifies a best-k-core-set answer by replaying the §III-A baseline:
+/// recompute every k-core set's primaries from scratch, rescore them, and
+/// check that the claimed `k` attains the maximum (largest-k tie-break)
+/// and the claimed score matches the recomputation.
+///
+/// `O(Σ_k |C_k|)` time (plus triangle recounts for triangle metrics) — an
+/// oracle for tests and `--verify` runs, not a production path.
+pub fn verify_best_core_set<M: CommunityMetric + ?Sized>(
+    g: &CsrGraph,
+    metric: &M,
+    claimed: &BestKSet,
+) -> VerifyResult {
+    let d = crate::core_decomposition(g);
+    let primaries = baseline_core_set_primaries(g, &d, metric.needs_triangles());
+    let ctx = GraphContext {
+        total_vertices: g.num_vertices() as u64,
+        total_edges: g.num_edges() as u64,
+    };
+    let scores: Vec<f64> = primaries.iter().map(|pv| metric.score(pv, &ctx)).collect();
+    match best_k(&scores) {
+        None => Err(VerifyError::new(
+            "bestk.set-exists",
+            format!("claimed best k = {} but every score is NaN", claimed.k),
+        )),
+        Some((k, score)) => {
+            if k != claimed.k {
+                return Err(VerifyError::new(
+                    "bestk.set-argmax",
+                    format!(
+                        "claimed best k = {} (score {}), baseline says k = {k} (score {score})",
+                        claimed.k, claimed.score
+                    ),
+                ));
+            }
+            if !scores_match(score, claimed.score) {
+                return Err(VerifyError::new(
+                    "bestk.set-score",
+                    format!(
+                        "score at k = {k}: claimed {}, baseline {score}",
+                        claimed.score
+                    ),
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Verifies a best-single-k-core answer against the §IV-B baseline: every
+/// distinct connected k-core is re-materialized and rescored from scratch;
+/// the claimed score must equal the best of them (and the claimed `k` must
+/// attain it).
+pub fn verify_best_single_core<M: CommunityMetric + ?Sized>(
+    g: &CsrGraph,
+    metric: &M,
+    claimed: &BestCore,
+) -> VerifyResult {
+    let d = crate::core_decomposition(g);
+    let cores = baseline_single_core_primaries(g, &d, metric.needs_triangles());
+    let ctx = GraphContext {
+        total_vertices: g.num_vertices() as u64,
+        total_edges: g.num_edges() as u64,
+    };
+    let mut best: Option<(u32, f64)> = None;
+    for (k, pv) in &cores {
+        let s = metric.score(pv, &ctx);
+        if !s.is_nan() && best.is_none_or(|(_, bs)| s > bs) {
+            best = Some((*k, s));
+        }
+    }
+    match best {
+        None => Err(VerifyError::new(
+            "bestk.core-exists",
+            format!(
+                "claimed best core at k = {} but every score is NaN",
+                claimed.k
+            ),
+        )),
+        Some((_, score)) => {
+            if !scores_match(score, claimed.score) {
+                return Err(VerifyError::new(
+                    "bestk.core-score",
+                    format!(
+                        "claimed best score {}, baseline best {score}",
+                        claimed.score
+                    ),
+                ));
+            }
+            let attains = cores.iter().any(|(k, pv)| {
+                *k == claimed.k && scores_match(metric.score(pv, &ctx), claimed.score)
+            });
+            if !attains {
+                return Err(VerifyError::new(
+                    "bestk.core-argmax",
+                    format!(
+                        "no k = {} core attains the claimed score {}",
+                        claimed.k, claimed.score
+                    ),
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Float comparison for recomputed scores: exact for infinities, tight
+/// relative tolerance otherwise (both sides are short sums over the same
+/// integer primaries, so only rounding-order noise is admissible).
+fn scores_match(a: f64, b: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, core_decomposition, Metric};
+    use bestk_graph::generators;
+
+    #[test]
+    fn honest_decompositions_pass() {
+        for g in [
+            generators::paper_figure2(),
+            generators::erdos_renyi_gnm(120, 420, 3),
+            bestk_graph::CsrGraph::empty(4),
+            bestk_graph::CsrGraph::empty(0),
+        ] {
+            let d = core_decomposition(&g);
+            verify_decomposition(&g, &d).unwrap();
+        }
+    }
+
+    #[test]
+    fn doctored_coreness_fails_fixpoint() {
+        // A decomposition computed for a *different* 12-vertex graph: its
+        // coreness array cannot satisfy figure 2's h-index fixpoint.
+        let g = generators::paper_figure2();
+        let d = core_decomposition(&generators::erdos_renyi_gnm(12, 30, 1));
+        let err = verify_decomposition(&g, &d).unwrap_err();
+        assert!(
+            err.invariant.starts_with("core."),
+            "expected a core.* violation, got {err}"
+        );
+    }
+
+    #[test]
+    fn best_set_answers_verify() {
+        let g = generators::paper_figure2();
+        let a = analyze(&g);
+        for m in Metric::EXTENDED {
+            if let Some(best) = a.best_core_set(&m) {
+                verify_best_core_set(&g, &m, &best).unwrap();
+            }
+            if let Some(best) = a.best_single_core(&m) {
+                verify_best_single_core(&g, &m, &best).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_best_k_is_rejected() {
+        let g = generators::paper_figure2();
+        let a = analyze(&g);
+        let mut best = a.best_core_set(&Metric::AverageDegree).unwrap();
+        best.k += 1;
+        let err = verify_best_core_set(&g, &Metric::AverageDegree, &best).unwrap_err();
+        assert!(err.invariant.starts_with("bestk."), "{err}");
+    }
+
+    #[test]
+    fn wrong_best_score_is_rejected() {
+        let g = generators::paper_figure2();
+        let a = analyze(&g);
+        let mut best = a.best_single_core(&Metric::InternalDensity).unwrap();
+        best.score += 0.5;
+        let err = verify_best_single_core(&g, &Metric::InternalDensity, &best).unwrap_err();
+        assert!(err.invariant.starts_with("bestk."), "{err}");
+    }
+}

@@ -15,6 +15,7 @@
 //! (weighted average degree, weighted conductance, weighted modularity, …)
 //! scores unchanged.
 
+use bestk_graph::cast;
 use bestk_graph::weighted::WeightedCsrGraph;
 use bestk_graph::VertexId;
 
@@ -84,11 +85,13 @@ pub fn weighted_core_decomposition(g: &WeightedCsrGraph) -> WeightedCoreDecompos
             level_start: vec![0],
         };
     }
-    let mut wdeg: Vec<u64> = (0..n).map(|v| g.weighted_degree(v as VertexId)).collect();
+    let mut wdeg: Vec<u64> = (0..n)
+        .map(|v| g.weighted_degree(cast::vertex_id(v)))
+        .collect();
     let max_wdeg = wdeg.iter().copied().max().unwrap_or(0) as usize;
     let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); max_wdeg + 1];
     for v in 0..n {
-        buckets[wdeg[v] as usize].push(v as VertexId);
+        buckets[wdeg[v] as usize].push(cast::vertex_id(v));
     }
     let mut processed = vec![false; n];
     let mut score = vec![0u64; n];
@@ -101,9 +104,10 @@ pub fn weighted_core_decomposition(g: &WeightedCsrGraph) -> WeightedCoreDecompos
             while cur < buckets.len() && buckets[cur].is_empty() {
                 cur += 1;
             }
-            let cand = buckets[cur].pop().expect("non-empty bucket");
-            if !processed[cand as usize] && wdeg[cand as usize] as usize == cur {
-                break cand;
+            if let Some(cand) = buckets[cur].pop() {
+                if !processed[cand as usize] && wdeg[cand as usize] as usize == cur {
+                    break cand;
+                }
             }
         };
         processed[v as usize] = true;
@@ -125,7 +129,9 @@ pub fn weighted_core_decomposition(g: &WeightedCsrGraph) -> WeightedCoreDecompos
     let mut levels: Vec<u64> = score.clone();
     levels.sort_unstable();
     levels.dedup();
-    let level_index = |s: u64| levels.binary_search(&s).expect("level present");
+    // Every queried s appears in `levels` (it is the sorted-deduped score
+    // list), so the partition point is s's own index.
+    let level_index = |s: u64| levels.partition_point(|&x| x < s);
     let mut counts = vec![0usize; levels.len() + 1];
     for &s in &score {
         counts[level_index(s) + 1] += 1;
@@ -134,14 +140,20 @@ pub fn weighted_core_decomposition(g: &WeightedCsrGraph) -> WeightedCoreDecompos
         counts[i + 1] += counts[i];
     }
     let level_start = counts.clone();
-    let mut order = vec![0 as VertexId; n];
+    let mut order: Vec<VertexId> = vec![0; n];
     let mut cursor = counts;
     for (v, &s) in score.iter().enumerate() {
         let i = level_index(s);
-        order[cursor[i]] = v as VertexId;
+        order[cursor[i]] = cast::vertex_id(v);
         cursor[i] += 1;
     }
-    WeightedCoreDecomposition { score, smax, levels, order, level_start }
+    WeightedCoreDecomposition {
+        score,
+        smax,
+        levels,
+        order,
+        level_start,
+    }
 }
 
 /// Per-level primaries of every s-core set. `primaries[i]` corresponds to
@@ -168,7 +180,10 @@ impl WeightedCoreSetProfile {
             !metric.needs_triangles(),
             "triangle-based metrics are not supported on weighted profiles"
         );
-        self.primaries.iter().map(|pv| metric.score(pv, &self.context)).collect()
+        self.primaries
+            .iter()
+            .map(|pv| metric.score(pv, &self.context))
+            .collect()
     }
 
     /// The best s (ties to the largest s) and its score.
@@ -196,7 +211,7 @@ pub fn weighted_core_set_profile(
     let mut w_lt = vec![0u64; n];
     let mut w_eq = vec![0u64; n];
     let mut w_gt = vec![0u64; n];
-    for v in 0..n as VertexId {
+    for v in 0..cast::vertex_id(n) {
         let sv = d.score(v);
         for (u, w) in g.neighbors_with_weights(v) {
             let su = d.score(u);
@@ -274,7 +289,10 @@ mod tests {
         let up = crate::bestkset::core_set_primaries(&o);
         for (i, &level) in wp.levels.iter().enumerate() {
             let k = level as usize;
-            assert_eq!(wp.primaries[i].num_vertices, up[k].num_vertices, "level {level}");
+            assert_eq!(
+                wp.primaries[i].num_vertices, up[k].num_vertices,
+                "level {level}"
+            );
             assert_eq!(wp.primaries[i].internal_edges, up[k].internal_edges);
             assert_eq!(wp.primaries[i].boundary_edges, up[k].boundary_edges);
         }

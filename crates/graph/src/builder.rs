@@ -1,5 +1,6 @@
 //! Linear-time construction of [`CsrGraph`] from edge streams.
 
+use crate::cast;
 use std::collections::HashMap;
 
 use crate::csr::{CsrGraph, VertexId};
@@ -45,7 +46,10 @@ impl GraphBuilder {
 
     /// A builder expecting roughly `m` edges (pre-sizes the edge buffer).
     pub fn with_capacity(m: usize) -> Self {
-        GraphBuilder { edges: Vec::with_capacity(m), min_vertices: 0 }
+        GraphBuilder {
+            edges: Vec::with_capacity(m),
+            min_vertices: 0,
+        }
     }
 
     /// Ensures the built graph has at least `n` vertices even if some of them
@@ -119,7 +123,7 @@ fn build_csr(n: usize, mut edges: Vec<(VertexId, VertexId)>) -> CsrGraph {
         offsets.push(acc);
     }
     let mut cursor = offsets.clone();
-    let mut neighbors = vec![0 as VertexId; acc];
+    let mut neighbors: Vec<VertexId> = vec![0; acc];
     for &(u, v) in &edges {
         neighbors[cursor[u as usize]] = v;
         cursor[u as usize] += 1;
@@ -162,7 +166,9 @@ fn counting_sort_by<T: Copy>(items: Vec<T>, buckets: usize, key: impl Fn(&T) -> 
 /// (e.g. raw SNAP vertex ids), remapping ids densely in first-seen order.
 ///
 /// Returns the graph together with the mapping `dense id -> original id`.
-pub fn build_relabeled(edges: impl IntoIterator<Item = (u64, u64)>) -> Result<(CsrGraph, Vec<u64>), GraphError> {
+pub fn build_relabeled(
+    edges: impl IntoIterator<Item = (u64, u64)>,
+) -> Result<(CsrGraph, Vec<u64>), GraphError> {
     let mut map: HashMap<u64, VertexId> = HashMap::new();
     let mut original: Vec<u64> = Vec::new();
     let mut b = GraphBuilder::new();
@@ -175,7 +181,7 @@ pub fn build_relabeled(edges: impl IntoIterator<Item = (u64, u64)>) -> Result<(C
             if next > u32::MAX as usize {
                 return Err(GraphError::TooManyVertices(next as u64 + 1));
             }
-            let id = next as VertexId;
+            let id = cast::vertex_id(next);
             map.insert(x, id);
             original.push(x);
             Ok(id)

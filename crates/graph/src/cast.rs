@@ -1,0 +1,67 @@
+//! Blessed narrowing-cast helpers — the only module where raw truncating
+//! `as` casts are allowed (enforced by `bestk-analyze`'s `no-raw-cast`
+//! lint; see `DESIGN.md` §"Lint policy").
+//!
+//! The workspace stores vertex and edge ids as `u32` but indexes slices
+//! with `usize`, so `usize → u32` narrowing is pervasive. A bare `as`
+//! silently wraps on overflow; every helper here instead `debug_assert!`s
+//! that the value fits, so property tests and debug builds catch an
+//! overflow at its source while release builds keep the cast free.
+//!
+//! Graphs with ≥ 2³² vertices or edges are out of scope by construction
+//! (`GraphBuilder` works in `u32` ids from the start), which is what makes
+//! the debug-only check sufficient.
+
+use crate::VertexId;
+
+/// Converts a `usize` vertex index (e.g. a loop counter over
+/// `0..g.num_vertices()`) into a [`VertexId`].
+#[inline]
+pub fn vertex_id(i: usize) -> VertexId {
+    debug_assert!(u32::try_from(i).is_ok(), "vertex index {i} overflows u32");
+    i as VertexId
+}
+
+/// Converts a `usize` count, position, level, or dense id (edge ids,
+/// forest-node ids, bucket levels, …) into a `u32`.
+#[inline]
+pub fn u32_of(i: usize) -> u32 {
+    debug_assert!(u32::try_from(i).is_ok(), "count {i} overflows u32");
+    i as u32
+}
+
+/// Narrows a `u64` already known to be below `2³²` (typically an RNG draw
+/// bounded by `next_below`) into a `u32`.
+#[inline]
+pub fn u32_from_u64(x: u64) -> u32 {
+    debug_assert!(u32::try_from(x).is_ok(), "value {x} overflows u32");
+    x as u32
+}
+
+/// Extracts the low byte of a `u64` — an *intentional* truncation (bit
+/// masking), kept here so the call site documents itself.
+#[inline]
+pub fn low_byte(x: u64) -> u8 {
+    (x & 0xFF) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_values_round_trip() {
+        assert_eq!(vertex_id(0), 0);
+        assert_eq!(vertex_id(u32::MAX as usize), u32::MAX);
+        assert_eq!(u32_of(123_456), 123_456);
+        assert_eq!(u32_from_u64(7), 7);
+        assert_eq!(low_byte(0x1FF), 0xFF);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u32")]
+    #[cfg(debug_assertions)]
+    fn overflow_is_caught_in_debug() {
+        vertex_id(u32::MAX as usize + 1);
+    }
+}

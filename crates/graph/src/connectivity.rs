@@ -5,6 +5,7 @@
 //! routines. Everything is iterative (no recursion) and allocation-bounded by
 //! `O(n)`.
 
+use crate::cast;
 use crate::csr::{CsrGraph, VertexId};
 
 /// The decomposition of a graph into connected components.
@@ -21,7 +22,7 @@ impl ConnectedComponents {
     pub fn groups(&self) -> Vec<Vec<VertexId>> {
         let mut groups = vec![Vec::new(); self.count];
         for (v, &c) in self.component.iter().enumerate() {
-            groups[c as usize].push(v as VertexId);
+            groups[c as usize].push(cast::vertex_id(v));
         }
         groups
     }
@@ -53,7 +54,7 @@ pub fn connected_components(g: &CsrGraph) -> ConnectedComponents {
             continue;
         }
         component[s] = count;
-        queue.push(s as VertexId);
+        queue.push(cast::vertex_id(s));
         while let Some(v) = queue.pop() {
             for &u in g.neighbors(v) {
                 if component[u as usize] == u32::MAX {
@@ -64,7 +65,10 @@ pub fn connected_components(g: &CsrGraph) -> ConnectedComponents {
         }
         count += 1;
     }
-    ConnectedComponents { component, count: count as usize }
+    ConnectedComponents {
+        component,
+        count: count as usize,
+    }
 }
 
 /// BFS from `source` restricted to vertices for which `allowed` returns true.

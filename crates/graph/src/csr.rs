@@ -1,5 +1,7 @@
 //! Compressed-sparse-row storage for undirected simple graphs.
 
+use crate::cast;
+
 /// Vertex identifier.
 ///
 /// The whole workspace uses dense `u32` ids: the paper's algorithms index
@@ -40,7 +42,7 @@ impl CsrGraph {
         assert!(!offsets.is_empty(), "offsets must have length n + 1 >= 1");
         assert_eq!(offsets[0], 0, "offsets[0] must be 0");
         assert_eq!(
-            *offsets.last().unwrap(),
+            offsets.last().copied().unwrap_or(0),
             neighbors.len(),
             "offsets must end at neighbors.len()"
         );
@@ -58,7 +60,10 @@ impl CsrGraph {
 
     /// An empty graph with `n` isolated vertices.
     pub fn empty(n: usize) -> Self {
-        CsrGraph { offsets: vec![0; n + 1], neighbors: Vec::new() }
+        CsrGraph {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+        }
     }
 
     /// Number of vertices `n`.
@@ -95,19 +100,27 @@ impl CsrGraph {
         if u == v {
             return false;
         }
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(a).binary_search(&b).is_ok()
     }
 
     /// Iterator over all vertices `0..n`.
     #[inline]
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        0..self.num_vertices() as VertexId
+        0..cast::vertex_id(self.num_vertices())
     }
 
     /// Iterator over each undirected edge exactly once, as `(u, v)` with `u < v`.
     pub fn edges(&self) -> EdgeIter<'_> {
-        EdgeIter { graph: self, vertex: 0, pos: 0 }
+        EdgeIter {
+            graph: self,
+            vertex: 0,
+            pos: 0,
+        }
     }
 
     /// The raw offset array (length `n + 1`).
@@ -190,7 +203,7 @@ impl Iterator for EdgeIter<'_> {
         while self.vertex < n {
             let end = g.offsets[self.vertex + 1];
             while self.pos < end {
-                let u = self.vertex as VertexId;
+                let u = cast::vertex_id(self.vertex);
                 let v = g.neighbors[self.pos];
                 self.pos += 1;
                 if u < v {
@@ -285,7 +298,10 @@ mod tests {
     #[test]
     fn validate_detects_asymmetry() {
         // Hand-built broken CSR: 0 -> 1 but not 1 -> 0.
-        let g = CsrGraph { offsets: vec![0, 1, 1], neighbors: vec![1] };
+        let g = CsrGraph {
+            offsets: vec![0, 1, 1],
+            neighbors: vec![1],
+        };
         assert!(g.validate().is_err());
     }
 

@@ -31,7 +31,10 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
                 f,
                 "vertex id {vertex} out of range for graph with {num_vertices} vertices"
             ),
@@ -68,14 +71,20 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GraphError::VertexOutOfRange { vertex: 9, num_vertices: 4 };
+        let e = GraphError::VertexOutOfRange {
+            vertex: 9,
+            num_vertices: 4,
+        };
         assert!(e.to_string().contains("vertex id 9"));
         assert!(e.to_string().contains("4 vertices"));
 
         let e = GraphError::TooManyVertices(1 << 40);
         assert!(e.to_string().contains("u32"));
 
-        let e = GraphError::Parse { line: 3, message: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 3"));
 
         let e = GraphError::BadBinaryFormat("wrong magic".into());

@@ -6,6 +6,7 @@
 //! that stand in for Hollywood / Human-Jung in Table III.
 
 use crate::builder::GraphBuilder;
+use crate::cast;
 use crate::csr::{CsrGraph, VertexId};
 use crate::rng::Xoshiro256;
 
@@ -32,8 +33,8 @@ pub fn planted_partition(sizes: &[usize], p_in: f64, p_out: f64, seed: u64) -> P
     let mut communities = Vec::with_capacity(sizes.len());
     let mut start = 0usize;
     for (c, &s) in sizes.iter().enumerate() {
-        membership.extend(std::iter::repeat_n(c as u32, s));
-        communities.push((start as VertexId..(start + s) as VertexId).collect());
+        membership.extend(std::iter::repeat_n(cast::u32_of(c), s));
+        communities.push((cast::vertex_id(start)..cast::vertex_id(start + s)).collect());
         start += s;
     }
     let mut rng = Xoshiro256::seed_from_u64(seed);
@@ -53,18 +54,25 @@ pub fn planted_partition(sizes: &[usize], p_in: f64, p_out: f64, seed: u64) -> P
     for (bi, &s) in sizes.iter().enumerate() {
         let base = starts[bi];
         sample_pairs_within(&mut rng, s, p_in, |u, v| {
-            b.add_edge((base + u) as VertexId, (base + v) as VertexId);
+            b.add_edge(cast::vertex_id(base + u), cast::vertex_id(base + v));
         });
     }
     // Inter-block edges, per ordered block pair.
     for bi in 0..sizes.len() {
         for bj in (bi + 1)..sizes.len() {
             sample_bipartite(&mut rng, sizes[bi], sizes[bj], p_out, |u, v| {
-                b.add_edge((starts[bi] + u) as VertexId, (starts[bj] + v) as VertexId);
+                b.add_edge(
+                    cast::vertex_id(starts[bi] + u),
+                    cast::vertex_id(starts[bj] + v),
+                );
             });
         }
     }
-    PlantedPartition { graph: b.build(), membership, communities }
+    PlantedPartition {
+        graph: b.build(),
+        membership,
+        communities,
+    }
 }
 
 /// Geometric-skip sampling of unordered pairs within `0..s`.
@@ -158,7 +166,7 @@ pub fn overlapping_cliques(
         while members.len() < size {
             let r = rng.next_f64();
             let v = ((r * r) * n as f64) as usize;
-            let v = v.min(n - 1) as VertexId;
+            let v = cast::vertex_id(v.min(n - 1));
             if !members.contains(&v) {
                 members.push(v);
             }
@@ -197,7 +205,10 @@ mod tests {
         let internal = induced_edge_count(&pp.graph, c0);
         let boundary = boundary_edge_count(&pp.graph, c0);
         // Expected internal ~ 0.4 * C(50,2) = 490; boundary ~ 0.02 * 2500 = 50.
-        assert!(internal > 5 * boundary, "internal {internal}, boundary {boundary}");
+        assert!(
+            internal > 5 * boundary,
+            "internal {internal}, boundary {boundary}"
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Random-graph families: Erdős–Rényi, Chung–Lu, Barabási–Albert, R-MAT.
 
 use crate::builder::GraphBuilder;
+use crate::cast;
 use crate::csr::{CsrGraph, VertexId};
 use crate::rng::Xoshiro256;
 
@@ -18,8 +19,8 @@ pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
     let mut b = GraphBuilder::with_capacity(m);
     b.reserve_vertices(n);
     while seen.len() < m {
-        let u = rng.next_index(n) as VertexId;
-        let v = rng.next_index(n) as VertexId;
+        let u = cast::vertex_id(rng.next_index(n));
+        let v = cast::vertex_id(rng.next_index(n));
         if u == v {
             continue;
         }
@@ -43,8 +44,8 @@ pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
         return b.build();
     }
     if p >= 1.0 {
-        for u in 0..n as VertexId {
-            for v in (u + 1)..n as VertexId {
+        for u in 0..cast::vertex_id(n) {
+            for v in (u + 1)..cast::vertex_id(n) {
                 b.add_edge(u, v);
             }
         }
@@ -65,7 +66,7 @@ pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
             v += 1;
         }
         if v < n {
-            b.add_edge(w as VertexId, v as VertexId);
+            b.add_edge(cast::vertex_id(w as usize), cast::vertex_id(v));
         }
     }
     b.build()
@@ -123,7 +124,7 @@ pub fn chung_lu_power_law(n: usize, avg_degree: f64, gamma: f64, seed: u64) -> C
             }
             let p = (weights[u] * weights[v] / total_w).min(1.0);
             if rng.next_bool(p / q) {
-                b.add_edge(u as VertexId, v as VertexId);
+                b.add_edge(cast::vertex_id(u), cast::vertex_id(v));
             }
             v += 1;
         }
@@ -146,8 +147,8 @@ pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> CsrGraph {
     // element of it is exactly degree-proportional sampling.
     let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * attach);
     let seedsize = attach + 1;
-    for u in 0..seedsize as VertexId {
-        for v in (u + 1)..seedsize as VertexId {
+    for u in 0..cast::vertex_id(seedsize) {
+        for v in (u + 1)..cast::vertex_id(seedsize) {
             b.add_edge(u, v);
             endpoints.push(u);
             endpoints.push(v);
@@ -164,8 +165,8 @@ pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> CsrGraph {
             }
         }
         for &t in &picked {
-            b.add_edge(u as VertexId, t);
-            endpoints.push(u as VertexId);
+            b.add_edge(cast::vertex_id(u), t);
+            endpoints.push(cast::vertex_id(u));
             endpoints.push(t);
         }
     }
@@ -182,7 +183,10 @@ pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> CsrGraph {
 /// pairs, which the builder collapses, so `m ≤ n·k/2`.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
     assert!(n <= u32::MAX as usize, "n exceeds u32 id space");
-    assert!(k.is_multiple_of(2), "k must be even (k/2 neighbors per side)");
+    assert!(
+        k.is_multiple_of(2),
+        "k must be even (k/2 neighbors per side)"
+    );
     assert!(k < n, "lattice degree must be below n");
     assert!((0.0..=1.0).contains(&beta));
     let mut rng = Xoshiro256::seed_from_u64(seed);
@@ -197,9 +201,9 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
                 while t == v {
                     t = rng.next_index(n);
                 }
-                b.add_edge(v as VertexId, t as VertexId);
+                b.add_edge(cast::vertex_id(v), cast::vertex_id(t));
             } else {
-                b.add_edge(v as VertexId, u as VertexId);
+                b.add_edge(cast::vertex_id(v), cast::vertex_id(u));
             }
         }
     }
@@ -216,7 +220,10 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
 pub fn rmat(scale: u32, edge_factor: usize, a: f64, b_: f64, c: f64, seed: u64) -> CsrGraph {
     assert!(scale < 31, "scale must keep ids within u32");
     let d = 1.0 - a - b_ - c;
-    assert!(a >= 0.0 && b_ >= 0.0 && c >= 0.0 && d >= -1e-9, "probabilities must sum to <= 1");
+    assert!(
+        a >= 0.0 && b_ >= 0.0 && c >= 0.0 && d >= -1e-9,
+        "probabilities must sum to <= 1"
+    );
     let n = 1usize << scale;
     let m = edge_factor * n;
     let mut rng = Xoshiro256::seed_from_u64(seed);
@@ -239,7 +246,7 @@ pub fn rmat(scale: u32, edge_factor: usize, a: f64, b_: f64, c: f64, seed: u64) 
                 v |= 1;
             }
         }
-        builder.add_edge(u as VertexId, v as VertexId);
+        builder.add_edge(cast::vertex_id(u), cast::vertex_id(v));
     }
     builder.build()
 }
@@ -275,7 +282,10 @@ mod tests {
         let g = erdos_renyi_gnp(n, p, 17);
         let expected = p * (n * (n - 1) / 2) as f64;
         let got = g.num_edges() as f64;
-        assert!((got - expected).abs() < expected * 0.2, "got {got}, expected ~{expected}");
+        assert!(
+            (got - expected).abs() < expected * 0.2,
+            "got {got}, expected ~{expected}"
+        );
         assert!(g.validate().is_ok());
     }
 
@@ -332,7 +342,10 @@ mod tests {
 
     #[test]
     fn rmat_deterministic() {
-        assert_eq!(rmat(8, 4, 0.57, 0.19, 0.19, 1), rmat(8, 4, 0.57, 0.19, 0.19, 1));
+        assert_eq!(
+            rmat(8, 4, 0.57, 0.19, 0.19, 1),
+            rmat(8, 4, 0.57, 0.19, 0.19, 1)
+        );
     }
 
     #[test]
@@ -372,7 +385,13 @@ mod tests {
 
     #[test]
     fn watts_strogatz_deterministic() {
-        assert_eq!(watts_strogatz(100, 6, 0.2, 9), watts_strogatz(100, 6, 0.2, 9));
-        assert_ne!(watts_strogatz(100, 6, 0.2, 9), watts_strogatz(100, 6, 0.2, 10));
+        assert_eq!(
+            watts_strogatz(100, 6, 0.2, 9),
+            watts_strogatz(100, 6, 0.2, 9)
+        );
+        assert_ne!(
+            watts_strogatz(100, 6, 0.2, 9),
+            watts_strogatz(100, 6, 0.2, 10)
+        );
     }
 }

@@ -1,7 +1,8 @@
 //! Deterministic structured graphs used as fixtures and edge cases.
 
 use crate::builder::GraphBuilder;
-use crate::csr::{CsrGraph, VertexId};
+use crate::cast;
+use crate::csr::CsrGraph;
 
 /// Complete graph `K_n`.
 pub fn complete(n: usize) -> CsrGraph {
@@ -9,7 +10,7 @@ pub fn complete(n: usize) -> CsrGraph {
     b.reserve_vertices(n);
     for u in 0..n {
         for v in (u + 1)..n {
-            b.add_edge(u as VertexId, v as VertexId);
+            b.add_edge(cast::vertex_id(u), cast::vertex_id(v));
         }
     }
     b.build()
@@ -21,7 +22,7 @@ pub fn cycle(n: usize) -> CsrGraph {
     b.reserve_vertices(n);
     if n >= 3 {
         for v in 0..n {
-            b.add_edge(v as VertexId, ((v + 1) % n) as VertexId);
+            b.add_edge(cast::vertex_id(v), cast::vertex_id((v + 1) % n));
         }
     }
     b.build()
@@ -32,7 +33,7 @@ pub fn path(n: usize) -> CsrGraph {
     let mut b = GraphBuilder::new();
     b.reserve_vertices(n);
     for v in 1..n {
-        b.add_edge((v - 1) as VertexId, v as VertexId);
+        b.add_edge(cast::vertex_id(v - 1), cast::vertex_id(v));
     }
     b.build()
 }
@@ -42,7 +43,7 @@ pub fn star(leaves: usize) -> CsrGraph {
     let mut b = GraphBuilder::new();
     b.reserve_vertices(leaves + 1);
     for v in 1..=leaves {
-        b.add_edge(0, v as VertexId);
+        b.add_edge(0, cast::vertex_id(v));
     }
     b.build()
 }
@@ -51,7 +52,7 @@ pub fn star(leaves: usize) -> CsrGraph {
 pub fn grid(w: usize, h: usize) -> CsrGraph {
     let mut b = GraphBuilder::new();
     b.reserve_vertices(w * h);
-    let id = |x: usize, y: usize| (y * w + x) as VertexId;
+    let id = |x: usize, y: usize| cast::vertex_id(y * w + x);
     for y in 0..h {
         for x in 0..w {
             if x + 1 < w {
@@ -76,12 +77,12 @@ pub fn clique_chain(count: usize, size: usize) -> CsrGraph {
         let base = c * size;
         for u in 0..size {
             for v in (u + 1)..size {
-                b.add_edge((base + u) as VertexId, (base + v) as VertexId);
+                b.add_edge(cast::vertex_id(base + u), cast::vertex_id(base + v));
             }
         }
         if c > 0 {
             // Bridge from the last vertex of the previous clique.
-            b.add_edge((base - 1) as VertexId, base as VertexId);
+            b.add_edge(cast::vertex_id(base - 1), cast::vertex_id(base));
         }
     }
     b.build()

@@ -51,7 +51,12 @@ pub fn read_edge_list_path<P: AsRef<Path>>(path: P) -> Result<(CsrGraph, Vec<u64
 /// Writes the graph as a text edge list (each undirected edge once, `u < v`).
 pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# bestk edge list: n={} m={}", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# bestk edge list: n={} m={}",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(w, "{u}\t{v}")?;
     }
@@ -130,7 +135,11 @@ mod tests {
             .edges()
             .map(|(u, v)| {
                 let (a, b) = (orig[u as usize] as u32, orig[v as usize] as u32);
-                if a < b { (a, b) } else { (b, a) }
+                if a < b {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
             })
             .collect();
         original_edges.sort_unstable();

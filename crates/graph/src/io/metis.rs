@@ -6,6 +6,7 @@
 //! (`fmt` absent or `0`/`00`/`000`) is supported; weighted headers are
 //! rejected with a clear error rather than silently misread.
 
+use crate::cast;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -22,7 +23,10 @@ pub fn read_metis<R: Read>(reader: R) -> Result<CsrGraph> {
     let (header_lineno, header) = loop {
         match lines.next() {
             None => {
-                return Err(GraphError::Parse { line: 1, message: "missing header".into() })
+                return Err(GraphError::Parse {
+                    line: 1,
+                    message: "missing header".into(),
+                })
             }
             Some((i, line)) => {
                 let line = line?;
@@ -87,7 +91,7 @@ pub fn read_metis<R: Read>(reader: R) -> Result<CsrGraph> {
                     message: format!("neighbor {nbr} out of range 1..={n}"),
                 });
             }
-            b.add_edge(vertex, (nbr - 1) as u32);
+            b.add_edge(vertex, cast::u32_from_u64(nbr - 1));
         }
         vertex += 1;
     }

@@ -18,5 +18,5 @@ pub mod metis;
 
 pub use binary::{read_binary, read_binary_path, write_binary, write_binary_path};
 pub use dot::{write_dot, write_dot_path};
-pub use metis::{read_metis, read_metis_path, write_metis, write_metis_path};
 pub use edgelist::{read_edge_list, read_edge_list_path, write_edge_list, write_edge_list_path};
+pub use metis::{read_metis, read_metis_path, write_metis, write_metis_path};

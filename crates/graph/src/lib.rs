@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 
 mod builder;
+pub mod cast;
 pub mod connectivity;
 mod csr;
 mod error;
@@ -46,7 +47,9 @@ pub mod io;
 pub mod rng;
 pub mod stats;
 pub mod subgraph;
+pub mod testkit;
 pub mod transform;
+pub mod verify;
 pub mod weighted;
 
 pub use builder::{build_relabeled, GraphBuilder};

@@ -92,7 +92,10 @@ impl Xoshiro256 {
     ///
     /// Panics if `count > bound`.
     pub fn sample_distinct(&mut self, bound: usize, count: usize) -> Vec<usize> {
-        assert!(count <= bound, "cannot sample {count} distinct values from {bound}");
+        assert!(
+            count <= bound,
+            "cannot sample {count} distinct values from {bound}"
+        );
         let mut chosen = std::collections::HashSet::with_capacity(count);
         let mut out = Vec::with_capacity(count);
         for j in bound - count..bound {
@@ -155,7 +158,10 @@ mod tests {
             assert!(x < 10);
             seen[x as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all residues should appear in 1000 draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should appear in 1000 draws"
+        );
     }
 
     #[test]
@@ -193,7 +199,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should move something");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle should move something"
+        );
     }
 
     #[test]

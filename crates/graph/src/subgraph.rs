@@ -5,6 +5,7 @@
 //! materialization. The optimal algorithms never call it — that is the point
 //! of the comparison.
 
+use crate::cast;
 use crate::csr::{CsrGraph, VertexId};
 
 /// A subgraph induced by a vertex subset, with vertices renumbered densely.
@@ -33,7 +34,7 @@ pub fn induced_subgraph(g: &CsrGraph, vertices: &[VertexId]) -> InducedSubgraph 
     // Dense remap: u32::MAX marks "not in subgraph".
     let mut remap = vec![u32::MAX; g.num_vertices()];
     for (i, &v) in keep.iter().enumerate() {
-        remap[v as usize] = i as u32;
+        remap[v as usize] = cast::u32_of(i);
     }
     let mut offsets = Vec::with_capacity(keep.len() + 1);
     offsets.push(0usize);
@@ -47,7 +48,10 @@ pub fn induced_subgraph(g: &CsrGraph, vertices: &[VertexId]) -> InducedSubgraph 
         }
         offsets.push(neighbors.len());
     }
-    InducedSubgraph { graph: CsrGraph::from_parts(offsets, neighbors), vertices: keep }
+    InducedSubgraph {
+        graph: CsrGraph::from_parts(offsets, neighbors),
+        vertices: keep,
+    }
 }
 
 /// Number of edges in the subgraph induced by `vertices`, without

@@ -5,6 +5,7 @@
 //! degree-filtered, or composed from several sources.
 
 use crate::builder::GraphBuilder;
+use crate::cast;
 use crate::connectivity::connected_components;
 use crate::csr::{CsrGraph, VertexId};
 use crate::subgraph::{induced_subgraph, InducedSubgraph};
@@ -19,7 +20,7 @@ pub fn largest_connected_component(g: &CsrGraph) -> InducedSubgraph {
         Some(target) => {
             let members: Vec<VertexId> = g
                 .vertices()
-                .filter(|&v| cc.component[v as usize] == target as u32)
+                .filter(|&v| cc.component[v as usize] == cast::u32_of(target))
                 .collect();
             induced_subgraph(g, &members)
         }
@@ -42,7 +43,7 @@ pub fn filter_by_degree(g: &CsrGraph, min_degree: usize, max_degree: usize) -> I
 
 /// Disjoint union: the vertices of `b` are shifted by `a.num_vertices()`.
 pub fn disjoint_union(a: &CsrGraph, b: &CsrGraph) -> CsrGraph {
-    let shift = a.num_vertices() as VertexId;
+    let shift = cast::vertex_id(a.num_vertices());
     let mut builder = GraphBuilder::with_capacity(a.num_edges() + b.num_edges());
     builder.reserve_vertices(a.num_vertices() + b.num_vertices());
     builder.extend_edges(a.edges());

@@ -1,0 +1,192 @@
+//! Structural invariant verification for graphs — the substrate of the
+//! workspace's executable-specification layer.
+//!
+//! Every algorithm in the workspace assumes the [`CsrGraph`] contract:
+//! monotone offsets, strictly sorted adjacency, symmetry, no self-loops.
+//! [`verify_graph`] checks the contract exhaustively and reports the first
+//! violated invariant with enough context to debug it. Downstream crates
+//! (`bestk-core`, `bestk-truss`) build their own `verify` modules on the
+//! shared [`VerifyError`] type, and the CLI's `--verify` flag runs them
+//! after every computation.
+//!
+//! Verification is `O(m log d)` — cheap enough for tests and spot checks,
+//! deliberately not part of any hot path.
+
+use crate::CsrGraph;
+
+/// A violated invariant: which specification clause failed, and the
+/// concrete witness that failed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Short stable name of the violated invariant (e.g.
+    /// `"csr.offsets-monotone"`), usable as a test anchor.
+    pub invariant: &'static str,
+    /// Human-readable witness: the vertex/edge/index that violates the
+    /// invariant and the observed values.
+    pub detail: String,
+}
+
+impl VerifyError {
+    /// Builds an error for `invariant` with a formatted witness.
+    pub fn new(invariant: &'static str, detail: impl Into<String>) -> VerifyError {
+        VerifyError {
+            invariant,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invariant {} violated: {}", self.invariant, self.detail)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Shorthand result for verification passes.
+pub type VerifyResult = Result<(), VerifyError>;
+
+/// Checks every structural invariant of a [`CsrGraph`]:
+///
+/// 1. offsets start at 0, increase monotonically, and end at the adjacency
+///    array's length;
+/// 2. every neighbor id is in range;
+/// 3. every adjacency list is strictly sorted (sorted + duplicate-free);
+/// 4. no self-loops;
+/// 5. adjacency is symmetric (`u ∈ N(v)` ⟺ `v ∈ N(u)`);
+/// 6. the edge count equals half the adjacency length.
+pub fn verify_graph(g: &CsrGraph) -> VerifyResult {
+    let n = g.num_vertices();
+    let offsets = g.offsets();
+    let adj = g.raw_neighbors();
+    if offsets.len() != n + 1 {
+        return Err(VerifyError::new(
+            "csr.offsets-length",
+            format!(
+                "{} offsets for {n} vertices (want {})",
+                offsets.len(),
+                n + 1
+            ),
+        ));
+    }
+    if offsets.first() != Some(&0) {
+        return Err(VerifyError::new(
+            "csr.offsets-monotone",
+            format!("offsets[0] = {:?}, want 0", offsets.first()),
+        ));
+    }
+    for (v, w) in offsets.windows(2).enumerate() {
+        if w[0] > w[1] {
+            return Err(VerifyError::new(
+                "csr.offsets-monotone",
+                format!("offsets[{v}] = {} > offsets[{}] = {}", w[0], v + 1, w[1]),
+            ));
+        }
+    }
+    if offsets[n] != adj.len() {
+        return Err(VerifyError::new(
+            "csr.offsets-cover",
+            format!(
+                "offsets[{n}] = {} but adjacency holds {} entries",
+                offsets[n],
+                adj.len()
+            ),
+        ));
+    }
+    if adj.len() != 2 * g.num_edges() {
+        return Err(VerifyError::new(
+            "csr.edge-count",
+            format!("{} directed slots for {} edges", adj.len(), g.num_edges()),
+        ));
+    }
+    for v in g.vertices() {
+        let list = g.neighbors(v);
+        for w in list.windows(2) {
+            if w[0] >= w[1] {
+                return Err(VerifyError::new(
+                    "csr.adjacency-sorted",
+                    format!("N({v}) not strictly sorted: {} then {}", w[0], w[1]),
+                ));
+            }
+        }
+        for &u in list {
+            if u as usize >= n {
+                return Err(VerifyError::new(
+                    "csr.neighbor-in-range",
+                    format!("N({v}) contains {u}, but n = {n}"),
+                ));
+            }
+            if u == v {
+                return Err(VerifyError::new(
+                    "csr.no-self-loop",
+                    format!("self loop at {v}"),
+                ));
+            }
+            if g.neighbors(u).binary_search(&v).is_err() {
+                return Err(VerifyError::new(
+                    "csr.symmetric",
+                    format!("edge ({v},{u}) present but ({u},{v}) missing"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Degree-sum sanity: Σ d(v) must equal 2m (implied by [`verify_graph`],
+/// exposed separately as the cheapest smoke test for huge graphs).
+pub fn verify_degree_sum(g: &CsrGraph) -> VerifyResult {
+    let sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+    if sum != 2 * g.num_edges() {
+        return Err(VerifyError::new(
+            "csr.degree-sum",
+            format!("Σ degree = {sum}, want 2m = {}", 2 * g.num_edges()),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, GraphBuilder};
+
+    #[test]
+    fn honest_graphs_pass() {
+        for g in [
+            CsrGraph::empty(0),
+            CsrGraph::empty(5),
+            generators::paper_figure2(),
+            generators::erdos_renyi_gnm(200, 800, 7),
+        ] {
+            verify_graph(&g).unwrap();
+            verify_degree_sum(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn asymmetric_adjacency_is_caught() {
+        // Hand-build a CSR with a one-directional edge 0 -> 1.
+        let g = CsrGraph::from_parts(vec![0, 1, 1], vec![1]);
+        let err = verify_graph(&g).unwrap_err();
+        assert_eq!(err.invariant, "csr.edge-count");
+    }
+
+    #[test]
+    fn self_loop_is_caught() {
+        let g = CsrGraph::from_parts(vec![0, 1, 2], vec![0, 1]);
+        let err = verify_graph(&g).unwrap_err();
+        assert!(
+            err.invariant == "csr.no-self-loop" || err.invariant == "csr.adjacency-sorted",
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn builder_output_always_passes() {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0u32, 1u32), (1, 1), (1, 0), (2, 5), (5, 2), (0, 1)]);
+        verify_graph(&b.build()).unwrap();
+    }
+}

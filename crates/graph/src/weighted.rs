@@ -151,12 +151,16 @@ impl WeightedGraphBuilder {
         // sorted adjacency.
         let mut weights = vec![0u32; graph.raw_neighbors().len()];
         for &(u, v, w) in &merged {
+            // Overflow of summed parallel-edge weights is a caller bug;
+            // wrapping silently would corrupt every downstream score.
+            // bestk-analyze: allow(no-unwrap) — summed-weight overflow must be loud
             let w = u32::try_from(w).expect("summed edge weight exceeds u32");
             for (a, b_) in [(u, v), (v, u)] {
                 let start = graph.offsets()[a as usize];
                 let pos = graph
                     .neighbors(a)
                     .binary_search(&b_)
+                    // bestk-analyze: allow(no-unwrap) — this edge was inserted above
                     .expect("edge present by construction");
                 weights[start + pos] = w;
             }

@@ -2,79 +2,92 @@
 //! must produce errors, never panics or bogus graphs, and round trips must
 //! be lossless for every generator family.
 
-use proptest::prelude::*;
+use bestk_graph::testkit::check;
+use bestk_graph::{io, verify, CsrGraph, GraphBuilder};
 
-use bestk_graph::{io, CsrGraph, GraphBuilder};
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Random bytes into the binary reader: error or a valid graph, never a
-    /// panic, and any accepted graph passes validation.
-    #[test]
-    fn binary_reader_survives_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+/// Random bytes into the binary reader: error or a valid graph, never a
+/// panic, and any accepted graph passes full structural verification.
+#[test]
+fn binary_reader_survives_garbage() {
+    check("binary_reader_survives_garbage", 128, |gen| {
+        let bytes = gen.bytes(512);
         if let Ok(g) = io::read_binary(&bytes[..]) {
-            prop_assert!(g.validate().is_ok());
+            verify::verify_graph(&g).expect("reader accepted an invalid graph");
         }
-    }
+    });
+}
 
-    /// Garbage prefixed with the real magic: still no panic.
-    #[test]
-    fn binary_reader_survives_magic_plus_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+/// Garbage prefixed with the real magic: still no panic.
+#[test]
+fn binary_reader_survives_magic_plus_garbage() {
+    check("binary_reader_survives_magic_plus_garbage", 128, |gen| {
         let mut buf = b"BESTKGR1".to_vec();
-        buf.extend_from_slice(&bytes);
+        buf.extend_from_slice(&gen.bytes(256));
         if let Ok(g) = io::read_binary(&buf[..]) {
-            prop_assert!(g.validate().is_ok());
+            verify::verify_graph(&g).expect("reader accepted an invalid graph");
         }
-    }
+    });
+}
 
-    /// Random text into the edge-list reader: error or valid graph.
-    #[test]
-    fn text_reader_survives_garbage(text in "[ -~\n\t]{0,300}") {
+/// Random text into the edge-list reader: error or valid graph.
+#[test]
+fn text_reader_survives_garbage() {
+    check("text_reader_survives_garbage", 128, |gen| {
+        let text = gen.ascii_text(300);
         if let Ok((g, orig)) = io::read_edge_list(text.as_bytes()) {
-            prop_assert!(g.validate().is_ok());
-            prop_assert_eq!(orig.len(), g.num_vertices());
+            verify::verify_graph(&g).expect("reader accepted an invalid graph");
+            assert_eq!(orig.len(), g.num_vertices());
         }
-    }
+    });
+}
 
-    /// Truncating a valid binary at any point errors cleanly.
-    #[test]
-    fn truncated_binary_errors(cut in 0usize..200) {
+/// Truncating a valid binary at any point errors cleanly.
+#[test]
+fn truncated_binary_errors() {
+    check("truncated_binary_errors", 128, |gen| {
         let mut b = GraphBuilder::new();
         b.extend_edges([(0u32, 1u32), (1, 2), (2, 3), (3, 0), (0, 2)]);
         let g = b.build();
         let mut buf = Vec::new();
-        io::write_binary(&g, &mut buf).unwrap();
-        let cut = cut.min(buf.len());
+        io::write_binary(&g, &mut buf).expect("in-memory write cannot fail");
+        let cut = gen.usize_in(0, 200).min(buf.len());
         if cut < buf.len() {
             buf.truncate(cut);
-            prop_assert!(io::read_binary(&buf[..]).is_err());
+            assert!(io::read_binary(&buf[..]).is_err());
         }
-    }
+    });
+}
 
-    /// Binary round trip is identity for arbitrary built graphs.
-    #[test]
-    fn binary_roundtrip_arbitrary(edges in proptest::collection::vec((0u32..60, 0u32..60), 0..200)) {
+/// Binary round trip is identity for arbitrary built graphs.
+#[test]
+fn binary_roundtrip_arbitrary() {
+    check("binary_roundtrip_arbitrary", 128, |gen| {
+        let edges = gen.edges(60, 200);
         let mut b = GraphBuilder::new();
         b.extend_edges(edges);
         let g = b.build();
         let mut buf = Vec::new();
-        io::write_binary(&g, &mut buf).unwrap();
-        let g2 = io::read_binary(&buf[..]).unwrap();
-        prop_assert_eq!(g, g2);
-    }
+        io::write_binary(&g, &mut buf).expect("in-memory write cannot fail");
+        let g2 = io::read_binary(&buf[..]).expect("round trip must parse");
+        assert_eq!(g, g2);
+    });
+}
 
-    /// Text round trip preserves the edge multiset (module relabeling).
-    #[test]
-    fn text_roundtrip_arbitrary(edges in proptest::collection::vec((0u32..40, 0u32..40), 1..150)) {
+/// Text round trip preserves the edge multiset (modulo relabeling).
+#[test]
+fn text_roundtrip_arbitrary() {
+    check("text_roundtrip_arbitrary", 128, |gen| {
+        let edges = gen.edges(40, 150);
         let mut b = GraphBuilder::new();
         b.extend_edges(edges);
         let g = b.build();
-        prop_assume!(g.num_edges() > 0);
+        if g.num_edges() == 0 {
+            return;
+        }
         let mut buf = Vec::new();
-        io::write_edge_list(&g, &mut buf).unwrap();
-        let (g2, orig) = io::read_edge_list(&buf[..]).unwrap();
-        prop_assert_eq!(g2.num_edges(), g.num_edges());
+        io::write_edge_list(&g, &mut buf).expect("in-memory write cannot fail");
+        let (g2, orig) = io::read_edge_list(&buf[..]).expect("round trip must parse");
+        assert_eq!(g2.num_edges(), g.num_edges());
         let mut original: Vec<(u32, u32)> = g.edges().collect();
         let mut mapped: Vec<(u32, u32)> = g2
             .edges()
@@ -85,8 +98,8 @@ proptest! {
             .collect();
         original.sort_unstable();
         mapped.sort_unstable();
-        prop_assert_eq!(original, mapped);
-    }
+        assert_eq!(original, mapped);
+    });
 }
 
 #[test]

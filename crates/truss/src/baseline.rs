@@ -2,6 +2,7 @@
 //! baseline lifted to trusses, used as comparator and test oracle.
 
 use bestk_core::metrics::PrimaryValues;
+use bestk_graph::cast;
 use bestk_graph::{CsrGraph, VertexId};
 
 use crate::decomposition::TrussDecomposition;
@@ -39,7 +40,7 @@ pub fn truss_set_primaries_at(
     // Membership: edges with t >= k; vertices incident to at least one.
     let mut vertex_in = vec![false; n];
     let mut internal_edges = 0u64;
-    for e in 0..idx.num_edges() as u32 {
+    for e in 0..cast::u32_of(idx.num_edges()) {
         if t.truss(e) >= k {
             internal_edges += 1;
             let (u, v) = idx.endpoints(e);
@@ -50,7 +51,7 @@ pub fn truss_set_primaries_at(
     let num_vertices = vertex_in.iter().filter(|&&b| b).count() as u64;
     // Boundary: edges (of any truss) with exactly one endpoint in the set.
     let mut boundary_edges = 0u64;
-    for e in 0..idx.num_edges() as u32 {
+    for e in 0..cast::u32_of(idx.num_edges()) {
         let (u, v) = idx.endpoints(e);
         if vertex_in[u as usize] != vertex_in[v as usize] {
             boundary_edges += 1;
@@ -58,7 +59,7 @@ pub fn truss_set_primaries_at(
     }
     // Triangles and triplets in the edge-induced subgraph.
     let mut degree = vec![0u64; n];
-    for e in 0..idx.num_edges() as u32 {
+    for e in 0..cast::u32_of(idx.num_edges()) {
         if t.truss(e) >= k {
             let (u, v) = idx.endpoints(e);
             degree[u as usize] += 1;
@@ -67,7 +68,7 @@ pub fn truss_set_primaries_at(
     }
     let triplets = degree.iter().map(|&d| d * d.saturating_sub(1) / 2).sum();
     let mut triangles = 0u64;
-    for e in 0..idx.num_edges() as u32 {
+    for e in 0..cast::u32_of(idx.num_edges()) {
         if t.truss(e) < k {
             continue;
         }
@@ -87,7 +88,13 @@ pub fn truss_set_primaries_at(
             }
         }
     }
-    PrimaryValues { num_vertices, internal_edges, boundary_edges, triangles, triplets }
+    PrimaryValues {
+        num_vertices,
+        internal_edges,
+        boundary_edges,
+        triangles,
+        triplets,
+    }
 }
 
 /// The vertex set of the k-truss set (sorted ascending).
@@ -98,14 +105,14 @@ pub fn truss_set_vertices(
     k: u32,
 ) -> Vec<VertexId> {
     let mut vertex_in = vec![false; g.num_vertices()];
-    for e in 0..idx.num_edges() as u32 {
+    for e in 0..cast::u32_of(idx.num_edges()) {
         if t.truss(e) >= k {
             let (u, v) = idx.endpoints(e);
             vertex_in[u as usize] = true;
             vertex_in[v as usize] = true;
         }
     }
-    (0..g.num_vertices() as VertexId)
+    (0..cast::vertex_id(g.num_vertices()))
         .filter(|&v| vertex_in[v as usize])
         .collect()
 }
@@ -151,7 +158,11 @@ mod tests {
         let profile = truss_set_profile(&g, &idx, &t);
         for k in 2..=t.tmax() {
             let verts = truss_set_vertices(&g, &idx, &t, k);
-            assert_eq!(verts.len() as u64, profile.primaries[k as usize].num_vertices, "k={k}");
+            assert_eq!(
+                verts.len() as u64,
+                profile.primaries[k as usize].num_vertices,
+                "k={k}"
+            );
         }
     }
 }

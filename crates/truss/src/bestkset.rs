@@ -23,6 +23,7 @@
 //! decomposition itself.
 
 use bestk_core::metrics::{best_k, CommunityMetric, GraphContext, PrimaryValues};
+use bestk_graph::cast;
 use bestk_graph::{CsrGraph, VertexId};
 
 use crate::decomposition::TrussDecomposition;
@@ -53,7 +54,10 @@ pub struct BestKTruss {
 impl TrussSetProfile {
     /// Scores every k-truss set under `metric`; `O(tmax)`.
     pub fn scores<M: CommunityMetric + ?Sized>(&self, metric: &M) -> Vec<f64> {
-        self.primaries.iter().map(|pv| metric.score(pv, &self.context)).collect()
+        self.primaries
+            .iter()
+            .map(|pv| metric.score(pv, &self.context))
+            .collect()
     }
 
     /// The best `k` under `metric` (ties to the largest k; `k < 2` never
@@ -64,25 +68,25 @@ impl TrussSetProfile {
 }
 
 /// Computes the full [`TrussSetProfile`] from a decomposition.
-pub fn truss_set_profile(
-    g: &CsrGraph,
-    idx: &EdgeIndex,
-    t: &TrussDecomposition,
-) -> TrussSetProfile {
+pub fn truss_set_profile(g: &CsrGraph, idx: &EdgeIndex, t: &TrussDecomposition) -> TrussSetProfile {
     let tmax = t.tmax();
     let context = GraphContext {
         total_vertices: g.num_vertices() as u64,
         total_edges: g.num_edges() as u64,
     };
     if tmax < 2 {
-        return TrussSetProfile { tmax, primaries: Vec::new(), context };
+        return TrussSetProfile {
+            tmax,
+            primaries: Vec::new(),
+            context,
+        };
     }
     let levels = tmax as usize + 1;
     let m = idx.num_edges();
 
     // m(S_k): histogram of truss numbers, suffix-summed.
     let mut edges_at = vec![0u64; levels + 1];
-    for e in 0..m as u32 {
+    for e in 0..cast::u32_of(m) {
         edges_at[t.truss(e) as usize] += 1;
     }
 
@@ -98,7 +102,7 @@ pub fn truss_set_profile(
     // b(S_k) = #{e : min_vt(e) < k <= max_vt(e)}.
     let mut max_vt_at = vec![0u64; levels + 1];
     let mut min_vt_at = vec![0u64; levels + 1];
-    for e in 0..m as u32 {
+    for e in 0..cast::u32_of(m) {
         let (u, v) = idx.endpoints(e);
         let (a, b) = (
             t.vertex_truss(u).min(t.vertex_truss(v)) as usize,
@@ -165,7 +169,11 @@ pub fn truss_set_profile(
     }
     primaries[0] = primaries[2];
     primaries[1] = primaries[2];
-    TrussSetProfile { tmax, primaries, context }
+    TrussSetProfile {
+        tmax,
+        primaries,
+        context,
+    }
 }
 
 /// One forward-triangle pass recording, for each triangle, the minimum
@@ -178,11 +186,11 @@ fn triangle_min_truss_histogram(
 ) -> Vec<u64> {
     let n = g.num_vertices();
     let mut hist = vec![0u64; levels + 1];
-    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut order: Vec<VertexId> = (0..cast::vertex_id(n)).collect();
     order.sort_unstable_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
     let mut pos = vec![0u32; n];
     for (i, &v) in order.iter().enumerate() {
-        pos[v as usize] = i as u32;
+        pos[v as usize] = cast::u32_of(i);
     }
     let mut mark: Vec<u32> = vec![u32::MAX; n];
     for &v in &order {

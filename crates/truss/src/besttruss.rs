@@ -16,6 +16,7 @@
 
 use bestk_core::metrics::{CommunityMetric, GraphContext, PrimaryValues};
 use bestk_core::triangles::{count_triangles, count_triplets};
+use bestk_graph::cast;
 use bestk_graph::subgraph::induced_subgraph;
 use bestk_graph::{CsrGraph, VertexId};
 
@@ -63,7 +64,7 @@ pub fn enumerate_trusses(
             continue;
         }
         // Seeds: endpoints of truss-exactly-k edges (Def. 6 analogue).
-        for e in 0..idx.num_edges() as u32 {
+        for e in 0..cast::u32_of(idx.num_edges()) {
             if t.truss(e) != k {
                 continue;
             }

@@ -6,6 +6,7 @@
 //! peeling — giving every edge its truss number `t(e)` in `O(m^1.5)` time
 //! [Wang & Cheng, PVLDB 2012; paper references 19, 56].
 
+use bestk_graph::cast;
 use bestk_graph::{CsrGraph, VertexId};
 
 use crate::edgeindex::EdgeIndex;
@@ -51,7 +52,7 @@ impl TrussDecomposition {
 
     /// Ids of the edges in the k-truss set (`t(e) ≥ k`); `O(m)`.
     pub fn truss_set_edges(&self, k: u32) -> Vec<u32> {
-        (0..self.truss.len() as u32)
+        (0..cast::u32_of(self.truss.len()))
             .filter(|&e| self.truss[e as usize] >= k)
             .collect()
     }
@@ -65,11 +66,11 @@ pub fn edge_supports(g: &CsrGraph, idx: &EdgeIndex) -> Vec<u32> {
     let mut support = vec![0u32; m];
     // Degree-descending order to bound the scan cost, as in the forward
     // triangle algorithm.
-    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut order: Vec<VertexId> = (0..cast::vertex_id(n)).collect();
     order.sort_unstable_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
     let mut pos = vec![0u32; n];
     for (i, &v) in order.iter().enumerate() {
-        pos[v as usize] = i as u32;
+        pos[v as usize] = cast::u32_of(i);
     }
     // mark[w] = slot of the edge (v, w) while scanning v, so each found
     // triangle can credit all three of its edges.
@@ -123,7 +124,7 @@ pub fn truss_decomposition_with_index(g: &CsrGraph, idx: &EdgeIndex) -> TrussDec
     let max_sup = support.iter().copied().max().unwrap_or(0) as usize;
     let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_sup + 1];
     for (e, &s) in support.iter().enumerate() {
-        buckets[s as usize].push(e as u32);
+        buckets[s as usize].push(cast::u32_of(e));
     }
     let mut alive_edge = vec![true; m];
     let mut truss = vec![0u32; m];
@@ -147,7 +148,9 @@ pub fn truss_decomposition_with_index(g: &CsrGraph, idx: &EdgeIndex) -> TrussDec
                 None => cur += 1,
             }
         }
-        let e = buckets[cur].pop().expect("an alive edge must remain");
+        let Some(e) = buckets[cur].pop() else {
+            continue;
+        };
         let s = support[e as usize];
         level = level.max(s + 2);
         truss[e as usize] = level;
@@ -158,7 +161,11 @@ pub fn truss_decomposition_with_index(g: &CsrGraph, idx: &EdgeIndex) -> TrussDec
         // Remove e = (u, v): every surviving triangle through e loses one,
         // so decrement the supports of its two partner edges.
         let (u, v) = idx.endpoints(e);
-        let (a, b) = if g.degree(u) <= g.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if g.degree(u) <= g.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         for p in idx.slots_of(g, a) {
             let w = g.raw_neighbors()[p];
             let e_aw = idx.id_at_slot(p);
@@ -182,13 +189,17 @@ pub fn truss_decomposition_with_index(g: &CsrGraph, idx: &EdgeIndex) -> TrussDec
     }
     // Vertex entry levels.
     let mut vertex_truss = vec![0u32; n];
-    for e in 0..m as u32 {
+    for e in 0..cast::u32_of(m) {
         let (u, v) = idx.endpoints(e);
         let t = truss[e as usize];
         vertex_truss[u as usize] = vertex_truss[u as usize].max(t);
         vertex_truss[v as usize] = vertex_truss[v as usize].max(t);
     }
-    TrussDecomposition { truss, tmax, vertex_truss }
+    TrussDecomposition {
+        truss,
+        tmax,
+        vertex_truss,
+    }
 }
 
 #[cfg(test)]
@@ -264,7 +275,10 @@ mod tests {
                     .iter()
                     .filter(|&&w| w != v && g.has_edge(v, w))
                     .count();
-                assert_eq!(support[e as usize] as usize, brute, "edge ({u},{v}) seed {seed}");
+                assert_eq!(
+                    support[e as usize] as usize, brute,
+                    "edge ({u},{v}) seed {seed}"
+                );
             }
         }
     }

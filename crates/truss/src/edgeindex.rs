@@ -88,7 +88,11 @@ impl EdgeIndex {
         if u == v {
             return None;
         }
-        let (a, b) = if g.degree(u) <= g.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if g.degree(u) <= g.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         let start = g.offsets()[a as usize];
         let adj = g.neighbors(a);
         adj.binary_search(&b).ok().map(|i| self.ids[start + i])

@@ -13,6 +13,7 @@
 //! needs. Isolated vertices (no incident edges) are outside every truss and
 //! thus absent from the forest.
 
+use bestk_graph::cast;
 use bestk_graph::{CsrGraph, VertexId};
 
 use crate::decomposition::TrussDecomposition;
@@ -68,7 +69,7 @@ impl TrussForest {
 
     /// Root node indices.
     pub fn roots(&self) -> Vec<u32> {
-        (0..self.nodes.len() as u32)
+        (0..cast::u32_of(self.nodes.len()))
             .filter(|&i| self.nodes[i as usize].parent.is_none())
             .collect()
     }
@@ -97,7 +98,9 @@ struct Dsu {
 
 impl Dsu {
     fn new(n: usize) -> Self {
-        Dsu { parent: (0..n as u32).collect() }
+        Dsu {
+            parent: (0..cast::u32_of(n)).collect(),
+        }
     }
 
     fn find(&mut self, mut v: u32) -> u32 {
@@ -146,7 +149,8 @@ impl<'a> Builder<'a> {
     fn run(mut self) -> TrussForest {
         let m = self.idx.num_edges();
         // Edges grouped by truss level, descending.
-        let mut by_level: Vec<(u32, u32)> = (0..m as u32).map(|e| (self.t.truss(e), e)).collect();
+        let mut by_level: Vec<(u32, u32)> =
+            (0..cast::u32_of(m)).map(|e| (self.t.truss(e), e)).collect();
         by_level.sort_unstable_by_key(|&(lvl, e)| (std::cmp::Reverse(lvl), e));
 
         let mut i = 0usize;
@@ -192,7 +196,7 @@ impl<'a> Builder<'a> {
             if let Some(&(_, nid)) = map.iter().find(|&&(r, _)| r == root) {
                 return nid;
             }
-            let nid = builder.nodes.len() as u32;
+            let nid = cast::u32_of(builder.nodes.len());
             builder.nodes.push(TrussForestNode {
                 truss: level,
                 edges: Vec::new(),
@@ -229,10 +233,7 @@ impl<'a> Builder<'a> {
     }
 
     fn claimed(&self, v: VertexId) -> bool {
-        self.claimed_bits
-            .get(v as usize)
-            .copied()
-            .unwrap_or(false)
+        self.claimed_bits.get(v as usize).copied().unwrap_or(false)
     }
 
     fn mark_claimed(&mut self, v: VertexId) {
@@ -243,11 +244,11 @@ impl<'a> Builder<'a> {
         // Sort by descending truss, remapping indices so children precede
         // parents (stable keeps deterministic order).
         let total = self.nodes.len();
-        let mut order: Vec<u32> = (0..total as u32).collect();
+        let mut order: Vec<u32> = (0..cast::u32_of(total)).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(self.nodes[i as usize].truss));
         let mut remap = vec![0u32; total];
         for (new_idx, &old) in order.iter().enumerate() {
-            remap[old as usize] = new_idx as u32;
+            remap[old as usize] = cast::u32_of(new_idx);
         }
         let mut new_nodes: Vec<TrussForestNode> = Vec::with_capacity(total);
         for &old in &order {
@@ -360,8 +361,10 @@ mod tests {
                     (f.node(i).truss, verts)
                 })
                 .collect();
-            let mut from_enum: Vec<(u32, Vec<VertexId>)> =
-                enumerated.into_iter().map(|ti| (ti.k, ti.vertices)).collect();
+            let mut from_enum: Vec<(u32, Vec<VertexId>)> = enumerated
+                .into_iter()
+                .map(|ti| (ti.k, ti.vertices))
+                .collect();
             from_forest.sort();
             from_enum.sort();
             assert_eq!(from_forest, from_enum);
@@ -377,10 +380,8 @@ mod tests {
 
     #[test]
     fn disjoint_cliques_are_separate_trees() {
-        let g = bestk_graph::transform::disjoint_union(
-            &regular::complete(5),
-            &regular::complete(4),
-        );
+        let g =
+            bestk_graph::transform::disjoint_union(&regular::complete(5), &regular::complete(4));
         let (f, _, _) = forest_of(&g);
         assert_eq!(f.roots().len(), 2);
         let mut levels: Vec<u32> = f.nodes().iter().map(|n| n.truss).collect();

@@ -48,6 +48,7 @@ pub mod besttruss;
 pub mod decomposition;
 pub mod edgeindex;
 pub mod forest;
+pub mod verify;
 
 pub use bestkset::{best_k_truss_set, truss_set_profile, BestKTruss, TrussSetProfile};
 pub use besttruss::{best_single_k_truss, enumerate_trusses, BestSingleTruss, TrussInfo};

@@ -18,7 +18,11 @@ use bestk::graph::{generators, GraphBuilder, VertexId};
 
 /// Three planted communities of decreasing density over a sparse background
 /// population; block 0 is the strongest (the "real" community).
-fn build(sizes: &[(usize, f64)], background: usize, seed: u64) -> (bestk::graph::CsrGraph, Vec<Vec<VertexId>>) {
+fn build(
+    sizes: &[(usize, f64)],
+    background: usize,
+    seed: u64,
+) -> (bestk::graph::CsrGraph, Vec<Vec<VertexId>>) {
     let total: usize = sizes.iter().map(|(s, _)| s).sum::<usize>() + background;
     let mut b = GraphBuilder::new();
     b.reserve_vertices(total);

@@ -59,9 +59,7 @@ fn main() {
     for metric in [&SizeAwareDensity as &dyn CommunityMetric, &TrianglesPerEdge] {
         let set = analysis.best_core_set(metric).expect("finite score");
         let core = analysis.best_single_core(metric).expect("finite score");
-        let members = analysis
-            .best_single_core_vertices(metric)
-            .expect("members");
+        let members = analysis.best_single_core_vertices(metric).expect("members");
         println!(
             "{:<22}  best set k = {:<4} (score {:.4})   best single core k = {:<4} |S| = {} (score {:.4})",
             metric.name(),

@@ -31,17 +31,27 @@ fn main() {
         b.add_edge(n + i, i * 97 % n);
     }
     let g = b.build();
-    println!("graph: n={}, m={} (with a planted K30)\n", g.num_vertices(), g.num_edges());
+    println!(
+        "graph: n={}, m={} (with a planted K30)\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     let analysis = analyze_basic(&g);
-    println!("{:<18} {:>12} {:>8} {:>30}", "method", "avg degree", "|S|", "notes");
+    println!(
+        "{:<18} {:>12} {:>8} {:>30}",
+        "method", "avg degree", "|S|", "notes"
+    );
     let d = opt_d(&g, &analysis);
     println!(
         "{:<18} {:>12.3} {:>8} {:>30}",
         "Opt-D",
         d.average_degree,
         d.vertices.len(),
-        format!("best core, k = {}", analysis.decomposition().coreness(d.vertices[0]))
+        format!(
+            "best core, k = {}",
+            analysis.decomposition().coreness(d.vertices[0])
+        )
     );
     let ca = core_app(&g, &analysis);
     println!(

@@ -76,9 +76,7 @@ fn main() {
     let hub_spread = average_spread(&g, hub, beta, trials, &mut rng);
     let core_seed = by_core[0];
     let core_spread = average_spread(&g, core_seed, beta, trials, &mut rng);
-    println!(
-        "\nceleb hub spread: {hub_spread:.1} vs top-coreness seed spread: {core_spread:.1}"
-    );
+    println!("\nceleb hub spread: {hub_spread:.1} vs top-coreness seed spread: {core_spread:.1}");
     println!(
         "coreness seed ({}x the hub's reach) confirms the k-shell heuristic",
         (core_spread / hub_spread).max(0.0)

@@ -25,7 +25,10 @@ fn main() {
     let analysis = analyze(&g);
     println!("kmax = {}\n", analysis.kmax());
 
-    println!("{:<24} {:>12} {:>14} {:>12} {:>14}", "metric", "best-set k", "set score", "best-core k", "core score");
+    println!(
+        "{:<24} {:>12} {:>14} {:>12} {:>14}",
+        "metric", "best-set k", "set score", "best-core k", "core score"
+    );
     for metric in Metric::ALL {
         let set = analysis.best_core_set(&metric).expect("finite score");
         let core = analysis.best_single_core(&metric).expect("finite score");

@@ -20,11 +20,17 @@ fn main() {
     // --- Table III-style statistics.
     let s = stats::graph_stats(&g);
     println!("== dataset ==");
-    println!("n = {}, m = {}, d_avg = {:.1}, d_max = {}", s.num_vertices, s.num_edges, s.average_degree, s.max_degree);
+    println!(
+        "n = {}, m = {}, d_avg = {:.1}, d_max = {}",
+        s.num_vertices, s.num_edges, s.average_degree, s.max_degree
+    );
 
     let analysis = analyze(&g);
     println!("kmax = {}", analysis.kmax());
-    println!("distinct k-cores (forest nodes) = {}", analysis.forest().node_count());
+    println!(
+        "distinct k-cores (forest nodes) = {}",
+        analysis.forest().node_count()
+    );
 
     // --- Table IV-style best k per metric.
     println!("\n== best k per metric ==");
@@ -65,8 +71,17 @@ fn main() {
     println!("\n== densest subgraph ==");
     let d = opt_d(&g, &analysis);
     let ca = core_app(&g, &analysis);
-    println!("Opt-D:    avg degree {:.2} over {} vertices ({:.3}% of V)", d.average_degree, d.vertices.len(), 100.0 * d.vertices.len() as f64 / s.num_vertices as f64);
-    println!("CoreApp:  avg degree {:.2} over {} vertices", ca.average_degree, ca.vertices.len());
+    println!(
+        "Opt-D:    avg degree {:.2} over {} vertices ({:.3}% of V)",
+        d.average_degree,
+        d.vertices.len(),
+        100.0 * d.vertices.len() as f64 / s.num_vertices as f64
+    );
+    println!(
+        "CoreApp:  avg degree {:.2} over {} vertices",
+        ca.average_degree,
+        ca.vertices.len()
+    );
 
     // --- Size-constrained k-core query (Table IX style).
     println!("\n== size-constrained k-core query ==");

@@ -46,19 +46,21 @@ fn main() {
         println!(
             "{:<24} {:>9} {:>11.4} {:>10} {:>11} {:>10.4} {:>10}",
             metric.name(),
-            core_best.map(|b| b.k.to_string()).unwrap_or_else(|| "-".into()),
+            core_best
+                .map(|b| b.k.to_string())
+                .unwrap_or_else(|| "-".into()),
             core_best.map(|b| b.score).unwrap_or(f64::NAN),
             core_size,
-            truss_best.map(|b| b.k.to_string()).unwrap_or_else(|| "-".into()),
+            truss_best
+                .map(|b| b.k.to_string())
+                .unwrap_or_else(|| "-".into()),
             truss_best.map(|b| b.score).unwrap_or(f64::NAN),
             truss_size,
         );
     }
 
     // Best single truss (§VI-B's harder problem, solved by enumeration).
-    if let Some(best) =
-        bestk::truss::best_single_k_truss(&g, &idx, &t, &Metric::InternalDensity)
-    {
+    if let Some(best) = bestk::truss::best_single_k_truss(&g, &idx, &t, &Metric::InternalDensity) {
         println!(
             "\nbest single k-truss by density: k = {}, score = {:.4}, |S| = {}",
             best.truss.k,

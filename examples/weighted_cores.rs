@@ -71,15 +71,16 @@ fn main() {
     let wd = weighted_core_decomposition(&wg);
     let profile = weighted_core_set_profile(&wg, &wd);
     let (best_s, score) = profile.best(&Metric::AverageDegree).unwrap();
-    println!(
-        "\nweighted best s-core set: s = {best_s}, weighted avg degree = {score:.2}"
-    );
+    println!("\nweighted best s-core set: s = {best_s}, weighted avg degree = {score:.2}");
     let idx = profile.levels.iter().position(|&l| l == best_s).unwrap();
     let members = wd.core_set_at(idx);
     println!("  members: {members:?}");
     let picks_heavy_team = members.iter().all(|&v| (n..n + 6).contains(&v));
     println!("  -> selects the heavy-tie team: {picks_heavy_team}");
-    assert!(picks_heavy_team, "weighted sweep should isolate the heavy K6");
+    assert!(
+        picks_heavy_team,
+        "weighted sweep should isolate the heavy K6"
+    );
 
     // Weighted conductance of every s-core set, for flavor.
     println!("\ns-core set profile (weighted conductance):");
@@ -87,10 +88,7 @@ fn main() {
     for (i, &level) in profile.levels.iter().enumerate().rev().take(8) {
         println!(
             "  s = {:>3}: n = {:>3}, w_in = {:>4}, con = {:.4}",
-            level,
-            profile.primaries[i].num_vertices,
-            profile.primaries[i].internal_edges,
-            con[i]
+            level, profile.primaries[i].num_vertices, profile.primaries[i].internal_edges, con[i]
         );
     }
 }

@@ -19,6 +19,8 @@
 //! See `examples/` for runnable walkthroughs and `crates/bench` for the
 //! evaluation harness that regenerates every table and figure of the paper.
 
+#![forbid(unsafe_code)]
+
 pub use bestk_apps as apps;
 pub use bestk_core as core;
 pub use bestk_graph as graph;

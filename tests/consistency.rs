@@ -11,11 +11,17 @@ use bestk::graph::{generators, CsrGraph};
 fn families() -> Vec<(&'static str, CsrGraph)> {
     vec![
         ("erdos_renyi", generators::erdos_renyi_gnm(400, 1600, 1)),
-        ("erdos_renyi_sparse", generators::erdos_renyi_gnp(500, 0.004, 2)),
+        (
+            "erdos_renyi_sparse",
+            generators::erdos_renyi_gnp(500, 0.004, 2),
+        ),
         ("chung_lu", generators::chung_lu_power_law(600, 8.0, 2.4, 3)),
         ("barabasi_albert", generators::barabasi_albert(500, 4, 4)),
         ("rmat", generators::rmat(9, 10, 0.57, 0.19, 0.19, 5)),
-        ("cliques", generators::overlapping_cliques(300, 60, (3, 10), 6)),
+        (
+            "cliques",
+            generators::overlapping_cliques(300, 60, (3, 10), 6),
+        ),
         (
             "planted",
             generators::planted_partition(&[60, 50, 40, 80], 0.3, 0.01, 7).graph,
@@ -44,11 +50,7 @@ fn best_set_scores_agree_with_baseline_for_every_metric() {
                 let expect = m.score(pv, &ctx);
                 let got = optimal_scores[k];
                 let same = (expect.is_nan() && got.is_nan()) || (expect - got).abs() < 1e-9;
-                assert!(
-                    same,
-                    "{name}/{}: k={k} expect {expect} got {got}",
-                    m.name()
-                );
+                assert!(same, "{name}/{}: k={k} expect {expect} got {got}", m.name());
             }
         }
     }
@@ -125,10 +127,7 @@ fn forest_cores_tile_the_core_sets() {
             let mut n_sum = 0u64;
             let mut m_sum = 0u64;
             for (i, node) in f.nodes().iter().enumerate() {
-                let parent_below = node
-                    .parent
-                    .map(|p| f.node(p).coreness < k)
-                    .unwrap_or(true);
+                let parent_below = node.parent.map(|p| f.node(p).coreness < k).unwrap_or(true);
                 if node.coreness >= k && parent_below {
                     n_sum += per_core[i].num_vertices;
                     m_sum += per_core[i].internal_edges;
@@ -138,11 +137,17 @@ fn forest_cores_tile_the_core_sets() {
             // except that forest entry nodes at level k may sit at a level
             // ABOVE k when a core has no coreness-k shell; the union of
             // their vertex sets is still exactly V(C_k).
-            assert_eq!(n_sum, per_set[k as usize].num_vertices, "{name} k={k} vertices");
+            assert_eq!(
+                n_sum, per_set[k as usize].num_vertices,
+                "{name} k={k} vertices"
+            );
             // Edge totals differ: per-core edges exclude edges between
             // sibling cores, but distinct k-cores share no edges, so the
             // sums must match exactly.
-            assert_eq!(m_sum, per_set[k as usize].internal_edges, "{name} k={k} edges");
+            assert_eq!(
+                m_sum, per_set[k as usize].internal_edges,
+                "{name} k={k} edges"
+            );
         }
     }
 }

@@ -31,8 +31,8 @@ fn whole_graph_scores_on_two_k4s() {
     assert_eq!(pv.internal_edges, 13);
     assert_eq!(pv.boundary_edges, 0);
     assert_eq!(pv.triangles, 8); // 4 per K4, bridge closes none
-    // Triplets: six degree-3 vertices (C(3,2)=3 each) + two degree-4
-    // endpoints (C(4,2)=6 each) = 18 + 12.
+                                 // Triplets: six degree-3 vertices (C(3,2)=3 each) + two degree-4
+                                 // endpoints (C(4,2)=6 each) = 18 + 12.
     assert_eq!(pv.triplets, 30);
 
     let scores = a.core_set_scores(&Metric::AverageDegree);
@@ -71,14 +71,17 @@ fn per_metric_formulas_from_primaries() {
         triangles: 2,
         triplets: 12,
     };
-    let ctx = GraphContext { total_vertices: 20, total_edges: 40 };
+    let ctx = GraphContext {
+        total_vertices: 20,
+        total_edges: 40,
+    };
     assert!((Metric::AverageDegree.score(&pv, &ctx) - 3.0).abs() < 1e-12);
     assert!((Metric::InternalDensity.score(&pv, &ctx) - 18.0 / 30.0).abs() < 1e-12);
     assert!((Metric::CutRatio.score(&pv, &ctx) - (1.0 - 4.0 / (6.0 * 14.0))).abs() < 1e-12);
     assert!((Metric::Conductance.score(&pv, &ctx) - (1.0 - 4.0 / 22.0)).abs() < 1e-12);
     // Modularity: m_S = 9, b = 4, m_rest = 40 - 9 - 4 = 27.
-    let expected_mod = (9.0 / 40.0 - (22.0f64 / 80.0).powi(2))
-        + (27.0 / 40.0 - (58.0f64 / 80.0).powi(2));
+    let expected_mod =
+        (9.0 / 40.0 - (22.0f64 / 80.0).powi(2)) + (27.0 / 40.0 - (58.0f64 / 80.0).powi(2));
     assert!((Metric::Modularity.score(&pv, &ctx) - expected_mod).abs() < 1e-12);
     assert!((Metric::ClusteringCoefficient.score(&pv, &ctx) - 0.5).abs() < 1e-12);
     assert!((Metric::Separability.score(&pv, &ctx) - 2.25).abs() < 1e-12);
@@ -98,8 +101,8 @@ fn figure2_all_metric_values_by_hand() {
     assert!((s3(Metric::Conductance) - (1.0 - 3.0 / 27.0)).abs() < 1e-12);
     assert!((s3(Metric::ClusteringCoefficient) - 1.0).abs() < 1e-12);
     // Modularity at k = 3: m_S = 12, b = 3, m = 19, m_rest = 4.
-    let expected = (12.0 / 19.0 - (27.0f64 / 38.0).powi(2))
-        + (4.0 / 19.0 - (11.0f64 / 38.0).powi(2));
+    let expected =
+        (12.0 / 19.0 - (27.0f64 / 38.0).powi(2)) + (4.0 / 19.0 - (11.0f64 / 38.0).powi(2));
     assert!((s3(Metric::Modularity) - expected).abs() < 1e-12);
 }
 
@@ -115,11 +118,6 @@ fn moderate_scale_end_to_end_sanity() {
         let core = a.best_single_core(&m).expect("finite score");
         assert!(core.k <= a.kmax());
     }
-    let total_forest_vertices: usize = a
-        .forest()
-        .nodes()
-        .iter()
-        .map(|n| n.vertices.len())
-        .sum();
+    let total_forest_vertices: usize = a.forest().nodes().iter().map(|n| n.vertices.len()).sum();
     assert_eq!(total_forest_vertices, g.num_vertices());
 }

@@ -22,7 +22,11 @@ fn generate_save_load_analyze() {
     let a2 = analyze_basic(&g2);
     let a3 = analyze_basic(&g3);
     assert_eq!(a2.kmax(), a3.kmax());
-    for m in [Metric::AverageDegree, Metric::Conductance, Metric::Modularity] {
+    for m in [
+        Metric::AverageDegree,
+        Metric::Conductance,
+        Metric::Modularity,
+    ] {
         assert_eq!(
             a2.best_core_set(&m).map(|b| b.k),
             a3.best_core_set(&m).map(|b| b.k),
@@ -125,7 +129,9 @@ fn handcrafted_graph_full_pipeline() {
     let a = analyze(&g);
     assert_eq!(a.kmax(), 5);
     // Density picks the K6.
-    let members = a.best_single_core_vertices(&Metric::InternalDensity).unwrap();
+    let members = a
+        .best_single_core_vertices(&Metric::InternalDensity)
+        .unwrap();
     assert_eq!(members.len(), 6);
     assert!(members.iter().all(|&v| v < 6));
     // The k-core set score series has length kmax + 1 and is finite at the
@@ -155,9 +161,7 @@ fn truss_forest_and_community_search_compose() {
     let q = verts[0];
     let c = bestk::apps::max_min_degree_community(&a, q);
     assert!(c.vertices.contains(&q));
-    assert!(
-        bestk::apps::community::min_internal_degree(&g, &c.vertices) >= c.k as usize
-    );
+    assert!(bestk::apps::community::min_internal_degree(&g, &c.vertices) >= c.k as usize);
     let scored =
         bestk::apps::best_scored_community(&a, q, &Metric::InternalDensity, 0, None).unwrap();
     assert!(scored.vertices.contains(&q));
@@ -177,11 +181,7 @@ fn custom_metric_flows_through_the_whole_api() {
         fn name(&self) -> &str {
             "sparsest"
         }
-        fn score(
-            &self,
-            pv: &bestk::core::PrimaryValues,
-            _: &bestk::core::GraphContext,
-        ) -> f64 {
+        fn score(&self, pv: &bestk::core::PrimaryValues, _: &bestk::core::GraphContext) -> f64 {
             if pv.num_vertices == 0 {
                 f64::NAN
             } else {
