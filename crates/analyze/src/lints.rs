@@ -1,6 +1,6 @@
 //! The policy lints and their evaluation over a [`SourceModel`].
 //!
-//! Four lints encode the workspace contract (see `DESIGN.md` §"Lint
+//! The lints encode the workspace contract (see `DESIGN.md` §"Lint
 //! policy"):
 //!
 //! | lint | rule |
@@ -9,6 +9,7 @@
 //! | `no-unwrap` | no `.unwrap()` / `.expect(` outside `#[cfg(test)]` |
 //! | `no-panic` | no `panic!` / `todo!` / `unimplemented!` outside `#[cfg(test)]` |
 //! | `no-raw-cast` | no truncating `as u8/u16/u32/i8/i16/i32/VertexId` outside the blessed `cast` module |
+//! | `no-raw-thread` | no `thread::spawn` / `thread::scope` outside `crates/exec` (the policed scheduling seam) |
 //! | `module-doc` | every source file opens with a `//!` module doc |
 //!
 //! Suppressions are explicit and carry a reason:
@@ -42,6 +43,10 @@ pub const LINTS: &[(&str, &str)] = &[
     (
         "no-raw-cast",
         "no truncating `as` casts outside the blessed cast module",
+    ),
+    (
+        "no-raw-thread",
+        "no thread::spawn/thread::scope outside crates/exec; use bestk_exec::ExecPolicy",
     ),
     (
         "module-doc",
@@ -206,6 +211,10 @@ pub fn check_file(path: &str, role: FileRole, text: &str) -> Vec<Diagnostic> {
         ));
     }
 
+    // `crates/exec` is the one place allowed to touch OS threads: every
+    // other crate must route parallelism through its `ExecPolicy` runtime.
+    let exec_exempt = path.starts_with("crates/exec/");
+
     // Pattern lints over blanked code, skipping test regions.
     for (i, line) in model.lines.iter().enumerate() {
         if line.in_test {
@@ -226,6 +235,23 @@ pub fn check_file(path: &str, role: FileRole, text: &str) -> Vec<Diagnostic> {
                     lint,
                     format!("{what} in non-test code (propagate the error or add an allow comment with a reason)"),
                 ));
+            }
+        }
+        if !exec_exempt && !allowed("no-raw-thread", i) {
+            for (needle, what) in [
+                ("thread::spawn(", "`thread::spawn`"),
+                ("thread::scope(", "`thread::scope`"),
+            ] {
+                if code.contains(needle) {
+                    diags.push(Diagnostic::new(
+                        path,
+                        i + 1,
+                        "no-raw-thread",
+                        format!(
+                            "{what} outside crates/exec (route parallelism through bestk_exec::ExecPolicy)"
+                        ),
+                    ));
+                }
             }
         }
         if role != FileRole::CastModule && !allowed("no-raw-cast", i) {
@@ -355,6 +381,32 @@ mod tests {
     fn word_boundaries_respected() {
         let src = format!("{DOC}let a = x as u64;\nlet b = y as usize;\nlet c = alias_u32;\n");
         assert!(check_file("a.rs", FileRole::Library, &src).is_empty());
+    }
+
+    #[test]
+    fn raw_thread_outside_exec_fires() {
+        let src = format!("{DOC}fn f() {{ std::thread::spawn(|| ()); }}\n");
+        let d = check_file("crates/core/src/x.rs", FileRole::Library, &src);
+        assert_eq!(lints_of(&d), vec!["no-raw-thread"]);
+        assert_eq!(d[0].line, 2);
+        let src = format!("{DOC}fn f() {{ std::thread::scope(|s| {{ let _ = s; }}); }}\n");
+        let d = check_file("crates/core/src/x.rs", FileRole::Library, &src);
+        assert_eq!(lints_of(&d), vec!["no-raw-thread"]);
+    }
+
+    #[test]
+    fn raw_thread_inside_exec_is_blessed() {
+        let src = format!("{DOC}fn f() {{ std::thread::scope(|s| {{ let _ = s; }}); }}\n");
+        assert!(check_file("crates/exec/src/runtime.rs", FileRole::Library, &src).is_empty());
+    }
+
+    #[test]
+    fn raw_thread_in_test_code_or_strings_is_fine() {
+        let src = format!(
+            "{DOC}// thread::spawn( in a comment\nlet s = \"thread::scope(\";\n\
+             #[cfg(test)]\nmod tests {{\n    fn t() {{ std::thread::spawn(|| ()); }}\n}}\n"
+        );
+        assert!(check_file("crates/core/src/x.rs", FileRole::Library, &src).is_empty());
     }
 
     #[test]

@@ -106,6 +106,36 @@ fn cast_module_and_allow_comments_are_honored() {
 }
 
 #[test]
+fn injected_raw_thread_fails_outside_exec() {
+    let fx = Fixture::new("rawthread");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\n\
+         pub fn f() {\n    std::thread::spawn(|| ());\n}\n\
+         pub fn g() {\n    std::thread::scope(|s| { let _ = s; });\n}\n",
+    );
+    assert_eq!(fx.lints(), vec!["no-raw-thread", "no-raw-thread"]);
+}
+
+#[test]
+fn raw_threads_inside_exec_crate_pass() {
+    let fx = Fixture::new("execthread");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\npub fn twice(x: u64) -> u64 { x * 2 }\n",
+    );
+    fx.write(
+        "crates/exec/src/lib.rs",
+        "//! Scheduling seam: the one crate allowed to touch OS threads.\n\
+         #![forbid(unsafe_code)]\n\
+         pub fn go() {\n    std::thread::scope(|s| { let _ = s; });\n}\n",
+    );
+    assert_eq!(fx.lints(), Vec::<String>::new());
+}
+
+#[test]
 fn missing_module_doc_fails() {
     let fx = Fixture::new("nodoc");
     fx.write("crates/demo/src/lib.rs", CLEAN_LIB);

@@ -55,7 +55,8 @@ fn bench_size_constrained(b: &Bench) {
 }
 
 fn main() {
-    let b = Bench::from_env();
+    let b = Bench::from_env_or_exit();
     bench_densest(&b);
     bench_size_constrained(&b);
+    b.finish_or_exit();
 }

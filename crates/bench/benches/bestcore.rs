@@ -59,8 +59,9 @@ fn bench_single_core_triangles(b: &Bench) {
 }
 
 fn main() {
-    let b = Bench::from_env();
+    let b = Bench::from_env_or_exit();
     bench_forest_build(&b);
     bench_single_core(&b);
     bench_single_core_triangles(&b);
+    b.finish_or_exit();
 }

@@ -67,8 +67,9 @@ fn bench_sweep_direction(b: &Bench) {
 }
 
 fn main() {
-    let b = Bench::from_env();
+    let b = Bench::from_env_or_exit();
     bench_basic_metrics(&b);
     bench_triangle_metrics(&b);
     bench_sweep_direction(&b);
+    b.finish_or_exit();
 }

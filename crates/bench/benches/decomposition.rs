@@ -44,7 +44,8 @@ fn bench_decomposition_strategies(b: &Bench) {
 }
 
 fn main() {
-    let b = Bench::from_env();
+    let b = Bench::from_env_or_exit();
     bench_decomposition(&b);
     bench_decomposition_strategies(&b);
+    b.finish_or_exit();
 }

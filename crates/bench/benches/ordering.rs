@@ -91,8 +91,9 @@ fn bench_sort_strategy(b: &Bench) {
 }
 
 fn main() {
-    let b = Bench::from_env();
+    let b = Bench::from_env_or_exit();
     bench_build(&b);
     bench_queries(&b);
     bench_sort_strategy(&b);
+    b.finish_or_exit();
 }

@@ -40,6 +40,7 @@ fn bench_triangle_counting(b: &Bench) {
 }
 
 fn main() {
-    let b = Bench::from_env();
+    let b = Bench::from_env_or_exit();
     bench_triangle_counting(&b);
+    b.finish_or_exit();
 }

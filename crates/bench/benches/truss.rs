@@ -43,7 +43,8 @@ fn bench_truss_profile(b: &Bench) {
 }
 
 fn main() {
-    let b = Bench::from_env();
+    let b = Bench::from_env_or_exit();
     bench_truss_decomposition(&b);
     bench_truss_profile(&b);
+    b.finish_or_exit();
 }

@@ -6,10 +6,31 @@
 //! low-noise statistic; mean shows jitter). Interface conventions follow
 //! the binaries in `src/bin/`: a `--filter=<substring>` argument selects
 //! benchmarks by name and `BESTK_BENCH_ITERS` scales the iteration count.
+//!
+//! Besides the human-readable table on stdout, every run is recorded; if
+//! `BESTK_BENCH_JSON` names a file, [`Bench::finish`] writes the records as
+//! machine-readable JSON (`{"benchmarks": [{name, threads, iters, min_ns,
+//! mean_ns}, ...]}`), the format downstream tooling diffs across commits.
 
+use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
 use crate::timer::fmt_duration;
+
+/// One recorded benchmark result, in nanoseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Benchmark name as printed in the table.
+    pub name: String,
+    /// Worker-thread count the kernel ran with (1 for sequential runs).
+    pub threads: usize,
+    /// Number of measured iterations.
+    pub iters: u32,
+    /// Minimum iteration time in nanoseconds (the low-noise statistic).
+    pub min_ns: u128,
+    /// Mean iteration time in nanoseconds.
+    pub mean_ns: u128,
+}
 
 /// A benchmark session: name filtering plus iteration control, shared by
 /// every registered benchmark.
@@ -17,23 +38,56 @@ use crate::timer::fmt_duration;
 pub struct Bench {
     filter: Option<String>,
     iters: u32,
+    json_path: Option<String>,
+    records: RefCell<Vec<Record>>,
 }
 
 impl Bench {
     /// Builds a session from the process arguments (`--filter=<substring>`)
-    /// and environment (`BESTK_BENCH_ITERS`, default 5).
-    pub fn from_env() -> Bench {
+    /// and environment (`BESTK_BENCH_ITERS`, default 5; `BESTK_BENCH_JSON`,
+    /// a path for the machine-readable report).
+    ///
+    /// # Errors
+    ///
+    /// A set-but-malformed `BESTK_BENCH_ITERS` (non-numeric or zero) is an
+    /// error, not a silent fallback: a typo'd `BESTK_BENCH_ITERS=1O0` must
+    /// not quietly benchmark 5 iterations.
+    pub fn from_env() -> Result<Bench, String> {
         let filter = std::env::args()
             .skip(1)
             .find_map(|a| a.strip_prefix("--filter=").map(str::to_string));
-        let iters = std::env::var("BESTK_BENCH_ITERS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(5);
-        Bench {
+        let iters = match std::env::var("BESTK_BENCH_ITERS") {
+            Err(std::env::VarError::NotPresent) => 5,
+            Err(std::env::VarError::NotUnicode(raw)) => {
+                return Err(format!(
+                    "BESTK_BENCH_ITERS must be a positive integer, got non-unicode {raw:?}"
+                ));
+            }
+            Ok(raw) => match raw.parse::<u32>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    return Err(format!(
+                        "BESTK_BENCH_ITERS must be a positive integer, got {raw:?}"
+                    ));
+                }
+            },
+        };
+        let json_path = std::env::var("BESTK_BENCH_JSON").ok();
+        Ok(Bench {
             filter,
-            iters: iters.max(1),
-        }
+            iters,
+            json_path,
+            records: RefCell::new(Vec::new()),
+        })
+    }
+
+    /// [`from_env`](Self::from_env), exiting with status 2 on a malformed
+    /// environment — the right behavior for `benches/*` entry points.
+    pub fn from_env_or_exit() -> Bench {
+        Bench::from_env().unwrap_or_else(|msg| {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        })
     }
 
     /// A session with explicit settings (used by tests).
@@ -41,6 +95,8 @@ impl Bench {
         Bench {
             filter,
             iters: iters.max(1),
+            json_path: None,
+            records: RefCell::new(Vec::new()),
         }
     }
 
@@ -52,7 +108,7 @@ impl Bench {
     /// Runs one benchmark: a warm-up call, then the measured iterations.
     /// Returns the per-iteration timings (empty if filtered out).
     pub fn run<T>(&self, name: &str, mut f: impl FnMut() -> T) -> Vec<Duration> {
-        self.run_with_throughput(name, None, &mut f)
+        self.run_inner(name, 1, None, &mut f)
     }
 
     /// Like [`run`](Self::run), additionally reporting `elements / second`
@@ -63,12 +119,25 @@ impl Bench {
         elements: u64,
         mut f: impl FnMut() -> T,
     ) -> Vec<Duration> {
-        self.run_with_throughput(name, Some(elements), &mut f)
+        self.run_inner(name, 1, Some(elements), &mut f)
     }
 
-    fn run_with_throughput<T>(
+    /// Like [`run`](Self::run) for a kernel executing on `threads` worker
+    /// threads; the count is carried into the recorded result so the JSON
+    /// report can express 1-vs-N speedup tables.
+    pub fn run_threads<T>(
         &self,
         name: &str,
+        threads: usize,
+        mut f: impl FnMut() -> T,
+    ) -> Vec<Duration> {
+        self.run_inner(name, threads, None, &mut f)
+    }
+
+    fn run_inner<T>(
+        &self,
+        name: &str,
+        threads: usize,
         elements: Option<u64>,
         f: &mut impl FnMut() -> T,
     ) -> Vec<Duration> {
@@ -96,8 +165,89 @@ impl Bench {
             fmt_duration(mean),
             self.iters
         );
+        self.records.borrow_mut().push(Record {
+            name: name.to_string(),
+            threads,
+            iters: self.iters,
+            min_ns: min.as_nanos(),
+            mean_ns: mean.as_nanos(),
+        });
         timings
     }
+
+    /// The results recorded so far (cloned; order of execution).
+    pub fn records(&self) -> Vec<Record> {
+        self.records.borrow().clone()
+    }
+
+    /// Serializes the recorded results as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"benchmarks\": [");
+        let records = self.records.borrow();
+        for (i, r) in records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": {}, \"threads\": {}, \"iters\": {}, \
+                 \"min_ns\": {}, \"mean_ns\": {}}}",
+                json_string(&r.name),
+                r.threads,
+                r.iters,
+                r.min_ns,
+                r.mean_ns
+            ));
+        }
+        if !records.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON report to the `BESTK_BENCH_JSON` path, if one was
+    /// set. Call at the end of every `benches/*` entry point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error with the target path attached.
+    pub fn finish(&self) -> Result<(), String> {
+        let Some(path) = &self.json_path else {
+            return Ok(());
+        };
+        std::fs::write(path, self.to_json())
+            .map_err(|e| format!("failed to write bench JSON to {path}: {e}"))?;
+        eprintln!(
+            "wrote {} benchmark records to {path}",
+            self.records.borrow().len()
+        );
+        Ok(())
+    }
+
+    /// [`finish`](Self::finish), exiting with status 2 on failure.
+    pub fn finish_or_exit(&self) {
+        self.finish().unwrap_or_else(|msg| {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        });
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes, backslashes, control
+/// characters — benchmark names are ASCII, but stay correct regardless).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
@@ -109,6 +259,8 @@ mod tests {
         let b = Bench::with_settings(Some("match".into()), 2);
         assert!(b.run("no_hit", || 1).is_empty());
         assert_eq!(b.run("does_match", || 1).len(), 2);
+        // Skipped runs leave no record.
+        assert_eq!(b.records().len(), 1);
     }
 
     #[test]
@@ -118,5 +270,57 @@ mod tests {
         let timings = b.run("anything", || calls += 1);
         assert_eq!(timings.len(), 3);
         assert_eq!(calls, 4, "warm-up plus three measured iterations");
+    }
+
+    #[test]
+    fn records_carry_threads_and_timings() {
+        let b = Bench::with_settings(None, 2);
+        b.run("seq", || 1);
+        b.run_threads("par", 4, || 1);
+        let records = b.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].threads, 1);
+        assert_eq!(records[1].threads, 4);
+        assert_eq!(records[1].name, "par");
+        assert!(records.iter().all(|r| r.iters == 2));
+        assert!(records.iter().all(|r| r.mean_ns >= r.min_ns));
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let b = Bench::with_settings(None, 1);
+        b.run_threads("kernel/x", 2, || 1);
+        let json = b.to_json();
+        assert!(json.contains("\"benchmarks\": ["), "{json}");
+        assert!(json.contains("\"name\": \"kernel/x\""), "{json}");
+        assert!(json.contains("\"threads\": 2"), "{json}");
+        assert!(json.contains("\"min_ns\": "), "{json}");
+        assert!(json.contains("\"mean_ns\": "), "{json}");
+        // Empty sessions still produce a well-formed document.
+        let empty = Bench::with_settings(None, 1);
+        assert_eq!(empty.to_json(), "{\n  \"benchmarks\": [  ]\n}\n");
+    }
+
+    #[test]
+    fn from_env_rejects_malformed_iters() {
+        // One test owns this variable end to end (tests in this binary run
+        // in parallel threads, and the environment is process-global).
+        for bad in ["abc", "0", "-3", "1O0", ""] {
+            std::env::set_var("BESTK_BENCH_ITERS", bad);
+            let err = Bench::from_env().unwrap_err();
+            assert!(err.contains("positive integer"), "{bad:?}: {err}");
+            assert!(err.contains(bad), "{bad:?}: {err}");
+        }
+        std::env::set_var("BESTK_BENCH_ITERS", "7");
+        assert_eq!(Bench::from_env().unwrap().iters, 7);
+        std::env::remove_var("BESTK_BENCH_ITERS");
+        assert_eq!(Bench::from_env().unwrap().iters, 5, "default");
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\u000ay\"");
     }
 }

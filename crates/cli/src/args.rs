@@ -82,6 +82,25 @@ impl ParsedArgs {
         Ok(())
     }
 
+    /// The execution policy from `--threads=N`.
+    ///
+    /// Absent → auto-detect ([`ExecPolicy::auto`]). Present → strictly a
+    /// positive integer: `0`, negatives, and non-numeric values are usage
+    /// errors that name the accepted form rather than being silently
+    /// coerced.
+    pub fn exec_policy(&self) -> Result<bestk_exec::ExecPolicy, CliError> {
+        let Some(raw) = self.options.get("threads") else {
+            return Ok(bestk_exec::ExecPolicy::auto());
+        };
+        let bad = || {
+            CliError::Usage(format!(
+                "--threads expects a positive integer (e.g. --threads=4), got {raw:?}"
+            ))
+        };
+        let n: usize = raw.parse().map_err(|_| bad())?;
+        bestk_exec::ExecPolicy::with_threads(n).map_err(|_| bad())
+    }
+
     /// A parsed numeric option with a default.
     pub fn opt_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.options.get(key) {

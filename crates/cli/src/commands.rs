@@ -3,7 +3,10 @@
 use std::io::Write;
 
 use bestk_apps as apps;
-use bestk_core::{analyze as analyze_graph, analyze_basic, CommunityMetric, Metric};
+use bestk_core::{
+    analyze as analyze_graph, analyze_basic, analyze_basic_with, analyze_with, CommunityMetric,
+    Metric,
+};
 use bestk_graph::{generators, io, stats};
 
 use crate::args::ParsedArgs;
@@ -23,9 +26,10 @@ fn verify_failed(e: bestk_graph::verify::VerifyError) -> CliError {
     CliError::Failed(format!("verification FAILED: {e}"))
 }
 
-/// `bestk stats <graph> [--verify]`.
+/// `bestk stats <graph> [--verify] [--threads N]`.
 pub fn stats(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
-    args.reject_unknown(&["verify"])?;
+    args.reject_unknown(&["verify", "threads"])?;
+    let policy = args.exec_policy()?;
     let g = load_graph(args.positional(0, "graph")?)?;
     let s = stats::graph_stats(&g);
     let d = bestk_core::core_decomposition(&g);
@@ -40,7 +44,7 @@ pub fn stats(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "min degree      {}", s.min_degree)?;
     writeln!(out, "isolated        {}", s.isolated_vertices)?;
     writeln!(out, "kmax            {}", d.kmax())?;
-    let cs = bestk_core::corestats::core_stats(&d);
+    let cs = bestk_core::corestats::core_stats_with(&d, &policy);
     writeln!(out, "mean coreness   {:.2}", cs.mean_coreness)?;
     writeln!(out, "median coreness {}", cs.median_coreness)?;
     writeln!(out, "shells          {} populated", cs.populated_shells)?;
@@ -56,16 +60,17 @@ pub fn stats(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `bestk analyze <graph> [--metric M] [--extended] [--verify]`.
+/// `bestk analyze <graph> [--metric M] [--extended] [--verify] [--threads N]`.
 pub fn analyze(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
-    args.reject_unknown(&["metric", "extended", "verify"])?;
+    args.reject_unknown(&["metric", "extended", "verify", "threads"])?;
+    let policy = args.exec_policy()?;
     let g = load_graph(args.positional(0, "graph")?)?;
     let metrics = metric_selection(args)?;
     let needs_triangles = metrics.iter().any(|m| m.needs_triangles());
     let a = if needs_triangles {
-        analyze_graph(&g)
+        analyze_with(&g, &policy)
     } else {
-        analyze_basic(&g)
+        analyze_basic_with(&g, &policy)
     };
     if args.flag("verify") {
         bestk_graph::verify::verify_graph(&g).map_err(verify_failed)?;
@@ -267,13 +272,14 @@ pub fn community(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError>
     Ok(())
 }
 
-/// `bestk truss <graph> [--metric M] [--single] [--verify]`.
+/// `bestk truss <graph> [--metric M] [--single] [--verify] [--threads N]`.
 pub fn truss(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
-    args.reject_unknown(&["metric", "single", "verify"])?;
+    args.reject_unknown(&["metric", "single", "verify", "threads"])?;
+    let policy = args.exec_policy()?;
     let g = load_graph(args.positional(0, "graph")?)?;
     let metrics = metric_selection(args)?;
     let idx = bestk_truss::EdgeIndex::build(&g);
-    let t = bestk_truss::decomposition::truss_decomposition_with_index(&g, &idx);
+    let t = bestk_truss::decomposition::truss_decomposition_exec(&g, &idx, &policy);
     if args.flag("verify") {
         bestk_graph::verify::verify_graph(&g).map_err(verify_failed)?;
         bestk_truss::verify::verify_truss_decomposition(&g, &idx, &t).map_err(verify_failed)?;
@@ -615,6 +621,40 @@ mod tests {
         assert!(out.contains("re-checked against baselines"), "{out}");
         let out = run(&["truss", &path, "--verify"]).unwrap();
         assert!(out.contains("truss decomposition invariants hold"), "{out}");
+    }
+
+    #[test]
+    fn threads_flag_output_is_identical_across_counts() {
+        // The determinism contract, end to end: every command that takes
+        // --threads must print byte-identical reports at 1 and 4 threads
+        // (and with the flag absent).
+        let path = write_figure2();
+        for cmd in ["stats", "analyze", "truss"] {
+            let default = run(&[cmd, &path]).unwrap();
+            let one = run(&[cmd, &path, "--threads", "1"]).unwrap();
+            let four = run(&[cmd, &path, "--threads=4"]).unwrap();
+            assert_eq!(one, default, "{cmd}: --threads=1 vs default");
+            assert_eq!(four, default, "{cmd}: --threads=4 vs default");
+        }
+    }
+
+    #[test]
+    fn threads_flag_rejects_zero_and_non_numeric() {
+        let path = write_figure2();
+        for bad in ["0", "abc", "-2", "1.5", ""] {
+            let err = run(&["stats", &path, &format!("--threads={bad}")])
+                .unwrap_err()
+                .to_string();
+            assert!(
+                err.contains("positive integer") && err.contains("--threads=4"),
+                "{bad:?}: {err}"
+            );
+        }
+        // Commands without parallel kernels do not accept the flag.
+        let err = run(&["clique", &path, "--threads", "2"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--threads"), "{err}");
     }
 
     #[test]

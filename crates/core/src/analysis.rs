@@ -6,6 +6,7 @@
 //! `O(kmax)` / `O(#cores)` with no further graph traversal. This mirrors the
 //! paper's point that the primaries, not the scores, are the expensive part.
 
+use bestk_exec::ExecPolicy;
 use bestk_graph::{CsrGraph, VertexId};
 
 use crate::bestcore::{single_core_profile, BestCore, SingleCoreProfile};
@@ -38,9 +39,25 @@ pub fn analyze_basic(g: &CsrGraph) -> BestKAnalysis {
     analyze_inner(g, false)
 }
 
+/// [`analyze`] under an execution policy: the ordered-adjacency tag scan
+/// runs on the shared runtime (the peel itself is inherently sequential).
+/// The analysis is identical to the sequential one at every thread count.
+pub fn analyze_with(g: &CsrGraph, policy: &ExecPolicy) -> BestKAnalysis {
+    analyze_inner_with(g, true, policy)
+}
+
+/// [`analyze_basic`] under an execution policy; see [`analyze_with`].
+pub fn analyze_basic_with(g: &CsrGraph, policy: &ExecPolicy) -> BestKAnalysis {
+    analyze_inner_with(g, false, policy)
+}
+
 fn analyze_inner(g: &CsrGraph, with_triangles: bool) -> BestKAnalysis {
+    analyze_inner_with(g, with_triangles, &ExecPolicy::Sequential)
+}
+
+fn analyze_inner_with(g: &CsrGraph, with_triangles: bool, policy: &ExecPolicy) -> BestKAnalysis {
     let decomp = core_decomposition(g);
-    let ordered = OrderedGraph::build(g, &decomp);
+    let ordered = OrderedGraph::build_with(g, &decomp, policy);
     let set_profile = core_set_profile(&ordered, with_triangles);
     let forest = CoreForest::build(g, &decomp);
     let core_profile = single_core_profile(&ordered, &forest, with_triangles);
@@ -169,6 +186,31 @@ mod tests {
                 "{}",
                 m.name()
             );
+        }
+    }
+
+    #[test]
+    fn policy_analysis_matches_sequential() {
+        let g = generators::chung_lu_power_law(300, 6.0, 2.4, 17);
+        let reference = analyze(&g);
+        for threads in [1, 2, 4, 7] {
+            let policy = bestk_exec::ExecPolicy::with_threads(threads).unwrap();
+            let a = analyze_with(&g, &policy);
+            for m in Metric::ALL {
+                assert_eq!(
+                    a.best_core_set(&m),
+                    reference.best_core_set(&m),
+                    "{}",
+                    m.name()
+                );
+                assert_eq!(
+                    a.core_set_scores(&m),
+                    reference.core_set_scores(&m),
+                    "{}",
+                    m.name()
+                );
+                assert_eq!(a.single_core_scores(&m), reference.single_core_scores(&m));
+            }
         }
     }
 

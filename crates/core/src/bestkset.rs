@@ -14,6 +14,7 @@
 //! costs `O(kmax)`, so one profile answers every metric (and the paper's
 //! Figure 5 series) without retraversal.
 
+use bestk_exec::ExecPolicy;
 use bestk_graph::VertexId;
 
 use crate::metrics::{best_k, CommunityMetric, GraphContext, PrimaryValues};
@@ -50,6 +51,44 @@ impl CoreSetProfile {
             .iter()
             .map(|pv| metric.score(pv, &self.context))
             .collect()
+    }
+
+    /// [`scores`](Self::scores) under an execution policy: the per-k sweep
+    /// is scored in even chunks merged in k order, so the series (each
+    /// entry an independent float expression over that k's primaries) is
+    /// bit-identical at every thread count. Worth it when `kmax` is large
+    /// or the metric is a custom, expensive one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric needs triangles but the profile was built without
+    /// them.
+    pub fn scores_with<M: CommunityMetric + ?Sized + Sync>(
+        &self,
+        metric: &M,
+        policy: &ExecPolicy,
+    ) -> Vec<f64> {
+        assert!(
+            !metric.needs_triangles() || self.has_triangles,
+            "metric {:?} needs triangles; build the profile with triangles",
+            metric.name()
+        );
+        let plan = policy.plan_even(self.primaries.len());
+        policy.map_reduce(
+            &plan,
+            || (),
+            |(), _, range| {
+                self.primaries[range]
+                    .iter()
+                    .map(|pv| metric.score(pv, &self.context))
+                    .collect::<Vec<f64>>()
+            },
+            Vec::with_capacity(self.primaries.len()),
+            |mut acc: Vec<f64>, part| {
+                acc.extend_from_slice(&part);
+                acc
+            },
+        )
     }
 
     /// The best k under `metric` (ties to the largest k), with its score.
@@ -311,6 +350,29 @@ mod tests {
         assert!((scores[3] - 1.0).abs() < 1e-12);
         assert!((scores[2] - 30.0 / 45.0).abs() < 1e-12);
         assert_eq!(p.best(&Metric::ClusteringCoefficient).unwrap().k, 3);
+    }
+
+    #[test]
+    fn policy_scores_match_sequential_bitwise() {
+        bestk_graph::testkit::check("scores_policy_equals_sequential", 16, |gen| {
+            let g = gen.graph(70, 300);
+            let p = profile(&g, true);
+            for metric in Metric::ALL {
+                let reference = p.scores(&metric);
+                for threads in [1, 2, 4, 7] {
+                    let policy = ExecPolicy::with_threads(threads).unwrap();
+                    let got = p.scores_with(&metric, &policy);
+                    // Bit-identical, not just approximately equal: the series
+                    // is chunked and concatenated, never re-associated.
+                    assert_eq!(
+                        got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        reference.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        "{} at {threads} threads",
+                        metric.name()
+                    );
+                }
+            }
+        });
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! those distributions from a [`CoreDecomposition`] in `O(n)`.
 
 use crate::decomposition::CoreDecomposition;
+use bestk_exec::ExecPolicy;
 use bestk_graph::cast;
 
 /// Summary of a graph's coreness structure.
@@ -28,14 +29,37 @@ pub struct CoreStats {
 
 /// Computes [`CoreStats`] in `O(n + kmax)`.
 pub fn core_stats(d: &CoreDecomposition) -> CoreStats {
+    core_stats_with(d, &ExecPolicy::Sequential)
+}
+
+/// [`core_stats`] under an execution policy: the shell histogram pass runs
+/// as per-chunk partial histograms merged in chunk order (sums commute, so
+/// the result is identical at every thread count).
+pub fn core_stats_with(d: &CoreDecomposition, policy: &ExecPolicy) -> CoreStats {
     let kmax = d.kmax();
     let n = d.num_vertices();
-    let mut shell_sizes = vec![0usize; kmax as usize + 1];
-    let mut total = 0u64;
-    for &c in d.coreness_slice() {
-        shell_sizes[c as usize] += 1;
-        total += c as u64;
-    }
+    let coreness = d.coreness_slice();
+    let plan = policy.plan_even(n);
+    let (shell_sizes, total) = policy.map_reduce(
+        &plan,
+        || (),
+        |(), _, range| {
+            let mut hist = vec![0usize; kmax as usize + 1];
+            let mut sum = 0u64;
+            for &c in &coreness[range] {
+                hist[c as usize] += 1;
+                sum += c as u64;
+            }
+            (hist, sum)
+        },
+        (vec![0usize; kmax as usize + 1], 0u64),
+        |(mut hist, sum), (part_hist, part_sum)| {
+            for (h, p) in hist.iter_mut().zip(&part_hist) {
+                *h += p;
+            }
+            (hist, sum + part_sum)
+        },
+    );
     let mut core_set_sizes = vec![0usize; kmax as usize + 1];
     let mut acc = 0usize;
     for k in (0..=kmax as usize).rev() {
@@ -113,6 +137,19 @@ mod tests {
         assert_eq!(s.populated_shells, 1);
         assert_eq!(s.median_coreness, 5);
         assert_eq!(top_decile_concentration(&d), 1.0);
+    }
+
+    #[test]
+    fn policy_stats_match_sequential() {
+        bestk_graph::testkit::check("corestats_policy_equals_sequential", 24, |gen| {
+            let g = gen.graph(60, 240);
+            let d = core_decomposition(&g);
+            let reference = core_stats(&d);
+            for threads in [1, 2, 4, 7] {
+                let policy = ExecPolicy::with_threads(threads).unwrap();
+                assert_eq!(core_stats_with(&d, &policy), reference, "{threads} threads");
+            }
+        });
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! decomposition and as the substrate a distributed/semi-external port
 //! would build on.
 
+use bestk_exec::ExecPolicy;
 use bestk_graph::cast;
 use bestk_graph::{CsrGraph, VertexId};
 
@@ -34,23 +35,49 @@ pub struct HIndexDecomposition {
 /// Runs synchronous h-index iteration to fixpoint. `O(rounds · m)` time,
 /// `O(n)` space beyond the graph.
 pub fn hindex_core_decomposition(g: &CsrGraph) -> HIndexDecomposition {
+    hindex_core_decomposition_with(g, &ExecPolicy::Sequential)
+}
+
+/// Synchronous h-index iteration under an execution policy: each round is
+/// embarrassingly parallel (every vertex reads the previous round's values
+/// and writes its own slot), so rounds run as edge-balanced chunks on the
+/// shared runtime. The per-vertex h-index depends only on the immutable
+/// previous-round snapshot, so coreness *and* round count are bit-identical
+/// to the sequential run at every thread count.
+pub fn hindex_core_decomposition_with(g: &CsrGraph, policy: &ExecPolicy) -> HIndexDecomposition {
     let n = g.num_vertices();
     let mut values: Vec<u32> = (0..n)
         .map(|v| cast::u32_of(g.degree(cast::vertex_id(v))))
         .collect();
     let mut next = values.clone();
-    let mut scratch: Vec<u32> = Vec::new();
     let mut rounds = 0usize;
+    // Chunk by cumulative degree: each vertex's update costs O(d(v)).
+    let plan = policy.plan_weighted(g.offsets());
+    let cuts = plan.bounds().to_vec();
     loop {
-        let mut changed = false;
-        for v in 0..n {
-            let h = neighborhood_h_index(g, cast::vertex_id(v), &values, &mut scratch);
-            next[v] = h;
-            changed |= h != values[v];
-        }
+        let values_ref = &values;
+        let changed = std::sync::atomic::AtomicBool::new(false);
+        policy.for_each_disjoint(
+            &plan,
+            &mut next,
+            &cuts,
+            Vec::new,
+            |scratch, _, vertices, out| {
+                let base = vertices.start;
+                let mut any = false;
+                for v in vertices {
+                    let h = neighborhood_h_index(g, cast::vertex_id(v), values_ref, scratch);
+                    any |= h != values_ref[v];
+                    out[v - base] = h;
+                }
+                if any {
+                    changed.store(true, std::sync::atomic::Ordering::Relaxed);
+                }
+            },
+        );
         rounds += 1;
         std::mem::swap(&mut values, &mut next);
-        if !changed {
+        if !changed.into_inner() {
             break;
         }
     }
@@ -160,6 +187,20 @@ mod tests {
             let d = core_decomposition(&g);
             assert_eq!(hindex_core_decomposition(&g).coreness, d.coreness_slice());
         }
+    }
+
+    #[test]
+    fn policy_runs_match_sequential_exactly() {
+        bestk_graph::testkit::check("hindex_policy_equals_sequential", 24, |gen| {
+            let g = gen.graph(50, 250);
+            let reference = hindex_core_decomposition(&g);
+            for threads in [1, 2, 4, 7] {
+                let policy = ExecPolicy::with_threads(threads).unwrap();
+                let got = hindex_core_decomposition_with(&g, &policy);
+                assert_eq!(got.coreness, reference.coreness, "{threads} threads");
+                assert_eq!(got.rounds, reference.rounds, "{threads} threads");
+            }
+        });
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub mod triangles;
 pub mod verify;
 pub mod weighted;
 
-pub use analysis::{analyze, analyze_basic, BestKAnalysis};
+pub use analysis::{analyze, analyze_basic, analyze_basic_with, analyze_with, BestKAnalysis};
 pub use bestcore::{best_single_core, single_core_profile, BestCore, SingleCoreProfile};
 pub use bestkset::{best_k_core_set, core_set_profile, BestKSet, CoreSetProfile};
 pub use decomposition::{core_decomposition, CoreDecomposition};

@@ -14,6 +14,7 @@
 //! `N(v, ·)` slices in `O(|N(v, ·)|)` — the primitive every sweep in this
 //! crate is built on.
 
+use bestk_exec::ExecPolicy;
 use bestk_graph::cast;
 use bestk_graph::{CsrGraph, VertexId};
 
@@ -41,6 +42,19 @@ impl<'a> OrderedGraph<'a> {
     /// endpoint's list yields every `N'(u)` in ascending rank without any
     /// comparison sort.
     pub fn build(graph: &'a CsrGraph, decomp: &'a CoreDecomposition) -> Self {
+        Self::build_with(graph, decomp, &ExecPolicy::Sequential)
+    }
+
+    /// [`build`](Self::build) under an execution policy: the rank-order
+    /// scatter stays sequential (its write order *is* the sort), while the
+    /// per-list tag scan — an independent `O(d(v))` pass per vertex — runs
+    /// as edge-balanced chunks on the shared runtime. Tags are merged in
+    /// chunk order, so the result is bit-identical at every thread count.
+    pub fn build_with(
+        graph: &'a CsrGraph,
+        decomp: &'a CoreDecomposition,
+        policy: &ExecPolicy,
+    ) -> Self {
         let n = graph.num_vertices();
         assert_eq!(
             n,
@@ -65,28 +79,51 @@ impl<'a> OrderedGraph<'a> {
         let mut same = vec![0u32; n];
         let mut plus = vec![0u32; n];
         let mut high = vec![0u32; n];
-        for v in 0..n {
-            let cv = decomp.coreness(cast::vertex_id(v));
-            let list = &adj[offsets[v]..offsets[v + 1]];
-            let deg = cast::u32_of(list.len());
-            let mut s = deg;
-            let mut p = deg;
-            let mut h = deg;
-            for (i, &u) in list.iter().enumerate() {
-                let cu = decomp.coreness(u);
-                if s == deg && cu >= cv {
-                    s = cast::u32_of(i);
+        let plan = policy.plan_weighted(offsets);
+        let adj_ref = &adj;
+        let parts = policy.map_chunks(
+            &plan,
+            || (),
+            |(), _, vertices| {
+                let mut part = (
+                    Vec::with_capacity(vertices.len()),
+                    Vec::with_capacity(vertices.len()),
+                    Vec::with_capacity(vertices.len()),
+                );
+                for v in vertices {
+                    let cv = decomp.coreness(cast::vertex_id(v));
+                    let list = &adj_ref[offsets[v]..offsets[v + 1]];
+                    let deg = cast::u32_of(list.len());
+                    let mut s = deg;
+                    let mut p = deg;
+                    let mut h = deg;
+                    for (i, &u) in list.iter().enumerate() {
+                        let cu = decomp.coreness(u);
+                        if s == deg && cu >= cv {
+                            s = cast::u32_of(i);
+                        }
+                        if p == deg && cu > cv {
+                            p = cast::u32_of(i);
+                        }
+                        if h == deg && (cu > cv || (cu == cv && u > cast::vertex_id(v))) {
+                            h = cast::u32_of(i);
+                        }
+                    }
+                    part.0.push(s);
+                    part.1.push(p);
+                    part.2.push(h);
                 }
-                if p == deg && cu > cv {
-                    p = cast::u32_of(i);
-                }
-                if h == deg && (cu > cv || (cu == cv && u > cast::vertex_id(v))) {
-                    h = cast::u32_of(i);
-                }
-            }
-            same[v] = s;
-            plus[v] = p;
-            high[v] = h;
+                part
+            },
+        );
+        let (mut s_at, mut p_at, mut h_at) = (0usize, 0usize, 0usize);
+        for (ps, pp, ph) in parts {
+            same[s_at..s_at + ps.len()].copy_from_slice(&ps);
+            s_at += ps.len();
+            plus[p_at..p_at + pp.len()].copy_from_slice(&pp);
+            p_at += pp.len();
+            high[h_at..h_at + ph.len()].copy_from_slice(&ph);
+            h_at += ph.len();
         }
         OrderedGraph {
             graph,
@@ -301,6 +338,23 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn build_with_matches_sequential_build() {
+        bestk_graph::testkit::check("ordering_policy_equals_sequential", 24, |gen| {
+            let g = gen.graph(50, 250);
+            let d = core_decomposition(&g);
+            let reference = OrderedGraph::build(&g, &d);
+            for threads in [1, 2, 4, 7] {
+                let policy = ExecPolicy::with_threads(threads).unwrap();
+                let o = OrderedGraph::build_with(&g, &d, &policy);
+                assert_eq!(o.adj, reference.adj, "{threads} threads");
+                assert_eq!(o.same, reference.same, "{threads} threads");
+                assert_eq!(o.plus, reference.plus, "{threads} threads");
+                assert_eq!(o.high, reference.high, "{threads} threads");
+            }
+        });
     }
 
     #[test]

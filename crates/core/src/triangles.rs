@@ -5,6 +5,7 @@
 //! and the ablation benches. All counters are `O(m^1.5)` \[Latapy 2008,
 //! paper reference 35\].
 
+use bestk_exec::{prefix_sum, ExecPolicy};
 use bestk_graph::cast;
 use bestk_graph::{CsrGraph, VertexId};
 
@@ -50,19 +51,18 @@ pub fn count_triangles(g: &CsrGraph) -> u64 {
     triangles
 }
 
-/// Parallel version of [`count_triangles`]: splits the degree-descending
-/// vertex order across `threads` workers, each with its own marker array
-/// (the forward algorithm is embarrassingly parallel over its outer loop).
-///
-/// Exact same count as the sequential version; worth it from a few hundred
-/// thousand edges up.
-pub fn count_triangles_parallel(g: &CsrGraph, threads: usize) -> u64 {
-    let threads = threads.max(1);
+/// [`count_triangles`] under an execution policy: the degree-descending
+/// outer loop is split into edge-balanced chunks on the shared runtime,
+/// each worker carrying its own marker array. The count is exactly that of
+/// the sequential version at every thread count (each outer vertex's
+/// contribution is independent, and the per-chunk partials are summed in
+/// chunk order).
+pub fn count_triangles_with(g: &CsrGraph, policy: &ExecPolicy) -> u64 {
     let n = g.num_vertices();
     if n == 0 {
         return 0;
     }
-    if threads == 1 || n < 1024 {
+    if !policy.is_parallel() {
         return count_triangles(g);
     }
     let mut order: Vec<VertexId> = (0..cast::vertex_id(n)).collect();
@@ -71,42 +71,52 @@ pub fn count_triangles_parallel(g: &CsrGraph, threads: usize) -> u64 {
     for (i, &v) in order.iter().enumerate() {
         pos[v as usize] = cast::u32_of(i);
     }
+    // Edge-balanced chunking: the cost of outer vertex `order[i]` is
+    // degree-shaped, so chunk by cumulative degree, not by vertex count.
+    let prefix = prefix_sum(order.iter().map(|&v| g.degree(v)));
+    let plan = policy.plan_weighted(&prefix);
     let order = &order;
     let pos = &pos;
-    let total = std::sync::atomic::AtomicU64::new(0);
-    std::thread::scope(|scope| {
-        for t in 0..threads {
-            let total = &total;
-            scope.spawn(move || {
-                let mut marked = vec![0u32; n];
-                let mut stamp = 0u32;
-                let mut local = 0u64;
-                // Strided partition balances the skewed per-vertex costs.
-                for idx in (t..order.len()).step_by(threads) {
-                    let v = order[idx];
-                    stamp += 1;
-                    let pv = pos[v as usize];
-                    for &u in g.neighbors(v) {
-                        if pos[u as usize] > pv {
-                            marked[u as usize] = stamp;
-                        }
+    policy.map_reduce(
+        &plan,
+        || (vec![0u32; n], 0u32),
+        |(marked, stamp), _, range| {
+            let mut local = 0u64;
+            for &v in &order[range] {
+                *stamp += 1;
+                let pv = pos[v as usize];
+                for &u in g.neighbors(v) {
+                    if pos[u as usize] > pv {
+                        marked[u as usize] = *stamp;
                     }
-                    for &u in g.neighbors(v) {
-                        if pos[u as usize] > pv {
-                            for &w in g.neighbors(u) {
-                                if pos[w as usize] > pos[u as usize] && marked[w as usize] == stamp
-                                {
-                                    local += 1;
-                                }
+                }
+                for &u in g.neighbors(v) {
+                    if pos[u as usize] > pv {
+                        for &w in g.neighbors(u) {
+                            if pos[w as usize] > pos[u as usize] && marked[w as usize] == *stamp {
+                                local += 1;
                             }
                         }
                     }
                 }
-                total.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
-            });
-        }
-    });
-    total.into_inner()
+            }
+            local
+        },
+        0u64,
+        |acc, part| acc + part,
+    )
+}
+
+/// Parallel version of [`count_triangles`] with an explicit thread count —
+/// a thin wrapper over [`count_triangles_with`] kept for callers that think
+/// in threads rather than policies. Small graphs run sequentially (worker
+/// spawning would dominate).
+pub fn count_triangles_parallel(g: &CsrGraph, threads: usize) -> u64 {
+    if g.num_vertices() < 1024 {
+        return count_triangles(g);
+    }
+    let policy = ExecPolicy::with_threads(threads.max(1)).unwrap_or(ExecPolicy::Sequential);
+    count_triangles_with(g, &policy)
 }
 
 /// Counts the triplets of `g`: `Σ_v C(d(v), 2)`. `O(n)`.
@@ -245,6 +255,23 @@ mod tests {
         assert_eq!(count_triangles(&g), expected);
         assert_eq!(count_triangles_ordered(&o), expected);
         assert_eq!(count_triangles_merge(&o), expected);
+    }
+
+    #[test]
+    fn policy_counter_matches_sequential_on_generated_graphs() {
+        bestk_graph::testkit::check("triangles_policy_equals_sequential", 24, |gen| {
+            let g = gen.graph(60, 300);
+            let expected = count_triangles(&g);
+            assert_eq!(count_triangles_with(&g, &ExecPolicy::Sequential), expected);
+            for threads in [1, 2, 4, 7] {
+                let policy = ExecPolicy::with_threads(threads).unwrap();
+                assert_eq!(
+                    count_triangles_with(&g, &policy),
+                    expected,
+                    "{threads} threads"
+                );
+            }
+        });
     }
 
     #[test]

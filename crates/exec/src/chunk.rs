@@ -1,0 +1,178 @@
+//! Chunk plans: how an index range is split into contiguous work units.
+//!
+//! A [`ChunkPlan`] is a monotone sequence of boundaries over `0..len`.
+//! [`ChunkPlan::even`] splits by item count; [`ChunkPlan::weighted`] splits
+//! by a cumulative weight array so that each chunk carries roughly equal
+//! total weight — the *edge-balanced* strategy used by the graph kernels,
+//! whose per-vertex cost is proportional to degree (a CSR offsets array is
+//! exactly the cumulative weight array they need).
+
+use std::ops::Range;
+
+/// A partition of `0..len` into contiguous, possibly empty chunks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkPlan {
+    /// `bounds[c]..bounds[c + 1]` is chunk `c`; `bounds[0] = 0` and
+    /// `bounds.last() = len`.
+    bounds: Vec<usize>,
+}
+
+impl ChunkPlan {
+    /// Splits `0..len` into `chunks` parts of near-equal item count (the
+    /// first `len % chunks` parts get one extra item).
+    pub fn even(len: usize, chunks: usize) -> ChunkPlan {
+        let chunks = chunks.clamp(1, len.max(1));
+        let base = len / chunks;
+        let extra = len % chunks;
+        let mut bounds = Vec::with_capacity(chunks + 1);
+        let mut at = 0;
+        bounds.push(0);
+        for c in 0..chunks {
+            at += base + usize::from(c < extra);
+            bounds.push(at);
+        }
+        ChunkPlan { bounds }
+    }
+
+    /// Splits `0..prefix.len() - 1` items into `chunks` parts of
+    /// near-equal total weight, where `prefix` is a cumulative weight array
+    /// (`prefix[0] = 0`, `prefix[i]` = total weight of items `0..i`). A CSR
+    /// offsets array makes this the degree-aware chunking of the graph
+    /// kernels.
+    ///
+    /// Boundaries are chosen by binary search for the ideal weight split
+    /// points, so the plan itself costs `O(chunks · log len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix` is empty or not non-decreasing from 0.
+    pub fn weighted(prefix: &[usize], chunks: usize) -> ChunkPlan {
+        assert!(
+            prefix.first() == Some(&0),
+            "cumulative weight array must start at 0"
+        );
+        let len = prefix.len() - 1;
+        let total = prefix[len];
+        let chunks = chunks.clamp(1, len.max(1));
+        if total == 0 {
+            return ChunkPlan::even(len, chunks);
+        }
+        let mut bounds = Vec::with_capacity(chunks + 1);
+        bounds.push(0);
+        for c in 1..chunks {
+            // Ideal boundary: first item index whose cumulative weight
+            // reaches c/chunks of the total (never behind the previous
+            // boundary, so chunks stay contiguous).
+            let target = (total as u128 * c as u128 / chunks as u128) as usize;
+            let at = prefix.partition_point(|&w| w < target).min(len);
+            let prev = *bounds.last().unwrap_or(&0);
+            bounds.push(at.max(prev));
+        }
+        bounds.push(len);
+        ChunkPlan { bounds }
+    }
+
+    /// Total number of items covered.
+    pub fn len(&self) -> usize {
+        *self.bounds.last().unwrap_or(&0)
+    }
+
+    /// Whether the plan covers no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The item range of chunk `c`.
+    pub fn range(&self, c: usize) -> Range<usize> {
+        self.bounds[c]..self.bounds[c + 1]
+    }
+
+    /// The boundary positions (`num_chunks() + 1` entries, first 0, last
+    /// [`len`](ChunkPlan::len)).
+    pub fn bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+}
+
+/// Cumulative weights of an item sequence: the `len + 1` array
+/// [`ChunkPlan::weighted`] consumes (`out[0] = 0`, `out[i]` = sum of the
+/// first `i` weights).
+pub fn prefix_sum(weights: impl IntoIterator<Item = usize>) -> Vec<usize> {
+    let iter = weights.into_iter();
+    let mut out = Vec::with_capacity(iter.size_hint().0 + 1);
+    let mut acc = 0usize;
+    out.push(0);
+    for w in iter {
+        acc += w;
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranges(p: &ChunkPlan) -> Vec<Range<usize>> {
+        (0..p.num_chunks()).map(|c| p.range(c)).collect()
+    }
+
+    #[test]
+    fn even_covers_everything_once() {
+        let p = ChunkPlan::even(10, 3);
+        assert_eq!(ranges(&p), vec![0..4, 4..7, 7..10]);
+        assert_eq!(p.len(), 10);
+        let p = ChunkPlan::even(2, 8);
+        assert_eq!(p.num_chunks(), 2, "chunks clamp to len");
+        let p = ChunkPlan::even(0, 4);
+        assert_eq!(p.num_chunks(), 1);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn weighted_balances_skewed_weights() {
+        // One huge item up front, many tiny ones after: the even split
+        // would put the huge item plus half the tail in chunk 0, while the
+        // weighted split isolates it.
+        let weights: Vec<usize> = std::iter::once(1000)
+            .chain(std::iter::repeat_n(1, 9))
+            .collect();
+        let prefix = prefix_sum(weights);
+        let p = ChunkPlan::weighted(&prefix, 2);
+        assert_eq!(p.num_chunks(), 2);
+        assert_eq!(p.range(0), 0..1, "heavy head isolated");
+        assert_eq!(p.range(1), 1..10);
+    }
+
+    #[test]
+    fn weighted_is_a_partition() {
+        let prefix = prefix_sum((0..100).map(|i| i % 7));
+        for chunks in [1, 2, 3, 5, 16, 200] {
+            let p = ChunkPlan::weighted(&prefix, chunks);
+            assert_eq!(p.bounds()[0], 0);
+            assert_eq!(p.len(), 100);
+            for w in p.bounds().windows(2) {
+                assert!(w[0] <= w[1], "bounds must be monotone: {:?}", p.bounds());
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_zero_total_falls_back_to_even() {
+        let prefix = vec![0; 11];
+        let p = ChunkPlan::weighted(&prefix, 4);
+        assert_eq!(p.len(), 10);
+        assert_eq!(p.num_chunks(), 4);
+    }
+
+    #[test]
+    fn prefix_sum_shape() {
+        assert_eq!(prefix_sum([3, 0, 2]), vec![0, 3, 3, 5]);
+        assert_eq!(prefix_sum([]), vec![0]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # bestk-exec
+//!
+//! The workspace's shared execution-policy runtime. Every embarrassingly
+//! parallel kernel in the workspace — triangle counting, h-index rounds,
+//! CSR construction passes, truss support initialization, per-k metric
+//! sweeps — routes its loop structure through an [`ExecPolicy`] instead of
+//! hand-rolling `std::thread` plumbing. That buys three things:
+//!
+//! 1. **One scheduling strategy.** Work is split into contiguous chunks
+//!    (evenly, or edge-balanced via [`ChunkPlan::weighted`] for skewed
+//!    per-item costs) and claimed dynamically by a fixed pool of scoped
+//!    workers, each with its own scratch allocation.
+//! 2. **A determinism contract.** Chunk results are merged in chunk order
+//!    regardless of which worker finished first, so a kernel whose per-chunk
+//!    computation is deterministic produces bit-identical output at every
+//!    thread count — enforced workspace-wide by the parallel-equals-
+//!    sequential property tests.
+//! 3. **A policed seam.** The `bestk-analyze` `no-raw-thread` lint forbids
+//!    `std::thread::spawn` / `std::thread::scope` outside this crate, so
+//!    future parallelism (sharding, async backends) grows here, not ad hoc.
+//!
+//! The crate is dependency-free and uses only scoped threads; no worker
+//! outlives the call that spawned it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod chunk;
+mod policy;
+mod runtime;
+
+pub use chunk::{prefix_sum, ChunkPlan};
+pub use policy::{ExecError, ExecPolicy};

@@ -1,0 +1,136 @@
+//! The [`ExecPolicy`] type: how a kernel's loops should execute.
+
+use std::fmt;
+use std::num::NonZeroUsize;
+
+/// How a kernel should execute its chunked loops.
+///
+/// `Sequential` runs every chunk in order on the calling thread —
+/// no worker threads, no synchronization, the reference semantics.
+/// `Parallel` runs chunks on `threads` scoped workers; results are still
+/// merged in chunk order, so deterministic kernels produce bit-identical
+/// output under either policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPolicy {
+    /// Run on the calling thread, chunk by chunk, in order.
+    Sequential,
+    /// Run on a scoped pool of worker threads.
+    Parallel {
+        /// Number of worker threads (always ≥ 2; a single thread is
+        /// normalized to [`ExecPolicy::Sequential`] at construction).
+        threads: NonZeroUsize,
+    },
+}
+
+/// Errors constructing an [`ExecPolicy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A thread count of zero was requested.
+    ZeroThreads,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::ZeroThreads => {
+                write!(f, "thread count must be a positive integer, got 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl Default for ExecPolicy {
+    /// The default policy uses every available hardware thread.
+    fn default() -> Self {
+        ExecPolicy::auto()
+    }
+}
+
+impl ExecPolicy {
+    /// The sequential reference policy.
+    pub fn sequential() -> ExecPolicy {
+        ExecPolicy::Sequential
+    }
+
+    /// A policy using `std::thread::available_parallelism` worker threads
+    /// (sequential when the machine reports a single hardware thread or the
+    /// query fails).
+    pub fn auto() -> ExecPolicy {
+        match std::thread::available_parallelism() {
+            Ok(n) if n.get() > 1 => ExecPolicy::Parallel { threads: n },
+            _ => ExecPolicy::Sequential,
+        }
+    }
+
+    /// A policy with an explicit thread count. Rejects 0; normalizes 1 to
+    /// [`ExecPolicy::Sequential`] so a single-threaded run never pays for
+    /// worker spawning or synchronization.
+    pub fn with_threads(threads: usize) -> Result<ExecPolicy, ExecError> {
+        match NonZeroUsize::new(threads) {
+            None => Err(ExecError::ZeroThreads),
+            Some(n) if n.get() == 1 => Ok(ExecPolicy::Sequential),
+            Some(n) => Ok(ExecPolicy::Parallel { threads: n }),
+        }
+    }
+
+    /// Number of threads this policy executes on (1 for sequential).
+    pub fn threads(&self) -> usize {
+        match self {
+            ExecPolicy::Sequential => 1,
+            ExecPolicy::Parallel { threads } => threads.get(),
+        }
+    }
+
+    /// Whether the policy spawns worker threads.
+    pub fn is_parallel(&self) -> bool {
+        matches!(self, ExecPolicy::Parallel { .. })
+    }
+
+    /// The number of chunks a work list of `len` items should be split
+    /// into: ~4 chunks per worker (so dynamic claiming can rebalance skew)
+    /// but never more than `len`.
+    pub(crate) fn chunk_target(&self, len: usize) -> usize {
+        match self {
+            ExecPolicy::Sequential => 1,
+            ExecPolicy::Parallel { threads } => (threads.get() * 4).min(len).max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_threads_rejects_zero_and_normalizes_one() {
+        assert_eq!(ExecPolicy::with_threads(0), Err(ExecError::ZeroThreads));
+        assert_eq!(ExecPolicy::with_threads(1), Ok(ExecPolicy::Sequential));
+        let p = ExecPolicy::with_threads(4).unwrap();
+        assert!(p.is_parallel());
+        assert_eq!(p.threads(), 4);
+    }
+
+    #[test]
+    fn auto_reports_at_least_one_thread() {
+        let p = ExecPolicy::auto();
+        assert!(p.threads() >= 1);
+        assert_eq!(ExecPolicy::sequential().threads(), 1);
+    }
+
+    #[test]
+    fn chunk_target_oversubscribes_but_never_exceeds_len() {
+        let p = ExecPolicy::with_threads(4).unwrap();
+        assert_eq!(p.chunk_target(1_000), 16);
+        assert_eq!(p.chunk_target(3), 3);
+        assert_eq!(p.chunk_target(0), 1);
+        assert_eq!(ExecPolicy::Sequential.chunk_target(1_000), 1);
+    }
+
+    #[test]
+    fn zero_threads_error_displays() {
+        let msg = ExecError::ZeroThreads.to_string();
+        assert!(msg.contains("positive integer"), "{msg}");
+    }
+}

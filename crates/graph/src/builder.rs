@@ -2,6 +2,9 @@
 
 use crate::cast;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use bestk_exec::ExecPolicy;
 
 use crate::csr::{CsrGraph, VertexId};
 use crate::error::GraphError;
@@ -86,6 +89,15 @@ impl GraphBuilder {
 
     /// Builds the graph, consuming the builder.
     pub fn build(self) -> CsrGraph {
+        self.build_with(&ExecPolicy::Sequential)
+    }
+
+    /// Builds the graph under an execution policy: the degree-count and
+    /// per-adjacency sort passes route through `policy`, while the stable
+    /// counting sorts stay sequential (their scatter order is the
+    /// algorithm). The resulting graph is bit-identical at every thread
+    /// count.
+    pub fn build_with(self, policy: &ExecPolicy) -> CsrGraph {
         let n = self
             .edges
             .iter()
@@ -93,14 +105,14 @@ impl GraphBuilder {
             .max()
             .unwrap_or(0)
             .max(self.min_vertices);
-        build_csr(n, self.edges)
+        build_csr(n, self.edges, policy)
     }
 }
 
 /// Counting-sort construction of a deduplicated CSR from canonicalized edges
 /// (`u < v`, no self loops). Two passes: scatter by `u`, then per-adjacency
 /// dedup after a stable scatter by the opposite endpoint.
-fn build_csr(n: usize, mut edges: Vec<(VertexId, VertexId)>) -> CsrGraph {
+fn build_csr(n: usize, mut edges: Vec<(VertexId, VertexId)>, policy: &ExecPolicy) -> CsrGraph {
     // Sort canonical edges lexicographically via two stable counting passes
     // (radix over the two endpoints), then dedup.
     if !edges.is_empty() {
@@ -109,12 +121,7 @@ fn build_csr(n: usize, mut edges: Vec<(VertexId, VertexId)>) -> CsrGraph {
         edges.dedup();
     }
 
-    // Degree count over both endpoints.
-    let mut deg = vec![0usize; n];
-    for &(u, v) in &edges {
-        deg[u as usize] += 1;
-        deg[v as usize] += 1;
-    }
+    let deg = count_degrees(n, &edges, policy);
     let mut offsets = Vec::with_capacity(n + 1);
     let mut acc = 0usize;
     offsets.push(0);
@@ -133,11 +140,51 @@ fn build_csr(n: usize, mut edges: Vec<(VertexId, VertexId)>) -> CsrGraph {
     // Each adjacency list is the interleaving of two already-sorted runs
     // (neighbors below w from edges (u, w), neighbors above w from edges
     // (w, v)); `sort_unstable` on the short slice hits its adaptive merge
-    // fast path, keeping construction effectively linear.
-    for w in 0..n {
-        neighbors[offsets[w]..offsets[w + 1]].sort_unstable();
-    }
+    // fast path, keeping construction effectively linear. The lists are
+    // disjoint output regions, so the pass runs edge-balanced in parallel.
+    let plan = policy.plan_weighted(&offsets);
+    let cuts: Vec<usize> = plan.bounds().iter().map(|&b| offsets[b]).collect();
+    let offsets_ref = &offsets;
+    policy.for_each_disjoint(
+        &plan,
+        &mut neighbors,
+        &cuts,
+        || (),
+        |(), _, vertices, region| {
+            let base = offsets_ref[vertices.start];
+            for w in vertices {
+                region[offsets_ref[w] - base..offsets_ref[w + 1] - base].sort_unstable();
+            }
+        },
+    );
     CsrGraph::from_parts(offsets, neighbors)
+}
+
+/// Degree count over both endpoints of the canonical edge list. Sequential
+/// policies use plain counters; parallel ones accumulate into shared atomic
+/// counters (addition commutes, so the totals are identical either way).
+fn count_degrees(n: usize, edges: &[(VertexId, VertexId)], policy: &ExecPolicy) -> Vec<usize> {
+    if !policy.is_parallel() || edges.len() < 2 {
+        let mut deg = vec![0usize; n];
+        for &(u, v) in edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        return deg;
+    }
+    let deg: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+    let plan = policy.plan_even(edges.len());
+    policy.parallel_for(
+        &plan,
+        || (),
+        |(), _, range| {
+            for &(u, v) in &edges[range] {
+                deg[u as usize].fetch_add(1, Ordering::Relaxed);
+                deg[v as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        },
+    );
+    deg.into_iter().map(AtomicUsize::into_inner).collect()
 }
 
 fn counting_sort_by<T: Copy>(items: Vec<T>, buckets: usize, key: impl Fn(&T) -> usize) -> Vec<T> {
@@ -269,6 +316,26 @@ mod tests {
         assert_eq!(g.num_edges(), 3);
         assert_eq!(orig, vec![100, 7, 55]);
         assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn build_with_matches_sequential_build() {
+        use crate::testkit::check;
+        check("builder_parallel_equals_sequential", 24, |gen| {
+            let n = gen.u32_in(2, 60);
+            let edges = gen.edges(n, 300);
+            let mut seq = GraphBuilder::new();
+            seq.reserve_vertices(n as usize);
+            seq.extend_edges(edges.iter().copied());
+            let reference = seq.build();
+            for threads in [1, 2, 4, 7] {
+                let mut b = GraphBuilder::new();
+                b.reserve_vertices(n as usize);
+                b.extend_edges(edges.iter().copied());
+                let g = b.build_with(&ExecPolicy::with_threads(threads).unwrap());
+                assert_eq!(g, reference, "{threads} threads");
+            }
+        });
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! peeling — giving every edge its truss number `t(e)` in `O(m^1.5)` time
 //! [Wang & Cheng, PVLDB 2012; paper references 19, 56].
 
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use bestk_exec::{prefix_sum, ExecPolicy};
 use bestk_graph::cast;
 use bestk_graph::{CsrGraph, VertexId};
 
@@ -109,6 +112,69 @@ pub fn edge_supports(g: &CsrGraph, idx: &EdgeIndex) -> Vec<u32> {
     support
 }
 
+/// [`edge_supports`] under an execution policy: the degree-descending outer
+/// loop is split into edge-balanced chunks, each worker carrying its own
+/// mark array; triangle credits land in shared atomic counters. Additions
+/// commute, so the support vector is identical to the sequential one at
+/// every thread count.
+pub fn edge_supports_with(g: &CsrGraph, idx: &EdgeIndex, policy: &ExecPolicy) -> Vec<u32> {
+    if !policy.is_parallel() {
+        return edge_supports(g, idx);
+    }
+    let n = g.num_vertices();
+    let m = idx.num_edges();
+    let support: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(0)).collect();
+    let mut order: Vec<VertexId> = (0..cast::vertex_id(n)).collect();
+    order.sort_unstable_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    let mut pos = vec![0u32; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = cast::u32_of(i);
+    }
+    let prefix = prefix_sum(order.iter().map(|&v| g.degree(v)));
+    let plan = policy.plan_weighted(&prefix);
+    let (order, pos, support_ref) = (&order, &pos, &support);
+    policy.map_reduce(
+        &plan,
+        || vec![u32::MAX; n],
+        |mark, _, range| {
+            for &v in &order[range] {
+                let pv = pos[v as usize];
+                let slots = idx.slots_of(g, v);
+                for p in slots.clone() {
+                    let w = g.raw_neighbors()[p];
+                    if pos[w as usize] > pv {
+                        mark[w as usize] = idx.id_at_slot(p);
+                    }
+                }
+                for p in slots.clone() {
+                    let u = g.raw_neighbors()[p];
+                    if pos[u as usize] <= pv {
+                        continue;
+                    }
+                    let e_vu = idx.id_at_slot(p);
+                    for q in idx.slots_of(g, u) {
+                        let w = g.raw_neighbors()[q];
+                        if pos[w as usize] > pos[u as usize] && mark[w as usize] != u32::MAX {
+                            let e_vw = mark[w as usize];
+                            let e_uw = idx.id_at_slot(q);
+                            support_ref[e_vu as usize].fetch_add(1, Ordering::Relaxed);
+                            support_ref[e_vw as usize].fetch_add(1, Ordering::Relaxed);
+                            support_ref[e_uw as usize].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                for p in slots {
+                    let w = g.raw_neighbors()[p];
+                    mark[w as usize] = u32::MAX;
+                }
+            }
+        },
+        (),
+        |(), ()| (),
+    );
+    support.into_iter().map(AtomicU32::into_inner).collect()
+}
+
 /// Runs the peeling truss decomposition; `O(m^1.5)` time, `O(m)` space.
 pub fn truss_decomposition(g: &CsrGraph) -> TrussDecomposition {
     let idx = EdgeIndex::build(g);
@@ -117,9 +183,26 @@ pub fn truss_decomposition(g: &CsrGraph) -> TrussDecomposition {
 
 /// Like [`truss_decomposition`] but reuses a prebuilt [`EdgeIndex`].
 pub fn truss_decomposition_with_index(g: &CsrGraph, idx: &EdgeIndex) -> TrussDecomposition {
+    peel_from_supports(g, idx, edge_supports(g, idx))
+}
+
+/// [`truss_decomposition_with_index`] under an execution policy: the support
+/// initialization (the `O(m^1.5)` half of the cost) runs on the shared
+/// runtime via [`edge_supports_with`]; the peel itself is inherently
+/// sequential (each removal changes the supports the next step reads) and
+/// runs as-is. The decomposition is identical at every thread count.
+pub fn truss_decomposition_exec(
+    g: &CsrGraph,
+    idx: &EdgeIndex,
+    policy: &ExecPolicy,
+) -> TrussDecomposition {
+    peel_from_supports(g, idx, edge_supports_with(g, idx, policy))
+}
+
+/// The ascending-support peel, starting from precomputed edge supports.
+fn peel_from_supports(g: &CsrGraph, idx: &EdgeIndex, mut support: Vec<u32>) -> TrussDecomposition {
     let m = idx.num_edges();
     let n = g.num_vertices();
-    let mut support = edge_supports(g, idx);
     // Bucket queue over supports with lazy entries.
     let max_sup = support.iter().copied().max().unwrap_or(0) as usize;
     let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_sup + 1];
@@ -342,6 +425,31 @@ mod tests {
         let fast = truss_decomposition_with_index(&g, &idx);
         let naive = naive_truss(&g, &idx);
         assert_eq!(fast.truss_slice(), &naive[..]);
+    }
+
+    #[test]
+    fn policy_supports_and_truss_match_sequential() {
+        bestk_graph::testkit::check("truss_policy_equals_sequential", 16, |gen| {
+            let g = gen.graph(50, 220);
+            let idx = EdgeIndex::build(&g);
+            let ref_support = edge_supports(&g, &idx);
+            let ref_truss = truss_decomposition_with_index(&g, &idx);
+            for threads in [1, 2, 4, 7] {
+                let policy = ExecPolicy::with_threads(threads).unwrap();
+                assert_eq!(
+                    edge_supports_with(&g, &idx, &policy),
+                    ref_support,
+                    "supports, {threads} threads"
+                );
+                let t = truss_decomposition_exec(&g, &idx, &policy);
+                assert_eq!(
+                    t.truss_slice(),
+                    ref_truss.truss_slice(),
+                    "truss, {threads} threads"
+                );
+                assert_eq!(t.tmax(), ref_truss.tmax());
+            }
+        });
     }
 
     #[test]

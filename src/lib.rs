@@ -15,6 +15,8 @@
 //!   maximum clique, size-constrained k-core.
 //! * [`truss`] — the §VI-B extension ([`bestk_truss`]): truss decomposition
 //!   and the best k-truss set.
+//! * [`exec`] — the execution-policy runtime ([`bestk_exec`]): the shared
+//!   parallel substrate every hot kernel routes through.
 //!
 //! See `examples/` for runnable walkthroughs and `crates/bench` for the
 //! evaluation harness that regenerates every table and figure of the paper.
@@ -23,5 +25,6 @@
 
 pub use bestk_apps as apps;
 pub use bestk_core as core;
+pub use bestk_exec as exec;
 pub use bestk_graph as graph;
 pub use bestk_truss as truss;
