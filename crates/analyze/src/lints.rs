@@ -10,6 +10,7 @@
 //! | `no-panic` | no `panic!` / `todo!` / `unimplemented!` outside `#[cfg(test)]` |
 //! | `no-raw-cast` | no truncating `as u8/u16/u32/i8/i16/i32/VertexId` outside the blessed `cast` module |
 //! | `no-raw-thread` | no `thread::spawn` / `thread::scope` outside `crates/exec` (the policed scheduling seam) |
+//! | `no-raw-net` | no `std::net` sockets outside `crates/engine` (the policed serving seam) |
 //! | `module-doc` | every source file opens with a `//!` module doc |
 //!
 //! Suppressions are explicit and carry a reason:
@@ -47,6 +48,10 @@ pub const LINTS: &[(&str, &str)] = &[
     (
         "no-raw-thread",
         "no thread::spawn/thread::scope outside crates/exec; use bestk_exec::ExecPolicy",
+    ),
+    (
+        "no-raw-net",
+        "no std::net sockets outside crates/engine; route serving through bestk_engine::serve",
     ),
     (
         "module-doc",
@@ -214,6 +219,9 @@ pub fn check_file(path: &str, role: FileRole, text: &str) -> Vec<Diagnostic> {
     // `crates/exec` is the one place allowed to touch OS threads: every
     // other crate must route parallelism through its `ExecPolicy` runtime.
     let exec_exempt = path.starts_with("crates/exec/");
+    // `crates/engine` is likewise the one place allowed to open sockets:
+    // its serving loop is the policed network seam.
+    let net_exempt = path.starts_with("crates/engine/");
 
     // Pattern lints over blanked code, skipping test regions.
     for (i, line) in model.lines.iter().enumerate() {
@@ -249,6 +257,24 @@ pub fn check_file(path: &str, role: FileRole, text: &str) -> Vec<Diagnostic> {
                         "no-raw-thread",
                         format!(
                             "{what} outside crates/exec (route parallelism through bestk_exec::ExecPolicy)"
+                        ),
+                    ));
+                }
+            }
+        }
+        if !net_exempt && !allowed("no-raw-net", i) {
+            for (needle, what) in [
+                ("std::net", "`std::net`"),
+                ("TcpListener", "`TcpListener`"),
+                ("TcpStream", "`TcpStream`"),
+            ] {
+                if code.contains(needle) {
+                    diags.push(Diagnostic::new(
+                        path,
+                        i + 1,
+                        "no-raw-net",
+                        format!(
+                            "{what} outside crates/engine (route serving through bestk_engine::serve)"
                         ),
                     ));
                 }
@@ -405,6 +431,39 @@ mod tests {
         let src = format!(
             "{DOC}// thread::spawn( in a comment\nlet s = \"thread::scope(\";\n\
              #[cfg(test)]\nmod tests {{\n    fn t() {{ std::thread::spawn(|| ()); }}\n}}\n"
+        );
+        assert!(check_file("crates/core/src/x.rs", FileRole::Library, &src).is_empty());
+    }
+
+    #[test]
+    fn raw_net_outside_engine_fires() {
+        for bad in [
+            "fn f() { let _ = std::net::TcpListener::bind(\"127.0.0.1:0\"); }",
+            "use std::net::SocketAddr;",
+            "fn f(s: TcpStream) { let _ = s; }",
+        ] {
+            let src = format!("{DOC}{bad}\n");
+            let d = check_file("crates/cli/src/commands.rs", FileRole::Library, &src);
+            assert!(lints_of(&d).contains(&"no-raw-net"), "{bad:?} -> {d:?}");
+            assert_eq!(d[0].line, 2);
+        }
+    }
+
+    #[test]
+    fn raw_net_inside_engine_is_blessed() {
+        let src = format!("{DOC}use std::net::TcpListener;\nfn f(s: TcpStream) {{ let _ = s; }}\n");
+        assert!(check_file("crates/engine/src/serve.rs", FileRole::Library, &src).is_empty());
+    }
+
+    #[test]
+    fn raw_net_in_test_code_strings_or_allowed_lines_is_fine() {
+        let src = format!(
+            "{DOC}// std::net in a comment\nlet s = \"TcpListener\";\n\
+             #[cfg(test)]\nmod tests {{\n    use std::net::TcpStream;\n}}\n"
+        );
+        assert!(check_file("crates/core/src/x.rs", FileRole::Library, &src).is_empty());
+        let src = format!(
+            "{DOC}// bestk-analyze: allow(no-raw-net) — diagnostic-only socket probe\nuse std::net::SocketAddr;\n"
         );
         assert!(check_file("crates/core/src/x.rs", FileRole::Library, &src).is_empty());
     }

@@ -136,6 +136,36 @@ fn raw_threads_inside_exec_crate_pass() {
 }
 
 #[test]
+fn injected_raw_net_fails_outside_engine() {
+    let fx = Fixture::new("rawnet");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\n\
+         pub fn f() {\n    let _ = std::net::TcpListener::bind(\"127.0.0.1:0\");\n}\n",
+    );
+    // One line hits two needles (std::net and TcpListener).
+    assert_eq!(fx.lints(), vec!["no-raw-net", "no-raw-net"]);
+}
+
+#[test]
+fn raw_net_inside_engine_crate_passes() {
+    let fx = Fixture::new("enginenet");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\npub fn twice(x: u64) -> u64 { x * 2 }\n",
+    );
+    fx.write(
+        "crates/engine/src/lib.rs",
+        "//! Serving seam: the one crate allowed to open sockets.\n\
+         #![forbid(unsafe_code)]\n\
+         pub fn bind() {\n    let _ = std::net::TcpListener::bind(\"127.0.0.1:0\");\n}\n",
+    );
+    assert_eq!(fx.lints(), Vec::<String>::new());
+}
+
+#[test]
 fn missing_module_doc_fails() {
     let fx = Fixture::new("nodoc");
     fx.write("crates/demo/src/lib.rs", CLEAN_LIB);

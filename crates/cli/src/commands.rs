@@ -411,6 +411,141 @@ pub fn convert(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parses `--budget-mb` into a byte budget: a strictly positive integer
+/// (0, negatives, and non-numeric values are usage errors).
+fn budget_bytes(args: &ParsedArgs) -> Result<Option<usize>, CliError> {
+    let Some(raw) = args.opt("budget-mb") else {
+        return Ok(None);
+    };
+    let bad = || {
+        CliError::Usage(format!(
+            "--budget-mb expects a positive integer (megabytes), got {raw:?}"
+        ))
+    };
+    let mb: usize = raw.parse().map_err(|_| bad())?;
+    if mb == 0 {
+        return Err(bad());
+    }
+    Ok(Some(mb.saturating_mul(1024 * 1024)))
+}
+
+/// Parses `--timeout-ms` into a read timeout: strictly positive.
+fn timeout_opt(args: &ParsedArgs) -> Result<Option<std::time::Duration>, CliError> {
+    let Some(raw) = args.opt("timeout-ms") else {
+        return Ok(None);
+    };
+    let bad = || {
+        CliError::Usage(format!(
+            "--timeout-ms expects a positive integer (milliseconds), got {raw:?}"
+        ))
+    };
+    let ms: u64 = raw.parse().map_err(|_| bad())?;
+    if ms == 0 {
+        return Err(bad());
+    }
+    Ok(Some(std::time::Duration::from_millis(ms)))
+}
+
+/// `bestk snapshot <graph> <out.bestk> [--threads N]`: build the full index
+/// and persist it in the `.bestk` format.
+pub fn snapshot(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&["threads"])?;
+    let policy = args.exec_policy()?;
+    let src = args.positional(0, "graph")?;
+    let dst = args.positional(1, "out.bestk")?;
+    let g = load_graph(src)?;
+    let mut ds = bestk_engine::Dataset::from_graph(g);
+    ds.ensure_built(&policy);
+    bestk_engine::snapshot::save_path(&ds, dst)?;
+    match ds.answer(&bestk_engine::Query::Stats) {
+        Ok(stats) => writeln!(out, "wrote {dst}\t{}", stats.to_line())?,
+        Err(e) => return Err(CliError::Engine(e)),
+    }
+    Ok(())
+}
+
+/// `bestk query <snapshot> <query>... [--threads N] [--budget-mb N]`: load
+/// a snapshot and answer each query (one shell argument per query, e.g.
+/// `"bestkset ad"`), printing one `ok`/`err` reply line per query — the
+/// same lines the serving loop would emit.
+pub fn query(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&["threads", "budget-mb"])?;
+    let policy = args.exec_policy()?;
+    let budget = budget_bytes(args)?;
+    let snap = args.positional(0, "snapshot")?;
+    if args.positional.len() < 2 {
+        return Err(CliError::Usage(
+            "query requires at least one <query> argument (e.g. \"bestkset ad\")".into(),
+        ));
+    }
+    let mut engine = bestk_engine::Engine::new(budget);
+    engine.load_snapshot("snapshot", snap)?;
+    let parsed: Vec<Result<bestk_engine::Query, bestk_engine::EngineError>> = args.positional[1..]
+        .iter()
+        .map(|text| bestk_engine::Query::parse(text))
+        .collect();
+    let valid: Vec<bestk_engine::Query> = parsed
+        .iter()
+        .filter_map(|r| r.as_ref().ok().copied())
+        .collect();
+    let mut answers = engine.query_batch("snapshot", &valid, &policy)?.into_iter();
+    for result in parsed {
+        match result {
+            Ok(_) => match answers.next() {
+                Some(Ok(answer)) => writeln!(out, "ok\t{}", answer.to_line())?,
+                Some(Err(e)) => writeln!(out, "err\t{e}")?,
+                None => {}
+            },
+            Err(e) => writeln!(out, "err\t{e}")?,
+        }
+    }
+    Ok(())
+}
+
+/// `bestk serve [--port P] [--budget-mb N] [--threads N] [--timeout-ms T]`:
+/// run the line-oriented serving loop over stdin/stdout, or over a loopback
+/// TCP listener when `--port` is given.
+pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&["port", "budget-mb", "threads", "timeout-ms"])?;
+    if !args.positional.is_empty() {
+        return Err(CliError::Usage(
+            "serve takes no positional arguments (datasets are loaded via the protocol)".into(),
+        ));
+    }
+    let policy = args.exec_policy()?;
+    let budget = budget_bytes(args)?;
+    let timeout = timeout_opt(args)?;
+    let port: Option<u16> = match args.opt("port") {
+        None => None,
+        Some(raw) => {
+            let bad = || {
+                CliError::Usage(format!(
+                    "--port expects a positive integer below 65536, got {raw:?}"
+                ))
+            };
+            let p: u16 = raw.parse().map_err(|_| bad())?;
+            if p == 0 {
+                return Err(bad());
+            }
+            Some(p)
+        }
+    };
+    let mut engine = bestk_engine::Engine::new(budget);
+    match port {
+        None => {
+            let stdin = std::io::stdin();
+            bestk_engine::serve_lines(&mut engine, &policy, stdin.lock(), &mut *out)?;
+        }
+        Some(port) => {
+            bestk_engine::serve_tcp(&mut engine, &policy, port, timeout, |addr| {
+                // Best-effort bind notice; the accept loop is the product.
+                let _ = writeln!(out, "serving on {addr}");
+            })?;
+        }
+    }
+    Ok(())
+}
+
 fn write_by_extension(g: &bestk_graph::CsrGraph, path: &str) -> Result<(), CliError> {
     if path.ends_with(".bin") {
         io::write_binary_path(g, path)?;
@@ -704,5 +839,117 @@ mod tests {
             let out = run(&args).unwrap();
             assert!(out.contains("wrote"), "{family}");
         }
+    }
+
+    #[test]
+    fn snapshot_then_query_round_trip() {
+        let graph = write_figure2();
+        let snap = fixture_path("fig2.bestk");
+        let out = run(&["snapshot", &graph, &snap]).unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        assert!(out.contains("stats\tn=12\tm=19\tkmax=3"), "{out}");
+        let out = run(&[
+            "query",
+            &snap,
+            "stats",
+            "bestkset ad",
+            "bestcore cc",
+            "coreof 5",
+        ])
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "ok\tstats\tn=12\tm=19\tkmax=3\tcores=3");
+        assert_eq!(lines[1], "ok\tbestkset\tad\tk=2\tscore=3.1666666666666665");
+        assert!(lines[2].starts_with("ok\tbestcore\tcc\t"), "{}", lines[2]);
+        assert_eq!(lines[3], "ok\tcoreof\t5\tcoreness=2");
+    }
+
+    #[test]
+    fn query_output_is_identical_at_every_thread_count() {
+        let graph = write_figure2();
+        let snap = fixture_path("fig2-threads.bestk");
+        run(&["snapshot", &graph, &snap, "--threads", "2"]).unwrap();
+        let queries = [
+            "stats",
+            "profile ad",
+            "profile mod",
+            "bestkset den",
+            "bestcore sep",
+            "coreof 0",
+            "coreof 11",
+        ];
+        let mut base = None;
+        for threads in ["1", "2", "4"] {
+            let mut args = vec!["query", &snap];
+            args.extend(queries.iter());
+            args.extend(["--threads", threads]);
+            let out = run(&args).unwrap();
+            match &base {
+                None => base = Some(out),
+                Some(expected) => assert_eq!(&out, expected, "threads={threads}"),
+            }
+        }
+    }
+
+    #[test]
+    fn query_emits_err_lines_for_bad_queries_without_failing() {
+        let graph = write_figure2();
+        let snap = fixture_path("fig2-err.bestk");
+        run(&["snapshot", &graph, &snap]).unwrap();
+        let out = run(&["query", &snap, "bestkset zz", "coreof 999", "stats"]).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("err\tbad query"), "{}", lines[0]);
+        assert!(lines[1].starts_with("err\tbad query"), "{}", lines[1]);
+        assert_eq!(lines[2], "ok\tstats\tn=12\tm=19\tkmax=3\tcores=3");
+    }
+
+    #[test]
+    fn query_rejects_corrupt_snapshots_structurally() {
+        let graph = write_figure2();
+        let snap = fixture_path("fig2-corrupt.bestk");
+        run(&["snapshot", &graph, &snap]).unwrap();
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&snap, &bytes).unwrap();
+        let err = run(&["query", &snap, "stats"]).unwrap_err();
+        assert!(matches!(err, CliError::Engine(_)), "{err}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn engine_commands_strictly_parse_options() {
+        let graph = write_figure2();
+        let snap = fixture_path("fig2-strict.bestk");
+        run(&["snapshot", &graph, &snap]).unwrap();
+        for bad in [
+            vec!["snapshot", &graph, &snap, "--threads", "0"],
+            vec!["snapshot", &graph, &snap, "--budget-mb", "4"],
+            vec!["query", &snap, "stats", "--threads", "nope"],
+            vec!["query", &snap, "stats", "--budget-mb", "0"],
+            vec!["query", &snap, "stats", "--budget-mb", "-3"],
+            vec!["query", &snap, "stats", "--port", "9"],
+            vec!["query", &snap],
+            vec!["serve", "--port", "0"],
+            vec!["serve", "--port", "70000"],
+            vec!["serve", "--port", "abc"],
+            vec!["serve", "--timeout-ms", "0"],
+            vec!["serve", "--timeout-ms", "soon"],
+            vec!["serve", "--budget-mb", "0"],
+            vec!["serve", "--listen", "1234"],
+            vec!["serve", "stray-positional"],
+        ] {
+            let err = run(&bad).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn query_respects_budget_option() {
+        let graph = write_figure2();
+        let snap = fixture_path("fig2-budget.bestk");
+        run(&["snapshot", &graph, &snap]).unwrap();
+        let out = run(&["query", &snap, "stats", "--budget-mb", "64"]).unwrap();
+        assert!(out.starts_with("ok\tstats"), "{out}");
     }
 }

@@ -15,6 +15,9 @@
 //! bestk truss    <graph> [--metric M]          best k-truss set
 //! bestk generate <family> --n N [...] --out F  synthetic graphs
 //! bestk convert  <in> <out>                    text <-> binary by extension
+//! bestk snapshot <graph> <out.bestk>           persist the full best-k index
+//! bestk query    <snapshot> <query>...         one-shot snapshot queries
+//! bestk serve    [--port P]                    serving loop (stdio or TCP)
 //! ```
 //!
 //! Graphs are read from SNAP-style text edge lists or the workspace binary
@@ -42,6 +45,9 @@ pub enum CliError {
     Graph(bestk_graph::GraphError),
     /// Output could not be written.
     Io(std::io::Error),
+    /// A snapshot or serving-engine failure (corrupt snapshot, protocol
+    /// error, unknown dataset).
+    Engine(bestk_engine::EngineError),
     /// The request was well-formed but unsatisfiable (e.g. infeasible
     /// query).
     Failed(String),
@@ -53,6 +59,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
             CliError::Graph(e) => write!(f, "graph error: {e}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Engine(e) => write!(f, "engine error: {e}"),
             CliError::Failed(msg) => write!(f, "{msg}"),
         }
     }
@@ -72,6 +79,12 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+impl From<bestk_engine::EngineError> for CliError {
+    fn from(e: bestk_engine::EngineError) -> Self {
+        CliError::Engine(e)
+    }
+}
+
 const USAGE: &str = "usage: bestk <command> [args]
 commands:
   stats    <graph>                                   dataset statistics
@@ -84,6 +97,11 @@ commands:
   truss    <graph> [--metric M] [--single]           best k-truss (set)
   generate <family> --n N [--m M|--avg-deg D|...] --seed S --out FILE
   convert  <in> <out>                                text <-> binary
+  snapshot <graph> <out.bestk> [--threads N]         persist the full index
+  query    <snapshot> <query>... [--threads N] [--budget-mb N]
+                                                     one-shot snapshot queries
+  serve    [--port P] [--budget-mb N] [--threads N] [--timeout-ms T]
+                                                     serving loop (stdio or TCP)
 metrics M: ad den cr con mod cc sep td (default: all six paper metrics)
 stats/analyze/truss accept --verify: re-check every reported answer against
 the executable-specification oracles (slower; exits non-zero on mismatch)
@@ -110,6 +128,9 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "truss" => commands::truss(&parsed, out),
         "generate" => commands::generate(&parsed, out),
         "convert" => commands::convert(&parsed, out),
+        "snapshot" => commands::snapshot(&parsed, out),
+        "query" => commands::query(&parsed, out),
+        "serve" => commands::serve(&parsed, out),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }

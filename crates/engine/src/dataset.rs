@@ -1,0 +1,416 @@
+//! One loaded dataset: a graph plus its (possibly lazily built) index
+//! artifacts.
+//!
+//! The artifacts are everything the paper's query algorithms need, owned
+//! (no borrowed `OrderedGraph` — the raw arrays are kept and validated
+//! through `from_parts` on load):
+//!
+//! * the core decomposition (coreness, rank order, peel order, shells),
+//! * the Algorithm 1 ordering (rank-sorted adjacency + position tags),
+//! * the Algorithm 4 core forest,
+//! * the per-k [`CoreSetProfile`] and per-core [`SingleCoreProfile`]
+//!   primary values (triangles included, so all eight metrics answer).
+//!
+//! Queries are answered from the profiles in `O(kmax)` / `O(#cores)` — the
+//! expensive `O(m^1.5)` work happens once at build (or snapshot-load) time.
+//! Batches are fanned out through [`bestk_exec::ExecPolicy::map_chunks`]
+//! with an ordered merge, so the answer list is bit-identical at every
+//! thread count.
+
+use bestk_core::{
+    core_decomposition, core_set_profile, single_core_profile, CommunityMetric, CoreDecomposition,
+    CoreForest, CoreSetProfile, OrderedGraph, SingleCoreProfile,
+};
+use bestk_exec::ExecPolicy;
+use bestk_graph::{CsrGraph, VertexId};
+
+use crate::error::EngineError;
+use crate::query::{Answer, Query};
+
+/// The index artifacts derived from a graph (everything beyond the CSR).
+#[derive(Debug, Clone)]
+pub struct Artifacts {
+    /// The core decomposition.
+    pub decomp: CoreDecomposition,
+    /// Rank-ordered adjacency (Algorithm 1), aligned with the graph's
+    /// offsets.
+    pub adj: Vec<VertexId>,
+    /// Per-vertex `same` position tags.
+    pub same: Vec<u32>,
+    /// Per-vertex `plus` position tags.
+    pub plus: Vec<u32>,
+    /// Per-vertex `high` position tags.
+    pub high: Vec<u32>,
+    /// The LCPS core forest (Algorithm 4).
+    pub forest: CoreForest,
+    /// Per-k primary values of every k-core set (Algorithms 2–3).
+    pub set_profile: CoreSetProfile,
+    /// Per-core primary values of every forest node (Algorithm 5).
+    pub core_profile: SingleCoreProfile,
+}
+
+impl Artifacts {
+    /// Builds every artifact from scratch under an execution policy
+    /// (`O(m^1.5)` — triangles are always computed so triangle metrics
+    /// answer without a rebuild).
+    pub fn build(graph: &CsrGraph, policy: &ExecPolicy) -> Artifacts {
+        let decomp = core_decomposition(graph);
+        let ordered = OrderedGraph::build_with(graph, &decomp, policy);
+        let set_profile = core_set_profile(&ordered, true);
+        let forest = CoreForest::build(graph, &decomp);
+        let core_profile = single_core_profile(&ordered, &forest, true);
+        let (adj, same, plus, high) = ordered.into_parts();
+        Artifacts {
+            decomp,
+            adj,
+            same,
+            plus,
+            high,
+            forest,
+            set_profile,
+            core_profile,
+        }
+    }
+
+    /// Approximate resident heap size in bytes (used for the engine's
+    /// memory budget; intentionally an estimate, not an allocator audit).
+    pub fn resident_bytes(&self) -> usize {
+        let n = self.decomp.num_vertices();
+        let decomp = 4 * n // coreness
+            + 2 * 4 * n // order + peel order
+            + 8 * self.decomp.shell_starts().len();
+        let ordering =
+            4 * self.adj.len() + 4 * (self.same.len() + self.plus.len() + self.high.len());
+        let forest = 4 * self.forest.vertex_nodes().len()
+            + self
+                .forest
+                .nodes()
+                .iter()
+                .map(|node| 32 + 4 * (node.vertices.len() + node.children.len()))
+                .sum::<usize>();
+        let profiles =
+            40 * self.set_profile.primaries.len() + 44 * self.core_profile.primaries.len();
+        decomp + ordering + forest + profiles
+    }
+}
+
+/// A named dataset held by the engine: the graph is always resident; the
+/// artifacts may be evicted under memory pressure and lazily rebuilt on the
+/// next touch.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    graph: CsrGraph,
+    artifacts: Option<Artifacts>,
+}
+
+impl Dataset {
+    /// Wraps a graph with no artifacts yet (they build on first touch).
+    pub fn from_graph(graph: CsrGraph) -> Dataset {
+        Dataset {
+            graph,
+            artifacts: None,
+        }
+    }
+
+    /// Assembles a dataset from already-validated parts (the snapshot
+    /// loader's constructor).
+    pub fn from_built(graph: CsrGraph, artifacts: Artifacts) -> Dataset {
+        Dataset {
+            graph,
+            artifacts: Some(artifacts),
+        }
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Whether the artifacts are currently resident.
+    #[inline]
+    pub fn is_built(&self) -> bool {
+        self.artifacts.is_some()
+    }
+
+    /// The artifacts, if resident.
+    #[inline]
+    pub fn artifacts(&self) -> Option<&Artifacts> {
+        self.artifacts.as_ref()
+    }
+
+    /// Builds the artifacts if absent; returns `true` when a build actually
+    /// ran (the engine's build-vs-cache-hit counter hook).
+    pub fn ensure_built(&mut self, policy: &ExecPolicy) -> bool {
+        if self.artifacts.is_some() {
+            return false;
+        }
+        self.artifacts = Some(Artifacts::build(&self.graph, policy));
+        true
+    }
+
+    /// Drops the artifacts, keeping only the graph (LRU eviction).
+    pub fn drop_artifacts(&mut self) {
+        self.artifacts = None;
+    }
+
+    /// Approximate resident heap size in bytes, graph included.
+    pub fn resident_bytes(&self) -> usize {
+        let graph = 8 * self.graph.offsets().len() + 4 * self.graph.raw_neighbors().len();
+        graph + self.artifacts.as_ref().map_or(0, Artifacts::resident_bytes)
+    }
+
+    /// Answers one query from the resident artifacts.
+    ///
+    /// Requires [`is_built`](Self::is_built); the engine guarantees that by
+    /// calling [`ensure_built`](Self::ensure_built) first.
+    pub fn answer(&self, query: &Query) -> Result<Answer, EngineError> {
+        let art = self
+            .artifacts
+            .as_ref()
+            .ok_or_else(|| EngineError::BadQuery("dataset artifacts are not built".into()))?;
+        match *query {
+            Query::BestKSet { metric } => {
+                if metric.needs_triangles() && !art.set_profile.has_triangles {
+                    return Err(triangle_gap(metric));
+                }
+                match art.set_profile.best(&metric) {
+                    Some(best) => Ok(Answer::BestKSet {
+                        metric,
+                        k: best.k,
+                        score: best.score,
+                    }),
+                    None => Ok(Answer::Undefined { what: "bestkset" }),
+                }
+            }
+            Query::BestCore { metric } => {
+                if metric.needs_triangles() && !art.core_profile.has_triangles {
+                    return Err(triangle_gap(metric));
+                }
+                match art.core_profile.best(&metric) {
+                    Some(best) => Ok(Answer::BestCore {
+                        metric,
+                        node: best.node,
+                        k: best.k,
+                        score: best.score,
+                        size: art.core_profile.primaries[best.node as usize].num_vertices,
+                    }),
+                    None => Ok(Answer::Undefined { what: "bestcore" }),
+                }
+            }
+            Query::ScoreProfile { metric } => {
+                if metric.needs_triangles() && !art.set_profile.has_triangles {
+                    return Err(triangle_gap(metric));
+                }
+                Ok(Answer::Profile {
+                    metric,
+                    scores: art.set_profile.scores(&metric),
+                })
+            }
+            Query::CoreOfVertex { vertex } => {
+                let n = self.graph.num_vertices();
+                if vertex as usize >= n {
+                    return Err(EngineError::BadQuery(format!(
+                        "vertex {vertex} out of range (n = {n})"
+                    )));
+                }
+                Ok(Answer::CoreOf {
+                    vertex,
+                    coreness: art.decomp.coreness(vertex),
+                })
+            }
+            Query::Stats => Ok(Answer::Stats {
+                vertices: self.graph.num_vertices() as u64,
+                edges: self.graph.num_edges() as u64,
+                kmax: art.decomp.kmax(),
+                forest_nodes: art.forest.node_count() as u64,
+            }),
+        }
+    }
+
+    /// Answers a batch of queries through the execution policy: queries are
+    /// split into even chunks, answered on the policy's workers, and merged
+    /// back in query order — bit-identical output at every thread count.
+    pub fn answer_batch(
+        &self,
+        queries: &[Query],
+        policy: &ExecPolicy,
+    ) -> Vec<Result<Answer, EngineError>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let plan = policy.plan_even(queries.len());
+        let parts = policy.map_chunks(
+            &plan,
+            || (),
+            |(), _, range| {
+                queries[range]
+                    .iter()
+                    .map(|q| self.answer(q))
+                    .collect::<Vec<_>>()
+            },
+        );
+        parts.into_iter().flatten().collect()
+    }
+}
+
+fn triangle_gap(metric: bestk_core::Metric) -> EngineError {
+    EngineError::BadQuery(format!(
+        "metric {} needs triangle counts but this dataset was indexed without them",
+        metric.abbrev()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bestk_core::Metric;
+    use bestk_graph::generators;
+
+    fn built(g: CsrGraph) -> Dataset {
+        let mut ds = Dataset::from_graph(g);
+        assert!(ds.ensure_built(&ExecPolicy::Sequential));
+        ds
+    }
+
+    #[test]
+    fn figure2_answers_match_the_paper() {
+        // Paper Examples 4/5: best k-core set is k=2 under average degree
+        // and k=3 under clustering coefficient.
+        let ds = built(generators::paper_figure2());
+        let a = ds
+            .answer(&Query::BestKSet {
+                metric: Metric::AverageDegree,
+            })
+            .unwrap();
+        assert_eq!(
+            a,
+            Answer::BestKSet {
+                metric: Metric::AverageDegree,
+                k: 2,
+                score: 2.0 * 19.0 / 12.0
+            }
+        );
+        let a = ds
+            .answer(&Query::BestKSet {
+                metric: Metric::ClusteringCoefficient,
+            })
+            .unwrap();
+        assert!(matches!(a, Answer::BestKSet { k: 3, .. }));
+        // Best single core under internal density: one of the K4s.
+        let a = ds
+            .answer(&Query::BestCore {
+                metric: Metric::InternalDensity,
+            })
+            .unwrap();
+        assert!(
+            matches!(
+                a,
+                Answer::BestCore {
+                    k: 3,
+                    score,
+                    size: 4,
+                    ..
+                } if score == 1.0
+            ),
+            "{a:?}"
+        );
+        let a = ds.answer(&Query::Stats).unwrap();
+        assert_eq!(
+            a,
+            Answer::Stats {
+                vertices: 12,
+                edges: 19,
+                kmax: 3,
+                forest_nodes: 3
+            }
+        );
+        let a = ds.answer(&Query::CoreOfVertex { vertex: 5 }).unwrap();
+        assert_eq!(
+            a,
+            Answer::CoreOf {
+                vertex: 5,
+                coreness: 2
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_vertex_is_an_error() {
+        let ds = built(generators::paper_figure2());
+        let err = ds.answer(&Query::CoreOfVertex { vertex: 99 }).unwrap_err();
+        assert!(matches!(err, EngineError::BadQuery(_)), "{err}");
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn unbuilt_dataset_refuses_queries() {
+        let ds = Dataset::from_graph(generators::paper_figure2());
+        assert!(!ds.is_built());
+        assert!(ds.answer(&Query::Stats).is_err());
+    }
+
+    #[test]
+    fn ensure_built_is_idempotent() {
+        let mut ds = Dataset::from_graph(generators::paper_figure2());
+        assert!(ds.ensure_built(&ExecPolicy::Sequential));
+        assert!(!ds.ensure_built(&ExecPolicy::Sequential));
+        ds.drop_artifacts();
+        assert!(!ds.is_built());
+        assert!(ds.ensure_built(&ExecPolicy::Sequential));
+    }
+
+    #[test]
+    fn batch_answers_are_thread_invariant() {
+        let ds = built(generators::erdos_renyi_gnm(200, 800, 11));
+        let mut queries = vec![Query::Stats];
+        for m in Metric::EXTENDED {
+            queries.push(Query::BestKSet { metric: m });
+            queries.push(Query::BestCore { metric: m });
+            queries.push(Query::ScoreProfile { metric: m });
+        }
+        for v in 0..20 {
+            queries.push(Query::CoreOfVertex { vertex: v });
+        }
+        let reference: Vec<String> = ds
+            .answer_batch(&queries, &ExecPolicy::Sequential)
+            .into_iter()
+            .map(|r| r.map(|a| a.to_line()).unwrap_or_else(|e| e.to_string()))
+            .collect();
+        for threads in [1, 2, 4, 7] {
+            let policy = ExecPolicy::with_threads(threads).unwrap();
+            let got: Vec<String> = ds
+                .answer_batch(&queries, &policy)
+                .into_iter()
+                .map(|r| r.map(|a| a.to_line()).unwrap_or_else(|e| e.to_string()))
+                .collect();
+            assert_eq!(got, reference, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn resident_bytes_grows_with_artifacts() {
+        let mut ds = Dataset::from_graph(generators::erdos_renyi_gnm(100, 400, 3));
+        let bare = ds.resident_bytes();
+        assert!(bare > 0);
+        ds.ensure_built(&ExecPolicy::Sequential);
+        assert!(ds.resident_bytes() > bare);
+    }
+
+    #[test]
+    fn empty_graph_answers_undefined() {
+        let ds = built(CsrGraph::empty(0));
+        let a = ds
+            .answer(&Query::BestKSet {
+                metric: Metric::AverageDegree,
+            })
+            .unwrap();
+        assert_eq!(a, Answer::Undefined { what: "bestkset" });
+        let a = ds
+            .answer(&Query::BestCore {
+                metric: Metric::AverageDegree,
+            })
+            .unwrap();
+        assert_eq!(a, Answer::Undefined { what: "bestcore" });
+    }
+}

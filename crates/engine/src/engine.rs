@@ -1,0 +1,356 @@
+//! The multi-dataset query engine: a registry of named datasets under a
+//! configurable memory budget.
+//!
+//! The engine owns every loaded [`Dataset`] keyed by name. Artifacts (the
+//! decomposition, ordering, forest, and profiles) are built lazily on first
+//! touch and counted, so a workload's build-vs-cache-hit ratio is
+//! observable. When the resident artifact bytes exceed the budget, the
+//! least-recently-used dataset's artifacts are dropped — the graph itself
+//! stays resident, so an evicted dataset transparently rebuilds on its next
+//! touch (which counts as a fresh build, not a cache hit). The dataset
+//! being served is never its own eviction victim, so a single dataset
+//! larger than the budget still works; the budget then acts as a
+//! high-water mark rather than a hard cap.
+//!
+//! Batched queries run through [`bestk_exec::ExecPolicy`], chunked with
+//! [`bestk_exec::ExecPolicy::plan_even`] and merged in chunk order, so a
+//! batch's answers are bit-identical at every `--threads` setting.
+
+use std::collections::BTreeMap;
+
+use bestk_exec::ExecPolicy;
+use bestk_graph::CsrGraph;
+
+use crate::dataset::Dataset;
+use crate::error::EngineError;
+use crate::query::{Answer, Query};
+use crate::snapshot;
+
+/// Monotonic counters describing the engine's lifetime workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Datasets registered (graphs inserted or snapshots loaded).
+    pub loads: u64,
+    /// Artifact builds (lazy first-touch builds and post-eviction rebuilds).
+    pub builds: u64,
+    /// Queries answered against already-built artifacts.
+    pub cache_hits: u64,
+    /// Artifact evictions forced by the memory budget.
+    pub evictions: u64,
+    /// Individual queries answered (errors included).
+    pub queries: u64,
+}
+
+struct Slot {
+    dataset: Dataset,
+    last_used: u64,
+}
+
+/// A registry of named datasets answering typed best-k queries.
+pub struct Engine {
+    slots: BTreeMap<String, Slot>,
+    /// Artifact-byte budget; `None` means unbounded.
+    budget: Option<usize>,
+    clock: u64,
+    counters: Counters,
+}
+
+/// One row of [`Engine::dataset_rows`]: name, vertex count, edge count,
+/// whether artifacts are resident, and approximate resident bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetRow {
+    /// Registry name.
+    pub name: String,
+    /// Vertex count.
+    pub vertices: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Whether the artifacts are currently resident.
+    pub built: bool,
+    /// Approximate resident bytes (graph + artifacts).
+    pub resident_bytes: usize,
+}
+
+impl Engine {
+    /// Creates an engine with an optional artifact memory budget in bytes.
+    pub fn new(budget_bytes: Option<usize>) -> Engine {
+        Engine {
+            slots: BTreeMap::new(),
+            budget: budget_bytes,
+            clock: 0,
+            counters: Counters::default(),
+        }
+    }
+
+    /// The configured budget in bytes, if any.
+    pub fn budget_bytes(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Lifetime workload counters.
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total resident bytes across every dataset (graphs + artifacts).
+    pub fn resident_bytes(&self) -> usize {
+        self.slots
+            .values()
+            .map(|s| s.dataset.resident_bytes())
+            .sum()
+    }
+
+    /// Registers a bare graph under `name` (artifacts build lazily on first
+    /// query). Replaces any dataset previously registered under the name.
+    pub fn insert_graph(&mut self, name: &str, graph: CsrGraph) {
+        self.clock += 1;
+        self.counters.loads += 1;
+        self.slots.insert(
+            name.to_owned(),
+            Slot {
+                dataset: Dataset::from_graph(graph),
+                last_used: self.clock,
+            },
+        );
+        self.enforce_budget(name);
+    }
+
+    /// Loads a `.bestk` snapshot from `path` and registers it under `name`.
+    /// The snapshot arrives fully built, so no build is charged.
+    pub fn load_snapshot(&mut self, name: &str, path: &str) -> Result<(), EngineError> {
+        let dataset = snapshot::load_path(path)?;
+        self.clock += 1;
+        self.counters.loads += 1;
+        self.slots.insert(
+            name.to_owned(),
+            Slot {
+                dataset,
+                last_used: self.clock,
+            },
+        );
+        self.enforce_budget(name);
+        Ok(())
+    }
+
+    /// Removes a dataset; returns whether it existed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.slots.remove(name).is_some()
+    }
+
+    /// Answers one query against the named dataset.
+    pub fn query(
+        &mut self,
+        name: &str,
+        query: &Query,
+        policy: &ExecPolicy,
+    ) -> Result<Answer, EngineError> {
+        let mut answers = self.query_batch(name, std::slice::from_ref(query), policy)?;
+        match answers.pop() {
+            Some(result) => result,
+            None => Err(EngineError::BadQuery("empty query batch".into())),
+        }
+    }
+
+    /// Answers a batch of queries against the named dataset, splitting the
+    /// batch across `policy`'s threads. Answers come back in request order
+    /// and are bit-identical at every thread count; per-query failures are
+    /// individual `Err` entries, not a batch failure.
+    pub fn query_batch(
+        &mut self,
+        name: &str,
+        queries: &[Query],
+        policy: &ExecPolicy,
+    ) -> Result<Vec<Result<Answer, EngineError>>, EngineError> {
+        self.clock += 1;
+        let clock = self.clock;
+        let slot = self
+            .slots
+            .get_mut(name)
+            .ok_or_else(|| EngineError::UnknownDataset(name.to_owned()))?;
+        slot.last_used = clock;
+        if slot.dataset.ensure_built(policy) {
+            self.counters.builds += 1;
+        } else {
+            self.counters.cache_hits += 1;
+        }
+        self.counters.queries += queries.len() as u64;
+        let answers = slot.dataset.answer_batch(queries, policy);
+        self.enforce_budget(name);
+        Ok(answers)
+    }
+
+    /// One summary row per dataset, in name order.
+    pub fn dataset_rows(&self) -> Vec<DatasetRow> {
+        self.slots
+            .iter()
+            .map(|(name, slot)| DatasetRow {
+                name: name.clone(),
+                vertices: slot.dataset.graph().num_vertices(),
+                edges: slot.dataset.graph().num_edges(),
+                built: slot.dataset.is_built(),
+                resident_bytes: slot.dataset.resident_bytes(),
+            })
+            .collect()
+    }
+
+    /// Drops least-recently-used artifacts until the resident total fits
+    /// the budget. `protect` (the dataset just touched) is never a victim,
+    /// so the active dataset cannot evict itself mid-query.
+    fn enforce_budget(&mut self, protect: &str) {
+        let budget = match self.budget {
+            Some(b) => b,
+            None => return,
+        };
+        while self.resident_bytes() > budget {
+            let victim = self
+                .slots
+                .iter()
+                .filter(|(name, slot)| name.as_str() != protect && slot.dataset.is_built())
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(name, _)| name.clone());
+            match victim {
+                Some(name) => {
+                    if let Some(slot) = self.slots.get_mut(&name) {
+                        slot.dataset.drop_artifacts();
+                        self.counters.evictions += 1;
+                    }
+                }
+                None => return, // nothing evictable; budget becomes a high-water mark
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bestk_core::Metric;
+    use bestk_graph::generators;
+
+    fn policy() -> ExecPolicy {
+        ExecPolicy::Sequential
+    }
+
+    #[test]
+    fn lazy_build_counts_builds_then_cache_hits() {
+        let mut eng = Engine::new(None);
+        eng.insert_graph("fig2", generators::paper_figure2());
+        assert_eq!(eng.counters().loads, 1);
+        assert_eq!(eng.counters().builds, 0);
+        let q = Query::BestKSet {
+            metric: Metric::AverageDegree,
+        };
+        let a = eng.query("fig2", &q, &policy()).unwrap();
+        assert_eq!(a.to_line(), "bestkset\tad\tk=2\tscore=3.1666666666666665");
+        assert_eq!(eng.counters().builds, 1);
+        assert_eq!(eng.counters().cache_hits, 0);
+        eng.query("fig2", &q, &policy()).unwrap();
+        assert_eq!(eng.counters().builds, 1);
+        assert_eq!(eng.counters().cache_hits, 1);
+        assert_eq!(eng.counters().queries, 2);
+    }
+
+    #[test]
+    fn unknown_dataset_is_an_error() {
+        let mut eng = Engine::new(None);
+        let err = eng.query("nope", &Query::Stats, &policy()).unwrap_err();
+        assert!(matches!(err, EngineError::UnknownDataset(_)), "{err}");
+    }
+
+    #[test]
+    fn batch_failures_are_per_query() {
+        let mut eng = Engine::new(None);
+        eng.insert_graph("fig2", generators::paper_figure2());
+        let queries = [Query::Stats, Query::CoreOfVertex { vertex: 999 }];
+        let answers = eng.query_batch("fig2", &queries, &policy()).unwrap();
+        assert!(answers[0].is_ok());
+        assert!(answers[1].is_err());
+        assert_eq!(eng.counters().queries, 2);
+    }
+
+    #[test]
+    fn lru_eviction_drops_oldest_artifacts_only() {
+        let mut eng = Engine::new(Some(1)); // tiny budget: every build overflows
+        eng.insert_graph("a", generators::erdos_renyi_gnm(60, 200, 1));
+        eng.insert_graph("b", generators::erdos_renyi_gnm(60, 200, 2));
+        eng.query("a", &Query::Stats, &policy()).unwrap();
+        // Building `b` must evict `a`'s artifacts (LRU), never `b`'s own.
+        eng.query("b", &Query::Stats, &policy()).unwrap();
+        let rows = eng.dataset_rows();
+        let built: Vec<(&str, bool)> = rows.iter().map(|r| (r.name.as_str(), r.built)).collect();
+        assert_eq!(built, vec![("a", false), ("b", true)]);
+        assert!(eng.counters().evictions >= 1);
+        // Touching `a` again rebuilds (a build, not a cache hit) and evicts `b`.
+        let builds_before = eng.counters().builds;
+        eng.query("a", &Query::Stats, &policy()).unwrap();
+        assert_eq!(eng.counters().builds, builds_before + 1);
+        let rows = eng.dataset_rows();
+        let built: Vec<(&str, bool)> = rows.iter().map(|r| (r.name.as_str(), r.built)).collect();
+        assert_eq!(built, vec![("a", true), ("b", false)]);
+    }
+
+    #[test]
+    fn unbounded_engine_never_evicts() {
+        let mut eng = Engine::new(None);
+        for (i, seed) in [1u64, 2, 3].iter().enumerate() {
+            eng.insert_graph(
+                &format!("g{i}"),
+                generators::erdos_renyi_gnm(40, 120, *seed),
+            );
+            eng.query(&format!("g{i}"), &Query::Stats, &policy())
+                .unwrap();
+        }
+        assert_eq!(eng.counters().evictions, 0);
+        assert!(eng.dataset_rows().iter().all(|r| r.built));
+    }
+
+    #[test]
+    fn snapshot_load_arrives_built() {
+        let dir = std::env::temp_dir().join("bestk-engine-load-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig2.bestk");
+        let mut ds = Dataset::from_graph(generators::paper_figure2());
+        ds.ensure_built(&policy());
+        snapshot::save_path(&ds, &path).unwrap();
+
+        let mut eng = Engine::new(None);
+        eng.load_snapshot("fig2", path.to_str().unwrap()).unwrap();
+        assert!(eng.dataset_rows()[0].built);
+        let a = eng
+            .query(
+                "fig2",
+                &Query::BestCore {
+                    metric: Metric::InternalDensity,
+                },
+                &policy(),
+            )
+            .unwrap();
+        // Loading a pre-built snapshot then querying is a cache hit.
+        assert_eq!(eng.counters().builds, 0);
+        assert_eq!(eng.counters().cache_hits, 1);
+        assert!(a.to_line().starts_with("bestcore\tden"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn replacing_a_dataset_keeps_the_registry_consistent() {
+        let mut eng = Engine::new(None);
+        eng.insert_graph("g", generators::paper_figure2());
+        eng.insert_graph("g", generators::erdos_renyi_gnm(10, 20, 3));
+        assert_eq!(eng.len(), 1);
+        assert_eq!(eng.dataset_rows()[0].vertices, 10);
+        assert!(eng.remove("g"));
+        assert!(!eng.remove("g"));
+        assert!(eng.is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! The engine's error type.
+//!
+//! Everything the snapshot store, the dataset registry, and the serving
+//! loop can reject is a structured [`EngineError`] variant — corrupt
+//! snapshots (truncation, checksum mismatch, version skew) are *errors*,
+//! never panics, matching the workspace `no-panic` policy. Protocol-level
+//! problems (a malformed request line, an unknown dataset) get their own
+//! variants so the serving loop can turn them into `err` replies without
+//! string-matching.
+
+use std::fmt;
+
+use bestk_graph::GraphError;
+
+/// Errors produced by the snapshot store, the engine registry, and the
+/// serving loop.
+#[derive(Debug)]
+pub enum EngineError {
+    /// An underlying I/O failure (device-level, not a format violation).
+    Io(std::io::Error),
+    /// The embedded graph was structurally invalid.
+    Graph(GraphError),
+    /// The snapshot does not start with the `.bestk` magic bytes.
+    BadMagic,
+    /// The snapshot was written by an incompatible format version.
+    VersionSkew {
+        /// Version number found in the file.
+        found: u32,
+        /// The single version this build can read.
+        supported: u32,
+    },
+    /// The snapshot ended before the named section was complete.
+    Truncated {
+        /// Which part of the layout was being read when the bytes ran out.
+        section: &'static str,
+    },
+    /// A section's stored checksum does not match its bytes.
+    ChecksumMismatch {
+        /// The corrupted section.
+        section: &'static str,
+    },
+    /// Bytes continue past the end declared by the section table.
+    TrailingBytes,
+    /// A required section is absent from the section table.
+    MissingSection(&'static str),
+    /// The snapshot parsed but violated a structural invariant.
+    BadSnapshot(String),
+    /// A query named a dataset the engine does not hold.
+    UnknownDataset(String),
+    /// A query was malformed or unanswerable (bad metric, vertex out of
+    /// range, missing triangle counts).
+    BadQuery(String),
+    /// A serving-loop request line did not match the protocol grammar.
+    Protocol(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Io(e) => write!(f, "i/o error: {e}"),
+            EngineError::Graph(e) => write!(f, "graph error: {e}"),
+            EngineError::BadMagic => write!(f, "bad snapshot: wrong magic bytes"),
+            EngineError::VersionSkew { found, supported } => write!(
+                f,
+                "bad snapshot: format version {found} (this build reads version {supported})"
+            ),
+            EngineError::Truncated { section } => {
+                write!(f, "truncated snapshot: input ended inside {section}")
+            }
+            EngineError::ChecksumMismatch { section } => {
+                write!(f, "corrupt snapshot: checksum mismatch in {section}")
+            }
+            EngineError::TrailingBytes => {
+                write!(f, "bad snapshot: trailing bytes after the declared payload")
+            }
+            EngineError::MissingSection(name) => {
+                write!(f, "bad snapshot: missing {name} section")
+            }
+            EngineError::BadSnapshot(msg) => write!(f, "bad snapshot: {msg}"),
+            EngineError::UnknownDataset(name) => write!(f, "unknown dataset {name:?}"),
+            EngineError::BadQuery(msg) => write!(f, "bad query: {msg}"),
+            EngineError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Io(e) => Some(e),
+            EngineError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+impl From<GraphError> for EngineError {
+    fn from(e: GraphError) -> Self {
+        EngineError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(EngineError::BadMagic.to_string().contains("magic"));
+        let e = EngineError::VersionSkew {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
+        assert!(e.to_string().contains("version 1"));
+        let e = EngineError::Truncated { section: "graph" };
+        assert!(e.to_string().contains("graph"));
+        let e = EngineError::ChecksumMismatch { section: "forest" };
+        assert!(e.to_string().contains("forest"));
+        assert!(EngineError::TrailingBytes.to_string().contains("trailing"));
+        let e = EngineError::UnknownDataset("web".into());
+        assert!(e.to_string().contains("web"));
+    }
+
+    #[test]
+    fn sources_are_preserved() {
+        use std::error::Error;
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = EngineError::from(inner);
+        assert!(e.source().is_some());
+        let e = EngineError::from(GraphError::TrailingBytes);
+        assert!(e.source().is_some());
+        assert!(EngineError::BadMagic.source().is_none());
+    }
+}

@@ -1,0 +1,37 @@
+//! Persistent best-k index snapshots and a multi-dataset query engine.
+//!
+//! This crate turns the paper's one-shot pipeline (read graph → peel →
+//! order → profile → answer) into a serving system:
+//!
+//! - [`snapshot`] — a versioned, checksummed on-disk `.bestk` format
+//!   persisting the CSR graph plus every derived index (coreness, Alg. 1
+//!   ordering and position tags, the Alg. 4 core forest, and the per-k
+//!   primary-value profiles), so best-k queries on a warm dataset skip the
+//!   `O(m^1.5)` preprocessing entirely.
+//! - [`Engine`] — a registry of named datasets under a configurable memory
+//!   budget with LRU artifact eviction, lazy first-touch builds, and
+//!   build/cache-hit/eviction counters.
+//! - [`serve`] — a line-oriented request/response loop over stdio or a
+//!   loopback TCP listener (the one `std::net` user the workspace's
+//!   `no-raw-net` lint permits).
+//!
+//! Query answers are rendered to stable tab-separated lines and batches
+//! run through [`bestk_exec::ExecPolicy`] with an ordered chunk merge, so
+//! output is bit-identical at every `--threads` setting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod engine;
+pub mod error;
+pub mod query;
+pub mod serve;
+pub mod snapshot;
+
+pub use dataset::{Artifacts, Dataset};
+pub use engine::{Counters, DatasetRow, Engine};
+pub use error::EngineError;
+pub use query::{metric_by_abbrev, Answer, Query};
+pub use serve::{handle_request, serve_lines, serve_on_listener, serve_tcp, Control};
+pub use snapshot::{load_path as load_snapshot_path, save_path as save_snapshot_path};

@@ -1,0 +1,312 @@
+//! The line-oriented serving loop, over stdio or a TCP socket.
+//!
+//! Protocol grammar (one request per line; replies are a single line,
+//! tab-separated, starting with an explicit `ok` or `err` status):
+//!
+//! ```text
+//! load <name> <path>          register a .bestk snapshot  -> ok loaded <name>
+//! query <dataset> <query...>  answer one query            -> ok <answer fields>
+//! datasets                    list datasets               -> ok datasets <n> (+ per-row lines)
+//! counters                    workload counters           -> ok counters loads=... builds=...
+//! quit                        graceful shutdown           -> ok bye
+//! ```
+//!
+//! Any failure becomes `err\t<message>` on the same single line — the
+//! connection survives bad requests, and a client can script against the
+//! first tab-separated token alone. `quit` shuts the whole server down
+//! gracefully after the reply is flushed.
+//!
+//! This module is the one place in the workspace allowed to touch
+//! `std::net` (enforced by the `no-raw-net` lint): the TCP listener binds
+//! loopback only, applies a per-connection read timeout, and serves
+//! connections sequentially — the engine is a single shared registry, and
+//! the workspace's `no-raw-thread` policy keeps thread primitives inside
+//! `crates/exec`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener};
+use std::time::Duration;
+
+use bestk_exec::ExecPolicy;
+
+use crate::engine::Engine;
+use crate::error::EngineError;
+use crate::query::Query;
+
+/// What the serving loop should do after a request is answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep serving.
+    Continue,
+    /// Stop the server gracefully (the reply has already been produced).
+    Quit,
+}
+
+/// Handles one request line, returning the reply line (without the
+/// trailing newline) and whether the server should keep going.
+///
+/// Errors never escape as `Err`: every failure is rendered into an
+/// `err\t...` reply so the loop — and the connection — survive bad input.
+pub fn handle_request(engine: &mut Engine, policy: &ExecPolicy, line: &str) -> (String, Control) {
+    match dispatch(engine, policy, line) {
+        Ok((reply, control)) => (reply, control),
+        Err(e) => (format!("err\t{e}"), Control::Continue),
+    }
+}
+
+fn dispatch(
+    engine: &mut Engine,
+    policy: &ExecPolicy,
+    line: &str,
+) -> Result<(String, Control), EngineError> {
+    let mut tokens = line.split_whitespace();
+    let verb = tokens
+        .next()
+        .ok_or_else(|| EngineError::Protocol("empty request".into()))?;
+    match verb {
+        "load" => {
+            let name = tokens
+                .next()
+                .ok_or_else(|| EngineError::Protocol("load takes <name> <path>".into()))?;
+            let path = tokens
+                .next()
+                .ok_or_else(|| EngineError::Protocol("load takes <name> <path>".into()))?;
+            if tokens.next().is_some() {
+                return Err(EngineError::Protocol("load takes <name> <path>".into()));
+            }
+            engine.load_snapshot(name, path)?;
+            Ok((format!("ok\tloaded\t{name}"), Control::Continue))
+        }
+        "query" => {
+            let dataset = tokens
+                .next()
+                .ok_or_else(|| EngineError::Protocol("query takes <dataset> <query...>".into()))?;
+            let rest: Vec<&str> = tokens.collect();
+            if rest.is_empty() {
+                return Err(EngineError::Protocol(
+                    "query takes <dataset> <query...>".into(),
+                ));
+            }
+            let query = Query::parse(&rest.join(" "))?;
+            let answer = engine.query(dataset, &query, policy)?;
+            Ok((format!("ok\t{}", answer.to_line()), Control::Continue))
+        }
+        "datasets" => {
+            if tokens.next().is_some() {
+                return Err(EngineError::Protocol("datasets takes no arguments".into()));
+            }
+            let rows = engine.dataset_rows();
+            let mut reply = format!("ok\tdatasets\t{}", rows.len());
+            for row in rows {
+                reply.push_str(&format!(
+                    "\t{}:n={},m={},built={},bytes={}",
+                    row.name, row.vertices, row.edges, row.built, row.resident_bytes
+                ));
+            }
+            Ok((reply, Control::Continue))
+        }
+        "counters" => {
+            if tokens.next().is_some() {
+                return Err(EngineError::Protocol("counters takes no arguments".into()));
+            }
+            let c = engine.counters();
+            Ok((
+                format!(
+                    "ok\tcounters\tloads={}\tbuilds={}\tcache_hits={}\tevictions={}\tqueries={}",
+                    c.loads, c.builds, c.cache_hits, c.evictions, c.queries
+                ),
+                Control::Continue,
+            ))
+        }
+        "quit" => {
+            if tokens.next().is_some() {
+                return Err(EngineError::Protocol("quit takes no arguments".into()));
+            }
+            Ok(("ok\tbye".into(), Control::Quit))
+        }
+        other => Err(EngineError::Protocol(format!(
+            "unknown request {other:?} (expected load|query|datasets|counters|quit)"
+        ))),
+    }
+}
+
+/// Serves requests from any line source to any sink (the stdio transport,
+/// and the per-connection body of the TCP transport). Returns `Control::Quit`
+/// if the stream asked to shut the whole server down, `Control::Continue`
+/// if it simply ended (EOF / timeout / client hangup).
+pub fn serve_lines<R: BufRead, W: Write>(
+    engine: &mut Engine,
+    policy: &ExecPolicy,
+    reader: R,
+    mut writer: W,
+) -> Result<Control, EngineError> {
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            // A read timeout or client hangup ends this stream, not the server.
+            Err(_) => return Ok(Control::Continue),
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (reply, control) = handle_request(engine, policy, &line);
+        writer.write_all(reply.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if control == Control::Quit {
+            return Ok(Control::Quit);
+        }
+    }
+    Ok(Control::Continue)
+}
+
+/// Serves connections from an already-bound listener until a client sends
+/// `quit`. Connections are handled sequentially; `timeout` bounds each
+/// read so a silent client cannot wedge the server forever.
+///
+/// Split out from [`serve_tcp`] so tests can bind port 0 and discover the
+/// ephemeral port via `TcpListener::local_addr` before starting the loop.
+pub fn serve_on_listener(
+    engine: &mut Engine,
+    policy: &ExecPolicy,
+    listener: &TcpListener,
+    timeout: Option<Duration>,
+) -> Result<(), EngineError> {
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue, // transient accept failure: keep serving
+        };
+        if stream.set_read_timeout(timeout).is_err() {
+            continue;
+        }
+        let reader = BufReader::new(match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        });
+        if serve_lines(engine, policy, reader, &stream)? == Control::Quit {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// Binds `127.0.0.1:port` and serves until a client sends `quit`.
+/// Returns the bound address through `on_bound` (called once, before the
+/// accept loop starts) so callers can log it.
+pub fn serve_tcp(
+    engine: &mut Engine,
+    policy: &ExecPolicy,
+    port: u16,
+    timeout: Option<Duration>,
+    on_bound: impl FnOnce(SocketAddr),
+) -> Result<(), EngineError> {
+    let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, port))?;
+    on_bound(listener.local_addr()?);
+    serve_on_listener(engine, policy, &listener, timeout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bestk_graph::generators;
+
+    fn engine_with_fig2() -> Engine {
+        let mut eng = Engine::new(None);
+        eng.insert_graph("fig2", generators::paper_figure2());
+        eng
+    }
+
+    fn ask(engine: &mut Engine, line: &str) -> (String, Control) {
+        handle_request(engine, &ExecPolicy::Sequential, line)
+    }
+
+    #[test]
+    fn query_requests_answer_with_ok_lines() {
+        let mut eng = engine_with_fig2();
+        let (reply, c) = ask(&mut eng, "query fig2 bestkset ad");
+        assert_eq!(reply, "ok\tbestkset\tad\tk=2\tscore=3.1666666666666665");
+        assert_eq!(c, Control::Continue);
+        let (reply, _) = ask(&mut eng, "query fig2 stats");
+        assert_eq!(reply, "ok\tstats\tn=12\tm=19\tkmax=3\tcores=3");
+    }
+
+    #[test]
+    fn failures_are_single_line_err_replies() {
+        let mut eng = engine_with_fig2();
+        for bad in [
+            "",
+            "   ",
+            "frobnicate",
+            "query",
+            "query fig2",
+            "query nope stats",
+            "query fig2 bestkset zz",
+            "query fig2 coreof 999",
+            "load onlyname",
+            "load x /no/such/file.bestk",
+            "datasets extra",
+            "counters extra",
+            "quit now",
+        ] {
+            let (reply, c) = ask(&mut eng, bad);
+            assert!(reply.starts_with("err\t"), "{bad:?} -> {reply}");
+            assert!(!reply.contains('\n'), "{bad:?} -> multi-line reply");
+            assert_eq!(c, Control::Continue, "{bad:?} must not kill the server");
+        }
+    }
+
+    #[test]
+    fn quit_is_graceful() {
+        let mut eng = engine_with_fig2();
+        let (reply, c) = ask(&mut eng, "quit");
+        assert_eq!(reply, "ok\tbye");
+        assert_eq!(c, Control::Quit);
+    }
+
+    #[test]
+    fn datasets_and_counters_render() {
+        let mut eng = engine_with_fig2();
+        ask(&mut eng, "query fig2 stats");
+        let (reply, _) = ask(&mut eng, "datasets");
+        assert!(
+            reply.starts_with("ok\tdatasets\t1\tfig2:n=12,m=19,built=true"),
+            "{reply}"
+        );
+        let (reply, _) = ask(&mut eng, "counters");
+        assert_eq!(
+            reply,
+            "ok\tcounters\tloads=1\tbuilds=1\tcache_hits=0\tevictions=0\tqueries=1"
+        );
+    }
+
+    #[test]
+    fn serve_lines_replies_per_request_and_stops_on_quit() {
+        let mut eng = engine_with_fig2();
+        let input = b"query fig2 coreof 5\n\nquery fig2 bestkset zz\nquit\nquery fig2 stats\n";
+        let mut out = Vec::new();
+        let control = serve_lines(&mut eng, &ExecPolicy::Sequential, &input[..], &mut out).unwrap();
+        assert_eq!(control, Control::Quit);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Blank line skipped; nothing served after quit.
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "ok\tcoreof\t5\tcoreness=2");
+        assert!(lines[1].starts_with("err\t"));
+        assert_eq!(lines[2], "ok\tbye");
+    }
+
+    #[test]
+    fn serve_lines_eof_means_continue() {
+        let mut eng = engine_with_fig2();
+        let mut out = Vec::new();
+        let control = serve_lines(
+            &mut eng,
+            &ExecPolicy::Sequential,
+            &b"query fig2 stats\n"[..],
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(control, Control::Continue);
+    }
+}

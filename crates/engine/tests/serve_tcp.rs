@@ -1,0 +1,125 @@
+//! End-to-end test of the TCP transport: bind an ephemeral port, run the
+//! serving loop, and script a real client over the socket.
+//!
+//! The client thread uses `std::thread` / `std::net` directly — integration
+//! tests are exempt from the workspace's `no-raw-thread` / `no-raw-net`
+//! lint scoping, which applies to library code.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use bestk_engine::{serve_on_listener, snapshot, Dataset, Engine};
+use bestk_exec::ExecPolicy;
+use bestk_graph::generators;
+
+fn fig2_snapshot_path(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("bestk-engine-tcp-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join(format!("fig2-{tag}.bestk"));
+    let mut ds = Dataset::from_graph(generators::paper_figure2());
+    ds.ensure_built(&ExecPolicy::Sequential);
+    snapshot::save_path(&ds, &path).expect("save snapshot");
+    path
+}
+
+#[test]
+fn tcp_round_trip_with_real_client() {
+    let snap = fig2_snapshot_path("roundtrip");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+
+    let client = std::thread::spawn(move || -> Vec<String> {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        let mut replies = Vec::new();
+        for request in [
+            format!("load fig2 {}", snap.display()),
+            "query fig2 stats".to_string(),
+            "query fig2 bestkset ad".to_string(),
+            "query fig2 coreof 5".to_string(),
+            "query fig2 bestkset zz".to_string(),
+            "counters".to_string(),
+            "quit".to_string(),
+        ] {
+            writeln!(writer, "{request}").expect("send");
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("reply");
+            replies.push(line.trim_end().to_string());
+        }
+        replies
+    });
+
+    let mut engine = Engine::new(None);
+    serve_on_listener(
+        &mut engine,
+        &ExecPolicy::Sequential,
+        &listener,
+        Some(Duration::from_secs(5)),
+    )
+    .expect("serve");
+
+    let replies = client.join().expect("client thread");
+    assert_eq!(replies[0], "ok\tloaded\tfig2");
+    assert_eq!(replies[1], "ok\tstats\tn=12\tm=19\tkmax=3\tcores=3");
+    assert_eq!(
+        replies[2],
+        "ok\tbestkset\tad\tk=2\tscore=3.1666666666666665"
+    );
+    assert_eq!(replies[3], "ok\tcoreof\t5\tcoreness=2");
+    assert!(replies[4].starts_with("err\tbad query"), "{}", replies[4]);
+    assert!(
+        replies[5].starts_with("ok\tcounters\tloads=1\t"),
+        "{}",
+        replies[5]
+    );
+    assert_eq!(replies[6], "ok\tbye");
+}
+
+#[test]
+fn tcp_server_survives_client_hangup_and_timeout() {
+    let snap = fig2_snapshot_path("hangup");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+
+    let client = std::thread::spawn(move || {
+        // Connection 1: send one request, then hang up without `quit`.
+        {
+            let stream = TcpStream::connect(addr).expect("connect 1");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut writer = &stream;
+            writeln!(writer, "load fig2 {}", snap.display()).expect("send");
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("reply");
+            assert_eq!(line.trim_end(), "ok\tloaded\tfig2");
+        } // dropped: EOF on the server side
+          // Connection 2: go silent and let the read timeout reap us.
+        let idle = TcpStream::connect(addr).expect("connect 2");
+        std::thread::sleep(Duration::from_millis(120));
+        drop(idle);
+        // Connection 3: state survived both; shut down cleanly.
+        let stream = TcpStream::connect(addr).expect("connect 3");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = &stream;
+        writeln!(writer, "query fig2 stats").expect("send");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reply");
+        assert_eq!(line.trim_end(), "ok\tstats\tn=12\tm=19\tkmax=3\tcores=3");
+        writeln!(writer, "quit").expect("send quit");
+        line.clear();
+        reader.read_line(&mut line).expect("bye");
+        assert_eq!(line.trim_end(), "ok\tbye");
+    });
+
+    let mut engine = Engine::new(None);
+    serve_on_listener(
+        &mut engine,
+        &ExecPolicy::Sequential,
+        &listener,
+        Some(Duration::from_millis(40)),
+    )
+    .expect("serve");
+    client.join().expect("client thread");
+    assert_eq!(engine.counters().loads, 1);
+}

@@ -58,6 +58,38 @@ impl CsrGraph {
         CsrGraph { offsets, neighbors }
     }
 
+    /// Non-panicking twin of [`from_parts`](Self::from_parts) for
+    /// deserializers handling untrusted bytes: the same invariants are
+    /// checked, but a violation comes back as a descriptive error instead
+    /// of aborting the process.
+    pub fn try_from_parts(
+        offsets: Vec<usize>,
+        neighbors: Vec<VertexId>,
+    ) -> Result<Self, crate::GraphError> {
+        let bad = |msg: String| crate::GraphError::BadBinaryFormat(msg);
+        if offsets.is_empty() {
+            return Err(bad("offsets must have length n + 1 >= 1".into()));
+        }
+        if offsets[0] != 0 {
+            return Err(bad("offsets[0] must be 0".into()));
+        }
+        if offsets.last().copied().unwrap_or(0) != neighbors.len() {
+            return Err(bad(format!(
+                "offsets end at {} but there are {} neighbors",
+                offsets.last().copied().unwrap_or(0),
+                neighbors.len()
+            )));
+        }
+        if !offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(bad("offsets must be non-decreasing".into()));
+        }
+        let n = offsets.len() - 1;
+        if let Some(&u) = neighbors.iter().find(|&&u| (u as usize) >= n) {
+            return Err(bad(format!("neighbor id {u} out of range (n = {n})")));
+        }
+        Ok(CsrGraph { offsets, neighbors })
+    }
+
     /// An empty graph with `n` isolated vertices.
     pub fn empty(n: usize) -> Self {
         CsrGraph {

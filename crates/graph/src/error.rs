@@ -24,6 +24,15 @@ pub enum GraphError {
     },
     /// The binary format header was malformed or had the wrong magic/version.
     BadBinaryFormat(String),
+    /// The binary input ended before the payload its header declared was
+    /// complete (a short read is corruption, not a plain I/O failure).
+    TruncatedBinary {
+        /// Which part of the layout was being read when the stream ran dry.
+        section: &'static str,
+    },
+    /// The binary input continued past the payload its header declared —
+    /// trailing garbage means the header and the content disagree.
+    TrailingBytes,
     /// An underlying I/O failure.
     Io(std::io::Error),
 }
@@ -45,6 +54,15 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error at line {line}: {message}")
             }
             GraphError::BadBinaryFormat(msg) => write!(f, "bad binary graph: {msg}"),
+            GraphError::TruncatedBinary { section } => {
+                write!(f, "truncated binary graph: input ended inside {section}")
+            }
+            GraphError::TrailingBytes => {
+                write!(
+                    f,
+                    "bad binary graph: trailing bytes after the declared payload"
+                )
+            }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

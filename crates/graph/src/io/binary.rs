@@ -44,37 +44,47 @@ pub fn write_binary_path<P: AsRef<Path>>(g: &CsrGraph, path: P) -> Result<()> {
 }
 
 /// Reads a graph in the binary CSR format.
+///
+/// Corrupt inputs are rejected with dedicated variants: a stream that ends
+/// inside a declared section is [`GraphError::TruncatedBinary`], bytes
+/// beyond the declared payload are [`GraphError::TrailingBytes`], and any
+/// header/content disagreement is [`GraphError::BadBinaryFormat`]. Plain
+/// [`GraphError::Io`] is reserved for genuine device-level read failures.
 pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
+    read_exact_or(&mut r, &mut magic, "magic")?;
     if &magic != MAGIC {
         return Err(GraphError::BadBinaryFormat(format!(
             "wrong magic {:?}",
             String::from_utf8_lossy(&magic)
         )));
     }
-    let n = read_u64(&mut r)? as usize;
-    let nnz = read_u64(&mut r)? as usize;
+    let n = read_u64(&mut r, "header")? as usize;
+    let nnz = read_u64(&mut r, "header")? as usize;
     if n > u32::MAX as usize {
         return Err(GraphError::BadBinaryFormat(format!(
             "vertex count {n} exceeds the u32 id space"
         )));
     }
     // Never trust header sizes for allocation: grow buffers only as actual
-    // bytes arrive, so truncated or hostile headers fail with a clean read
-    // error instead of aborting on an enormous allocation.
+    // bytes arrive, so truncated or hostile headers fail with a clean
+    // truncation error instead of aborting on an enormous allocation.
     let mut offsets = Vec::with_capacity((n + 1).min(1 << 20));
     for _ in 0..=n {
-        offsets.push(read_u64(&mut r)? as usize);
+        offsets.push(read_u64(&mut r, "offset array")? as usize);
     }
     if offsets.first() != Some(&0) || offsets.last() != Some(&nnz) {
-        return Err(GraphError::BadBinaryFormat("inconsistent offsets".into()));
+        return Err(GraphError::BadBinaryFormat(format!(
+            "offset array inconsistent with edge count: offsets run {}..{} but nnz = {nnz}",
+            offsets.first().copied().unwrap_or(0),
+            offsets.last().copied().unwrap_or(0),
+        )));
     }
     let mut neighbors: Vec<VertexId> = Vec::with_capacity(nnz.min(1 << 22));
     let mut buf = [0u8; 4];
     for _ in 0..nnz {
-        r.read_exact(&mut buf)?;
+        read_exact_or(&mut r, &mut buf, "neighbor array")?;
         let v = u32::from_le_bytes(buf);
         if v as usize >= n {
             return Err(GraphError::BadBinaryFormat(format!(
@@ -86,6 +96,13 @@ pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph> {
     if !offsets.windows(2).all(|w| w[0] <= w[1]) {
         return Err(GraphError::BadBinaryFormat("offsets not monotone".into()));
     }
+    // The declared payload is complete; anything left over means the header
+    // lied about the sizes (or the file was concatenated/corrupted).
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe)? {
+        0 => {}
+        _ => return Err(GraphError::TrailingBytes),
+    }
     Ok(CsrGraph::from_parts(offsets, neighbors))
 }
 
@@ -94,9 +111,21 @@ pub fn read_binary_path<P: AsRef<Path>>(path: P) -> Result<CsrGraph> {
     read_binary(std::fs::File::open(path)?)
 }
 
-fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
+/// `read_exact` with short reads reported as [`GraphError::TruncatedBinary`]
+/// naming the section, not as a bare I/O error.
+fn read_exact_or<R: Read>(r: &mut R, buf: &mut [u8], section: &'static str) -> Result<()> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            GraphError::TruncatedBinary { section }
+        } else {
+            GraphError::Io(e)
+        }
+    })
+}
+
+fn read_u64<R: Read>(r: &mut R, section: &'static str) -> Result<u64> {
     let mut buf = [0u8; 8];
-    r.read_exact(&mut buf)?;
+    read_exact_or(r, &mut buf, section)?;
     Ok(u64::from_le_bytes(buf))
 }
 
@@ -143,14 +172,66 @@ mod tests {
     }
 
     #[test]
-    fn rejects_truncated_input() {
+    fn rejects_truncated_input_with_dedicated_variant() {
         let mut b = GraphBuilder::new();
         b.add_edge(0, 1);
         let g = b.build();
+        let mut full = Vec::new();
+        write_binary(&g, &mut full).unwrap();
+        // Cutting anywhere inside the payload must surface as truncation
+        // (naming a section), never as a generic I/O error.
+        for cut in [full.len() - 2, full.len() - 5, 30, 17] {
+            let buf = &full[..cut];
+            assert!(
+                matches!(read_binary(buf), Err(GraphError::TruncatedBinary { .. })),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_short_prologue() {
+        // A file that dies inside the magic, and one inside the n/nnz header.
+        for cut in [0usize, 3, 8, 12, 15] {
+            let mut full = Vec::new();
+            write_binary(&CsrGraph::empty(2), &mut full).unwrap();
+            let buf = &full[..cut];
+            let err = read_binary(buf).unwrap_err();
+            assert!(
+                matches!(err, GraphError::TruncatedBinary { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0, 1), (1, 2)]);
         let mut buf = Vec::new();
-        write_binary(&g, &mut buf).unwrap();
-        buf.truncate(buf.len() - 2);
-        assert!(read_binary(&buf[..]).is_err());
+        write_binary(&b.build(), &mut buf).unwrap();
+        buf.push(0xAB);
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(GraphError::TrailingBytes)
+        ));
+    }
+
+    #[test]
+    fn rejects_offsets_inconsistent_with_edge_count() {
+        // Handcraft: n = 2, header claims nnz = 4, but offsets end at 2.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        buf.extend_from_slice(&4u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(matches!(err, GraphError::BadBinaryFormat(_)), "{err}");
+        assert!(err.to_string().contains("inconsistent"), "{err}");
     }
 
     #[test]
