@@ -11,6 +11,7 @@
 //! | `no-raw-cast` | no truncating `as u8/u16/u32/i8/i16/i32/VertexId` outside the blessed `cast` module |
 //! | `no-raw-thread` | no `thread::spawn` / `thread::scope` outside `crates/exec` (the policed scheduling seam) |
 //! | `no-raw-net` | no `std::net` sockets outside `crates/engine` (the policed serving seam) |
+//! | `no-raw-failpoint` | no `install_plan(`/`clear_plan(` outside `crates/faults` (fault sites go through the `bestk_faults` facade) |
 //! | `module-doc` | every source file opens with a `//!` module doc |
 //!
 //! Suppressions are explicit and carry a reason:
@@ -52,6 +53,10 @@ pub const LINTS: &[(&str, &str)] = &[
     (
         "no-raw-net",
         "no std::net sockets outside crates/engine; route serving through bestk_engine::serve",
+    ),
+    (
+        "no-raw-failpoint",
+        "no install_plan/clear_plan outside crates/faults; inject via the bestk_faults helpers",
     ),
     (
         "module-doc",
@@ -222,6 +227,10 @@ pub fn check_file(path: &str, role: FileRole, text: &str) -> Vec<Diagnostic> {
     // `crates/engine` is likewise the one place allowed to open sockets:
     // its serving loop is the policed network seam.
     let net_exempt = path.starts_with("crates/engine/");
+    // `crates/faults` owns the global fault-plan state: production code
+    // elsewhere must use the `bestk_faults` injection helpers (`io_error`,
+    // `maybe_panic`, ...), never install or clear plans itself.
+    let failpoint_exempt = path.starts_with("crates/faults/");
 
     // Pattern lints over blanked code, skipping test regions.
     for (i, line) in model.lines.iter().enumerate() {
@@ -275,6 +284,23 @@ pub fn check_file(path: &str, role: FileRole, text: &str) -> Vec<Diagnostic> {
                         "no-raw-net",
                         format!(
                             "{what} outside crates/engine (route serving through bestk_engine::serve)"
+                        ),
+                    ));
+                }
+            }
+        }
+        if !failpoint_exempt && !allowed("no-raw-failpoint", i) {
+            for (needle, what) in [
+                ("install_plan(", "`install_plan`"),
+                ("clear_plan(", "`clear_plan`"),
+            ] {
+                if code.contains(needle) {
+                    diags.push(Diagnostic::new(
+                        path,
+                        i + 1,
+                        "no-raw-failpoint",
+                        format!(
+                            "{what} outside crates/faults (inject faults via the bestk_faults helpers)"
                         ),
                     ));
                 }
@@ -466,6 +492,39 @@ mod tests {
             "{DOC}// bestk-analyze: allow(no-raw-net) — diagnostic-only socket probe\nuse std::net::SocketAddr;\n"
         );
         assert!(check_file("crates/core/src/x.rs", FileRole::Library, &src).is_empty());
+    }
+
+    #[test]
+    fn raw_failpoint_outside_faults_fires() {
+        for bad in [
+            "fn f() { bestk_faults::install_plan(&plan); }",
+            "fn f() { bestk_faults::clear_plan(); }",
+        ] {
+            let src = format!("{DOC}{bad}\n");
+            let d = check_file("crates/engine/src/serve.rs", FileRole::Library, &src);
+            assert_eq!(lints_of(&d), vec!["no-raw-failpoint"], "{bad:?}");
+            assert_eq!(d[0].line, 2);
+        }
+    }
+
+    #[test]
+    fn raw_failpoint_inside_faults_is_blessed() {
+        let src =
+            format!("{DOC}pub fn with_plan(p: &FaultPlan) {{ install_plan(p); clear_plan(); }}\n");
+        assert!(check_file("crates/faults/src/state.rs", FileRole::Library, &src).is_empty());
+    }
+
+    #[test]
+    fn raw_failpoint_in_test_code_or_allowed_lines_is_fine() {
+        let src = format!(
+            "{DOC}// install_plan( in a comment\n\
+             #[cfg(test)]\nmod tests {{\n    fn t() {{ bestk_faults::clear_plan(); }}\n}}\n"
+        );
+        assert!(check_file("crates/core/src/x.rs", FileRole::Library, &src).is_empty());
+        let src = format!(
+            "{DOC}// bestk-analyze: allow(no-raw-failpoint) — CLI boot is the blessed env entry point\nbestk_faults::install_plan(&plan);\n"
+        );
+        assert!(check_file("crates/cli/src/main.rs", FileRole::Library, &src).is_empty());
     }
 
     #[test]

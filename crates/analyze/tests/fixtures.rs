@@ -166,6 +166,36 @@ fn raw_net_inside_engine_crate_passes() {
 }
 
 #[test]
+fn injected_raw_failpoint_fails_outside_faults() {
+    let fx = Fixture::new("rawfailpoint");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\n\
+         pub fn f(plan: &bestk_faults::FaultPlan) {\n    bestk_faults::install_plan(plan);\n}\n\
+         pub fn g() {\n    bestk_faults::clear_plan();\n}\n",
+    );
+    assert_eq!(fx.lints(), vec!["no-raw-failpoint", "no-raw-failpoint"]);
+}
+
+#[test]
+fn raw_failpoint_inside_faults_crate_passes() {
+    let fx = Fixture::new("faultsplumbing");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\npub fn twice(x: u64) -> u64 { x * 2 }\n",
+    );
+    fx.write(
+        "crates/faults/src/lib.rs",
+        "//! Fault seam: the one crate allowed to own the global plan.\n\
+         #![forbid(unsafe_code)]\n\
+         pub fn with_plan(f: impl FnOnce()) {\n    install_plan(&make());\n    f();\n    clear_plan();\n}\n",
+    );
+    assert_eq!(fx.lints(), Vec::<String>::new());
+}
+
+#[test]
 fn missing_module_doc_fails() {
     let fx = Fixture::new("nodoc");
     fx.write("crates/demo/src/lib.rs", CLEAN_LIB);

@@ -8,7 +8,14 @@
 //! * `engine/cold_query` — `.bestk` load from disk (checksum verification +
 //!   `from_parts` re-validation) plus one `bestkset` answer;
 //! * `engine/warm_query` — one answer against resident artifacts (the
-//!   steady-state serving cost).
+//!   steady-state serving cost);
+//! * `engine/failpoints_off_1k` — 1000 disabled failpoint probes, the
+//!   guard that fault injection stays free when no plan is installed.
+//!
+//! Every query path above crosses the `bestk_faults` failpoints (snapshot
+//! reads, budget enforcement, batch workers) with injection disabled, so
+//! `cold_query`/`warm_query` regressing would itself flag failpoint
+//! overhead.
 //!
 //! With `BESTK_BENCH_JSON` set, the records land in the JSON report.
 
@@ -20,6 +27,10 @@ use bestk_graph::generators;
 
 fn main() {
     let b = Bench::from_env_or_exit();
+    assert!(
+        !bestk_faults::is_enabled(),
+        "fault injection must be disabled for benchmarks"
+    );
     let policy = ExecPolicy::Sequential;
     let g = generators::erdos_renyi_gnm(20_000, 100_000, 11);
     println!(
@@ -64,6 +75,20 @@ fn main() {
         "# warm engine counters: builds={} cache_hits={} evictions={}",
         c.builds, c.cache_hits, c.evictions
     );
+
+    // Guard record: the disabled-failpoint fast path (one relaxed atomic
+    // load per probe) must stay in the noise — this is what every serving
+    // request pays with chaos off.
+    b.run("engine/failpoints_off_1k", || {
+        let mut armed = 0u32;
+        for _ in 0..1000 {
+            if bestk_faults::pressure(bestk_faults::sites::ENGINE_PRESSURE) {
+                armed += 1;
+            }
+        }
+        assert_eq!(armed, 0, "no plan is installed");
+        armed
+    });
 
     let _ = std::fs::remove_dir_all(&dir);
     b.finish_or_exit();

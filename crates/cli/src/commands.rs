@@ -502,11 +502,47 @@ pub fn query(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `bestk serve [--port P] [--budget-mb N] [--threads N] [--timeout-ms T]`:
-/// run the line-oriented serving loop over stdin/stdout, or over a loopback
-/// TCP listener when `--port` is given.
+/// Parses `--max-inflight` / `--max-line-bytes` into serving limits,
+/// starting from [`bestk_engine::ServeLimits::default`]. `--max-inflight 0`
+/// is allowed (a drain configuration that sheds every request);
+/// `--max-line-bytes` must be positive.
+fn serve_limits(args: &ParsedArgs) -> Result<bestk_engine::ServeLimits, CliError> {
+    let mut limits = bestk_engine::ServeLimits::default();
+    if let Some(raw) = args.opt("max-inflight") {
+        limits.max_inflight = raw.parse().map_err(|_| {
+            CliError::Usage(format!(
+                "--max-inflight expects a non-negative integer, got {raw:?}"
+            ))
+        })?;
+    }
+    if let Some(raw) = args.opt("max-line-bytes") {
+        let bad = || {
+            CliError::Usage(format!(
+                "--max-line-bytes expects a positive integer, got {raw:?}"
+            ))
+        };
+        let n: usize = raw.parse().map_err(|_| bad())?;
+        if n == 0 {
+            return Err(bad());
+        }
+        limits.max_line_bytes = n;
+    }
+    Ok(limits)
+}
+
+/// `bestk serve [--port P] [--budget-mb N] [--threads N] [--timeout-ms T]
+/// [--max-inflight N] [--max-line-bytes N]`: run the line-oriented serving
+/// loop over stdin/stdout, or over a loopback TCP listener when `--port`
+/// is given.
 pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
-    args.reject_unknown(&["port", "budget-mb", "threads", "timeout-ms"])?;
+    args.reject_unknown(&[
+        "port",
+        "budget-mb",
+        "threads",
+        "timeout-ms",
+        "max-inflight",
+        "max-line-bytes",
+    ])?;
     if !args.positional.is_empty() {
         return Err(CliError::Usage(
             "serve takes no positional arguments (datasets are loaded via the protocol)".into(),
@@ -515,6 +551,7 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     let policy = args.exec_policy()?;
     let budget = budget_bytes(args)?;
     let timeout = timeout_opt(args)?;
+    let limits = serve_limits(args)?;
     let port: Option<u16> = match args.opt("port") {
         None => None,
         Some(raw) => {
@@ -534,10 +571,10 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     match port {
         None => {
             let stdin = std::io::stdin();
-            bestk_engine::serve_lines(&mut engine, &policy, stdin.lock(), &mut *out)?;
+            bestk_engine::serve_lines_with(&mut engine, &policy, stdin.lock(), &mut *out, &limits)?;
         }
         Some(port) => {
-            bestk_engine::serve_tcp(&mut engine, &policy, port, timeout, |addr| {
+            bestk_engine::serve_tcp(&mut engine, &policy, port, timeout, &limits, |addr| {
                 // Best-effort bind notice; the accept loop is the product.
                 let _ = writeln!(out, "serving on {addr}");
             })?;

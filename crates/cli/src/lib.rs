@@ -101,7 +101,7 @@ commands:
   query    <snapshot> <query>... [--threads N] [--budget-mb N]
                                                      one-shot snapshot queries
   serve    [--port P] [--budget-mb N] [--threads N] [--timeout-ms T]
-                                                     serving loop (stdio or TCP)
+           [--max-inflight N] [--max-line-bytes N]   serving loop (stdio or TCP)
 metrics M: ad den cr con mod cc sep td (default: all six paper metrics)
 stats/analyze/truss accept --verify: re-check every reported answer against
 the executable-specification oracles (slower; exits non-zero on mismatch)

@@ -1,8 +1,5 @@
 //! Graph loading with format auto-detection.
 
-use std::io::Read;
-use std::path::Path;
-
 use bestk_graph::{io, CsrGraph};
 
 use crate::CliError;
@@ -10,38 +7,11 @@ use crate::CliError;
 /// Loads a graph from `path`. `.metis` / `.graph` files parse as METIS;
 /// otherwise the format is sniffed: files starting with the binary magic
 /// `BESTKGR1` are read as binary CSR, everything else as a SNAP-style text
-/// edge list (sparse ids are relabeled densely).
+/// edge list (sparse ids are relabeled densely). Delegates to
+/// [`io::read_auto_path`] (the engine's snapshot-rebuild fallback uses the
+/// same loader, so a path that works here works there).
 pub fn load_graph(path: &str) -> Result<CsrGraph, CliError> {
-    let p = Path::new(path);
-    // Extension-dispatched formats first (their content is ambiguous with
-    // plain edge lists).
-    if path.ends_with(".metis") || path.ends_with(".graph") {
-        return Ok(io::read_metis_path(p)?);
-    }
-    let mut file = std::fs::File::open(p).map_err(bestk_graph::GraphError::Io)?;
-    let mut magic = [0u8; 8];
-    let read = read_up_to(&mut file, &mut magic)?;
-    if read == 8 && &magic == b"BESTKGR1" {
-        // Reopen so the binary reader sees the magic again.
-        let file = std::fs::File::open(p).map_err(bestk_graph::GraphError::Io)?;
-        Ok(io::read_binary(file)?)
-    } else {
-        let file = std::fs::File::open(p).map_err(bestk_graph::GraphError::Io)?;
-        let (g, _) = io::read_edge_list(file)?;
-        Ok(g)
-    }
-}
-
-fn read_up_to(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, CliError> {
-    let mut total = 0;
-    while total < buf.len() {
-        let n = r.read(&mut buf[total..]).map_err(CliError::Io)?;
-        if n == 0 {
-            break;
-        }
-        total += n;
-    }
-    Ok(total)
+    Ok(io::read_auto_path(path)?)
 }
 
 #[cfg(test)]

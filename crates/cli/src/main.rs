@@ -6,6 +6,20 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // Chaos drills opt in via the BESTK_FAULTS env var (e.g.
+    // `seed=7;snapshot.read=bitflip@0.5`); a malformed spec is a usage
+    // error, not something to silently ignore.
+    match bestk_faults::init_from_env() {
+        Ok(false) => {}
+        Ok(true) => eprintln!(
+            "note: fault injection enabled via {}",
+            bestk_faults::ENV_VAR
+        ),
+        Err(e) => {
+            eprintln!("error: bad {} spec: {e}", bestk_faults::ENV_VAR);
+            return ExitCode::from(2);
+        }
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut stdout = std::io::stdout().lock();
     match bestk_cli::run(&args, &mut stdout) {

@@ -13,7 +13,7 @@ use crate::bestcore::{single_core_profile, BestCore, SingleCoreProfile};
 use crate::bestkset::{core_set_profile, BestKSet, CoreSetProfile};
 use crate::decomposition::{core_decomposition, CoreDecomposition};
 use crate::forest::CoreForest;
-use crate::metrics::CommunityMetric;
+use crate::metrics::{CommunityMetric, MetricError};
 use crate::ordering::OrderedGraph;
 
 /// Precomputed best-k state for one graph: the decomposition, the core
@@ -95,23 +95,83 @@ impl BestKAnalysis {
         self.decomp.kmax()
     }
 
-    /// Problem 1 (§II-B): the best k-core set under `metric`.
+    /// Problem 1 (§II-B): the best k-core set under `metric`; a typed
+    /// [`MetricError`] when the metric cannot be scored on this analysis.
+    pub fn try_best_core_set<M: CommunityMetric + ?Sized>(
+        &self,
+        metric: &M,
+    ) -> Result<Option<BestKSet>, MetricError> {
+        self.set_profile.try_best(metric)
+    }
+
+    /// [`try_best_core_set`](Self::try_best_core_set) as a panicking
+    /// convenience.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric needs triangles but the analysis was built
+    /// without them.
     pub fn best_core_set<M: CommunityMetric + ?Sized>(&self, metric: &M) -> Option<BestKSet> {
         self.set_profile.best(metric)
     }
 
-    /// Problem 2 (§II-B): the best single k-core under `metric`.
+    /// Problem 2 (§II-B): the best single k-core under `metric`; a typed
+    /// [`MetricError`] when the metric cannot be scored on this analysis.
+    pub fn try_best_single_core<M: CommunityMetric + ?Sized>(
+        &self,
+        metric: &M,
+    ) -> Result<Option<BestCore>, MetricError> {
+        self.core_profile.try_best(metric)
+    }
+
+    /// [`try_best_single_core`](Self::try_best_single_core) as a panicking
+    /// convenience.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric needs triangles but the analysis was built
+    /// without them.
     pub fn best_single_core<M: CommunityMetric + ?Sized>(&self, metric: &M) -> Option<BestCore> {
         self.core_profile.best(metric)
     }
 
     /// Score of every k-core set (`result[k]` = score of `C_k`); the data
-    /// series of the paper's Figure 5.
+    /// series of the paper's Figure 5. A typed [`MetricError`] when the
+    /// metric cannot be scored on this analysis.
+    pub fn try_core_set_scores<M: CommunityMetric + ?Sized>(
+        &self,
+        metric: &M,
+    ) -> Result<Vec<f64>, MetricError> {
+        self.set_profile.try_scores(metric)
+    }
+
+    /// [`try_core_set_scores`](Self::try_core_set_scores) as a panicking
+    /// convenience.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric needs triangles but the analysis was built
+    /// without them.
     pub fn core_set_scores<M: CommunityMetric + ?Sized>(&self, metric: &M) -> Vec<f64> {
         self.set_profile.scores(metric)
     }
 
-    /// Score of every single k-core as Figure 6's `(k, score)` sequence.
+    /// Score of every single k-core as Figure 6's `(k, score)` sequence; a
+    /// typed [`MetricError`] when the metric cannot be scored.
+    pub fn try_single_core_scores<M: CommunityMetric + ?Sized>(
+        &self,
+        metric: &M,
+    ) -> Result<Vec<(u32, f64)>, MetricError> {
+        self.core_profile.try_sequence(metric)
+    }
+
+    /// [`try_single_core_scores`](Self::try_single_core_scores) as a
+    /// panicking convenience.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric needs triangles but the analysis was built
+    /// without them.
     pub fn single_core_scores<M: CommunityMetric + ?Sized>(&self, metric: &M) -> Vec<(u32, f64)> {
         self.core_profile.sequence(metric)
     }
@@ -169,8 +229,22 @@ mod tests {
         let g = generators::paper_figure2();
         let a = analyze_basic(&g);
         assert!(a.best_core_set(&Metric::AverageDegree).is_some());
-        let res = std::panic::catch_unwind(|| a.best_core_set(&Metric::ClusteringCoefficient));
-        assert!(res.is_err(), "cc without triangles must panic");
+        assert!(matches!(
+            a.try_best_core_set(&Metric::ClusteringCoefficient),
+            Err(MetricError::MissingTriangles { .. })
+        ));
+        assert!(matches!(
+            a.try_best_single_core(&Metric::ClusteringCoefficient),
+            Err(MetricError::MissingTriangles { .. })
+        ));
+        assert!(matches!(
+            a.try_core_set_scores(&Metric::ClusteringCoefficient),
+            Err(MetricError::MissingTriangles { .. })
+        ));
+        assert!(matches!(
+            a.try_single_core_scores(&Metric::ClusteringCoefficient),
+            Err(MetricError::MissingTriangles { .. })
+        ));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! decomposition, ordering, and forest construction.
 
 use crate::forest::CoreForest;
-use crate::metrics::{CommunityMetric, GraphContext, PrimaryValues};
+use crate::metrics::{CommunityMetric, GraphContext, MetricError, PrimaryValues};
 use crate::ordering::OrderedGraph;
 use bestk_graph::cast;
 
@@ -38,29 +38,44 @@ pub struct BestCore {
 }
 
 impl SingleCoreProfile {
-    /// Scores every k-core under `metric`, aligned with the forest nodes.
+    /// Scores every k-core under `metric`, aligned with the forest nodes;
+    /// a typed [`MetricError`] when the metric needs triangles the profile
+    /// was built without.
+    pub fn try_scores<M: CommunityMetric + ?Sized>(
+        &self,
+        metric: &M,
+    ) -> Result<Vec<f64>, MetricError> {
+        if metric.needs_triangles() && !self.has_triangles {
+            return Err(MetricError::MissingTriangles {
+                metric: metric.name().to_owned(),
+            });
+        }
+        Ok(self
+            .primaries
+            .iter()
+            .map(|pv| metric.score(pv, &self.context))
+            .collect())
+    }
+
+    /// [`try_scores`](Self::try_scores) as a panicking convenience.
     ///
     /// # Panics
     ///
     /// Panics if the metric needs triangles but the profile lacks them.
     pub fn scores<M: CommunityMetric + ?Sized>(&self, metric: &M) -> Vec<f64> {
-        assert!(
-            !metric.needs_triangles() || self.has_triangles,
-            "metric {:?} needs triangles; build the profile with triangles",
-            metric.name()
-        );
-        self.primaries
-            .iter()
-            .map(|pv| metric.score(pv, &self.context))
-            .collect()
+        // bestk-analyze: allow(no-panic) — documented panicking facade over try_scores
+        self.try_scores(metric).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The best single k-core under `metric`; ties prefer the largest `k`
     /// (the forest's descending-coreness order makes this the first
-    /// maximum). `NaN` scores are skipped; returns `None` when every score
-    /// is `NaN`.
-    pub fn best<M: CommunityMetric + ?Sized>(&self, metric: &M) -> Option<BestCore> {
-        let scores = self.scores(metric);
+    /// maximum). `NaN` scores are skipped; `Ok(None)` when every score is
+    /// `NaN`, a typed [`MetricError`] when the metric cannot be scored.
+    pub fn try_best<M: CommunityMetric + ?Sized>(
+        &self,
+        metric: &M,
+    ) -> Result<Option<BestCore>, MetricError> {
+        let scores = self.try_scores(metric)?;
         let mut best: Option<BestCore> = None;
         for (i, &s) in scores.iter().enumerate() {
             if !s.is_nan() && best.is_none_or(|b| s > b.score) {
@@ -71,22 +86,46 @@ impl SingleCoreProfile {
                 });
             }
         }
-        best
+        Ok(best)
+    }
+
+    /// [`try_best`](Self::try_best) as a panicking convenience.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric needs triangles but the profile lacks them.
+    pub fn best<M: CommunityMetric + ?Sized>(&self, metric: &M) -> Option<BestCore> {
+        // bestk-analyze: allow(no-panic) — documented panicking facade over try_best
+        self.try_best(metric).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The paper's Figure 6 series: every k-core's `(k, score)`, sorted by
     /// ascending `k` with ties broken by ascending score. Non-finite scores
-    /// are dropped.
-    pub fn sequence<M: CommunityMetric + ?Sized>(&self, metric: &M) -> Vec<(u32, f64)> {
+    /// are dropped. A typed [`MetricError`] when the metric cannot be
+    /// scored.
+    pub fn try_sequence<M: CommunityMetric + ?Sized>(
+        &self,
+        metric: &M,
+    ) -> Result<Vec<(u32, f64)>, MetricError> {
         let mut seq: Vec<(u32, f64)> = self
-            .scores(metric)
+            .try_scores(metric)?
             .into_iter()
             .zip(self.coreness.iter().copied())
             .filter(|(s, _)| s.is_finite())
             .map(|(s, k)| (k, s))
             .collect();
         seq.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
-        seq
+        Ok(seq)
+    }
+
+    /// [`try_sequence`](Self::try_sequence) as a panicking convenience.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric needs triangles but the profile lacks them.
+    pub fn sequence<M: CommunityMetric + ?Sized>(&self, metric: &M) -> Vec<(u32, f64)> {
+        // bestk-analyze: allow(no-panic) — documented panicking facade over try_sequence
+        self.try_sequence(metric).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 

@@ -17,7 +17,7 @@
 use bestk_exec::ExecPolicy;
 use bestk_graph::VertexId;
 
-use crate::metrics::{best_k, CommunityMetric, GraphContext, PrimaryValues};
+use crate::metrics::{best_k, CommunityMetric, GraphContext, MetricError, PrimaryValues};
 use crate::ordering::OrderedGraph;
 
 /// Per-k primary values of every k-core set, `k = 0 ..= kmax`.
@@ -34,47 +34,57 @@ pub struct CoreSetProfile {
 }
 
 impl CoreSetProfile {
+    fn require_triangles<M: CommunityMetric + ?Sized>(
+        &self,
+        metric: &M,
+    ) -> Result<(), MetricError> {
+        if metric.needs_triangles() && !self.has_triangles {
+            return Err(MetricError::MissingTriangles {
+                metric: metric.name().to_owned(),
+            });
+        }
+        Ok(())
+    }
+
     /// Scores every k-core set under `metric` (`scores[k]` is the score of
-    /// `C_k`); `O(kmax)`.
+    /// `C_k`); `O(kmax)`. A typed [`MetricError`] when the metric needs
+    /// triangles the profile was built without.
+    pub fn try_scores<M: CommunityMetric + ?Sized>(
+        &self,
+        metric: &M,
+    ) -> Result<Vec<f64>, MetricError> {
+        self.require_triangles(metric)?;
+        Ok(self
+            .primaries
+            .iter()
+            .map(|pv| metric.score(pv, &self.context))
+            .collect())
+    }
+
+    /// [`try_scores`](Self::try_scores) as a panicking convenience.
     ///
     /// # Panics
     ///
     /// Panics if the metric needs triangles but the profile was built without
     /// them.
     pub fn scores<M: CommunityMetric + ?Sized>(&self, metric: &M) -> Vec<f64> {
-        assert!(
-            !metric.needs_triangles() || self.has_triangles,
-            "metric {:?} needs triangles; build the profile with triangles",
-            metric.name()
-        );
-        self.primaries
-            .iter()
-            .map(|pv| metric.score(pv, &self.context))
-            .collect()
+        // bestk-analyze: allow(no-panic) — documented panicking facade over try_scores
+        self.try_scores(metric).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// [`scores`](Self::scores) under an execution policy: the per-k sweep
-    /// is scored in even chunks merged in k order, so the series (each
-    /// entry an independent float expression over that k's primaries) is
-    /// bit-identical at every thread count. Worth it when `kmax` is large
-    /// or the metric is a custom, expensive one.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the metric needs triangles but the profile was built without
-    /// them.
-    pub fn scores_with<M: CommunityMetric + ?Sized + Sync>(
+    /// [`try_scores`](Self::try_scores) under an execution policy: the
+    /// per-k sweep is scored in even chunks merged in k order, so the
+    /// series (each entry an independent float expression over that k's
+    /// primaries) is bit-identical at every thread count. Worth it when
+    /// `kmax` is large or the metric is a custom, expensive one.
+    pub fn try_scores_with<M: CommunityMetric + ?Sized + Sync>(
         &self,
         metric: &M,
         policy: &ExecPolicy,
-    ) -> Vec<f64> {
-        assert!(
-            !metric.needs_triangles() || self.has_triangles,
-            "metric {:?} needs triangles; build the profile with triangles",
-            metric.name()
-        );
+    ) -> Result<Vec<f64>, MetricError> {
+        self.require_triangles(metric)?;
         let plan = policy.plan_even(self.primaries.len());
-        policy.map_reduce(
+        Ok(policy.map_reduce(
             &plan,
             || (),
             |(), _, range| {
@@ -88,12 +98,44 @@ impl CoreSetProfile {
                 acc.extend_from_slice(&part);
                 acc
             },
-        )
+        ))
     }
 
-    /// The best k under `metric` (ties to the largest k), with its score.
+    /// [`try_scores_with`](Self::try_scores_with) as a panicking convenience.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric needs triangles but the profile was built without
+    /// them.
+    pub fn scores_with<M: CommunityMetric + ?Sized + Sync>(
+        &self,
+        metric: &M,
+        policy: &ExecPolicy,
+    ) -> Vec<f64> {
+        self.try_scores_with(metric, policy)
+            // bestk-analyze: allow(no-panic) — documented panicking facade over try_scores_with
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The best k under `metric` (ties to the largest k), with its score;
+    /// a typed [`MetricError`] when the metric cannot be scored on this
+    /// profile.
+    pub fn try_best<M: CommunityMetric + ?Sized>(
+        &self,
+        metric: &M,
+    ) -> Result<Option<BestKSet>, MetricError> {
+        Ok(best_k(&self.try_scores(metric)?).map(|(k, score)| BestKSet { k, score }))
+    }
+
+    /// [`try_best`](Self::try_best) as a panicking convenience.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric needs triangles but the profile was built without
+    /// them.
     pub fn best<M: CommunityMetric + ?Sized>(&self, metric: &M) -> Option<BestKSet> {
-        best_k(&self.scores(metric)).map(|(k, score)| BestKSet { k, score })
+        // bestk-analyze: allow(no-panic) — documented panicking facade over try_best
+        self.try_best(metric).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -515,11 +557,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "needs triangles")]
-    fn scoring_cc_without_triangles_panics() {
+    fn scoring_cc_without_triangles_is_a_typed_error() {
         let g = regular::complete(4);
         let p = profile(&g, false);
-        let _ = p.scores(&Metric::ClusteringCoefficient);
+        assert!(matches!(
+            p.try_scores(&Metric::ClusteringCoefficient),
+            Err(MetricError::MissingTriangles { .. })
+        ));
+        assert!(matches!(
+            p.try_best(&Metric::ClusteringCoefficient),
+            Err(MetricError::MissingTriangles { .. })
+        ));
+        // With triangles the same calls succeed.
+        let with = profile(&g, true);
+        assert!(with.try_scores(&Metric::ClusteringCoefficient).is_ok());
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub use bestcore::{best_single_core, single_core_profile, BestCore, SingleCorePr
 pub use bestkset::{best_k_core_set, core_set_profile, BestKSet, CoreSetProfile};
 pub use decomposition::{core_decomposition, CoreDecomposition};
 pub use forest::{CoreForest, CoreForestNode};
-pub use metrics::{best_k, CommunityMetric, GraphContext, Metric, PrimaryValues};
+pub use metrics::{best_k, CommunityMetric, GraphContext, Metric, MetricError, PrimaryValues};
 pub use ordering::OrderedGraph;
 pub use weighted::{
     weighted_core_decomposition, weighted_core_set_profile, WeightedCoreDecomposition,

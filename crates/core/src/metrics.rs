@@ -47,6 +47,42 @@ pub struct GraphContext {
     pub total_edges: u64,
 }
 
+/// A typed scoring failure: the metric asked for primary values the
+/// profile does not carry. Returned by the `try_*` scoring APIs; the
+/// panicking convenience wrappers render this error as their panic
+/// message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricError {
+    /// The metric needs `Δ`/`t` but the profile was built without them
+    /// (an `analyze_basic` / `with_triangles = false` build).
+    MissingTriangles {
+        /// The metric's name.
+        metric: String,
+    },
+    /// The metric needs `Δ`/`t`, which weighted sweeps never maintain.
+    WeightedTriangles {
+        /// The metric's name.
+        metric: String,
+    },
+}
+
+impl std::fmt::Display for MetricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricError::MissingTriangles { metric } => write!(
+                f,
+                "metric {metric:?} needs triangles; build the profile with triangles"
+            ),
+            MetricError::WeightedTriangles { metric } => write!(
+                f,
+                "metric {metric:?} needs triangles, which weighted profiles do not maintain"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
 /// A community scoring metric computable from [`PrimaryValues`].
 ///
 /// Implement this trait to plug a custom metric into every algorithm of the

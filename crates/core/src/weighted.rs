@@ -19,7 +19,7 @@ use bestk_graph::cast;
 use bestk_graph::weighted::WeightedCsrGraph;
 use bestk_graph::VertexId;
 
-use crate::metrics::{CommunityMetric, GraphContext, PrimaryValues};
+use crate::metrics::{CommunityMetric, GraphContext, MetricError, PrimaryValues};
 
 /// The result of a weighted (s-core) decomposition.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -169,33 +169,61 @@ pub struct WeightedCoreSetProfile {
 }
 
 impl WeightedCoreSetProfile {
-    /// Scores every s-core set under a weight-compatible metric.
+    /// Scores every s-core set under a weight-compatible metric; a typed
+    /// [`MetricError`] for triangle-based metrics (weighted profiles do not
+    /// maintain triangle counts).
+    pub fn try_scores<M: CommunityMetric + ?Sized>(
+        &self,
+        metric: &M,
+    ) -> Result<Vec<f64>, MetricError> {
+        if metric.needs_triangles() {
+            return Err(MetricError::WeightedTriangles {
+                metric: metric.name().to_owned(),
+            });
+        }
+        Ok(self
+            .primaries
+            .iter()
+            .map(|pv| metric.score(pv, &self.context))
+            .collect())
+    }
+
+    /// [`try_scores`](Self::try_scores) as a panicking convenience.
     ///
     /// # Panics
     ///
     /// Panics if the metric needs triangles (not maintained for weighted
     /// sweeps).
     pub fn scores<M: CommunityMetric + ?Sized>(&self, metric: &M) -> Vec<f64> {
-        assert!(
-            !metric.needs_triangles(),
-            "triangle-based metrics are not supported on weighted profiles"
-        );
-        self.primaries
-            .iter()
-            .map(|pv| metric.score(pv, &self.context))
-            .collect()
+        // bestk-analyze: allow(no-panic) — documented panicking facade over try_scores
+        self.try_scores(metric).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// The best s (ties to the largest s) and its score.
-    pub fn best<M: CommunityMetric + ?Sized>(&self, metric: &M) -> Option<(u64, f64)> {
-        let scores = self.scores(metric);
+    /// The best s (ties to the largest s) and its score; a typed
+    /// [`MetricError`] for triangle-based metrics.
+    pub fn try_best<M: CommunityMetric + ?Sized>(
+        &self,
+        metric: &M,
+    ) -> Result<Option<(u64, f64)>, MetricError> {
+        let scores = self.try_scores(metric)?;
         let mut best: Option<(u64, f64)> = None;
         for (i, &s) in scores.iter().enumerate().rev() {
             if !s.is_nan() && best.is_none_or(|(_, bs)| s > bs) {
                 best = Some((self.levels[i], s));
             }
         }
-        best
+        Ok(best)
+    }
+
+    /// [`try_best`](Self::try_best) as a panicking convenience.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric needs triangles (not maintained for weighted
+    /// sweeps).
+    pub fn best<M: CommunityMetric + ?Sized>(&self, metric: &M) -> Option<(u64, f64)> {
+        // bestk-analyze: allow(no-panic) — documented panicking facade over try_best
+        self.try_best(metric).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -383,8 +411,14 @@ mod tests {
         let wg = unit_weights(&generators::paper_figure2());
         let wd = weighted_core_decomposition(&wg);
         let profile = weighted_core_set_profile(&wg, &wd);
-        let res = std::panic::catch_unwind(|| profile.scores(&Metric::ClusteringCoefficient));
-        assert!(res.is_err());
+        assert!(matches!(
+            profile.try_scores(&Metric::ClusteringCoefficient),
+            Err(MetricError::WeightedTriangles { .. })
+        ));
+        assert!(matches!(
+            profile.try_best(&Metric::ClusteringCoefficient),
+            Err(MetricError::WeightedTriangles { .. })
+        ));
         assert!(profile.best(&Metric::Conductance).is_some());
     }
 

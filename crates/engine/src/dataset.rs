@@ -18,10 +18,11 @@
 //! thread count.
 
 use bestk_core::{
-    core_decomposition, core_set_profile, single_core_profile, CommunityMetric, CoreDecomposition,
-    CoreForest, CoreSetProfile, OrderedGraph, SingleCoreProfile,
+    core_decomposition, core_set_profile, single_core_profile, CoreDecomposition, CoreForest,
+    CoreSetProfile, OrderedGraph, SingleCoreProfile,
 };
 use bestk_exec::ExecPolicy;
+use bestk_faults::sites;
 use bestk_graph::{CsrGraph, VertexId};
 
 use crate::error::EngineError;
@@ -170,43 +171,28 @@ impl Dataset {
             .as_ref()
             .ok_or_else(|| EngineError::BadQuery("dataset artifacts are not built".into()))?;
         match *query {
-            Query::BestKSet { metric } => {
-                if metric.needs_triangles() && !art.set_profile.has_triangles {
-                    return Err(triangle_gap(metric));
-                }
-                match art.set_profile.best(&metric) {
-                    Some(best) => Ok(Answer::BestKSet {
-                        metric,
-                        k: best.k,
-                        score: best.score,
-                    }),
-                    None => Ok(Answer::Undefined { what: "bestkset" }),
-                }
-            }
-            Query::BestCore { metric } => {
-                if metric.needs_triangles() && !art.core_profile.has_triangles {
-                    return Err(triangle_gap(metric));
-                }
-                match art.core_profile.best(&metric) {
-                    Some(best) => Ok(Answer::BestCore {
-                        metric,
-                        node: best.node,
-                        k: best.k,
-                        score: best.score,
-                        size: art.core_profile.primaries[best.node as usize].num_vertices,
-                    }),
-                    None => Ok(Answer::Undefined { what: "bestcore" }),
-                }
-            }
-            Query::ScoreProfile { metric } => {
-                if metric.needs_triangles() && !art.set_profile.has_triangles {
-                    return Err(triangle_gap(metric));
-                }
-                Ok(Answer::Profile {
+            Query::BestKSet { metric } => match art.set_profile.try_best(&metric)? {
+                Some(best) => Ok(Answer::BestKSet {
                     metric,
-                    scores: art.set_profile.scores(&metric),
-                })
-            }
+                    k: best.k,
+                    score: best.score,
+                }),
+                None => Ok(Answer::Undefined { what: "bestkset" }),
+            },
+            Query::BestCore { metric } => match art.core_profile.try_best(&metric)? {
+                Some(best) => Ok(Answer::BestCore {
+                    metric,
+                    node: best.node,
+                    k: best.k,
+                    score: best.score,
+                    size: art.core_profile.primaries[best.node as usize].num_vertices,
+                }),
+                None => Ok(Answer::Undefined { what: "bestcore" }),
+            },
+            Query::ScoreProfile { metric } => Ok(Answer::Profile {
+                metric,
+                scores: art.set_profile.try_scores(&metric)?,
+            }),
             Query::CoreOfVertex { vertex } => {
                 let n = self.graph.num_vertices();
                 if vertex as usize >= n {
@@ -244,6 +230,10 @@ impl Dataset {
             &plan,
             || (),
             |(), _, range| {
+                // This closure executes on the policy's worker threads, so
+                // the `exec.worker` failpoint exercises the runtime's panic
+                // containment end to end (worker → PanicSlot → caller).
+                bestk_faults::maybe_panic(sites::EXEC_WORKER);
                 queries[range]
                     .iter()
                     .map(|q| self.answer(q))
@@ -252,13 +242,6 @@ impl Dataset {
         );
         parts.into_iter().flatten().collect()
     }
-}
-
-fn triangle_gap(metric: bestk_core::Metric) -> EngineError {
-    EngineError::BadQuery(format!(
-        "metric {} needs triangle counts but this dataset was indexed without them",
-        metric.abbrev()
-    ))
 }
 
 #[cfg(test)]

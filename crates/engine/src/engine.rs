@@ -19,12 +19,23 @@
 use std::collections::BTreeMap;
 
 use bestk_exec::ExecPolicy;
+use bestk_faults::sites;
 use bestk_graph::CsrGraph;
 
 use crate::dataset::Dataset;
 use crate::error::EngineError;
 use crate::query::{Answer, Query};
 use crate::snapshot;
+
+/// How [`Engine::load_snapshot_with_fallback`] obtained the dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadOutcome {
+    /// The snapshot loaded cleanly (transient-I/O retries included).
+    Loaded,
+    /// The snapshot was corrupt: the file was quarantined and the index
+    /// was rebuilt from the source graph.
+    Rebuilt,
+}
 
 /// Monotonic counters describing the engine's lifetime workload.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -129,6 +140,52 @@ impl Engine {
     /// The snapshot arrives fully built, so no build is charged.
     pub fn load_snapshot(&mut self, name: &str, path: &str) -> Result<(), EngineError> {
         let dataset = snapshot::load_path(path)?;
+        self.register(name, dataset);
+        Ok(())
+    }
+
+    /// Resilient snapshot load — the degradation ladder:
+    ///
+    /// 1. read `path`, retrying *transient* I/O failures under `retry`;
+    /// 2. if the bytes are corrupt (bad magic, checksum mismatch,
+    ///    truncation, …) and a `source` graph file is given, rename the
+    ///    bad file to `<path>.quarantine` (preserving it for forensics),
+    ///    rebuild the full index from `source`, and serve that — startup
+    ///    degrades to a slow build instead of failing;
+    /// 3. otherwise surface the typed error.
+    pub fn load_snapshot_with_fallback(
+        &mut self,
+        name: &str,
+        path: &str,
+        source: Option<&str>,
+        retry: &snapshot::RetryPolicy,
+        policy: &ExecPolicy,
+    ) -> Result<LoadOutcome, EngineError> {
+        match snapshot::load_path_with_retry(path, retry) {
+            Ok(dataset) => {
+                self.register(name, dataset);
+                Ok(LoadOutcome::Loaded)
+            }
+            Err(e) if e.is_corruption() => {
+                let source = match source {
+                    Some(s) => s,
+                    None => return Err(e),
+                };
+                // Quarantine is best-effort: the rebuild below is the part
+                // that restores service.
+                let _ = std::fs::rename(path, format!("{path}.quarantine"));
+                let graph = bestk_graph::io::read_auto_path(source)?;
+                let mut dataset = Dataset::from_graph(graph);
+                dataset.ensure_built(policy);
+                self.counters.builds += 1;
+                self.register(name, dataset);
+                Ok(LoadOutcome::Rebuilt)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn register(&mut self, name: &str, dataset: Dataset) {
         self.clock += 1;
         self.counters.loads += 1;
         self.slots.insert(
@@ -139,7 +196,6 @@ impl Engine {
             },
         );
         self.enforce_budget(name);
-        Ok(())
     }
 
     /// Removes a dataset; returns whether it existed.
@@ -184,7 +240,14 @@ impl Engine {
             self.counters.cache_hits += 1;
         }
         self.counters.queries += queries.len() as u64;
-        let answers = slot.dataset.answer_batch(queries, policy);
+        // Panic isolation: a panic anywhere in answering (including one
+        // re-raised from an exec worker thread) is contained here and
+        // converted to a typed error — the engine, and any serving loop
+        // above it, survive.
+        let answers = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            slot.dataset.answer_batch(queries, policy)
+        }))
+        .map_err(|payload| EngineError::Internal(panic_message(payload.as_ref())))?;
         self.enforce_budget(name);
         Ok(answers)
     }
@@ -207,9 +270,16 @@ impl Engine {
     /// the budget. `protect` (the dataset just touched) is never a victim,
     /// so the active dataset cannot evict itself mid-query.
     fn enforce_budget(&mut self, protect: &str) {
-        let budget = match self.budget {
-            Some(b) => b,
-            None => return,
+        // The `engine.pressure` failpoint simulates a memory-pressure spike
+        // by collapsing the budget to zero for this pass: everything except
+        // the protected dataset is evicted, and later touches rebuild.
+        let budget = if bestk_faults::pressure(sites::ENGINE_PRESSURE) {
+            0
+        } else {
+            match self.budget {
+                Some(b) => b,
+                None => return,
+            }
         };
         while self.resident_bytes() > budget {
             let victim = self
@@ -228,6 +298,16 @@ impl Engine {
                 None => return, // nothing evictable; budget becomes a high-water mark
             }
         }
+    }
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with a non-string payload".to_owned()
     }
 }
 
@@ -340,6 +420,152 @@ mod tests {
         assert_eq!(eng.counters().cache_hits, 1);
         assert!(a.to_line().starts_with("bestcore\tden"));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn eviction_under_pressure_with_queries_in_flight_stays_consistent() {
+        // Satellite regression: a budget squeeze between queries must leave
+        // the registry answering correctly — the evicted dataset rebuilds
+        // on its next touch and every counter stays consistent.
+        let mut eng = Engine::new(Some(1));
+        eng.insert_graph("a", generators::erdos_renyi_gnm(60, 200, 1));
+        eng.insert_graph("b", generators::erdos_renyi_gnm(60, 200, 2));
+        let q = Query::BestKSet {
+            metric: Metric::AverageDegree,
+        };
+        let a1 = eng.query("a", &q, &policy()).unwrap().to_line();
+        // Touching `b` evicts `a` mid-workload...
+        eng.query("b", &q, &policy()).unwrap();
+        assert!(!eng.dataset_rows()[0].built, "a should have been evicted");
+        // ...and re-querying `a` rebuilds and returns the identical answer.
+        let a2 = eng.query("a", &q, &policy()).unwrap().to_line();
+        assert_eq!(a1, a2);
+        let c = eng.counters();
+        assert_eq!(c.loads, 2);
+        assert_eq!(c.builds, 3, "a, b, then a's rebuild");
+        assert_eq!(c.cache_hits, 0);
+        assert!(c.evictions >= 2);
+        assert_eq!(c.queries, 3);
+    }
+
+    #[test]
+    fn injected_pressure_evicts_and_recovers() {
+        use bestk_faults::{Fault, FaultPlan, SiteSpec};
+        // Unbounded budget, but the failpoint simulates a pressure spike on
+        // one enforce pass: everything except the active dataset evicts,
+        // later queries rebuild, answers stay identical.
+        let mut eng = Engine::new(None);
+        eng.insert_graph("a", generators::paper_figure2());
+        eng.insert_graph("b", generators::erdos_renyi_gnm(40, 120, 3));
+        let q = Query::Stats;
+        let before_a = eng.query("a", &q, &policy()).unwrap().to_line();
+        eng.query("b", &q, &policy()).unwrap();
+        let plan = FaultPlan::new(5).site(
+            sites::ENGINE_PRESSURE,
+            SiteSpec::always(Fault::Pressure).with_budget(1),
+        );
+        bestk_faults::with_plan(&plan, || {
+            // This query's budget pass hits the pressure spike: `a` (LRU,
+            // unprotected) is evicted.
+            eng.query("b", &q, &policy()).unwrap();
+        });
+        assert!(eng.counters().evictions >= 1);
+        let after_a = eng.query("a", &q, &policy()).unwrap().to_line();
+        assert_eq!(before_a, after_a);
+    }
+
+    #[test]
+    fn worker_panic_is_contained_as_a_typed_error() {
+        use bestk_faults::{Fault, FaultPlan, SiteSpec};
+        let mut eng = Engine::new(None);
+        eng.insert_graph("fig2", generators::paper_figure2());
+        let q = Query::Stats;
+        let plan = FaultPlan::new(9).site(
+            sites::EXEC_WORKER,
+            SiteSpec::always(Fault::Panic).with_budget(1),
+        );
+        bestk_faults::with_plan(&plan, || {
+            let threads = ExecPolicy::with_threads(2).unwrap();
+            let err = eng.query("fig2", &q, &threads).unwrap_err();
+            assert!(matches!(err, EngineError::Internal(_)), "{err}");
+            assert!(err.to_string().contains("injected"), "{err}");
+            // The engine survives and the very next query succeeds.
+            let a = eng.query("fig2", &q, &threads).unwrap();
+            assert_eq!(a.to_line(), "stats\tn=12\tm=19\tkmax=3\tcores=3");
+        });
+    }
+
+    #[test]
+    fn corrupt_snapshot_quarantines_and_rebuilds_from_source() {
+        let dir = std::env::temp_dir().join("bestk-engine-fallback-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("fig2.bestk");
+        let source = dir.join("fig2.txt");
+        let quarantine = dir.join("fig2.bestk.quarantine");
+        std::fs::remove_file(&quarantine).ok();
+        let g = generators::paper_figure2();
+        bestk_graph::io::write_edge_list_path(&g, &source).unwrap();
+        let mut ds = Dataset::from_graph(g);
+        ds.ensure_built(&policy());
+        snapshot::save_path(&ds, &snap).unwrap();
+        // Corrupt the snapshot's payload on disk.
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&snap, &bytes).unwrap();
+
+        let mut eng = Engine::new(None);
+        let snap_str = snap.to_str().unwrap();
+        // Without a source the corruption surfaces as the typed error.
+        let err = eng
+            .load_snapshot_with_fallback(
+                "fig2",
+                snap_str,
+                None,
+                &snapshot::RetryPolicy::none(),
+                &policy(),
+            )
+            .unwrap_err();
+        assert!(err.is_corruption(), "{err}");
+        // With a source the engine quarantines the bad file and rebuilds.
+        let outcome = eng
+            .load_snapshot_with_fallback(
+                "fig2",
+                snap_str,
+                Some(source.to_str().unwrap()),
+                &snapshot::RetryPolicy::none(),
+                &policy(),
+            )
+            .unwrap();
+        assert_eq!(outcome, LoadOutcome::Rebuilt);
+        assert!(quarantine.exists(), "corrupt file must be quarantined");
+        assert!(!snap.exists(), "corrupt file must be moved aside");
+        let a = eng
+            .query(
+                "fig2",
+                &Query::BestKSet {
+                    metric: Metric::AverageDegree,
+                },
+                &policy(),
+            )
+            .unwrap();
+        assert_eq!(a.to_line(), "bestkset\tad\tk=2\tscore=3.1666666666666665");
+
+        // An intact snapshot through the same entry point reports Loaded.
+        snapshot::save_path(&ds, &snap).unwrap();
+        let outcome = eng
+            .load_snapshot_with_fallback(
+                "fig2b",
+                snap_str,
+                Some(source.to_str().unwrap()),
+                &snapshot::RetryPolicy::none(),
+                &policy(),
+            )
+            .unwrap();
+        assert_eq!(outcome, LoadOutcome::Loaded);
+        for f in [snap, source, quarantine] {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     #[test]

@@ -52,6 +52,37 @@ pub enum EngineError {
     BadQuery(String),
     /// A serving-loop request line did not match the protocol grammar.
     Protocol(String),
+    /// A request's handler panicked; the panic was contained and converted.
+    Internal(String),
+    /// The server is at its in-flight capacity and shed the request.
+    Overloaded {
+        /// The configured in-flight limit that was hit.
+        limit: usize,
+    },
+    /// A request line exceeded the per-line byte cap.
+    TooLarge {
+        /// The configured per-line cap in bytes.
+        limit: usize,
+    },
+}
+
+impl EngineError {
+    /// Whether this error means the snapshot *bytes* are bad (truncation,
+    /// checksum mismatch, version skew, …) rather than the I/O path being
+    /// flaky — the distinction between "quarantine and rebuild" and "retry".
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            EngineError::BadMagic
+                | EngineError::VersionSkew { .. }
+                | EngineError::Truncated { .. }
+                | EngineError::ChecksumMismatch { .. }
+                | EngineError::TrailingBytes
+                | EngineError::MissingSection(_)
+                | EngineError::BadSnapshot(_)
+                | EngineError::Graph(_)
+        )
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -80,6 +111,13 @@ impl fmt::Display for EngineError {
             EngineError::UnknownDataset(name) => write!(f, "unknown dataset {name:?}"),
             EngineError::BadQuery(msg) => write!(f, "bad query: {msg}"),
             EngineError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            EngineError::Internal(msg) => write!(f, "internal error: {msg}"),
+            EngineError::Overloaded { limit } => {
+                write!(f, "overloaded: {limit} requests already in flight")
+            }
+            EngineError::TooLarge { limit } => {
+                write!(f, "request too large: line exceeds {limit} bytes")
+            }
         }
     }
 }
@@ -106,6 +144,12 @@ impl From<GraphError> for EngineError {
     }
 }
 
+impl From<bestk_core::MetricError> for EngineError {
+    fn from(e: bestk_core::MetricError) -> Self {
+        EngineError::BadQuery(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +170,25 @@ mod tests {
         assert!(EngineError::TrailingBytes.to_string().contains("trailing"));
         let e = EngineError::UnknownDataset("web".into());
         assert!(e.to_string().contains("web"));
+        let e = EngineError::Overloaded { limit: 4 };
+        assert!(e.to_string().starts_with("overloaded"));
+        let e = EngineError::TooLarge { limit: 512 };
+        assert!(e.to_string().contains("512"));
+        let e = EngineError::Internal("boom".into());
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn corruption_classifier_separates_retryable_io() {
+        assert!(EngineError::BadMagic.is_corruption());
+        assert!(EngineError::TrailingBytes.is_corruption());
+        assert!(EngineError::ChecksumMismatch { section: "graph" }.is_corruption());
+        assert!(EngineError::Truncated { section: "header" }.is_corruption());
+        assert!(EngineError::BadSnapshot("kmax".into()).is_corruption());
+        let io = EngineError::Io(std::io::Error::new(std::io::ErrorKind::Interrupted, "x"));
+        assert!(!io.is_corruption());
+        assert!(!EngineError::UnknownDataset("x".into()).is_corruption());
+        assert!(!EngineError::Overloaded { limit: 1 }.is_corruption());
     }
 
     #[test]

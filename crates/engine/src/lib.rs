@@ -30,8 +30,14 @@ pub mod serve;
 pub mod snapshot;
 
 pub use dataset::{Artifacts, Dataset};
-pub use engine::{Counters, DatasetRow, Engine};
+pub use engine::{Counters, DatasetRow, Engine, LoadOutcome};
 pub use error::EngineError;
 pub use query::{metric_by_abbrev, Answer, Query};
-pub use serve::{handle_request, serve_lines, serve_on_listener, serve_tcp, Control};
-pub use snapshot::{load_path as load_snapshot_path, save_path as save_snapshot_path};
+pub use serve::{
+    handle_request, serve_lines, serve_lines_with, serve_on_listener, serve_tcp, Control,
+    ServeLimits,
+};
+pub use snapshot::{
+    load_path as load_snapshot_path, load_path_with_retry, save_path as save_snapshot_path,
+    save_path_with_retry, RetryPolicy,
+};

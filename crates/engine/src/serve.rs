@@ -4,7 +4,9 @@
 //! tab-separated, starting with an explicit `ok` or `err` status):
 //!
 //! ```text
-//! load <name> <path>          register a .bestk snapshot  -> ok loaded <name>
+//! load <name> <path> [source] register a .bestk snapshot  -> ok loaded <name>
+//!                             (with [source]: a corrupt snapshot is
+//!                             quarantined and rebuilt    -> ok rebuilt <name>)
 //! query <dataset> <query...>  answer one query            -> ok <answer fields>
 //! datasets                    list datasets               -> ok datasets <n> (+ per-row lines)
 //! counters                    workload counters           -> ok counters loads=... builds=...
@@ -14,7 +16,25 @@
 //! Any failure becomes `err\t<message>` on the same single line — the
 //! connection survives bad requests, and a client can script against the
 //! first tab-separated token alone. `quit` shuts the whole server down
-//! gracefully after the reply is flushed.
+//! gracefully after the reply is flushed and the connection drained.
+//!
+//! ## Hardening
+//!
+//! The loop is built to survive everything the `bestk-faults` chaos suite
+//! throws at it:
+//!
+//! * request handling runs under `catch_unwind`, so a panic anywhere in
+//!   dispatch becomes an `err internal error: ...` reply, never process
+//!   death;
+//! * request lines are capped at [`ServeLimits::max_line_bytes`] — an
+//!   over-long line is discarded (to the next newline) and answered with a
+//!   typed `err request too large` reply;
+//! * admission is gated on [`ServeLimits::max_inflight`]; requests past
+//!   the gauge are shed with `err overloaded` instead of queueing;
+//! * a connection whose read timeout cannot be configured gets a typed
+//!   `err` line and is closed — the accept loop keeps serving;
+//! * read errors (timeouts, hangups, injected faults) end the connection,
+//!   not the server.
 //!
 //! This module is the one place in the workspace allowed to touch
 //! `std::net` (enforced by the `no-raw-net` lint): the TCP listener binds
@@ -28,10 +48,12 @@ use std::net::{Ipv4Addr, SocketAddr, TcpListener};
 use std::time::Duration;
 
 use bestk_exec::ExecPolicy;
+use bestk_faults::sites;
 
-use crate::engine::Engine;
+use crate::engine::{Engine, LoadOutcome};
 use crate::error::EngineError;
 use crate::query::Query;
+use crate::snapshot::RetryPolicy;
 
 /// What the serving loop should do after a request is answered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,15 +64,50 @@ pub enum Control {
     Quit,
 }
 
+/// Per-connection safety limits for the serving loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeLimits {
+    /// Maximum request-line length in bytes (excluding the newline).
+    /// Longer lines are discarded up to the next newline and answered with
+    /// a typed `err request too large` reply.
+    pub max_line_bytes: usize,
+    /// Maximum requests admitted concurrently. The loop itself is
+    /// sequential, so the gauge only exceeds 1 if a future transport
+    /// overlaps requests — but `0` is a meaningful drain configuration
+    /// (shed everything), and the `serve.overload` failpoint drives the
+    /// shedding path deterministically in tests.
+    pub max_inflight: usize,
+}
+
+impl Default for ServeLimits {
+    fn default() -> Self {
+        ServeLimits {
+            max_line_bytes: 64 * 1024,
+            max_inflight: 64,
+        }
+    }
+}
+
 /// Handles one request line, returning the reply line (without the
 /// trailing newline) and whether the server should keep going.
 ///
-/// Errors never escape as `Err`: every failure is rendered into an
-/// `err\t...` reply so the loop — and the connection — survive bad input.
+/// Errors never escape as `Err`, and panics never escape at all: every
+/// failure — including a contained panic — is rendered into an `err\t...`
+/// reply so the loop, and the connection, survive bad input.
 pub fn handle_request(engine: &mut Engine, policy: &ExecPolicy, line: &str) -> (String, Control) {
-    match dispatch(engine, policy, line) {
-        Ok((reply, control)) => (reply, control),
-        Err(e) => (format!("err\t{e}"), Control::Continue),
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        dispatch(engine, policy, line)
+    }));
+    match outcome {
+        Ok(Ok((reply, control))) => (reply, control),
+        Ok(Err(e)) => (format!("err\t{e}"), Control::Continue),
+        Err(payload) => (
+            format!(
+                "err\t{}",
+                EngineError::Internal(crate::engine::panic_message(payload.as_ref()))
+            ),
+            Control::Continue,
+        ),
     }
 }
 
@@ -65,17 +122,25 @@ fn dispatch(
         .ok_or_else(|| EngineError::Protocol("empty request".into()))?;
     match verb {
         "load" => {
-            let name = tokens
-                .next()
-                .ok_or_else(|| EngineError::Protocol("load takes <name> <path>".into()))?;
-            let path = tokens
-                .next()
-                .ok_or_else(|| EngineError::Protocol("load takes <name> <path>".into()))?;
+            let usage = || EngineError::Protocol("load takes <name> <path> [source]".into());
+            let name = tokens.next().ok_or_else(usage)?;
+            let path = tokens.next().ok_or_else(usage)?;
+            let source = tokens.next();
             if tokens.next().is_some() {
-                return Err(EngineError::Protocol("load takes <name> <path>".into()));
+                return Err(usage());
             }
-            engine.load_snapshot(name, path)?;
-            Ok((format!("ok\tloaded\t{name}"), Control::Continue))
+            let outcome = engine.load_snapshot_with_fallback(
+                name,
+                path,
+                source,
+                &RetryPolicy::default(),
+                policy,
+            )?;
+            let word = match outcome {
+                LoadOutcome::Loaded => "loaded",
+                LoadOutcome::Rebuilt => "rebuilt",
+            };
+            Ok((format!("ok\t{word}\t{name}"), Control::Continue))
         }
         "query" => {
             let dataset = tokens
@@ -130,26 +195,129 @@ fn dispatch(
     }
 }
 
-/// Serves requests from any line source to any sink (the stdio transport,
-/// and the per-connection body of the TCP transport). Returns `Control::Quit`
-/// if the stream asked to shut the whole server down, `Control::Continue`
-/// if it simply ended (EOF / timeout / client hangup).
+/// Reads one request line, capped at `max` bytes.
+///
+/// * `Ok(None)` — clean EOF, nothing more to read.
+/// * `Ok(Some(Ok(line)))` — a complete line (newline stripped, lossy
+///   UTF-8, trailing `\r` removed).
+/// * `Ok(Some(Err(_)))` — the line exceeded `max` bytes; the excess has
+///   been discarded up to (and including) the next newline so the stream
+///   stays line-aligned.
+/// * `Err(_)` — a non-retryable read error (`Interrupted` is retried
+///   internally).
+fn read_capped_line<R: BufRead>(
+    reader: &mut R,
+    max: usize,
+) -> std::io::Result<Option<Result<String, EngineError>>> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut overflowed = false;
+    let mut saw_any = false;
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            // EOF. An unterminated final line still counts as a line.
+            if !saw_any {
+                return Ok(None);
+            }
+            break;
+        }
+        saw_any = true;
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let upto = newline.unwrap_or(chunk.len());
+        if !overflowed {
+            if line.len() + upto <= max {
+                line.extend_from_slice(&chunk[..upto]);
+            } else {
+                overflowed = true;
+                line.clear();
+            }
+        }
+        match newline {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                break;
+            }
+            None => {
+                let len = chunk.len();
+                reader.consume(len);
+            }
+        }
+    }
+    if overflowed {
+        return Ok(Some(Err(EngineError::TooLarge { limit: max })));
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    Ok(Some(Ok(String::from_utf8_lossy(&line).into_owned())))
+}
+
+/// [`serve_lines_with`] under [`ServeLimits::default`].
 pub fn serve_lines<R: BufRead, W: Write>(
     engine: &mut Engine,
     policy: &ExecPolicy,
     reader: R,
-    mut writer: W,
+    writer: W,
 ) -> Result<Control, EngineError> {
-    for line in reader.lines() {
-        let line = match line {
-            Ok(line) => line,
+    serve_lines_with(engine, policy, reader, writer, &ServeLimits::default())
+}
+
+/// Serves requests from any line source to any sink (the stdio transport,
+/// and the per-connection body of the TCP transport). Returns `Control::Quit`
+/// if the stream asked to shut the whole server down, `Control::Continue`
+/// if it simply ended (EOF / timeout / client hangup).
+///
+/// Every reply is flushed before the next request is read, so on `Quit`
+/// the final `ok bye` has already been drained to the client.
+pub fn serve_lines_with<R: BufRead, W: Write>(
+    engine: &mut Engine,
+    policy: &ExecPolicy,
+    mut reader: R,
+    mut writer: W,
+    limits: &ServeLimits,
+) -> Result<Control, EngineError> {
+    let mut inflight: usize = 0;
+    loop {
+        let line = match read_capped_line(&mut reader, limits.max_line_bytes) {
+            Ok(Some(l)) => l,
+            Ok(None) => return Ok(Control::Continue),
             // A read timeout or client hangup ends this stream, not the server.
             Err(_) => return Ok(Control::Continue),
         };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (reply, control) = handle_request(engine, policy, &line);
+        let (reply, control) = match line {
+            Err(e) => (format!("err\t{e}"), Control::Continue),
+            Ok(mut line) => {
+                // The `serve.read` failpoint tears request lines mid-flight;
+                // a mangled request must come back as a typed error (or
+                // still parse, if the damage missed the grammar).
+                bestk_faults::mangle_line(sites::SERVE_READ, &mut line);
+                if line.trim().is_empty() {
+                    continue;
+                }
+                inflight += 1;
+                let shed = inflight > limits.max_inflight
+                    || bestk_faults::overloaded(sites::SERVE_OVERLOAD);
+                let answered = if shed {
+                    (
+                        format!(
+                            "err\t{}",
+                            EngineError::Overloaded {
+                                limit: limits.max_inflight
+                            }
+                        ),
+                        Control::Continue,
+                    )
+                } else {
+                    handle_request(engine, policy, &line)
+                };
+                inflight -= 1;
+                answered
+            }
+        };
         writer.write_all(reply.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
@@ -157,12 +325,16 @@ pub fn serve_lines<R: BufRead, W: Write>(
             return Ok(Control::Quit);
         }
     }
-    Ok(Control::Continue)
 }
 
 /// Serves connections from an already-bound listener until a client sends
 /// `quit`. Connections are handled sequentially; `timeout` bounds each
 /// read so a silent client cannot wedge the server forever.
+///
+/// A connection whose read timeout cannot be configured is answered with a
+/// typed `err` line and closed — never silently dropped — and the accept
+/// loop keeps serving. On `quit` the final reply is flushed and the
+/// connection shut down before the listener stops (drain-on-shutdown).
 ///
 /// Split out from [`serve_tcp`] so tests can bind port 0 and discover the
 /// ephemeral port via `TcpListener::local_addr` before starting the loop.
@@ -171,20 +343,43 @@ pub fn serve_on_listener(
     policy: &ExecPolicy,
     listener: &TcpListener,
     timeout: Option<Duration>,
+    limits: &ServeLimits,
 ) -> Result<(), EngineError> {
     for stream in listener.incoming() {
-        let stream = match stream {
+        let mut stream = match stream {
             Ok(s) => s,
             Err(_) => continue, // transient accept failure: keep serving
         };
-        if stream.set_read_timeout(timeout).is_err() {
+        // The `serve.timeout` failpoint simulates `set_read_timeout`
+        // failing (rare, but std documents it can).
+        let configured = if let Some(e) = bestk_faults::io_error(sites::SERVE_TIMEOUT) {
+            Err(e)
+        } else {
+            stream.set_read_timeout(timeout)
+        };
+        if let Err(e) = configured {
+            // Surface the failure to the client as a typed single-line
+            // error instead of silently dropping the connection, then keep
+            // accepting. Serving without a timeout would let a silent
+            // client wedge the server.
+            let reply = format!("err\t{}\n", EngineError::Io(e));
+            let _ = stream.write_all(reply.as_bytes());
+            let _ = stream.flush();
+            let _ = stream.shutdown(std::net::Shutdown::Both);
             continue;
         }
-        let reader = BufReader::new(match stream.try_clone() {
+        let cloned = match stream.try_clone() {
             Ok(s) => s,
             Err(_) => continue,
-        });
-        if serve_lines(engine, policy, reader, &stream)? == Control::Quit {
+        };
+        // The `serve.read` failpoint also injects socket-level faults
+        // (errors, short reads) under the buffered reader.
+        let reader = BufReader::new(bestk_faults::FaultyRead::new(sites::SERVE_READ, cloned));
+        if serve_lines_with(engine, policy, reader, &stream, limits)? == Control::Quit {
+            // Drain-on-shutdown: every reply (including `ok bye`) was
+            // flushed by serve_lines_with; close both directions so the
+            // client observes EOF rather than a reset.
+            let _ = stream.shutdown(std::net::Shutdown::Both);
             return Ok(());
         }
     }
@@ -199,11 +394,12 @@ pub fn serve_tcp(
     policy: &ExecPolicy,
     port: u16,
     timeout: Option<Duration>,
+    limits: &ServeLimits,
     on_bound: impl FnOnce(SocketAddr),
 ) -> Result<(), EngineError> {
     let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, port))?;
     on_bound(listener.local_addr()?);
-    serve_on_listener(engine, policy, &listener, timeout)
+    serve_on_listener(engine, policy, &listener, timeout, limits)
 }
 
 #[cfg(test)]
@@ -245,6 +441,7 @@ mod tests {
             "query fig2 coreof 999",
             "load onlyname",
             "load x /no/such/file.bestk",
+            "load x /no/such/file.bestk /no/source.txt extra",
             "datasets extra",
             "counters extra",
             "quit now",
@@ -308,5 +505,161 @@ mod tests {
         )
         .unwrap();
         assert_eq!(control, Control::Continue);
+    }
+
+    #[test]
+    fn oversized_lines_get_a_typed_error_and_the_stream_realigns() {
+        let mut eng = engine_with_fig2();
+        let limits = ServeLimits {
+            max_line_bytes: 32,
+            max_inflight: 4,
+        };
+        let mut input = Vec::new();
+        input.extend_from_slice(b"query fig2 stats\n");
+        input.extend_from_slice(&vec![b'x'; 500]);
+        input.extend_from_slice(b"\nquery fig2 coreof 5\n");
+        let mut out = Vec::new();
+        let control = serve_lines_with(
+            &mut eng,
+            &ExecPolicy::Sequential,
+            &input[..],
+            &mut out,
+            &limits,
+        )
+        .unwrap();
+        assert_eq!(control, Control::Continue);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines[0].starts_with("ok\tstats"));
+        assert_eq!(lines[1], "err\trequest too large: line exceeds 32 bytes");
+        // The request after the oversized one is served normally.
+        assert_eq!(lines[2], "ok\tcoreof\t5\tcoreness=2");
+    }
+
+    #[test]
+    fn a_zero_inflight_limit_sheds_every_request() {
+        let mut eng = engine_with_fig2();
+        let limits = ServeLimits {
+            max_line_bytes: 1024,
+            max_inflight: 0,
+        };
+        let mut out = Vec::new();
+        serve_lines_with(
+            &mut eng,
+            &ExecPolicy::Sequential,
+            &b"query fig2 stats\nquery fig2 coreof 5\n"[..],
+            &mut out,
+            &limits,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        for line in text.lines() {
+            assert_eq!(line, "err\toverloaded: 0 requests already in flight");
+        }
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn injected_overload_sheds_with_a_typed_error() {
+        use bestk_faults::{Fault, FaultPlan, SiteSpec};
+        let mut eng = engine_with_fig2();
+        let plan = FaultPlan::new(21).site(
+            sites::SERVE_OVERLOAD,
+            SiteSpec::always(Fault::Overload).with_budget(1),
+        );
+        bestk_faults::with_plan(&plan, || {
+            let mut out = Vec::new();
+            serve_lines(
+                &mut eng,
+                &ExecPolicy::Sequential,
+                &b"query fig2 stats\nquery fig2 stats\n"[..],
+                &mut out,
+            )
+            .unwrap();
+            let text = String::from_utf8(out).unwrap();
+            let lines: Vec<&str> = text.lines().collect();
+            assert_eq!(lines.len(), 2);
+            assert!(lines[0].starts_with("err\toverloaded"), "{}", lines[0]);
+            // Budget spent: the next request is admitted and answered.
+            assert!(lines[1].starts_with("ok\tstats"), "{}", lines[1]);
+        });
+    }
+
+    #[test]
+    fn torn_lines_never_kill_the_stream() {
+        use bestk_faults::{Fault, FaultPlan, SiteSpec};
+        // Sweep seeds: a mangled request must produce ok or err on every
+        // line, and the stream must keep serving afterwards.
+        for seed in 0..16 {
+            let mut eng = engine_with_fig2();
+            let plan = FaultPlan::new(seed).site(
+                sites::SERVE_READ,
+                SiteSpec::mixed(vec![Fault::BitFlip, Fault::Truncate, Fault::ShortRead], 0.5),
+            );
+            bestk_faults::with_plan(&plan, || {
+                let mut out = Vec::new();
+                let input = b"query fig2 stats\nquery fig2 coreof 5\nquery fig2 bestkset ad\n";
+                serve_lines(&mut eng, &ExecPolicy::Sequential, &input[..], &mut out).unwrap();
+                let text = String::from_utf8(out).unwrap();
+                for line in text.lines() {
+                    assert!(
+                        line.starts_with("ok\t") || line.starts_with("err\t"),
+                        "seed {seed}: {line}"
+                    );
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn contained_panics_become_internal_errors() {
+        use bestk_faults::{Fault, FaultPlan, SiteSpec};
+        let mut eng = engine_with_fig2();
+        let plan = FaultPlan::new(2).site(
+            sites::EXEC_WORKER,
+            SiteSpec::always(Fault::Panic).with_budget(1),
+        );
+        bestk_faults::with_plan(&plan, || {
+            let (reply, c) = handle_request(
+                &mut eng,
+                &ExecPolicy::with_threads(2).unwrap(),
+                "query fig2 stats",
+            );
+            assert!(reply.starts_with("err\tinternal error:"), "{reply}");
+            assert_eq!(c, Control::Continue);
+            // The engine still answers afterwards.
+            let (reply, _) = ask(&mut eng, "query fig2 stats");
+            assert_eq!(reply, "ok\tstats\tn=12\tm=19\tkmax=3\tcores=3");
+        });
+    }
+
+    #[test]
+    fn load_with_source_rebuilds_from_a_corrupt_snapshot() {
+        let dir = std::env::temp_dir().join("bestk-serve-load-fallback");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("g.bestk");
+        let source = dir.join("g.txt");
+        let quarantine = dir.join("g.bestk.quarantine");
+        std::fs::remove_file(&quarantine).ok();
+        let g = generators::paper_figure2();
+        bestk_graph::io::write_edge_list_path(&g, &source).unwrap();
+        std::fs::write(&snap, b"BESTKSS1 but then garbage").unwrap();
+
+        let mut eng = Engine::new(None);
+        let line = format!(
+            "load g {} {}",
+            snap.to_str().unwrap(),
+            source.to_str().unwrap()
+        );
+        let (reply, c) = ask(&mut eng, &line);
+        assert_eq!(reply, "ok\trebuilt\tg");
+        assert_eq!(c, Control::Continue);
+        assert!(quarantine.exists());
+        let (reply, _) = ask(&mut eng, "query g stats");
+        assert_eq!(reply, "ok\tstats\tn=12\tm=19\tkmax=3\tcores=3");
+        for f in [snap, source, quarantine] {
+            std::fs::remove_file(f).ok();
+        }
     }
 }

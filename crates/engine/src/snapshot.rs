@@ -34,11 +34,13 @@
 
 use std::io::{Read, Write};
 use std::path::Path;
+use std::time::Duration;
 
 use bestk_core::{
     CoreDecomposition, CoreForest, CoreForestNode, CoreSetProfile, GraphContext, OrderedGraph,
     PrimaryValues, SingleCoreProfile,
 };
+use bestk_faults::sites;
 use bestk_graph::CsrGraph;
 
 use crate::dataset::{Artifacts, Dataset};
@@ -226,9 +228,114 @@ pub fn save<W: Write>(dataset: &Dataset, writer: W) -> Result<(), EngineError> {
     Ok(())
 }
 
-/// [`save`] to a file path.
+/// Bounded retry policy for transient snapshot I/O (`Interrupted`,
+/// `WouldBlock`, `TimedOut`, `WriteZero`). Corruption is *not* retried —
+/// re-reading bad bytes cannot fix them; see
+/// [`Engine::load_snapshot_with_fallback`](crate::Engine::load_snapshot_with_fallback)
+/// for the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, first try included (`0` behaves as `1`).
+    pub attempts: u32,
+    /// Base backoff; attempt `i` sleeps `i × backoff` before retrying.
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// A single attempt, no retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+fn is_transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::WriteZero
+    )
+}
+
+fn with_retries<T>(
+    policy: &RetryPolicy,
+    mut op: impl FnMut() -> std::io::Result<T>,
+) -> std::io::Result<T> {
+    let attempts = policy.attempts.max(1);
+    let mut attempt = 1;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if is_transient(&e) && attempt < attempts => {
+                if !policy.backoff.is_zero() {
+                    std::thread::sleep(policy.backoff * attempt);
+                }
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One write attempt, with the `snapshot.write` failpoint threaded in: an
+/// injected truncation persists a *partial* file and then fails, exactly
+/// like a mid-write crash, so retries must overwrite from scratch.
+fn write_snapshot_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    if let Some(e) = bestk_faults::io_error(sites::SNAPSHOT_WRITE) {
+        return Err(e);
+    }
+    if let Some(keep) = bestk_faults::truncation(sites::SNAPSHOT_WRITE, bytes.len()) {
+        std::fs::write(path, &bytes[..keep])?;
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            "injected mid-write crash",
+        ));
+    }
+    std::fs::write(path, bytes)
+}
+
+/// One read attempt, with the `snapshot.read` failpoint threaded in
+/// (injected I/O errors before the read; injected bit flips / truncation
+/// on the bytes after it, caught downstream by the checksums).
+fn read_snapshot_bytes(path: &Path) -> std::io::Result<Vec<u8>> {
+    if let Some(e) = bestk_faults::io_error(sites::SNAPSHOT_READ) {
+        return Err(e);
+    }
+    let mut bytes = std::fs::read(path)?;
+    bestk_faults::corrupt_buffer(sites::SNAPSHOT_READ, &mut bytes);
+    Ok(bytes)
+}
+
+/// [`save`] to a file path (one attempt; see [`save_path_with_retry`]).
 pub fn save_path<P: AsRef<Path>>(dataset: &Dataset, path: P) -> Result<(), EngineError> {
-    save(dataset, std::fs::File::create(path)?)
+    save_path_with_retry(dataset, path, &RetryPolicy::none())
+}
+
+/// [`save`] to a file path, retrying transient I/O failures under
+/// `policy`. The snapshot is serialized once up front; each attempt
+/// rewrites the whole file, so a partially-persisted earlier attempt is
+/// healed rather than appended to.
+pub fn save_path_with_retry<P: AsRef<Path>>(
+    dataset: &Dataset,
+    path: P,
+    policy: &RetryPolicy,
+) -> Result<(), EngineError> {
+    let mut buf = Vec::new();
+    save(dataset, &mut buf)?;
+    with_retries(policy, || write_snapshot_bytes(path.as_ref(), &buf)).map_err(EngineError::Io)
 }
 
 // ---------------------------------------------------------------- reading
@@ -660,9 +767,22 @@ pub fn load<R: Read>(mut reader: R) -> Result<Dataset, EngineError> {
     load_bytes(&buf)
 }
 
-/// Reads a snapshot from a file path.
+/// Reads a snapshot from a file path (one attempt; see
+/// [`load_path_with_retry`]).
 pub fn load_path<P: AsRef<Path>>(path: P) -> Result<Dataset, EngineError> {
-    load_bytes(&std::fs::read(path)?)
+    load_path_with_retry(path, &RetryPolicy::none())
+}
+
+/// Reads a snapshot from a file path, retrying transient I/O failures
+/// under `policy`. Corruption (bad magic, checksum mismatch, truncation,
+/// …) is returned immediately — re-reading the same bad bytes cannot fix
+/// them.
+pub fn load_path_with_retry<P: AsRef<Path>>(
+    path: P,
+    policy: &RetryPolicy,
+) -> Result<Dataset, EngineError> {
+    let bytes = with_retries(policy, || read_snapshot_bytes(path.as_ref()))?;
+    load_bytes(&bytes)
 }
 
 #[cfg(test)]
@@ -857,6 +977,110 @@ mod tests {
         let loaded = load_path(&path).unwrap();
         assert_eq!(loaded.graph(), original.graph());
         assert_eq!(answers(&loaded), answers(&original));
+        std::fs::remove_file(path).ok();
+    }
+
+    fn zero_backoff(attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            attempts,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn injected_write_crash_heals_on_retry() {
+        use bestk_faults::{Fault, FaultPlan, SiteSpec};
+        let dir = std::env::temp_dir().join("bestk-engine-snap-wfault");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bestk");
+        let original = built(generators::paper_figure2());
+        // One injected mid-write crash: the first attempt persists a partial
+        // file and errors; the bounded retry overwrites it from scratch.
+        let plan = FaultPlan::new(11).site(
+            sites::SNAPSHOT_WRITE,
+            SiteSpec::always(Fault::Truncate).with_budget(1),
+        );
+        bestk_faults::with_plan(&plan, || {
+            save_path_with_retry(&original, &path, &zero_backoff(3)).unwrap();
+        });
+        let loaded = load_path(&path).unwrap();
+        assert_eq!(answers(&loaded), answers(&original));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn injected_write_crash_without_retry_is_a_typed_error() {
+        use bestk_faults::{Fault, FaultPlan, SiteSpec};
+        let dir = std::env::temp_dir().join("bestk-engine-snap-wfault2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bestk");
+        let original = built(generators::paper_figure2());
+        let plan = FaultPlan::new(7).site(
+            sites::SNAPSHOT_WRITE,
+            SiteSpec::always(Fault::Truncate).with_budget(1),
+        );
+        bestk_faults::with_plan(&plan, || {
+            let err = save_path(&original, &path).unwrap_err();
+            assert!(matches!(err, EngineError::Io(_)), "{err}");
+            // The partial file left behind is rejected as corrupt, never a
+            // panic.
+            let err = load_path(&path).unwrap_err();
+            assert!(err.is_corruption(), "{err}");
+        });
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn transient_read_errors_retry_to_success() {
+        use bestk_faults::{Fault, FaultPlan, SiteSpec};
+        let dir = std::env::temp_dir().join("bestk-engine-snap-rfault");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bestk");
+        let original = built(generators::paper_figure2());
+        save_path(&original, &path).unwrap();
+        let plan = FaultPlan::new(3).site(
+            sites::SNAPSHOT_READ,
+            SiteSpec::mixed(vec![Fault::Interrupted, Fault::WouldBlock], 1.0).with_budget(2),
+        );
+        bestk_faults::with_plan(&plan, || {
+            // Not enough attempts: the transient error surfaces, typed.
+            let err = load_path_with_retry(&path, &zero_backoff(1)).unwrap_err();
+            assert!(matches!(err, EngineError::Io(_)), "{err}");
+            // Enough attempts to outlast the budget: the load succeeds.
+            let loaded = load_path_with_retry(&path, &zero_backoff(4)).unwrap();
+            assert_eq!(answers(&loaded), answers(&original));
+        });
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn injected_read_corruption_is_rejected_not_retried() {
+        use bestk_faults::{Fault, FaultPlan, SiteSpec};
+        let dir = std::env::temp_dir().join("bestk-engine-snap-cfault");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bestk");
+        let original = built(generators::paper_figure2());
+        save_path(&original, &path).unwrap();
+        // Injected truncation of the read buffer: shorter snapshots are
+        // always structurally invalid, so every seed must yield a typed
+        // corruption error (retries don't help and must not loop).
+        for seed in 0..8 {
+            let plan =
+                FaultPlan::new(seed).site(sites::SNAPSHOT_READ, SiteSpec::always(Fault::Truncate));
+            bestk_faults::with_plan(&plan, || {
+                let err = load_path_with_retry(&path, &zero_backoff(3)).unwrap_err();
+                assert!(err.is_corruption(), "seed {seed}: {err}");
+            });
+        }
+        // Bit flips obey the chaos invariant: correct answer or typed error.
+        for seed in 0..8 {
+            let plan =
+                FaultPlan::new(seed).site(sites::SNAPSHOT_READ, SiteSpec::always(Fault::BitFlip));
+            bestk_faults::with_plan(&plan, || match load_path(&path) {
+                Ok(loaded) => assert_eq!(answers(&loaded), answers(&original)),
+                Err(err) => assert!(err.is_corruption(), "seed {seed}: {err}"),
+            });
+        }
         std::fs::remove_file(path).ok();
     }
 }

@@ -9,7 +9,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::time::Duration;
 
-use bestk_engine::{serve_on_listener, snapshot, Dataset, Engine};
+use bestk_engine::{serve_on_listener, snapshot, Dataset, Engine, ServeLimits};
 use bestk_exec::ExecPolicy;
 use bestk_graph::generators;
 
@@ -57,6 +57,7 @@ fn tcp_round_trip_with_real_client() {
         &ExecPolicy::Sequential,
         &listener,
         Some(Duration::from_secs(5)),
+        &ServeLimits::default(),
     )
     .expect("serve");
 
@@ -118,6 +119,7 @@ fn tcp_server_survives_client_hangup_and_timeout() {
         &ExecPolicy::Sequential,
         &listener,
         Some(Duration::from_millis(40)),
+        &ServeLimits::default(),
     )
     .expect("serve");
     client.join().expect("client thread");

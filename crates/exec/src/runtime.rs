@@ -5,12 +5,19 @@
 //! a private scratch value built once per worker. Results land in a
 //! chunk-indexed table and are handed back **in chunk order**, so any
 //! kernel whose per-chunk computation is deterministic yields bit-identical
-//! output at every thread count. Worker panics propagate to the caller when
-//! the scope joins, which is what lets the seeded property runner catch
-//! failures inside parallel kernels.
+//! output at every thread count.
+//!
+//! Panic containment: a panic inside a chunk body is caught **on the
+//! worker**, the remaining workers stop claiming chunks and join cleanly,
+//! and the first captured payload is re-raised on the calling thread after
+//! the scope joins. Callers therefore see worker panics exactly as if the
+//! body had panicked inline — the seeded property runner and the engine's
+//! request-level `catch_unwind` both rely on that — while no worker thread
+//! ever dies mid-write or strands a sibling.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::chunk::ChunkPlan;
@@ -21,6 +28,42 @@ use crate::policy::ExecPolicy;
 /// join anyway, so the poisoned data is never observed by callers.
 fn lock_ignoring_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Collects the first panic payload raised by any worker; once armed, the
+/// other workers stop claiming chunks (checked via the cheap flag) and the
+/// payload is re-raised on the calling thread after the scope joins.
+struct PanicSlot {
+    hit: AtomicBool,
+    payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl PanicSlot {
+    fn new() -> PanicSlot {
+        PanicSlot {
+            hit: AtomicBool::new(false),
+            payload: Mutex::new(None),
+        }
+    }
+
+    fn armed(&self) -> bool {
+        self.hit.load(Ordering::Relaxed)
+    }
+
+    fn arm(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = lock_ignoring_poison(&self.payload);
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+        self.hit.store(true, Ordering::Release);
+    }
+
+    /// Re-raises the captured panic, if any, on the current thread.
+    fn resume(self) {
+        if let Some(payload) = lock_ignoring_poison(&self.payload).take() {
+            std::panic::resume_unwind(payload);
+        }
+    }
 }
 
 impl ExecPolicy {
@@ -74,21 +117,33 @@ impl ExecPolicy {
         }
         let cursor = AtomicUsize::new(0);
         let results: Mutex<Vec<Option<R>>> = Mutex::new((0..chunks).map(|_| None).collect());
+        let panic_slot = PanicSlot::new();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     let mut scratch = init();
                     loop {
+                        if panic_slot.armed() {
+                            break;
+                        }
                         let c = cursor.fetch_add(1, Ordering::Relaxed);
                         if c >= chunks {
                             break;
                         }
-                        let r = map(&mut scratch, c, plan.range(c));
-                        lock_ignoring_poison(&results)[c] = Some(r);
+                        match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            map(&mut scratch, c, plan.range(c))
+                        })) {
+                            Ok(r) => lock_ignoring_poison(&results)[c] = Some(r),
+                            Err(payload) => {
+                                panic_slot.arm(payload);
+                                break;
+                            }
+                        }
                     }
                 });
             }
         });
+        panic_slot.resume();
         let collected: Vec<R> = results
             .into_inner()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -167,23 +222,34 @@ impl ExecPolicy {
         }
         let cursor = AtomicUsize::new(0);
         let slots = Mutex::new(regions);
+        let panic_slot = PanicSlot::new();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     let mut scratch = init();
                     loop {
+                        if panic_slot.armed() {
+                            break;
+                        }
                         let c = cursor.fetch_add(1, Ordering::Relaxed);
                         if c >= chunks {
                             break;
                         }
                         let region = lock_ignoring_poison(&slots)[c].take();
                         if let Some(region) = region {
-                            body(&mut scratch, c, plan.range(c), region);
+                            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                body(&mut scratch, c, plan.range(c), region)
+                            }));
+                            if let Err(payload) = caught {
+                                panic_slot.arm(payload);
+                                break;
+                            }
                         }
                     }
                 });
             }
         });
+        panic_slot.resume();
     }
 }
 
@@ -289,6 +355,55 @@ mod tests {
             );
         }));
         assert!(hit.is_err(), "panic inside a worker must reach the caller");
+    }
+
+    #[test]
+    fn worker_panic_payload_is_preserved() {
+        // The caught-and-reraised panic must carry the original payload so
+        // request-level isolation can render a meaningful typed error.
+        let p = ExecPolicy::with_threads(4).unwrap();
+        let plan = ChunkPlan::even(32, 16);
+        let hit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.map_chunks(
+                &plan,
+                || (),
+                |_, c, _| {
+                    if c == 7 {
+                        panic!("chunk 7 exploded");
+                    }
+                    c
+                },
+            );
+        }));
+        let payload = hit.unwrap_err();
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert_eq!(msg, "chunk 7 exploded");
+    }
+
+    #[test]
+    fn disjoint_worker_panic_reaches_caller_with_payload() {
+        let p = ExecPolicy::with_threads(2).unwrap();
+        let plan = ChunkPlan::even(8, 4);
+        let cuts: Vec<usize> = plan.bounds().to_vec();
+        let mut data = vec![0u8; 8];
+        let hit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.for_each_disjoint(
+                &plan,
+                &mut data,
+                &cuts,
+                || (),
+                |_, c, _, _| {
+                    if c == 2 {
+                        panic!("region 2 exploded");
+                    }
+                },
+            );
+        }));
+        let payload = hit.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"region 2 exploded"));
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! Fault plans: which faults fire at which sites, with what probability.
+//!
+//! A [`FaultPlan`] is pure data — a seed plus a map from site name to
+//! [`SiteSpec`]. Nothing here touches global state; installation lives in
+//! [`crate::state`]. Plans can be built programmatically (the chaos suite)
+//! or parsed from the `BESTK_FAULTS` spec grammar (the CLI path):
+//!
+//! ```text
+//! seed=7;snapshot.read=bitflip|interrupted@0.5;exec.worker=panic@0.1#3
+//! ```
+
+use std::collections::BTreeMap;
+
+/// One kind of injected fault. A site may carry several kinds; each
+/// injection helper only draws from the kinds it knows how to express, so
+/// e.g. `bitflip` configured on a site that also passes through
+/// [`crate::io_error`] never surfaces as an I/O error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// A transient `ErrorKind::Interrupted` I/O error (retryable).
+    Interrupted,
+    /// A transient `ErrorKind::WouldBlock` I/O error (a stalled peer).
+    WouldBlock,
+    /// A hard, non-retryable I/O error.
+    IoError,
+    /// Deliver fewer bytes than were asked for.
+    ShortRead,
+    /// Flip one bit of the affected buffer.
+    BitFlip,
+    /// Cut the affected buffer short (a torn line / mid-write crash).
+    Truncate,
+    /// Panic at the site (worker-thread crash simulation).
+    Panic,
+    /// Report artificial memory pressure at the site.
+    Pressure,
+    /// Report the site as overloaded (load shedding).
+    Overload,
+}
+
+impl Fault {
+    /// The spec-grammar name of this fault.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::Interrupted => "interrupted",
+            Fault::WouldBlock => "wouldblock",
+            Fault::IoError => "ioerror",
+            Fault::ShortRead => "short",
+            Fault::BitFlip => "bitflip",
+            Fault::Truncate => "truncate",
+            Fault::Panic => "panic",
+            Fault::Pressure => "pressure",
+            Fault::Overload => "overload",
+        }
+    }
+
+    /// Every fault kind (spec-grammar order).
+    pub const ALL: [Fault; 9] = [
+        Fault::Interrupted,
+        Fault::WouldBlock,
+        Fault::IoError,
+        Fault::ShortRead,
+        Fault::BitFlip,
+        Fault::Truncate,
+        Fault::Panic,
+        Fault::Pressure,
+        Fault::Overload,
+    ];
+
+    /// Parses a spec-grammar fault name.
+    pub fn parse(name: &str) -> Result<Fault, String> {
+        Fault::ALL
+            .into_iter()
+            .find(|f| f.name() == name)
+            .ok_or_else(|| {
+                let known: Vec<&str> = Fault::ALL.iter().map(Fault::name).collect();
+                format!("unknown fault {name:?} (known: {})", known.join(", "))
+            })
+    }
+}
+
+/// The faults configured for one site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteSpec {
+    /// The fault kinds this site may inject (drawn uniformly when firing).
+    pub faults: Vec<Fault>,
+    /// Per-visit firing probability in `[0, 1]`.
+    pub probability: f64,
+    /// Maximum number of injections; `None` is unlimited.
+    pub budget: Option<u64>,
+}
+
+impl SiteSpec {
+    /// A spec that always injects `fault` on every visit.
+    pub fn always(fault: Fault) -> SiteSpec {
+        SiteSpec {
+            faults: vec![fault],
+            probability: 1.0,
+            budget: None,
+        }
+    }
+
+    /// A spec injecting one of `faults` with probability `p` per visit.
+    pub fn mixed(faults: Vec<Fault>, p: f64) -> SiteSpec {
+        SiteSpec {
+            faults,
+            probability: p,
+            budget: None,
+        }
+    }
+
+    /// Caps the total number of injections.
+    pub fn with_budget(mut self, budget: u64) -> SiteSpec {
+        self.budget = Some(budget);
+        self
+    }
+}
+
+/// A deterministic fault plan: a seed plus per-site specs. The seed, not
+/// wall-clock or OS entropy, decides everything the plan ever injects.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The base seed; each site derives its own xoshiro stream from it.
+    pub seed: u64,
+    sites: BTreeMap<String, SiteSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            sites: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) a site spec; builder-style.
+    pub fn site(mut self, name: &str, spec: SiteSpec) -> FaultPlan {
+        self.sites.insert(name.to_owned(), spec);
+        self
+    }
+
+    /// Convenience: `fault` at `site` with probability `p`.
+    pub fn with_fault(self, name: &str, fault: Fault, p: f64) -> FaultPlan {
+        self.site(name, SiteSpec::mixed(vec![fault], p))
+    }
+
+    /// The spec for `name`, if configured.
+    pub fn get(&self, name: &str) -> Option<&SiteSpec> {
+        self.sites.get(name)
+    }
+
+    /// Iterates `(site name, spec)` in name order.
+    pub fn sites(&self) -> impl Iterator<Item = (&str, &SiteSpec)> {
+        self.sites.iter().map(|(n, s)| (n.as_str(), s))
+    }
+
+    /// Number of configured sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether no site is configured.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Parses the `BESTK_FAULTS` spec grammar: `;`-separated entries, each
+    /// `seed=<n>` or `<site>=<fault>[|<fault>...][@<prob>][#<budget>]`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new(0);
+        for entry in spec.split(';') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (key, value) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("entry {entry:?} is not <key>=<value>"))?;
+            let (key, value) = (key.trim(), value.trim());
+            if key == "seed" {
+                plan.seed = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("seed {value:?} is not a u64"))?;
+                continue;
+            }
+            if key.is_empty() {
+                return Err(format!("entry {entry:?} has an empty site name"));
+            }
+            let (value, budget) = match value.split_once('#') {
+                Some((v, b)) => {
+                    let budget = b
+                        .trim()
+                        .parse::<u64>()
+                        .map_err(|_| format!("site {key}: budget {b:?} is not a u64"))?;
+                    (v.trim(), Some(budget))
+                }
+                None => (value, None),
+            };
+            let (value, probability) = match value.split_once('@') {
+                Some((v, p)) => {
+                    let p = p
+                        .trim()
+                        .parse::<f64>()
+                        .map_err(|_| format!("site {key}: probability {p:?} is not a number"))?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("site {key}: probability {p} is outside [0, 1]"));
+                    }
+                    (v.trim(), p)
+                }
+                None => (value, 1.0),
+            };
+            let mut faults = Vec::new();
+            for name in value.split('|') {
+                let name = name.trim();
+                if name.is_empty() {
+                    return Err(format!("site {key}: empty fault name"));
+                }
+                faults.push(Fault::parse(name).map_err(|e| format!("site {key}: {e}"))?);
+            }
+            if faults.is_empty() {
+                return Err(format!("site {key}: no faults listed"));
+            }
+            plan.sites.insert(
+                key.to_owned(),
+                SiteSpec {
+                    faults,
+                    probability,
+                    budget,
+                },
+            );
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_names_round_trip() {
+        for f in Fault::ALL {
+            assert_eq!(Fault::parse(f.name()).unwrap(), f);
+        }
+        assert!(Fault::parse("nope").unwrap_err().contains("unknown fault"));
+    }
+
+    #[test]
+    fn parse_full_grammar() {
+        let plan = FaultPlan::parse(
+            "seed=7; snapshot.read = bitflip|interrupted@0.5 ; exec.worker=panic@0.1#3",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.len(), 2);
+        let read = plan.get("snapshot.read").unwrap();
+        assert_eq!(read.faults, vec![Fault::BitFlip, Fault::Interrupted]);
+        assert_eq!(read.probability, 0.5);
+        assert_eq!(read.budget, None);
+        let worker = plan.get("exec.worker").unwrap();
+        assert_eq!(worker.faults, vec![Fault::Panic]);
+        assert_eq!(worker.probability, 0.1);
+        assert_eq!(worker.budget, Some(3));
+    }
+
+    #[test]
+    fn parse_defaults_probability_to_one() {
+        let plan = FaultPlan::parse("serve.overload=overload").unwrap();
+        let spec = plan.get("serve.overload").unwrap();
+        assert_eq!(spec.probability, 1.0);
+        assert_eq!(spec.budget, None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_entries() {
+        for bad in [
+            "snapshot.read",    // no '='
+            "=bitflip",         // empty site
+            "seed=abc",         // bad seed
+            "s=unknownfault",   // unknown fault
+            "s=bitflip@1.5",    // probability out of range
+            "s=bitflip@x",      // non-numeric probability
+            "s=bitflip#x",      // non-numeric budget
+            "s=",               // no faults
+            "s=bitflip||short", // empty fault name
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn parse_empty_spec_is_an_empty_plan() {
+        let plan = FaultPlan::parse("  ; ;").unwrap();
+        assert!(plan.is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! The named failpoint sites threaded through the workspace.
+//!
+//! Sites are plain strings, but production code should reference these
+//! constants so the full site inventory stays greppable in one place (and
+//! chaos tests can sweep [`all`] without chasing call sites). See
+//! `DESIGN.md` §11 for what each site guards and how the hardened layers
+//! respond.
+
+/// Snapshot file reads (`bestk_engine::snapshot::load_path`): transient
+/// errors retry with backoff; corruption degrades to quarantine + rebuild.
+pub const SNAPSHOT_READ: &str = "snapshot.read";
+
+/// Snapshot file writes (`bestk_engine::snapshot::save_path`): `truncate`
+/// simulates a mid-write crash leaving a partial file on disk.
+pub const SNAPSHOT_WRITE: &str = "snapshot.write";
+
+/// Serving-loop request reads: torn/corrupted lines, short reads, and
+/// transient socket errors.
+pub const SERVE_READ: &str = "serve.read";
+
+/// Per-connection read-timeout installation (`set_read_timeout`): failure
+/// must surface as a typed error on the connection, not silent fallthrough.
+pub const SERVE_TIMEOUT: &str = "serve.timeout";
+
+/// Admission control in the serving loop: `overload` forces the in-flight
+/// limit to report full, shedding the request with `err overloaded`.
+pub const SERVE_OVERLOAD: &str = "serve.overload";
+
+/// Engine memory budget (`Engine::enforce_budget`): `pressure` collapses
+/// the budget to zero for one enforcement pass, evicting everything except
+/// the protected dataset.
+pub const ENGINE_PRESSURE: &str = "engine.pressure";
+
+/// Worker-thread bodies of engine batch fan-out (runs on `bestk_exec`
+/// worker threads): `panic` simulates a worker crash that the runtime must
+/// contain and the engine must convert into a typed error.
+pub const EXEC_WORKER: &str = "exec.worker";
+
+/// Every site constant above, for chaos-suite sweeps.
+pub fn all() -> &'static [&'static str] {
+    &[
+        SNAPSHOT_READ,
+        SNAPSHOT_WRITE,
+        SERVE_READ,
+        SERVE_TIMEOUT,
+        SERVE_OVERLOAD,
+        ENGINE_PRESSURE,
+        EXEC_WORKER,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_names_are_unique_and_dotted() {
+        let names = all();
+        for (i, a) in names.iter().enumerate() {
+            assert!(a.contains('.'), "{a} should be namespaced");
+            for b in &names[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -11,11 +11,13 @@
 //! * [`dot`] — Graphviz DOT export with per-vertex attributes (e.g.
 //!   coreness coloring).
 
+pub mod auto;
 pub mod binary;
 pub mod dot;
 pub mod edgelist;
 pub mod metis;
 
+pub use auto::read_auto_path;
 pub use binary::{read_binary, read_binary_path, write_binary, write_binary_path};
 pub use dot::{write_dot, write_dot_path};
 pub use edgelist::{read_edge_list, read_edge_list_path, write_edge_list, write_edge_list_path};
