@@ -12,6 +12,7 @@
 //! | `no-raw-thread` | no `thread::spawn` / `thread::scope` outside `crates/exec` (the policed scheduling seam) |
 //! | `no-raw-net` | no `std::net` sockets outside `crates/engine` (the policed serving seam) |
 //! | `no-raw-failpoint` | no `install_plan(`/`clear_plan(` outside `crates/faults` (fault sites go through the `bestk_faults` facade) |
+//! | `no-raw-instant` | no `Instant::now(` outside `crates/obs` (timing goes through the injectable `bestk_obs` clock) |
 //! | `module-doc` | every source file opens with a `//!` module doc |
 //!
 //! Suppressions are explicit and carry a reason:
@@ -57,6 +58,10 @@ pub const LINTS: &[(&str, &str)] = &[
     (
         "no-raw-failpoint",
         "no install_plan/clear_plan outside crates/faults; inject via the bestk_faults helpers",
+    ),
+    (
+        "no-raw-instant",
+        "no std::time::Instant::now outside crates/obs; read time through the bestk_obs clock",
     ),
     (
         "module-doc",
@@ -231,6 +236,10 @@ pub fn check_file(path: &str, role: FileRole, text: &str) -> Vec<Diagnostic> {
     // elsewhere must use the `bestk_faults` injection helpers (`io_error`,
     // `maybe_panic`, ...), never install or clear plans itself.
     let failpoint_exempt = path.starts_with("crates/faults/");
+    // `crates/obs` owns the injectable clock: its `SystemClock` is the one
+    // place allowed to read `Instant::now` directly, so every other timing
+    // read stays swappable for the deterministic manual clock.
+    let instant_exempt = path.starts_with("crates/obs/");
 
     // Pattern lints over blanked code, skipping test regions.
     for (i, line) in model.lines.iter().enumerate() {
@@ -305,6 +314,15 @@ pub fn check_file(path: &str, role: FileRole, text: &str) -> Vec<Diagnostic> {
                     ));
                 }
             }
+        }
+        if !instant_exempt && !allowed("no-raw-instant", i) && code.contains("Instant::now(") {
+            diags.push(Diagnostic::new(
+                path,
+                i + 1,
+                "no-raw-instant",
+                "`Instant::now` outside crates/obs (read time through the bestk_obs clock)"
+                    .to_string(),
+            ));
         }
         if role != FileRole::CastModule && !allowed("no-raw-cast", i) {
             for target in NARROWING_TARGETS {
@@ -525,6 +543,38 @@ mod tests {
             "{DOC}// bestk-analyze: allow(no-raw-failpoint) — CLI boot is the blessed env entry point\nbestk_faults::install_plan(&plan);\n"
         );
         assert!(check_file("crates/cli/src/main.rs", FileRole::Library, &src).is_empty());
+    }
+
+    #[test]
+    fn raw_instant_outside_obs_fires() {
+        for bad in [
+            "fn f() { let t = std::time::Instant::now(); }",
+            "fn f() { let t = Instant::now(); }",
+        ] {
+            let src = format!("{DOC}{bad}\n");
+            let d = check_file("crates/engine/src/serve.rs", FileRole::Library, &src);
+            assert_eq!(lints_of(&d), vec!["no-raw-instant"], "{bad:?}");
+            assert_eq!(d[0].line, 2);
+        }
+    }
+
+    #[test]
+    fn raw_instant_inside_obs_is_blessed() {
+        let src = format!("{DOC}fn now() -> Instant {{ std::time::Instant::now() }}\n");
+        assert!(check_file("crates/obs/src/clock.rs", FileRole::Library, &src).is_empty());
+    }
+
+    #[test]
+    fn raw_instant_in_test_code_or_allowed_lines_is_fine() {
+        let src = format!(
+            "{DOC}// Instant::now( in a comment\n\
+             #[cfg(test)]\nmod tests {{\n    fn t() {{ let _ = std::time::Instant::now(); }}\n}}\n"
+        );
+        assert!(check_file("crates/core/src/x.rs", FileRole::Library, &src).is_empty());
+        let src = format!(
+            "{DOC}// bestk-analyze: allow(no-raw-instant) — calibrating the clock itself\nlet t = Instant::now();\n"
+        );
+        assert!(check_file("crates/core/src/x.rs", FileRole::Library, &src).is_empty());
     }
 
     #[test]

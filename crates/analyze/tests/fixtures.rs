@@ -196,6 +196,34 @@ fn raw_failpoint_inside_faults_crate_passes() {
 }
 
 #[test]
+fn injected_raw_instant_fails_outside_obs() {
+    let fx = Fixture::new("rawinstant");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\n\
+         pub fn stamp() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+    );
+    assert_eq!(fx.lints(), vec!["no-raw-instant"]);
+}
+
+#[test]
+fn raw_instant_inside_obs_crate_passes() {
+    let fx = Fixture::new("obsclock");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\npub fn twice(x: u64) -> u64 { x * 2 }\n",
+    );
+    fx.write(
+        "crates/obs/src/clock.rs",
+        "//! Clock seam: the one module allowed to read the OS monotonic clock.\n\
+         pub fn now() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+    );
+    assert_eq!(fx.lints(), Vec::<String>::new());
+}
+
+#[test]
 fn missing_module_doc_fails() {
     let fx = Fixture::new("nodoc");
     fx.write("crates/demo/src/lib.rs", CLEAN_LIB);

@@ -35,7 +35,7 @@ pub fn maximum_clique_with_budget(
     if n == 0 {
         return (Vec::new(), true);
     }
-    let deadline = budget.map(|b| std::time::Instant::now() + b);
+    let deadline = budget.map(deadline_nanos);
     let mut position = vec![0u32; n];
     for (i, &v) in d.peel_ordering().iter().enumerate() {
         position[v as usize] = cast::u32_of(i);
@@ -49,7 +49,7 @@ pub fn maximum_clique_with_budget(
             continue;
         }
         if let Some(dl) = deadline {
-            if std::time::Instant::now() >= dl {
+            if bestk_obs::now_nanos() >= dl {
                 exact = false;
                 break;
             }
@@ -80,14 +80,23 @@ pub fn maximum_clique_with_budget(
     (best, exact)
 }
 
+/// Converts a wall-clock budget into an absolute deadline on the
+/// `bestk_obs` clock (the workspace's single time source — the
+/// `no-raw-instant` lint keeps `Instant::now` out of here).
+fn deadline_nanos(budget: std::time::Duration) -> u64 {
+    let nanos = u64::try_from(budget.as_nanos()).unwrap_or(u64::MAX);
+    bestk_obs::now_nanos().saturating_add(nanos)
+}
+
 /// Dense-bitset branch and bound inside one vertex's candidate neighborhood.
 struct LocalSearch<'a> {
     /// Candidate vertices (original ids), indexed by local id.
     cands: &'a [VertexId],
     /// `adj[i]` = bitset of local ids adjacent to local vertex `i`.
     adj: Vec<Vec<u64>>,
-    /// Optional wall-clock deadline, checked periodically while branching.
-    deadline: Option<std::time::Instant>,
+    /// Optional wall-clock deadline (absolute `bestk_obs` clock nanos),
+    /// checked periodically while branching.
+    deadline: Option<u64>,
     /// Branch counter between deadline checks.
     ticks: u32,
     /// Set once the deadline fires; the caller must treat `best` as a lower
@@ -96,7 +105,7 @@ struct LocalSearch<'a> {
 }
 
 impl<'a> LocalSearch<'a> {
-    fn new(g: &CsrGraph, cands: &'a [VertexId], deadline: Option<std::time::Instant>) -> Self {
+    fn new(g: &CsrGraph, cands: &'a [VertexId], deadline: Option<u64>) -> Self {
         let k = cands.len();
         let words = k.div_ceil(64);
         let mut local_of = std::collections::HashMap::with_capacity(k);
@@ -129,7 +138,7 @@ impl<'a> LocalSearch<'a> {
         }
         if let Some(dl) = self.deadline {
             self.ticks += 1;
-            if self.ticks.is_multiple_of(256) && std::time::Instant::now() >= dl {
+            if self.ticks.is_multiple_of(256) && bestk_obs::now_nanos() >= dl {
                 self.timed_out = true;
                 return;
             }

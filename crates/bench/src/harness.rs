@@ -13,7 +13,7 @@
 //! mean_ns}, ...]}`), the format downstream tooling diffs across commits.
 
 use std::cell::RefCell;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::timer::fmt_duration;
 
@@ -147,9 +147,10 @@ impl Bench {
         std::hint::black_box(f()); // warm-up: page in data, train branches
         let mut timings = Vec::with_capacity(self.iters as usize);
         for _ in 0..self.iters {
-            let start = Instant::now();
-            std::hint::black_box(f());
-            timings.push(start.elapsed());
+            let ((), elapsed) = crate::timer::time(|| {
+                std::hint::black_box(f());
+            });
+            timings.push(elapsed);
         }
         let min = timings.iter().min().copied().unwrap_or_default();
         let mean = timings.iter().sum::<Duration>() / self.iters;

@@ -1,12 +1,15 @@
 //! Wall-clock timing helpers for the harness binaries.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// Runs `f` once and returns its result with the elapsed wall time.
+/// Runs `f` once and returns its result with the elapsed wall time, read
+/// from the `bestk_obs` clock (the workspace's single time source — the
+/// `no-raw-instant` lint keeps `Instant::now` out of here).
 pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
-    let start = Instant::now();
+    let start = bestk_obs::now_nanos();
     let out = f();
-    (out, start.elapsed())
+    let elapsed = bestk_obs::now_nanos().saturating_sub(start);
+    (out, Duration::from_nanos(elapsed))
 }
 
 /// Formats a duration the way the paper's runtime plots label their y-axis

@@ -530,18 +530,22 @@ fn serve_limits(args: &ParsedArgs) -> Result<bestk_engine::ServeLimits, CliError
     Ok(limits)
 }
 
-/// `bestk serve [--port P] [--budget-mb N] [--threads N] [--timeout-ms T]
-/// [--max-inflight N] [--max-line-bytes N]`: run the line-oriented serving
-/// loop over stdin/stdout, or over a loopback TCP listener when `--port`
-/// is given.
+/// `bestk serve [--port P | --stdin] [--budget-mb N] [--threads N]
+/// [--timeout-ms T] [--max-inflight N] [--max-line-bytes N]
+/// [--metrics-dump]`: run the line-oriented serving loop over stdin/stdout
+/// (the default; `--stdin` names it explicitly), or over a loopback TCP
+/// listener when `--port` is given. With `--metrics-dump` the metrics
+/// exposition is printed after the loop exits.
 pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     args.reject_unknown(&[
         "port",
+        "stdin",
         "budget-mb",
         "threads",
         "timeout-ms",
         "max-inflight",
         "max-line-bytes",
+        "metrics-dump",
     ])?;
     if !args.positional.is_empty() {
         return Err(CliError::Usage(
@@ -567,6 +571,11 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
             Some(p)
         }
     };
+    if args.flag("stdin") && port.is_some() {
+        return Err(CliError::Usage(
+            "--stdin and --port are mutually exclusive".into(),
+        ));
+    }
     let mut engine = bestk_engine::Engine::new(budget);
     match port {
         None => {
@@ -580,6 +589,34 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
             })?;
         }
     }
+    if args.flag("metrics-dump") {
+        write!(out, "{}", bestk_obs::snapshot().render())?;
+    }
+    Ok(())
+}
+
+/// `bestk metrics <graph> [--threads N]`: run the full best-k pipeline
+/// (decomposition peel, metric sweeps, best-k selection) once on `graph`
+/// and print the metrics exposition — the quickest way to see the phase
+/// timing counters the paper's cost model is stated in.
+pub fn metrics(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&["threads"])?;
+    let policy = args.exec_policy()?;
+    let g = load_graph(args.positional(0, "graph")?)?;
+    let mut dataset = bestk_engine::Dataset::from_graph(g);
+    dataset.ensure_built(&policy);
+    // Exercise the selection phase for both answer shapes.
+    for query in [
+        bestk_engine::Query::BestKSet {
+            metric: Metric::AverageDegree,
+        },
+        bestk_engine::Query::BestCore {
+            metric: Metric::AverageDegree,
+        },
+    ] {
+        dataset.answer(&query).map_err(CliError::Engine)?;
+    }
+    write!(out, "{}", bestk_obs::snapshot().render())?;
     Ok(())
 }
 
@@ -975,9 +1012,35 @@ mod tests {
             vec!["serve", "--budget-mb", "0"],
             vec!["serve", "--listen", "1234"],
             vec!["serve", "stray-positional"],
+            vec!["serve", "--stdin", "--port", "7878"],
+            vec!["metrics", &graph, "--threads", "0"],
+            vec!["metrics", &graph, "--verbose"],
+            vec!["metrics"],
         ] {
             let err = run(&bad).unwrap_err();
             assert!(matches!(err, CliError::Usage(_)), "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn metrics_command_prints_the_exposition() {
+        let graph = write_figure2();
+        let out = run(&["metrics", &graph]).unwrap();
+        for needle in [
+            "phase.peel.calls ",
+            "phase.sweep.calls ",
+            "phase.select.calls ",
+            "exec.dispatches ",
+        ] {
+            assert!(
+                out.lines().any(|l| l.starts_with(needle)),
+                "missing {needle:?} in:\n{out}"
+            );
+        }
+        // Exposition lines are `name value`.
+        for line in out.lines() {
+            let (_, value) = line.rsplit_once(' ').expect("name value");
+            assert!(value.parse::<i64>().is_ok(), "{line}");
         }
     }
 

@@ -17,7 +17,8 @@
 //! bestk convert  <in> <out>                    text <-> binary by extension
 //! bestk snapshot <graph> <out.bestk>           persist the full best-k index
 //! bestk query    <snapshot> <query>...         one-shot snapshot queries
-//! bestk serve    [--port P]                    serving loop (stdio or TCP)
+//! bestk serve    [--port P | --stdin]          serving loop (stdio or TCP)
+//! bestk metrics  <graph>                       pipeline run + metrics exposition
 //! ```
 //!
 //! Graphs are read from SNAP-style text edge lists or the workspace binary
@@ -100,8 +101,11 @@ commands:
   snapshot <graph> <out.bestk> [--threads N]         persist the full index
   query    <snapshot> <query>... [--threads N] [--budget-mb N]
                                                      one-shot snapshot queries
-  serve    [--port P] [--budget-mb N] [--threads N] [--timeout-ms T]
-           [--max-inflight N] [--max-line-bytes N]   serving loop (stdio or TCP)
+  serve    [--port P | --stdin] [--budget-mb N] [--threads N] [--timeout-ms T]
+           [--max-inflight N] [--max-line-bytes N] [--metrics-dump]
+                                                     serving loop (stdio or TCP)
+  metrics  <graph> [--threads N]                     full best-k pipeline run,
+                                                     then the metrics exposition
 metrics M: ad den cr con mod cc sep td (default: all six paper metrics)
 stats/analyze/truss accept --verify: re-check every reported answer against
 the executable-specification oracles (slower; exits non-zero on mismatch)
@@ -131,6 +135,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "snapshot" => commands::snapshot(&parsed, out),
         "query" => commands::query(&parsed, out),
         "serve" => commands::serve(&parsed, out),
+        "metrics" => commands::metrics(&parsed, out),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }

@@ -75,6 +75,7 @@ impl SingleCoreProfile {
         &self,
         metric: &M,
     ) -> Result<Option<BestCore>, MetricError> {
+        let _span = bestk_obs::span!("phase.select");
         let scores = self.try_scores(metric)?;
         let mut best: Option<BestCore> = None;
         for (i, &s) in scores.iter().enumerate() {
@@ -240,6 +241,7 @@ pub fn single_core_profile(
     forest: &CoreForest,
     with_triangles: bool,
 ) -> SingleCoreProfile {
+    let _span = bestk_obs::span!("phase.sweep");
     let g = o.graph();
     SingleCoreProfile {
         primaries: single_core_primaries(o, forest, with_triangles),

@@ -124,6 +124,7 @@ impl CoreSetProfile {
         &self,
         metric: &M,
     ) -> Result<Option<BestKSet>, MetricError> {
+        let _span = bestk_obs::span!("phase.select");
         Ok(best_k(&self.try_scores(metric)?).map(|(k, score)| BestKSet { k, score }))
     }
 
@@ -319,6 +320,7 @@ fn choose2(x: u64) -> u64 {
 /// Builds the full [`CoreSetProfile`]; runs Algorithm 3 when
 /// `with_triangles`, otherwise Algorithm 2.
 pub fn core_set_profile(o: &OrderedGraph<'_>, with_triangles: bool) -> CoreSetProfile {
+    let _span = bestk_obs::span!("phase.sweep");
     let g = o.graph();
     let primaries = if with_triangles {
         core_set_primaries_with_triangles(o)

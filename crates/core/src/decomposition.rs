@@ -185,6 +185,7 @@ impl CoreDecomposition {
 /// Runs the `O(m)` bucket-based core decomposition of [Batagelj &
 /// Zaveršnik 2003] (paper §II-A, reference \[7\]).
 pub fn core_decomposition(g: &CsrGraph) -> CoreDecomposition {
+    let _span = bestk_obs::span!("phase.peel");
     let n = g.num_vertices();
     if n == 0 {
         return CoreDecomposition {

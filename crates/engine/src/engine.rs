@@ -124,16 +124,7 @@ impl Engine {
     /// Registers a bare graph under `name` (artifacts build lazily on first
     /// query). Replaces any dataset previously registered under the name.
     pub fn insert_graph(&mut self, name: &str, graph: CsrGraph) {
-        self.clock += 1;
-        self.counters.loads += 1;
-        self.slots.insert(
-            name.to_owned(),
-            Slot {
-                dataset: Dataset::from_graph(graph),
-                last_used: self.clock,
-            },
-        );
-        self.enforce_budget(name);
+        self.register(name, Dataset::from_graph(graph));
     }
 
     /// Loads a `.bestk` snapshot from `path` and registers it under `name`.
@@ -173,11 +164,15 @@ impl Engine {
                 };
                 // Quarantine is best-effort: the rebuild below is the part
                 // that restores service.
-                let _ = std::fs::rename(path, format!("{path}.quarantine"));
+                if std::fs::rename(path, format!("{path}.quarantine")).is_ok() {
+                    bestk_obs::counter("engine.quarantines").inc();
+                }
                 let graph = bestk_graph::io::read_auto_path(source)?;
                 let mut dataset = Dataset::from_graph(graph);
                 dataset.ensure_built(policy);
                 self.counters.builds += 1;
+                bestk_obs::counter("engine.builds").inc();
+                bestk_obs::counter("engine.rebuilds").inc();
                 self.register(name, dataset);
                 Ok(LoadOutcome::Rebuilt)
             }
@@ -188,6 +183,7 @@ impl Engine {
     fn register(&mut self, name: &str, dataset: Dataset) {
         self.clock += 1;
         self.counters.loads += 1;
+        bestk_obs::counter("engine.loads").inc();
         self.slots.insert(
             name.to_owned(),
             Slot {
@@ -196,11 +192,18 @@ impl Engine {
             },
         );
         self.enforce_budget(name);
+        self.record_dataset_gauge();
     }
 
     /// Removes a dataset; returns whether it existed.
     pub fn remove(&mut self, name: &str) -> bool {
-        self.slots.remove(name).is_some()
+        let existed = self.slots.remove(name).is_some();
+        self.record_dataset_gauge();
+        existed
+    }
+
+    fn record_dataset_gauge(&self) {
+        bestk_obs::gauge("engine.datasets").set(self.slots.len() as i64);
     }
 
     /// Answers one query against the named dataset.
@@ -236,10 +239,13 @@ impl Engine {
         slot.last_used = clock;
         if slot.dataset.ensure_built(policy) {
             self.counters.builds += 1;
+            bestk_obs::counter("engine.builds").inc();
         } else {
             self.counters.cache_hits += 1;
+            bestk_obs::counter("engine.cache_hits").inc();
         }
         self.counters.queries += queries.len() as u64;
+        bestk_obs::counter("engine.queries").add(queries.len() as u64);
         // Panic isolation: a panic anywhere in answering (including one
         // re-raised from an exec worker thread) is contained here and
         // converted to a typed error — the engine, and any serving loop
@@ -293,6 +299,7 @@ impl Engine {
                     if let Some(slot) = self.slots.get_mut(&name) {
                         slot.dataset.drop_artifacts();
                         self.counters.evictions += 1;
+                        bestk_obs::counter("engine.evictions").inc();
                     }
                 }
                 None => return, // nothing evictable; budget becomes a high-water mark

@@ -67,6 +67,28 @@ pub enum EngineError {
 }
 
 impl EngineError {
+    /// A short stable snake_case tag for this error's variant, used as the
+    /// `kind` label on the `serve.errors{kind=…}` metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineError::Io(_) => "io",
+            EngineError::Graph(_) => "graph",
+            EngineError::BadMagic => "bad_magic",
+            EngineError::VersionSkew { .. } => "version_skew",
+            EngineError::Truncated { .. } => "truncated",
+            EngineError::ChecksumMismatch { .. } => "checksum_mismatch",
+            EngineError::TrailingBytes => "trailing_bytes",
+            EngineError::MissingSection(_) => "missing_section",
+            EngineError::BadSnapshot(_) => "bad_snapshot",
+            EngineError::UnknownDataset(_) => "unknown_dataset",
+            EngineError::BadQuery(_) => "bad_query",
+            EngineError::Protocol(_) => "protocol",
+            EngineError::Internal(_) => "internal",
+            EngineError::Overloaded { .. } => "overloaded",
+            EngineError::TooLarge { .. } => "too_large",
+        }
+    }
+
     /// Whether this error means the snapshot *bytes* are bad (truncation,
     /// checksum mismatch, version skew, …) rather than the I/O path being
     /// flaky — the distinction between "quarantine and rebuild" and "retry".
@@ -189,6 +211,23 @@ mod tests {
         assert!(!io.is_corruption());
         assert!(!EngineError::UnknownDataset("x".into()).is_corruption());
         assert!(!EngineError::Overloaded { limit: 1 }.is_corruption());
+    }
+
+    #[test]
+    fn kinds_are_stable_snake_case_tags() {
+        assert_eq!(EngineError::BadMagic.kind(), "bad_magic");
+        assert_eq!(EngineError::Overloaded { limit: 1 }.kind(), "overloaded");
+        assert_eq!(EngineError::TooLarge { limit: 8 }.kind(), "too_large");
+        assert_eq!(EngineError::Protocol("x".into()).kind(), "protocol");
+        assert_eq!(
+            EngineError::Io(std::io::Error::other("x")).kind(),
+            "io"
+        );
+        let skew = EngineError::VersionSkew {
+            found: 2,
+            supported: 1,
+        };
+        assert_eq!(skew.kind(), "version_skew");
     }
 
     #[test]

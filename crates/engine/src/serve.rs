@@ -10,13 +10,23 @@
 //! query <dataset> <query...>  answer one query            -> ok <answer fields>
 //! datasets                    list datasets               -> ok datasets <n> (+ per-row lines)
 //! counters                    workload counters           -> ok counters loads=... builds=...
+//! metrics                     metrics exposition          -> ok metrics <n> (+ n exposition lines)
 //! quit                        graceful shutdown           -> ok bye
 //! ```
 //!
 //! Any failure becomes `err\t<message>` on the same single line — the
 //! connection survives bad requests, and a client can script against the
-//! first tab-separated token alone. `quit` shuts the whole server down
-//! gracefully after the reply is flushed and the connection drained.
+//! first tab-separated token alone. (`metrics` is the one *ok* reply that
+//! spans multiple lines: its header declares how many exposition lines
+//! follow, so clients can still frame it.) `quit` shuts the whole server
+//! down gracefully after the reply is flushed and the connection drained.
+//!
+//! ## Observability
+//!
+//! The loop records into the global `bestk_obs` registry: `serve.requests`
+//! (total and per `{verb=…}`), `serve.errors` (total and per `{kind=…}`),
+//! `serve.shed`, and a `serve.latency_nanos` histogram over admitted
+//! requests. See DESIGN.md §12.
 //!
 //! ## Hardening
 //!
@@ -54,6 +64,31 @@ use crate::engine::{Engine, LoadOutcome};
 use crate::error::EngineError;
 use crate::query::Query;
 use crate::snapshot::RetryPolicy;
+
+/// Bucket bounds (inclusive, nanoseconds) for `serve.latency_nanos`:
+/// 1µs … 1s in decades, overflow above.
+const LATENCY_BOUNDS_NANOS: &[u64] = &[
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+/// The protocol verbs, for per-verb request counting (anything else is
+/// counted under `{verb="other"}` so label cardinality stays bounded).
+const VERBS: &[&str] = &["load", "query", "datasets", "counters", "metrics", "quit"];
+
+/// Records one error reply into `serve.errors` (total and per-kind).
+fn record_error(kind: &str) {
+    let registry = bestk_obs::registry();
+    registry.counter("serve.errors").inc();
+    registry
+        .counter(&format!("serve.errors{{kind=\"{kind}\"}}"))
+        .inc();
+}
 
 /// What the serving loop should do after a request is answered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,14 +135,20 @@ pub fn handle_request(engine: &mut Engine, policy: &ExecPolicy, line: &str) -> (
     }));
     match outcome {
         Ok(Ok((reply, control))) => (reply, control),
-        Ok(Err(e)) => (format!("err\t{e}"), Control::Continue),
-        Err(payload) => (
-            format!(
-                "err\t{}",
-                EngineError::Internal(crate::engine::panic_message(payload.as_ref()))
-            ),
-            Control::Continue,
-        ),
+        Ok(Err(e)) => {
+            record_error(e.kind());
+            (format!("err\t{e}"), Control::Continue)
+        }
+        Err(payload) => {
+            record_error("internal");
+            (
+                format!(
+                    "err\t{}",
+                    EngineError::Internal(crate::engine::panic_message(payload.as_ref()))
+                ),
+                Control::Continue,
+            )
+        }
     }
 }
 
@@ -183,6 +224,18 @@ fn dispatch(
                 Control::Continue,
             ))
         }
+        "metrics" => {
+            if tokens.next().is_some() {
+                return Err(EngineError::Protocol("metrics takes no arguments".into()));
+            }
+            let rendered = bestk_obs::snapshot().render();
+            let mut reply = format!("ok\tmetrics\t{}", rendered.lines().count());
+            for line in rendered.lines() {
+                reply.push('\n');
+                reply.push_str(line);
+            }
+            Ok((reply, Control::Continue))
+        }
         "quit" => {
             if tokens.next().is_some() {
                 return Err(EngineError::Protocol("quit takes no arguments".into()));
@@ -190,7 +243,7 @@ fn dispatch(
             Ok(("ok\tbye".into(), Control::Quit))
         }
         other => Err(EngineError::Protocol(format!(
-            "unknown request {other:?} (expected load|query|datasets|counters|quit)"
+            "unknown request {other:?} (expected load|query|datasets|counters|metrics|quit)"
         ))),
     }
 }
@@ -280,6 +333,13 @@ pub fn serve_lines_with<R: BufRead, W: Write>(
     mut writer: W,
     limits: &ServeLimits,
 ) -> Result<Control, EngineError> {
+    // Resolved once per serving loop: a loop lives entirely inside one
+    // registry epoch, and pre-registering here means a bare `metrics`
+    // request (or a `--metrics-dump`) renders the serving metrics even
+    // before any traffic has counted.
+    let registry = bestk_obs::registry();
+    let requests = registry.counter("serve.requests");
+    let latency = registry.histogram("serve.latency_nanos", LATENCY_BOUNDS_NANOS);
     let mut inflight: usize = 0;
     loop {
         let line = match read_capped_line(&mut reader, limits.max_line_bytes) {
@@ -289,7 +349,10 @@ pub fn serve_lines_with<R: BufRead, W: Write>(
             Err(_) => return Ok(Control::Continue),
         };
         let (reply, control) = match line {
-            Err(e) => (format!("err\t{e}"), Control::Continue),
+            Err(e) => {
+                record_error(e.kind());
+                (format!("err\t{e}"), Control::Continue)
+            }
             Ok(mut line) => {
                 // The `serve.read` failpoint tears request lines mid-flight;
                 // a mangled request must come back as a typed error (or
@@ -298,10 +361,18 @@ pub fn serve_lines_with<R: BufRead, W: Write>(
                 if line.trim().is_empty() {
                     continue;
                 }
+                requests.inc();
+                let verb = line.split_whitespace().next().unwrap_or("");
+                let verb = if VERBS.contains(&verb) { verb } else { "other" };
+                registry
+                    .counter(&format!("serve.requests{{verb=\"{verb}\"}}"))
+                    .inc();
                 inflight += 1;
                 let shed = inflight > limits.max_inflight
                     || bestk_faults::overloaded(sites::SERVE_OVERLOAD);
                 let answered = if shed {
+                    registry.counter("serve.shed").inc();
+                    record_error("overloaded");
                     (
                         format!(
                             "err\t{}",
@@ -312,7 +383,10 @@ pub fn serve_lines_with<R: BufRead, W: Write>(
                         Control::Continue,
                     )
                 } else {
-                    handle_request(engine, policy, &line)
+                    let start = bestk_obs::now_nanos();
+                    let answered = handle_request(engine, policy, &line);
+                    latency.observe(bestk_obs::now_nanos().saturating_sub(start));
+                    answered
                 };
                 inflight -= 1;
                 answered
@@ -444,6 +518,7 @@ mod tests {
             "load x /no/such/file.bestk /no/source.txt extra",
             "datasets extra",
             "counters extra",
+            "metrics extra",
             "quit now",
         ] {
             let (reply, c) = ask(&mut eng, bad);
@@ -451,6 +526,35 @@ mod tests {
             assert!(!reply.contains('\n'), "{bad:?} -> multi-line reply");
             assert_eq!(c, Control::Continue, "{bad:?} must not kill the server");
         }
+    }
+
+    #[test]
+    fn metrics_verb_frames_the_exposition() {
+        let mut eng = engine_with_fig2();
+        let (ok, _) = ask(&mut eng, "query fig2 bestkset ad");
+        assert!(ok.starts_with("ok\t"), "{ok}");
+        let (reply, c) = ask(&mut eng, "metrics");
+        assert_eq!(c, Control::Continue);
+        let mut lines = reply.lines();
+        let header = lines.next().unwrap();
+        let declared: usize = header
+            .strip_prefix("ok\tmetrics\t")
+            .expect("metrics header")
+            .parse()
+            .unwrap();
+        let body: Vec<&str> = lines.collect();
+        assert_eq!(body.len(), declared, "header must frame the body");
+        assert!(declared > 0);
+        // Well-formed exposition: every line is `name value`.
+        for line in &body {
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!name.is_empty());
+            assert!(value.parse::<i64>().is_ok(), "{line}");
+        }
+        // The phase spans of the best-k pipeline are present.
+        assert!(body.iter().any(|l| l.starts_with("phase.peel.calls ")));
+        assert!(body.iter().any(|l| l.starts_with("phase.sweep.calls ")));
+        assert!(body.iter().any(|l| l.starts_with("phase.select.calls ")));
     }
 
     #[test]

@@ -4,14 +4,31 @@
 //! The client thread uses `std::thread` / `std::net` directly — integration
 //! tests are exempt from the workspace's `no-raw-thread` / `no-raw-net`
 //! lint scoping, which applies to library code.
+//!
+//! Both tests assert exact `serve.requests` deltas from the process-global
+//! metrics registry, so they serialize on a local gate (like the chaos
+//! suite does for the fault plan) instead of relying on sleeps.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
 use bestk_engine::{serve_on_listener, snapshot, Dataset, Engine, ServeLimits};
 use bestk_exec::ExecPolicy;
 use bestk_graph::generators;
+
+/// Serializes the two tests: both read counter deltas from the one
+/// process-global metrics registry, and concurrent servers would cross
+/// their counts.
+fn gate() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn served_requests() -> u64 {
+    bestk_obs::snapshot().counter("serve.requests").unwrap_or(0)
+}
 
 fn fig2_snapshot_path(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join("bestk-engine-tcp-test");
@@ -25,9 +42,11 @@ fn fig2_snapshot_path(tag: &str) -> std::path::PathBuf {
 
 #[test]
 fn tcp_round_trip_with_real_client() {
+    let _gate = gate();
     let snap = fig2_snapshot_path("roundtrip");
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
     let addr = listener.local_addr().expect("local addr");
+    let before = served_requests();
 
     let client = std::thread::spawn(move || -> Vec<String> {
         let stream = TcpStream::connect(addr).expect("connect");
@@ -76,13 +95,17 @@ fn tcp_round_trip_with_real_client() {
         replies[5]
     );
     assert_eq!(replies[6], "ok\tbye");
+    // Seven scripted requests, each admitted and counted exactly once.
+    assert_eq!(served_requests() - before, 7);
 }
 
 #[test]
 fn tcp_server_survives_client_hangup_and_timeout() {
+    let _gate = gate();
     let snap = fig2_snapshot_path("hangup");
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
     let addr = listener.local_addr().expect("local addr");
+    let before = served_requests();
 
     let client = std::thread::spawn(move || {
         // Connection 1: send one request, then hang up without `quit`.
@@ -95,10 +118,10 @@ fn tcp_server_survives_client_hangup_and_timeout() {
             reader.read_line(&mut line).expect("reply");
             assert_eq!(line.trim_end(), "ok\tloaded\tfig2");
         } // dropped: EOF on the server side
-          // Connection 2: go silent and let the read timeout reap us.
+          // Connection 2: go silent; the server's read timeout reaps it
+          // while connection 3's reads below naturally wait it out — no
+          // client-side sleep needed.
         let idle = TcpStream::connect(addr).expect("connect 2");
-        std::thread::sleep(Duration::from_millis(120));
-        drop(idle);
         // Connection 3: state survived both; shut down cleanly.
         let stream = TcpStream::connect(addr).expect("connect 3");
         let mut reader = BufReader::new(stream.try_clone().expect("clone"));
@@ -111,6 +134,7 @@ fn tcp_server_survives_client_hangup_and_timeout() {
         line.clear();
         reader.read_line(&mut line).expect("bye");
         assert_eq!(line.trim_end(), "ok\tbye");
+        drop(idle);
     });
 
     let mut engine = Engine::new(None);
@@ -124,4 +148,7 @@ fn tcp_server_survives_client_hangup_and_timeout() {
     .expect("serve");
     client.join().expect("client thread");
     assert_eq!(engine.counters().loads, 1);
+    // load + query + quit were admitted; the silent connection contributed
+    // no requests before its timeout.
+    assert_eq!(served_requests() - before, 3);
 }

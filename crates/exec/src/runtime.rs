@@ -30,6 +30,22 @@ fn lock_ignoring_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// Records one runtime dispatch into the global metrics registry.
+/// `exec.dispatches` and `exec.items` are invariant for a given workload;
+/// `exec.chunks` and `exec.sequential_fallbacks` depend on the execution
+/// mode (and some kernels skip the runtime entirely when sequential), so
+/// every `exec.*` metric is documented as mode-dependent — see
+/// DESIGN.md §12.
+fn record_dispatch(items: usize, chunks: usize, workers: usize) {
+    let registry = bestk_obs::registry();
+    registry.counter("exec.dispatches").inc();
+    registry.counter("exec.items").add(items as u64);
+    registry.counter("exec.chunks").add(chunks as u64);
+    if workers <= 1 {
+        registry.counter("exec.sequential_fallbacks").inc();
+    }
+}
+
 /// Collects the first panic payload raised by any worker; once armed, the
 /// other workers stop claiming chunks (checked via the cheap flag) and the
 /// payload is re-raised on the calling thread after the scope joins.
@@ -109,6 +125,7 @@ impl ExecPolicy {
     {
         let chunks = plan.num_chunks();
         let workers = self.threads().min(chunks);
+        record_dispatch(plan.len(), chunks, workers);
         if workers <= 1 {
             let mut scratch = init();
             return (0..chunks)
@@ -201,6 +218,7 @@ impl ExecPolicy {
         assert_eq!(cuts.first(), Some(&0), "regions must start at 0");
         assert_eq!(cuts.last(), Some(&data.len()), "regions must cover data");
         let workers = self.threads().min(chunks);
+        record_dispatch(plan.len(), chunks, workers);
         if workers <= 1 {
             let mut scratch = init();
             let mut rest = data;

@@ -54,5 +54,6 @@ pub use inject::{
 };
 pub use plan::{Fault, FaultPlan, SiteSpec};
 pub use state::{
-    clear_plan, init_from_env, injection_count, install_plan, is_enabled, roll, with_plan, ENV_VAR,
+    clear_plan, init_from_env, injection_count, install_plan, is_enabled, roll,
+    site_injection_counts, with_plan, ENV_VAR,
 };

@@ -137,7 +137,26 @@ fn roll_slow(site: &str, accepts: &dyn Fn(Fault) -> bool) -> Option<Shot> {
     let param = s.rng.next_u64();
     s.injected += 1;
     INJECTED.fetch_add(1, Ordering::Relaxed);
+    // Already #[cold] and under the plan lock; the obs registry lock nests
+    // inside it (obs never calls back into faults, so no inversion).
+    bestk_obs::counter(&format!("faults.injected{{site=\"{site}\"}}")).inc();
     Some(Shot { fault, param })
+}
+
+/// Per-site injection counts of the currently installed plan, in site-name
+/// order (empty when no plan is installed). Counts reset whenever a plan
+/// is (re)installed — this is the plan's own budget accounting, which the
+/// chaos suite cross-checks against the `faults.injected{site=…}` metrics.
+pub fn site_injection_counts() -> Vec<(String, u64)> {
+    lock(&PLAN)
+        .as_ref()
+        .map(|sites| {
+            sites
+                .iter()
+                .map(|(name, s)| (name.clone(), s.injected))
+                .collect()
+        })
+        .unwrap_or_default()
 }
 
 /// Rolls at `site` with no kind restriction, returning the drawn fault.
@@ -274,6 +293,25 @@ mod tests {
         });
         assert!(caught.is_err());
         assert!(!is_enabled(), "the drop guard must clear the plan");
+    }
+
+    #[test]
+    fn injections_surface_per_site_counts_and_metrics() {
+        let plan = FaultPlan::new(9)
+            .site("hit", SiteSpec::always(Fault::IoError).with_budget(2))
+            .site("quiet", SiteSpec::always(Fault::IoError));
+        let metric = "faults.injected{site=\"hit\"}";
+        let before = bestk_obs::snapshot().counter(metric).unwrap_or(0);
+        let counts = with_plan(&plan, || {
+            for _ in 0..5 {
+                let _ = roll("hit");
+            }
+            site_injection_counts()
+        });
+        assert_eq!(counts, vec![("hit".to_owned(), 2), ("quiet".to_owned(), 0)]);
+        let after = bestk_obs::snapshot().counter(metric).unwrap_or(0);
+        assert_eq!(after - before, 2, "metric must match the plan accounting");
+        assert!(site_injection_counts().is_empty(), "no plan, no counts");
     }
 
     #[test]

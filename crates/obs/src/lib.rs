@@ -1,0 +1,44 @@
+//! Deterministic observability for the bestk workspace.
+//!
+//! Three pieces, all dependency-free:
+//!
+//! - [`MetricsRegistry`] — named counters, gauges, and fixed-bucket
+//!   histograms. Registration takes a mutex once; after that every
+//!   increment or observation is a single atomic RMW (lock-free hot
+//!   path). [`MetricsRegistry::snapshot`] copies a consistent,
+//!   name-sorted view that renders to a Prometheus-flavoured text
+//!   exposition via [`Snapshot::render`].
+//! - [`span!`] — RAII phase-timing guards. `let _s = span!("phase.peel")`
+//!   records `phase.peel.calls` (+1) and `phase.peel.nanos` (+elapsed)
+//!   into the global registry when the guard drops.
+//! - [`Clock`] — the injectable time source behind spans and
+//!   [`now_nanos`]. Production uses [`SystemClock`] (the single place in
+//!   workspace library code allowed to call `Instant::now`; the
+//!   `no-raw-instant` lint confines it here). Tests swap in a
+//!   [`ManualClock`] via [`with_fresh`] and get exact, reproducible
+//!   timings.
+//!
+//! # Metric name schema
+//!
+//! Names are dot-separated `<subsystem>.<metric>` strings; labels are
+//! embedded in the name itself, Prometheus-style:
+//! `serve.requests{verb="query"}`, `faults.injected{site="snapshot.read"}`.
+//! The registry treats the whole string as the key, so label variants are
+//! independent metrics and render in deterministic sorted order. See
+//! DESIGN.md §12 for the full catalogue.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod global;
+pub mod registry;
+mod render;
+pub mod span;
+
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use global::{counter, gauge, histogram, now_nanos, registry, snapshot, with_fresh};
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramValue, MetricValue, MetricsRegistry, Snapshot,
+};
+pub use span::SpanGuard;

@@ -1,0 +1,418 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms with a lock-free atomic hot path.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`s onto shared
+//! atomics: registration takes the registry mutex exactly once, after
+//! which every increment or observation is a single relaxed atomic RMW.
+//! [`MetricsRegistry::snapshot`] copies a name-sorted point-in-time view
+//! ([`Snapshot`]) that supports lookups, merging, and rendering to the
+//! text exposition format.
+//!
+//! Metric names are plain strings; labels are embedded in the name
+//! (`serve.requests{verb="query"}`), so each label variant is its own
+//! independent metric and everything renders in deterministic name order.
+//! Names must be unique across kinds — registering the same name as both
+//! a counter and a gauge yields two snapshot entries and lookup by kind
+//! finds the matching one.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::render;
+
+/// Recovers the guard even if a holder panicked. The maps stay consistent
+/// because all mutation of metric values happens handle-side via atomics;
+/// the mutex only protects registration.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A monotonically increasing counter handle (lock-free once registered).
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed point-in-time gauge handle (lock-free once registered).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Ascending, deduplicated inclusive upper bounds.
+    bounds: Vec<u64>,
+    /// Per-bucket counts: one per bound plus a trailing overflow bucket.
+    buckets: Vec<AtomicU64>,
+    /// Sum of observed values; wraps on overflow (wrapping keeps merge
+    /// associative, which the property tests rely on).
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram handle (lock-free once registered). Bucket
+/// bounds are inclusive upper bounds; values above the last bound land in
+/// an implicit `+Inf` overflow bucket.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self.0.bounds.partition_point(|&b| b < value);
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy. Under concurrent observation the fields may
+    /// be mutually slightly stale; single-threaded reads are exact.
+    fn value(&self) -> HistogramValue {
+        HistogramValue {
+            bounds: self.0.bounds.clone(),
+            buckets: self
+                .0
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.0.sum.load(Ordering::Relaxed),
+            count: self.0.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time value of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramValue {
+    /// Ascending inclusive bucket upper bounds; an implicit `+Inf`
+    /// overflow bucket follows the last bound.
+    pub bounds: Vec<u64>,
+    /// Per-bucket (non-cumulative) counts: `bounds.len() + 1` entries,
+    /// the last being the overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Sum of observed values (wrapping on overflow).
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramValue {
+    /// Cumulative bucket counts (monotone non-decreasing; the last entry
+    /// equals [`HistogramValue::count`] when reads were quiescent).
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut total = 0u64;
+        self.buckets
+            .iter()
+            .map(|&b| {
+                total = total.wrapping_add(b);
+                total
+            })
+            .collect()
+    }
+}
+
+/// One named metric inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A counter value.
+    Counter(u64),
+    /// A gauge value.
+    Gauge(i64),
+    /// A histogram value.
+    Histogram(HistogramValue),
+}
+
+/// A consistent, name-sorted copy of a registry's metrics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// All `(name, value)` entries in ascending name order.
+    pub fn entries(&self) -> &[(String, MetricValue)] {
+        &self.entries
+    }
+
+    /// The counter named `name`, if registered as a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            MetricValue::Counter(c) if n == name => Some(*c),
+            _ => None,
+        })
+    }
+
+    /// The gauge named `name`, if registered as a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            MetricValue::Gauge(g) if n == name => Some(*g),
+            _ => None,
+        })
+    }
+
+    /// The histogram named `name`, if registered as a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramValue> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            MetricValue::Histogram(h) if n == name => Some(h),
+            _ => None,
+        })
+    }
+
+    /// Renders the Prometheus-flavoured text exposition: one
+    /// `name value` line per counter/gauge sample, histograms as
+    /// cumulative `name_bucket{le="…"}` lines plus `name_count` and
+    /// `name_sum`, everything in ascending name order with a trailing
+    /// newline when non-empty.
+    pub fn render(&self) -> String {
+        render::render(self)
+    }
+
+    /// Merges two snapshots: counters and gauges add, histograms add
+    /// bucket-wise. Fails (no panics) if a name is registered with
+    /// different kinds or a histogram with different bounds.
+    pub fn merge(&self, other: &Snapshot) -> Result<Snapshot, String> {
+        let mut merged: BTreeMap<String, MetricValue> = self.entries.iter().cloned().collect();
+        for (name, value) in &other.entries {
+            let combined = match merged.remove(name) {
+                None => value.clone(),
+                Some(existing) => merge_values(name, existing, value)?,
+            };
+            merged.insert(name.clone(), combined);
+        }
+        Ok(Snapshot {
+            entries: merged.into_iter().collect(),
+        })
+    }
+}
+
+fn merge_values(name: &str, a: MetricValue, b: &MetricValue) -> Result<MetricValue, String> {
+    match (a, b) {
+        (MetricValue::Counter(x), MetricValue::Counter(y)) => {
+            Ok(MetricValue::Counter(x.wrapping_add(*y)))
+        }
+        (MetricValue::Gauge(x), MetricValue::Gauge(y)) => {
+            Ok(MetricValue::Gauge(x.wrapping_add(*y)))
+        }
+        (MetricValue::Histogram(x), MetricValue::Histogram(y)) => {
+            if x.bounds != y.bounds {
+                return Err(format!("histogram {name:?}: mismatched bucket bounds"));
+            }
+            Ok(MetricValue::Histogram(HistogramValue {
+                bounds: x.bounds,
+                buckets: x
+                    .buckets
+                    .iter()
+                    .zip(&y.buckets)
+                    .map(|(p, q)| p.wrapping_add(*q))
+                    .collect(),
+                sum: x.sum.wrapping_add(y.sum),
+                count: x.count.wrapping_add(y.count),
+            }))
+        }
+        _ => Err(format!("metric {name:?}: mismatched kinds")),
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A set of named metrics. See the module docs for the locking model.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, registered on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = lock(&self.inner);
+        inner
+            .counters
+            .entry(name.to_owned())
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// The gauge named `name`, registered on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = lock(&self.inner);
+        inner
+            .gauges
+            .entry(name.to_owned())
+            .or_insert_with(|| Gauge(Arc::new(AtomicI64::new(0))))
+            .clone()
+    }
+
+    /// The histogram named `name`, registered on first use with the given
+    /// inclusive upper bounds (sorted and deduplicated). First
+    /// registration wins: later calls return the existing histogram and
+    /// ignore `bounds`.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut inner = lock(&self.inner);
+        inner
+            .histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| {
+                let mut bounds = bounds.to_vec();
+                bounds.sort_unstable();
+                bounds.dedup();
+                let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+                Histogram(Arc::new(HistogramCore {
+                    bounds,
+                    buckets,
+                    sum: AtomicU64::new(0),
+                    count: AtomicU64::new(0),
+                }))
+            })
+            .clone()
+    }
+
+    /// A name-sorted point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = lock(&self.inner);
+        let mut entries: Vec<(String, MetricValue)> = Vec::new();
+        for (name, c) in &inner.counters {
+            entries.push((name.clone(), MetricValue::Counter(c.get())));
+        }
+        for (name, g) in &inner.gauges {
+            entries.push((name.clone(), MetricValue::Gauge(g.get())));
+        }
+        for (name, h) in &inner.histograms {
+            entries.push((name.clone(), MetricValue::Histogram(h.value())));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_and_snapshot_reads_them() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("a.count");
+        c.inc();
+        r.counter("a.count").add(2);
+        let g = r.gauge("a.level");
+        g.set(5);
+        g.sub(2);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a.count"), Some(3));
+        assert_eq!(snap.gauge("a.level"), Some(3));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_values_inclusively() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat", &[10, 100]);
+        for v in [0, 10, 11, 100, 101, 5000] {
+            h.observe(v);
+        }
+        let snap = r.snapshot();
+        let hv = snap.histogram("lat").unwrap();
+        assert_eq!(hv.bounds, vec![10, 100]);
+        assert_eq!(hv.buckets, vec![2, 2, 2]);
+        assert_eq!(hv.count, 6);
+        assert_eq!(hv.sum, 5222);
+        assert_eq!(hv.cumulative(), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn histogram_bounds_are_normalized_and_first_registration_wins() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("h", &[100, 10, 10]);
+        h.observe(50);
+        let again = r.histogram("h", &[1, 2, 3]);
+        again.observe(50);
+        let hv = r.snapshot();
+        let hv = hv.histogram("h").unwrap();
+        assert_eq!(hv.bounds, vec![10, 100]);
+        assert_eq!(hv.buckets, vec![0, 2, 0]);
+    }
+
+    #[test]
+    fn snapshots_are_name_sorted() {
+        let r = MetricsRegistry::new();
+        r.counter("b");
+        r.gauge("a");
+        r.histogram("c", &[1]);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.entries().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn merge_adds_and_rejects_mismatches() {
+        let r1 = MetricsRegistry::new();
+        r1.counter("c").add(2);
+        r1.histogram("h", &[10]).observe(4);
+        let r2 = MetricsRegistry::new();
+        r2.counter("c").add(3);
+        r2.gauge("g").set(-1);
+        r2.histogram("h", &[10]).observe(40);
+        let merged = r1.snapshot().merge(&r2.snapshot()).unwrap();
+        assert_eq!(merged.counter("c"), Some(5));
+        assert_eq!(merged.gauge("g"), Some(-1));
+        let hv = merged.histogram("h").unwrap();
+        assert_eq!(hv.buckets, vec![1, 1]);
+        assert_eq!(hv.sum, 44);
+        assert_eq!(hv.count, 2);
+
+        let bad_kind = MetricsRegistry::new();
+        bad_kind.gauge("c").set(1);
+        assert!(r1.snapshot().merge(&bad_kind.snapshot()).is_err());
+        let bad_bounds = MetricsRegistry::new();
+        bad_bounds.histogram("h", &[99]).observe(1);
+        assert!(r1.snapshot().merge(&bad_bounds.snapshot()).is_err());
+    }
+}

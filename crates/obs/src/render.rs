@@ -1,0 +1,71 @@
+//! The Prometheus-flavoured text exposition renderer.
+//!
+//! One sample per line, `name value`, separated by a single space.
+//! Counters and gauges render as-is (labels, if any, are already embedded
+//! in the name). A histogram `h` expands to cumulative bucket lines
+//! `h_bucket{le="<bound>"} <cumulative>`, a final
+//! `h_bucket{le="+Inf"} <count>`, then `h_count <count>` and
+//! `h_sum <sum>`. The output is in ascending metric-name order (the
+//! snapshot is pre-sorted) and ends with a trailing newline when
+//! non-empty, so it is byte-stable for golden tests.
+
+use std::fmt::Write as _;
+
+use crate::registry::{MetricValue, Snapshot};
+
+pub(crate) fn render(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in snap.entries() {
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{name} {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{name} {v}");
+            }
+            MetricValue::Histogram(h) => {
+                for (bound, cum) in h.bounds.iter().zip(h.cumulative()) {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cum}");
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+                let _ = writeln!(out, "{name}_count {}", h.count);
+                let _ = writeln!(out, "{name}_sum {}", h.sum);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn renders_sorted_lines_with_trailing_newline() {
+        let r = MetricsRegistry::new();
+        r.counter("serve.requests").add(4);
+        r.counter("serve.requests{verb=\"query\"}").add(3);
+        r.gauge("engine.datasets").set(2);
+        let h = r.histogram("serve.latency_nanos", &[1_000, 1_000_000]);
+        h.observe(500);
+        h.observe(2_000);
+        h.observe(2_000_000);
+        let text = r.snapshot().render();
+        assert_eq!(
+            text,
+            "engine.datasets 2\n\
+             serve.latency_nanos_bucket{le=\"1000\"} 1\n\
+             serve.latency_nanos_bucket{le=\"1000000\"} 2\n\
+             serve.latency_nanos_bucket{le=\"+Inf\"} 3\n\
+             serve.latency_nanos_count 3\n\
+             serve.latency_nanos_sum 2002500\n\
+             serve.requests 4\n\
+             serve.requests{verb=\"query\"} 3\n"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(MetricsRegistry::new().snapshot().render(), "");
+    }
+}

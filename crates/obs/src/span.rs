@@ -1,0 +1,95 @@
+//! Phase-timing spans.
+//!
+//! `let _span = span!("phase.peel");` reads the global clock on entry and,
+//! when the guard drops (including during unwinding), records two
+//! counters into the global registry:
+//!
+//! - `<name>.calls` — incremented by one,
+//! - `<name>.nanos` — incremented by the elapsed clock nanoseconds.
+//!
+//! On a [`crate::ManualClock`] the elapsed time is exactly
+//! `step × readings-in-between`, so tests assert exact values. Phase names
+//! follow the paper's cost model (`phase.peel`, `phase.sweep`,
+//! `phase.select`); see DESIGN.md §12 for the catalogue.
+
+/// An RAII guard recording one timed span; see the module docs.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start: u64,
+}
+
+/// Starts a span named `name`. Prefer the [`crate::span!`] macro.
+pub fn enter(name: &'static str) -> SpanGuard {
+    SpanGuard {
+        name,
+        start: crate::global::now_nanos(),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = crate::global::now_nanos().saturating_sub(self.start);
+        let registry = crate::global::registry();
+        registry.counter(&format!("{}.calls", self.name)).inc();
+        registry
+            .counter(&format!("{}.nanos", self.name))
+            .add(elapsed);
+    }
+}
+
+/// Opens a [`SpanGuard`] for the named phase; bind it to keep it alive:
+/// `let _span = bestk_obs::span!("phase.peel");`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use crate::clock::ManualClock;
+    use crate::global::with_fresh;
+
+    #[test]
+    fn spans_record_exact_manual_clock_timings() {
+        let ((), snap) = with_fresh(Arc::new(ManualClock::with_step(10)), || {
+            let _outer = crate::span!("phase.outer");
+            {
+                let _inner = crate::span!("phase.inner");
+            }
+        });
+        // Readings: outer start (0), inner start (10), inner end (20),
+        // outer end (30).
+        assert_eq!(snap.counter("phase.inner.calls"), Some(1));
+        assert_eq!(snap.counter("phase.inner.nanos"), Some(10));
+        assert_eq!(snap.counter("phase.outer.calls"), Some(1));
+        assert_eq!(snap.counter("phase.outer.nanos"), Some(30));
+    }
+
+    #[test]
+    fn spans_accumulate_across_calls() {
+        let ((), snap) = with_fresh(Arc::new(ManualClock::with_step(5)), || {
+            for _ in 0..3 {
+                let _span = crate::span!("phase.loop");
+            }
+        });
+        assert_eq!(snap.counter("phase.loop.calls"), Some(3));
+        assert_eq!(snap.counter("phase.loop.nanos"), Some(15));
+    }
+
+    #[test]
+    fn spans_record_even_when_unwinding() {
+        let (_, snap) = with_fresh(Arc::new(ManualClock::with_step(1)), || {
+            let caught = std::panic::catch_unwind(|| {
+                let _span = crate::span!("phase.doomed");
+                panic!("boom");
+            });
+            assert!(caught.is_err());
+        });
+        assert_eq!(snap.counter("phase.doomed.calls"), Some(1));
+    }
+}

@@ -17,6 +17,8 @@
 //!   and the best k-truss set.
 //! * [`exec`] — the execution-policy runtime ([`bestk_exec`]): the shared
 //!   parallel substrate every hot kernel routes through.
+//! * [`obs`] — the observability layer ([`bestk_obs`]): metrics registry,
+//!   phase spans, and the injectable clock behind all timing reads.
 //!
 //! See `examples/` for runnable walkthroughs and `crates/bench` for the
 //! evaluation harness that regenerates every table and figure of the paper.
@@ -27,4 +29,5 @@ pub use bestk_apps as apps;
 pub use bestk_core as core;
 pub use bestk_exec as exec;
 pub use bestk_graph as graph;
+pub use bestk_obs as obs;
 pub use bestk_truss as truss;

@@ -51,6 +51,39 @@ fn fixture(tag: &str) -> (PathBuf, PathBuf, PathBuf) {
     (dir, source, snap)
 }
 
+/// Per-site readings of the `faults.injected{site="…"}` metric counters
+/// for every named failpoint (0 for sites never hit).
+fn injected_metrics() -> Vec<(String, u64)> {
+    let snap = bestk_obs::snapshot();
+    sites::all()
+        .iter()
+        .map(|site| {
+            let name = format!("faults.injected{{site=\"{site}\"}}");
+            (site.to_string(), snap.counter(&name).unwrap_or(0))
+        })
+        .collect()
+}
+
+/// Asserts the injection observability contract. Must run inside the
+/// `with_plan` closure (once the guard drops, the plan's accounting is
+/// gone): for every site, the `faults.injected{site="…"}` metric delta
+/// since `before` must equal the live plan's own `site_injection_counts`
+/// budget accounting — every injection is counted exactly once, in both
+/// ledgers.
+fn assert_injection_accounting(before: &[(String, u64)], context: &str) {
+    let plan_counts: std::collections::BTreeMap<String, u64> =
+        bestk_faults::site_injection_counts().into_iter().collect();
+    for ((site, b), (site_after, a)) in before.iter().zip(&injected_metrics()) {
+        assert_eq!(site, site_after, "{context}: site order is stable");
+        let delta = a.saturating_sub(*b);
+        let planned = plan_counts.get(site).copied().unwrap_or(0);
+        assert_eq!(
+            delta, planned,
+            "{context}: site {site}: metric delta {delta} != plan accounting {planned}"
+        );
+    }
+}
+
 /// The scripted session every sweep runs: load (with rebuild source),
 /// query, re-query, introspect, quit.
 fn script(snap: &std::path::Path, source: &std::path::Path) -> Vec<u8> {
@@ -109,6 +142,7 @@ fn assert_replies(text: &str, strict: bool, context: &str) {
 fn run_session(plan: &FaultPlan, strict: bool, context: &str) {
     let (dir, source, snap) = fixture(context);
     bestk_faults::with_plan(plan, || {
+        let before = injected_metrics();
         let mut engine = Engine::new(None);
         let policy = ExecPolicy::with_threads(2).expect("two workers");
         let mut out = Vec::new();
@@ -119,6 +153,7 @@ fn run_session(plan: &FaultPlan, strict: bool, context: &str) {
             .unwrap_or_else(|e| panic!("{context}: server died: {e}"));
         assert!(matches!(control, Control::Quit | Control::Continue));
         assert_replies(&String::from_utf8_lossy(&out), strict, context);
+        assert_injection_accounting(&before, context);
     });
     let _ = std::fs::remove_dir_all(dir);
 }
@@ -240,6 +275,7 @@ fn snapshot_write_crashes_heal_or_fail_typed() {
         );
         let path = dir.join(format!("w{seed}.bestk"));
         bestk_faults::with_plan(&plan, || {
+            let before = injected_metrics();
             let retry = RetryPolicy {
                 attempts: 3,
                 backoff: std::time::Duration::ZERO,
@@ -270,6 +306,7 @@ fn snapshot_write_crashes_heal_or_fail_typed() {
                     }
                 }
             }
+            assert_injection_accounting(&before, &format!("snapshot.write seed {seed}"));
         });
     }
     let _ = std::fs::remove_dir_all(dir);
@@ -320,6 +357,7 @@ fn timeout_install_failures_surface_on_the_connection() {
             SiteSpec::always(Fault::IoError).with_budget(1),
         );
         bestk_faults::with_plan(&plan, || {
+            let before = injected_metrics();
             let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
             let addr = listener.local_addr().expect("addr");
             let mut engine = Engine::new(None);
@@ -360,6 +398,16 @@ fn timeout_install_failures_surface_on_the_connection() {
                 .expect("server survives");
                 client.join().expect("client");
             });
+            let context = format!("serve.timeout seed {seed}");
+            assert_injection_accounting(&before, &context);
+            // The site budget is 1: connection 2's timeout install would
+            // have tripped the always-on fault again were the budget not
+            // already exhausted by connection 1.
+            let timeout_injections = bestk_faults::site_injection_counts()
+                .into_iter()
+                .find_map(|(site, n)| (site == sites::SERVE_TIMEOUT).then_some(n))
+                .unwrap_or(0);
+            assert_eq!(timeout_injections, 1, "{context}: budget caps injections");
         });
     }
 }

@@ -1,0 +1,137 @@
+//! Property-based tests for the observability histograms, driven by the
+//! in-repo [`bestk::graph::testkit`] harness (the build environment is
+//! offline, so no external property-testing crate).
+//!
+//! The invariants under test are the ones the exposition format and the
+//! chaos/golden suites lean on:
+//!
+//! 1. **Conservation** — bucket counts (including the implicit `+Inf`
+//!    overflow bucket) sum to the observation count, and the sum field
+//!    equals the wrapping sum of the observed values.
+//! 2. **Cumulative monotonicity** — the rendered `_bucket{le="…"}` series
+//!    is non-decreasing and ends at the total count.
+//! 3. **Merge homomorphism** — merging the snapshots of two registries is
+//!    exactly the snapshot of one registry fed the concatenated stream
+//!    (wrapping sums keep this an equality, not an approximation).
+
+use bestk::graph::testkit::check;
+use bestk::obs::{MetricsRegistry, Snapshot};
+
+/// Random ascending bucket bounds: 1–6 distinct bounds drawn from a range
+/// wide enough to leave some buckets empty and push some values into the
+/// `+Inf` overflow bucket.
+fn gen_bounds(gen: &mut bestk::graph::testkit::Gen) -> Vec<u64> {
+    let n = gen.usize_in(1, 6);
+    let mut bounds: Vec<u64> = (0..n).map(|_| u64::from(gen.u32_in(0, 1_000))).collect();
+    bounds.sort_unstable();
+    bounds.dedup();
+    bounds
+}
+
+/// Random observation stream, including boundary values (bucket bounds are
+/// inclusive, so landing exactly on a bound is the interesting case).
+fn gen_values(gen: &mut bestk::graph::testkit::Gen, bounds: &[u64]) -> Vec<u64> {
+    let n = gen.usize_in(0, 200);
+    (0..n)
+        .map(|_| {
+            if gen.bool_with(0.3) && !bounds.is_empty() {
+                bounds[gen.usize_in(0, bounds.len())]
+            } else {
+                u64::from(gen.u32_in(0, 2_000))
+            }
+        })
+        .collect()
+}
+
+/// Feeds `values` into a fresh registry's `h` histogram and snapshots it.
+fn observe_all(bounds: &[u64], values: &[u64]) -> Snapshot {
+    let r = MetricsRegistry::new();
+    let h = r.histogram("h", bounds);
+    for &v in values {
+        h.observe(v);
+    }
+    r.snapshot()
+}
+
+#[test]
+fn bucket_counts_are_conserved() {
+    check("bucket_counts_are_conserved", 128, |gen| {
+        let bounds = gen_bounds(gen);
+        let values = gen_values(gen, &bounds);
+        let snap = observe_all(&bounds, &values);
+        let h = snap.histogram("h").expect("histogram registered");
+        assert_eq!(h.buckets.len(), h.bounds.len() + 1, "overflow bucket");
+        assert_eq!(
+            h.buckets.iter().sum::<u64>(),
+            values.len() as u64,
+            "every observation lands in exactly one bucket"
+        );
+        assert_eq!(h.count, values.len() as u64);
+        let expected_sum = values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        assert_eq!(h.sum, expected_sum, "wrapping sum of observations");
+        // Each value sits in the first bucket whose inclusive bound admits
+        // it — recompute the distribution independently.
+        let mut expect = vec![0u64; h.bounds.len() + 1];
+        for &v in &values {
+            let i = h.bounds.partition_point(|&b| b < v);
+            expect[i] += 1;
+        }
+        assert_eq!(h.buckets, expect);
+    });
+}
+
+#[test]
+fn cumulative_series_is_monotone_and_ends_at_count() {
+    check(
+        "cumulative_series_is_monotone_and_ends_at_count",
+        128,
+        |gen| {
+            let bounds = gen_bounds(gen);
+            let values = gen_values(gen, &bounds);
+            let snap = observe_all(&bounds, &values);
+            let h = snap.histogram("h").expect("histogram registered");
+            let cum = h.cumulative();
+            assert!(cum.windows(2).all(|w| w[0] <= w[1]), "monotone: {cum:?}");
+            assert_eq!(cum.last().copied().unwrap_or(0), h.count);
+            // The rendered `le` series is exactly this cumulative sequence.
+            let rendered = snap.render();
+            for (bound, c) in h.bounds.iter().zip(&cum) {
+                let line = format!("h_bucket{{le=\"{bound}\"}} {c}");
+                assert!(rendered.contains(&line), "{line:?} not in:\n{rendered}");
+            }
+            assert!(rendered.contains(&format!("h_bucket{{le=\"+Inf\"}} {}", h.count)));
+        },
+    );
+}
+
+#[test]
+fn merge_of_two_registries_equals_registry_of_concatenation() {
+    check(
+        "merge_of_two_registries_equals_registry_of_concatenation",
+        128,
+        |gen| {
+            let bounds = gen_bounds(gen);
+            let xs = gen_values(gen, &bounds);
+            let ys = gen_values(gen, &bounds);
+            let merged = observe_all(&bounds, &xs)
+                .merge(&observe_all(&bounds, &ys))
+                .expect("same bounds merge cleanly");
+            let mut concat = xs.clone();
+            concat.extend_from_slice(&ys);
+            let direct = observe_all(&bounds, &concat);
+            assert_eq!(merged.render(), direct.render(), "merge homomorphism");
+        },
+    );
+}
+
+#[test]
+fn merge_rejects_mismatched_bucket_bounds() {
+    check("merge_rejects_mismatched_bucket_bounds", 64, |gen| {
+        let bounds = gen_bounds(gen);
+        let mut other = bounds.clone();
+        other.push(bounds.last().copied().unwrap_or(0) + 1 + u64::from(gen.u32_in(0, 10)));
+        let a = observe_all(&bounds, &[1, 2, 3]);
+        let b = observe_all(&other, &[1, 2, 3]);
+        assert!(a.merge(&b).is_err(), "mismatched bounds must not merge");
+    });
+}
