@@ -1,0 +1,189 @@
+//! The findings baseline: legacy violations that are acknowledged,
+//! reasoned about, and expected to burn down — never grow.
+//!
+//! Format, one finding per line:
+//!
+//! ```text
+//! <fingerprint> <lint> <path> # <reason>
+//! ```
+//!
+//! Blank lines and lines starting with `#` are comments. Every entry
+//! *must* carry a reason after the `#` separator — a baseline entry is a
+//! suppression, and suppressions in this workspace always say why.
+//!
+//! [`apply`] splits current findings into fresh (not in the baseline —
+//! these fail the build) and baselined; entries matching no current
+//! finding are *stale* and also fail the build, which is what enforces
+//! the shrink-only rule: fixing a finding forces the entry's removal.
+
+use std::collections::BTreeMap;
+
+use crate::report::Diagnostic;
+
+/// One parsed baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Finding fingerprint (16 hex digits).
+    pub fingerprint: String,
+    /// Lint id, for human readability and drift checks.
+    pub lint: String,
+    /// Repo-relative path, for human readability.
+    pub path: String,
+    /// Why this finding is acceptable for now.
+    pub reason: String,
+}
+
+/// Parses baseline text. Errors name the offending line.
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = i + 1;
+        let (head, reason) = line
+            .split_once('#')
+            .ok_or_else(|| format!("baseline line {lineno}: missing `# <reason>`"))?;
+        let reason = reason.trim();
+        if reason.len() < 3 {
+            return Err(format!(
+                "baseline line {lineno}: entries must carry a substantive reason after `#`"
+            ));
+        }
+        let mut parts = head.split_whitespace();
+        let (Some(fp), Some(lint), Some(path), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "baseline line {lineno}: expected `<fingerprint> <lint> <path> # <reason>`"
+            ));
+        };
+        if fp.len() != 16 || !fp.chars().all(|c| c.is_ascii_hexdigit()) {
+            return Err(format!(
+                "baseline line {lineno}: fingerprint must be 16 hex digits, got {fp:?}"
+            ));
+        }
+        out.push(BaselineEntry {
+            fingerprint: fp.to_string(),
+            lint: lint.to_string(),
+            path: path.to_string(),
+            reason: reason.to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// Result of matching current findings against a baseline.
+pub struct Applied<'a> {
+    /// Findings not covered by the baseline: these fail the build.
+    pub fresh: Vec<&'a Diagnostic>,
+    /// Findings covered by a baseline entry.
+    pub baselined: Vec<&'a Diagnostic>,
+    /// Baseline entries matching no current finding: stale, must be
+    /// removed (the shrink-only rule).
+    pub stale: Vec<&'a BaselineEntry>,
+}
+
+/// Splits `diags` against `entries` by fingerprint.
+pub fn apply<'a>(diags: &'a [Diagnostic], entries: &'a [BaselineEntry]) -> Applied<'a> {
+    let mut by_fp: BTreeMap<&str, &BaselineEntry> = BTreeMap::new();
+    for e in entries {
+        by_fp.insert(&e.fingerprint, e);
+    }
+    let mut fresh = Vec::new();
+    let mut baselined = Vec::new();
+    let mut used: BTreeMap<&str, bool> = entries
+        .iter()
+        .map(|e| (e.fingerprint.as_str(), false))
+        .collect();
+    for d in diags {
+        if by_fp.contains_key(d.fingerprint.as_str()) {
+            baselined.push(d);
+            if let Some(u) = used.get_mut(d.fingerprint.as_str()) {
+                *u = true;
+            }
+        } else {
+            fresh.push(d);
+        }
+    }
+    let stale = entries
+        .iter()
+        .filter(|e| !used.get(e.fingerprint.as_str()).copied().unwrap_or(false))
+        .collect();
+    Applied {
+        fresh,
+        baselined,
+        stale,
+    }
+}
+
+/// Renders findings as baseline lines, using the line snippet as the
+/// placeholder reason — a starting point meant to be hand-edited.
+pub fn render_template(diags: &[Diagnostic]) -> String {
+    let mut out = String::from(
+        "# bestk-analyze baseline — acknowledged findings, shrink-only.\n\
+         # <fingerprint> <lint> <path> # <reason>\n",
+    );
+    for d in diags {
+        out.push_str(&format!(
+            "{} {} {} # TODO: justify — {}\n",
+            d.fingerprint,
+            d.lint,
+            d.path,
+            d.message.replace('\n', " ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(fp: &str, lint: &'static str) -> Diagnostic {
+        let mut d = Diagnostic::new("crates/x/src/a.rs", 1, lint, "m".into());
+        d.fingerprint = fp.to_string();
+        d
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = "# comment\n\n0123456789abcdef0 no-unwrap a.rs # legacy\n";
+        assert!(
+            parse(text).is_err(),
+            "17-digit fingerprint must be rejected"
+        );
+        let text = "0123456789abcdef no-unwrap a.rs # legacy call site\n";
+        let entries = parse(text).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].lint, "no-unwrap");
+        assert_eq!(entries[0].reason, "legacy call site");
+    }
+
+    #[test]
+    fn reasonless_entries_rejected() {
+        assert!(parse("0123456789abcdef no-unwrap a.rs\n").is_err());
+        assert!(parse("0123456789abcdef no-unwrap a.rs #\n").is_err());
+        assert!(parse("0123456789abcdef no-unwrap a.rs # x\n").is_err());
+    }
+
+    #[test]
+    fn apply_splits_fresh_baselined_stale() {
+        let diags = vec![
+            diag("aaaaaaaaaaaaaaaa", "no-unwrap"),
+            diag("bbbbbbbbbbbbbbbb", "no-panic"),
+        ];
+        let entries = parse(
+            "aaaaaaaaaaaaaaaa no-unwrap crates/x/src/a.rs # acknowledged legacy\n\
+             cccccccccccccccc no-panic crates/x/src/b.rs # fixed since then\n",
+        )
+        .unwrap();
+        let a = apply(&diags, &entries);
+        assert_eq!(a.fresh.len(), 1);
+        assert_eq!(a.fresh[0].fingerprint, "bbbbbbbbbbbbbbbb");
+        assert_eq!(a.baselined.len(), 1);
+        assert_eq!(a.stale.len(), 1);
+        assert_eq!(a.stale[0].fingerprint, "cccccccccccccccc");
+    }
+}

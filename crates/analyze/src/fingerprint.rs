@@ -1,0 +1,63 @@
+//! Stable diagnostic fingerprints.
+//!
+//! A fingerprint identifies a finding across reruns and unrelated edits:
+//! it hashes the lint id, the file path, the *trimmed text* of the
+//! offending line, and an occurrence index (for repeated identical lines
+//! in one file) — but **not** the line number, so findings survive code
+//! moving up or down the file. The hash is FNV-1a 64 rendered as 16 hex
+//! digits: tiny, dependency-free, and stable across platforms.
+
+/// FNV-1a 64-bit over `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Fingerprint of one finding: 16 lowercase hex digits.
+pub fn fingerprint(lint: &str, path: &str, snippet: &str, occurrence: usize) -> String {
+    let mut buf = Vec::with_capacity(lint.len() + path.len() + snippet.len() + 24);
+    buf.extend_from_slice(lint.as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(path.as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(snippet.as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(occurrence.to_string().as_bytes());
+    format!("{:016x}", fnv1a64(&buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_across_calls() {
+        let a = fingerprint("no-unwrap", "crates/x/src/a.rs", "x.unwrap();", 0);
+        let b = fingerprint("no-unwrap", "crates/x/src/a.rs", "x.unwrap();", 0);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn inputs_separate() {
+        let base = fingerprint("no-unwrap", "a.rs", "x.unwrap();", 0);
+        assert_ne!(base, fingerprint("no-panic", "a.rs", "x.unwrap();", 0));
+        assert_ne!(base, fingerprint("no-unwrap", "b.rs", "x.unwrap();", 0));
+        assert_ne!(base, fingerprint("no-unwrap", "a.rs", "y.unwrap();", 0));
+        assert_ne!(base, fingerprint("no-unwrap", "a.rs", "x.unwrap();", 1));
+    }
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a 64 of the empty string is the offset basis.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,120 @@
+//! Machine-readable JSON report.
+//!
+//! Hand-rolled rendering (the workspace is dependency-free) with a
+//! deterministic layout: findings sorted by (path, line, lint,
+//! fingerprint), summary counts name-sorted, stable key order. Two runs
+//! over the same tree produce byte-identical output — CI diffs the
+//! artifact and the determinism test asserts it.
+
+use std::collections::BTreeMap;
+
+use crate::report::Diagnostic;
+
+/// Escapes a string for a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the JSON report. `baselined` marks fingerprints covered by the
+/// baseline file (empty set when no baseline is in play).
+pub fn render(
+    diags: &[Diagnostic],
+    files_checked: usize,
+    baselined: &std::collections::BTreeSet<String>,
+) -> String {
+    let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
+    sorted.sort_by(|a, b| {
+        (&a.path, a.line, a.lint, &a.fingerprint).cmp(&(&b.path, b.line, b.lint, &b.fingerprint))
+    });
+    let mut by_lint: BTreeMap<&str, usize> = BTreeMap::new();
+    for d in diags {
+        *by_lint.entry(d.lint).or_insert(0) += 1;
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"files_checked\": {files_checked},\n"));
+    out.push_str("  \"findings\": [");
+    for (i, d) in sorted.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"fingerprint\": \"{}\", \"lint\": \"{}\", \"path\": \"{}\", \"line\": {}, \"baselined\": {}, \"message\": \"{}\"}}",
+            escape(&d.fingerprint),
+            escape(d.lint),
+            escape(&d.path),
+            d.line,
+            baselined.contains(&d.fingerprint),
+            escape(&d.message),
+        ));
+    }
+    out.push_str(if sorted.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str("  \"summary\": {");
+    for (i, (lint, count)) in by_lint.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!("    \"{}\": {count}", escape(lint)));
+    }
+    out.push_str(if by_lint.is_empty() { "}\n" } else { "\n  }\n" });
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn diag(path: &str, line: usize, lint: &'static str, fp: &str) -> Diagnostic {
+        let mut d = Diagnostic::new(path, line, lint, "msg \"quoted\"".into());
+        d.fingerprint = fp.to_string();
+        d
+    }
+
+    #[test]
+    fn renders_sorted_and_escaped() {
+        let diags = vec![
+            diag("b.rs", 1, "no-panic", "bbbbbbbbbbbbbbbb"),
+            diag("a.rs", 2, "no-unwrap", "aaaaaaaaaaaaaaaa"),
+        ];
+        let mut base = BTreeSet::new();
+        base.insert("aaaaaaaaaaaaaaaa".to_string());
+        let j = render(&diags, 2, &base);
+        let a_pos = j.find("a.rs").unwrap();
+        let b_pos = j.find("b.rs").unwrap();
+        assert!(a_pos < b_pos);
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.contains("\"baselined\": true"));
+        assert!(j.contains("\"baselined\": false"));
+        assert!(j.contains("\"no-panic\": 1"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let diags = vec![diag("a.rs", 1, "no-unwrap", "aaaaaaaaaaaaaaaa")];
+        let empty = BTreeSet::new();
+        assert_eq!(render(&diags, 1, &empty), render(&diags, 1, &empty));
+    }
+
+    #[test]
+    fn empty_report_shape() {
+        let j = render(&[], 5, &BTreeSet::new());
+        assert!(j.contains("\"findings\": []"));
+        assert!(j.contains("\"summary\": {}"));
+    }
+}

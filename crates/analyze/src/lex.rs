@@ -1,0 +1,484 @@
+//! The Rust lexer underneath every analysis pass.
+//!
+//! [`lex`] turns a source file into a stream of [`Token`]s whose byte
+//! spans *tile* the input exactly: every byte of the file belongs to
+//! exactly one token, so `tokens.map(|t| &src[t.start..t.end]).concat()`
+//! reproduces the source verbatim (the round-trip property the lexer
+//! tests pin). Comments and whitespace are kept as trivia tokens — the
+//! allow-directive parser reads comment tokens, and everything else
+//! filters down to the significant tokens.
+//!
+//! The lexer understands the token shapes that used to defeat the old
+//! line-blanking scanner: nested block comments, raw strings with any
+//! hash depth (`r#".."#`, `br##".."##`), byte strings and byte chars,
+//! char literals vs. lifetime ticks, raw identifiers (`r#type`), and
+//! float/int literals with suffixes. It is still a lexer, not a parser:
+//! macro bodies lex like ordinary code, which is exactly what the policy
+//! passes want.
+
+/// The lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace (may span newlines).
+    Whitespace,
+    /// A `//`-style comment up to (not including) the newline. Doc
+    /// comments (`///`, `//!`) are line comments whose text says so.
+    LineComment,
+    /// A `/* ... */` comment, nesting handled; may span lines.
+    BlockComment,
+    /// An identifier or keyword; raw identifiers (`r#type`) keep their
+    /// `r#` prefix in the token text.
+    Ident,
+    /// A lifetime tick such as `'a` (not a char literal).
+    Lifetime,
+    /// An integer or float literal, suffix included (`1_000u64`, `2.5e-3`).
+    Number,
+    /// A `"..."` or `b"..."` string literal, escapes handled.
+    Str,
+    /// A raw string literal (`r".."`, `r#".."#`, `br".."`, any hash depth).
+    RawStr,
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// A single punctuation byte (`.`, `:`, `+`, `{`, ...). Multi-byte
+    /// operators arrive as consecutive `Punct` tokens.
+    Punct(u8),
+    /// Any byte the lexer does not classify (stray non-ASCII outside
+    /// literals, for instance). Kept so spans still tile the file.
+    Unknown,
+}
+
+/// One lexed token: kind plus the byte span and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// True for bytes that may start an identifier.
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+/// True for bytes that may continue an identifier.
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream whose spans tile the input.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            self.out.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, tracking line numbers.
+    fn bump(&mut self) {
+        if self.src[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let b = self.src[self.pos];
+        if b.is_ascii_whitespace() {
+            while self.peek(0).is_some_and(|c| c.is_ascii_whitespace()) {
+                self.bump();
+            }
+            return TokenKind::Whitespace;
+        }
+        if b == b'/' && self.peek(1) == Some(b'/') {
+            while self.peek(0).is_some_and(|c| c != b'\n') {
+                self.bump();
+            }
+            return TokenKind::LineComment;
+        }
+        if b == b'/' && self.peek(1) == Some(b'*') {
+            self.bump_n(2);
+            let mut depth = 1u32;
+            while depth > 0 && self.pos < self.src.len() {
+                if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                    depth -= 1;
+                    self.bump_n(2);
+                } else if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                    depth += 1;
+                    self.bump_n(2);
+                } else {
+                    self.bump();
+                }
+            }
+            return TokenKind::BlockComment;
+        }
+        if b == b'"' {
+            self.bump();
+            self.consume_str_body();
+            return TokenKind::Str;
+        }
+        if b == b'\'' {
+            if let Some(len) = self.char_literal_len(self.pos) {
+                self.bump_n(len);
+                return TokenKind::Char;
+            }
+            // A lifetime tick: `'` then an identifier.
+            self.bump();
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            return TokenKind::Lifetime;
+        }
+        // Prefixed literals and raw identifiers: r".."/br".."/b".."/b'x'/r#id.
+        if b == b'r' || b == b'b' {
+            if let Some((hashes, open_len)) = self.raw_string_open(self.pos) {
+                self.bump_n(open_len);
+                self.consume_raw_str_body(hashes);
+                return TokenKind::RawStr;
+            }
+            if b == b'b' && self.peek(1) == Some(b'"') {
+                self.bump_n(2);
+                self.consume_str_body();
+                return TokenKind::Str;
+            }
+            if b == b'b' && self.peek(1) == Some(b'\'') {
+                if let Some(len) = self.char_literal_len(self.pos + 1) {
+                    self.bump_n(1 + len);
+                    return TokenKind::Char;
+                }
+            }
+            if b == b'r' && self.peek(1) == Some(b'#') && self.peek(2).is_some_and(is_ident_start) {
+                self.bump_n(2);
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                return TokenKind::Ident;
+            }
+        }
+        if is_ident_start(b) {
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            return TokenKind::Ident;
+        }
+        if b.is_ascii_digit() {
+            self.consume_number();
+            return TokenKind::Number;
+        }
+        if b.is_ascii_punctuation() {
+            self.bump();
+            return TokenKind::Punct(b);
+        }
+        self.bump();
+        TokenKind::Unknown
+    }
+
+    /// Consumes a (non-raw) string body after the opening quote.
+    fn consume_str_body(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == b'\\' {
+                self.bump();
+                if self.peek(0).is_some() {
+                    self.bump(); // the escaped byte (may be `"` or `\`)
+                }
+            } else if c == b'"' {
+                self.bump();
+                return;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes a raw string body opened with `hashes` hashes.
+    fn consume_raw_str_body(&mut self, hashes: u32) {
+        let h = hashes as usize;
+        while let Some(c) = self.peek(0) {
+            if c == b'"' && (1..=h).all(|i| self.peek(i) == Some(b'#')) {
+                self.bump_n(1 + h);
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes an int/float literal with optional exponent and suffix.
+    fn consume_number(&mut self) {
+        // Leading digits (hex/oct/bin prefixes lex as digit+idents chars).
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            // `1e-5` / `2E+3`: the sign belongs to the literal only when a
+            // digit follows it.
+            let c = self.src[self.pos];
+            self.bump();
+            if (c == b'e' || c == b'E')
+                && self.peek(0).is_some_and(|s| s == b'+' || s == b'-')
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && self.number_has_dot_or_digits_only()
+            {
+                self.bump(); // the sign
+            }
+        }
+        // A fractional part: `.` followed by a digit (so `0..n` stays a
+        // range, and `1.` followed by a method call stays an int).
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+            {
+                let c = self.src[self.pos];
+                self.bump();
+                if (c == b'e' || c == b'E')
+                    && self.peek(0).is_some_and(|s| s == b'+' || s == b'-')
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// True if the bytes consumed so far for the current number are plain
+    /// digits/underscores — guards `0xE-1` (hex arithmetic) against being
+    /// read as an exponent.
+    fn number_has_dot_or_digits_only(&self) -> bool {
+        // Walk back over the current literal; a `0x`/`0o`/`0b` prefix means
+        // `e`/`E` is a hex digit, not an exponent marker.
+        let mut i = self.pos;
+        while i > 0 {
+            let c = self.src[i - 1];
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
+                i -= 1;
+            } else {
+                break;
+            }
+        }
+        !(self.src[i..self.pos].starts_with(b"0x")
+            || self.src[i..self.pos].starts_with(b"0o")
+            || self.src[i..self.pos].starts_with(b"0b"))
+    }
+
+    /// Recognizes a char literal at byte offset `at` (`'x'`, `'\n'`,
+    /// `'\u{1F600}'`); returns its byte length, or `None` for a lifetime.
+    fn char_literal_len(&self, at: usize) -> Option<usize> {
+        let bytes = &self.src[at..];
+        if bytes.first() != Some(&b'\'') {
+            return None;
+        }
+        if bytes.get(1) == Some(&b'\\') {
+            // The byte after the backslash is consumed even if it is a
+            // quote (`'\''`); the closer is searched from index 3 on.
+            for (j, &b) in bytes.iter().enumerate().skip(3).take(12) {
+                if b == b'\'' {
+                    return Some(j + 1);
+                }
+            }
+            return None;
+        }
+        // Unescaped: exactly one char (possibly multi-byte) then a quote.
+        let s = std::str::from_utf8(bytes).ok()?;
+        let mut chars = s.char_indices().skip(1);
+        let (_, c) = chars.next()?;
+        if c == '\'' {
+            return None; // `''` is not a char literal
+        }
+        let (close_at, close) = chars.next()?;
+        (close == '\'').then_some(close_at + 1)
+    }
+
+    /// Recognizes a raw-string opener at `at` (`r`, `br`, hashes, `"`);
+    /// returns (hash count, opener byte length).
+    fn raw_string_open(&self, at: usize) -> Option<(u32, usize)> {
+        let bytes = &self.src[at..];
+        let mut i = 0usize;
+        if bytes.first() == Some(&b'b') {
+            i += 1;
+        }
+        if bytes.get(i) != Some(&b'r') {
+            return None;
+        }
+        i += 1;
+        let mut hashes = 0u32;
+        while bytes.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        if bytes.get(i) == Some(&b'"') {
+            Some((hashes, i + 1))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> Vec<Token> {
+        let tokens = lex(src);
+        let rebuilt: String = tokens.iter().map(|t| t.text(src)).collect();
+        assert_eq!(rebuilt, src, "token spans must tile the source");
+        for w in tokens.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "spans must be contiguous");
+        }
+        tokens
+    }
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        roundtrip(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_punct() {
+        let ts = kinds("fn f(x: u32) -> usize { x as usize }");
+        assert_eq!(ts[0], TokenKind::Ident);
+        assert!(ts.contains(&TokenKind::Punct(b'{')));
+        assert!(ts.contains(&TokenKind::Punct(b'>')));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = "let s = \"panic! .unwrap() as u32\"; let t = 1;";
+        let ts = roundtrip(src);
+        let strs: Vec<_> = ts.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text(src).contains("panic!"));
+        // No Ident token carries the string's words.
+        assert!(!ts
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text(src) == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        roundtrip("let a = r#\"quote \" inside .unwrap()\"#;");
+        roundtrip("let b = \"esc \\\" .expect(\";");
+        roundtrip("let c = br##\"double ## hash\"##;");
+        let ts = lex("r#\"x\"# y");
+        assert_eq!(ts[0].kind, TokenKind::RawStr);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = '\\''; let d = 'x'; let e = b'z'; }";
+        let ts = roundtrip(src);
+        let lifetimes = ts.iter().filter(|t| t.kind == TokenKind::Lifetime).count();
+        let chars = ts.iter().filter(|t| t.kind == TokenKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_whole() {
+        let src = "let r#type = 1; r#type.lock();";
+        let ts = roundtrip(src);
+        let raws: Vec<_> = ts
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident && t.text(src) == "r#type")
+            .collect();
+        assert_eq!(raws.len(), 2);
+    }
+
+    #[test]
+    fn numbers_with_suffixes_ranges_and_exponents() {
+        let src = "let a = 1_000u64; let b = 2.5e-3; for i in 0..n {} let c = 0xE; let d = 1.0;";
+        let ts = roundtrip(src);
+        let nums: Vec<&str> = ts
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(nums, vec!["1_000u64", "2.5e-3", "0", "0xE", "1.0"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* one /* two */ still */ let x = 3;";
+        let ts = roundtrip(src);
+        assert_eq!(ts[0].kind, TokenKind::BlockComment);
+        assert!(ts[0].text(src).ends_with("still */"));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let src = "a\nb\n  c";
+        let ts = lex(src);
+        let by_text: Vec<(String, u32)> = ts
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.text(src).to_string(), t.line))
+            .collect();
+        assert_eq!(
+            by_text,
+            vec![("a".into(), 1), ("b".into(), 2), ("c".into(), 3)]
+        );
+    }
+
+    #[test]
+    fn unterminated_forms_still_tile() {
+        for src in [
+            "let s = \"unterminated",
+            "let s = r#\"open",
+            "/* never closed",
+            "'",
+        ] {
+            roundtrip(src);
+        }
+    }
+}

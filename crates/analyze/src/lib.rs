@@ -1,15 +1,27 @@
 //! # bestk-analyze
 //!
-//! A source-level static-analysis pass that enforces the workspace's
-//! reliability contract (`DESIGN.md` §"Lint policy"): crate roots forbid
+//! A dependency-free, token-level static analysis engine enforcing the
+//! workspace's reliability contract (`DESIGN.md` §13): crate roots forbid
 //! `unsafe`, library code never unwraps or panics, truncating integer
-//! casts go through the blessed `bestk_graph::cast` helpers, and every
-//! module is documented.
+//! casts go through the blessed `bestk_graph::cast` helpers, locks are
+//! never held across I/O or `bestk_exec` dispatch, hash-container
+//! iteration and unordered float reduction stay out of output paths, and
+//! hot-path degree/offset/budget arithmetic is overflow-checked.
 //!
-//! It is deliberately *lexical*: [`source::SourceModel`] blanks comments
-//! and string literals and tracks `#[cfg(test)]` regions, then
-//! [`lints::check_file`] pattern-matches over the surviving code. No
-//! `syn`, no rustc internals — the checker builds offline in under a
+//! Architecture, bottom up:
+//!
+//! * [`lex`] — a spanned Rust lexer whose tokens tile the source exactly;
+//! * [`model`] — the per-file token model: significant-token view,
+//!   `#[cfg(test)]` regions, allow-directive tables;
+//! * [`lints`] — the token-sequence pattern lints;
+//! * [`passes`] — per-file determinism and arithmetic passes;
+//! * [`facts`] — per-file structural facts plus the cross-file
+//!   lock-discipline pass (call-graph fixpoint, lock-order graph);
+//! * [`fingerprint`] / [`baseline`] / [`json`] — stable finding
+//!   identities, the shrink-only baseline workflow, and the
+//!   machine-readable report.
+//!
+//! No `syn`, no rustc internals — the checker builds offline in under a
 //! second and its false-positive escape hatch is an explicit, reasoned
 //! `// bestk-analyze: allow(<lint>) — <reason>` comment that is itself
 //! linted.
@@ -22,33 +34,102 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod facts;
+pub mod fingerprint;
+pub mod json;
+pub mod lex;
 pub mod lints;
+pub mod model;
+pub mod passes;
 pub mod report;
-pub mod source;
 pub mod walk;
 
+use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
 pub use report::Diagnostic;
 
-/// Runs the full lint pass over the workspace rooted at `root`.
+/// Full result of a workspace analysis run.
+pub struct Report {
+    /// All findings, sorted by (path, line, lint, message), fingerprinted.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of source files walked.
+    pub files_checked: usize,
+}
+
+/// Runs the full analysis over the workspace rooted at `root`.
 ///
-/// Returns the diagnostics plus the number of files checked. Integration
-/// tests and benches (`tests/`, `benches/` trees) are held only to the
-/// `module-doc` and `bad-allow` rules — they are test code, where unwraps
-/// and panics are the assertion mechanism.
+/// Returns the diagnostics plus the number of files checked — the legacy
+/// tuple shape; [`run_report`] is the richer entry point.
 pub fn run(root: &Path) -> io::Result<(Vec<Diagnostic>, usize)> {
+    let r = run_report(root)?;
+    Ok((r.diagnostics, r.files_checked))
+}
+
+/// Runs the full analysis over the workspace rooted at `root`.
+///
+/// Each file is lexed once; the pattern lints and per-file passes run
+/// over the shared [`model::FileModel`], structural facts are extracted,
+/// and the cross-file lock-discipline pass runs over the aggregated
+/// facts. Integration tests and benches (`tests/`, `benches/` trees) are
+/// held only to the `module-doc` and `bad-allow` rules — they are test
+/// code, where unwraps and panics are the assertion mechanism — and do
+/// not contribute facts.
+pub fn run_report(root: &Path) -> io::Result<Report> {
     let files = walk::discover(root)?;
     let mut diags = Vec::new();
+    let mut all_facts = Vec::new();
+    // Trimmed line text per (path, line), for fingerprinting.
+    let mut snippets: BTreeMap<(String, usize), String> = BTreeMap::new();
+
     for file in &files {
         let text = std::fs::read_to_string(&file.abs_path)?;
+        let model = model::FileModel::parse(&text);
         let role = lints::classify(&file.rel_path);
-        let mut file_diags = lints::check_file(&file.rel_path, role, &text);
+
+        let mut file_diags = lints::check_model(&file.rel_path, role, &model);
         if file.is_integration_test {
             file_diags.retain(|d| d.lint == "module-doc" || d.lint == "bad-allow");
+        } else {
+            file_diags.extend(passes::check_determinism(&file.rel_path, &model));
+            file_diags.extend(passes::check_arith(&file.rel_path, &model));
+            all_facts.push(facts::extract(&file.rel_path, &model));
+        }
+        for d in &file_diags {
+            let line = u32::try_from(d.line).unwrap_or(u32::MAX);
+            snippets.insert((d.path.clone(), d.line), model.line_text(line).to_string());
+        }
+        // Cross-file diagnostics may anchor to any line of this file.
+        for (i, line) in text.lines().enumerate() {
+            snippets
+                .entry((file.rel_path.clone(), i + 1))
+                .or_insert_with(|| line.trim().to_string());
         }
         diags.extend(file_diags);
     }
-    Ok((diags, files.len()))
+
+    diags.extend(facts::aggregate(&all_facts));
+
+    // Deterministic order, then occurrence-indexed fingerprints.
+    diags.sort_by(|a, b| {
+        (&a.path, a.line, a.lint, &a.message).cmp(&(&b.path, b.line, b.lint, &b.message))
+    });
+    let mut occurrence: BTreeMap<(String, &'static str, String), usize> = BTreeMap::new();
+    for d in &mut diags {
+        let snippet = snippets
+            .get(&(d.path.clone(), d.line))
+            .cloned()
+            .unwrap_or_default();
+        let key = (d.path.clone(), d.lint, snippet.clone());
+        let occ = occurrence.entry(key).or_insert(0);
+        d.fingerprint = fingerprint::fingerprint(d.lint, &d.path, &snippet, *occ);
+        *occ += 1;
+    }
+
+    Ok(Report {
+        diagnostics: diags,
+        files_checked: files.len(),
+    })
 }

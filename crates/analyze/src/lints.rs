@@ -1,4 +1,4 @@
-//! The policy lints and their evaluation over a [`SourceModel`].
+//! The policy lints and their evaluation over a [`FileModel`].
 //!
 //! The lints encode the workspace contract (see `DESIGN.md` §"Lint
 //! policy"):
@@ -15,6 +15,11 @@
 //! | `no-raw-instant` | no `Instant::now(` outside `crates/obs` (timing goes through the injectable `bestk_obs` clock) |
 //! | `module-doc` | every source file opens with a `//!` module doc |
 //!
+//! The deeper analysis families — lock discipline, determinism, hot-path
+//! arithmetic — live in [`crate::passes`] and [`crate::facts`]; this
+//! module holds the single-token-sequence lints plus the lint registry
+//! (`LINTS`) every pass shares.
+//!
 //! Suppressions are explicit and carry a reason:
 //!
 //! * `// bestk-analyze: allow(<lint>) — <reason>` on the offending line or
@@ -26,8 +31,8 @@
 //!
 //! bestk-analyze: allow-file(bad-allow) — these docs quote the directive syntax
 
+use crate::model::FileModel;
 use crate::report::Diagnostic;
-use crate::source::SourceModel;
 
 /// Stable lint identifiers (the names used in allow comments).
 pub const LINTS: &[(&str, &str)] = &[
@@ -71,6 +76,38 @@ pub const LINTS: &[(&str, &str)] = &[
         "bad-allow",
         "allow comments must name a known lint and give a reason",
     ),
+    (
+        "lock-order",
+        "mutex acquisition order forms a cycle across the workspace (potential deadlock)",
+    ),
+    (
+        "lock-nested",
+        "lock acquired while another guard is live; scope the first guard tighter or document the order",
+    ),
+    (
+        "lock-held-io",
+        "lock guard held across file/network I/O; move the I/O outside the critical section",
+    ),
+    (
+        "lock-held-dispatch",
+        "lock guard held across bestk_exec dispatch; release the guard before fanning out",
+    ),
+    (
+        "nondet-iter",
+        "iteration over HashMap/HashSet in non-test code; use BTreeMap/BTreeSet or sort before use",
+    ),
+    (
+        "float-reduce",
+        "unordered float accumulation outside bestk-exec's ordered merge; reduce in a fixed order",
+    ),
+    (
+        "raw-atomic",
+        "raw atomics outside crates/obs and crates/exec; route through the policed seams or document the invariant",
+    ),
+    (
+        "unchecked-arith",
+        "unchecked add/sub/mul on degree/offset/budget values in a hot crate; use checked_/wrapping_/saturating_ or document overflow-freedom",
+    ),
 ];
 
 /// True if `name` is a known lint id.
@@ -108,115 +145,48 @@ pub fn classify(path: &str) -> FileRole {
     }
 }
 
-/// Parsed allow comment: the lint it suppresses and whether it is
-/// file-wide.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Allow {
-    lint: String,
-    file_wide: bool,
-    has_reason: bool,
-}
-
-/// Extracts every `bestk-analyze:` directive from a comment string.
-fn parse_allows(comment: &str) -> Vec<Allow> {
-    let mut out = Vec::new();
-    let mut rest = comment;
-    while let Some(pos) = rest.find("bestk-analyze:") {
-        rest = &rest[pos + "bestk-analyze:".len()..];
-        let directive = rest.trim_start();
-        let file_wide = directive.starts_with("allow-file(");
-        let keyword = if file_wide { "allow-file(" } else { "allow(" };
-        if let Some(body) = directive.strip_prefix(keyword) {
-            if let Some(close) = body.find(')') {
-                let lint = body[..close].trim().to_string();
-                let tail = &body[close + 1..];
-                // A reason is anything substantive after a dash separator.
-                let has_reason = tail
-                    .trim_start()
-                    .trim_start_matches(['—', '-', ':'])
-                    .trim()
-                    .len()
-                    >= 3;
-                out.push(Allow {
-                    lint,
-                    file_wide,
-                    has_reason,
-                });
-            }
-        }
-    }
-    out
-}
-
-/// Runs every lint over one file. `path` is the repo-relative path used in
-/// diagnostics; `role` comes from [`classify`].
+/// Runs the pattern lints over one file. `path` is the repo-relative path
+/// used in diagnostics; `role` comes from [`classify`]. Parses the file
+/// itself — the workspace driver parses once and calls [`check_model`].
 pub fn check_file(path: &str, role: FileRole, text: &str) -> Vec<Diagnostic> {
-    let model = SourceModel::parse(text);
+    let model = FileModel::parse(text);
+    check_model(path, role, &model)
+}
+
+/// Runs the pattern lints over an already-parsed [`FileModel`].
+pub fn check_model(path: &str, role: FileRole, m: &FileModel<'_>) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
 
-    // Collect suppressions first: per-line and file-wide. Malformed
-    // directives are gathered and only reported afterwards, so that a
-    // file-wide `allow-file(bad-allow)` can exempt documentation that
-    // *quotes* the directive syntax (this crate's own docs, notably).
-    let mut file_allows: Vec<String> = Vec::new();
-    let mut line_allows: Vec<Vec<String>> = vec![Vec::new(); model.lines.len()];
-    let mut bad_allows: Vec<Diagnostic> = Vec::new();
-    for (i, line) in model.lines.iter().enumerate() {
-        for allow in parse_allows(&line.comment) {
-            if !is_known_lint(&allow.lint) {
-                bad_allows.push(Diagnostic::new(
-                    path,
-                    i + 1,
-                    "bad-allow",
-                    format!("allow names unknown lint {:?}", allow.lint),
-                ));
-                continue;
-            }
-            if !allow.has_reason {
-                bad_allows.push(Diagnostic::new(
-                    path,
-                    i + 1,
-                    "bad-allow",
-                    format!("allow({}) must state a reason after a dash", allow.lint),
-                ));
-                continue;
-            }
-            if allow.file_wide {
-                file_allows.push(allow.lint);
-            } else {
-                // Applies to its own line and the next line (the common
-                // "comment above the offending statement" placement).
-                line_allows[i].push(allow.lint.clone());
-                if i + 1 < line_allows.len() {
-                    line_allows[i + 1].push(allow.lint);
-                }
-            }
-        }
-    }
-    if !file_allows.iter().any(|l| l == "bad-allow") {
-        diags.extend(bad_allows);
-    }
-    let allowed = |lint: &str, line: usize| {
-        file_allows.iter().any(|l| l == lint) || line_allows[line].iter().any(|l| l == lint)
-    };
-
-    // module-doc: the first lines of the file must include a `//!` doc.
-    if role != FileRole::CrateRoot || !text.is_empty() {
-        let has_doc = model.lines.iter().take(30).any(|l| l.is_module_doc);
-        if !has_doc && !file_allows.iter().any(|l| l == "module-doc") {
+    // Malformed allow directives, unless the file exempts documentation
+    // that *quotes* the directive syntax (this crate's own docs, notably).
+    if !m.allows.allowed_file_wide("bad-allow") {
+        for (line, msg) in &m.bad_allows {
             diags.push(Diagnostic::new(
                 path,
-                1,
-                "module-doc",
-                "file has no `//!` module documentation".to_string(),
+                *line as usize,
+                "bad-allow",
+                msg.clone(),
             ));
         }
     }
 
-    // forbid-unsafe: crate roots must carry the attribute.
+    // module-doc: the first lines of the file must include a `//!` doc.
+    if (role != FileRole::CrateRoot || !m.src.is_empty())
+        && !m.has_module_doc
+        && !m.allows.allowed_file_wide("module-doc")
+    {
+        diags.push(Diagnostic::new(
+            path,
+            1,
+            "module-doc",
+            "file has no `//!` module documentation".to_string(),
+        ));
+    }
+
+    // forbid-unsafe: crate roots must carry the inner attribute.
     if role == FileRole::CrateRoot
-        && !text.contains("#![forbid(unsafe_code)]")
-        && !file_allows.iter().any(|l| l == "forbid-unsafe")
+        && !has_forbid_unsafe(m)
+        && !m.allows.allowed_file_wide("forbid-unsafe")
     {
         diags.push(Diagnostic::new(
             path,
@@ -241,98 +211,133 @@ pub fn check_file(path: &str, role: FileRole, text: &str) -> Vec<Diagnostic> {
     // read stays swappable for the deterministic manual clock.
     let instant_exempt = path.starts_with("crates/obs/");
 
-    // Pattern lints over blanked code, skipping test regions.
-    for (i, line) in model.lines.iter().enumerate() {
-        if line.in_test {
+    let mut push = |lint: &'static str, line: u32, msg: String| {
+        diags.push(Diagnostic::new(path, line as usize, lint, msg));
+    };
+
+    for i in 0..m.len() {
+        if m.sig_in_test(i) {
             continue;
         }
-        let code = &line.code;
-        for (needle, lint, what) in [
-            (".unwrap()", "no-unwrap", "`.unwrap()`"),
-            (".expect(", "no-unwrap", "`.expect()`"),
-            ("panic!", "no-panic", "`panic!`"),
-            ("todo!", "no-panic", "`todo!`"),
-            ("unimplemented!", "no-panic", "`unimplemented!`"),
-        ] {
-            if code.contains(needle) && !allowed(lint, i) {
-                diags.push(Diagnostic::new(
-                    path,
-                    i + 1,
-                    lint,
-                    format!("{what} in non-test code (propagate the error or add an allow comment with a reason)"),
-                ));
-            }
-        }
-        if !exec_exempt && !allowed("no-raw-thread", i) {
-            for (needle, what) in [
-                ("thread::spawn(", "`thread::spawn`"),
-                ("thread::scope(", "`thread::scope`"),
-            ] {
-                if code.contains(needle) {
-                    diags.push(Diagnostic::new(
-                        path,
-                        i + 1,
-                        "no-raw-thread",
-                        format!(
-                            "{what} outside crates/exec (route parallelism through bestk_exec::ExecPolicy)"
-                        ),
+        let line = m.line(i);
+        let allowed = |lint: &str| m.allows.allowed(lint, line);
+
+        // `.unwrap()` / `.expect(` method calls.
+        if m.is_punct(i, b'.') && m.is_punct(i + 2, b'(') {
+            let what = match m.ident(i + 1) {
+                Some("unwrap") => Some("`.unwrap()`"),
+                Some("expect") => Some("`.expect()`"),
+                _ => None,
+            };
+            if let Some(what) = what {
+                if !allowed("no-unwrap") {
+                    push("no-unwrap", line, format!(
+                        "{what} in non-test code (propagate the error or add an allow comment with a reason)"
                     ));
                 }
             }
         }
-        if !net_exempt && !allowed("no-raw-net", i) {
-            for (needle, what) in [
-                ("std::net", "`std::net`"),
-                ("TcpListener", "`TcpListener`"),
-                ("TcpStream", "`TcpStream`"),
-            ] {
-                if code.contains(needle) {
-                    diags.push(Diagnostic::new(
-                        path,
-                        i + 1,
-                        "no-raw-net",
-                        format!(
-                            "{what} outside crates/engine (route serving through bestk_engine::serve)"
-                        ),
+
+        // `panic!` / `todo!` / `unimplemented!` macro invocations.
+        if m.is_punct(i + 1, b'!') {
+            let what = match m.ident(i) {
+                Some("panic") => Some("`panic!`"),
+                Some("todo") => Some("`todo!`"),
+                Some("unimplemented") => Some("`unimplemented!`"),
+                _ => None,
+            };
+            if let Some(what) = what {
+                if !allowed("no-panic") {
+                    push("no-panic", line, format!(
+                        "{what} in non-test code (propagate the error or add an allow comment with a reason)"
                     ));
                 }
             }
         }
-        if !failpoint_exempt && !allowed("no-raw-failpoint", i) {
-            for (needle, what) in [
-                ("install_plan(", "`install_plan`"),
-                ("clear_plan(", "`clear_plan`"),
-            ] {
-                if code.contains(needle) {
-                    diags.push(Diagnostic::new(
-                        path,
-                        i + 1,
-                        "no-raw-failpoint",
-                        format!(
-                            "{what} outside crates/faults (inject faults via the bestk_faults helpers)"
-                        ),
+
+        // `thread::spawn(` / `thread::scope(`.
+        if !exec_exempt
+            && m.is_ident(i, "thread")
+            && m.is_punct(i + 1, b':')
+            && m.is_punct(i + 2, b':')
+            && m.is_punct(i + 4, b'(')
+        {
+            let what = match m.ident(i + 3) {
+                Some("spawn") => Some("`thread::spawn`"),
+                Some("scope") => Some("`thread::scope`"),
+                _ => None,
+            };
+            if let Some(what) = what {
+                if !allowed("no-raw-thread") {
+                    push("no-raw-thread", line, format!(
+                        "{what} outside crates/exec (route parallelism through bestk_exec::ExecPolicy)"
                     ));
                 }
             }
         }
-        if !instant_exempt && !allowed("no-raw-instant", i) && code.contains("Instant::now(") {
-            diags.push(Diagnostic::new(
-                path,
-                i + 1,
+
+        // `std::net` paths and the socket type names themselves.
+        if !net_exempt && !allowed("no-raw-net") {
+            if m.is_ident(i, "std")
+                && m.is_punct(i + 1, b':')
+                && m.is_punct(i + 2, b':')
+                && m.is_ident(i + 3, "net")
+            {
+                push(
+                    "no-raw-net",
+                    line,
+                    "`std::net` outside crates/engine (route serving through bestk_engine::serve)"
+                        .to_string(),
+                );
+            }
+            if let Some(name @ ("TcpListener" | "TcpStream")) = m.ident(i) {
+                push(
+                    "no-raw-net",
+                    line,
+                    format!(
+                    "`{name}` outside crates/engine (route serving through bestk_engine::serve)"
+                ),
+                );
+            }
+        }
+
+        // `install_plan(` / `clear_plan(`.
+        if !failpoint_exempt && m.is_punct(i + 1, b'(') {
+            if let Some(name @ ("install_plan" | "clear_plan")) = m.ident(i) {
+                if !allowed("no-raw-failpoint") {
+                    push("no-raw-failpoint", line, format!(
+                        "`{name}` outside crates/faults (inject faults via the bestk_faults helpers)"
+                    ));
+                }
+            }
+        }
+
+        // `Instant::now(`.
+        if !instant_exempt
+            && m.is_ident(i, "Instant")
+            && m.is_punct(i + 1, b':')
+            && m.is_punct(i + 2, b':')
+            && m.is_ident(i + 3, "now")
+            && m.is_punct(i + 4, b'(')
+            && !allowed("no-raw-instant")
+        {
+            push(
                 "no-raw-instant",
+                line,
                 "`Instant::now` outside crates/obs (read time through the bestk_obs clock)"
                     .to_string(),
-            ));
+            );
         }
-        if role != FileRole::CastModule && !allowed("no-raw-cast", i) {
-            for target in NARROWING_TARGETS {
-                if has_cast_to(code, target) {
-                    diags.push(Diagnostic::new(
-                        path,
-                        i + 1,
+
+        // Truncating `as` casts.
+        if role != FileRole::CastModule && m.is_ident(i, "as") {
+            if let Some(target) = m.ident(i + 1) {
+                if NARROWING_TARGETS.contains(&target) && !allowed("no-raw-cast") {
+                    push(
                         "no-raw-cast",
+                        line,
                         format!("truncating `as {target}` cast (use bestk_graph::cast helpers)"),
-                    ));
+                    );
                 }
             }
         }
@@ -340,27 +345,18 @@ pub fn check_file(path: &str, role: FileRole, text: &str) -> Vec<Diagnostic> {
     diags
 }
 
-/// Detects `as <target>` as a token sequence: `as` must stand alone and
-/// the target must end at a word boundary (so `as u32` hits but `as u64`
-/// does not hit the `u8`-check, etc.).
-fn has_cast_to(code: &str, target: &str) -> bool {
-    let mut rest = code;
-    while let Some(pos) = rest.find(" as ") {
-        let after = &rest[pos + 4..];
-        let tail = after.trim_start();
-        if let Some(after_target) = tail.strip_prefix(target) {
-            let boundary = after_target
-                .chars()
-                .next()
-                .map(|c| !c.is_alphanumeric() && c != '_')
-                .unwrap_or(true);
-            if boundary {
-                return true;
-            }
-        }
-        rest = &rest[pos + 4..];
-    }
-    false
+/// True when the significant token stream contains `#![forbid(unsafe_code)]`.
+fn has_forbid_unsafe(m: &FileModel<'_>) -> bool {
+    (0..m.len()).any(|i| {
+        m.is_punct(i, b'#')
+            && m.is_punct(i + 1, b'!')
+            && m.is_punct(i + 2, b'[')
+            && m.is_ident(i + 3, "forbid")
+            && m.is_punct(i + 4, b'(')
+            && m.is_ident(i + 5, "unsafe_code")
+            && m.is_punct(i + 6, b')')
+            && m.is_punct(i + 7, b']')
+    })
 }
 
 #[cfg(test)]
@@ -397,6 +393,14 @@ mod tests {
     #[test]
     fn unwrap_in_string_or_comment_is_fine() {
         let src = format!("{DOC}// .unwrap() here\nlet s = \".unwrap()\";\n");
+        assert!(check_file("a.rs", FileRole::Library, &src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_raw_string_is_fine() {
+        // The old line-blanking scanner special-cased this; the lexer gets
+        // it for free, hash depth and all.
+        let src = format!("{DOC}let s = r#\"x.unwrap() and panic!\"#;\nlet t = br\"todo!()\";\n");
         assert!(check_file("a.rs", FileRole::Library, &src).is_empty());
     }
 

@@ -1,25 +1,39 @@
 //! CLI entry point for `bestk-analyze`.
 //!
 //! ```text
-//! bestk-analyze check [--root <dir>]     run the lint pass (default root: cwd)
-//! bestk-analyze lints                    list the lints and what they enforce
+//! bestk-analyze check [--root <dir>] [--json] [--baseline <file>]
+//! bestk-analyze baseline [--root <dir>]
+//! bestk-analyze lints
 //! ```
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+//! `check` runs the full analysis. With `--baseline`, findings whose
+//! fingerprints appear in the baseline file are tolerated; fresh findings
+//! and *stale* baseline entries (entries matching nothing — the baseline
+//! only shrinks) fail the run. With `--json` the machine-readable report
+//! goes to stdout and the human summary to stderr.
+//!
+//! `baseline` prints current findings in baseline format with placeholder
+//! reasons, as a starting point for hand-editing — entries are only valid
+//! once a real reason replaces the placeholder.
+//!
+//! Exit codes: 0 clean, 1 violations or stale baseline, 2 usage or I/O
+//! error.
 
 #![forbid(unsafe_code)]
 
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-bestk-analyze — workspace lint pass for the bestk repository
+bestk-analyze — workspace static analysis for the bestk repository
 
 USAGE:
-    bestk-analyze check [--root <dir>]
+    bestk-analyze check [--root <dir>] [--json] [--baseline <file>]
+    bestk-analyze baseline [--root <dir>]
     bestk-analyze lints
 
-Exit codes: 0 = clean, 1 = violations, 2 = usage or I/O error.
+Exit codes: 0 = clean, 1 = violations or stale baseline, 2 = usage or I/O error.
 ";
 
 fn main() -> ExitCode {
@@ -33,6 +47,12 @@ fn main() -> ExitCode {
     }
 }
 
+struct CheckOpts {
+    root: PathBuf,
+    json: bool,
+    baseline: Option<PathBuf>,
+}
+
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = args.first() else {
         eprint!("{USAGE}");
@@ -40,22 +60,21 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     };
     match cmd.as_str() {
         "check" => {
-            let root = parse_root(&args[1..])?;
-            if !root.is_dir() {
-                return Err(format!("root {} is not a directory", root.display()));
-            }
-            let (diags, files) = bestk_analyze::run(&root)
-                .map_err(|e| format!("walking {}: {e}", root.display()))?;
-            print!("{}", bestk_analyze::report::render(&diags, files));
-            Ok(if diags.is_empty() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(1)
-            })
+            let opts = parse_check(&args[1..])?;
+            check(&opts)
+        }
+        "baseline" => {
+            let opts = parse_check(&args[1..])?;
+            let report = analyze(&opts.root)?;
+            print!(
+                "{}",
+                bestk_analyze::baseline::render_template(&report.diagnostics)
+            );
+            Ok(ExitCode::SUCCESS)
         }
         "lints" => {
             for (id, what) in bestk_analyze::lints::LINTS {
-                println!("{id:14} {what}");
+                println!("{id:20} {what}");
             }
             Ok(ExitCode::SUCCESS)
         }
@@ -67,20 +86,97 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
-/// Parses `--root <dir>` / `--root=<dir>`; defaults to the current
-/// directory, which is the workspace root under `cargo run -p`.
-fn parse_root(args: &[String]) -> Result<PathBuf, String> {
-    let mut root: Option<PathBuf> = None;
+fn analyze(root: &std::path::Path) -> Result<bestk_analyze::Report, String> {
+    if !root.is_dir() {
+        return Err(format!("root {} is not a directory", root.display()));
+    }
+    bestk_analyze::run_report(root).map_err(|e| format!("walking {}: {e}", root.display()))
+}
+
+fn check(opts: &CheckOpts) -> Result<ExitCode, String> {
+    let report = analyze(&opts.root)?;
+
+    let entries = match &opts.baseline {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading baseline {}: {e}", path.display()))?;
+            bestk_analyze::baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?
+        }
+        None => Vec::new(),
+    };
+    let applied = bestk_analyze::baseline::apply(&report.diagnostics, &entries);
+    let baselined_fps: BTreeSet<String> = applied
+        .baselined
+        .iter()
+        .map(|d| d.fingerprint.clone())
+        .collect();
+
+    if opts.json {
+        print!(
+            "{}",
+            bestk_analyze::json::render(&report.diagnostics, report.files_checked, &baselined_fps)
+        );
+    }
+
+    // Human-readable view: fresh findings only (stderr under --json).
+    let fresh: Vec<bestk_analyze::Diagnostic> =
+        applied.fresh.iter().map(|d| (*d).clone()).collect();
+    let mut human = bestk_analyze::report::render(&fresh, report.files_checked);
+    if !applied.baselined.is_empty() {
+        human.push_str(&format!(
+            "bestk-analyze: {} baselined finding{} tolerated\n",
+            applied.baselined.len(),
+            if applied.baselined.len() == 1 {
+                ""
+            } else {
+                "s"
+            },
+        ));
+    }
+    for e in &applied.stale {
+        human.push_str(&format!(
+            "bestk-analyze: stale baseline entry {} {} {} (finding is gone — remove the line; the baseline only shrinks)\n",
+            e.fingerprint, e.lint, e.path
+        ));
+    }
+    if opts.json {
+        eprint!("{human}");
+    } else {
+        print!("{human}");
+    }
+
+    Ok(if applied.fresh.is_empty() && applied.stale.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+/// Parses `check`/`baseline` flags: `--root <dir>`, `--json`,
+/// `--baseline <file>` (with `=` forms).
+fn parse_check(args: &[String]) -> Result<CheckOpts, String> {
+    let mut opts = CheckOpts {
+        root: PathBuf::from("."),
+        json: false,
+        baseline: None,
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(v) = a.strip_prefix("--root=") {
-            root = Some(PathBuf::from(v));
+            opts.root = PathBuf::from(v);
         } else if a == "--root" {
             let v = it.next().ok_or("--root needs a value")?;
-            root = Some(PathBuf::from(v));
+            opts.root = PathBuf::from(v);
+        } else if let Some(v) = a.strip_prefix("--baseline=") {
+            opts.baseline = Some(PathBuf::from(v));
+        } else if a == "--baseline" {
+            let v = it.next().ok_or("--baseline needs a value")?;
+            opts.baseline = Some(PathBuf::from(v));
+        } else if a == "--json" {
+            opts.json = true;
         } else {
             return Err(format!("unknown argument {a:?}"));
         }
     }
-    Ok(root.unwrap_or_else(|| PathBuf::from(".")))
+    Ok(opts)
 }

@@ -1,0 +1,373 @@
+//! Per-file token model shared by every lint and analysis pass.
+//!
+//! [`FileModel::parse`] lexes a file once and precomputes the views the
+//! passes need: the *significant* token sequence (comments and whitespace
+//! filtered out), a parallel `#[cfg(test)]`-region flag per significant
+//! token, the allow-directive tables, and the module-doc bit. Passes
+//! match token sequences against the significant view — string literals
+//! and comments can no longer impersonate code, which is what retired the
+//! old line-blanking `SourceModel` and its substring hacks.
+//!
+//! bestk-analyze: allow-file(bad-allow) — these docs quote the directive syntax
+
+use std::collections::BTreeMap;
+
+use crate::lex::{lex, Token, TokenKind};
+use crate::lints::is_known_lint;
+
+/// Suppression tables for one file: file-wide allows plus per-line allows
+/// (an `allow(<lint>)` covers its own line and the next).
+#[derive(Debug, Default, Clone)]
+pub struct AllowTable {
+    file_wide: Vec<String>,
+    by_line: BTreeMap<u32, Vec<String>>,
+}
+
+impl AllowTable {
+    /// True if `lint` is suppressed at 1-based `line`.
+    pub fn allowed(&self, lint: &str, line: u32) -> bool {
+        self.file_wide.iter().any(|l| l == lint)
+            || self
+                .by_line
+                .get(&line)
+                .is_some_and(|ls| ls.iter().any(|l| l == lint))
+    }
+
+    /// True if `lint` is suppressed for the whole file.
+    pub fn allowed_file_wide(&self, lint: &str) -> bool {
+        self.file_wide.iter().any(|l| l == lint)
+    }
+}
+
+/// Parsed allow comment: the lint it suppresses and whether it is
+/// file-wide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Lint id named in the directive.
+    pub lint: String,
+    /// True for `allow-file(...)`.
+    pub file_wide: bool,
+    /// True when substantive text follows the dash separator.
+    pub has_reason: bool,
+}
+
+/// Extracts every `bestk-analyze:` directive from a comment string.
+pub fn parse_allows(comment: &str) -> Vec<Allow> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("bestk-analyze:") {
+        rest = &rest[pos + "bestk-analyze:".len()..];
+        let directive = rest.trim_start();
+        let file_wide = directive.starts_with("allow-file(");
+        let keyword = if file_wide { "allow-file(" } else { "allow(" };
+        if let Some(body) = directive.strip_prefix(keyword) {
+            if let Some(close) = body.find(')') {
+                let lint = body[..close].trim().to_string();
+                let tail = &body[close + 1..];
+                // A reason is anything substantive after a dash separator.
+                let has_reason = tail
+                    .trim_start()
+                    .trim_start_matches(['—', '-', ':'])
+                    .trim()
+                    .len()
+                    >= 3;
+                out.push(Allow {
+                    lint,
+                    file_wide,
+                    has_reason,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// One file, lexed and indexed for the passes.
+pub struct FileModel<'a> {
+    /// The source text the tokens span.
+    pub src: &'a str,
+    /// Every token, trivia included; spans tile `src`.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of the significant (non-trivia) tokens.
+    pub sig: Vec<usize>,
+    /// Parallel to `sig`: token sits inside a `#[cfg(test)]` region.
+    pub in_test: Vec<bool>,
+    /// Allow-directive tables parsed from comment tokens.
+    pub allows: AllowTable,
+    /// Malformed directives: (line, message) pairs for `bad-allow`.
+    pub bad_allows: Vec<(u32, String)>,
+    /// True when a `//!` or `/*!` doc appears within the first 30 lines.
+    pub has_module_doc: bool,
+}
+
+impl<'a> FileModel<'a> {
+    /// Lexes and indexes `src`.
+    pub fn parse(src: &'a str) -> FileModel<'a> {
+        let tokens = lex(src);
+        let mut sig = Vec::with_capacity(tokens.len());
+        let mut has_module_doc = false;
+        let mut allows = AllowTable::default();
+        let mut bad_allows = Vec::new();
+
+        for (i, t) in tokens.iter().enumerate() {
+            match t.kind {
+                TokenKind::Whitespace => {}
+                TokenKind::LineComment | TokenKind::BlockComment => {
+                    let text = t.text(src);
+                    if t.line <= 30 && (text.starts_with("//!") || text.starts_with("/*!")) {
+                        has_module_doc = true;
+                    }
+                    for allow in parse_allows(text) {
+                        if !is_known_lint(&allow.lint) {
+                            bad_allows.push((
+                                t.line,
+                                format!("allow names unknown lint {:?}", allow.lint),
+                            ));
+                            continue;
+                        }
+                        if !allow.has_reason {
+                            bad_allows.push((
+                                t.line,
+                                format!("allow({}) must state a reason after a dash", allow.lint),
+                            ));
+                            continue;
+                        }
+                        if allow.file_wide {
+                            allows.file_wide.push(allow.lint);
+                        } else {
+                            // Covers its own line and the next (the common
+                            // "comment above the offending statement" shape).
+                            allows
+                                .by_line
+                                .entry(t.line)
+                                .or_default()
+                                .push(allow.lint.clone());
+                            allows
+                                .by_line
+                                .entry(t.line + 1)
+                                .or_default()
+                                .push(allow.lint);
+                        }
+                    }
+                }
+                _ => sig.push(i),
+            }
+        }
+
+        let in_test = test_regions(&tokens, &sig, src);
+        FileModel {
+            src,
+            tokens,
+            sig,
+            in_test,
+            allows,
+            bad_allows,
+            has_module_doc,
+        }
+    }
+
+    /// Number of significant tokens.
+    pub fn len(&self) -> usize {
+        self.sig.len()
+    }
+
+    /// True when the file has no significant tokens.
+    pub fn is_empty(&self) -> bool {
+        self.sig.is_empty()
+    }
+
+    /// The `i`-th significant token.
+    pub fn tok(&self, i: usize) -> &Token {
+        &self.tokens[self.sig[i]]
+    }
+
+    /// Text of the `i`-th significant token.
+    pub fn text(&self, i: usize) -> &'a str {
+        self.tok(i).text(self.src)
+    }
+
+    /// 1-based line of the `i`-th significant token.
+    pub fn line(&self, i: usize) -> u32 {
+        self.tok(i).line
+    }
+
+    /// True if significant token `i` exists and is the punct byte `b`.
+    pub fn is_punct(&self, i: usize, b: u8) -> bool {
+        i < self.sig.len() && self.tok(i).kind == TokenKind::Punct(b)
+    }
+
+    /// True if significant token `i` exists and is the identifier `name`.
+    pub fn is_ident(&self, i: usize, name: &str) -> bool {
+        i < self.sig.len() && self.tok(i).kind == TokenKind::Ident && self.text(i) == name
+    }
+
+    /// The identifier text at significant token `i`, if it is one.
+    pub fn ident(&self, i: usize) -> Option<&'a str> {
+        (i < self.sig.len() && self.tok(i).kind == TokenKind::Ident).then(|| self.text(i))
+    }
+
+    /// True if the `i`-th significant token is inside `#[cfg(test)]` code.
+    pub fn sig_in_test(&self, i: usize) -> bool {
+        self.in_test[i]
+    }
+
+    /// The source line text containing 1-based `line`, trimmed — the
+    /// snippet that goes into diagnostic fingerprints.
+    pub fn line_text(&self, line: u32) -> &'a str {
+        self.src
+            .split('\n')
+            .nth(line.saturating_sub(1) as usize)
+            .unwrap_or("")
+            .trim()
+    }
+}
+
+/// Computes the `#[cfg(test)]` flag for each significant token: an
+/// attribute whose bracket group mentions both `cfg` and `test` marks the
+/// next braced block (attr and header tokens stay *outside* the region;
+/// the block body is inside).
+fn test_regions(tokens: &[Token], sig: &[usize], src: &str) -> Vec<bool> {
+    let mut in_test = vec![false; sig.len()];
+    let mut depth = 0u32;
+    let mut regions: Vec<u32> = Vec::new(); // stack of depths owning a test region
+    let mut pending = false;
+
+    let text = |si: usize| tokens[sig[si]].text(src);
+    let kind = |si: usize| tokens[sig[si]].kind;
+
+    let mut i = 0usize;
+    while i < sig.len() {
+        match kind(i) {
+            TokenKind::Punct(b'#') => {
+                // `#[...]` or `#![...]`: scan the bracket group.
+                let mut j = i + 1;
+                if j < sig.len() && kind(j) == TokenKind::Punct(b'!') {
+                    j += 1;
+                }
+                if j < sig.len() && kind(j) == TokenKind::Punct(b'[') {
+                    let mut bdepth = 0u32;
+                    let (mut saw_cfg, mut saw_test) = (false, false);
+                    while j < sig.len() {
+                        match kind(j) {
+                            TokenKind::Punct(b'[') => bdepth += 1,
+                            TokenKind::Punct(b']') => {
+                                bdepth -= 1;
+                                if bdepth == 0 {
+                                    break;
+                                }
+                            }
+                            TokenKind::Ident => {
+                                let t = text(j);
+                                saw_cfg |= t == "cfg";
+                                saw_test |= t == "test";
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if saw_cfg && saw_test {
+                        pending = true;
+                    }
+                    // Attribute tokens keep the surrounding region's flag.
+                    let inside = !regions.is_empty();
+                    let last = j.min(sig.len() - 1);
+                    for slot in in_test.iter_mut().take(last + 1).skip(i) {
+                        *slot = inside;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                in_test[i] = !regions.is_empty();
+            }
+            TokenKind::Punct(b'{') => {
+                in_test[i] = !regions.is_empty() || pending;
+                depth += 1;
+                if pending {
+                    regions.push(depth);
+                    pending = false;
+                }
+            }
+            TokenKind::Punct(b'}') => {
+                in_test[i] = !regions.is_empty();
+                if let Some(&top) = regions.last() {
+                    if depth == top {
+                        regions.pop();
+                    }
+                }
+                depth = depth.saturating_sub(1);
+            }
+            TokenKind::Punct(b';') => {
+                // `#[cfg(test)] use ...;` — the item ended without a block.
+                in_test[i] = !regions.is_empty() || pending;
+                pending = false;
+            }
+            _ => {
+                in_test[i] = !regions.is_empty() || pending;
+            }
+        }
+        i += 1;
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sig_skips_trivia() {
+        let m = FileModel::parse("//! doc\nlet x = 1; // trailing\n");
+        let texts: Vec<_> = (0..m.len()).map(|i| m.text(i)).collect();
+        assert_eq!(texts, vec!["let", "x", "=", "1", ";"]);
+        assert!(m.has_module_doc);
+    }
+
+    #[test]
+    fn test_region_flags_body_only() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn live2() {}\n";
+        let m = FileModel::parse(src);
+        let flag_of = |name: &str| {
+            (0..m.len())
+                .find(|&i| m.text(i) == name)
+                .map(|i| m.sig_in_test(i))
+                .unwrap()
+        };
+        assert!(!flag_of("live"));
+        assert!(flag_of("unwrap"));
+        assert!(!flag_of("live2"));
+    }
+
+    #[test]
+    fn cfg_test_on_single_item_without_block() {
+        let src = "#[cfg(test)]\nuse helpers::gate;\nfn live() { x.unwrap(); }\n";
+        let m = FileModel::parse(src);
+        let i = (0..m.len()).find(|&i| m.text(i) == "unwrap").unwrap();
+        assert!(!m.sig_in_test(i), "pending flag must clear at the `;`");
+    }
+
+    #[test]
+    fn allow_tables_cover_own_and_next_line() {
+        let src =
+            "//! d\n// bestk-analyze: allow(no-unwrap) — reasoned\nx.unwrap();\ny.unwrap();\n";
+        let m = FileModel::parse(src);
+        assert!(m.allows.allowed("no-unwrap", 2));
+        assert!(m.allows.allowed("no-unwrap", 3));
+        assert!(!m.allows.allowed("no-unwrap", 4));
+        assert!(m.bad_allows.is_empty());
+    }
+
+    #[test]
+    fn malformed_allows_are_collected() {
+        let src = "//! d\n// bestk-analyze: allow(no-unwrap)\n// bestk-analyze: allow(no-such) — reason here\n";
+        let m = FileModel::parse(src);
+        assert_eq!(m.bad_allows.len(), 2);
+        assert!(m.bad_allows[0].1.contains("must state a reason"));
+        assert!(m.bad_allows[1].1.contains("unknown lint"));
+    }
+
+    #[test]
+    fn line_text_trims() {
+        let m = FileModel::parse("a\n   let x = 1;   \n");
+        assert_eq!(m.line_text(2), "let x = 1;");
+    }
+}

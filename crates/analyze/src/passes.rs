@@ -1,0 +1,564 @@
+//! Per-file determinism and hot-path arithmetic passes.
+//!
+//! These passes run over the [`FileModel`] token stream alongside the
+//! pattern lints:
+//!
+//! * `nondet-iter` — iteration over a `HashMap`/`HashSet` binding.
+//!   Membership tests and lookups are fine (hash containers are good at
+//!   that); *iteration order* is what leaks randomness into output, so
+//!   `.iter()`, `.keys()`, `.values()`, `.drain()`, `.into_iter()` and
+//!   `for _ in map` on a known hash binding are flagged.
+//! * `float-reduce` — float accumulation whose order is not pinned:
+//!   `.sum::<f32/f64>()`, `.product::<..>()`, a bare `.sum()` in a
+//!   float-annotated `let`, or `.fold(0.0, ..)`. Outside `crates/exec`
+//!   (whose ordered merge is the blessed reduction point), float
+//!   reductions must state their order or carry a reasoned allow.
+//! * `raw-atomic` — `Atomic*` types and `fetch_*`/`compare_exchange`
+//!   calls outside `crates/obs` and `crates/exec`. Ad-hoc atomics are
+//!   how nondeterminism sneaks past the exec seam; a reasoned allow
+//!   documents the disjoint-write or monotone invariant instead.
+//! * `unchecked-arith` — raw `+`/`-`/`*` (and compound forms) where an
+//!   operand is degree/offset/budget-named, inside the hot crates
+//!   (`graph`, `core`, `engine`). Overflow there corrupts results
+//!   silently in release builds; use `checked_`/`saturating_`/
+//!   `wrapping_` or document why overflow is impossible.
+
+use crate::model::FileModel;
+use crate::report::Diagnostic;
+
+/// Hash-container methods whose results depend on iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Atomic type names confined to the policed crates.
+const ATOMIC_TYPES: &[&str] = &[
+    "AtomicBool",
+    "AtomicUsize",
+    "AtomicIsize",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+];
+
+/// Atomic read-modify-write method names.
+const ATOMIC_METHODS: &[&str] = &[
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "fetch_max",
+    "fetch_min",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Identifiers that end an operand search (keywords that can precede a
+/// unary `-`/`*`/`&` without being an operand).
+const NON_OPERAND_KEYWORDS: &[&str] = &[
+    "return", "if", "else", "match", "in", "as", "while", "loop", "break", "continue", "let",
+    "mut", "move", "ref", "for", "where", "impl", "dyn", "fn",
+];
+
+/// Runs the determinism passes (`nondet-iter`, `float-reduce`,
+/// `raw-atomic`) over one file.
+pub fn check_determinism(path: &str, m: &FileModel<'_>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    nondet_iter(path, m, &mut diags);
+    if !path.starts_with("crates/exec/") {
+        float_reduce(path, m, &mut diags);
+    }
+    if !path.starts_with("crates/obs/") && !path.starts_with("crates/exec/") {
+        raw_atomic(path, m, &mut diags);
+    }
+    diags
+}
+
+/// Flags iteration over `HashMap`/`HashSet` bindings.
+fn nondet_iter(path: &str, m: &FileModel<'_>, diags: &mut Vec<Diagnostic>) {
+    let names = hash_bindings(m);
+    if names.is_empty() {
+        return;
+    }
+    for i in 0..m.len() {
+        if m.sig_in_test(i) {
+            continue;
+        }
+        let Some(name) = m.ident(i) else { continue };
+        if !names.iter().any(|n| n == name) {
+            continue;
+        }
+        let line = m.line(i);
+        if m.allows.allowed("nondet-iter", line) {
+            continue;
+        }
+        // `name.iter()` / `.keys()` / ... — an order-dependent method.
+        if m.is_punct(i + 1, b'.') && m.is_punct(i + 3, b'(') {
+            if let Some(method) = m.ident(i + 2) {
+                if ITER_METHODS.contains(&method) {
+                    diags.push(Diagnostic::new(
+                        path,
+                        line as usize,
+                        "nondet-iter",
+                        format!(
+                            "iterating hash container `{name}` via `.{method}()` (order is nondeterministic; use a BTree container or sort first)"
+                        ),
+                    ));
+                    continue;
+                }
+            }
+        }
+        // `for pat in [&[mut]] name` — direct iteration.
+        let mut k = i;
+        while k > 0 && (m.is_punct(k - 1, b'&') || m.is_ident(k - 1, "mut")) {
+            k -= 1;
+        }
+        if k > 0 && m.is_ident(k - 1, "in") {
+            diags.push(Diagnostic::new(
+                path,
+                line as usize,
+                "nondet-iter",
+                format!(
+                    "iterating hash container `{name}` in a for-loop (order is nondeterministic; use a BTree container or sort first)"
+                ),
+            ));
+        }
+    }
+}
+
+/// Names bound to `HashMap`/`HashSet` in this file: `let` bindings,
+/// struct fields, and fn parameters with a hash-typed annotation.
+fn hash_bindings(m: &FileModel<'_>) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..m.len() {
+        if !(m.is_ident(i, "HashMap") || m.is_ident(i, "HashSet")) {
+            continue;
+        }
+        // Walk back to the statement/field boundary.
+        let mut b = i;
+        let mut steps = 0;
+        while b > 0 && steps < 64 {
+            let p = b - 1;
+            if m.is_punct(p, b';')
+                || m.is_punct(p, b'{')
+                || m.is_punct(p, b'}')
+                || m.is_punct(p, b',')
+                || m.is_punct(p, b'(')
+            {
+                break;
+            }
+            b = p;
+            steps += 1;
+        }
+        // `let [mut] name` ...
+        if m.is_ident(b, "let") {
+            let mut n = b + 1;
+            if m.is_ident(n, "mut") {
+                n += 1;
+            }
+            if let Some(name) = m.ident(n) {
+                if name != "_" {
+                    names.push(name.to_string());
+                }
+            }
+            continue;
+        }
+        // `[pub] name: HashMap<..>` — a field or parameter.
+        let mut n = b;
+        if m.is_ident(n, "pub") {
+            n += 1;
+        }
+        if let Some(name) = m.ident(n) {
+            if m.is_punct(n + 1, b':') && !m.is_punct(n + 2, b':') {
+                names.push(name.to_string());
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Flags float reductions whose order is not pinned.
+fn float_reduce(path: &str, m: &FileModel<'_>, diags: &mut Vec<Diagnostic>) {
+    for i in 0..m.len() {
+        if m.sig_in_test(i) || !m.is_punct(i, b'.') {
+            continue;
+        }
+        let Some(method) = m.ident(i + 1) else {
+            continue;
+        };
+        let line = m.line(i + 1);
+        if m.allows.allowed("float-reduce", line) {
+            continue;
+        }
+        match method {
+            "sum" | "product" => {
+                // Turbofish: `.sum::<f64>()`.
+                if m.is_punct(i + 2, b':')
+                    && m.is_punct(i + 3, b':')
+                    && m.is_punct(i + 4, b'<')
+                    && (m.is_ident(i + 5, "f32") || m.is_ident(i + 5, "f64"))
+                {
+                    diags.push(Diagnostic::new(
+                        path,
+                        line as usize,
+                        "float-reduce",
+                        format!(
+                            "float `.{method}::<{}>()` accumulates in iterator order (pin the order or route through bestk-exec's ordered merge)",
+                            m.text(i + 5)
+                        ),
+                    ));
+                    continue;
+                }
+                // Bare `.sum()` inside a float-annotated let statement.
+                if m.is_punct(i + 2, b'(') && statement_mentions_float_let(m, i) {
+                    diags.push(Diagnostic::new(
+                        path,
+                        line as usize,
+                        "float-reduce",
+                        format!(
+                            "float `.{method}()` accumulates in iterator order (pin the order or route through bestk-exec's ordered merge)"
+                        ),
+                    ));
+                }
+            }
+            // `.fold(0.0, ..)` — a float seed marks a float reduce.
+            "fold" if m.is_punct(i + 2, b'(') => {
+                let seed = i + 3;
+                if seed < m.len() {
+                    let t = m.text(seed);
+                    let is_float_lit = matches!(m.tok(seed).kind, crate::lex::TokenKind::Number)
+                        && (t.contains('.') || t.ends_with("f32") || t.ends_with("f64"));
+                    if is_float_lit {
+                        diags.push(Diagnostic::new(
+                            path,
+                            line as usize,
+                            "float-reduce",
+                            "float `.fold(..)` accumulates in iterator order (pin the order or route through bestk-exec's ordered merge)".to_string(),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// True when the statement containing significant index `i` is a `let`
+/// with an `f32`/`f64` mention before the reduce call.
+fn statement_mentions_float_let(m: &FileModel<'_>, i: usize) -> bool {
+    let mut b = i;
+    let mut steps = 0;
+    while b > 0 && steps < 64 {
+        let p = b - 1;
+        if m.is_punct(p, b';') || m.is_punct(p, b'{') || m.is_punct(p, b'}') {
+            break;
+        }
+        b = p;
+        steps += 1;
+    }
+    let mut saw_let = false;
+    let mut saw_float = false;
+    for k in b..i {
+        if m.is_ident(k, "let") {
+            saw_let = true;
+        }
+        if m.is_ident(k, "f32") || m.is_ident(k, "f64") {
+            saw_float = true;
+        }
+    }
+    saw_let && saw_float
+}
+
+/// Flags raw atomic types and RMW calls outside the policed crates.
+fn raw_atomic(path: &str, m: &FileModel<'_>, diags: &mut Vec<Diagnostic>) {
+    for i in 0..m.len() {
+        if m.sig_in_test(i) {
+            continue;
+        }
+        if let Some(name) = m.ident(i) {
+            if ATOMIC_TYPES.contains(&name) {
+                let line = m.line(i);
+                if !m.allows.allowed("raw-atomic", line) {
+                    diags.push(Diagnostic::new(
+                        path,
+                        line as usize,
+                        "raw-atomic",
+                        format!(
+                            "`{name}` outside crates/obs and crates/exec (route through the policed seams or document the invariant)"
+                        ),
+                    ));
+                }
+                continue;
+            }
+        }
+        if m.is_punct(i, b'.') && m.is_punct(i + 2, b'(') {
+            if let Some(method) = m.ident(i + 1) {
+                if ATOMIC_METHODS.contains(&method) {
+                    let line = m.line(i + 1);
+                    if !m.allows.allowed("raw-atomic", line) {
+                        diags.push(Diagnostic::new(
+                            path,
+                            line as usize,
+                            "raw-atomic",
+                            format!(
+                                "atomic `.{method}()` outside crates/obs and crates/exec (route through the policed seams or document the invariant)"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs the hot-path arithmetic pass (`unchecked-arith`) over one file.
+/// Only the crates where degree/offset/budget overflow corrupts results
+/// are in scope.
+pub fn check_arith(path: &str, m: &FileModel<'_>) -> Vec<Diagnostic> {
+    let hot = path.starts_with("crates/graph/")
+        || path.starts_with("crates/core/")
+        || path.starts_with("crates/engine/");
+    if !hot {
+        return Vec::new();
+    }
+    let mut diags = Vec::new();
+    for i in 0..m.len() {
+        if m.sig_in_test(i) {
+            continue;
+        }
+        let op = match m.tok(i).kind {
+            crate::lex::TokenKind::Punct(b'+') => '+',
+            crate::lex::TokenKind::Punct(b'-') => '-',
+            crate::lex::TokenKind::Punct(b'*') => '*',
+            _ => continue,
+        };
+        // `->` is not arithmetic.
+        if op == '-' && m.is_punct(i + 1, b'>') {
+            continue;
+        }
+        let compound = m.is_punct(i + 1, b'=');
+        // Binary only: the previous token must be an operand tail.
+        let Some(left) = (i > 0).then(|| operand_left(m, i - 1)).flatten() else {
+            continue;
+        };
+        let right_at = if compound { i + 2 } else { i + 1 };
+        let right = operand_right(m, right_at);
+        let watched = |n: &str| {
+            let n = n.to_ascii_lowercase();
+            n.contains("deg") || n.contains("offset") || n.contains("budget")
+        };
+        let name = if watched(left) {
+            Some(left)
+        } else {
+            right.filter(|r| watched(r))
+        };
+        if let Some(name) = name {
+            let line = m.line(i);
+            if !m.allows.allowed("unchecked-arith", line) {
+                diags.push(Diagnostic::new(
+                    path,
+                    line as usize,
+                    "unchecked-arith",
+                    format!(
+                        "unchecked `{op}{}` on `{name}` (use checked_/saturating_/wrapping_ or add a reasoned allow)",
+                        if compound { "=" } else { "" }
+                    ),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// The identifier naming the left operand of a binary op whose last token
+/// sits at `i`; `None` when `i` cannot end an operand (so the op is
+/// unary) or the operand has no usable name.
+fn operand_left<'a>(m: &'a FileModel<'_>, i: usize) -> Option<&'a str> {
+    use crate::lex::TokenKind;
+    match m.tok(i).kind {
+        TokenKind::Ident => {
+            let t = m.text(i);
+            (!NON_OPERAND_KEYWORDS.contains(&t)).then_some(t)
+        }
+        TokenKind::Number => Some(""), // an operand, but unnamed
+        TokenKind::Punct(b']') => {
+            // `xs[k] + ..` — name the indexed base.
+            let mut depth = 0i32;
+            let mut j = i;
+            loop {
+                if m.is_punct(j, b']') {
+                    depth += 1;
+                } else if m.is_punct(j, b'[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    return Some("");
+                }
+                j -= 1;
+            }
+            (j > 0).then(|| m.ident(j - 1)).flatten().or(Some(""))
+        }
+        TokenKind::Punct(b')') => Some(""), // parenthesized operand, unnamed
+        _ => None,
+    }
+}
+
+/// The identifier naming the right operand starting at `i`.
+fn operand_right<'a>(m: &'a FileModel<'_>, mut i: usize) -> Option<&'a str> {
+    while m.is_punct(i, b'&') || m.is_ident(i, "mut") {
+        i += 1;
+    }
+    let name = m.ident(i)?;
+    (!NON_OPERAND_KEYWORDS.contains(&name)).then_some(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(path: &str, src: &str) -> Vec<Diagnostic> {
+        check_determinism(path, &FileModel::parse(src))
+    }
+
+    fn arith(path: &str, src: &str) -> Vec<Diagnostic> {
+        check_arith(path, &FileModel::parse(src))
+    }
+
+    fn lints_of(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.lint).collect()
+    }
+
+    #[test]
+    fn hashmap_iteration_fires() {
+        let src = "//! d\nfn f() {\n    let mut m: HashMap<u32, u32> = HashMap::new();\n    for (k, v) in &m { use_it(k, v); }\n}\n";
+        let d = det("crates/x/src/a.rs", src);
+        assert_eq!(lints_of(&d), vec!["nondet-iter"]);
+        let src =
+            "//! d\nfn f(m: &HashMap<u32, u32>) -> Vec<u32> { m.keys().copied().collect() }\n";
+        let d = det("crates/x/src/a.rs", src);
+        assert_eq!(lints_of(&d), vec!["nondet-iter"]);
+    }
+
+    #[test]
+    fn hashmap_lookup_is_fine() {
+        let src = "//! d\nfn f() {\n    let mut m: HashMap<u32, u32> = HashMap::new();\n    m.insert(1, 2);\n    let _ = m.get(&1);\n    let _ = m.contains_key(&1);\n}\n";
+        assert!(det("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn btreemap_iteration_is_fine() {
+        let src =
+            "//! d\nfn f(m: &BTreeMap<u32, u32>) {\n    for (k, v) in m { use_it(k, v); }\n}\n";
+        assert!(det("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_sum_turbofish_fires() {
+        let src = "//! d\nfn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n";
+        let d = det("crates/x/src/a.rs", src);
+        assert_eq!(lints_of(&d), vec!["float-reduce"]);
+    }
+
+    #[test]
+    fn float_let_sum_fires() {
+        let src = "//! d\nfn f(xs: &[f64]) {\n    let total: f64 = xs.iter().sum();\n    let _ = total;\n}\n";
+        let d = det("crates/x/src/a.rs", src);
+        assert_eq!(lints_of(&d), vec!["float-reduce"]);
+    }
+
+    #[test]
+    fn float_fold_fires_and_int_sum_is_fine() {
+        let src = "//! d\nfn f(xs: &[f64]) -> f64 { xs.iter().fold(0.0, |a, b| a.max(*b)) }\n";
+        let d = det("crates/x/src/a.rs", src);
+        assert_eq!(lints_of(&d), vec!["float-reduce"]);
+        let src = "//! d\nfn g(xs: &[usize]) -> usize { xs.iter().sum::<usize>() }\n";
+        assert!(det("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_sum_in_exec_is_blessed() {
+        let src = "//! d\nfn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n";
+        assert!(det("crates/exec/src/merge.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_atomic_fires_outside_policed_crates() {
+        let src = "//! d\nuse std::sync::atomic::AtomicUsize;\n";
+        let d = det("crates/graph/src/a.rs", src);
+        assert_eq!(lints_of(&d), vec!["raw-atomic"]);
+        let src = "//! d\nfn f(c: &C) { c.n.fetch_add(1, Ordering::Relaxed); }\n";
+        let d = det("crates/graph/src/a.rs", src);
+        assert_eq!(lints_of(&d), vec!["raw-atomic"]);
+    }
+
+    #[test]
+    fn raw_atomic_in_obs_and_exec_is_blessed() {
+        let src = "//! d\nuse std::sync::atomic::AtomicU64;\n";
+        assert!(det("crates/obs/src/registry.rs", src).is_empty());
+        assert!(det("crates/exec/src/runtime.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_atomic_allow_comment_suppresses() {
+        let src = "//! d\n// bestk-analyze: allow(raw-atomic) — disjoint writes, joined before read\nuse std::sync::atomic::AtomicUsize;\n";
+        assert!(det("crates/graph/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unchecked_arith_on_degree_fires() {
+        let src = "//! d\nfn f(degree: u32) -> u32 { degree + 1 }\n";
+        let d = arith("crates/graph/src/a.rs", src);
+        assert_eq!(lints_of(&d), vec!["unchecked-arith"]);
+        let src = "//! d\nfn f(offsets: &mut [usize], k: usize) { offsets[k] -= 1; }\n";
+        let d = arith("crates/graph/src/a.rs", src);
+        assert_eq!(lints_of(&d), vec!["unchecked-arith"]);
+    }
+
+    #[test]
+    fn unchecked_arith_ignores_cold_crates_and_other_names() {
+        let src = "//! d\nfn f(degree: u32) -> u32 { degree + 1 }\n";
+        assert!(arith("crates/apps/src/a.rs", src).is_empty());
+        let src = "//! d\nfn f(count: u32) -> u32 { count + 1 }\n";
+        assert!(arith("crates/graph/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn checked_arith_and_unary_forms_are_fine() {
+        let src = "//! d\nfn f(degree: u32) -> Option<u32> { degree.checked_add(1) }\n";
+        assert!(arith("crates/graph/src/a.rs", src).is_empty());
+        let src = "//! d\nfn f(x: i64) -> i64 { -x }\nfn g(p: &u32) -> u32 { *p }\n";
+        assert!(arith("crates/graph/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trait_bounds_do_not_fire() {
+        let src = "//! d\nfn f<T: Clone + Send>(t: T) -> T { t }\n";
+        assert!(arith("crates/graph/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn arith_allow_comment_suppresses() {
+        let src = "//! d\n// bestk-analyze: allow(unchecked-arith) — degree bounded by vertex count\nfn f(degree: u32) -> u32 { degree + 1 }\n";
+        assert!(arith("crates/graph/src/a.rs", src).is_empty());
+    }
+}

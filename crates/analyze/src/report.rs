@@ -18,6 +18,9 @@ pub struct Diagnostic {
     pub lint: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// Stable fingerprint (16 hex digits), assigned by the workspace
+    /// driver; empty for diagnostics produced by single-file entry points.
+    pub fingerprint: String,
 }
 
 impl Diagnostic {
@@ -28,6 +31,7 @@ impl Diagnostic {
             line,
             lint,
             message,
+            fingerprint: String::new(),
         }
     }
 }

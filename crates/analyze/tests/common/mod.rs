@@ -1,0 +1,54 @@
+//! Shared fixture harness for the analyzer's end-to-end tests: a scratch
+//! workspace on disk that `bestk_analyze::run` walks like the real one.
+
+// Each integration-test binary compiles its own copy of this module and
+// uses a different slice of it.
+#![allow(dead_code)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Scratch workspace under the target dir (always writable during tests),
+/// removed on drop so reruns start clean.
+pub struct Fixture {
+    pub root: PathBuf,
+}
+
+impl Fixture {
+    pub fn new(name: &str) -> Fixture {
+        let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/demo/src")).expect("mkdir fixture");
+        Fixture { root }
+    }
+
+    pub fn write(&self, rel: &str, text: &str) {
+        let path = self.root.join(rel);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).expect("mkdir parent");
+        }
+        fs::write(path, text).expect("write fixture file");
+    }
+
+    /// Sorted lint names of every finding in the fixture tree.
+    pub fn lints(&self) -> Vec<String> {
+        let mut lints: Vec<String> = self.diags().iter().map(|d| d.lint.to_string()).collect();
+        lints.sort();
+        lints
+    }
+
+    /// All diagnostics, in the engine's deterministic order.
+    pub fn diags(&self) -> Vec<bestk_analyze::Diagnostic> {
+        let (diags, _) = bestk_analyze::run(&self.root).expect("run succeeds");
+        diags
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+/// A crate root that passes the root lints on its own.
+pub const CLEAN_LIB: &str = "//! Demo crate.\n#![forbid(unsafe_code)]\npub mod util;\n";

@@ -4,46 +4,9 @@
 //! `#![forbid(unsafe_code)]`, an unblessed truncating cast — are each
 //! reported, while the clean twin passes.
 
-use std::fs;
-use std::path::{Path, PathBuf};
+mod common;
 
-/// Scratch workspace under the target dir (always writable during tests),
-/// removed on drop so reruns start clean.
-struct Fixture {
-    root: PathBuf,
-}
-
-impl Fixture {
-    fn new(name: &str) -> Fixture {
-        let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
-        let _ = fs::remove_dir_all(&root);
-        fs::create_dir_all(root.join("crates/demo/src")).expect("mkdir fixture");
-        Fixture { root }
-    }
-
-    fn write(&self, rel: &str, text: &str) {
-        let path = self.root.join(rel);
-        if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent).expect("mkdir parent");
-        }
-        fs::write(path, text).expect("write fixture file");
-    }
-
-    fn lints(&self) -> Vec<String> {
-        let (diags, _) = bestk_analyze::run(&self.root).expect("run succeeds");
-        let mut lints: Vec<String> = diags.iter().map(|d| d.lint.to_string()).collect();
-        lints.sort();
-        lints
-    }
-}
-
-impl Drop for Fixture {
-    fn drop(&mut self) {
-        let _ = fs::remove_dir_all(&self.root);
-    }
-}
-
-const CLEAN_LIB: &str = "//! Demo crate.\n#![forbid(unsafe_code)]\npub mod util;\n";
+use common::{Fixture, CLEAN_LIB};
 
 #[test]
 fn clean_workspace_passes() {

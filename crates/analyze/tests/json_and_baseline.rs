@@ -1,0 +1,133 @@
+//! The reporting contract: JSON output is byte-identical across runs, and
+//! the baseline workflow is shrink-only — covered findings pass, fresh
+//! findings fail, fixed-but-listed findings go stale and fail too.
+
+mod common;
+
+use std::collections::BTreeSet;
+
+use common::{Fixture, CLEAN_LIB};
+
+fn dirty_fixture(name: &str) -> Fixture {
+    let fx = Fixture::new(name);
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\n\
+         pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+         pub fn total(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n",
+    );
+    fx
+}
+
+#[test]
+fn json_report_is_byte_identical_across_runs() {
+    let fx = dirty_fixture("json-determinism");
+    let a = {
+        let diags = fx.diags();
+        bestk_analyze::json::render(&diags, 2, &BTreeSet::new())
+    };
+    let b = {
+        let diags = fx.diags();
+        bestk_analyze::json::render(&diags, 2, &BTreeSet::new())
+    };
+    assert_eq!(a, b, "two walks over the same tree must render identically");
+    assert!(a.contains("\"no-unwrap\": 1"));
+    assert!(a.contains("\"float-reduce\": 1"));
+}
+
+#[test]
+fn fingerprints_are_stable_across_runs() {
+    let fx = dirty_fixture("fingerprint-stability");
+    let a: Vec<String> = fx.diags().into_iter().map(|d| d.fingerprint).collect();
+    let b: Vec<String> = fx.diags().into_iter().map(|d| d.fingerprint).collect();
+    assert_eq!(a, b);
+    for fp in &a {
+        assert_eq!(fp.len(), 16, "fingerprints are 16 hex digits: {fp:?}");
+        assert!(fp.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}
+
+#[test]
+fn baseline_covers_findings_and_goes_stale_when_fixed() {
+    let fx = dirty_fixture("baseline-workflow");
+    let diags = fx.diags();
+    assert_eq!(diags.len(), 2);
+
+    // The generated template carries every current finding; justify it.
+    let template = bestk_analyze::baseline::render_template(&diags);
+    let justified: String = template
+        .lines()
+        .map(|l| {
+            if l.starts_with('#') {
+                format!("{l}\n")
+            } else {
+                let head = l.split('#').next().unwrap_or(l).trim_end();
+                format!("{head} # acknowledged for the workflow test\n")
+            }
+        })
+        .collect();
+    let entries = bestk_analyze::baseline::parse(&justified).expect("template parses");
+    assert_eq!(entries.len(), 2);
+
+    // Everything is covered: no fresh findings, nothing stale.
+    let applied = bestk_analyze::baseline::apply(&diags, &entries);
+    assert!(applied.fresh.is_empty());
+    assert!(applied.stale.is_empty());
+    assert_eq!(applied.baselined.len(), 2);
+
+    // Fix the unwrap: its entry must go stale (shrink-only rule), while
+    // the float finding stays covered.
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\n\
+         pub fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n\
+         pub fn total(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n",
+    );
+    let after = fx.diags();
+    assert_eq!(after.len(), 1);
+    let applied = bestk_analyze::baseline::apply(&after, &entries);
+    assert!(applied.fresh.is_empty());
+    assert_eq!(applied.baselined.len(), 1);
+    assert_eq!(applied.stale.len(), 1, "the fixed finding's entry is stale");
+    assert_eq!(applied.stale[0].lint, "no-unwrap");
+}
+
+#[test]
+fn baseline_rejects_entries_without_reasons() {
+    let text = "cafecafecafecafe no-unwrap crates/demo/src/util.rs\n";
+    assert!(bestk_analyze::baseline::parse(text).is_err());
+    let text = "cafecafecafecafe no-unwrap crates/demo/src/util.rs # ok\n";
+    assert!(
+        bestk_analyze::baseline::parse(text).is_err(),
+        "two-character reasons are not substantive"
+    );
+}
+
+#[test]
+fn the_checked_in_baseline_parses_and_matches_this_repo() {
+    // Guards the real artifact: every entry must parse, carry a reason,
+    // and the repo-root check must come back clean against it.
+    let repo_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root");
+    let text = std::fs::read_to_string(repo_root.join("analyze-baseline.txt"))
+        .expect("checked-in baseline exists");
+    let entries = bestk_analyze::baseline::parse(&text).expect("baseline parses");
+    assert!(!entries.is_empty());
+    let (diags, _) = bestk_analyze::run(&repo_root).expect("run succeeds");
+    let applied = bestk_analyze::baseline::apply(&diags, &entries);
+    let fresh: Vec<String> = applied
+        .fresh
+        .iter()
+        .map(|d| format!("{}:{} {}", d.path, d.line, d.lint))
+        .collect();
+    assert!(fresh.is_empty(), "non-baselined findings: {fresh:#?}");
+    let stale: Vec<String> = applied
+        .stale
+        .iter()
+        .map(|e| format!("{} {}", e.fingerprint, e.path))
+        .collect();
+    assert!(stale.is_empty(), "stale baseline entries: {stale:#?}");
+}

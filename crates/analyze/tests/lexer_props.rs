@@ -1,0 +1,100 @@
+//! Property tests for the lexer's core contract: tokens tile the source
+//! exactly — every byte belongs to exactly one token, in order — for
+//! arbitrary text, for adversarial quote/comment soup, and for every real
+//! source file in this repository.
+
+use bestk_analyze::lex::{lex, TokenKind};
+use bestk_graph::testkit::{check, Gen};
+
+/// Asserts the tiling invariant and returns the token count.
+fn assert_tiles(src: &str) -> usize {
+    let tokens = lex(src);
+    let mut pos = 0;
+    for t in &tokens {
+        assert_eq!(
+            t.start, pos,
+            "gap or overlap at byte {pos} in {src:?} (token {t:?})"
+        );
+        assert!(t.end > t.start, "empty token {t:?} in {src:?}");
+        pos = t.end;
+    }
+    assert_eq!(pos, src.len(), "tokens must cover the tail of {src:?}");
+    // Reassembling the token texts reproduces the source byte-for-byte.
+    let rebuilt: String = tokens.iter().map(|t| t.text(src)).collect();
+    assert_eq!(rebuilt, src);
+    tokens.len()
+}
+
+#[test]
+fn random_ascii_text_tiles() {
+    check("lexer_tiles_ascii", 400, |g: &mut Gen| {
+        let src = g.ascii_text(200);
+        assert_tiles(&src);
+    });
+}
+
+#[test]
+fn random_bytes_lossy_decoded_tile() {
+    check("lexer_tiles_lossy_bytes", 400, |g: &mut Gen| {
+        let bytes = g.bytes(200);
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_tiles(&src);
+    });
+}
+
+/// Quote-and-comment soup: the constructs whose unterminated forms are the
+/// classic lexer crashers, spliced at random.
+#[test]
+fn quote_and_comment_soup_tiles() {
+    const PIECES: &[&str] = &[
+        "\"", "'", "r#\"", "\"#", "//", "/*", "*/", "\\\"", "\\'", "\n", "b'", "'a", "'_", "let",
+        "x", "0x1f", "1e9", "'\\''", "\"s\"", "/**/", "r\"", "#", "\\",
+    ];
+    check("lexer_tiles_soup", 600, |g: &mut Gen| {
+        let n = g.usize_in(0, 40);
+        let mut src = String::new();
+        for _ in 0..n {
+            src.push_str(PIECES[g.usize_in(0, PIECES.len())]);
+        }
+        assert_tiles(&src);
+    });
+}
+
+#[test]
+fn line_counts_are_monotone_and_match_the_source() {
+    check("lexer_lines_monotone", 300, |g: &mut Gen| {
+        let src = g.ascii_text(300);
+        let tokens = lex(&src);
+        let mut last = 1;
+        for t in &tokens {
+            assert!(t.line >= last, "line numbers must not decrease");
+            last = t.line;
+        }
+        if let Some(t) = tokens.last() {
+            let newlines_before = src[..t.start].matches('\n').count();
+            assert_eq!(t.line as usize, newlines_before + 1);
+        }
+    });
+}
+
+/// Every real source file in the repository tiles — the lexer's contract
+/// holds on the exact corpus the analyzer polices.
+#[test]
+fn every_workspace_source_file_tiles() {
+    let repo_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root");
+    let files = bestk_analyze::walk::discover(&repo_root).expect("walk succeeds");
+    assert!(files.len() > 100, "the walk should see the whole workspace");
+    let mut strings = 0usize;
+    for f in &files {
+        let text = std::fs::read_to_string(&f.abs_path).expect("read source");
+        assert_tiles(&text);
+        strings += lex(&text)
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Str | TokenKind::RawStr))
+            .count();
+    }
+    assert!(strings > 0, "the corpus exercises string tokens");
+}

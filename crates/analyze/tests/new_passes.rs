@@ -1,0 +1,174 @@
+//! End-to-end fixtures for the determinism and hot-path arithmetic
+//! passes: each pass gets a firing workspace and a non-firing twin, so
+//! both the detection and its boundaries (crate gating, allow comments)
+//! are pinned at the `bestk_analyze::run` level.
+
+mod common;
+
+use common::{Fixture, CLEAN_LIB};
+
+#[test]
+fn hash_map_iteration_fires() {
+    let fx = Fixture::new("nondet-iter-fires");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\n\
+         use std::collections::HashMap;\n\
+         pub fn dump(m: &HashMap<u32, u32>) -> Vec<u32> {\n\
+             let m: &HashMap<u32, u32> = m;\n\
+             m.keys().copied().collect()\n\
+         }\n",
+    );
+    assert!(
+        fx.lints().contains(&"nondet-iter".to_string()),
+        "{:?}",
+        fx.lints()
+    );
+}
+
+#[test]
+fn btree_iteration_and_hash_lookup_do_not_fire() {
+    let fx = Fixture::new("nondet-iter-clean");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\n\
+         use std::collections::{BTreeMap, HashMap};\n\
+         pub fn dump(ordered: &BTreeMap<u32, u32>) -> Vec<u32> {\n\
+             ordered.keys().copied().collect()\n\
+         }\n\
+         pub fn lookup(hashed: &HashMap<u32, u32>, k: u32) -> Option<u32> {\n\
+             hashed.get(&k).copied()\n\
+         }\n",
+    );
+    assert_eq!(fx.lints(), Vec::<String>::new());
+}
+
+#[test]
+fn unordered_float_fold_fires() {
+    let fx = Fixture::new("float-reduce-fires");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\n\
+         pub fn total(xs: &[f64]) -> f64 {\n\
+             xs.iter().sum::<f64>()\n\
+         }\n",
+    );
+    assert_eq!(fx.lints(), vec!["float-reduce"]);
+}
+
+#[test]
+fn float_reduce_is_blessed_inside_exec_and_by_allow() {
+    let fx = Fixture::new("float-reduce-clean");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\n\
+         pub fn total(xs: &[f64]) -> f64 {\n\
+             // bestk-analyze: allow(float-reduce) — sequential in-order slice sum\n\
+             xs.iter().sum::<f64>()\n\
+         }\n",
+    );
+    fx.write(
+        "crates/exec/src/lib.rs",
+        "//! Exec crate: the blessed ordered-merge reduction point.\n\
+         #![forbid(unsafe_code)]\n\
+         pub fn merge(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n",
+    );
+    assert_eq!(fx.lints(), Vec::<String>::new());
+}
+
+#[test]
+fn raw_atomic_fires_outside_the_policed_crates() {
+    let fx = Fixture::new("raw-atomic-fires");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\n\
+         use std::sync::atomic::{AtomicUsize, Ordering};\n\
+         pub fn bump(c: &AtomicUsize) -> usize {\n\
+             c.fetch_add(1, Ordering::Relaxed)\n\
+         }\n",
+    );
+    let lints = fx.lints();
+    assert!(
+        lints.iter().filter(|l| *l == "raw-atomic").count() >= 2,
+        "type use and fetch_add should both fire: {lints:?}"
+    );
+}
+
+#[test]
+fn atomics_inside_obs_and_exec_do_not_fire() {
+    let fx = Fixture::new("raw-atomic-clean");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\npub fn twice(x: u64) -> u64 { x * 2 }\n",
+    );
+    fx.write(
+        "crates/obs/src/lib.rs",
+        "//! Obs crate: counters live here.\n\
+         #![forbid(unsafe_code)]\n\
+         use std::sync::atomic::{AtomicU64, Ordering};\n\
+         pub fn bump(c: &AtomicU64) -> u64 { c.fetch_add(1, Ordering::Relaxed) }\n",
+    );
+    assert_eq!(fx.lints(), Vec::<String>::new());
+}
+
+#[test]
+fn unchecked_degree_arithmetic_fires_in_hot_crates() {
+    let fx = Fixture::new("unchecked-arith-fires");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\npub fn twice(x: u64) -> u64 { x * 2 }\n",
+    );
+    fx.write(
+        "crates/core/src/lib.rs",
+        "//! Core crate.\n\
+         #![forbid(unsafe_code)]\n\
+         pub fn next_degree(deg: usize) -> usize { deg + 1 }\n",
+    );
+    assert_eq!(fx.lints(), vec!["unchecked-arith"]);
+}
+
+#[test]
+fn checked_arithmetic_and_cold_crates_do_not_fire() {
+    let fx = Fixture::new("unchecked-arith-clean");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    // Same raw `deg + 1` in a cold crate: the pass only polices the hot
+    // crates where overflow corrupts results.
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\npub fn next_degree(deg: usize) -> usize { deg + 1 }\n",
+    );
+    fx.write(
+        "crates/core/src/lib.rs",
+        "//! Core crate.\n\
+         #![forbid(unsafe_code)]\n\
+         pub fn next_degree(deg: usize) -> usize { deg.saturating_add(1) }\n",
+    );
+    assert_eq!(fx.lints(), Vec::<String>::new());
+}
+
+#[test]
+fn unchecked_arith_honors_a_reasoned_allow() {
+    let fx = Fixture::new("unchecked-arith-allow");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\npub fn twice(x: u64) -> u64 { x * 2 }\n",
+    );
+    fx.write(
+        "crates/core/src/lib.rs",
+        "//! Core crate.\n\
+         #![forbid(unsafe_code)]\n\
+         pub fn next_degree(deg: usize) -> usize {\n\
+             // bestk-analyze: allow(unchecked-arith) — deg is bounded by n, far below usize::MAX\n\
+             deg + 1\n\
+         }\n",
+    );
+    assert_eq!(fx.lints(), Vec::<String>::new());
+}

@@ -61,7 +61,9 @@ pub fn mirror_anomaly_scores(g: &CsrGraph, d: &CoreDecomposition) -> MirrorAnoma
     let (slope, intercept, correlation) = if xs.len() < 2 {
         (0.0, 0.0, 0.0)
     } else {
+        // bestk-analyze: allow(float-reduce) — sequential in-order slice sum
         let mean_x = xs.iter().sum::<f64>() / m;
+        // bestk-analyze: allow(float-reduce) — sequential in-order slice sum
         let mean_y = ys.iter().sum::<f64>() / m;
         let mut sxx = 0.0;
         let mut syy = 0.0;

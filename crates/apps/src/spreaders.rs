@@ -96,7 +96,7 @@ pub fn compare_heuristics(
             .iter()
             .take(top)
             .map(|&s| average_spread(g, s, beta, trials, rng))
-            .sum();
+            .sum(); // bestk-analyze: allow(float-reduce) — sequential in-order iteration
         sum / top.min(seeds.len()).max(1) as f64
     };
     let c = mean(&by_core, &mut rng);

@@ -1,0 +1,46 @@
+//! Micro-bench: the static analysis engine over the real workspace.
+//!
+//! The lint pass runs in every CI job and in pre-commit loops, so its
+//! latency is a developer-facing budget: the whole-workspace `check` must
+//! stay comfortably inside a second. Two measurements:
+//!
+//! * `analyze/check_workspace` — the full pipeline (walk, lex, lints,
+//!   passes, facts, cross-file aggregation, fingerprints) over this
+//!   repository, exactly what `bestk-analyze check` pays;
+//! * `analyze/lex_workspace`   — the lexer alone over every source file,
+//!   isolating tokenization from the passes so a regression report
+//!   points at the right layer.
+//!
+//! With `BESTK_BENCH_JSON` set, the records land in the JSON report.
+
+use bestk_bench::Bench;
+
+fn main() {
+    let b = Bench::from_env_or_exit();
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root");
+
+    let files = bestk_analyze::walk::discover(&root).expect("walk succeeds");
+    let sources: Vec<String> = files
+        .iter()
+        .map(|f| std::fs::read_to_string(&f.abs_path).expect("read source"))
+        .collect();
+    let bytes: u64 = sources.iter().map(|s| s.len() as u64).sum();
+    println!("# corpus: {} files, {} bytes", files.len(), bytes);
+
+    b.run_elements("analyze/lex_workspace", bytes, || {
+        sources
+            .iter()
+            .map(|s| bestk_analyze::lex::lex(s).len())
+            .sum::<usize>()
+    });
+
+    b.run_elements("analyze/check_workspace", bytes, || {
+        let report = bestk_analyze::run_report(&root).expect("run succeeds");
+        (report.files_checked, report.diagnostics.len())
+    });
+
+    b.finish_or_exit();
+}

@@ -43,6 +43,7 @@ fn main() {
             // The paper smooths LiveJournal with window 20, the others 5.
             let window = if seq.len() > 1000 { 20 } else { 5 };
             for (c, chunk) in seq.chunks(window).enumerate() {
+                // bestk-analyze: allow(float-reduce) — in-order sum over one small chunk
                 let avg = chunk.iter().map(|(_, s)| s).sum::<f64>() / chunk.len() as f64;
                 let k = chunk[0].0;
                 println!("{},{},{},{}", spec.key, c * window, k, avg);

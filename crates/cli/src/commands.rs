@@ -576,14 +576,14 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
             "--stdin and --port are mutually exclusive".into(),
         ));
     }
-    let mut engine = bestk_engine::Engine::new(budget);
+    let engine = bestk_engine::SharedEngine::with_budget(budget);
     match port {
         None => {
             let stdin = std::io::stdin();
-            bestk_engine::serve_lines_with(&mut engine, &policy, stdin.lock(), &mut *out, &limits)?;
+            bestk_engine::serve_lines_with(&engine, &policy, stdin.lock(), &mut *out, &limits)?;
         }
         Some(port) => {
-            bestk_engine::serve_tcp(&mut engine, &policy, port, timeout, &limits, |addr| {
+            bestk_engine::serve_tcp(&engine, &policy, port, timeout, &limits, |addr| {
                 // Best-effort bind notice; the accept loop is the product.
                 let _ = writeln!(out, "serving on {addr}");
             })?;

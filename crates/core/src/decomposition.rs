@@ -202,7 +202,7 @@ pub fn core_decomposition(g: &CsrGraph) -> CoreDecomposition {
     // pos[v]: index of v in vert; vert: vertices sorted by degree;
     // bin[d]: start index of degree-d block inside vert.
     let mut degree: Vec<usize> = (0..n).map(|v| g.degree(cast::vertex_id(v))).collect();
-    let mut bin = vec![0usize; max_deg + 2];
+    let mut bin = vec![0usize; max_deg.saturating_add(2)];
     for &d in &degree {
         bin[d + 1] += 1;
     }

@@ -56,6 +56,7 @@ pub fn hindex_core_decomposition_with(g: &CsrGraph, policy: &ExecPolicy) -> HInd
     let cuts = plan.bounds().to_vec();
     loop {
         let values_ref = &values;
+        // bestk-analyze: allow(raw-atomic) — monotone convergence flag; true-stores commute
         let changed = std::sync::atomic::AtomicBool::new(false);
         policy.for_each_disjoint(
             &plan,

@@ -164,6 +164,7 @@ impl<'a> OrderedGraph<'a> {
         }
         let offsets = graph.offsets();
         for v in 0..n {
+            // bestk-analyze: allow(unchecked-arith) — CSR offsets are validated monotone
             let deg = cast::u32_of(offsets[v + 1] - offsets[v]);
             let (s, p, h) = (same[v], plus[v], high[v]);
             if s > p || p > deg || h > deg {

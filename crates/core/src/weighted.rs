@@ -89,7 +89,7 @@ pub fn weighted_core_decomposition(g: &WeightedCsrGraph) -> WeightedCoreDecompos
         .map(|v| g.weighted_degree(cast::vertex_id(v)))
         .collect();
     let max_wdeg = wdeg.iter().copied().max().unwrap_or(0) as usize;
-    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); max_wdeg + 1];
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); max_wdeg.saturating_add(1)];
     for v in 0..n {
         buckets[wdeg[v] as usize].push(cast::vertex_id(v));
     }

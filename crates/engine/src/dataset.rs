@@ -17,6 +17,8 @@
 //! with an ordered merge, so the answer list is bit-identical at every
 //! thread count.
 
+use std::sync::Arc;
+
 use bestk_core::{
     core_decomposition, core_set_profile, single_core_profile, CoreDecomposition, CoreForest,
     CoreSetProfile, OrderedGraph, SingleCoreProfile,
@@ -98,9 +100,14 @@ impl Artifacts {
 /// A named dataset held by the engine: the graph is always resident; the
 /// artifacts may be evicted under memory pressure and lazily rebuilt on the
 /// next touch.
+///
+/// The graph sits behind an [`Arc`] so the registry can replace a slot's
+/// dataset copy-on-write (build, eviction) without deep-copying the CSR
+/// arrays, and so a checked-out dataset stays valid while the registry
+/// moves on.
 #[derive(Debug, Clone)]
 pub struct Dataset {
-    graph: CsrGraph,
+    graph: Arc<CsrGraph>,
     artifacts: Option<Artifacts>,
 }
 
@@ -108,7 +115,7 @@ impl Dataset {
     /// Wraps a graph with no artifacts yet (they build on first touch).
     pub fn from_graph(graph: CsrGraph) -> Dataset {
         Dataset {
-            graph,
+            graph: Arc::new(graph),
             artifacts: None,
         }
     }
@@ -117,8 +124,26 @@ impl Dataset {
     /// loader's constructor).
     pub fn from_built(graph: CsrGraph, artifacts: Artifacts) -> Dataset {
         Dataset {
-            graph,
+            graph: Arc::new(graph),
             artifacts: Some(artifacts),
+        }
+    }
+
+    /// A new dataset sharing this one's graph, with `artifacts` attached
+    /// (the copy-on-write publish step after an out-of-lock build).
+    pub fn with_artifacts(&self, artifacts: Artifacts) -> Dataset {
+        Dataset {
+            graph: Arc::clone(&self.graph),
+            artifacts: Some(artifacts),
+        }
+    }
+
+    /// A new dataset sharing this one's graph with no artifacts (the
+    /// copy-on-write eviction step — checked-out readers keep theirs).
+    pub fn without_artifacts(&self) -> Dataset {
+        Dataset {
+            graph: Arc::clone(&self.graph),
+            artifacts: None,
         }
     }
 

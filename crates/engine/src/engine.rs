@@ -17,12 +17,13 @@
 //! batch's answers are bit-identical at every `--threads` setting.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use bestk_exec::ExecPolicy;
 use bestk_faults::sites;
 use bestk_graph::CsrGraph;
 
-use crate::dataset::Dataset;
+use crate::dataset::{Artifacts, Dataset};
 use crate::error::EngineError;
 use crate::query::{Answer, Query};
 use crate::snapshot;
@@ -53,7 +54,7 @@ pub struct Counters {
 }
 
 struct Slot {
-    dataset: Dataset,
+    dataset: Arc<Dataset>,
     last_used: u64,
 }
 
@@ -152,32 +153,24 @@ impl Engine {
         retry: &snapshot::RetryPolicy,
         policy: &ExecPolicy,
     ) -> Result<LoadOutcome, EngineError> {
-        match snapshot::load_path_with_retry(path, retry) {
-            Ok(dataset) => {
-                self.register(name, dataset);
-                Ok(LoadOutcome::Loaded)
-            }
-            Err(e) if e.is_corruption() => {
-                let source = match source {
-                    Some(s) => s,
-                    None => return Err(e),
-                };
-                // Quarantine is best-effort: the rebuild below is the part
-                // that restores service.
-                if std::fs::rename(path, format!("{path}.quarantine")).is_ok() {
-                    bestk_obs::counter("engine.quarantines").inc();
-                }
-                let graph = bestk_graph::io::read_auto_path(source)?;
-                let mut dataset = Dataset::from_graph(graph);
-                dataset.ensure_built(policy);
-                self.counters.builds += 1;
-                bestk_obs::counter("engine.builds").inc();
-                bestk_obs::counter("engine.rebuilds").inc();
-                self.register(name, dataset);
-                Ok(LoadOutcome::Rebuilt)
-            }
-            Err(e) => Err(e),
+        // All disk I/O and any rebuild live in the free function, so the
+        // locked registry (`SharedEngine`) can run them outside its lock
+        // and reuse only the bookkeeping step below.
+        let (dataset, outcome) = snapshot::load_or_rebuild(path, source, retry, policy)?;
+        self.install_loaded(name, dataset, outcome);
+        Ok(outcome)
+    }
+
+    /// Registers a dataset produced by [`snapshot::load_or_rebuild`],
+    /// charging a build when the snapshot had to be rebuilt from source.
+    /// Pure bookkeeping — no I/O, safe to call with the registry locked.
+    pub fn install_loaded(&mut self, name: &str, dataset: Dataset, outcome: LoadOutcome) {
+        if outcome == LoadOutcome::Rebuilt {
+            self.counters.builds += 1;
+            bestk_obs::counter("engine.builds").inc();
+            bestk_obs::counter("engine.rebuilds").inc();
         }
+        self.register(name, dataset);
     }
 
     fn register(&mut self, name: &str, dataset: Dataset) {
@@ -187,7 +180,7 @@ impl Engine {
         self.slots.insert(
             name.to_owned(),
             Slot {
-                dataset,
+                dataset: Arc::new(dataset),
                 last_used: self.clock,
             },
         );
@@ -230,6 +223,33 @@ impl Engine {
         queries: &[Query],
         policy: &ExecPolicy,
     ) -> Result<Vec<Result<Answer, EngineError>>, EngineError> {
+        let checked = self.checkout(name)?;
+        let (dataset, built_now) = if checked.is_built() {
+            (checked, false)
+        } else {
+            let artifacts = Artifacts::build(checked.graph(), policy);
+            let built = Arc::new(checked.with_artifacts(artifacts));
+            self.install_artifacts(name, &built);
+            (built, true)
+        };
+        // Panic isolation: a panic anywhere in answering (including one
+        // re-raised from an exec worker thread) is contained here and
+        // converted to a typed error — the engine, and any serving loop
+        // above it, survive.
+        let answers = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dataset.answer_batch(queries, policy)
+        }))
+        .map_err(|payload| EngineError::Internal(panic_message(payload.as_ref())))?;
+        self.finish_batch(name, built_now, queries.len());
+        Ok(answers)
+    }
+
+    /// Checks out the named dataset: bumps the LRU clock and returns a
+    /// shared handle. The slot keeps its own handle — the caller's copy
+    /// stays valid even if the slot is evicted or replaced meanwhile.
+    /// Pure bookkeeping — no I/O, no dispatch, safe under the registry
+    /// lock.
+    pub fn checkout(&mut self, name: &str) -> Result<Arc<Dataset>, EngineError> {
         self.clock += 1;
         let clock = self.clock;
         let slot = self
@@ -237,25 +257,34 @@ impl Engine {
             .get_mut(name)
             .ok_or_else(|| EngineError::UnknownDataset(name.to_owned()))?;
         slot.last_used = clock;
-        if slot.dataset.ensure_built(policy) {
+        Ok(Arc::clone(&slot.dataset))
+    }
+
+    /// Publishes artifacts built outside the registry (copy-on-write): the
+    /// slot's dataset is replaced with the built handle unless the slot is
+    /// gone or already built (a racing builder won — its artifacts are
+    /// equivalent, so the late copy is simply dropped). Pure bookkeeping.
+    pub fn install_artifacts(&mut self, name: &str, built: &Arc<Dataset>) {
+        if let Some(slot) = self.slots.get_mut(name) {
+            if !slot.dataset.is_built() {
+                slot.dataset = Arc::clone(built);
+            }
+        }
+    }
+
+    /// Closes out one answered batch: charges the build-vs-cache-hit and
+    /// query counters and runs the eviction pass. Pure bookkeeping.
+    pub fn finish_batch(&mut self, name: &str, built_now: bool, queries: usize) {
+        if built_now {
             self.counters.builds += 1;
             bestk_obs::counter("engine.builds").inc();
         } else {
             self.counters.cache_hits += 1;
             bestk_obs::counter("engine.cache_hits").inc();
         }
-        self.counters.queries += queries.len() as u64;
-        bestk_obs::counter("engine.queries").add(queries.len() as u64);
-        // Panic isolation: a panic anywhere in answering (including one
-        // re-raised from an exec worker thread) is contained here and
-        // converted to a typed error — the engine, and any serving loop
-        // above it, survive.
-        let answers = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            slot.dataset.answer_batch(queries, policy)
-        }))
-        .map_err(|payload| EngineError::Internal(panic_message(payload.as_ref())))?;
+        self.counters.queries += queries as u64;
+        bestk_obs::counter("engine.queries").add(queries as u64);
         self.enforce_budget(name);
-        Ok(answers)
     }
 
     /// One summary row per dataset, in name order.
@@ -297,7 +326,9 @@ impl Engine {
             match victim {
                 Some(name) => {
                     if let Some(slot) = self.slots.get_mut(&name) {
-                        slot.dataset.drop_artifacts();
+                        // Copy-on-write eviction: checked-out readers keep
+                        // their built handle; the slot forgets the artifacts.
+                        slot.dataset = Arc::new(slot.dataset.without_artifacts());
                         self.counters.evictions += 1;
                         bestk_obs::counter("engine.evictions").inc();
                     }

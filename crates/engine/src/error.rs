@@ -219,10 +219,7 @@ mod tests {
         assert_eq!(EngineError::Overloaded { limit: 1 }.kind(), "overloaded");
         assert_eq!(EngineError::TooLarge { limit: 8 }.kind(), "too_large");
         assert_eq!(EngineError::Protocol("x".into()).kind(), "protocol");
-        assert_eq!(
-            EngineError::Io(std::io::Error::other("x")).kind(),
-            "io"
-        );
+        assert_eq!(EngineError::Io(std::io::Error::other("x")).kind(), "io");
         let skew = EngineError::VersionSkew {
             found: 2,
             supported: 1,

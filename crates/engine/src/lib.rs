@@ -11,9 +11,13 @@
 //! - [`Engine`] — a registry of named datasets under a configurable memory
 //!   budget with LRU artifact eviction, lazy first-touch builds, and
 //!   build/cache-hit/eviction counters.
+//! - [`SharedEngine`] — the engine behind a mutex with a strict lock
+//!   discipline: snapshot I/O, artifact builds, and batch answering all
+//!   run outside the registry lock (enforced by `bestk-analyze`'s
+//!   `lock-held-io` / `lock-held-dispatch` passes).
 //! - [`serve`] — a line-oriented request/response loop over stdio or a
 //!   loopback TCP listener (the one `std::net` user the workspace's
-//!   `no-raw-net` lint permits).
+//!   `no-raw-net` lint permits), running against the shared registry.
 //!
 //! Query answers are rendered to stable tab-separated lines and batches
 //! run through [`bestk_exec::ExecPolicy`] with an ordered chunk merge, so
@@ -26,6 +30,7 @@ pub mod dataset;
 pub mod engine;
 pub mod error;
 pub mod query;
+pub mod registry;
 pub mod serve;
 pub mod snapshot;
 
@@ -33,6 +38,7 @@ pub use dataset::{Artifacts, Dataset};
 pub use engine::{Counters, DatasetRow, Engine, LoadOutcome};
 pub use error::EngineError;
 pub use query::{metric_by_abbrev, Answer, Query};
+pub use registry::SharedEngine;
 pub use serve::{
     handle_request, serve_lines, serve_lines_with, serve_on_listener, serve_tcp, Control,
     ServeLimits,

@@ -60,9 +60,10 @@ use std::time::Duration;
 use bestk_exec::ExecPolicy;
 use bestk_faults::sites;
 
-use crate::engine::{Engine, LoadOutcome};
+use crate::engine::LoadOutcome;
 use crate::error::EngineError;
 use crate::query::Query;
+use crate::registry::SharedEngine;
 use crate::snapshot::RetryPolicy;
 
 /// Bucket bounds (inclusive, nanoseconds) for `serve.latency_nanos`:
@@ -129,7 +130,7 @@ impl Default for ServeLimits {
 /// Errors never escape as `Err`, and panics never escape at all: every
 /// failure — including a contained panic — is rendered into an `err\t...`
 /// reply so the loop, and the connection, survive bad input.
-pub fn handle_request(engine: &mut Engine, policy: &ExecPolicy, line: &str) -> (String, Control) {
+pub fn handle_request(engine: &SharedEngine, policy: &ExecPolicy, line: &str) -> (String, Control) {
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         dispatch(engine, policy, line)
     }));
@@ -153,7 +154,7 @@ pub fn handle_request(engine: &mut Engine, policy: &ExecPolicy, line: &str) -> (
 }
 
 fn dispatch(
-    engine: &mut Engine,
+    engine: &SharedEngine,
     policy: &ExecPolicy,
     line: &str,
 ) -> Result<(String, Control), EngineError> {
@@ -311,7 +312,7 @@ fn read_capped_line<R: BufRead>(
 
 /// [`serve_lines_with`] under [`ServeLimits::default`].
 pub fn serve_lines<R: BufRead, W: Write>(
-    engine: &mut Engine,
+    engine: &SharedEngine,
     policy: &ExecPolicy,
     reader: R,
     writer: W,
@@ -327,7 +328,7 @@ pub fn serve_lines<R: BufRead, W: Write>(
 /// Every reply is flushed before the next request is read, so on `Quit`
 /// the final `ok bye` has already been drained to the client.
 pub fn serve_lines_with<R: BufRead, W: Write>(
-    engine: &mut Engine,
+    engine: &SharedEngine,
     policy: &ExecPolicy,
     mut reader: R,
     mut writer: W,
@@ -413,7 +414,7 @@ pub fn serve_lines_with<R: BufRead, W: Write>(
 /// Split out from [`serve_tcp`] so tests can bind port 0 and discover the
 /// ephemeral port via `TcpListener::local_addr` before starting the loop.
 pub fn serve_on_listener(
-    engine: &mut Engine,
+    engine: &SharedEngine,
     policy: &ExecPolicy,
     listener: &TcpListener,
     timeout: Option<Duration>,
@@ -464,7 +465,7 @@ pub fn serve_on_listener(
 /// Returns the bound address through `on_bound` (called once, before the
 /// accept loop starts) so callers can log it.
 pub fn serve_tcp(
-    engine: &mut Engine,
+    engine: &SharedEngine,
     policy: &ExecPolicy,
     port: u16,
     timeout: Option<Duration>,
@@ -481,29 +482,29 @@ mod tests {
     use super::*;
     use bestk_graph::generators;
 
-    fn engine_with_fig2() -> Engine {
-        let mut eng = Engine::new(None);
+    fn engine_with_fig2() -> SharedEngine {
+        let eng = SharedEngine::with_budget(None);
         eng.insert_graph("fig2", generators::paper_figure2());
         eng
     }
 
-    fn ask(engine: &mut Engine, line: &str) -> (String, Control) {
+    fn ask(engine: &SharedEngine, line: &str) -> (String, Control) {
         handle_request(engine, &ExecPolicy::Sequential, line)
     }
 
     #[test]
     fn query_requests_answer_with_ok_lines() {
-        let mut eng = engine_with_fig2();
-        let (reply, c) = ask(&mut eng, "query fig2 bestkset ad");
+        let eng = engine_with_fig2();
+        let (reply, c) = ask(&eng, "query fig2 bestkset ad");
         assert_eq!(reply, "ok\tbestkset\tad\tk=2\tscore=3.1666666666666665");
         assert_eq!(c, Control::Continue);
-        let (reply, _) = ask(&mut eng, "query fig2 stats");
+        let (reply, _) = ask(&eng, "query fig2 stats");
         assert_eq!(reply, "ok\tstats\tn=12\tm=19\tkmax=3\tcores=3");
     }
 
     #[test]
     fn failures_are_single_line_err_replies() {
-        let mut eng = engine_with_fig2();
+        let eng = engine_with_fig2();
         for bad in [
             "",
             "   ",
@@ -521,7 +522,7 @@ mod tests {
             "metrics extra",
             "quit now",
         ] {
-            let (reply, c) = ask(&mut eng, bad);
+            let (reply, c) = ask(&eng, bad);
             assert!(reply.starts_with("err\t"), "{bad:?} -> {reply}");
             assert!(!reply.contains('\n'), "{bad:?} -> multi-line reply");
             assert_eq!(c, Control::Continue, "{bad:?} must not kill the server");
@@ -530,10 +531,10 @@ mod tests {
 
     #[test]
     fn metrics_verb_frames_the_exposition() {
-        let mut eng = engine_with_fig2();
-        let (ok, _) = ask(&mut eng, "query fig2 bestkset ad");
+        let eng = engine_with_fig2();
+        let (ok, _) = ask(&eng, "query fig2 bestkset ad");
         assert!(ok.starts_with("ok\t"), "{ok}");
-        let (reply, c) = ask(&mut eng, "metrics");
+        let (reply, c) = ask(&eng, "metrics");
         assert_eq!(c, Control::Continue);
         let mut lines = reply.lines();
         let header = lines.next().unwrap();
@@ -559,22 +560,22 @@ mod tests {
 
     #[test]
     fn quit_is_graceful() {
-        let mut eng = engine_with_fig2();
-        let (reply, c) = ask(&mut eng, "quit");
+        let eng = engine_with_fig2();
+        let (reply, c) = ask(&eng, "quit");
         assert_eq!(reply, "ok\tbye");
         assert_eq!(c, Control::Quit);
     }
 
     #[test]
     fn datasets_and_counters_render() {
-        let mut eng = engine_with_fig2();
-        ask(&mut eng, "query fig2 stats");
-        let (reply, _) = ask(&mut eng, "datasets");
+        let eng = engine_with_fig2();
+        ask(&eng, "query fig2 stats");
+        let (reply, _) = ask(&eng, "datasets");
         assert!(
             reply.starts_with("ok\tdatasets\t1\tfig2:n=12,m=19,built=true"),
             "{reply}"
         );
-        let (reply, _) = ask(&mut eng, "counters");
+        let (reply, _) = ask(&eng, "counters");
         assert_eq!(
             reply,
             "ok\tcounters\tloads=1\tbuilds=1\tcache_hits=0\tevictions=0\tqueries=1"
@@ -583,10 +584,10 @@ mod tests {
 
     #[test]
     fn serve_lines_replies_per_request_and_stops_on_quit() {
-        let mut eng = engine_with_fig2();
+        let eng = engine_with_fig2();
         let input = b"query fig2 coreof 5\n\nquery fig2 bestkset zz\nquit\nquery fig2 stats\n";
         let mut out = Vec::new();
-        let control = serve_lines(&mut eng, &ExecPolicy::Sequential, &input[..], &mut out).unwrap();
+        let control = serve_lines(&eng, &ExecPolicy::Sequential, &input[..], &mut out).unwrap();
         assert_eq!(control, Control::Quit);
         let text = String::from_utf8(out).unwrap();
         let lines: Vec<&str> = text.lines().collect();
@@ -599,10 +600,10 @@ mod tests {
 
     #[test]
     fn serve_lines_eof_means_continue() {
-        let mut eng = engine_with_fig2();
+        let eng = engine_with_fig2();
         let mut out = Vec::new();
         let control = serve_lines(
-            &mut eng,
+            &eng,
             &ExecPolicy::Sequential,
             &b"query fig2 stats\n"[..],
             &mut out,
@@ -613,7 +614,7 @@ mod tests {
 
     #[test]
     fn oversized_lines_get_a_typed_error_and_the_stream_realigns() {
-        let mut eng = engine_with_fig2();
+        let eng = engine_with_fig2();
         let limits = ServeLimits {
             max_line_bytes: 32,
             max_inflight: 4,
@@ -623,14 +624,8 @@ mod tests {
         input.extend_from_slice(&vec![b'x'; 500]);
         input.extend_from_slice(b"\nquery fig2 coreof 5\n");
         let mut out = Vec::new();
-        let control = serve_lines_with(
-            &mut eng,
-            &ExecPolicy::Sequential,
-            &input[..],
-            &mut out,
-            &limits,
-        )
-        .unwrap();
+        let control =
+            serve_lines_with(&eng, &ExecPolicy::Sequential, &input[..], &mut out, &limits).unwrap();
         assert_eq!(control, Control::Continue);
         let text = String::from_utf8(out).unwrap();
         let lines: Vec<&str> = text.lines().collect();
@@ -643,14 +638,14 @@ mod tests {
 
     #[test]
     fn a_zero_inflight_limit_sheds_every_request() {
-        let mut eng = engine_with_fig2();
+        let eng = engine_with_fig2();
         let limits = ServeLimits {
             max_line_bytes: 1024,
             max_inflight: 0,
         };
         let mut out = Vec::new();
         serve_lines_with(
-            &mut eng,
+            &eng,
             &ExecPolicy::Sequential,
             &b"query fig2 stats\nquery fig2 coreof 5\n"[..],
             &mut out,
@@ -667,7 +662,7 @@ mod tests {
     #[test]
     fn injected_overload_sheds_with_a_typed_error() {
         use bestk_faults::{Fault, FaultPlan, SiteSpec};
-        let mut eng = engine_with_fig2();
+        let eng = engine_with_fig2();
         let plan = FaultPlan::new(21).site(
             sites::SERVE_OVERLOAD,
             SiteSpec::always(Fault::Overload).with_budget(1),
@@ -675,7 +670,7 @@ mod tests {
         bestk_faults::with_plan(&plan, || {
             let mut out = Vec::new();
             serve_lines(
-                &mut eng,
+                &eng,
                 &ExecPolicy::Sequential,
                 &b"query fig2 stats\nquery fig2 stats\n"[..],
                 &mut out,
@@ -696,7 +691,7 @@ mod tests {
         // Sweep seeds: a mangled request must produce ok or err on every
         // line, and the stream must keep serving afterwards.
         for seed in 0..16 {
-            let mut eng = engine_with_fig2();
+            let eng = engine_with_fig2();
             let plan = FaultPlan::new(seed).site(
                 sites::SERVE_READ,
                 SiteSpec::mixed(vec![Fault::BitFlip, Fault::Truncate, Fault::ShortRead], 0.5),
@@ -704,7 +699,7 @@ mod tests {
             bestk_faults::with_plan(&plan, || {
                 let mut out = Vec::new();
                 let input = b"query fig2 stats\nquery fig2 coreof 5\nquery fig2 bestkset ad\n";
-                serve_lines(&mut eng, &ExecPolicy::Sequential, &input[..], &mut out).unwrap();
+                serve_lines(&eng, &ExecPolicy::Sequential, &input[..], &mut out).unwrap();
                 let text = String::from_utf8(out).unwrap();
                 for line in text.lines() {
                     assert!(
@@ -719,21 +714,21 @@ mod tests {
     #[test]
     fn contained_panics_become_internal_errors() {
         use bestk_faults::{Fault, FaultPlan, SiteSpec};
-        let mut eng = engine_with_fig2();
+        let eng = engine_with_fig2();
         let plan = FaultPlan::new(2).site(
             sites::EXEC_WORKER,
             SiteSpec::always(Fault::Panic).with_budget(1),
         );
         bestk_faults::with_plan(&plan, || {
             let (reply, c) = handle_request(
-                &mut eng,
+                &eng,
                 &ExecPolicy::with_threads(2).unwrap(),
                 "query fig2 stats",
             );
             assert!(reply.starts_with("err\tinternal error:"), "{reply}");
             assert_eq!(c, Control::Continue);
             // The engine still answers afterwards.
-            let (reply, _) = ask(&mut eng, "query fig2 stats");
+            let (reply, _) = ask(&eng, "query fig2 stats");
             assert_eq!(reply, "ok\tstats\tn=12\tm=19\tkmax=3\tcores=3");
         });
     }
@@ -750,17 +745,17 @@ mod tests {
         bestk_graph::io::write_edge_list_path(&g, &source).unwrap();
         std::fs::write(&snap, b"BESTKSS1 but then garbage").unwrap();
 
-        let mut eng = Engine::new(None);
+        let eng = SharedEngine::with_budget(None);
         let line = format!(
             "load g {} {}",
             snap.to_str().unwrap(),
             source.to_str().unwrap()
         );
-        let (reply, c) = ask(&mut eng, &line);
+        let (reply, c) = ask(&eng, &line);
         assert_eq!(reply, "ok\trebuilt\tg");
         assert_eq!(c, Control::Continue);
         assert!(quarantine.exists());
-        let (reply, _) = ask(&mut eng, "query g stats");
+        let (reply, _) = ask(&eng, "query g stats");
         assert_eq!(reply, "ok\tstats\tn=12\tm=19\tkmax=3\tcores=3");
         for f in [snap, source, quarantine] {
             std::fs::remove_file(f).ok();

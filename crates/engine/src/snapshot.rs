@@ -36,6 +36,10 @@ use std::io::{Read, Write};
 use std::path::Path;
 use std::time::Duration;
 
+use bestk_exec::ExecPolicy;
+
+use crate::engine::LoadOutcome;
+
 use bestk_core::{
     CoreDecomposition, CoreForest, CoreForestNode, CoreSetProfile, GraphContext, OrderedGraph,
     PrimaryValues, SingleCoreProfile,
@@ -219,7 +223,7 @@ pub fn save<W: Write>(dataset: &Dataset, writer: W) -> Result<(), EngineError> {
         w.write_all(&offset.to_le_bytes())?;
         w.write_all(&(body.len() as u64).to_le_bytes())?;
         w.write_all(&fnv1a(body).to_le_bytes())?;
-        offset += body.len() as u64;
+        offset = offset.saturating_add(body.len() as u64);
     }
     for (_, body) in &sections {
         w.write_all(body)?;
@@ -783,6 +787,43 @@ pub fn load_path_with_retry<P: AsRef<Path>>(
 ) -> Result<Dataset, EngineError> {
     let bytes = with_retries(policy, || read_snapshot_bytes(path.as_ref()))?;
     load_bytes(&bytes)
+}
+
+/// The resilient load ladder as a free function: read `path` (retrying
+/// transient I/O under `retry`); on corruption, quarantine the bad file
+/// and rebuild the full index from the `source` graph file if one is
+/// given; otherwise surface the typed error.
+///
+/// This is deliberately registry-free — every byte of disk I/O and the
+/// whole `O(m^1.5)` rebuild happen here, so callers holding a registry
+/// lock can (and must) finish this *before* acquiring it. The returned
+/// dataset is fully built on the [`Rebuilt`](LoadOutcome::Rebuilt) path
+/// and arrives built from any valid snapshot.
+pub fn load_or_rebuild(
+    path: &str,
+    source: Option<&str>,
+    retry: &RetryPolicy,
+    policy: &ExecPolicy,
+) -> Result<(Dataset, LoadOutcome), EngineError> {
+    match load_path_with_retry(path, retry) {
+        Ok(dataset) => Ok((dataset, LoadOutcome::Loaded)),
+        Err(e) if e.is_corruption() => {
+            let source = match source {
+                Some(s) => s,
+                None => return Err(e),
+            };
+            // Quarantine is best-effort: the rebuild below is the part
+            // that restores service.
+            if std::fs::rename(path, format!("{path}.quarantine")).is_ok() {
+                bestk_obs::counter("engine.quarantines").inc();
+            }
+            let graph = bestk_graph::io::read_auto_path(source)?;
+            let mut dataset = Dataset::from_graph(graph);
+            dataset.ensure_built(policy);
+            Ok((dataset, LoadOutcome::Rebuilt))
+        }
+        Err(e) => Err(e),
+    }
 }
 
 #[cfg(test)]

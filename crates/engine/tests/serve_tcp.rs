@@ -14,7 +14,7 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
-use bestk_engine::{serve_on_listener, snapshot, Dataset, Engine, ServeLimits};
+use bestk_engine::{serve_on_listener, snapshot, Dataset, ServeLimits, SharedEngine};
 use bestk_exec::ExecPolicy;
 use bestk_graph::generators;
 
@@ -70,9 +70,9 @@ fn tcp_round_trip_with_real_client() {
         replies
     });
 
-    let mut engine = Engine::new(None);
+    let engine = SharedEngine::with_budget(None);
     serve_on_listener(
-        &mut engine,
+        &engine,
         &ExecPolicy::Sequential,
         &listener,
         Some(Duration::from_secs(5)),
@@ -137,9 +137,9 @@ fn tcp_server_survives_client_hangup_and_timeout() {
         drop(idle);
     });
 
-    let mut engine = Engine::new(None);
+    let engine = SharedEngine::with_budget(None);
     serve_on_listener(
-        &mut engine,
+        &engine,
         &ExecPolicy::Sequential,
         &listener,
         Some(Duration::from_millis(40)),

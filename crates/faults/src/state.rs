@@ -12,6 +12,10 @@
 //! [`install_plan`] / [`clear_plan`] mutate process-global state; outside
 //! this crate and test code the `no-raw-failpoint` lint restricts
 //! activation to [`init_from_env`] (binaries) and [`with_plan`] (tests).
+//!
+//! bestk-analyze: allow-file(raw-atomic) — the whole point of the `ENABLED`
+//! / `INJECTED` statics is a lock-free disabled fast path (one relaxed
+//! load); routing them through the obs seam would reintroduce the lock.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

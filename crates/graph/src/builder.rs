@@ -1,4 +1,8 @@
 //! Linear-time construction of [`CsrGraph`] from edge streams.
+//!
+//! bestk-analyze: allow-file(raw-atomic) — parallel degree counting uses
+//! relaxed `fetch_add` on disjoint-by-value counters; addition commutes, so
+//! the totals are schedule-invariant and identical to the sequential path.
 
 use crate::cast;
 use std::collections::HashMap;
@@ -153,6 +157,7 @@ fn build_csr(n: usize, mut edges: Vec<(VertexId, VertexId)>, policy: &ExecPolicy
         |(), _, vertices, region| {
             let base = offsets_ref[vertices.start];
             for w in vertices {
+                // bestk-analyze: allow(unchecked-arith) — prefix-sum offsets are monotone, base <= offsets[w]
                 region[offsets_ref[w] - base..offsets_ref[w + 1] - base].sort_unstable();
             }
         },
@@ -167,8 +172,9 @@ fn count_degrees(n: usize, edges: &[(VertexId, VertexId)], policy: &ExecPolicy) 
     if !policy.is_parallel() || edges.len() < 2 {
         let mut deg = vec![0usize; n];
         for &(u, v) in edges {
+            // bestk-analyze: allow(unchecked-arith) — counts bounded by the in-memory edge count
             deg[u as usize] += 1;
-            deg[v as usize] += 1;
+            deg[v as usize] += 1; // bestk-analyze: allow(unchecked-arith) — same bound as above
         }
         return deg;
     }

@@ -114,6 +114,7 @@ impl CsrGraph {
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
         let v = v as usize;
+        // bestk-analyze: allow(unchecked-arith) — offsets are validated monotone at construction
         self.offsets[v + 1] - self.offsets[v]
     }
 
@@ -170,6 +171,7 @@ impl CsrGraph {
     /// Maximum degree over all vertices (0 for an empty graph).
     pub fn max_degree(&self) -> usize {
         (0..self.num_vertices())
+            // bestk-analyze: allow(unchecked-arith) — offsets are validated monotone at construction
             .map(|v| self.offsets[v + 1] - self.offsets[v])
             .max()
             .unwrap_or(0)

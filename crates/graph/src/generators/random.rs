@@ -92,14 +92,18 @@ pub fn chung_lu_power_law(n: usize, avg_degree: f64, gamma: f64, seed: u64) -> C
     // Zipf-like weights, already descending in i.
     let alpha = 1.0 / (gamma - 1.0);
     let mut weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+    // bestk-analyze: allow(float-reduce) — sequential in-order slice sum
     let wsum: f64 = weights.iter().sum();
+    // bestk-analyze: allow(unchecked-arith) — f64 product; checked variants are integer-only
     let scale = avg_degree * n as f64 / wsum;
     for w in &mut weights {
         *w *= scale;
         // Cap at sqrt(total weight) to keep edge probabilities <= 1-ish; the
         // classic Chung-Lu validity condition w_i * w_j <= W.
+        // bestk-analyze: allow(unchecked-arith) — f64 product; checked variants are integer-only
         *w = w.min((avg_degree * n as f64).sqrt());
     }
+    // bestk-analyze: allow(float-reduce) — sequential in-order slice sum
     let total_w: f64 = weights.iter().sum();
     let mut rng = Xoshiro256::seed_from_u64(seed);
     // For each u (in descending weight order), sample neighbors v > u with
@@ -194,6 +198,7 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
     b.reserve_vertices(n);
     for v in 0..n {
         for offset in 1..=k / 2 {
+            // bestk-analyze: allow(unchecked-arith) — v < n and offset <= k/2 <= n, sum fits usize
             let u = (v + offset) % n;
             if rng.next_bool(beta) {
                 // Rewire: keep v, pick a random other endpoint.

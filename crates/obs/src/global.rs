@@ -80,6 +80,7 @@ pub fn snapshot() -> Snapshot {
 pub fn with_fresh<R>(clock: Arc<dyn Clock>, f: impl FnOnce() -> R) -> (R, Snapshot) {
     let _gate = lock(&TEST_GATE);
     let fresh = Arc::new(MetricsRegistry::new());
+    // bestk-analyze: allow(lock-nested) — documented order TEST_GATE -> STATE, the only nesting
     let previous = lock(&STATE).replace(GlobalState {
         registry: fresh.clone(),
         clock,
@@ -87,6 +88,7 @@ pub fn with_fresh<R>(clock: Arc<dyn Clock>, f: impl FnOnce() -> R) -> (R, Snapsh
     struct Restore(Option<GlobalState>);
     impl Drop for Restore {
         fn drop(&mut self) {
+            // bestk-analyze: allow(lock-nested) — same TEST_GATE -> STATE order as the acquire above
             *lock(&STATE) = self.0.take();
         }
     }

@@ -17,7 +17,9 @@
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 
-use bestk_engine::{serve_lines, snapshot, Control, Dataset, Engine, RetryPolicy, ServeLimits};
+use bestk_engine::{
+    serve_lines, snapshot, Control, Dataset, RetryPolicy, ServeLimits, SharedEngine,
+};
 use bestk_exec::ExecPolicy;
 use bestk_faults::{sites, Fault, FaultPlan, SiteSpec};
 use bestk_graph::generators;
@@ -143,13 +145,13 @@ fn run_session(plan: &FaultPlan, strict: bool, context: &str) {
     let (dir, source, snap) = fixture(context);
     bestk_faults::with_plan(plan, || {
         let before = injected_metrics();
-        let mut engine = Engine::new(None);
+        let engine = SharedEngine::with_budget(None);
         let policy = ExecPolicy::with_threads(2).expect("two workers");
         let mut out = Vec::new();
         // The `quit` request itself can be shed or mangled, in which case
         // the stream ends at EOF with `Continue` — both controls are fine;
         // the invariant is that serve_lines returns Ok at all.
-        let control = serve_lines(&mut engine, &policy, &script(&snap, &source)[..], &mut out)
+        let control = serve_lines(&engine, &policy, &script(&snap, &source)[..], &mut out)
             .unwrap_or_else(|e| panic!("{context}: server died: {e}"));
         assert!(matches!(control, Control::Quit | Control::Continue));
         assert_replies(&String::from_utf8_lossy(&out), strict, context);
@@ -325,10 +327,10 @@ fn corrupt_snapshot_on_startup_quarantines_and_rebuilds() {
         bytes[at] ^= 0xff;
         std::fs::write(&snap, &bytes).expect("corrupt snapshot");
 
-        let mut engine = Engine::new(None);
+        let engine = SharedEngine::with_budget(None);
         let mut out = Vec::new();
         serve_lines(
-            &mut engine,
+            &engine,
             &ExecPolicy::Sequential,
             &script(&snap, &source)[..],
             &mut out,
@@ -360,7 +362,7 @@ fn timeout_install_failures_surface_on_the_connection() {
             let before = injected_metrics();
             let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
             let addr = listener.local_addr().expect("addr");
-            let mut engine = Engine::new(None);
+            let engine = SharedEngine::with_budget(None);
             engine.insert_graph("fig2", generators::paper_figure2());
             std::thread::scope(|scope| {
                 let client = scope.spawn(move || {
@@ -389,7 +391,7 @@ fn timeout_install_failures_surface_on_the_connection() {
                     assert_eq!(line.trim_end(), "ok\tbye", "seed {seed}");
                 });
                 bestk_engine::serve_on_listener(
-                    &mut engine,
+                    &engine,
                     &ExecPolicy::Sequential,
                     &listener,
                     Some(std::time::Duration::from_secs(5)),

@@ -23,7 +23,7 @@
 
 use std::sync::Arc;
 
-use bestk_engine::{serve_lines, Engine};
+use bestk_engine::{serve_lines, SharedEngine};
 use bestk_exec::ExecPolicy;
 use bestk_graph::generators;
 use bestk_obs::ManualClock;
@@ -64,10 +64,10 @@ fn metrics_exposition_matches_golden_at_every_thread_count() {
     // functions of the code path, not the machine.
     let clock = Arc::new(ManualClock::with_step(1_000));
     let ((), snap) = bestk_obs::with_fresh(clock, || {
-        let mut engine = Engine::new(None);
+        let engine = SharedEngine::with_budget(None);
         engine.insert_graph("g", generators::paper_figure2());
         let mut out = Vec::new();
-        serve_lines(&mut engine, &policy, SCRIPT, &mut out).expect("serve");
+        serve_lines(&engine, &policy, SCRIPT, &mut out).expect("serve");
         let text = String::from_utf8(out).expect("utf8 replies");
 
         // The inline `metrics` verb frames the same exposition over the
