@@ -13,6 +13,7 @@
 //! | `no-raw-net` | no `std::net` sockets outside `crates/engine` (the policed serving seam) |
 //! | `no-raw-failpoint` | no `install_plan(`/`clear_plan(` outside `crates/faults` (fault sites go through the `bestk_faults` facade) |
 //! | `no-raw-instant` | no `Instant::now(` outside `crates/obs` (timing goes through the injectable `bestk_obs` clock) |
+//! | `no-raw-graph` | no `.offsets()`/`.raw_neighbors()`/`CsrGraph::from_parts` outside `crates/graph` (graphs are observed through `GraphView`) |
 //! | `module-doc` | every source file opens with a `//!` module doc |
 //!
 //! The deeper analysis families — lock discipline, determinism, hot-path
@@ -67,6 +68,10 @@ pub const LINTS: &[(&str, &str)] = &[
     (
         "no-raw-instant",
         "no std::time::Instant::now outside crates/obs; read time through the bestk_obs clock",
+    ),
+    (
+        "no-raw-graph",
+        "no CsrGraph internals (.offsets()/.raw_neighbors()/from_parts) outside crates/graph; observe graphs through GraphView",
     ),
     (
         "module-doc",
@@ -210,6 +215,10 @@ pub fn check_model(path: &str, role: FileRole, m: &FileModel<'_>) -> Vec<Diagnos
     // place allowed to read `Instant::now` directly, so every other timing
     // read stays swappable for the deterministic manual clock.
     let instant_exempt = path.starts_with("crates/obs/");
+    // `crates/graph` owns the CSR representation: everywhere else observes
+    // graphs through the `GraphView` trait so storage backends (succinct,
+    // mapped snapshots) stay swappable without touching consumers.
+    let graph_exempt = path.starts_with("crates/graph/");
 
     let mut push = |lint: &'static str, line: u32, msg: String| {
         diags.push(Diagnostic::new(path, line as usize, lint, msg));
@@ -327,6 +336,33 @@ pub fn check_model(path: &str, role: FileRole, m: &FileModel<'_>) -> Vec<Diagnos
                 "`Instant::now` outside crates/obs (read time through the bestk_obs clock)"
                     .to_string(),
             );
+        }
+
+        // Raw CSR internals: the `.offsets()` / `.raw_neighbors()`
+        // accessors and the `CsrGraph::from_parts` constructors.
+        if !graph_exempt {
+            if m.is_punct(i, b'.') && m.is_punct(i + 2, b'(') {
+                if let Some(name @ ("offsets" | "raw_neighbors")) = m.ident(i + 1) {
+                    if !allowed("no-raw-graph") {
+                        push("no-raw-graph", line, format!(
+                            "`.{name}()` outside crates/graph (observe graphs through the GraphView trait)"
+                        ));
+                    }
+                }
+            }
+            if m.is_ident(i, "CsrGraph")
+                && m.is_punct(i + 1, b':')
+                && m.is_punct(i + 2, b':')
+                && m.is_punct(i + 4, b'(')
+            {
+                if let Some(name @ ("from_parts" | "try_from_parts")) = m.ident(i + 3) {
+                    if !allowed("no-raw-graph") {
+                        push("no-raw-graph", line, format!(
+                            "`CsrGraph::{name}` outside crates/graph (build graphs via GraphBuilder or the blessed deserializers)"
+                        ));
+                    }
+                }
+            }
         }
 
         // Truncating `as` casts.
@@ -578,6 +614,46 @@ mod tests {
         let src = format!(
             "{DOC}// bestk-analyze: allow(no-raw-instant) — calibrating the clock itself\nlet t = Instant::now();\n"
         );
+        assert!(check_file("crates/core/src/x.rs", FileRole::Library, &src).is_empty());
+    }
+
+    #[test]
+    fn raw_graph_outside_graph_crate_fires() {
+        for bad in [
+            "fn f(g: &CsrGraph) -> usize { g.offsets()[0] }",
+            "fn f(g: &CsrGraph) -> usize { g.raw_neighbors().len() }",
+            "fn f() { let _ = CsrGraph::from_parts(vec![0], vec![]); }",
+            "fn f() { let _ = CsrGraph::try_from_parts(vec![0], vec![]); }",
+        ] {
+            let src = format!("{DOC}{bad}\n");
+            let d = check_file("crates/engine/src/store.rs", FileRole::Library, &src);
+            assert_eq!(lints_of(&d), vec!["no-raw-graph"], "{bad:?}");
+            assert_eq!(d[0].line, 2);
+        }
+    }
+
+    #[test]
+    fn raw_graph_inside_graph_crate_is_blessed() {
+        let src = format!(
+            "{DOC}pub fn copy(g: &CsrGraph) -> CsrGraph {{\n    \
+             CsrGraph::from_parts(g.offsets().to_vec(), g.raw_neighbors().to_vec())\n}}\n"
+        );
+        assert!(check_file("crates/graph/src/transform.rs", FileRole::Library, &src).is_empty());
+    }
+
+    #[test]
+    fn raw_graph_in_test_code_or_allowed_lines_is_fine() {
+        let src = format!(
+            "{DOC}// .offsets( in a comment\n\
+             #[cfg(test)]\nmod tests {{\n    fn t(g: &CsrGraph) {{ let _ = g.offsets(); }}\n}}\n"
+        );
+        assert!(check_file("crates/core/src/x.rs", FileRole::Library, &src).is_empty());
+        let src = format!(
+            "{DOC}// bestk-analyze: allow(no-raw-graph) — CSR fast path, backed by the trait contract\nlet o = g.offsets().to_vec();\n"
+        );
+        assert!(check_file("crates/core/src/x.rs", FileRole::Library, &src).is_empty());
+        // Non-CsrGraph `from_parts` constructors are someone else's business.
+        let src = format!("{DOC}let f = CoreForest::from_parts(nodes, vertex_node);\n");
         assert!(check_file("crates/core/src/x.rs", FileRole::Library, &src).is_empty());
     }
 

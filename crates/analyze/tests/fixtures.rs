@@ -187,6 +187,39 @@ fn raw_instant_inside_obs_crate_passes() {
 }
 
 #[test]
+fn injected_raw_graph_access_fails_outside_graph_crate() {
+    let fx = Fixture::new("rawgraph");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\n\
+         pub fn width(g: &CsrGraph) -> usize {\n    g.offsets().len() + g.raw_neighbors().len()\n}\n\
+         pub fn rebuild() -> CsrGraph {\n    CsrGraph::from_parts(vec![0], vec![])\n}\n",
+    );
+    assert_eq!(
+        fx.lints(),
+        vec!["no-raw-graph", "no-raw-graph", "no-raw-graph"]
+    );
+}
+
+#[test]
+fn raw_graph_access_inside_graph_crate_passes() {
+    let fx = Fixture::new("graphowner");
+    fx.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/demo/src/util.rs",
+        "//! Utilities.\npub fn twice(x: u64) -> u64 { x * 2 }\n",
+    );
+    fx.write(
+        "crates/graph/src/transform.rs",
+        "//! Representation owner: raw CSR surgery is this crate's job.\n\
+         pub fn copy(g: &CsrGraph) -> CsrGraph {\n    \
+         CsrGraph::from_parts(g.offsets().to_vec(), g.raw_neighbors().to_vec())\n}\n",
+    );
+    assert_eq!(fx.lints(), Vec::<String>::new());
+}
+
+#[test]
 fn missing_module_doc_fails() {
     let fx = Fixture::new("nodoc");
     fx.write("crates/demo/src/lib.rs", CLEAN_LIB);

@@ -14,7 +14,7 @@
 
 use bestk_core::CoreDecomposition;
 use bestk_graph::cast;
-use bestk_graph::{CsrGraph, VertexId};
+use bestk_graph::{GraphView, VertexId};
 
 /// Result of a mirror-pattern anomaly analysis.
 #[derive(Debug, Clone)]
@@ -46,7 +46,7 @@ impl MirrorAnomalies {
 
 /// Fits the mirror pattern and scores deviations; `O(n)` after the
 /// decomposition.
-pub fn mirror_anomaly_scores(g: &CsrGraph, d: &CoreDecomposition) -> MirrorAnomalies {
+pub fn mirror_anomaly_scores<G: GraphView>(g: &G, d: &CoreDecomposition) -> MirrorAnomalies {
     let n = g.num_vertices();
     let mut xs = Vec::with_capacity(n);
     let mut ys = Vec::with_capacity(n);
@@ -104,7 +104,7 @@ mod tests {
     use super::*;
     use bestk_core::core_decomposition;
     use bestk_graph::generators;
-    use bestk_graph::GraphBuilder;
+    use bestk_graph::{CsrGraph, GraphBuilder};
 
     #[test]
     fn loner_star_hub_is_most_anomalous() {

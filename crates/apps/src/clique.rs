@@ -13,11 +13,11 @@
 
 use bestk_core::CoreDecomposition;
 use bestk_graph::cast;
-use bestk_graph::{CsrGraph, VertexId};
+use bestk_graph::{GraphView, VertexId};
 
 /// Computes a maximum clique of `g`. Exact; returns vertices in ascending
 /// order (empty for a vertex-free graph).
-pub fn maximum_clique(g: &CsrGraph, d: &CoreDecomposition) -> Vec<VertexId> {
+pub fn maximum_clique<G: GraphView>(g: &G, d: &CoreDecomposition) -> Vec<VertexId> {
     let (clique, exact) = maximum_clique_with_budget(g, d, None);
     debug_assert!(exact);
     clique
@@ -26,8 +26,8 @@ pub fn maximum_clique(g: &CsrGraph, d: &CoreDecomposition) -> Vec<VertexId> {
 /// Like [`maximum_clique`] but with an optional wall-clock budget. Returns
 /// the best clique found and whether the search completed (i.e. the result
 /// is provably maximum). With `budget = None` the search always completes.
-pub fn maximum_clique_with_budget(
-    g: &CsrGraph,
+pub fn maximum_clique_with_budget<G: GraphView>(
+    g: &G,
     d: &CoreDecomposition,
     budget: Option<std::time::Duration>,
 ) -> (Vec<VertexId>, bool) {
@@ -57,8 +57,6 @@ pub fn maximum_clique_with_budget(
         // Candidates: later neighbors in the peel order (≤ c(v) of them).
         let cands: Vec<VertexId> = g
             .neighbors(v)
-            .iter()
-            .copied()
             .filter(|&u| position[u as usize] > position[v as usize])
             .collect();
         if cands.len() < best.len() {
@@ -105,7 +103,7 @@ struct LocalSearch<'a> {
 }
 
 impl<'a> LocalSearch<'a> {
-    fn new(g: &CsrGraph, cands: &'a [VertexId], deadline: Option<u64>) -> Self {
+    fn new<G: GraphView>(g: &G, cands: &'a [VertexId], deadline: Option<u64>) -> Self {
         let k = cands.len();
         let words = k.div_ceil(64);
         let mut local_of = std::collections::HashMap::with_capacity(k);
@@ -114,7 +112,7 @@ impl<'a> LocalSearch<'a> {
         }
         let mut adj = vec![vec![0u64; words]; k];
         for (i, &u) in cands.iter().enumerate() {
-            for &w in g.neighbors(u) {
+            for w in g.neighbors(u) {
                 if let Some(&j) = local_of.get(&w) {
                     adj[i][j / 64] |= 1u64 << (j % 64);
                 }
@@ -218,7 +216,7 @@ mod tests {
     use super::*;
     use bestk_core::core_decomposition;
     use bestk_graph::generators::{self, regular};
-    use bestk_graph::GraphBuilder;
+    use bestk_graph::{CsrGraph, GraphBuilder};
 
     fn mc(g: &CsrGraph) -> Vec<VertexId> {
         let d = core_decomposition(g);

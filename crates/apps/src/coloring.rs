@@ -10,7 +10,7 @@
 
 use bestk_core::CoreDecomposition;
 use bestk_graph::cast;
-use bestk_graph::CsrGraph;
+use bestk_graph::GraphView;
 
 /// A proper vertex coloring.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,18 +23,17 @@ pub struct Coloring {
 
 impl Coloring {
     /// Verifies properness in `O(m)`.
-    pub fn is_proper(&self, g: &CsrGraph) -> bool {
+    pub fn is_proper(&self, g: &impl GraphView) -> bool {
         g.vertices().all(|v| {
             g.neighbors(v)
-                .iter()
-                .all(|&u| self.colors[u as usize] != self.colors[v as usize])
+                .all(|u| self.colors[u as usize] != self.colors[v as usize])
         })
     }
 }
 
 /// Colors `g` greedily in smallest-last (reverse peel) order; uses at most
 /// `kmax + 1` colors in `O(n + m)` time.
-pub fn smallest_last_coloring(g: &CsrGraph, d: &CoreDecomposition) -> Coloring {
+pub fn smallest_last_coloring<G: GraphView>(g: &G, d: &CoreDecomposition) -> Coloring {
     let n = g.num_vertices();
     let mut colors = vec![u32::MAX; n];
     // Scratch: `used[c] == stamp` means color c is taken by a neighbor.
@@ -43,7 +42,7 @@ pub fn smallest_last_coloring(g: &CsrGraph, d: &CoreDecomposition) -> Coloring {
     let mut num_colors = 0u32;
     for (stamp, &v) in d.peel_ordering().iter().rev().enumerate() {
         let stamp = cast::u32_of(stamp);
-        for &u in g.neighbors(v) {
+        for u in g.neighbors(v) {
             let cu = colors[u as usize];
             if cu != u32::MAX && (cu as usize) < max_colors {
                 used[cu as usize] = stamp;
@@ -67,6 +66,7 @@ mod tests {
     use super::*;
     use bestk_core::core_decomposition;
     use bestk_graph::generators::{self, regular};
+    use bestk_graph::CsrGraph;
 
     fn color(g: &CsrGraph) -> Coloring {
         let d = core_decomposition(g);

@@ -15,7 +15,7 @@
 //!   instead of "the globally best community".
 
 use bestk_core::{BestKAnalysis, CommunityMetric};
-use bestk_graph::{CsrGraph, VertexId};
+use bestk_graph::{GraphView, VertexId};
 
 /// A community-search answer.
 #[derive(Debug, Clone)]
@@ -87,19 +87,14 @@ pub fn best_scored_community<M: CommunityMetric + ?Sized>(
 }
 
 /// Convenience check: the minimum degree of `vertices` within themselves.
-pub fn min_internal_degree(g: &CsrGraph, vertices: &[VertexId]) -> usize {
+pub fn min_internal_degree(g: &impl GraphView, vertices: &[VertexId]) -> usize {
     let mut inside = vec![false; g.num_vertices()];
     for &v in vertices {
         inside[v as usize] = true;
     }
     vertices
         .iter()
-        .map(|&v| {
-            g.neighbors(v)
-                .iter()
-                .filter(|&&u| inside[u as usize])
-                .count()
-        })
+        .map(|&v| g.neighbors(v).filter(|&u| inside[u as usize]).count())
         .min()
         .unwrap_or(0)
 }

@@ -19,7 +19,7 @@
 use bestk_core::{analyze_basic, BestKAnalysis, Metric};
 use bestk_graph::cast;
 use bestk_graph::subgraph::induced_edge_count;
-use bestk_graph::{CsrGraph, VertexId};
+use bestk_graph::{GraphView, VertexId};
 
 use crate::flow::FlowNetwork;
 
@@ -32,7 +32,7 @@ pub struct DenseSubgraph {
     pub average_degree: f64,
 }
 
-fn answer(g: &CsrGraph, mut vertices: Vec<VertexId>) -> DenseSubgraph {
+fn answer<G: GraphView>(g: &G, mut vertices: Vec<VertexId>) -> DenseSubgraph {
     vertices.sort_unstable();
     vertices.dedup();
     let m = induced_edge_count(g, &vertices);
@@ -47,11 +47,18 @@ fn answer(g: &CsrGraph, mut vertices: Vec<VertexId>) -> DenseSubgraph {
     }
 }
 
+/// Each undirected edge once, as `(u, v)` with `u < v`, from any backend's
+/// sorted adjacency.
+fn undirected_edges<G: GraphView>(g: &G) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+    g.vertices()
+        .flat_map(move |u| g.neighbors(u).filter(move |&v| u < v).map(move |v| (u, v)))
+}
+
 /// `Opt-D`: best single k-core by average degree. `O(m)` after analysis.
 ///
 /// Accepts a prebuilt [`BestKAnalysis`] so the (shared) decomposition cost
 /// is not re-paid when several applications run on one graph.
-pub fn opt_d(g: &CsrGraph, analysis: &BestKAnalysis) -> DenseSubgraph {
+pub fn opt_d<G: GraphView>(g: &G, analysis: &BestKAnalysis) -> DenseSubgraph {
     match analysis.best_single_core_vertices(&Metric::AverageDegree) {
         Some(verts) => answer(g, verts),
         None => DenseSubgraph {
@@ -62,14 +69,14 @@ pub fn opt_d(g: &CsrGraph, analysis: &BestKAnalysis) -> DenseSubgraph {
 }
 
 /// Convenience wrapper running the analysis internally.
-pub fn opt_d_standalone(g: &CsrGraph) -> DenseSubgraph {
+pub fn opt_d_standalone<G: GraphView>(g: &G) -> DenseSubgraph {
     opt_d(g, &analyze_basic(g))
 }
 
 /// `CoreApp`-style approximation: the densest connected component of the
 /// `kmax`-core set (the k-core-based ½-approximation of Fang et al. 2019
 /// that the paper benchmarks against in Table VIII).
-pub fn core_app(g: &CsrGraph, analysis: &BestKAnalysis) -> DenseSubgraph {
+pub fn core_app<G: GraphView>(g: &G, analysis: &BestKAnalysis) -> DenseSubgraph {
     let d = analysis.decomposition();
     let kmax = d.kmax();
     let profile = analysis.core_profile();
@@ -101,7 +108,7 @@ pub fn core_app(g: &CsrGraph, analysis: &BestKAnalysis) -> DenseSubgraph {
 /// Charikar's greedy peeling: remove the minimum-degree vertex until the
 /// graph is empty; return the intermediate subgraph with the highest average
 /// degree. `O(n + m)` with a bucket queue; ½-approximate.
-pub fn charikar_peeling(g: &CsrGraph) -> DenseSubgraph {
+pub fn charikar_peeling<G: GraphView>(g: &G) -> DenseSubgraph {
     let n = g.num_vertices();
     if n == 0 {
         return DenseSubgraph {
@@ -140,7 +147,7 @@ pub fn charikar_peeling(g: &CsrGraph) -> DenseSubgraph {
         removal_order.push(v);
         remaining_edges -= degree[v as usize];
         remaining_vertices -= 1;
-        for &u in g.neighbors(v) {
+        for u in g.neighbors(v) {
             if !removed[u as usize] {
                 let du = degree[u as usize];
                 degree[u as usize] = du - 1;
@@ -173,7 +180,7 @@ pub fn charikar_peeling(g: &CsrGraph) -> DenseSubgraph {
 ///
 /// `O(log n · maxflow)` — intended for graphs up to a few thousand edges
 /// (tests and Table VIII's quality validation), not for the full datasets.
-pub fn goldberg_exact(g: &CsrGraph) -> DenseSubgraph {
+pub fn goldberg_exact<G: GraphView>(g: &G) -> DenseSubgraph {
     let n = g.num_vertices();
     let m = g.num_edges();
     if n == 0 || m == 0 {
@@ -199,7 +206,7 @@ pub fn goldberg_exact(g: &CsrGraph) -> DenseSubgraph {
     }
     if best.is_empty() {
         // Densest is at density exactly lo = 0? Fall back to a single edge.
-        if let Some((u, v)) = g.edges().next() {
+        if let Some((u, v)) = undirected_edges(g).next() {
             best = vec![u, v];
         }
     }
@@ -208,7 +215,7 @@ pub fn goldberg_exact(g: &CsrGraph) -> DenseSubgraph {
 
 /// One Goldberg cut: returns the source-side vertex set (empty ⇒ no subgraph
 /// with density > `guess`).
-fn goldberg_cut(g: &CsrGraph, guess: f64) -> Vec<VertexId> {
+fn goldberg_cut<G: GraphView>(g: &G, guess: f64) -> Vec<VertexId> {
     let n = g.num_vertices();
     let m = g.num_edges() as f64;
     let s = n;
@@ -218,7 +225,7 @@ fn goldberg_cut(g: &CsrGraph, guess: f64) -> Vec<VertexId> {
         net.add_edge(s, v, m);
         net.add_edge(v, t, m + 2.0 * guess - g.degree(cast::vertex_id(v)) as f64);
     }
-    for (u, v) in g.edges() {
+    for (u, v) in undirected_edges(g) {
         net.add_edge(u as usize, v as usize, 1.0);
         net.add_edge(v as usize, u as usize, 1.0);
     }
@@ -234,7 +241,7 @@ mod tests {
     use super::*;
     use bestk_core::analyze_basic;
     use bestk_graph::generators::{self, regular};
-    use bestk_graph::GraphBuilder;
+    use bestk_graph::{CsrGraph, GraphBuilder};
 
     /// K5 with a long path attached: the densest subgraph is exactly the K5.
     fn k5_with_tail() -> CsrGraph {

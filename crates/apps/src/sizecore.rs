@@ -14,7 +14,7 @@
 use bestk_core::{BestKAnalysis, Metric};
 use bestk_graph::cast;
 use bestk_graph::connectivity::bfs_restricted;
-use bestk_graph::{CsrGraph, VertexId};
+use bestk_graph::{GraphView, VertexId};
 
 /// The result of an Opt-SC query.
 #[derive(Debug, Clone)]
@@ -43,7 +43,7 @@ impl SizeConstrainedCore {
     }
 
     /// The connected component of the query vertex within the survivor set.
-    pub fn query_component(&self, g: &CsrGraph) -> Vec<VertexId> {
+    pub fn query_component(&self, g: &impl GraphView) -> Vec<VertexId> {
         let mut inside = vec![false; g.num_vertices()];
         for &v in &self.vertices {
             inside[v as usize] = true;
@@ -55,8 +55,8 @@ impl SizeConstrainedCore {
 /// Runs `Opt-SC`. Returns `None` when no core containing `q` satisfies
 /// `k' ≥ k` and `|V| ≥ h` (e.g. `c(q) < k`, or `h` larger than every
 /// enclosing core).
-pub fn opt_sc(
-    g: &CsrGraph,
+pub fn opt_sc<G: GraphView>(
+    g: &G,
     analysis: &BestKAnalysis,
     k: u32,
     h: usize,
@@ -99,8 +99,8 @@ pub fn opt_sc(
 /// min-degree-≥-k invariant by cascade deletion; returns the survivor set
 /// (paper semantics: the whole peeled residue, not just `q`'s component).
 /// `O(|members| + Σ deg)` via a lazy bucket queue.
-fn peel_to_size(
-    g: &CsrGraph,
+fn peel_to_size<G: GraphView>(
+    g: &G,
     members: &[VertexId],
     k: u32,
     h: usize,
@@ -114,12 +114,7 @@ fn peel_to_size(
     let mut degree = vec![0u32; n];
     let mut max_deg = 0u32;
     for &v in members {
-        let d = cast::u32_of(
-            g.neighbors(v)
-                .iter()
-                .filter(|&&u| inside[u as usize])
-                .count(),
-        );
+        let d = cast::u32_of(g.neighbors(v).filter(|&u| inside[u as usize]).count());
         degree[v as usize] = d;
         max_deg = max_deg.max(d);
     }
@@ -214,8 +209,8 @@ fn peel_to_size(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn remove(
-    g: &CsrGraph,
+fn remove<G: GraphView>(
+    g: &G,
     v: VertexId,
     inside: &mut [bool],
     degree: &mut [u32],
@@ -225,7 +220,7 @@ fn remove(
     cur_min: &mut usize,
 ) {
     inside[v as usize] = false;
-    for &u in g.neighbors(v) {
+    for u in g.neighbors(v) {
         if inside[u as usize] {
             let du = degree[u as usize] - 1;
             degree[u as usize] = du;

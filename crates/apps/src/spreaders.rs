@@ -14,11 +14,11 @@
 
 use bestk_core::CoreDecomposition;
 use bestk_graph::rng::Xoshiro256;
-use bestk_graph::{CsrGraph, VertexId};
+use bestk_graph::{GraphView, VertexId};
 
 /// Vertices ranked by coreness (descending), ties by degree then id —
 /// the k-shell spreader heuristic.
-pub fn rank_by_coreness(g: &CsrGraph, d: &CoreDecomposition) -> Vec<VertexId> {
+pub fn rank_by_coreness<G: GraphView>(g: &G, d: &CoreDecomposition) -> Vec<VertexId> {
     let mut order: Vec<VertexId> = g.vertices().collect();
     order.sort_unstable_by_key(|&v| {
         (
@@ -31,7 +31,7 @@ pub fn rank_by_coreness(g: &CsrGraph, d: &CoreDecomposition) -> Vec<VertexId> {
 }
 
 /// Vertices ranked by degree (descending), ties by id — the naive baseline.
-pub fn rank_by_degree(g: &CsrGraph) -> Vec<VertexId> {
+pub fn rank_by_degree<G: GraphView>(g: &G) -> Vec<VertexId> {
     let mut order: Vec<VertexId> = g.vertices().collect();
     order.sort_unstable_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
     order
@@ -41,7 +41,7 @@ pub fn rank_by_degree(g: &CsrGraph) -> Vec<VertexId> {
 /// susceptible neighbor independently with probability `beta`, then
 /// recovers (never reinfected). Returns the total number of ever-infected
 /// vertices (including the seed).
-pub fn sir_spread(g: &CsrGraph, seed: VertexId, beta: f64, rng: &mut Xoshiro256) -> usize {
+pub fn sir_spread<G: GraphView>(g: &G, seed: VertexId, beta: f64, rng: &mut Xoshiro256) -> usize {
     let n = g.num_vertices();
     debug_assert!((seed as usize) < n);
     // 0 = susceptible, 1 = infected (queued), 2 = recovered.
@@ -52,7 +52,7 @@ pub fn sir_spread(g: &CsrGraph, seed: VertexId, beta: f64, rng: &mut Xoshiro256)
     while !frontier.is_empty() {
         let mut next = Vec::new();
         for &v in &frontier {
-            for &u in g.neighbors(v) {
+            for u in g.neighbors(v) {
                 if state[u as usize] == 0 && rng.next_bool(beta) {
                     state[u as usize] = 1;
                     infected_total += 1;
@@ -67,8 +67,8 @@ pub fn sir_spread(g: &CsrGraph, seed: VertexId, beta: f64, rng: &mut Xoshiro256)
 }
 
 /// Average SIR outbreak size over `trials` runs from `seed`.
-pub fn average_spread(
-    g: &CsrGraph,
+pub fn average_spread<G: GraphView>(
+    g: &G,
     seed: VertexId,
     beta: f64,
     trials: usize,
@@ -80,8 +80,8 @@ pub fn average_spread(
 
 /// Compares the two heuristics: mean outbreak size over the top-`k` seeds
 /// of each ranking. Returns `(coreness_mean, degree_mean)`.
-pub fn compare_heuristics(
-    g: &CsrGraph,
+pub fn compare_heuristics<G: GraphView>(
+    g: &G,
     d: &CoreDecomposition,
     top: usize,
     beta: f64,

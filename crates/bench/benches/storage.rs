@@ -1,0 +1,110 @@
+//! Micro-bench: graph storage backends and snapshot cold starts.
+//!
+//! Measurements on an Erdős–Rényi stand-in (see DESIGN.md §14 "Storage
+//! backends"):
+//!
+//! * `storage/cold_open_v1`   — full v1 `.bestk` deserialize (checksum +
+//!   `from_parts` re-validation of every section) plus one answer;
+//! * `storage/cold_open_v2`   — zero-copy v2 mmap open (header + profile
+//!   checksums only) plus one answer, the near-instant cold-start path;
+//! * `storage/scan_<backend>` — full neighbor-scan throughput per backend
+//!   (csr / succinct / mapped), the price of each representation's reads.
+//!
+//! Gauges recorded into the JSON report alongside the timings:
+//!
+//! * `storage/compression_permille_succinct` — canonical CSR bytes over
+//!   succinct bytes, ×1000 (2340 = 2.34× smaller);
+//! * `storage/compression_permille_mapped`   — CSR bytes over the mapped
+//!   graph section, ×1000;
+//! * `storage/coldstart_speedup_permille`    — v1 min time over v2 min
+//!   time, ×1000 (the mmap cold-start win).
+//!
+//! With `BESTK_BENCH_JSON` set, all records land in the JSON report.
+
+use bestk_bench::Bench;
+use bestk_core::Metric;
+use bestk_engine::{snapshot, snapv2, Dataset, GraphStore, Query};
+use bestk_exec::ExecPolicy;
+use bestk_graph::{generators, GraphView, SuccinctCsr};
+
+/// Sums every adjacency entry through the `GraphView` seam — the
+/// representative read pattern (the peel and the metric sweeps are all
+/// sequential neighbor scans).
+fn scan<G: GraphView>(g: &G) -> u64 {
+    let mut acc = 0u64;
+    for v in g.vertices() {
+        for u in g.neighbors(v) {
+            acc = acc.wrapping_add(u64::from(u));
+        }
+    }
+    acc
+}
+
+fn main() {
+    let b = Bench::from_env_or_exit();
+    assert!(
+        !bestk_faults::is_enabled(),
+        "fault injection must be disabled for benchmarks"
+    );
+    let policy = ExecPolicy::Sequential;
+    let g = generators::erdos_renyi_gnm(20_000, 100_000, 11);
+    let entries = 2 * g.num_edges() as u64;
+    println!(
+        "# graph: er_gnm_20k (n = {}, m = {})",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let dir = std::env::temp_dir().join(format!("bestk-bench-storage-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench tmp dir");
+    let v1_path = dir.join("er-v1.bestk");
+    let v2_path = dir.join("er-v2.bestk");
+    let mut built = Dataset::from_graph(g.clone());
+    built.ensure_built(&policy);
+    snapshot::save_path(&built, &v1_path).expect("save v1");
+    snapv2::save_path(&built, &v2_path).expect("save v2");
+    let query = Query::BestKSet {
+        metric: Metric::AverageDegree,
+    };
+
+    let v1 = b.run("storage/cold_open_v1", || {
+        let ds = snapshot::load_path(&v1_path).expect("v1 load");
+        ds.answer(&query).expect("v1 answer")
+    });
+    let v2 = b.run("storage/cold_open_v2", || {
+        let ds = snapv2::open(&v2_path).expect("v2 open");
+        ds.answer(&query).expect("v2 answer")
+    });
+    if let (Some(a), Some(b_min)) = (v1.iter().min(), v2.iter().min()) {
+        if !b_min.is_zero() {
+            let speedup = a.as_nanos().saturating_mul(1000) / b_min.as_nanos();
+            b.gauge("storage/coldstart_speedup_permille", speedup);
+        }
+    }
+
+    // Neighbor-scan throughput per backend, all through GraphView.
+    let csr = GraphStore::from(g.clone());
+    let succinct = GraphStore::from(SuccinctCsr::from_csr(&g));
+    let mapped_ds = snapv2::open(&v2_path).expect("v2 open");
+    let mapped = mapped_ds.graph();
+    let want = scan(&csr);
+    assert_eq!(scan(&succinct), want, "succinct scan diverged");
+    assert_eq!(scan(mapped), want, "mapped scan diverged");
+    b.run_elements("storage/scan_csr", entries, || scan(&csr));
+    b.run_elements("storage/scan_succinct", entries, || scan(&succinct));
+    b.run_elements("storage/scan_mapped", entries, || scan(mapped));
+
+    let ratio = |s: &GraphStore| (s.compression_ratio() * 1000.0).round() as u128;
+    b.gauge("storage/compression_permille_succinct", ratio(&succinct));
+    b.gauge("storage/compression_permille_mapped", ratio(mapped));
+    println!(
+        "# resident heap bytes: csr={} succinct={} mapped={}",
+        csr.resident_heap_bytes(),
+        succinct.resident_heap_bytes(),
+        mapped.resident_heap_bytes()
+    );
+    drop(mapped_ds);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    b.finish_or_exit();
+}

@@ -134,6 +134,24 @@ impl Bench {
         self.run_inner(name, threads, None, &mut f)
     }
 
+    /// Records a dimensionless measurement (a compression permille, a
+    /// speedup permille, a byte count) into the JSON report alongside the
+    /// timing records: `iters` is 0 to mark the record as a gauge, and the
+    /// value is carried in both `min_ns` and `mean_ns`.
+    pub fn gauge(&self, name: &str, value: u128) {
+        if !self.selected(name) {
+            return;
+        }
+        println!("{name:<48} value {value}");
+        self.records.borrow_mut().push(Record {
+            name: name.to_string(),
+            threads: 1,
+            iters: 0,
+            min_ns: value,
+            mean_ns: value,
+        });
+    }
+
     fn run_inner<T>(
         &self,
         name: &str,
@@ -271,6 +289,18 @@ mod tests {
         let timings = b.run("anything", || calls += 1);
         assert_eq!(timings.len(), 3);
         assert_eq!(calls, 4, "warm-up plus three measured iterations");
+    }
+
+    #[test]
+    fn gauge_records_value_with_zero_iters() {
+        let b = Bench::with_settings(Some("ratio".into()), 2);
+        b.gauge("compression_ratio_permille", 2340);
+        b.gauge("filtered_out", 1);
+        let records = b.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].iters, 0);
+        assert_eq!(records[0].min_ns, 2340);
+        assert_eq!(records[0].mean_ns, 2340);
     }
 
     #[test]

@@ -88,7 +88,7 @@ impl From<bestk_engine::EngineError> for CliError {
 
 const USAGE: &str = "usage: bestk <command> [args]
 commands:
-  stats    <graph>                                   dataset statistics
+  stats    <graph> [--backend csr|succinct]          dataset statistics
   analyze  <graph> [--metric M] [--extended]         best k per metric
   profile  <graph> --metric M [--single]             per-k scores (CSV)
   densest  <graph> [--method opt-d|core-app|peel|exact]
@@ -98,7 +98,9 @@ commands:
   truss    <graph> [--metric M] [--single]           best k-truss (set)
   generate <family> --n N [--m M|--avg-deg D|...] --seed S --out FILE
   convert  <in> <out>                                text <-> binary
-  snapshot <graph> <out.bestk> [--threads N]         persist the full index
+  snapshot <graph> <out.bestk> [--threads N] [--format v1|v2]
+                                                     persist the full index
+                                                     (v2 opens zero-copy)
   query    <snapshot> <query>... [--threads N] [--budget-mb N]
                                                      one-shot snapshot queries
   serve    [--port P | --stdin] [--budget-mb N] [--threads N] [--timeout-ms T]

@@ -7,7 +7,7 @@
 //! paper's point that the primaries, not the scores, are the expensive part.
 
 use bestk_exec::ExecPolicy;
-use bestk_graph::{CsrGraph, VertexId};
+use bestk_graph::{GraphView, VertexId};
 
 use crate::bestcore::{single_core_profile, BestCore, SingleCoreProfile};
 use crate::bestkset::{core_set_profile, BestKSet, CoreSetProfile};
@@ -28,34 +28,38 @@ pub struct BestKAnalysis {
 
 /// Runs the full pipeline with triangle counting (`O(m^1.5)`), enabling all
 /// six paper metrics plus any custom one.
-pub fn analyze(g: &CsrGraph) -> BestKAnalysis {
+pub fn analyze<G: GraphView>(g: &G) -> BestKAnalysis {
     analyze_inner(g, true)
 }
 
 /// Runs the pipeline without triangle counting (`O(m)`); clustering
 /// coefficient (and any [`CommunityMetric`] with
 /// [`needs_triangles`](CommunityMetric::needs_triangles)) is unavailable.
-pub fn analyze_basic(g: &CsrGraph) -> BestKAnalysis {
+pub fn analyze_basic<G: GraphView>(g: &G) -> BestKAnalysis {
     analyze_inner(g, false)
 }
 
 /// [`analyze`] under an execution policy: the ordered-adjacency tag scan
 /// runs on the shared runtime (the peel itself is inherently sequential).
 /// The analysis is identical to the sequential one at every thread count.
-pub fn analyze_with(g: &CsrGraph, policy: &ExecPolicy) -> BestKAnalysis {
+pub fn analyze_with<G: GraphView>(g: &G, policy: &ExecPolicy) -> BestKAnalysis {
     analyze_inner_with(g, true, policy)
 }
 
 /// [`analyze_basic`] under an execution policy; see [`analyze_with`].
-pub fn analyze_basic_with(g: &CsrGraph, policy: &ExecPolicy) -> BestKAnalysis {
+pub fn analyze_basic_with<G: GraphView>(g: &G, policy: &ExecPolicy) -> BestKAnalysis {
     analyze_inner_with(g, false, policy)
 }
 
-fn analyze_inner(g: &CsrGraph, with_triangles: bool) -> BestKAnalysis {
+fn analyze_inner<G: GraphView>(g: &G, with_triangles: bool) -> BestKAnalysis {
     analyze_inner_with(g, with_triangles, &ExecPolicy::Sequential)
 }
 
-fn analyze_inner_with(g: &CsrGraph, with_triangles: bool, policy: &ExecPolicy) -> BestKAnalysis {
+fn analyze_inner_with<G: GraphView>(
+    g: &G,
+    with_triangles: bool,
+    policy: &ExecPolicy,
+) -> BestKAnalysis {
     let decomp = core_decomposition(g);
     let ordered = OrderedGraph::build_with(g, &decomp, policy);
     let set_profile = core_set_profile(&ordered, with_triangles);

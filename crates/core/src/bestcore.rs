@@ -143,7 +143,7 @@ pub fn single_core_primaries(
     let mut primaries = vec![PrimaryValues::default(); node_count];
 
     // Triangle/triplet sweep state (global across nodes; see Algorithm 3).
-    let n = o.graph().num_vertices();
+    let n = o.num_vertices();
     let mut f_gt = vec![0u32; n];
     let mut f_ge = vec![0u32; n];
     let mut marked = vec![0u32; n];
@@ -242,14 +242,13 @@ pub fn single_core_profile(
     with_triangles: bool,
 ) -> SingleCoreProfile {
     let _span = bestk_obs::span!("phase.sweep");
-    let g = o.graph();
     SingleCoreProfile {
         primaries: single_core_primaries(o, forest, with_triangles),
         coreness: forest.nodes().iter().map(|n| n.coreness).collect(),
         has_triangles: with_triangles,
         context: GraphContext {
-            total_vertices: g.num_vertices() as u64,
-            total_edges: g.num_edges() as u64,
+            total_vertices: o.num_vertices() as u64,
+            total_edges: o.num_edges() as u64,
         },
     }
 }

@@ -276,12 +276,11 @@ pub fn core_set_primaries_with_triangles(o: &OrderedGraph<'_>) -> Vec<PrimaryVal
 /// bottom-up manner").
 pub fn core_set_primaries_bottom_up(o: &OrderedGraph<'_>) -> Vec<PrimaryValues> {
     let d = o.decomposition();
-    let g = o.graph();
     let kmax = d.kmax();
     let mut primaries = vec![PrimaryValues::default(); kmax as usize + 1];
-    let mut in_twice: u64 = 2 * g.num_edges() as u64;
+    let mut in_twice: u64 = 2 * o.num_edges() as u64;
     let mut out: i64 = 0;
-    let mut num: u64 = g.num_vertices() as u64;
+    let mut num: u64 = o.num_vertices() as u64;
     primaries[0] = PrimaryValues {
         num_vertices: num,
         internal_edges: in_twice / 2,
@@ -321,7 +320,6 @@ fn choose2(x: u64) -> u64 {
 /// `with_triangles`, otherwise Algorithm 2.
 pub fn core_set_profile(o: &OrderedGraph<'_>, with_triangles: bool) -> CoreSetProfile {
     let _span = bestk_obs::span!("phase.sweep");
-    let g = o.graph();
     let primaries = if with_triangles {
         core_set_primaries_with_triangles(o)
     } else {
@@ -332,8 +330,8 @@ pub fn core_set_profile(o: &OrderedGraph<'_>, with_triangles: bool) -> CoreSetPr
         primaries,
         has_triangles: with_triangles,
         context: GraphContext {
-            total_vertices: g.num_vertices() as u64,
-            total_edges: g.num_edges() as u64,
+            total_vertices: o.num_vertices() as u64,
+            total_edges: o.num_edges() as u64,
         },
     }
 }

@@ -6,7 +6,7 @@
 //! in `O(n + m)` time and `O(n)` extra space.
 
 use bestk_graph::cast;
-use bestk_graph::{CsrGraph, VertexId};
+use bestk_graph::{GraphView, VertexId};
 
 /// The result of a core decomposition: every vertex's coreness plus the
 /// vertex ordering the paper's algorithms build on.
@@ -183,8 +183,9 @@ impl CoreDecomposition {
 }
 
 /// Runs the `O(m)` bucket-based core decomposition of [Batagelj &
-/// Zaveršnik 2003] (paper §II-A, reference \[7\]).
-pub fn core_decomposition(g: &CsrGraph) -> CoreDecomposition {
+/// Zaveršnik 2003] (paper §II-A, reference \[7\]), over any storage
+/// backend implementing [`GraphView`].
+pub fn core_decomposition<G: GraphView>(g: &G) -> CoreDecomposition {
     let _span = bestk_obs::span!("phase.peel");
     let n = g.num_vertices();
     if n == 0 {
@@ -229,7 +230,7 @@ pub fn core_decomposition(g: &CsrGraph) -> CoreDecomposition {
         let k = degree[v as usize];
         coreness[v as usize] = cast::u32_of(k);
         kmax = kmax.max(cast::u32_of(k));
-        for &u in g.neighbors(v) {
+        for u in g.neighbors(v) {
             let du = degree[u as usize];
             if du > k {
                 // Move u to the front of its degree block, then shrink the

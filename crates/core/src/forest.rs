@@ -12,7 +12,7 @@
 use bestk_graph::cast;
 use std::collections::VecDeque;
 
-use bestk_graph::{CsrGraph, VertexId};
+use bestk_graph::{GraphView, VertexId};
 
 use crate::decomposition::CoreDecomposition;
 
@@ -43,7 +43,7 @@ pub struct CoreForest {
 impl CoreForest {
     /// Builds the forest with LCPS (Algorithm 4), then compresses empty
     /// nodes and sorts by descending coreness.
-    pub fn build(g: &CsrGraph, d: &CoreDecomposition) -> Self {
+    pub fn build<G: GraphView>(g: &G, d: &CoreDecomposition) -> Self {
         Builder::new(g, d).run()
     }
 
@@ -176,8 +176,8 @@ impl CoreForest {
 }
 
 /// LCPS traversal state (one instance per [`CoreForest::build`]).
-struct Builder<'a> {
-    g: &'a CsrGraph,
+struct Builder<'a, G> {
+    g: &'a G,
     d: &'a CoreDecomposition,
     nodes: Vec<CoreForestNode>,
     vertex_node: Vec<u32>,
@@ -188,8 +188,8 @@ struct Builder<'a> {
     cur_max: usize,
 }
 
-impl<'a> Builder<'a> {
-    fn new(g: &'a CsrGraph, d: &'a CoreDecomposition) -> Self {
+impl<'a, G: GraphView> Builder<'a, G> {
+    fn new(g: &'a G, d: &'a CoreDecomposition) -> Self {
         let n = g.num_vertices();
         Builder {
             g,
@@ -301,7 +301,7 @@ impl<'a> Builder<'a> {
 
             // Lines 14-16: enqueue unvisited neighbors at the connectivity
             // priority min(c(w), c(v)).
-            for &w in self.g.neighbors(v) {
+            for w in self.g.neighbors(v) {
                 if !self.visited[w as usize] {
                     let p = self.d.coreness(w).min(cv) as usize;
                     self.push(w, p);
@@ -373,6 +373,7 @@ mod tests {
     use super::*;
     use crate::decomposition::core_decomposition;
     use bestk_graph::generators::{self, regular};
+    use bestk_graph::CsrGraph;
     use bestk_graph::GraphBuilder;
 
     fn forest(g: &CsrGraph) -> CoreForest {

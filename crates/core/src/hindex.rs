@@ -21,7 +21,7 @@
 
 use bestk_exec::ExecPolicy;
 use bestk_graph::cast;
-use bestk_graph::{CsrGraph, VertexId};
+use bestk_graph::{GraphView, VertexId};
 
 /// The result of an h-index iteration run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,7 +34,7 @@ pub struct HIndexDecomposition {
 
 /// Runs synchronous h-index iteration to fixpoint. `O(rounds · m)` time,
 /// `O(n)` space beyond the graph.
-pub fn hindex_core_decomposition(g: &CsrGraph) -> HIndexDecomposition {
+pub fn hindex_core_decomposition<G: GraphView + Sync>(g: &G) -> HIndexDecomposition {
     hindex_core_decomposition_with(g, &ExecPolicy::Sequential)
 }
 
@@ -44,7 +44,10 @@ pub fn hindex_core_decomposition(g: &CsrGraph) -> HIndexDecomposition {
 /// shared runtime. The per-vertex h-index depends only on the immutable
 /// previous-round snapshot, so coreness *and* round count are bit-identical
 /// to the sequential run at every thread count.
-pub fn hindex_core_decomposition_with(g: &CsrGraph, policy: &ExecPolicy) -> HIndexDecomposition {
+pub fn hindex_core_decomposition_with<G: GraphView + Sync>(
+    g: &G,
+    policy: &ExecPolicy,
+) -> HIndexDecomposition {
     let n = g.num_vertices();
     let mut values: Vec<u32> = (0..n)
         .map(|v| cast::u32_of(g.degree(cast::vertex_id(v))))
@@ -52,7 +55,7 @@ pub fn hindex_core_decomposition_with(g: &CsrGraph, policy: &ExecPolicy) -> HInd
     let mut next = values.clone();
     let mut rounds = 0usize;
     // Chunk by cumulative degree: each vertex's update costs O(d(v)).
-    let plan = policy.plan_weighted(g.offsets());
+    let plan = policy.plan_weighted(&g.degree_offsets());
     let cuts = plan.bounds().to_vec();
     loop {
         let values_ref = &values;
@@ -90,7 +93,7 @@ pub fn hindex_core_decomposition_with(g: &CsrGraph, policy: &ExecPolicy) -> HInd
 
 /// Asynchronous variant: updates in place (Gauss–Seidel style), which
 /// converges in fewer rounds; the fixpoint is identical.
-pub fn hindex_core_decomposition_async(g: &CsrGraph) -> HIndexDecomposition {
+pub fn hindex_core_decomposition_async<G: GraphView>(g: &G) -> HIndexDecomposition {
     let n = g.num_vertices();
     let mut values: Vec<u32> = (0..n)
         .map(|v| cast::u32_of(g.degree(cast::vertex_id(v))))
@@ -120,12 +123,16 @@ pub fn hindex_core_decomposition_async(g: &CsrGraph) -> HIndexDecomposition {
 /// The h-index of `v`'s neighbor values, computed with a counting pass
 /// bounded by `d(v)` (values above the degree can be clamped: the h-index
 /// never exceeds the list length).
-fn neighborhood_h_index(g: &CsrGraph, v: VertexId, values: &[u32], scratch: &mut Vec<u32>) -> u32 {
-    let neighbors = g.neighbors(v);
-    let d = neighbors.len();
+fn neighborhood_h_index<G: GraphView>(
+    g: &G,
+    v: VertexId,
+    values: &[u32],
+    scratch: &mut Vec<u32>,
+) -> u32 {
+    let d = g.degree(v);
     scratch.clear();
     scratch.resize(d + 1, 0);
-    for &u in neighbors {
+    for u in g.neighbors(v) {
         let val = (values[u as usize] as usize).min(d);
         scratch[val] += 1;
     }

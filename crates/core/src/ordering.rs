@@ -16,17 +16,21 @@
 
 use bestk_exec::ExecPolicy;
 use bestk_graph::cast;
-use bestk_graph::{CsrGraph, VertexId};
+use bestk_graph::{GraphView, VertexId};
 
 use crate::decomposition::CoreDecomposition;
 
 /// A graph whose adjacency lists are re-ordered by vertex rank, with the
-/// paper's position tags. Borrows the graph and its decomposition.
+/// paper's position tags. Owns its offset and adjacency arrays (so any
+/// [`GraphView`] backend can build it and be dropped afterwards) and
+/// borrows only the decomposition.
 #[derive(Debug)]
 pub struct OrderedGraph<'a> {
-    graph: &'a CsrGraph,
     decomp: &'a CoreDecomposition,
-    /// Rank-ordered adjacency, aligned with `graph.offsets()`.
+    /// Degree prefix sums, length `n + 1`: `offsets[v]..offsets[v + 1]`
+    /// is the adjacency range of `v` inside `adj`.
+    offsets: Vec<usize>,
+    /// Rank-ordered adjacency, aligned with `offsets`.
     adj: Vec<VertexId>,
     /// Position tags, relative to each list start.
     same: Vec<u32>,
@@ -41,7 +45,7 @@ impl<'a> OrderedGraph<'a> {
     /// vertices in rank order and scattering each edge to its opposite
     /// endpoint's list yields every `N'(u)` in ascending rank without any
     /// comparison sort.
-    pub fn build(graph: &'a CsrGraph, decomp: &'a CoreDecomposition) -> Self {
+    pub fn build<G: GraphView>(graph: &G, decomp: &'a CoreDecomposition) -> Self {
         Self::build_with(graph, decomp, &ExecPolicy::Sequential)
     }
 
@@ -50,8 +54,8 @@ impl<'a> OrderedGraph<'a> {
     /// per-list tag scan — an independent `O(d(v))` pass per vertex — runs
     /// as edge-balanced chunks on the shared runtime. Tags are merged in
     /// chunk order, so the result is bit-identical at every thread count.
-    pub fn build_with(
-        graph: &'a CsrGraph,
+    pub fn build_with<G: GraphView>(
+        graph: &G,
         decomp: &'a CoreDecomposition,
         policy: &ExecPolicy,
     ) -> Self {
@@ -61,15 +65,15 @@ impl<'a> OrderedGraph<'a> {
             decomp.num_vertices(),
             "decomposition does not match graph"
         );
-        let offsets = graph.offsets();
-        let mut adj: Vec<VertexId> = vec![0; graph.raw_neighbors().len()];
+        let offsets = graph.degree_offsets();
+        let mut adj: Vec<VertexId> = vec![0; offsets[n]];
         let mut cursor: Vec<usize> = offsets[..n].to_vec();
         // Vertices in rank order = the decomposition's (coreness, id) order;
         // pushing v into every neighbor's new list in this order leaves each
         // list sorted by rank (lines 5-11 of Algorithm 1, with the explicit
         // bins replaced by the precomputed rank order).
         for &v in decomp.vertices_by_coreness() {
-            for &u in graph.neighbors(v) {
+            for u in graph.neighbors(v) {
                 adj[cursor[u as usize]] = v;
                 cursor[u as usize] += 1;
             }
@@ -79,7 +83,7 @@ impl<'a> OrderedGraph<'a> {
         let mut same = vec![0u32; n];
         let mut plus = vec![0u32; n];
         let mut high = vec![0u32; n];
-        let plan = policy.plan_weighted(offsets);
+        let plan = policy.plan_weighted(&offsets);
         let adj_ref = &adj;
         let parts = policy.map_chunks(
             &plan,
@@ -126,8 +130,8 @@ impl<'a> OrderedGraph<'a> {
             h_at += ph.len();
         }
         OrderedGraph {
-            graph,
             decomp,
+            offsets,
             adj,
             same,
             plus,
@@ -140,8 +144,8 @@ impl<'a> OrderedGraph<'a> {
     /// array lengths, tag ordering `same ≤ plus ≤ degree`, `high ≤ degree`,
     /// and that every adjacency slice is rank-sorted — in `O(n + m)`;
     /// untrusted input comes back as an error, never a panic.
-    pub fn from_parts(
-        graph: &'a CsrGraph,
+    pub fn from_parts<G: GraphView>(
+        graph: &G,
         decomp: &'a CoreDecomposition,
         adj: Vec<VertexId>,
         same: Vec<u32>,
@@ -152,17 +156,17 @@ impl<'a> OrderedGraph<'a> {
         if decomp.num_vertices() != n {
             return Err("decomposition does not match graph".into());
         }
-        if adj.len() != graph.raw_neighbors().len() {
+        let offsets = graph.degree_offsets();
+        if adj.len() != offsets[n] {
             return Err(format!(
                 "ordered adjacency has {} entries, graph has {}",
                 adj.len(),
-                graph.raw_neighbors().len()
+                offsets[n]
             ));
         }
         if same.len() != n || plus.len() != n || high.len() != n {
             return Err("tag arrays must have one entry per vertex".into());
         }
-        let offsets = graph.offsets();
         for v in 0..n {
             // bestk-analyze: allow(unchecked-arith) — CSR offsets are validated monotone
             let deg = cast::u32_of(offsets[v + 1] - offsets[v]);
@@ -192,8 +196,8 @@ impl<'a> OrderedGraph<'a> {
             }
         }
         Ok(OrderedGraph {
-            graph,
             decomp,
+            offsets,
             adj,
             same,
             plus,
@@ -201,10 +205,22 @@ impl<'a> OrderedGraph<'a> {
         })
     }
 
-    /// The underlying graph.
+    /// Number of vertices `n`.
     #[inline]
-    pub fn graph(&self) -> &CsrGraph {
-        self.graph
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Iterator over all vertices `0..n`.
+    #[inline]
+    pub fn vertices(&self) -> std::ops::Range<VertexId> {
+        0..cast::vertex_id(self.num_vertices())
     }
 
     /// The raw rank-ordered adjacency array, aligned with the graph's
@@ -245,13 +261,15 @@ impl<'a> OrderedGraph<'a> {
     #[inline]
     fn range(&self, v: VertexId) -> (usize, usize) {
         let v = v as usize;
-        (self.graph.offsets()[v], self.graph.offsets()[v + 1])
+        (self.offsets[v], self.offsets[v + 1])
     }
 
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
-        self.graph.degree(v)
+        let (s, e) = self.range(v);
+        // bestk-analyze: allow(unchecked-arith) — offsets are monotone prefix sums by construction
+        e - s
     }
 
     /// The full rank-ordered neighbor list of `v`.

@@ -7,7 +7,7 @@
 
 use bestk_exec::{prefix_sum, ExecPolicy};
 use bestk_graph::cast;
-use bestk_graph::{CsrGraph, VertexId};
+use bestk_graph::{GraphView, VertexId};
 
 use crate::ordering::OrderedGraph;
 
@@ -17,7 +17,7 @@ use crate::ordering::OrderedGraph;
 ///
 /// Needs no core decomposition, which is what makes it the right primitive
 /// for the baseline's per-k-core-set recounts.
-pub fn count_triangles(g: &CsrGraph) -> u64 {
+pub fn count_triangles<G: GraphView>(g: &G) -> u64 {
     let n = g.num_vertices();
     // Order: degree descending, ties by id; position in this order.
     let mut order: Vec<VertexId> = (0..cast::vertex_id(n)).collect();
@@ -33,14 +33,14 @@ pub fn count_triangles(g: &CsrGraph) -> u64 {
     for &v in &order {
         stamp += 1;
         let pv = pos[v as usize];
-        for &u in g.neighbors(v) {
+        for u in g.neighbors(v) {
             if pos[u as usize] > pv {
                 marked[u as usize] = stamp;
             }
         }
-        for &u in g.neighbors(v) {
+        for u in g.neighbors(v) {
             if pos[u as usize] > pv {
-                for &w in g.neighbors(u) {
+                for w in g.neighbors(u) {
                     if pos[w as usize] > pos[u as usize] && marked[w as usize] == stamp {
                         triangles += 1;
                     }
@@ -57,7 +57,7 @@ pub fn count_triangles(g: &CsrGraph) -> u64 {
 /// the sequential version at every thread count (each outer vertex's
 /// contribution is independent, and the per-chunk partials are summed in
 /// chunk order).
-pub fn count_triangles_with(g: &CsrGraph, policy: &ExecPolicy) -> u64 {
+pub fn count_triangles_with<G: GraphView + Sync>(g: &G, policy: &ExecPolicy) -> u64 {
     let n = g.num_vertices();
     if n == 0 {
         return 0;
@@ -85,14 +85,14 @@ pub fn count_triangles_with(g: &CsrGraph, policy: &ExecPolicy) -> u64 {
             for &v in &order[range] {
                 *stamp += 1;
                 let pv = pos[v as usize];
-                for &u in g.neighbors(v) {
+                for u in g.neighbors(v) {
                     if pos[u as usize] > pv {
                         marked[u as usize] = *stamp;
                     }
                 }
-                for &u in g.neighbors(v) {
+                for u in g.neighbors(v) {
                     if pos[u as usize] > pv {
-                        for &w in g.neighbors(u) {
+                        for w in g.neighbors(u) {
                             if pos[w as usize] > pos[u as usize] && marked[w as usize] == *stamp {
                                 local += 1;
                             }
@@ -111,7 +111,7 @@ pub fn count_triangles_with(g: &CsrGraph, policy: &ExecPolicy) -> u64 {
 /// a thin wrapper over [`count_triangles_with`] kept for callers that think
 /// in threads rather than policies. Small graphs run sequentially (worker
 /// spawning would dominate).
-pub fn count_triangles_parallel(g: &CsrGraph, threads: usize) -> u64 {
+pub fn count_triangles_parallel<G: GraphView + Sync>(g: &G, threads: usize) -> u64 {
     if g.num_vertices() < 1024 {
         return count_triangles(g);
     }
@@ -120,7 +120,7 @@ pub fn count_triangles_parallel(g: &CsrGraph, threads: usize) -> u64 {
 }
 
 /// Counts the triplets of `g`: `Σ_v C(d(v), 2)`. `O(n)`.
-pub fn count_triplets(g: &CsrGraph) -> u64 {
+pub fn count_triplets<G: GraphView>(g: &G) -> u64 {
     g.vertices()
         .map(|v| {
             let d = g.degree(v) as u64;
@@ -133,11 +133,11 @@ pub fn count_triplets(g: &CsrGraph) -> u64 {
 /// array — the strategy Algorithm 3 uses internally, exposed for testing and
 /// benchmarking against [`count_triangles`].
 pub fn count_triangles_ordered(o: &OrderedGraph<'_>) -> u64 {
-    let n = o.graph().num_vertices();
+    let n = o.num_vertices();
     let mut marked = vec![0u32; n];
     let mut stamp = 0u32;
     let mut triangles = 0u64;
-    for v in o.graph().vertices() {
+    for v in o.vertices() {
         stamp += 1;
         for &u in o.neighbors_gt_rank(v) {
             marked[u as usize] = stamp;
@@ -159,7 +159,7 @@ pub fn count_triangles_ordered(o: &OrderedGraph<'_>) -> u64 {
 /// Exposed as an ablation comparator for [`count_triangles_ordered`].
 pub fn count_triangles_merge(o: &OrderedGraph<'_>) -> u64 {
     let mut triangles = 0u64;
-    for v in o.graph().vertices() {
+    for v in o.vertices() {
         for &u in o.neighbors_gt_rank(v) {
             let (a, b) = {
                 let (x, y) = if o.degree(u) > o.degree(v) {
@@ -197,6 +197,7 @@ mod tests {
     use super::*;
     use crate::decomposition::core_decomposition;
     use bestk_graph::generators::{self, regular};
+    use bestk_graph::CsrGraph;
 
     fn brute_force(g: &CsrGraph) -> u64 {
         let mut t = 0u64;

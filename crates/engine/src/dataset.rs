@@ -17,18 +17,18 @@
 //! with an ordered merge, so the answer list is bit-identical at every
 //! thread count.
 
-use std::sync::Arc;
-
 use bestk_core::{
     core_decomposition, core_set_profile, single_core_profile, CoreDecomposition, CoreForest,
     CoreSetProfile, OrderedGraph, SingleCoreProfile,
 };
 use bestk_exec::ExecPolicy;
 use bestk_faults::sites;
-use bestk_graph::{CsrGraph, VertexId};
+use bestk_graph::{CsrGraph, GraphView, VertexId};
 
 use crate::error::EngineError;
 use crate::query::{Answer, Query};
+use crate::snapv2::MappedIndex;
+use crate::store::GraphStore;
 
 /// The index artifacts derived from a graph (everything beyond the CSR).
 #[derive(Debug, Clone)]
@@ -56,7 +56,7 @@ impl Artifacts {
     /// Builds every artifact from scratch under an execution policy
     /// (`O(m^1.5)` — triangles are always computed so triangle metrics
     /// answer without a rebuild).
-    pub fn build(graph: &CsrGraph, policy: &ExecPolicy) -> Artifacts {
+    pub fn build<G: GraphView>(graph: &G, policy: &ExecPolicy) -> Artifacts {
         let decomp = core_decomposition(graph);
         let ordered = OrderedGraph::build_with(graph, &decomp, policy);
         let set_profile = core_set_profile(&ordered, true);
@@ -97,26 +97,46 @@ impl Artifacts {
     }
 }
 
-/// A named dataset held by the engine: the graph is always resident; the
-/// artifacts may be evicted under memory pressure and lazily rebuilt on the
-/// next touch.
+/// The index side of a dataset: absent, owned heap artifacts, or a
+/// zero-copy view into a mapped v2 snapshot.
+#[derive(Debug, Clone)]
+pub enum Index {
+    /// No index resident; queries refuse until [`Dataset::ensure_built`].
+    None,
+    /// Fully materialized heap artifacts (v1 loads and fresh builds).
+    Owned(Artifacts),
+    /// Profiles plus mapped coreness from an opened v2 snapshot.
+    Mapped(MappedIndex),
+}
+
+/// A named dataset held by the engine: the graph is always resident (in
+/// one of the [`GraphStore`] backends); the index may be evicted under
+/// memory pressure and lazily rebuilt on the next touch.
 ///
-/// The graph sits behind an [`Arc`] so the registry can replace a slot's
-/// dataset copy-on-write (build, eviction) without deep-copying the CSR
-/// arrays, and so a checked-out dataset stays valid while the registry
-/// moves on.
+/// The store's variants hold their payloads behind [`Arc`]s (or borrow a
+/// shared mapping), so the registry can replace a slot's dataset
+/// copy-on-write (build, eviction) without deep-copying graph arrays, and
+/// a checked-out dataset stays valid while the registry moves on.
 #[derive(Debug, Clone)]
 pub struct Dataset {
-    graph: Arc<CsrGraph>,
-    artifacts: Option<Artifacts>,
+    store: GraphStore,
+    index: Index,
 }
 
 impl Dataset {
     /// Wraps a graph with no artifacts yet (they build on first touch).
     pub fn from_graph(graph: CsrGraph) -> Dataset {
         Dataset {
-            graph: Arc::new(graph),
-            artifacts: None,
+            store: GraphStore::from(graph),
+            index: Index::None,
+        }
+    }
+
+    /// Wraps any storage backend with no artifacts yet.
+    pub fn from_store(store: GraphStore) -> Dataset {
+        Dataset {
+            store,
+            index: Index::None,
         }
     }
 
@@ -124,8 +144,17 @@ impl Dataset {
     /// loader's constructor).
     pub fn from_built(graph: CsrGraph, artifacts: Artifacts) -> Dataset {
         Dataset {
-            graph: Arc::new(graph),
-            artifacts: Some(artifacts),
+            store: GraphStore::from(graph),
+            index: Index::Owned(artifacts),
+        }
+    }
+
+    /// Assembles a dataset from an opened v2 snapshot: a mapped graph plus
+    /// its mapped index.
+    pub fn from_mapped(store: GraphStore, index: MappedIndex) -> Dataset {
+        Dataset {
+            store,
+            index: Index::Mapped(index),
         }
     }
 
@@ -133,8 +162,8 @@ impl Dataset {
     /// (the copy-on-write publish step after an out-of-lock build).
     pub fn with_artifacts(&self, artifacts: Artifacts) -> Dataset {
         Dataset {
-            graph: Arc::clone(&self.graph),
-            artifacts: Some(artifacts),
+            store: self.store.clone(),
+            index: Index::Owned(artifacts),
         }
     }
 
@@ -142,48 +171,70 @@ impl Dataset {
     /// copy-on-write eviction step — checked-out readers keep theirs).
     pub fn without_artifacts(&self) -> Dataset {
         Dataset {
-            graph: Arc::clone(&self.graph),
-            artifacts: None,
+            store: self.store.clone(),
+            index: Index::None,
         }
     }
 
-    /// The underlying graph.
+    /// The underlying graph store.
     #[inline]
-    pub fn graph(&self) -> &CsrGraph {
-        &self.graph
+    pub fn graph(&self) -> &GraphStore {
+        &self.store
     }
 
-    /// Whether the artifacts are currently resident.
+    /// Whether an index (owned or mapped) is currently resident.
     #[inline]
     pub fn is_built(&self) -> bool {
-        self.artifacts.is_some()
+        !matches!(self.index, Index::None)
     }
 
-    /// The artifacts, if resident.
+    /// The owned artifacts, if resident. Mapped datasets return `None` —
+    /// they answer queries but cannot be re-serialized to v1 or rebuilt
+    /// into an `OrderedGraph` without materializing first.
     #[inline]
     pub fn artifacts(&self) -> Option<&Artifacts> {
-        self.artifacts.as_ref()
+        match &self.index {
+            Index::Owned(art) => Some(art),
+            _ => None,
+        }
     }
 
-    /// Builds the artifacts if absent; returns `true` when a build actually
-    /// ran (the engine's build-vs-cache-hit counter hook).
+    /// The mapped index, when this dataset came from a v2 snapshot.
+    #[inline]
+    pub fn mapped_index(&self) -> Option<&MappedIndex> {
+        match &self.index {
+            Index::Mapped(idx) => Some(idx),
+            _ => None,
+        }
+    }
+
+    /// Builds the artifacts if no index is resident; returns `true` when a
+    /// build actually ran (the engine's build-vs-cache-hit counter hook).
+    /// A mapped index counts as built — it answers every query already.
     pub fn ensure_built(&mut self, policy: &ExecPolicy) -> bool {
-        if self.artifacts.is_some() {
+        if self.is_built() {
             return false;
         }
-        self.artifacts = Some(Artifacts::build(&self.graph, policy));
+        self.index = Index::Owned(Artifacts::build(&self.store, policy));
         true
     }
 
-    /// Drops the artifacts, keeping only the graph (LRU eviction).
+    /// Drops the index, keeping only the graph (LRU eviction).
     pub fn drop_artifacts(&mut self) {
-        self.artifacts = None;
+        self.index = Index::None;
     }
 
-    /// Approximate resident heap size in bytes, graph included.
+    /// Approximate resident heap size in bytes, graph included. Mapped
+    /// graphs and coreness sections cost ~0 here — their bytes belong to
+    /// the page cache, which is the point.
     pub fn resident_bytes(&self) -> usize {
-        let graph = 8 * self.graph.offsets().len() + 4 * self.graph.raw_neighbors().len();
-        graph + self.artifacts.as_ref().map_or(0, Artifacts::resident_bytes)
+        let graph = self.store.resident_heap_bytes();
+        let index = match &self.index {
+            Index::None => 0,
+            Index::Owned(art) => art.resident_bytes(),
+            Index::Mapped(idx) => idx.resident_bytes(),
+        };
+        graph + index
     }
 
     /// Answers one query from the resident artifacts.
@@ -191,12 +242,20 @@ impl Dataset {
     /// Requires [`is_built`](Self::is_built); the engine guarantees that by
     /// calling [`ensure_built`](Self::ensure_built) first.
     pub fn answer(&self, query: &Query) -> Result<Answer, EngineError> {
-        let art = self
-            .artifacts
-            .as_ref()
-            .ok_or_else(|| EngineError::BadQuery("dataset artifacts are not built".into()))?;
+        // Both index forms answer from the same profile structures, so the
+        // rendered lines are bit-identical; only the coreness/stats lookups
+        // differ (heap arrays vs 4-byte mapped reads).
+        let (set_profile, core_profile) = match &self.index {
+            Index::Owned(art) => (&art.set_profile, &art.core_profile),
+            Index::Mapped(idx) => (idx.set_profile(), idx.core_profile()),
+            Index::None => {
+                return Err(EngineError::BadQuery(
+                    "dataset artifacts are not built".into(),
+                ))
+            }
+        };
         match *query {
-            Query::BestKSet { metric } => match art.set_profile.try_best(&metric)? {
+            Query::BestKSet { metric } => match set_profile.try_best(&metric)? {
                 Some(best) => Ok(Answer::BestKSet {
                     metric,
                     k: best.k,
@@ -204,38 +263,47 @@ impl Dataset {
                 }),
                 None => Ok(Answer::Undefined { what: "bestkset" }),
             },
-            Query::BestCore { metric } => match art.core_profile.try_best(&metric)? {
+            Query::BestCore { metric } => match core_profile.try_best(&metric)? {
                 Some(best) => Ok(Answer::BestCore {
                     metric,
                     node: best.node,
                     k: best.k,
                     score: best.score,
-                    size: art.core_profile.primaries[best.node as usize].num_vertices,
+                    size: core_profile.primaries[best.node as usize].num_vertices,
                 }),
                 None => Ok(Answer::Undefined { what: "bestcore" }),
             },
             Query::ScoreProfile { metric } => Ok(Answer::Profile {
                 metric,
-                scores: art.set_profile.try_scores(&metric)?,
+                scores: set_profile.try_scores(&metric)?,
             }),
             Query::CoreOfVertex { vertex } => {
-                let n = self.graph.num_vertices();
-                if vertex as usize >= n {
-                    return Err(EngineError::BadQuery(format!(
+                let n = self.store.num_vertices();
+                let coreness = match &self.index {
+                    Index::Owned(art) if (vertex as usize) < n => Some(art.decomp.coreness(vertex)),
+                    Index::Mapped(idx) => idx.core_of(vertex),
+                    _ => None,
+                };
+                match coreness {
+                    Some(coreness) => Ok(Answer::CoreOf { vertex, coreness }),
+                    None => Err(EngineError::BadQuery(format!(
                         "vertex {vertex} out of range (n = {n})"
-                    )));
+                    ))),
                 }
-                Ok(Answer::CoreOf {
-                    vertex,
-                    coreness: art.decomp.coreness(vertex),
+            }
+            Query::Stats => {
+                let (kmax, forest_nodes) = match &self.index {
+                    Index::Owned(art) => (art.decomp.kmax(), art.forest.node_count() as u64),
+                    Index::Mapped(idx) => (idx.kmax(), u64::from(idx.forest_nodes())),
+                    Index::None => unreachable!("checked above"),
+                };
+                Ok(Answer::Stats {
+                    vertices: self.store.num_vertices() as u64,
+                    edges: self.store.num_edges() as u64,
+                    kmax,
+                    forest_nodes,
                 })
             }
-            Query::Stats => Ok(Answer::Stats {
-                vertices: self.graph.num_vertices() as u64,
-                edges: self.graph.num_edges() as u64,
-                kmax: art.decomp.kmax(),
-                forest_nodes: art.forest.node_count() as u64,
-            }),
         }
     }
 

@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use bestk_exec::ExecPolicy;
 use bestk_faults::sites;
-use bestk_graph::CsrGraph;
+use bestk_graph::{CsrGraph, GraphView, SuccinctCsr};
 
 use crate::dataset::{Artifacts, Dataset};
 use crate::error::EngineError;
@@ -128,6 +128,13 @@ impl Engine {
         self.register(name, Dataset::from_graph(graph));
     }
 
+    /// Registers a graph compressed into the succinct backend: identical
+    /// answers, a fraction of the resident bytes, slower neighbor scans.
+    pub fn insert_graph_succinct(&mut self, name: &str, graph: &CsrGraph) {
+        let store = crate::store::GraphStore::from(SuccinctCsr::from_csr(graph));
+        self.register(name, Dataset::from_store(store));
+    }
+
     /// Loads a `.bestk` snapshot from `path` and registers it under `name`.
     /// The snapshot arrives fully built, so no build is charged.
     pub fn load_snapshot(&mut self, name: &str, path: &str) -> Result<(), EngineError> {
@@ -186,6 +193,7 @@ impl Engine {
         );
         self.enforce_budget(name);
         self.record_dataset_gauge();
+        self.record_slot_gauges(name);
     }
 
     /// Removes a dataset; returns whether it existed.
@@ -197,6 +205,25 @@ impl Engine {
 
     fn record_dataset_gauge(&self) {
         bestk_obs::gauge("engine.datasets").set(self.slots.len() as i64);
+    }
+
+    /// Per-dataset storage gauges: the backend's resident footprint and
+    /// its compression ratio versus the canonical CSR, in permille so the
+    /// integer gauge keeps three decimals (1000 = parity with CSR).
+    fn record_slot_gauges(&self, name: &str) {
+        let Some(slot) = self.slots.get(name) else {
+            return;
+        };
+        let ds = &slot.dataset;
+        bestk_obs::gauge(&format!(
+            "engine.dataset.resident_bytes{{dataset=\"{name}\"}}"
+        ))
+        .set(ds.resident_bytes() as i64);
+        let permille = (ds.graph().compression_ratio() * 1000.0).round() as i64;
+        bestk_obs::gauge(&format!(
+            "engine.dataset.compression_permille{{dataset=\"{name}\"}}"
+        ))
+        .set(permille);
     }
 
     /// Answers one query against the named dataset.
@@ -285,6 +312,7 @@ impl Engine {
         self.counters.queries += queries as u64;
         bestk_obs::counter("engine.queries").add(queries as u64);
         self.enforce_budget(name);
+        self.record_slot_gauges(name);
     }
 
     /// One summary row per dataset, in name order.

@@ -23,16 +23,24 @@
 //! run through [`bestk_exec::ExecPolicy`] with an ordered chunk merge, so
 //! output is bit-identical at every `--threads` setting.
 
-#![forbid(unsafe_code)]
+// Deny rather than forbid: the `mmap` module carries the workspace's one
+// scoped `#[allow(unsafe_code)]` for its two FFI calls; everything else in
+// the crate still refuses unsafe at compile time.
+// bestk-analyze: allow-file(forbid-unsafe) — deny + the mmap module's
+// audited scoped allowance replaces the blanket forbid.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dataset;
 pub mod engine;
 pub mod error;
+pub mod mmap;
 pub mod query;
 pub mod registry;
 pub mod serve;
 pub mod snapshot;
+pub mod snapv2;
+pub mod store;
 
 pub use dataset::{Artifacts, Dataset};
 pub use engine::{Counters, DatasetRow, Engine, LoadOutcome};
@@ -47,3 +55,5 @@ pub use snapshot::{
     load_path as load_snapshot_path, load_path_with_retry, save_path as save_snapshot_path,
     save_path_with_retry, RetryPolicy,
 };
+pub use snapv2::{open as open_snapshot_v2, save_path as save_snapshot_v2_path, MappedIndex};
+pub use store::GraphStore;

@@ -88,11 +88,11 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 
 // ---------------------------------------------------------------- writing
 
-fn put_u32(buf: &mut Vec<u8>, x: u32) {
+pub(crate) fn put_u32(buf: &mut Vec<u8>, x: u32) {
     buf.extend_from_slice(&x.to_le_bytes());
 }
 
-fn put_u64(buf: &mut Vec<u8>, x: u64) {
+pub(crate) fn put_u64(buf: &mut Vec<u8>, x: u64) {
     buf.extend_from_slice(&x.to_le_bytes());
 }
 
@@ -104,17 +104,10 @@ fn put_primaries(buf: &mut Vec<u8>, pv: &PrimaryValues) {
     put_u64(buf, pv.triplets);
 }
 
-fn encode_graph(g: &CsrGraph) -> Vec<u8> {
-    let mut buf = Vec::new();
-    put_u64(&mut buf, g.num_vertices() as u64);
-    put_u64(&mut buf, g.raw_neighbors().len() as u64);
-    for &off in g.offsets() {
-        put_u64(&mut buf, off as u64);
-    }
-    for &nbr in g.raw_neighbors() {
-        put_u32(&mut buf, nbr);
-    }
-    buf
+/// The v1 graph body is byte-for-byte the [`bestk_graph::ByteCsr`]
+/// layout, so any backend serializes through the view-generic encoder.
+fn encode_graph<G: bestk_graph::GraphView>(g: &G) -> Vec<u8> {
+    bestk_graph::bytecsr::encode_view(g)
 }
 
 fn encode_decomp(d: &CoreDecomposition) -> Vec<u8> {
@@ -167,7 +160,7 @@ fn encode_forest(f: &CoreForest) -> Vec<u8> {
     buf
 }
 
-fn encode_set_profile(p: &CoreSetProfile) -> Vec<u8> {
+pub(crate) fn encode_set_profile(p: &CoreSetProfile) -> Vec<u8> {
     let mut buf = Vec::new();
     put_u32(&mut buf, p.kmax);
     buf.push(u8::from(p.has_triangles));
@@ -180,7 +173,7 @@ fn encode_set_profile(p: &CoreSetProfile) -> Vec<u8> {
     buf
 }
 
-fn encode_core_profile(p: &SingleCoreProfile) -> Vec<u8> {
+pub(crate) fn encode_core_profile(p: &SingleCoreProfile) -> Vec<u8> {
     let mut buf = Vec::new();
     buf.push(u8::from(p.has_triangles));
     put_u64(&mut buf, p.context.total_vertices);
@@ -274,7 +267,7 @@ fn is_transient(e: &std::io::Error) -> bool {
     )
 }
 
-fn with_retries<T>(
+pub(crate) fn with_retries<T>(
     policy: &RetryPolicy,
     mut op: impl FnMut() -> std::io::Result<T>,
 ) -> std::io::Result<T> {
@@ -297,7 +290,7 @@ fn with_retries<T>(
 /// One write attempt, with the `snapshot.write` failpoint threaded in: an
 /// injected truncation persists a *partial* file and then fails, exactly
 /// like a mid-write crash, so retries must overwrite from scratch.
-fn write_snapshot_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+pub(crate) fn write_snapshot_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     if let Some(e) = bestk_faults::io_error(sites::SNAPSHOT_WRITE) {
         return Err(e);
     }
@@ -347,14 +340,14 @@ pub fn save_path_with_retry<P: AsRef<Path>>(
 /// A bounds-checked cursor over one section's bytes: every overrun is a
 /// [`EngineError::Truncated`] naming the section, and `finish` rejects
 /// bytes the layout did not account for.
-struct SectionReader<'a> {
+pub(crate) struct SectionReader<'a> {
     buf: &'a [u8],
     at: usize,
     section: &'static str,
 }
 
 impl<'a> SectionReader<'a> {
-    fn new(buf: &'a [u8], section: &'static str) -> Self {
+    pub(crate) fn new(buf: &'a [u8], section: &'static str) -> Self {
         SectionReader {
             buf,
             at: 0,
@@ -362,11 +355,11 @@ impl<'a> SectionReader<'a> {
         }
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len() - self.at
     }
 
-    fn take(&mut self, len: usize) -> Result<&'a [u8], EngineError> {
+    pub(crate) fn take(&mut self, len: usize) -> Result<&'a [u8], EngineError> {
         if len > self.remaining() {
             return Err(EngineError::Truncated {
                 section: self.section,
@@ -377,16 +370,16 @@ impl<'a> SectionReader<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self) -> Result<u8, EngineError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, EngineError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, EngineError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, EngineError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self) -> Result<u64, EngineError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, EngineError> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
@@ -395,7 +388,7 @@ impl<'a> SectionReader<'a> {
 
     /// A u64 count/offset that must fit `usize` (32-bit safety) and is
     /// implicitly bounded by the section length on any later read.
-    fn count(&mut self) -> Result<usize, EngineError> {
+    pub(crate) fn count(&mut self) -> Result<usize, EngineError> {
         let raw = self.u64()?;
         usize::try_from(raw).map_err(|_| {
             EngineError::BadSnapshot(format!(
@@ -405,7 +398,7 @@ impl<'a> SectionReader<'a> {
         })
     }
 
-    fn u32_vec(&mut self, count: usize) -> Result<Vec<u32>, EngineError> {
+    pub(crate) fn u32_vec(&mut self, count: usize) -> Result<Vec<u32>, EngineError> {
         let bytes = count.checked_mul(4).ok_or(EngineError::Truncated {
             section: self.section,
         })?;
@@ -416,7 +409,7 @@ impl<'a> SectionReader<'a> {
             .collect())
     }
 
-    fn u64_vec(&mut self, count: usize) -> Result<Vec<u64>, EngineError> {
+    pub(crate) fn u64_vec(&mut self, count: usize) -> Result<Vec<u64>, EngineError> {
         let bytes = count.checked_mul(8).ok_or(EngineError::Truncated {
             section: self.section,
         })?;
@@ -427,7 +420,7 @@ impl<'a> SectionReader<'a> {
             .collect())
     }
 
-    fn primaries(&mut self, count: usize) -> Result<Vec<PrimaryValues>, EngineError> {
+    pub(crate) fn primaries(&mut self, count: usize) -> Result<Vec<PrimaryValues>, EngineError> {
         let mut out = Vec::with_capacity(count.min(1 << 16));
         for _ in 0..count {
             out.push(PrimaryValues {
@@ -441,7 +434,7 @@ impl<'a> SectionReader<'a> {
         Ok(out)
     }
 
-    fn finish(self) -> Result<(), EngineError> {
+    pub(crate) fn finish(self) -> Result<(), EngineError> {
         if self.remaining() != 0 {
             return Err(EngineError::BadSnapshot(format!(
                 "{}: {} trailing byte(s) inside the section",
@@ -453,7 +446,7 @@ impl<'a> SectionReader<'a> {
     }
 }
 
-fn bad(section: &str, msg: String) -> EngineError {
+pub(crate) fn bad(section: &str, msg: String) -> EngineError {
     EngineError::BadSnapshot(format!("{section}: {msg}"))
 }
 
@@ -474,6 +467,7 @@ fn decode_graph(body: &[u8]) -> Result<CsrGraph, EngineError> {
     }
     let neighbors = r.u32_vec(nnz)?;
     r.finish()?;
+    // bestk-analyze: allow(no-raw-graph) — the blessed deserializer boundary for untrusted bytes
     CsrGraph::try_from_parts(offsets, neighbors).map_err(EngineError::Graph)
 }
 
@@ -518,13 +512,12 @@ fn decode_ordering(
 ) -> Result<(Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>), EngineError> {
     let mut r = SectionReader::new(body, "ordering");
     let nnz = r.count()?;
-    if nnz != graph.raw_neighbors().len() {
+    // bestk-analyze: allow(no-raw-graph) — ordering sections mirror the raw adjacency layout
+    let adj_len = graph.raw_neighbors().len();
+    if nnz != adj_len {
         return Err(bad(
             "ordering",
-            format!(
-                "declares {nnz} adjacency entries but the graph has {}",
-                graph.raw_neighbors().len()
-            ),
+            format!("declares {nnz} adjacency entries but the graph has {adj_len}"),
         ));
     }
     let adj = r.u32_vec(nnz)?;
@@ -785,8 +778,23 @@ pub fn load_path_with_retry<P: AsRef<Path>>(
     path: P,
     policy: &RetryPolicy,
 ) -> Result<Dataset, EngineError> {
+    // Version dispatch by magic sniff: a v2 file routes to the zero-copy
+    // mmap opener; everything else (v1, garbage, missing) stays on the v1
+    // path, whose own validation produces the structured error.
+    if sniff_magic(path.as_ref()) == Some(*crate::snapv2::MAGIC) {
+        return crate::snapv2::open_with_retry(path, policy);
+    }
     let bytes = with_retries(policy, || read_snapshot_bytes(path.as_ref()))?;
     load_bytes(&bytes)
+}
+
+/// Reads the first 8 bytes of `path`, if it has them. Errors map to
+/// `None` — the caller's real read reports them properly.
+fn sniff_magic(path: &Path) -> Option<[u8; 8]> {
+    let mut f = std::fs::File::open(path).ok()?;
+    let mut magic = [0u8; 8];
+    f.read_exact(&mut magic).ok()?;
+    Some(magic)
 }
 
 /// The resilient load ladder as a free function: read `path` (retrying

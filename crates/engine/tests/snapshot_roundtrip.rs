@@ -8,7 +8,7 @@
 use bestk_core::Metric;
 use bestk_engine::{snapshot, Dataset, Query};
 use bestk_exec::ExecPolicy;
-use bestk_graph::{generators, testkit, CsrGraph};
+use bestk_graph::{generators, testkit, CsrGraph, GraphView};
 
 fn built(g: CsrGraph) -> Dataset {
     let mut ds = Dataset::from_graph(g);

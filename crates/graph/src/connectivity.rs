@@ -6,7 +6,8 @@
 //! `O(n)`.
 
 use crate::cast;
-use crate::csr::{CsrGraph, VertexId};
+use crate::csr::VertexId;
+use crate::view::GraphView;
 
 /// The decomposition of a graph into connected components.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,7 +45,7 @@ impl ConnectedComponents {
 }
 
 /// Computes connected components with an iterative BFS; `O(n + m)`.
-pub fn connected_components(g: &CsrGraph) -> ConnectedComponents {
+pub fn connected_components(g: &impl GraphView) -> ConnectedComponents {
     let n = g.num_vertices();
     let mut component = vec![u32::MAX; n];
     let mut queue: Vec<VertexId> = Vec::new();
@@ -56,7 +57,7 @@ pub fn connected_components(g: &CsrGraph) -> ConnectedComponents {
         component[s] = count;
         queue.push(cast::vertex_id(s));
         while let Some(v) = queue.pop() {
-            for &u in g.neighbors(v) {
+            for u in g.neighbors(v) {
                 if component[u as usize] == u32::MAX {
                     component[u as usize] = count;
                     queue.push(u);
@@ -76,8 +77,8 @@ pub fn connected_components(g: &CsrGraph) -> ConnectedComponents {
 /// Returns every reached allowed vertex, including `source` (if allowed).
 /// Used by the size-constrained k-core application to carve the component of
 /// a query vertex out of a k-core set.
-pub fn bfs_restricted(
-    g: &CsrGraph,
+pub fn bfs_restricted<G: GraphView>(
+    g: &G,
     source: VertexId,
     mut allowed: impl FnMut(VertexId) -> bool,
 ) -> Vec<VertexId> {
@@ -91,7 +92,7 @@ pub fn bfs_restricted(
     let mut out = Vec::new();
     while let Some(v) = queue.pop_front() {
         out.push(v);
-        for &u in g.neighbors(v) {
+        for u in g.neighbors(v) {
             if !visited[u as usize] && allowed(u) {
                 visited[u as usize] = true;
                 queue.push_back(u);
@@ -102,14 +103,14 @@ pub fn bfs_restricted(
 }
 
 /// Whether the whole graph is connected (the empty graph counts as connected).
-pub fn is_connected(g: &CsrGraph) -> bool {
+pub fn is_connected(g: &impl GraphView) -> bool {
     g.num_vertices() == 0 || connected_components(g).count == 1
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::GraphBuilder;
+    use crate::{CsrGraph, GraphBuilder};
 
     fn two_triangles() -> CsrGraph {
         let mut b = GraphBuilder::new();

@@ -168,6 +168,14 @@ impl CsrGraph {
         &self.neighbors
     }
 
+    /// Heap bytes held by the offset and adjacency arrays — the resident
+    /// cost accounting seam, so consumers never reach for the raw arrays
+    /// just to size them.
+    pub fn heap_bytes(&self) -> usize {
+        std::mem::size_of_val(self.offsets.as_slice())
+            .saturating_add(std::mem::size_of_val(self.neighbors.as_slice()))
+    }
+
     /// Maximum degree over all vertices (0 for an empty graph).
     pub fn max_degree(&self) -> usize {
         (0..self.num_vertices())

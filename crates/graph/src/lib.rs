@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 
 mod builder;
+pub mod bytecsr;
 pub mod cast;
 pub mod connectivity;
 mod csr;
@@ -47,14 +48,19 @@ pub mod io;
 pub mod rng;
 pub mod stats;
 pub mod subgraph;
+mod succinct;
 pub mod testkit;
 pub mod transform;
 pub mod verify;
+mod view;
 pub mod weighted;
 
 pub use builder::{build_relabeled, GraphBuilder};
+pub use bytecsr::ByteCsr;
 pub use csr::{CsrGraph, EdgeIter, VertexId};
 pub use error::GraphError;
+pub use succinct::{EliasFano, SuccinctCsr};
+pub use view::{GraphView, Neighbors};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, GraphError>;

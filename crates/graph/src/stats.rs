@@ -1,6 +1,6 @@
 //! Degree statistics, as reported in the paper's Table III.
 
-use crate::csr::CsrGraph;
+use crate::view::GraphView;
 
 /// Summary statistics for a graph (the columns of the paper's Table III,
 /// minus `kmax`, which needs a core decomposition from `bestk-core`).
@@ -20,8 +20,8 @@ pub struct GraphStats {
     pub isolated_vertices: usize,
 }
 
-/// Computes [`GraphStats`] in `O(n)`.
-pub fn graph_stats(g: &CsrGraph) -> GraphStats {
+/// Computes [`GraphStats`] in `O(n)` over any storage backend.
+pub fn graph_stats(g: &impl GraphView) -> GraphStats {
     let n = g.num_vertices();
     let mut max_degree = 0usize;
     let mut min_degree = usize::MAX;
@@ -50,7 +50,7 @@ pub fn graph_stats(g: &CsrGraph) -> GraphStats {
 /// Histogram of vertex degrees: `hist[d]` = number of vertices of degree `d`.
 ///
 /// Length is `max_degree + 1` (a single empty bucket for the empty graph).
-pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+pub fn degree_histogram(g: &impl GraphView) -> Vec<usize> {
     let mut hist = vec![0usize; g.max_degree() + 1];
     for v in g.vertices() {
         hist[g.degree(v)] += 1;
@@ -65,7 +65,7 @@ pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
 /// Returns `None` when fewer than two vertices qualify. Used by the bench
 /// harness to check that synthetic stand-ins are heavy-tailed like the
 /// paper's datasets.
-pub fn power_law_exponent_mle(g: &CsrGraph, d_min: usize) -> Option<f64> {
+pub fn power_law_exponent_mle(g: &impl GraphView, d_min: usize) -> Option<f64> {
     assert!(d_min >= 1, "d_min must be at least 1");
     let mut count = 0usize;
     let mut log_sum = 0.0f64;
@@ -132,6 +132,15 @@ mod tests {
         let gamma = power_law_exponent_mle(&g, 5).unwrap();
         // MLE on a finite Chung-Lu sample is noisy; just check the ballpark.
         assert!(gamma > 1.8 && gamma < 3.5, "gamma = {gamma}");
+    }
+
+    #[test]
+    fn stats_agree_across_backends() {
+        let g = generators::erdos_renyi_gnm(200, 600, 9);
+        let s = crate::SuccinctCsr::from_csr(&g);
+        assert_eq!(graph_stats(&s), graph_stats(&g));
+        assert_eq!(degree_histogram(&s), degree_histogram(&g));
+        assert_eq!(power_law_exponent_mle(&s, 2), power_law_exponent_mle(&g, 2));
     }
 
     #[test]

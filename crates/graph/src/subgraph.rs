@@ -7,6 +7,7 @@
 
 use crate::cast;
 use crate::csr::{CsrGraph, VertexId};
+use crate::view::GraphView;
 
 /// A subgraph induced by a vertex subset, with vertices renumbered densely.
 #[derive(Debug, Clone)]
@@ -27,7 +28,7 @@ impl InducedSubgraph {
 
 /// Extracts the subgraph induced by `vertices` (duplicates allowed, order
 /// irrelevant) in `O(|vertices| + Σ deg)` time.
-pub fn induced_subgraph(g: &CsrGraph, vertices: &[VertexId]) -> InducedSubgraph {
+pub fn induced_subgraph(g: &impl GraphView, vertices: &[VertexId]) -> InducedSubgraph {
     let mut keep: Vec<VertexId> = vertices.to_vec();
     keep.sort_unstable();
     keep.dedup();
@@ -40,7 +41,7 @@ pub fn induced_subgraph(g: &CsrGraph, vertices: &[VertexId]) -> InducedSubgraph 
     offsets.push(0usize);
     let mut neighbors = Vec::new();
     for &v in &keep {
-        for &u in g.neighbors(v) {
+        for u in g.neighbors(v) {
             let d = remap[u as usize];
             if d != u32::MAX {
                 neighbors.push(d);
@@ -56,7 +57,7 @@ pub fn induced_subgraph(g: &CsrGraph, vertices: &[VertexId]) -> InducedSubgraph 
 
 /// Number of edges in the subgraph induced by `vertices`, without
 /// materializing it. `O(Σ deg)` with an `O(n)` scratch bitmap.
-pub fn induced_edge_count(g: &CsrGraph, vertices: &[VertexId]) -> usize {
+pub fn induced_edge_count(g: &impl GraphView, vertices: &[VertexId]) -> usize {
     let mut inside = vec![false; g.num_vertices()];
     for &v in vertices {
         inside[v as usize] = true;
@@ -72,7 +73,7 @@ pub fn induced_edge_count(g: &CsrGraph, vertices: &[VertexId]) -> usize {
     // Each internal edge is seen from both endpoints; halve at the end.
     let mut twice = 0usize;
     for &v in &uniq {
-        for &u in g.neighbors(v) {
+        for u in g.neighbors(v) {
             if inside[u as usize] {
                 twice += 1;
             }
@@ -83,7 +84,7 @@ pub fn induced_edge_count(g: &CsrGraph, vertices: &[VertexId]) -> usize {
 
 /// Number of boundary edges of the vertex set (edges with exactly one
 /// endpoint inside). `O(Σ deg)`.
-pub fn boundary_edge_count(g: &CsrGraph, vertices: &[VertexId]) -> usize {
+pub fn boundary_edge_count(g: &impl GraphView, vertices: &[VertexId]) -> usize {
     let mut inside = vec![false; g.num_vertices()];
     let mut uniq = Vec::with_capacity(vertices.len());
     for &v in vertices {
@@ -94,7 +95,7 @@ pub fn boundary_edge_count(g: &CsrGraph, vertices: &[VertexId]) -> usize {
     }
     let mut boundary = 0usize;
     for &v in &uniq {
-        for &u in g.neighbors(v) {
+        for u in g.neighbors(v) {
             if !inside[u as usize] {
                 boundary += 1;
             }

@@ -3,7 +3,7 @@
 
 use bestk_core::metrics::PrimaryValues;
 use bestk_graph::cast;
-use bestk_graph::{CsrGraph, VertexId};
+use bestk_graph::{GraphView, VertexId};
 
 use crate::decomposition::TrussDecomposition;
 use crate::edgeindex::EdgeIndex;
@@ -11,8 +11,8 @@ use crate::edgeindex::EdgeIndex;
 /// Primary values of every k-truss set (`k = 2 ..= tmax`, indices 0–1
 /// duplicating 2, like [`truss_set_profile`](crate::truss_set_profile)),
 /// recomputed independently per k: `O(tmax · m^1.5)` worst case.
-pub fn baseline_truss_set_primaries(
-    g: &CsrGraph,
+pub fn baseline_truss_set_primaries<G: GraphView>(
+    g: &G,
     idx: &EdgeIndex,
     t: &TrussDecomposition,
 ) -> Vec<PrimaryValues> {
@@ -30,8 +30,8 @@ pub fn baseline_truss_set_primaries(
 }
 
 /// Direct computation of one k-truss set's primaries.
-pub fn truss_set_primaries_at(
-    g: &CsrGraph,
+pub fn truss_set_primaries_at<G: GraphView>(
+    g: &G,
     idx: &EdgeIndex,
     t: &TrussDecomposition,
     k: u32,
@@ -76,10 +76,10 @@ pub fn truss_set_primaries_at(
         // Count each triangle at its lexicographically-first edge: demand
         // w > v (endpoints are canonical u < v, so (u,v) is the first edge
         // exactly when w is the largest vertex).
-        for &w in g.neighbors(u) {
+        for w in g.neighbors(u) {
             if w > v {
-                let uv_w = idx.edge_id(g, u, w);
-                let vw = idx.edge_id(g, v, w);
+                let uv_w = idx.edge_id(u, w);
+                let vw = idx.edge_id(v, w);
                 if let (Some(a), Some(b)) = (uv_w, vw) {
                     if t.truss(a) >= k && t.truss(b) >= k {
                         triangles += 1;
@@ -98,8 +98,8 @@ pub fn truss_set_primaries_at(
 }
 
 /// The vertex set of the k-truss set (sorted ascending).
-pub fn truss_set_vertices(
-    g: &CsrGraph,
+pub fn truss_set_vertices<G: GraphView>(
+    g: &G,
     idx: &EdgeIndex,
     t: &TrussDecomposition,
     k: u32,
@@ -123,6 +123,7 @@ mod tests {
     use crate::bestkset::truss_set_profile;
     use crate::decomposition::truss_decomposition_with_index;
     use bestk_graph::generators::{self, regular};
+    use bestk_graph::CsrGraph;
 
     fn check(g: &CsrGraph) {
         let idx = EdgeIndex::build(g);

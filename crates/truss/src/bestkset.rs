@@ -24,7 +24,7 @@
 
 use bestk_core::metrics::{best_k, CommunityMetric, GraphContext, PrimaryValues};
 use bestk_graph::cast;
-use bestk_graph::{CsrGraph, VertexId};
+use bestk_graph::{GraphView, VertexId};
 
 use crate::decomposition::TrussDecomposition;
 use crate::edgeindex::EdgeIndex;
@@ -68,7 +68,11 @@ impl TrussSetProfile {
 }
 
 /// Computes the full [`TrussSetProfile`] from a decomposition.
-pub fn truss_set_profile(g: &CsrGraph, idx: &EdgeIndex, t: &TrussDecomposition) -> TrussSetProfile {
+pub fn truss_set_profile<G: GraphView>(
+    g: &G,
+    idx: &EdgeIndex,
+    t: &TrussDecomposition,
+) -> TrussSetProfile {
     let tmax = t.tmax();
     let context = GraphContext {
         total_vertices: g.num_vertices() as u64,
@@ -113,13 +117,13 @@ pub fn truss_set_profile(g: &CsrGraph, idx: &EdgeIndex, t: &TrussDecomposition) 
     }
 
     // Δ(S_k): histogram over each triangle's minimum edge truss.
-    let tri_at = triangle_min_truss_histogram(g, idx, t, levels);
+    let tri_at = triangle_min_truss_histogram(idx, t, levels);
 
     // t(S_k): per-vertex descending incident-truss walk.
     let mut trip_at = vec![0u64; levels + 1];
     for v in g.vertices() {
         let mut incident: Vec<u32> = idx
-            .slots_of(g, v)
+            .slots_of(v)
             .map(|p| t.truss(idx.id_at_slot(p)))
             .collect();
         if incident.len() < 2 {
@@ -179,15 +183,14 @@ pub fn truss_set_profile(g: &CsrGraph, idx: &EdgeIndex, t: &TrussDecomposition) 
 /// One forward-triangle pass recording, for each triangle, the minimum
 /// truss number among its three edges; returns the per-level histogram.
 fn triangle_min_truss_histogram(
-    g: &CsrGraph,
     idx: &EdgeIndex,
     t: &TrussDecomposition,
     levels: usize,
 ) -> Vec<u64> {
-    let n = g.num_vertices();
+    let n = idx.num_vertices();
     let mut hist = vec![0u64; levels + 1];
     let mut order: Vec<VertexId> = (0..cast::vertex_id(n)).collect();
-    order.sort_unstable_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    order.sort_unstable_by_key(|&v| (std::cmp::Reverse(idx.degree(v)), v));
     let mut pos = vec![0u32; n];
     for (i, &v) in order.iter().enumerate() {
         pos[v as usize] = cast::u32_of(i);
@@ -195,21 +198,21 @@ fn triangle_min_truss_histogram(
     let mut mark: Vec<u32> = vec![u32::MAX; n];
     for &v in &order {
         let pv = pos[v as usize];
-        let range = idx.slots_of(g, v);
+        let range = idx.slots_of(v);
         for p in range.clone() {
-            let w = g.raw_neighbors()[p];
+            let w = idx.neighbor_at(p);
             if pos[w as usize] > pv {
                 mark[w as usize] = idx.id_at_slot(p);
             }
         }
         for p in range.clone() {
-            let u = g.raw_neighbors()[p];
+            let u = idx.neighbor_at(p);
             if pos[u as usize] <= pv {
                 continue;
             }
             let t_vu = t.truss(idx.id_at_slot(p));
-            for q in idx.slots_of(g, u) {
-                let w = g.raw_neighbors()[q];
+            for q in idx.slots_of(u) {
+                let w = idx.neighbor_at(q);
                 if pos[w as usize] > pos[u as usize] && mark[w as usize] != u32::MAX {
                     let t_vw = t.truss(mark[w as usize]);
                     let t_uw = t.truss(idx.id_at_slot(q));
@@ -219,7 +222,7 @@ fn triangle_min_truss_histogram(
             }
         }
         for p in range {
-            let w = g.raw_neighbors()[p];
+            let w = idx.neighbor_at(p);
             mark[w as usize] = u32::MAX;
         }
     }
@@ -232,8 +235,8 @@ fn choose2(x: u64) -> u64 {
 }
 
 /// One-call convenience: profile + best k under `metric`.
-pub fn best_k_truss_set<M: CommunityMetric + ?Sized>(
-    g: &CsrGraph,
+pub fn best_k_truss_set<G: GraphView, M: CommunityMetric + ?Sized>(
+    g: &G,
     t: &TrussDecomposition,
     metric: &M,
 ) -> Option<BestKTruss> {
@@ -247,6 +250,7 @@ mod tests {
     use crate::decomposition::truss_decomposition_with_index;
     use bestk_core::Metric;
     use bestk_graph::generators::{self, regular};
+    use bestk_graph::CsrGraph;
 
     fn profile(g: &CsrGraph) -> TrussSetProfile {
         let idx = EdgeIndex::build(g);

@@ -18,7 +18,7 @@ use bestk_core::metrics::{CommunityMetric, GraphContext, PrimaryValues};
 use bestk_core::triangles::{count_triangles, count_triplets};
 use bestk_graph::cast;
 use bestk_graph::subgraph::induced_subgraph;
-use bestk_graph::{CsrGraph, VertexId};
+use bestk_graph::{GraphView, VertexId};
 
 use crate::decomposition::TrussDecomposition;
 use crate::edgeindex::EdgeIndex;
@@ -45,8 +45,8 @@ pub struct BestSingleTruss {
 
 /// Enumerates every distinct k-truss with its primaries (triangles and
 /// triplets included when `with_triangles`).
-pub fn enumerate_trusses(
-    g: &CsrGraph,
+pub fn enumerate_trusses<G: GraphView>(
+    g: &G,
     idx: &EdgeIndex,
     t: &TrussDecomposition,
     with_triangles: bool,
@@ -78,9 +78,9 @@ pub fn enumerate_trusses(
             claimed[su as usize] = k;
             while let Some(v) = stack.pop() {
                 comp.push(v);
-                for p in idx.slots_of(g, v) {
+                for p in idx.slots_of(v) {
                     if t.truss(idx.id_at_slot(p)) >= k {
-                        let w = g.raw_neighbors()[p];
+                        let w = idx.neighbor_at(p);
                         if claimed[w as usize] != k {
                             claimed[w as usize] = k;
                             stack.push(w);
@@ -101,8 +101,8 @@ pub fn enumerate_trusses(
 
 /// Primaries of one truss component: edges/triangles restricted to the
 /// `t ≥ k` subgraph on `comp`; boundary = edges leaving the vertex set.
-fn truss_primaries(
-    g: &CsrGraph,
+fn truss_primaries<G: GraphView>(
+    g: &G,
     idx: &EdgeIndex,
     t: &TrussDecomposition,
     k: u32,
@@ -116,8 +116,8 @@ fn truss_primaries(
     let mut internal_twice = 0u64;
     let mut boundary = 0u64;
     for &v in comp {
-        for p in idx.slots_of(g, v) {
-            let w = g.raw_neighbors()[p];
+        for p in idx.slots_of(v) {
+            let w = idx.neighbor_at(p);
             if inside[w as usize] {
                 if t.truss(idx.id_at_slot(p)) >= k {
                     internal_twice += 1;
@@ -141,7 +141,7 @@ fn truss_primaries(
         b.reserve_vertices(sub.graph.num_vertices());
         for (du, dv) in sub.graph.edges() {
             let (ou, ov) = (sub.original_id(du), sub.original_id(dv));
-            if let Some(e) = idx.edge_id(g, ou, ov) {
+            if let Some(e) = idx.edge_id(ou, ov) {
                 if t.truss(e) >= k {
                     b.add_edge(du, dv);
                 }
@@ -157,8 +157,8 @@ fn truss_primaries(
 /// Finds the best single k-truss under `metric` (ties prefer the largest
 /// `k`). Returns `None` on triangle-free or edgeless graphs where every
 /// score is `NaN`.
-pub fn best_single_k_truss<M: CommunityMetric + ?Sized>(
-    g: &CsrGraph,
+pub fn best_single_k_truss<G: GraphView, M: CommunityMetric + ?Sized>(
+    g: &G,
     idx: &EdgeIndex,
     t: &TrussDecomposition,
     metric: &M,
@@ -193,6 +193,7 @@ mod tests {
     use crate::decomposition::truss_decomposition_with_index;
     use bestk_core::Metric;
     use bestk_graph::generators::{self, regular};
+    use bestk_graph::CsrGraph;
 
     fn setup(g: &CsrGraph) -> (EdgeIndex, TrussDecomposition) {
         let idx = EdgeIndex::build(g);

@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 
 use bestk_exec::{prefix_sum, ExecPolicy};
 use bestk_graph::cast;
-use bestk_graph::{CsrGraph, VertexId};
+use bestk_graph::{GraphView, VertexId};
 
 use crate::edgeindex::EdgeIndex;
 
@@ -62,8 +62,9 @@ impl TrussDecomposition {
 }
 
 /// Computes the support (number of triangles through each edge) in
-/// `O(m^1.5)` using per-vertex marking.
-pub fn edge_supports(g: &CsrGraph, idx: &EdgeIndex) -> Vec<u32> {
+/// `O(m^1.5)` using per-vertex marking. Adjacency is read through the
+/// index, so the graph is consulted only for the degree ordering.
+pub fn edge_supports<G: GraphView>(g: &G, idx: &EdgeIndex) -> Vec<u32> {
     let n = g.num_vertices();
     let m = idx.num_edges();
     let mut support = vec![0u32; m];
@@ -80,21 +81,21 @@ pub fn edge_supports(g: &CsrGraph, idx: &EdgeIndex) -> Vec<u32> {
     let mut mark: Vec<u32> = vec![u32::MAX; n];
     for &v in &order {
         let pv = pos[v as usize];
-        let range = idx.slots_of(g, v);
+        let range = idx.slots_of(v);
         for p in range.clone() {
-            let w = g.raw_neighbors()[p];
+            let w = idx.neighbor_at(p);
             if pos[w as usize] > pv {
                 mark[w as usize] = idx.id_at_slot(p);
             }
         }
         for p in range.clone() {
-            let u = g.raw_neighbors()[p];
+            let u = idx.neighbor_at(p);
             if pos[u as usize] <= pv {
                 continue;
             }
             let e_vu = idx.id_at_slot(p);
-            for q in idx.slots_of(g, u) {
-                let w = g.raw_neighbors()[q];
+            for q in idx.slots_of(u) {
+                let w = idx.neighbor_at(q);
                 if pos[w as usize] > pos[u as usize] && mark[w as usize] != u32::MAX {
                     let e_vw = mark[w as usize];
                     let e_uw = idx.id_at_slot(q);
@@ -105,7 +106,7 @@ pub fn edge_supports(g: &CsrGraph, idx: &EdgeIndex) -> Vec<u32> {
             }
         }
         for p in range {
-            let w = g.raw_neighbors()[p];
+            let w = idx.neighbor_at(p);
             mark[w as usize] = u32::MAX;
         }
     }
@@ -117,7 +118,7 @@ pub fn edge_supports(g: &CsrGraph, idx: &EdgeIndex) -> Vec<u32> {
 /// mark array; triangle credits land in shared atomic counters. Additions
 /// commute, so the support vector is identical to the sequential one at
 /// every thread count.
-pub fn edge_supports_with(g: &CsrGraph, idx: &EdgeIndex, policy: &ExecPolicy) -> Vec<u32> {
+pub fn edge_supports_with<G: GraphView>(g: &G, idx: &EdgeIndex, policy: &ExecPolicy) -> Vec<u32> {
     if !policy.is_parallel() {
         return edge_supports(g, idx);
     }
@@ -139,21 +140,21 @@ pub fn edge_supports_with(g: &CsrGraph, idx: &EdgeIndex, policy: &ExecPolicy) ->
         |mark, _, range| {
             for &v in &order[range] {
                 let pv = pos[v as usize];
-                let slots = idx.slots_of(g, v);
+                let slots = idx.slots_of(v);
                 for p in slots.clone() {
-                    let w = g.raw_neighbors()[p];
+                    let w = idx.neighbor_at(p);
                     if pos[w as usize] > pv {
                         mark[w as usize] = idx.id_at_slot(p);
                     }
                 }
                 for p in slots.clone() {
-                    let u = g.raw_neighbors()[p];
+                    let u = idx.neighbor_at(p);
                     if pos[u as usize] <= pv {
                         continue;
                     }
                     let e_vu = idx.id_at_slot(p);
-                    for q in idx.slots_of(g, u) {
-                        let w = g.raw_neighbors()[q];
+                    for q in idx.slots_of(u) {
+                        let w = idx.neighbor_at(q);
                         if pos[w as usize] > pos[u as usize] && mark[w as usize] != u32::MAX {
                             let e_vw = mark[w as usize];
                             let e_uw = idx.id_at_slot(q);
@@ -164,7 +165,7 @@ pub fn edge_supports_with(g: &CsrGraph, idx: &EdgeIndex, policy: &ExecPolicy) ->
                     }
                 }
                 for p in slots {
-                    let w = g.raw_neighbors()[p];
+                    let w = idx.neighbor_at(p);
                     mark[w as usize] = u32::MAX;
                 }
             }
@@ -176,14 +177,14 @@ pub fn edge_supports_with(g: &CsrGraph, idx: &EdgeIndex, policy: &ExecPolicy) ->
 }
 
 /// Runs the peeling truss decomposition; `O(m^1.5)` time, `O(m)` space.
-pub fn truss_decomposition(g: &CsrGraph) -> TrussDecomposition {
+pub fn truss_decomposition<G: GraphView>(g: &G) -> TrussDecomposition {
     let idx = EdgeIndex::build(g);
     truss_decomposition_with_index(g, &idx)
 }
 
 /// Like [`truss_decomposition`] but reuses a prebuilt [`EdgeIndex`].
-pub fn truss_decomposition_with_index(g: &CsrGraph, idx: &EdgeIndex) -> TrussDecomposition {
-    peel_from_supports(g, idx, edge_supports(g, idx))
+pub fn truss_decomposition_with_index<G: GraphView>(g: &G, idx: &EdgeIndex) -> TrussDecomposition {
+    peel_from_supports(idx, edge_supports(g, idx))
 }
 
 /// [`truss_decomposition_with_index`] under an execution policy: the support
@@ -191,18 +192,19 @@ pub fn truss_decomposition_with_index(g: &CsrGraph, idx: &EdgeIndex) -> TrussDec
 /// runtime via [`edge_supports_with`]; the peel itself is inherently
 /// sequential (each removal changes the supports the next step reads) and
 /// runs as-is. The decomposition is identical at every thread count.
-pub fn truss_decomposition_exec(
-    g: &CsrGraph,
+pub fn truss_decomposition_exec<G: GraphView>(
+    g: &G,
     idx: &EdgeIndex,
     policy: &ExecPolicy,
 ) -> TrussDecomposition {
-    peel_from_supports(g, idx, edge_supports_with(g, idx, policy))
+    peel_from_supports(idx, edge_supports_with(g, idx, policy))
 }
 
 /// The ascending-support peel, starting from precomputed edge supports.
-fn peel_from_supports(g: &CsrGraph, idx: &EdgeIndex, mut support: Vec<u32>) -> TrussDecomposition {
+/// Self-contained on the index: the peel never touches the graph backend.
+fn peel_from_supports(idx: &EdgeIndex, mut support: Vec<u32>) -> TrussDecomposition {
     let m = idx.num_edges();
-    let n = g.num_vertices();
+    let n = idx.num_vertices();
     // Bucket queue over supports with lazy entries.
     let max_sup = support.iter().copied().max().unwrap_or(0) as usize;
     let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_sup + 1];
@@ -244,18 +246,18 @@ fn peel_from_supports(g: &CsrGraph, idx: &EdgeIndex, mut support: Vec<u32>) -> T
         // Remove e = (u, v): every surviving triangle through e loses one,
         // so decrement the supports of its two partner edges.
         let (u, v) = idx.endpoints(e);
-        let (a, b) = if g.degree(u) <= g.degree(v) {
+        let (a, b) = if idx.degree(u) <= idx.degree(v) {
             (u, v)
         } else {
             (v, u)
         };
-        for p in idx.slots_of(g, a) {
-            let w = g.raw_neighbors()[p];
+        for p in idx.slots_of(a) {
+            let w = idx.neighbor_at(p);
             let e_aw = idx.id_at_slot(p);
             if !alive_edge[e_aw as usize] {
                 continue;
             }
-            if let Some(e_bw) = idx.edge_id(g, b, w) {
+            if let Some(e_bw) = idx.edge_id(b, w) {
                 if alive_edge[e_bw as usize] {
                     for &edge in &[e_aw, e_bw] {
                         let sup = support[edge as usize];
@@ -289,7 +291,7 @@ fn peel_from_supports(g: &CsrGraph, idx: &EdgeIndex, mut support: Vec<u32>) -> T
 mod tests {
     use super::*;
     use bestk_graph::generators::{self, regular};
-    use bestk_graph::GraphBuilder;
+    use bestk_graph::{CsrGraph, GraphBuilder};
 
     fn truss_of(g: &CsrGraph) -> (TrussDecomposition, EdgeIndex) {
         let idx = EdgeIndex::build(g);
@@ -326,18 +328,18 @@ mod tests {
         assert_eq!(t.tmax(), 4);
         // All K4 edges have truss 4.
         for (u, v) in [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
-            let e = idx.edge_id(&g, u, v).unwrap();
+            let e = idx.edge_id(u, v).unwrap();
             assert_eq!(t.truss(e), 4, "K4 edge ({u},{v})");
         }
         // Triangle v3(2), v5(4), v6(5): each edge is in exactly that one
         // shared triangle after the K4 peels? v3-v5: triangles {v3,v5,v6}
         // only -> truss 3.
-        let e = idx.edge_id(&g, 2, 4).unwrap();
+        let e = idx.edge_id(2, 4).unwrap();
         assert_eq!(t.truss(e), 3);
-        let e = idx.edge_id(&g, 4, 5).unwrap();
+        let e = idx.edge_id(4, 5).unwrap();
         assert_eq!(t.truss(e), 3);
         // v8-v9 closes no triangle.
-        let e = idx.edge_id(&g, 7, 8).unwrap();
+        let e = idx.edge_id(7, 8).unwrap();
         assert_eq!(t.truss(e), 2);
         // Vertex entry levels.
         assert_eq!(t.vertex_truss(0), 4);
@@ -387,8 +389,8 @@ mod tests {
                         .iter()
                         .filter(|&&w| {
                             w != v
-                                && idx.edge_id(g, v, w).is_some_and(|x| alive[x as usize])
-                                && idx.edge_id(g, u, w).is_some_and(|x| alive[x as usize])
+                                && idx.edge_id(v, w).is_some_and(|x| alive[x as usize])
+                                && idx.edge_id(u, w).is_some_and(|x| alive[x as usize])
                         })
                         .count() as u32;
                     if sup < k.saturating_sub(2) {

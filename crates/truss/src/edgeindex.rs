@@ -1,44 +1,58 @@
-//! Dense edge ids over a CSR graph.
+//! Dense edge ids over a graph's adjacency structure.
 //!
 //! Truss algorithms are edge-centric: supports, truss numbers, and deletion
 //! flags are all per-undirected-edge arrays. This index assigns each
-//! undirected edge a dense id `0..m` (both CSR directions map to the same
-//! id) and supports `O(log d)` id lookup by endpoint pair.
+//! undirected edge a dense id `0..m` (both adjacency directions map to the
+//! same id) and supports `O(log d)` id lookup by endpoint pair.
+//!
+//! The index *owns* a materialized copy of the adjacency (offsets plus
+//! sorted neighbor array), so it can be built from any [`GraphView`]
+//! backend — canonical CSR, succinct, or memory-mapped — and the truss
+//! kernels address adjacency exclusively through it rather than through
+//! backend-specific raw arrays.
 
-use bestk_graph::{CsrGraph, VertexId};
+use bestk_graph::{GraphView, VertexId};
 
-/// Edge-id annotation for a [`CsrGraph`].
+/// Edge-id annotation plus a slot-aligned adjacency copy.
 #[derive(Debug, Clone)]
 pub struct EdgeIndex {
-    /// `ids[p]` = edge id of the CSR adjacency slot `p` (aligned with
-    /// `graph.raw_neighbors()`).
+    /// Adjacency offsets: vertex `v`'s slots are `offsets[v]..offsets[v+1]`.
+    offsets: Vec<usize>,
+    /// Slot-aligned neighbor ids (each undirected edge appears twice).
+    adj: Vec<VertexId>,
+    /// `ids[p]` = edge id of adjacency slot `p` (aligned with `adj`).
     ids: Vec<u32>,
     /// `endpoints[e]` = the edge's `(u, v)` with `u < v`.
     endpoints: Vec<(VertexId, VertexId)>,
 }
 
 impl EdgeIndex {
-    /// Builds the index in `O(n + m)` (edges are numbered in the order
-    /// [`CsrGraph::edges`] yields them).
+    /// Builds the index in `O(n + m)` from any storage backend (edges are
+    /// numbered in ascending `(u, v)` order with `u < v`, matching
+    /// `CsrGraph::edges`).
     ///
     /// # Panics
     ///
     /// Panics if the graph has more than `u32::MAX` edges.
-    pub fn build(g: &CsrGraph) -> Self {
+    pub fn build<G: GraphView>(g: &G) -> Self {
         assert!(g.num_edges() <= u32::MAX as usize, "edge ids are u32");
-        let mut ids = vec![0u32; g.raw_neighbors().len()];
+        let offsets = g.degree_offsets();
+        let mut adj: Vec<VertexId> = Vec::with_capacity(offsets[g.num_vertices()]);
+        for v in g.vertices() {
+            adj.extend(g.neighbors(v));
+        }
+        let mut ids = vec![0u32; adj.len()];
         let mut endpoints = Vec::with_capacity(g.num_edges());
         // Walk each vertex's sorted adjacency; assign ids to the (u, v)
         // direction with u < v first, then mirror to (v, u) via a per-vertex
         // cursor into the reverse slot.
-        let offsets = g.offsets();
         let mut next = 0u32;
         // cursor[v]: how many back-edges of v (to smaller ids) we've mirrored.
         let mut cursor: Vec<usize> = offsets[..g.num_vertices()].to_vec();
         for u in g.vertices() {
             let (start, end) = (offsets[u as usize], offsets[u as usize + 1]);
             for p in start..end {
-                let v = g.raw_neighbors()[p];
+                let v = adj[p];
                 if v > u {
                     ids[p] = next;
                     endpoints.push((u, v));
@@ -47,7 +61,7 @@ impl EdgeIndex {
                     // exactly the order we visit (u ascending). So the next
                     // unmirrored slot of v is cursor[v].
                     let q = cursor[v as usize];
-                    debug_assert_eq!(g.raw_neighbors()[q], u, "mirror slot mismatch");
+                    debug_assert_eq!(adj[q], u, "mirror slot mismatch");
                     ids[q] = next;
                     cursor[v as usize] = q + 1;
                     next += 1;
@@ -55,7 +69,18 @@ impl EdgeIndex {
             }
         }
         debug_assert_eq!(next as usize, g.num_edges());
-        EdgeIndex { ids, endpoints }
+        EdgeIndex {
+            offsets,
+            adj,
+            ids,
+            endpoints,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
     }
 
     /// Number of undirected edges.
@@ -64,44 +89,59 @@ impl EdgeIndex {
         self.endpoints.len()
     }
 
+    /// Degree of vertex `v` (the width of its slot range).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
     /// The endpoints `(u, v)` (with `u < v`) of edge `e`.
     #[inline]
     pub fn endpoints(&self, e: u32) -> (VertexId, VertexId) {
         self.endpoints[e as usize]
     }
 
-    /// Edge ids aligned with the graph's raw adjacency array.
+    /// Edge ids aligned with the adjacency slot array.
     #[inline]
     pub fn slot_ids(&self) -> &[u32] {
         &self.ids
     }
 
-    /// The edge id at a raw adjacency slot.
+    /// The edge id at an adjacency slot.
     #[inline]
     pub fn id_at_slot(&self, slot: usize) -> u32 {
         self.ids[slot]
     }
 
+    /// The neighbor id at an adjacency slot.
+    #[inline]
+    pub fn neighbor_at(&self, slot: usize) -> VertexId {
+        self.adj[slot]
+    }
+
     /// Looks up the id of edge `{u, v}` by binary search on the sorted
     /// adjacency of the lower-degree endpoint; `None` if absent.
-    pub fn edge_id(&self, g: &CsrGraph, u: VertexId, v: VertexId) -> Option<u32> {
+    pub fn edge_id(&self, u: VertexId, v: VertexId) -> Option<u32> {
         if u == v {
             return None;
         }
-        let (a, b) = if g.degree(u) <= g.degree(v) {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
             (u, v)
         } else {
             (v, u)
         };
-        let start = g.offsets()[a as usize];
-        let adj = g.neighbors(a);
-        adj.binary_search(&b).ok().map(|i| self.ids[start + i])
+        let range = self.slots_of(a);
+        let start = range.start;
+        self.adj[range]
+            .binary_search(&b)
+            .ok()
+            .map(|i| self.ids[start + i])
     }
 
-    /// Iterates `(slot_range, vertex)` pairs — each vertex's adjacency slot
-    /// range, for algorithms that need slot-aligned scans.
-    pub fn slots_of(&self, g: &CsrGraph, v: VertexId) -> std::ops::Range<usize> {
-        g.offsets()[v as usize]..g.offsets()[v as usize + 1]
+    /// The adjacency slot range of vertex `v`, for slot-aligned scans.
+    #[inline]
+    pub fn slots_of(&self, v: VertexId) -> std::ops::Range<usize> {
+        self.offsets[v as usize]..self.offsets[v as usize + 1]
     }
 }
 
@@ -109,7 +149,7 @@ impl EdgeIndex {
 mod tests {
     use super::*;
     use bestk_graph::generators::{self, regular};
-    use bestk_graph::GraphBuilder;
+    use bestk_graph::{CsrGraph, GraphBuilder, SuccinctCsr};
 
     #[test]
     fn ids_are_dense_and_symmetric() {
@@ -126,8 +166,8 @@ mod tests {
         for e in 0..400u32 {
             let (u, v) = idx.endpoints(e);
             assert!(u < v);
-            assert_eq!(idx.edge_id(&g, u, v), Some(e));
-            assert_eq!(idx.edge_id(&g, v, u), Some(e));
+            assert_eq!(idx.edge_id(u, v), Some(e));
+            assert_eq!(idx.edge_id(v, u), Some(e));
         }
     }
 
@@ -137,9 +177,9 @@ mod tests {
         b.extend_edges([(0, 1), (1, 2)]);
         let g = b.build();
         let idx = EdgeIndex::build(&g);
-        assert_eq!(idx.edge_id(&g, 0, 2), None);
-        assert_eq!(idx.edge_id(&g, 1, 1), None);
-        assert!(idx.edge_id(&g, 0, 1).is_some());
+        assert_eq!(idx.edge_id(0, 2), None);
+        assert_eq!(idx.edge_id(1, 1), None);
+        assert!(idx.edge_id(0, 1).is_some());
     }
 
     #[test]
@@ -147,9 +187,10 @@ mod tests {
         let g = regular::complete(5);
         let idx = EdgeIndex::build(&g);
         for v in g.vertices() {
-            let range = idx.slots_of(&g, v);
+            let range = idx.slots_of(v);
             for (i, slot) in range.enumerate() {
                 let u = g.neighbors(v)[i];
+                assert_eq!(idx.neighbor_at(slot), u);
                 let e = idx.id_at_slot(slot);
                 let (a, b) = idx.endpoints(e);
                 assert!((a, b) == (u.min(v), u.max(v)));
@@ -158,8 +199,24 @@ mod tests {
     }
 
     #[test]
+    fn backends_build_identical_indexes() {
+        let g = generators::erdos_renyi_gnm(120, 500, 3);
+        let from_csr = EdgeIndex::build(&g);
+        let from_succinct = EdgeIndex::build(&SuccinctCsr::from_csr(&g));
+        assert_eq!(from_csr.slot_ids(), from_succinct.slot_ids());
+        for e in 0..500u32 {
+            assert_eq!(from_csr.endpoints(e), from_succinct.endpoints(e));
+        }
+        for v in g.vertices() {
+            assert_eq!(from_csr.slots_of(v), from_succinct.slots_of(v));
+            assert_eq!(from_csr.degree(v), g.degree(v));
+        }
+    }
+
+    #[test]
     fn empty_graph() {
         let idx = EdgeIndex::build(&CsrGraph::empty(4));
         assert_eq!(idx.num_edges(), 0);
+        assert_eq!(idx.num_vertices(), 4);
     }
 }

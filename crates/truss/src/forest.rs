@@ -14,7 +14,7 @@
 //! thus absent from the forest.
 
 use bestk_graph::cast;
-use bestk_graph::{CsrGraph, VertexId};
+use bestk_graph::{GraphView, VertexId};
 
 use crate::decomposition::TrussDecomposition;
 use crate::edgeindex::EdgeIndex;
@@ -45,8 +45,8 @@ pub struct TrussForest {
 
 impl TrussForest {
     /// Builds the forest from a truss decomposition.
-    pub fn build(g: &CsrGraph, idx: &EdgeIndex, t: &TrussDecomposition) -> Self {
-        Builder::new(g, idx, t).run()
+    pub fn build<G: GraphView>(g: &G, idx: &EdgeIndex, t: &TrussDecomposition) -> Self {
+        Builder::new(g.num_vertices(), idx, t).run()
     }
 
     /// Number of nodes (= number of distinct k-trusses with a non-empty
@@ -134,8 +134,7 @@ struct Builder<'a> {
 }
 
 impl<'a> Builder<'a> {
-    fn new(g: &'a CsrGraph, idx: &'a EdgeIndex, t: &'a TrussDecomposition) -> Self {
-        let n = g.num_vertices();
+    fn new(n: usize, idx: &'a EdgeIndex, t: &'a TrussDecomposition) -> Self {
         Builder {
             idx,
             t,
@@ -271,6 +270,7 @@ mod tests {
     use crate::besttruss::enumerate_trusses;
     use crate::decomposition::truss_decomposition_with_index;
     use bestk_graph::generators::{self, regular};
+    use bestk_graph::CsrGraph;
 
     fn forest_of(g: &CsrGraph) -> (TrussForest, EdgeIndex, TrussDecomposition) {
         let idx = EdgeIndex::build(g);

@@ -12,7 +12,7 @@
 
 use bestk_graph::cast;
 use bestk_graph::verify::{VerifyError, VerifyResult};
-use bestk_graph::CsrGraph;
+use bestk_graph::GraphView;
 
 use crate::decomposition::TrussDecomposition;
 use crate::edgeindex::EdgeIndex;
@@ -33,8 +33,8 @@ pub const NAIVE_RECHECK_EDGE_LIMIT: usize = 4_000;
 /// 5. **maximality** (graphs with ≤ [`NAIVE_RECHECK_EDGE_LIMIT`] edges):
 ///    an independent peeling recomputation reproduces every truss number
 ///    exactly.
-pub fn verify_truss_decomposition(
-    g: &CsrGraph,
+pub fn verify_truss_decomposition<G: GraphView>(
+    g: &G,
     idx: &EdgeIndex,
     t: &TrussDecomposition,
 ) -> VerifyResult {
@@ -65,7 +65,7 @@ pub fn verify_truss_decomposition(
     // 3. vertex_truss consistency.
     for v in g.vertices() {
         let want = idx
-            .slots_of(g, v)
+            .slots_of(v)
             .map(|slot| t.truss(idx.id_at_slot(slot)))
             .max()
             .unwrap_or(0);
@@ -85,16 +85,20 @@ pub fn verify_truss_decomposition(
         let (u, v) = idx.endpoints(e);
         let te = t.truss(e);
         let mut closed = 0u32;
-        // Intersect N(u) and N(v); both lists are id-sorted.
+        // Intersect N(u) and N(v); both lists are id-sorted (slot-aligned
+        // copies in the index, so no backend access is needed).
         let (mut i, mut j) = (0usize, 0usize);
-        let (nu, nv) = (g.neighbors(u), g.neighbors(v));
-        while i < nu.len() && j < nv.len() {
-            match nu[i].cmp(&nv[j]) {
+        let (su, sv) = (idx.slots_of(u), idx.slots_of(v));
+        let (ni, nj) = (su.len(), sv.len());
+        let at_u = |i: usize| idx.neighbor_at(su.start + i);
+        let at_v = |j: usize| idx.neighbor_at(sv.start + j);
+        while i < ni && j < nj {
+            match at_u(i).cmp(&at_v(j)) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    let w = nu[i];
-                    let (Some(uw), Some(vw)) = (idx.edge_id(g, u, w), idx.edge_id(g, v, w)) else {
+                    let w = at_u(i);
+                    let (Some(uw), Some(vw)) = (idx.edge_id(u, w), idx.edge_id(v, w)) else {
                         return Err(VerifyError::new(
                             "truss.edge-index",
                             format!("triangle edge ({u},{v},{w}) missing from the index"),
@@ -121,7 +125,7 @@ pub fn verify_truss_decomposition(
 
     // 5. maximality by independent recomputation (small graphs).
     if m <= NAIVE_RECHECK_EDGE_LIMIT {
-        let naive = naive_truss_numbers(g, idx);
+        let naive = naive_truss_numbers(idx);
         if naive != t.truss_slice() {
             let e = naive
                 .iter()
@@ -146,8 +150,9 @@ pub fn verify_truss_decomposition(
 /// Independent truss-number computation by the textbook definition:
 /// repeatedly delete any edge whose support within the surviving subgraph
 /// is below `k − 2`, recounting supports from scratch after every sweep.
-/// Quadratic-ish and proudly so — an oracle, not an algorithm.
-pub fn naive_truss_numbers(g: &CsrGraph, idx: &EdgeIndex) -> Vec<u32> {
+/// Quadratic-ish and proudly so — an oracle, not an algorithm. Works
+/// entirely from the index's adjacency copy.
+pub fn naive_truss_numbers(idx: &EdgeIndex) -> Vec<u32> {
     let m = idx.num_edges();
     let mut truss = vec![0u32; m];
     let mut alive: Vec<bool> = vec![true; m];
@@ -161,7 +166,7 @@ pub fn naive_truss_numbers(g: &CsrGraph, idx: &EdgeIndex) -> Vec<u32> {
                 if !alive[e as usize] {
                     continue;
                 }
-                if support_among(g, idx, &alive, e) + 2 < k {
+                if support_among(idx, &alive, e) + 2 < k {
                     alive[e as usize] = false;
                     truss[e as usize] = k;
                     remaining -= 1;
@@ -183,20 +188,23 @@ pub fn naive_truss_numbers(g: &CsrGraph, idx: &EdgeIndex) -> Vec<u32> {
 
 /// Support of edge `e` counting only triangles whose other two edges are
 /// still alive.
-fn support_among(g: &CsrGraph, idx: &EdgeIndex, alive: &[bool], e: u32) -> u32 {
+fn support_among(idx: &EdgeIndex, alive: &[bool], e: u32) -> u32 {
     let (u, v) = idx.endpoints(e);
     let (mut i, mut j) = (0usize, 0usize);
-    let (nu, nv) = (g.neighbors(u), g.neighbors(v));
+    let (su, sv) = (idx.slots_of(u), idx.slots_of(v));
+    let (ni, nj) = (su.len(), sv.len());
+    let at_u = |i: usize| idx.neighbor_at(su.start + i);
+    let at_v = |j: usize| idx.neighbor_at(sv.start + j);
     let mut closed = 0u32;
-    while i < nu.len() && j < nv.len() {
-        match nu[i].cmp(&nv[j]) {
+    while i < ni && j < nj {
+        match at_u(i).cmp(&at_v(j)) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                let w = nu[i];
+                let w = at_u(i);
                 // An inconsistent index cannot produce a triangle here; if it
                 // somehow does, undercounting makes the oracle *stricter*.
-                let (Some(uw), Some(vw)) = (idx.edge_id(g, u, w), idx.edge_id(g, v, w)) else {
+                let (Some(uw), Some(vw)) = (idx.edge_id(u, w), idx.edge_id(v, w)) else {
                     i += 1;
                     j += 1;
                     continue;
@@ -236,6 +244,6 @@ mod tests {
         let g = generators::paper_figure2();
         let idx = EdgeIndex::build(&g);
         let t = truss_decomposition(&g);
-        assert_eq!(naive_truss_numbers(&g, &idx), t.truss_slice());
+        assert_eq!(naive_truss_numbers(&idx), t.truss_slice());
     }
 }
