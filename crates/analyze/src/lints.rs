@@ -14,6 +14,7 @@
 //! | `no-raw-failpoint` | no `install_plan(`/`clear_plan(` outside `crates/faults` (fault sites go through the `bestk_faults` facade) |
 //! | `no-raw-instant` | no `Instant::now(` outside `crates/obs` (timing goes through the injectable `bestk_obs` clock) |
 //! | `no-raw-graph` | no `.offsets()`/`.raw_neighbors()`/`CsrGraph::from_parts` outside `crates/graph` (graphs are observed through `GraphView`) |
+//! | `no-raw-mutation` | no `DeltaOverlay`/`DeltaLog` outside `crates/delta` and `crates/engine` (mutations go through the engine's stage/commit protocol) |
 //! | `module-doc` | every source file opens with a `//!` module doc |
 //!
 //! The deeper analysis families — lock discipline, determinism, hot-path
@@ -72,6 +73,10 @@ pub const LINTS: &[(&str, &str)] = &[
     (
         "no-raw-graph",
         "no CsrGraph internals (.offsets()/.raw_neighbors()/from_parts) outside crates/graph; observe graphs through GraphView",
+    ),
+    (
+        "no-raw-mutation",
+        "no DeltaOverlay/DeltaLog outside crates/delta and crates/engine; mutate through SharedEngine::stage_edge/commit_edges",
     ),
     (
         "module-doc",
@@ -219,6 +224,11 @@ pub fn check_model(path: &str, role: FileRole, m: &FileModel<'_>) -> Vec<Diagnos
     // graphs through the `GraphView` trait so storage backends (succinct,
     // mapped snapshots) stay swappable without touching consumers.
     let graph_exempt = path.starts_with("crates/graph/");
+    // `crates/delta` defines the raw mutation primitives and
+    // `crates/engine` is the one consumer allowed to drive them: everyone
+    // else mutates through the engine's stage → commit protocol, which is
+    // what makes mutations validated, write-ahead-logged, and durable.
+    let mutation_exempt = path.starts_with("crates/delta/") || path.starts_with("crates/engine/");
 
     let mut push = |lint: &'static str, line: u32, msg: String| {
         diags.push(Diagnostic::new(path, line as usize, lint, msg));
@@ -362,6 +372,21 @@ pub fn check_model(path: &str, role: FileRole, m: &FileModel<'_>) -> Vec<Diagnos
                         ));
                     }
                 }
+            }
+        }
+
+        // The raw delta mutation primitives, by type name (any mention —
+        // import, construction, signature — couples the file to the
+        // unpoliced mutation path).
+        if !mutation_exempt && !allowed("no-raw-mutation") {
+            if let Some(name @ ("DeltaOverlay" | "DeltaLog")) = m.ident(i) {
+                push(
+                    "no-raw-mutation",
+                    line,
+                    format!(
+                        "`{name}` outside crates/delta and crates/engine (mutate through SharedEngine::stage_edge/commit_edges)"
+                    ),
+                );
             }
         }
 
@@ -654,6 +679,47 @@ mod tests {
         assert!(check_file("crates/core/src/x.rs", FileRole::Library, &src).is_empty());
         // Non-CsrGraph `from_parts` constructors are someone else's business.
         let src = format!("{DOC}let f = CoreForest::from_parts(nodes, vertex_node);\n");
+        assert!(check_file("crates/core/src/x.rs", FileRole::Library, &src).is_empty());
+    }
+
+    #[test]
+    fn raw_mutation_outside_delta_and_engine_fires() {
+        for bad in [
+            "use bestk_delta::DeltaOverlay;",
+            "fn f(g: &CsrGraph) { let _ = DeltaOverlay::new(g); }",
+            "fn f() { let _ = DeltaLog::open(\"g.wal\"); }",
+            "fn f(log: &mut DeltaLog) { let _ = log; }",
+        ] {
+            let src = format!("{DOC}{bad}\n");
+            let d = check_file("crates/cli/src/commands.rs", FileRole::Library, &src);
+            assert_eq!(lints_of(&d), vec!["no-raw-mutation"], "{bad:?}");
+            assert_eq!(d[0].line, 2);
+        }
+    }
+
+    #[test]
+    fn raw_mutation_inside_delta_and_engine_is_blessed() {
+        let src = format!(
+            "{DOC}fn f(g: &CsrGraph) {{\n    let o = DeltaOverlay::new(g);\n    \
+             let l = DeltaLog::open(\"g.wal\");\n}}\n"
+        );
+        assert!(check_file("crates/delta/src/index.rs", FileRole::Library, &src).is_empty());
+        assert!(check_file("crates/engine/src/mutate.rs", FileRole::Library, &src).is_empty());
+    }
+
+    #[test]
+    fn raw_mutation_in_test_code_strings_or_allowed_lines_is_fine() {
+        let src = format!(
+            "{DOC}// DeltaOverlay in a comment\nlet s = \"DeltaLog\";\n\
+             #[cfg(test)]\nmod tests {{\n    use bestk_delta::DeltaOverlay;\n}}\n"
+        );
+        assert!(check_file("crates/core/src/x.rs", FileRole::Library, &src).is_empty());
+        let src = format!(
+            "{DOC}// bestk-analyze: allow(no-raw-mutation) — read-only what-if probe, never committed\nlet o = DeltaOverlay::new(&g);\n"
+        );
+        assert!(check_file("crates/core/src/x.rs", FileRole::Library, &src).is_empty());
+        // Other Delta-prefixed names (the index, errors) are not policed.
+        let src = format!("{DOC}use bestk_delta::{{DeltaError, DeltaIndex}};\n");
         assert!(check_file("crates/core/src/x.rs", FileRole::Library, &src).is_empty());
     }
 

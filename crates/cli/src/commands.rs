@@ -537,6 +537,126 @@ pub fn query(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parses one explicit mutation token: `add:u:v` or `del:u:v`.
+fn parse_edge_op(token: &str) -> Result<generators::EdgeOp, CliError> {
+    let bad = || {
+        CliError::Usage(format!(
+            "bad op {token:?} (expected add:<u>:<v> or del:<u>:<v>)"
+        ))
+    };
+    let mut parts = token.split(':');
+    let kind = parts.next().ok_or_else(bad)?;
+    let u: u32 = parts.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+    let v: u32 = parts.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    match kind {
+        "add" => Ok(generators::EdgeOp::Insert(u, v)),
+        "del" => Ok(generators::EdgeOp::Delete(u, v)),
+        _ => Err(bad()),
+    }
+}
+
+/// `bestk mutate <snapshot> [add:u:v|del:u:v ...] [--stream F --count N
+/// --seed S] [--commit-every N] [--threads N]`: stage edge mutations
+/// against a snapshot through the serving engine and commit them. Every
+/// committed op lands in the write-ahead log beside the snapshot
+/// (`<snapshot>.wal`), so the mutations survive restarts and are replayed
+/// by any later `load`/`query`/`serve` against the same path.
+pub fn mutate(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&["stream", "count", "seed", "commit-every", "threads"])?;
+    let policy = args.exec_policy()?;
+    let snap = args.positional(0, "snapshot")?;
+    let commit_every: usize = args.opt_num("commit-every", 0)?;
+    let engine = bestk_engine::SharedEngine::with_budget(None);
+    engine.load_snapshot_with_fallback(
+        "g",
+        snap,
+        None,
+        &bestk_engine::RetryPolicy::default(),
+        &policy,
+    )?;
+    let ops: Vec<generators::EdgeOp> = match args.opt("stream") {
+        None => {
+            if args.positional.len() < 2 {
+                return Err(CliError::Usage(
+                    "mutate requires ops (add:<u>:<v> / del:<u>:<v>) or --stream".into(),
+                ));
+            }
+            args.positional[1..]
+                .iter()
+                .map(|t| parse_edge_op(t))
+                .collect::<Result<_, _>>()?
+        }
+        Some(family) => {
+            if args.positional.len() > 1 {
+                return Err(CliError::Usage(
+                    "explicit ops and --stream are mutually exclusive".into(),
+                ));
+            }
+            let count: usize = args.opt_num("count", 100)?;
+            let seed: u64 = args.opt_num("seed", 1)?;
+            let dataset = engine.guard().checkout("g")?;
+            let csr = dataset.graph().as_csr()?;
+            match family {
+                "mixed" => generators::edge_stream_mixed(&csr, count, seed),
+                "delete-heavy" => generators::edge_stream_delete_heavy(&csr, count, seed),
+                "focused" => {
+                    // Hammer the max-k shell: the adversarial pattern where
+                    // every op dirties the deepest sweep levels.
+                    let d = bestk_core::core_decomposition(&*csr);
+                    let focus = d.shell(d.kmax()).to_vec();
+                    generators::edge_stream_focused(&csr, &focus, count, seed)
+                }
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "--stream expects mixed, delete-heavy, or focused, got {other:?}"
+                    )))
+                }
+            }
+        }
+    };
+    let total = ops.len();
+    let mut staged = 0usize;
+    for op in ops {
+        engine.stage_edge("g", op)?;
+        staged += 1;
+        if commit_every > 0 && staged.is_multiple_of(commit_every) {
+            write_commit_line(&engine, &policy, out)?;
+        }
+    }
+    if engine.pending_ops("g")? > 0 {
+        write_commit_line(&engine, &policy, out)?;
+    }
+    writeln!(out, "mutated\t{snap}\tops={total}\twal={snap}.wal")?;
+    Ok(())
+}
+
+/// Commits the staged ops and prints the one-line summary.
+fn write_commit_line(
+    engine: &bestk_engine::SharedEngine,
+    policy: &bestk_exec::ExecPolicy,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let s = engine.commit_edges("g", policy)?;
+    let best = match &s.best {
+        Some(b) => format!("bestk={}\tscore={}", b.k, b.score),
+        None => "bestk=-\tscore=-".into(),
+    };
+    writeln!(
+        out,
+        "committed\tops={}\tn={}\tm={}\tkmax={}\t{}{}",
+        s.ops,
+        s.vertices,
+        s.edges,
+        s.kmax,
+        best,
+        if s.compacted { "\tcompacted" } else { "" }
+    )?;
+    Ok(())
+}
+
 /// Parses `--max-inflight` / `--max-line-bytes` into serving limits,
 /// starting from [`bestk_engine::ServeLimits::default`]. `--max-inflight 0`
 /// is allowed (a drain configuration that sheds every request);
@@ -777,6 +897,59 @@ mod tests {
         assert!(
             run(&["sck", &path, "--h", "10", "--query", "0"]).is_err(),
             "missing --k"
+        );
+    }
+
+    #[test]
+    fn mutate_commits_explicit_ops_durably() {
+        let graph = write_figure2();
+        let snap = fixture_path("mutate.bestk");
+        for stale in ["mutate.bestk.wal", "mutate.bestk.wal.quarantine"] {
+            let _ = std::fs::remove_file(fixture_path(stale));
+        }
+        run(&["snapshot", &graph, &snap]).unwrap();
+        let out = run(&["mutate", &snap, "add:0:11", "del:0:1"]).unwrap();
+        assert!(out.contains("committed\tops=2\tn=12\tm=19\tkmax="), "{out}");
+        assert!(out.contains(&format!("wal={snap}.wal")), "{out}");
+        // The WAL sits beside the snapshot and replays on the next load:
+        // deleting the edge added above only works if it was replayed.
+        let out = run(&["mutate", &snap, "del:0:11"]).unwrap();
+        assert!(out.contains("committed\tops=1\tn=12\tm=18\t"), "{out}");
+        // Invalid ops are typed rejections, not panics.
+        assert!(run(&["mutate", &snap, "add:0:0"]).is_err());
+        assert!(run(&["mutate", &snap, "bogus"]).is_err());
+        assert!(run(&["mutate", &snap]).is_err(), "no ops given");
+    }
+
+    #[test]
+    fn mutate_streams_are_deterministic() {
+        let graph = write_figure2();
+        let snap = fixture_path("mutate-stream.bestk");
+        let _ = std::fs::remove_file(fixture_path("mutate-stream.bestk.wal"));
+        run(&["snapshot", &graph, &snap]).unwrap();
+        let args = [
+            "mutate",
+            &snap,
+            "--stream",
+            "mixed",
+            "--count",
+            "20",
+            "--seed",
+            "7",
+            "--commit-every",
+            "8",
+        ];
+        let out = run(&args).unwrap();
+        assert_eq!(
+            out.lines().filter(|l| l.starts_with("committed\t")).count(),
+            3,
+            "{out}"
+        );
+        assert!(out.contains("ops=20"), "{out}");
+        assert!(run(&["mutate", &snap, "--stream", "bogus"]).is_err());
+        assert!(
+            run(&["mutate", &snap, "add:0:11", "--stream", "mixed"]).is_err(),
+            "ops and --stream are exclusive"
         );
     }
 

@@ -17,6 +17,7 @@
 //! bestk convert  <in> <out>                    text <-> binary by extension
 //! bestk snapshot <graph> <out.bestk>           persist the full best-k index
 //! bestk query    <snapshot> <query>...         one-shot snapshot queries
+//! bestk mutate   <snapshot> <ops|--stream F>   stage + commit edge mutations
 //! bestk serve    [--port P | --stdin]          serving loop (stdio or TCP)
 //! bestk metrics  <graph>                       pipeline run + metrics exposition
 //! ```
@@ -103,6 +104,10 @@ commands:
                                                      (v2 opens zero-copy)
   query    <snapshot> <query>... [--threads N] [--budget-mb N]
                                                      one-shot snapshot queries
+  mutate   <snapshot> [add:u:v|del:u:v ...] [--stream mixed|delete-heavy|focused
+           --count N --seed S] [--commit-every N] [--threads N]
+                                                     stage + commit edge mutations
+                                                     (durable in <snapshot>.wal)
   serve    [--port P | --stdin] [--budget-mb N] [--threads N] [--timeout-ms T]
            [--max-inflight N] [--max-line-bytes N] [--metrics-dump]
                                                      serving loop (stdio or TCP)
@@ -136,6 +141,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "convert" => commands::convert(&parsed, out),
         "snapshot" => commands::snapshot(&parsed, out),
         "query" => commands::query(&parsed, out),
+        "mutate" => commands::mutate(&parsed, out),
         "serve" => commands::serve(&parsed, out),
         "metrics" => commands::metrics(&parsed, out),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),

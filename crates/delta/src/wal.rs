@@ -1,0 +1,464 @@
+//! The durable write-ahead delta log (`BESTKWAL1`).
+//!
+//! Layout: the 9-byte magic followed by length-framed, checksummed
+//! records:
+//!
+//! ```text
+//! file    := magic record*
+//! magic   := "BESTKWAL1"
+//! record  := len:u32le payload checksum:u64le     (checksum = fnv1a64(payload))
+//! payload := 0x01 u:u32le v:u32le                 edge insert
+//!          | 0x02 u:u32le v:u32le                 edge delete
+//!          | 0x03                                 commit marker
+//! ```
+//!
+//! Mutations are appended *before* they touch any in-memory state
+//! (write-ahead); a `commit` appends the marker and `fsync`s, making every
+//! record up to and including the marker durable. Replay applies ops only
+//! up to the **last commit marker**: a torn tail — a partial record from a
+//! mid-write crash, a flipped bit, or staged-but-uncommitted ops — is
+//! detected by the length frame + checksum and discarded, never applied
+//! and never a panic. Compaction (after the ops are folded into the next
+//! snapshot) truncates the log back to its magic header.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use bestk_faults::sites;
+use bestk_graph::generators::EdgeOp;
+
+use crate::DeltaError;
+
+/// Magic bytes opening every delta log.
+pub const WAL_MAGIC: &[u8; 9] = b"BESTKWAL1";
+
+const OP_INSERT: u8 = 0x01;
+const OP_DELETE: u8 = 0x02;
+const OP_COMMIT: u8 = 0x03;
+/// Largest well-formed payload (op byte + two vertex ids).
+const MAX_PAYLOAD: usize = 9;
+
+/// FNV-1a 64-bit, the workspace's checksum for framed records. Local copy:
+/// `bestk-delta` sits below the engine (which has its own), and the
+/// function is eight lines of arithmetic, not a dependency.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn encode_payload(op: &EdgeOp) -> Vec<u8> {
+    let (tag, (u, v)) = match op {
+        EdgeOp::Insert(..) => (OP_INSERT, op.endpoints()),
+        EdgeOp::Delete(..) => (OP_DELETE, op.endpoints()),
+    };
+    let mut p = Vec::with_capacity(MAX_PAYLOAD);
+    p.push(tag);
+    p.extend_from_slice(&u.to_le_bytes());
+    p.extend_from_slice(&v.to_le_bytes());
+    p
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(4 + payload.len() + 8);
+    rec.extend_from_slice(&bestk_graph::cast::u32_of(payload.len()).to_le_bytes());
+    rec.extend_from_slice(payload);
+    rec.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    rec
+}
+
+/// The outcome of scanning a delta log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replay {
+    /// Ops covered by a commit marker, in append order — the only ops a
+    /// loader may apply.
+    pub ops: Vec<EdgeOp>,
+    /// Byte length of the committed prefix (magic through the last commit
+    /// marker); everything past it is torn or uncommitted and gets
+    /// truncated by [`DeltaLog::open`].
+    pub committed_len: u64,
+    /// Whether bytes past the committed prefix were discarded (a torn
+    /// record or staged-but-uncommitted ops).
+    pub torn_tail: bool,
+}
+
+/// Scans the log at `path` without modifying it. A missing file is an
+/// empty replay; a file that does not start with the magic is a
+/// [`DeltaError::BadLog`] (quarantine material — it is not a delta log at
+/// all). Torn or uncommitted tails stop the scan cleanly.
+pub fn replay_path<P: AsRef<Path>>(path: P) -> Result<Replay, DeltaError> {
+    let _span = bestk_obs::span!("phase.delta.replay");
+    if let Some(e) = bestk_faults::io_error(sites::DELTA_WAL_REPLAY) {
+        return Err(DeltaError::Io(e));
+    }
+    let bytes = match std::fs::read(path.as_ref()) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(Replay {
+                ops: Vec::new(),
+                committed_len: WAL_MAGIC.len() as u64,
+                torn_tail: false,
+            })
+        }
+        Err(e) => return Err(DeltaError::Io(e)),
+    };
+    replay_bytes(&bytes)
+}
+
+/// [`replay_path`] over an in-memory image (the torn-write drills feed
+/// every truncation prefix through this).
+pub fn replay_bytes(bytes: &[u8]) -> Result<Replay, DeltaError> {
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(DeltaError::BadLog(
+            "missing BESTKWAL1 magic (not a delta log)".into(),
+        ));
+    }
+    let mut ops = Vec::new();
+    let mut pending: Vec<EdgeOp> = Vec::new();
+    let mut off = WAL_MAGIC.len();
+    let mut committed_len = off as u64;
+    while let Some(len_bytes) = bytes.get(off..off + 4) {
+        let len =
+            u32::from_le_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]]) as usize;
+        if len == 0 || len > MAX_PAYLOAD {
+            break;
+        }
+        let Some(payload) = bytes.get(off + 4..off + 4 + len) else {
+            break;
+        };
+        let Some(sum_bytes) = bytes.get(off + 4 + len..off + 4 + len + 8) else {
+            break;
+        };
+        let mut sum = [0u8; 8];
+        sum.copy_from_slice(sum_bytes);
+        if u64::from_le_bytes(sum) != fnv1a64(payload) {
+            break;
+        }
+        off += 4 + len + 8;
+        match (payload[0], payload.len()) {
+            (OP_COMMIT, 1) => {
+                ops.append(&mut pending);
+                committed_len = off as u64;
+            }
+            (tag @ (OP_INSERT | OP_DELETE), 9) => {
+                let u = u32::from_le_bytes([payload[1], payload[2], payload[3], payload[4]]);
+                let v = u32::from_le_bytes([payload[5], payload[6], payload[7], payload[8]]);
+                pending.push(if tag == OP_INSERT {
+                    EdgeOp::Insert(u, v)
+                } else {
+                    EdgeOp::Delete(u, v)
+                });
+            }
+            _ => break,
+        }
+    }
+    let torn_tail = (bytes.len() as u64) > committed_len;
+    Ok(Replay {
+        ops,
+        committed_len,
+        torn_tail,
+    })
+}
+
+/// An open, append-positioned delta log.
+///
+/// Plain struct, no interior locking: the engine owns the handle inside
+/// its registry slot and takes it out of the slot before doing I/O, so
+/// the registry lock is never held across an append or fsync.
+#[derive(Debug)]
+pub struct DeltaLog {
+    file: File,
+    path: PathBuf,
+    /// Acknowledged length: magic plus every record whose append returned
+    /// `Ok`. Torn bytes from a failed append sit past this and are cut
+    /// back before the next write.
+    bytes: u64,
+    /// A failed append left unacknowledged bytes on disk; heal (truncate
+    /// back to `bytes`) before writing again so one torn record cannot
+    /// poison every later one.
+    dirty: bool,
+}
+
+impl DeltaLog {
+    /// Opens (creating if absent) the log at `path`, replays its committed
+    /// prefix, truncates any torn or uncommitted tail, and returns the
+    /// handle positioned at the end together with the committed ops.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<(DeltaLog, Vec<EdgeOp>), DeltaError> {
+        let path = path.as_ref().to_path_buf();
+        let replay = replay_path(&path)?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(DeltaError::Io)?;
+        let mut header = [0u8; 9];
+        let fresh = match file.read(&mut header) {
+            Ok(n) => n < WAL_MAGIC.len(),
+            Err(e) => return Err(DeltaError::Io(e)),
+        };
+        if fresh {
+            file.set_len(0).map_err(DeltaError::Io)?;
+            file.write_all(WAL_MAGIC).map_err(DeltaError::Io)?;
+            file.sync_all().map_err(DeltaError::Io)?;
+        } else {
+            file.set_len(replay.committed_len).map_err(DeltaError::Io)?;
+        }
+        let bytes = file.seek(SeekFrom::End(0)).map_err(DeltaError::Io)?;
+        let log = DeltaLog {
+            file,
+            path,
+            bytes,
+            dirty: false,
+        };
+        log.record_bytes_gauge();
+        Ok((log, replay.ops))
+    }
+
+    /// Appends one mutation record (write-ahead, *not* yet durable — see
+    /// [`commit`](Self::commit)). An injected truncation persists a torn
+    /// record and then fails, exactly like a mid-write crash.
+    pub fn append(&mut self, op: &EdgeOp) -> Result<(), DeltaError> {
+        if let Some(e) = bestk_faults::io_error(sites::DELTA_WAL_APPEND) {
+            return Err(DeltaError::Io(e));
+        }
+        self.heal()?;
+        let mut rec = frame(&encode_payload(op));
+        // Roll the mid-write-crash interpretation of `truncate` before the
+        // buffer-corruption helper (which accepts the same fault kind and
+        // would otherwise swallow the roll by shortening `rec` in memory).
+        if let Some(keep) = bestk_faults::truncation(sites::DELTA_WAL_APPEND, rec.len()) {
+            self.file.write_all(&rec[..keep]).map_err(DeltaError::Io)?;
+            self.dirty = true;
+            return Err(DeltaError::Io(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "injected mid-append crash",
+            )));
+        }
+        bestk_faults::corrupt_buffer(sites::DELTA_WAL_APPEND, &mut rec);
+        self.file.write_all(&rec).map_err(DeltaError::Io)?;
+        self.bytes += rec.len() as u64;
+        self.record_bytes_gauge();
+        Ok(())
+    }
+
+    /// Appends the commit marker and `fsync`s: everything appended so far
+    /// becomes durable and replayable.
+    pub fn commit(&mut self) -> Result<(), DeltaError> {
+        if let Some(e) = bestk_faults::io_error(sites::DELTA_WAL_APPEND) {
+            return Err(DeltaError::Io(e));
+        }
+        self.heal()?;
+        let rec = frame(&[OP_COMMIT]);
+        self.file.write_all(&rec).map_err(DeltaError::Io)?;
+        self.file.sync_all().map_err(DeltaError::Io)?;
+        self.bytes += rec.len() as u64;
+        self.record_bytes_gauge();
+        Ok(())
+    }
+
+    /// Cuts unacknowledged bytes from a previously failed append. If the
+    /// process had crashed instead, replay's torn-tail trim does this job.
+    fn heal(&mut self) -> Result<(), DeltaError> {
+        if self.dirty {
+            self.file.set_len(self.bytes).map_err(DeltaError::Io)?;
+            self.file
+                .seek(SeekFrom::Start(self.bytes))
+                .map_err(DeltaError::Io)?;
+            self.dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Compaction: the committed ops have been folded into a fresh
+    /// snapshot, so the log shrinks back to its magic header.
+    pub fn reset(&mut self) -> Result<(), DeltaError> {
+        self.file
+            .set_len(WAL_MAGIC.len() as u64)
+            .map_err(DeltaError::Io)?;
+        self.file.seek(SeekFrom::End(0)).map_err(DeltaError::Io)?;
+        self.file.sync_all().map_err(DeltaError::Io)?;
+        self.bytes = WAL_MAGIC.len() as u64;
+        self.dirty = false;
+        self.record_bytes_gauge();
+        Ok(())
+    }
+
+    /// Current on-disk length in bytes (header included).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn record_bytes_gauge(&self) {
+        bestk_obs::gauge("delta.wal_bytes").set(self.bytes as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bestk-delta-wal-{tag}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_committed_ops() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let ops = [
+            EdgeOp::Insert(0, 1),
+            EdgeOp::Delete(3, 7),
+            EdgeOp::Insert(2, 5),
+        ];
+        {
+            let (mut log, replayed) = DeltaLog::open(&path).unwrap();
+            assert!(replayed.is_empty());
+            for op in &ops[..2] {
+                log.append(op).unwrap();
+            }
+            log.commit().unwrap();
+            log.append(&ops[2]).unwrap();
+            log.commit().unwrap();
+        }
+        let replay = replay_path(&path).unwrap();
+        assert_eq!(replay.ops, ops);
+        assert!(!replay.torn_tail);
+        let (log, replayed) = DeltaLog::open(&path).unwrap();
+        assert_eq!(replayed, ops);
+        assert_eq!(log.bytes(), replay.committed_len);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn uncommitted_tail_is_discarded() {
+        let path = temp_path("uncommitted");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut log, _) = DeltaLog::open(&path).unwrap();
+            log.append(&EdgeOp::Insert(1, 2)).unwrap();
+            log.commit().unwrap();
+            log.append(&EdgeOp::Insert(8, 9)).unwrap();
+            // No commit: the last record must not replay.
+        }
+        let replay = replay_path(&path).unwrap();
+        assert_eq!(replay.ops, vec![EdgeOp::Insert(1, 2)]);
+        assert!(replay.torn_tail);
+        let (log, replayed) = DeltaLog::open(&path).unwrap();
+        assert_eq!(replayed, vec![EdgeOp::Insert(1, 2)]);
+        assert_eq!(log.bytes(), replay.committed_len);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn every_truncation_prefix_replays_cleanly() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut log, _) = DeltaLog::open(&path).unwrap();
+            for i in 0..10u32 {
+                log.append(&EdgeOp::Insert(i, i + 1)).unwrap();
+                if i % 3 == 2 {
+                    log.commit().unwrap();
+                }
+            }
+        }
+        let full = std::fs::read(&path).unwrap();
+        let all = replay_bytes(&full).unwrap();
+        for cut in WAL_MAGIC.len()..full.len() {
+            let replay = replay_bytes(&full[..cut]).unwrap();
+            assert!(replay.ops.len() <= all.ops.len(), "cut={cut}");
+            assert_eq!(replay.ops, all.ops[..replay.ops.len()], "cut={cut}");
+            assert!(replay.committed_len <= cut as u64, "cut={cut}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_record_stops_the_scan_at_the_last_good_marker() {
+        let path = temp_path("bitflip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut log, _) = DeltaLog::open(&path).unwrap();
+            log.append(&EdgeOp::Insert(1, 2)).unwrap();
+            log.commit().unwrap();
+            log.append(&EdgeOp::Insert(3, 4)).unwrap();
+            log.commit().unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let committed_first = {
+            // Flip a payload bit inside the second insert record.
+            let pos = bytes.len() - 20;
+            bytes[pos] ^= 0x40;
+            replay_bytes(&bytes).unwrap()
+        };
+        assert_eq!(committed_first.ops, vec![EdgeOp::Insert(1, 2)]);
+        assert!(committed_first.torn_tail);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn a_torn_append_heals_before_the_next_write() {
+        use bestk_faults::{sites, Fault, FaultPlan, SiteSpec};
+        let path = temp_path("heal");
+        let _ = std::fs::remove_file(&path);
+        let (mut log, _) = DeltaLog::open(&path).unwrap();
+        log.append(&EdgeOp::Insert(0, 1)).unwrap();
+        log.commit().unwrap();
+        let plan = FaultPlan::new(3).site(
+            sites::DELTA_WAL_APPEND,
+            SiteSpec::always(Fault::Truncate).with_budget(1),
+        );
+        bestk_faults::with_plan(&plan, || {
+            assert!(log.append(&EdgeOp::Insert(2, 3)).is_err());
+        });
+        // Any torn bytes sit past the acknowledged length (the injected
+        // cut may keep zero bytes, so equality is possible)...
+        assert!(std::fs::metadata(&path).unwrap().len() >= log.bytes());
+        // ...and the next append cuts them before writing.
+        log.append(&EdgeOp::Insert(4, 5)).unwrap();
+        log.commit().unwrap();
+        drop(log);
+        let replay = replay_path(&path).unwrap();
+        assert_eq!(replay.ops, vec![EdgeOp::Insert(0, 1), EdgeOp::Insert(4, 5)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn non_wal_bytes_are_a_typed_error() {
+        assert!(matches!(
+            replay_bytes(b"definitely not a log"),
+            Err(DeltaError::BadLog(_))
+        ));
+        assert!(matches!(replay_bytes(b""), Err(DeltaError::BadLog(_))));
+    }
+
+    #[test]
+    fn reset_shrinks_to_the_header() {
+        let path = temp_path("reset");
+        let _ = std::fs::remove_file(&path);
+        let (mut log, _) = DeltaLog::open(&path).unwrap();
+        log.append(&EdgeOp::Insert(0, 1)).unwrap();
+        log.commit().unwrap();
+        log.reset().unwrap();
+        assert_eq!(log.bytes(), WAL_MAGIC.len() as u64);
+        log.append(&EdgeOp::Insert(5, 6)).unwrap();
+        log.commit().unwrap();
+        drop(log);
+        let replay = replay_path(&path).unwrap();
+        assert_eq!(replay.ops, vec![EdgeOp::Insert(5, 6)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

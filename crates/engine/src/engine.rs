@@ -25,6 +25,7 @@ use bestk_graph::{CsrGraph, GraphView, SuccinctCsr};
 
 use crate::dataset::{Artifacts, Dataset};
 use crate::error::EngineError;
+use crate::mutate::DeltaSlot;
 use crate::query::{Answer, Query};
 use crate::snapshot;
 
@@ -56,6 +57,11 @@ pub struct Counters {
 struct Slot {
     dataset: Arc<Dataset>,
     last_used: u64,
+    /// Mutation state (pending ops, write-ahead log, maintained index).
+    /// `Some` when idle; taken out (`None`) while a mutation is in flight
+    /// so its I/O runs with no registry lock held — a second mutation
+    /// arriving meanwhile gets a typed busy error instead of blocking.
+    delta: Option<DeltaSlot>,
 }
 
 /// A registry of named datasets answering typed best-k queries.
@@ -189,11 +195,84 @@ impl Engine {
             Slot {
                 dataset: Arc::new(dataset),
                 last_used: self.clock,
+                delta: Some(DeltaSlot::default()),
             },
         );
         self.enforce_budget(name);
         self.record_dataset_gauge();
         self.record_slot_gauges(name);
+    }
+
+    /// Registers a loaded snapshot together with its adopted delta state
+    /// (write-ahead log handle, replay bookkeeping). Pure bookkeeping.
+    pub fn install_loaded_with_delta(
+        &mut self,
+        name: &str,
+        dataset: Dataset,
+        outcome: LoadOutcome,
+        delta: DeltaSlot,
+    ) {
+        self.install_loaded(name, dataset, outcome);
+        if let Some(slot) = self.slots.get_mut(name) {
+            slot.delta = Some(delta);
+        }
+    }
+
+    /// Takes the named slot's mutation state out, together with a handle on
+    /// the committed dataset, so the caller can stage or commit with no
+    /// registry lock held. While the state is out, a second mutation gets a
+    /// typed busy error. Pure bookkeeping.
+    pub fn delta_checkout(&mut self, name: &str) -> Result<(Arc<Dataset>, DeltaSlot), EngineError> {
+        self.clock += 1;
+        let clock = self.clock;
+        let slot = self
+            .slots
+            .get_mut(name)
+            .ok_or_else(|| EngineError::UnknownDataset(name.to_owned()))?;
+        slot.last_used = clock;
+        let delta = slot.delta.take().ok_or_else(|| {
+            EngineError::Mutation(format!("another mutation on {name:?} is in flight"))
+        })?;
+        Ok((Arc::clone(&slot.dataset), delta))
+    }
+
+    /// Puts a checked-out mutation state back without changing the dataset
+    /// (the stage path, and the commit path's error leg). A slot removed
+    /// meanwhile simply drops the state. Pure bookkeeping.
+    pub fn delta_restore(&mut self, name: &str, delta: DeltaSlot) {
+        if let Some(slot) = self.slots.get_mut(name) {
+            slot.delta = Some(delta);
+        }
+    }
+
+    /// Installs the committed (mutated) dataset and returns the mutation
+    /// state to the slot. Not charged as a load: the slot keeps its
+    /// identity, only its graph advanced. Pure bookkeeping.
+    pub fn install_mutated(&mut self, name: &str, dataset: Dataset, delta: DeltaSlot) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(slot) = self.slots.get_mut(name) {
+            slot.dataset = Arc::new(dataset);
+            slot.delta = Some(delta);
+            slot.last_used = clock;
+        }
+        self.enforce_budget(name);
+        self.record_slot_gauges(name);
+    }
+
+    /// Number of staged (uncommitted) ops on the named dataset. Errors when
+    /// the dataset is unknown or its mutation state is checked out.
+    pub fn pending_ops(&self, name: &str) -> Result<usize, EngineError> {
+        let slot = self
+            .slots
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownDataset(name.to_owned()))?;
+        match &slot.delta {
+            Some(delta) => Ok(delta.pending.len()),
+            None => Err(EngineError::Mutation(format!(
+                "another mutation on {name:?} is in flight"
+            ))),
+        }
     }
 
     /// Removes a dataset; returns whether it existed.

@@ -50,6 +50,9 @@ pub enum EngineError {
     /// A query was malformed or unanswerable (bad metric, vertex out of
     /// range, missing triangle counts).
     BadQuery(String),
+    /// An edge mutation was rejected (invalid op, a mutation already in
+    /// flight, or nothing staged to commit). The dataset is untouched.
+    Mutation(String),
     /// A serving-loop request line did not match the protocol grammar.
     Protocol(String),
     /// A request's handler panicked; the panic was contained and converted.
@@ -82,6 +85,7 @@ impl EngineError {
             EngineError::BadSnapshot(_) => "bad_snapshot",
             EngineError::UnknownDataset(_) => "unknown_dataset",
             EngineError::BadQuery(_) => "bad_query",
+            EngineError::Mutation(_) => "mutation",
             EngineError::Protocol(_) => "protocol",
             EngineError::Internal(_) => "internal",
             EngineError::Overloaded { .. } => "overloaded",
@@ -132,6 +136,7 @@ impl fmt::Display for EngineError {
             EngineError::BadSnapshot(msg) => write!(f, "bad snapshot: {msg}"),
             EngineError::UnknownDataset(name) => write!(f, "unknown dataset {name:?}"),
             EngineError::BadQuery(msg) => write!(f, "bad query: {msg}"),
+            EngineError::Mutation(msg) => write!(f, "mutation rejected: {msg}"),
             EngineError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             EngineError::Internal(msg) => write!(f, "internal error: {msg}"),
             EngineError::Overloaded { limit } => {
@@ -169,6 +174,20 @@ impl From<GraphError> for EngineError {
 impl From<bestk_core::MetricError> for EngineError {
     fn from(e: bestk_core::MetricError) -> Self {
         EngineError::BadQuery(e.to_string())
+    }
+}
+
+impl From<bestk_delta::DeltaError> for EngineError {
+    fn from(e: bestk_delta::DeltaError) -> Self {
+        match e {
+            bestk_delta::DeltaError::Io(io) => EngineError::Io(io),
+            bestk_delta::DeltaError::BadOp(msg) => EngineError::Mutation(msg),
+            // An unreadable WAL is corruption, same family as a bad
+            // snapshot: quarantine-and-continue, never retry blindly.
+            bestk_delta::DeltaError::BadLog(msg) => {
+                EngineError::BadSnapshot(format!("delta log: {msg}"))
+            }
+        }
     }
 }
 
@@ -211,6 +230,19 @@ mod tests {
         assert!(!io.is_corruption());
         assert!(!EngineError::UnknownDataset("x".into()).is_corruption());
         assert!(!EngineError::Overloaded { limit: 1 }.is_corruption());
+        assert!(!EngineError::Mutation("dup".into()).is_corruption());
+    }
+
+    #[test]
+    fn delta_errors_map_onto_engine_variants() {
+        use bestk_delta::DeltaError;
+        let e = EngineError::from(DeltaError::BadOp("self-loop".into()));
+        assert!(matches!(e, EngineError::Mutation(_)), "{e}");
+        assert!(e.to_string().contains("self-loop"));
+        let e = EngineError::from(DeltaError::BadLog("wrong magic".into()));
+        assert!(e.is_corruption(), "{e}");
+        let e = EngineError::from(DeltaError::Io(std::io::Error::other("disk")));
+        assert!(matches!(e, EngineError::Io(_)), "{e}");
     }
 
     #[test]
@@ -219,6 +251,7 @@ mod tests {
         assert_eq!(EngineError::Overloaded { limit: 1 }.kind(), "overloaded");
         assert_eq!(EngineError::TooLarge { limit: 8 }.kind(), "too_large");
         assert_eq!(EngineError::Protocol("x".into()).kind(), "protocol");
+        assert_eq!(EngineError::Mutation("x".into()).kind(), "mutation");
         assert_eq!(EngineError::Io(std::io::Error::other("x")).kind(), "io");
         let skew = EngineError::VersionSkew {
             found: 2,

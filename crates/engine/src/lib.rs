@@ -18,6 +18,11 @@
 //! - [`serve`] — a line-oriented request/response loop over stdio or a
 //!   loopback TCP listener (the one `std::net` user the workspace's
 //!   `no-raw-net` lint permits), running against the shared registry.
+//! - [`mutate`] — edge mutations under a stage → commit → compact
+//!   protocol: ops are validated against a `bestk-delta` overlay,
+//!   write-ahead-logged beside the snapshot, folded into an incrementally
+//!   maintained best-k index at commit, and compacted back into a v2
+//!   snapshot once enough commits accumulate.
 //!
 //! Query answers are rendered to stable tab-separated lines and batches
 //! run through [`bestk_exec::ExecPolicy`] with an ordered chunk merge, so
@@ -35,6 +40,7 @@ pub mod dataset;
 pub mod engine;
 pub mod error;
 pub mod mmap;
+pub mod mutate;
 pub mod query;
 pub mod registry;
 pub mod serve;
@@ -45,6 +51,7 @@ pub mod store;
 pub use dataset::{Artifacts, Dataset};
 pub use engine::{Counters, DatasetRow, Engine, LoadOutcome};
 pub use error::EngineError;
+pub use mutate::{CommitSummary, DeltaSlot, COMPACT_OPS};
 pub use query::{metric_by_abbrev, Answer, Query};
 pub use registry::SharedEngine;
 pub use serve::{

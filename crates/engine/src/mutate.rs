@@ -1,0 +1,565 @@
+//! Edge mutations through the engine: stage → commit → compact.
+//!
+//! The registry's datasets are immutable; mutation happens through a
+//! per-slot [`DeltaSlot`] holding the pending ops, the durable
+//! [`DeltaLog`], and the incrementally maintained [`DeltaIndex`]:
+//!
+//! * **stage** ([`SharedEngine::stage_edge`]) validates the op against a
+//!   [`DeltaOverlay`] of the committed graph plus the already-pending ops,
+//!   appends it to the write-ahead log (not yet durable), and buffers it.
+//! * **commit** ([`SharedEngine::commit_edges`]) appends the commit marker
+//!   and `fsync`s (the durability point), folds the pending ops into the
+//!   maintained [`DeltaIndex`] — affected-region work, not a rebuild —
+//!   materializes the mutated graph, and installs it as the slot's new
+//!   dataset. Full query artifacts (forest, triangle profiles) rebuild
+//!   lazily on the next query; the commit reply's best-k comes straight
+//!   from the maintained index.
+//! * **compact**: once enough committed ops accumulate
+//!   ([`COMPACT_OPS`]), the commit also writes the folded state as a v2
+//!   snapshot next to the log (temp file + rename, so live mappings of the
+//!   old snapshot survive) and truncates the log back to its header.
+//!
+//! Lock discipline matches the rest of the registry: the slot's
+//! `DeltaSlot` is *taken out* under the guard, all I/O and index work runs
+//! with no guard live, and a second guard restores (or installs) the
+//! result. While a slot's delta is checked out, a concurrent mutation on
+//! the same dataset gets a typed `mutation rejected` error instead of
+//! blocking.
+//!
+//! On load ([`SharedEngine::load_snapshot_with_fallback`]) the sibling
+//! `<snapshot>.wal` is replayed: committed ops re-apply on top of the
+//! loaded snapshot before the dataset is installed. An unreadable log — or
+//! a committed op that no longer applies — is quarantined to
+//! `<wal>.quarantine` and the engine serves the un-mutated snapshot,
+//! mirroring the corrupt-snapshot ladder.
+
+use std::path::PathBuf;
+
+use bestk_core::{BestKSet, Metric};
+use bestk_delta::{DeltaError, DeltaIndex, DeltaLog, DeltaOverlay};
+use bestk_exec::ExecPolicy;
+use bestk_graph::generators::EdgeOp;
+
+use crate::dataset::Dataset;
+use crate::error::EngineError;
+use crate::registry::SharedEngine;
+
+/// Committed ops accumulated before a commit also compacts the write-ahead
+/// log into a fresh v2 snapshot.
+pub const COMPACT_OPS: u64 = 256;
+
+/// Per-slot mutation state: pending ops, the write-ahead log, and the
+/// incrementally maintained index. Lives inside the registry slot and is
+/// taken out (never locked over I/O) for the duration of one mutation.
+#[derive(Debug)]
+pub struct DeltaSlot {
+    /// Staged, uncommitted ops in application order.
+    pub(crate) pending: Vec<EdgeOp>,
+    /// The durable log; `None` for in-memory datasets (`insert_graph`),
+    /// whose mutations are valid but not crash-durable.
+    pub(crate) wal: Option<DeltaLog>,
+    /// The maintained best-k index over the *committed* graph. Built on
+    /// the first commit, then repaired per op across later ones.
+    pub(crate) index: Option<DeltaIndex>,
+    /// Committed ops since the last compaction.
+    pub(crate) committed_ops: u64,
+    /// Compaction threshold (the constant, overridable in tests).
+    pub(crate) compact_after: u64,
+}
+
+impl Default for DeltaSlot {
+    fn default() -> DeltaSlot {
+        DeltaSlot {
+            pending: Vec::new(),
+            wal: None,
+            index: None,
+            committed_ops: 0,
+            compact_after: COMPACT_OPS,
+        }
+    }
+}
+
+impl DeltaSlot {
+    fn with_wal(wal: DeltaLog, committed_ops: u64) -> DeltaSlot {
+        DeltaSlot {
+            wal: Some(wal),
+            committed_ops,
+            ..DeltaSlot::default()
+        }
+    }
+}
+
+/// What one commit did, for replies and assertions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitSummary {
+    /// Ops folded in by this commit.
+    pub ops: usize,
+    /// Vertex count of the committed graph.
+    pub vertices: u64,
+    /// Edge count of the committed graph.
+    pub edges: u64,
+    /// Largest coreness of the committed graph.
+    pub kmax: u32,
+    /// Best k under average degree, from the maintained index.
+    pub best: Option<BestKSet>,
+    /// Whether this commit also compacted the log into a v2 snapshot.
+    pub compacted: bool,
+}
+
+/// Validates `op` against the committed graph plus already-pending ops,
+/// write-ahead-logs it, and buffers it. Runs with no registry guard live.
+fn stage_op(dataset: &Dataset, delta: &mut DeltaSlot, op: EdgeOp) -> Result<usize, EngineError> {
+    let mut overlay = DeltaOverlay::new(dataset.graph());
+    for prev in &delta.pending {
+        // Pending ops were valid when staged and the base graph has not
+        // changed since (commits drain pending first), so replay succeeds;
+        // a failure here means slot state diverged and must surface.
+        overlay.apply(*prev).map_err(|e| {
+            EngineError::Internal(format!("pending op {prev:?} stopped applying: {e}"))
+        })?;
+    }
+    overlay.apply(op)?;
+    if let Some(wal) = delta.wal.as_mut() {
+        wal.append(&op)?;
+    }
+    delta.pending.push(op);
+    Ok(delta.pending.len())
+}
+
+/// Folds the pending ops into the maintained index, materializes the
+/// mutated graph, and (past the threshold) compacts the log into a v2
+/// snapshot. Runs with no registry guard live.
+fn commit_ops(
+    dataset: &Dataset,
+    delta: &mut DeltaSlot,
+    policy: &ExecPolicy,
+) -> Result<(Dataset, CommitSummary), EngineError> {
+    let _span = bestk_obs::span!("phase.delta.commit");
+    if delta.pending.is_empty() {
+        return Err(EngineError::Mutation("nothing staged to commit".into()));
+    }
+    // Durability point: marker + fsync. On failure the ops stay staged and
+    // the commit can be retried.
+    if let Some(wal) = delta.wal.as_mut() {
+        wal.commit()?;
+    }
+    let mut index = match delta.index.take() {
+        Some(index) => index,
+        // First commit on this slot: seed the maintained index once; every
+        // later commit repairs it incrementally.
+        None => DeltaIndex::build(dataset.graph()),
+    };
+    for op in &delta.pending {
+        if let Err(e) = index.apply(op) {
+            // Staged ops were validated against this exact base; reaching
+            // here means the slot diverged. The index stays dropped so the
+            // next commit reseeds from the dataset.
+            return Err(EngineError::Internal(format!(
+                "staged op {op:?} failed to apply: {e}"
+            )));
+        }
+    }
+    let ops = delta.pending.len();
+    delta.pending.clear();
+    delta.committed_ops += ops as u64;
+    bestk_obs::counter("delta.commits").inc();
+    let graph = index.to_csr();
+    let best = index.best(Metric::AverageDegree).ok().flatten();
+    let summary = CommitSummary {
+        ops,
+        vertices: graph.num_vertices() as u64,
+        edges: graph.num_edges() as u64,
+        kmax: index.kmax(),
+        best,
+        compacted: false,
+    };
+    let mut committed = Dataset::from_graph(graph);
+    delta.index = Some(index);
+    let compacted = if delta.committed_ops >= delta.compact_after {
+        compact(&mut committed, delta, policy)?
+    } else {
+        false
+    };
+    Ok((
+        committed,
+        CommitSummary {
+            compacted,
+            ..summary
+        },
+    ))
+}
+
+/// Writes the committed dataset as a v2 snapshot beside the log (temp
+/// file then rename, so live mappings of the old snapshot stay valid),
+/// then truncates the log back to its header.
+fn compact(
+    dataset: &mut Dataset,
+    delta: &mut DeltaSlot,
+    policy: &ExecPolicy,
+) -> Result<bool, EngineError> {
+    let Some(wal) = delta.wal.as_mut() else {
+        return Ok(false);
+    };
+    let Some(snap) = wal
+        .path()
+        .to_str()
+        .and_then(|p| p.strip_suffix(".wal"))
+        .map(PathBuf::from)
+    else {
+        return Ok(false);
+    };
+    dataset.ensure_built(policy);
+    let tmp = snap.with_extension("bestk.compact");
+    crate::snapv2::save_path(dataset, &tmp)?;
+    std::fs::rename(&tmp, &snap)?;
+    wal.reset()?;
+    delta.committed_ops = 0;
+    bestk_obs::counter("delta.compactions").inc();
+    Ok(true)
+}
+
+/// Adopts the sibling write-ahead log of a just-loaded snapshot: opens (or
+/// creates) `<path>.wal`, re-applies its committed ops on top of the
+/// dataset, and returns the mutated dataset plus the slot state. An
+/// unreadable log — or a committed op that no longer applies — is
+/// quarantined to `<wal>.quarantine` and the un-mutated dataset is served.
+/// Runs with no registry guard live.
+pub(crate) fn adopt_wal(
+    dataset: Dataset,
+    wal_path: &str,
+) -> Result<(Dataset, DeltaSlot), EngineError> {
+    let (log, ops) = match DeltaLog::open(wal_path) {
+        Ok(opened) => opened,
+        Err(DeltaError::BadLog(_)) => {
+            quarantine_wal(wal_path)?;
+            DeltaLog::open(wal_path)?
+        }
+        Err(e) => return Err(e.into()),
+    };
+    if ops.is_empty() {
+        return Ok((dataset, DeltaSlot::with_wal(log, 0)));
+    }
+    let mut overlay = DeltaOverlay::new(dataset.graph());
+    let mut failed = false;
+    for op in &ops {
+        if overlay.apply(*op).is_err() {
+            failed = true;
+            break;
+        }
+    }
+    if failed {
+        // The log's committed ops do not fit this snapshot (e.g. the
+        // snapshot was rebuilt from its original source): preserve the log
+        // for forensics and serve the snapshot as-is.
+        drop(log);
+        quarantine_wal(wal_path)?;
+        let (fresh, _) = DeltaLog::open(wal_path)?;
+        return Ok((dataset, DeltaSlot::with_wal(fresh, 0)));
+    }
+    bestk_obs::counter("delta.replayed_ops").add(ops.len() as u64);
+    let graph = overlay.materialize();
+    Ok((
+        Dataset::from_graph(graph),
+        DeltaSlot::with_wal(log, ops.len() as u64),
+    ))
+}
+
+fn quarantine_wal(wal_path: &str) -> Result<(), EngineError> {
+    bestk_obs::counter("delta.wal_quarantined").inc();
+    std::fs::rename(wal_path, format!("{wal_path}.quarantine"))?;
+    Ok(())
+}
+
+impl SharedEngine {
+    /// Stages one edge mutation against the named dataset: validated
+    /// against the committed graph plus pending ops, write-ahead-logged,
+    /// buffered until [`commit_edges`](Self::commit_edges). Returns the
+    /// number of pending ops. The registry lock is held only to take the
+    /// slot's delta state out and put it back.
+    pub fn stage_edge(&self, name: &str, op: EdgeOp) -> Result<usize, EngineError> {
+        let (dataset, mut delta) = self.guard().delta_checkout(name)?;
+        let result = stage_op(&dataset, &mut delta, op);
+        self.guard().delta_restore(name, delta);
+        result
+    }
+
+    /// Commits every staged op on the named dataset: fsyncs the log, folds
+    /// the ops into the maintained index, and installs the mutated graph
+    /// as the slot's new dataset. Query artifacts rebuild lazily on the
+    /// next query. Fails with a typed error — leaving the ops staged —
+    /// when nothing is pending or the log cannot be made durable.
+    pub fn commit_edges(
+        &self,
+        name: &str,
+        policy: &ExecPolicy,
+    ) -> Result<CommitSummary, EngineError> {
+        let (dataset, mut delta) = self.guard().delta_checkout(name)?;
+        match commit_ops(&dataset, &mut delta, policy) {
+            Ok((committed, summary)) => {
+                self.guard().install_mutated(name, committed, delta);
+                Ok(summary)
+            }
+            Err(e) => {
+                self.guard().delta_restore(name, delta);
+                Err(e)
+            }
+        }
+    }
+
+    /// Number of staged (uncommitted) ops on the named dataset.
+    pub fn pending_ops(&self, name: &str) -> Result<usize, EngineError> {
+        self.guard().pending_ops(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use crate::snapshot;
+    use bestk_graph::generators;
+
+    fn policy() -> ExecPolicy {
+        ExecPolicy::Sequential
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bestk-mutate-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn stage_and_commit_mutate_an_in_memory_dataset() {
+        let eng = SharedEngine::with_budget(None);
+        eng.insert_graph("fig2", generators::paper_figure2());
+        assert_eq!(eng.stage_edge("fig2", EdgeOp::Insert(0, 11)).unwrap(), 1);
+        assert_eq!(eng.stage_edge("fig2", EdgeOp::Delete(0, 1)).unwrap(), 2);
+        assert_eq!(eng.pending_ops("fig2").unwrap(), 2);
+        // Queries still see the committed (unmutated) graph while staged.
+        let a = eng.query("fig2", &Query::Stats, &policy()).unwrap();
+        assert_eq!(a.to_line(), "stats\tn=12\tm=19\tkmax=3\tcores=3");
+        let summary = eng.commit_edges("fig2", &policy()).unwrap();
+        assert_eq!((summary.ops, summary.vertices, summary.edges), (2, 12, 19));
+        assert!(!summary.compacted);
+        assert_eq!(eng.pending_ops("fig2").unwrap(), 0);
+        let a = eng.query("fig2", &Query::Stats, &policy()).unwrap();
+        assert!(
+            a.to_line().starts_with("stats\tn=12\tm=19"),
+            "{}",
+            a.to_line()
+        );
+        // The mutated graph matches building the same graph from scratch.
+        let mut b = bestk_graph::GraphBuilder::new();
+        b.reserve_vertices(12);
+        let base = generators::paper_figure2();
+        for (u, v) in base.edges() {
+            if (u, v) != (0, 1) {
+                b.add_edge(u, v);
+            }
+        }
+        b.add_edge(0, 11);
+        let expect = b.build();
+        let eng2 = SharedEngine::with_budget(None);
+        eng2.insert_graph("want", expect);
+        let q = Query::BestKSet {
+            metric: Metric::AverageDegree,
+        };
+        assert_eq!(
+            eng.query("fig2", &q, &policy()).unwrap().to_line(),
+            eng2.query("want", &q, &policy()).unwrap().to_line()
+        );
+    }
+
+    #[test]
+    fn invalid_ops_and_empty_commits_are_typed_rejections() {
+        let eng = SharedEngine::with_budget(None);
+        eng.insert_graph("g", generators::paper_figure2());
+        let err = eng.commit_edges("g", &policy()).unwrap_err();
+        assert!(matches!(err, EngineError::Mutation(_)), "{err}");
+        let err = eng.stage_edge("g", EdgeOp::Insert(3, 3)).unwrap_err();
+        assert!(matches!(err, EngineError::Mutation(_)), "{err}");
+        let err = eng.stage_edge("g", EdgeOp::Delete(0, 11)).unwrap_err();
+        assert!(matches!(err, EngineError::Mutation(_)), "{err}");
+        // Duplicate insert across the pending overlay is caught too.
+        eng.stage_edge("g", EdgeOp::Insert(0, 11)).unwrap();
+        let err = eng.stage_edge("g", EdgeOp::Insert(0, 11)).unwrap_err();
+        assert!(matches!(err, EngineError::Mutation(_)), "{err}");
+        assert_eq!(eng.pending_ops("g").unwrap(), 1);
+        let err = eng.stage_edge("nope", EdgeOp::Insert(0, 1)).unwrap_err();
+        assert!(matches!(err, EngineError::UnknownDataset(_)), "{err}");
+    }
+
+    #[test]
+    fn a_checked_out_delta_rejects_concurrent_mutations() {
+        let eng = SharedEngine::with_budget(None);
+        eng.insert_graph("g", generators::paper_figure2());
+        let (_ds, delta) = eng.guard().delta_checkout("g").unwrap();
+        let err = eng.stage_edge("g", EdgeOp::Insert(0, 11)).unwrap_err();
+        assert!(matches!(err, EngineError::Mutation(_)), "{err}");
+        eng.guard().delta_restore("g", delta);
+        eng.stage_edge("g", EdgeOp::Insert(0, 11)).unwrap();
+    }
+
+    #[test]
+    fn wal_replays_committed_mutations_across_restarts() {
+        let dir = temp_dir("restart");
+        let snap = dir.join("g.bestk");
+        let wal = dir.join("g.bestk.wal");
+        for stale in [&wal, &dir.join("g.bestk.wal.quarantine")] {
+            let _ = std::fs::remove_file(stale);
+        }
+        let mut ds = Dataset::from_graph(generators::paper_figure2());
+        ds.ensure_built(&policy());
+        snapshot::save_path(&ds, &snap).unwrap();
+
+        let line;
+        {
+            let eng = SharedEngine::with_budget(None);
+            eng.load_snapshot_with_fallback(
+                "g",
+                snap.to_str().unwrap(),
+                None,
+                &snapshot::RetryPolicy::none(),
+                &policy(),
+            )
+            .unwrap();
+            eng.stage_edge("g", EdgeOp::Insert(0, 11)).unwrap();
+            eng.stage_edge("g", EdgeOp::Delete(0, 1)).unwrap();
+            eng.commit_edges("g", &policy()).unwrap();
+            // Staged-but-uncommitted ops must NOT survive the restart.
+            eng.stage_edge("g", EdgeOp::Insert(1, 10)).unwrap();
+            line = eng.query("g", &Query::Stats, &policy()).unwrap().to_line();
+        }
+        let eng = SharedEngine::with_budget(None);
+        eng.load_snapshot_with_fallback(
+            "g",
+            snap.to_str().unwrap(),
+            None,
+            &snapshot::RetryPolicy::none(),
+            &policy(),
+        )
+        .unwrap();
+        assert_eq!(
+            eng.query("g", &Query::Stats, &policy()).unwrap().to_line(),
+            line
+        );
+        assert_eq!(eng.pending_ops("g").unwrap(), 0);
+        for f in [snap, wal] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn commit_past_the_threshold_compacts_into_a_v2_snapshot() {
+        let dir = temp_dir("compact");
+        let snap = dir.join("g.bestk");
+        let wal = dir.join("g.bestk.wal");
+        let _ = std::fs::remove_file(&wal);
+        let mut ds = Dataset::from_graph(generators::paper_figure2());
+        ds.ensure_built(&policy());
+        snapshot::save_path(&ds, &snap).unwrap();
+
+        let eng = SharedEngine::with_budget(None);
+        eng.load_snapshot_with_fallback(
+            "g",
+            snap.to_str().unwrap(),
+            None,
+            &snapshot::RetryPolicy::none(),
+            &policy(),
+        )
+        .unwrap();
+        {
+            let mut guard = eng.guard();
+            let (_, mut delta) = guard.delta_checkout("g").unwrap();
+            delta.compact_after = 1;
+            guard.delta_restore("g", delta);
+        }
+        eng.stage_edge("g", EdgeOp::Insert(0, 11)).unwrap();
+        let summary = eng.commit_edges("g", &policy()).unwrap();
+        assert!(summary.compacted);
+        let line = eng.query("g", &Query::Stats, &policy()).unwrap().to_line();
+        // The log is back to its bare header...
+        assert_eq!(
+            std::fs::metadata(&wal).unwrap().len(),
+            bestk_delta::WAL_MAGIC.len() as u64
+        );
+        // ...and the snapshot at the original path is now v2 and carries
+        // the mutation on its own.
+        let eng2 = SharedEngine::with_budget(None);
+        eng2.load_snapshot_with_fallback(
+            "g",
+            snap.to_str().unwrap(),
+            None,
+            &snapshot::RetryPolicy::none(),
+            &policy(),
+        )
+        .unwrap();
+        assert_eq!(
+            eng2.query("g", &Query::Stats, &policy()).unwrap().to_line(),
+            line
+        );
+        for f in [snap, wal] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn an_alien_wal_is_quarantined_and_the_snapshot_served() {
+        let dir = temp_dir("quarantine");
+        let snap = dir.join("g.bestk");
+        let wal = dir.join("g.bestk.wal");
+        let quarantine = dir.join("g.bestk.wal.quarantine");
+        for stale in [&wal, &quarantine] {
+            let _ = std::fs::remove_file(stale);
+        }
+        let mut ds = Dataset::from_graph(generators::paper_figure2());
+        ds.ensure_built(&policy());
+        snapshot::save_path(&ds, &snap).unwrap();
+        std::fs::write(&wal, b"not a delta log at all").unwrap();
+
+        let eng = SharedEngine::with_budget(None);
+        eng.load_snapshot_with_fallback(
+            "g",
+            snap.to_str().unwrap(),
+            None,
+            &snapshot::RetryPolicy::none(),
+            &policy(),
+        )
+        .unwrap();
+        assert!(quarantine.exists(), "bad log must be preserved");
+        let a = eng.query("g", &Query::Stats, &policy()).unwrap();
+        assert_eq!(a.to_line(), "stats\tn=12\tm=19\tkmax=3\tcores=3");
+        // Mutations keep working on the fresh log.
+        eng.stage_edge("g", EdgeOp::Insert(0, 11)).unwrap();
+        eng.commit_edges("g", &policy()).unwrap();
+        for f in [snap, wal, quarantine] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn successive_commits_reuse_the_maintained_index() {
+        let eng = SharedEngine::with_budget(None);
+        eng.insert_graph("g", generators::erdos_renyi_gnm(40, 100, 7));
+        let ops = generators::edge_stream_mixed(&generators::erdos_renyi_gnm(40, 100, 7), 30, 3);
+        for chunk in ops.chunks(5) {
+            for op in chunk {
+                eng.stage_edge("g", *op).unwrap();
+            }
+            let summary = eng.commit_edges("g", &policy()).unwrap();
+            assert_eq!(summary.ops, chunk.len());
+        }
+        // Final state equals a from-scratch build over the same ops.
+        let mut index = DeltaIndex::build(&generators::erdos_renyi_gnm(40, 100, 7));
+        for op in &ops {
+            index.apply(op).unwrap();
+        }
+        let q = Query::BestKSet {
+            metric: Metric::AverageDegree,
+        };
+        let got = eng.query("g", &q, &policy()).unwrap().to_line();
+        let best = index.best(Metric::AverageDegree).unwrap().unwrap();
+        assert!(got.contains(&format!("k={}", best.k)), "{got}");
+    }
+}

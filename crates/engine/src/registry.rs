@@ -106,6 +106,12 @@ impl SharedEngine {
     /// [`Engine::load_snapshot_with_fallback`] for the ladder), with the
     /// lock discipline applied: the read, any quarantine, and any rebuild
     /// all complete before the registry lock is touched.
+    ///
+    /// The shared engine additionally adopts the snapshot's sibling
+    /// write-ahead log (`<path>.wal`): committed mutations replay on top
+    /// of the loaded dataset, and an unreadable or mismatched log is
+    /// quarantined (see `crate::mutate`) — all of it, again, before the
+    /// lock is taken.
     pub fn load_snapshot_with_fallback(
         &self,
         name: &str,
@@ -115,7 +121,9 @@ impl SharedEngine {
         policy: &ExecPolicy,
     ) -> Result<LoadOutcome, EngineError> {
         let (dataset, outcome) = snapshot::load_or_rebuild(path, source, retry, policy)?;
-        self.guard().install_loaded(name, dataset, outcome);
+        let (dataset, delta) = crate::mutate::adopt_wal(dataset, &format!("{path}.wal"))?;
+        self.guard()
+            .install_loaded_with_delta(name, dataset, outcome, delta);
         Ok(outcome)
     }
 

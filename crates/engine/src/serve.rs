@@ -8,6 +8,10 @@
 //!                             (with [source]: a corrupt snapshot is
 //!                             quarantined and rebuilt    -> ok rebuilt <name>)
 //! query <dataset> <query...>  answer one query            -> ok <answer fields>
+//! add-edge <dataset> <u> <v>  stage an edge insert        -> ok staged <name> add <u> <v> pending=<k>
+//! del-edge <dataset> <u> <v>  stage an edge delete        -> ok staged <name> del <u> <v> pending=<k>
+//! commit <dataset>            commit staged mutations     -> ok committed <name> ops=... n=... m=...
+//!                                                            kmax=... bestk=<k|-> score=<s|->
 //! datasets                    list datasets               -> ok datasets <n> (+ per-row lines)
 //! counters                    workload counters           -> ok counters loads=... builds=...
 //! metrics                     metrics exposition          -> ok metrics <n> (+ n exposition lines)
@@ -60,6 +64,8 @@ use std::time::Duration;
 use bestk_exec::ExecPolicy;
 use bestk_faults::sites;
 
+use bestk_graph::generators::EdgeOp;
+
 use crate::engine::LoadOutcome;
 use crate::error::EngineError;
 use crate::query::Query;
@@ -80,7 +86,9 @@ const LATENCY_BOUNDS_NANOS: &[u64] = &[
 
 /// The protocol verbs, for per-verb request counting (anything else is
 /// counted under `{verb="other"}` so label cardinality stays bounded).
-const VERBS: &[&str] = &["load", "query", "datasets", "counters", "metrics", "quit"];
+const VERBS: &[&str] = &[
+    "load", "query", "add-edge", "del-edge", "commit", "datasets", "counters", "metrics", "quit",
+];
 
 /// Records one error reply into `serve.errors` (total and per-kind).
 fn record_error(kind: &str) {
@@ -198,6 +206,44 @@ fn dispatch(
             let answer = engine.query(dataset, &query, policy)?;
             Ok((format!("ok\t{}", answer.to_line()), Control::Continue))
         }
+        "add-edge" | "del-edge" => {
+            let usage = || EngineError::Protocol(format!("{verb} takes <dataset> <u> <v>"));
+            let dataset = tokens.next().ok_or_else(usage)?;
+            let u = parse_vertex(tokens.next().ok_or_else(usage)?)?;
+            let v = parse_vertex(tokens.next().ok_or_else(usage)?)?;
+            if tokens.next().is_some() {
+                return Err(usage());
+            }
+            let (op, word) = if verb == "add-edge" {
+                (EdgeOp::Insert(u, v), "add")
+            } else {
+                (EdgeOp::Delete(u, v), "del")
+            };
+            let pending = engine.stage_edge(dataset, op)?;
+            Ok((
+                format!("ok\tstaged\t{dataset}\t{word}\t{u}\t{v}\tpending={pending}"),
+                Control::Continue,
+            ))
+        }
+        "commit" => {
+            let usage = || EngineError::Protocol("commit takes <dataset>".into());
+            let dataset = tokens.next().ok_or_else(usage)?;
+            if tokens.next().is_some() {
+                return Err(usage());
+            }
+            let s = engine.commit_edges(dataset, policy)?;
+            let (bestk, score) = match &s.best {
+                Some(b) => (b.k.to_string(), b.score.to_string()),
+                None => ("-".into(), "-".into()),
+            };
+            Ok((
+                format!(
+                    "ok\tcommitted\t{dataset}\tops={}\tn={}\tm={}\tkmax={}\tbestk={bestk}\tscore={score}",
+                    s.ops, s.vertices, s.edges, s.kmax
+                ),
+                Control::Continue,
+            ))
+        }
         "datasets" => {
             if tokens.next().is_some() {
                 return Err(EngineError::Protocol("datasets takes no arguments".into()));
@@ -244,9 +290,17 @@ fn dispatch(
             Ok(("ok\tbye".into(), Control::Quit))
         }
         other => Err(EngineError::Protocol(format!(
-            "unknown request {other:?} (expected load|query|datasets|counters|metrics|quit)"
+            "unknown request {other:?} (expected \
+             load|query|add-edge|del-edge|commit|datasets|counters|metrics|quit)"
         ))),
     }
+}
+
+/// Parses a vertex id token for the mutation verbs.
+fn parse_vertex(token: &str) -> Result<u32, EngineError> {
+    token
+        .parse::<u32>()
+        .map_err(|_| EngineError::Protocol(format!("bad vertex id {token:?}")))
 }
 
 /// Reads one request line, capped at `max` bytes.
@@ -517,6 +571,17 @@ mod tests {
             "load onlyname",
             "load x /no/such/file.bestk",
             "load x /no/such/file.bestk /no/source.txt extra",
+            "add-edge",
+            "add-edge fig2 0",
+            "add-edge fig2 0 zero",
+            "add-edge fig2 0 1 extra",
+            "add-edge fig2 0 1",
+            "add-edge fig2 3 3",
+            "add-edge nope 0 1",
+            "del-edge fig2 0 11",
+            "commit fig2",
+            "commit fig2 extra",
+            "commit nope",
             "datasets extra",
             "counters extra",
             "metrics extra",
@@ -527,6 +592,31 @@ mod tests {
             assert!(!reply.contains('\n'), "{bad:?} -> multi-line reply");
             assert_eq!(c, Control::Continue, "{bad:?} must not kill the server");
         }
+    }
+
+    #[test]
+    fn mutation_verbs_stage_and_commit() {
+        let eng = engine_with_fig2();
+        let (reply, c) = ask(&eng, "add-edge fig2 0 11");
+        assert_eq!(c, Control::Continue);
+        assert_eq!(reply, "ok\tstaged\tfig2\tadd\t0\t11\tpending=1");
+        let (reply, _) = ask(&eng, "del-edge fig2 0 1");
+        assert_eq!(reply, "ok\tstaged\tfig2\tdel\t0\t1\tpending=2");
+        // Queries between stage and commit still see the committed graph.
+        let (reply, _) = ask(&eng, "query fig2 stats");
+        assert_eq!(reply, "ok\tstats\tn=12\tm=19\tkmax=3\tcores=3");
+        let (reply, c) = ask(&eng, "commit fig2");
+        assert_eq!(c, Control::Continue);
+        assert!(
+            reply.starts_with("ok\tcommitted\tfig2\tops=2\tn=12\tm=19\tkmax="),
+            "{reply}"
+        );
+        assert!(reply.contains("\tbestk="), "{reply}");
+        assert!(reply.contains("\tscore="), "{reply}");
+        // The committed best-k in the reply matches a fresh query.
+        let (q, _) = ask(&eng, "query fig2 bestkset ad");
+        let k = q.split("\tk=").nth(1).unwrap().split('\t').next().unwrap();
+        assert!(reply.contains(&format!("\tbestk={k}\t")), "{reply} vs {q}");
     }
 
     #[test]

@@ -36,6 +36,17 @@ pub const ENGINE_PRESSURE: &str = "engine.pressure";
 /// contain and the engine must convert into a typed error.
 pub const EXEC_WORKER: &str = "exec.worker";
 
+/// Write-ahead delta-log appends (`bestk_delta::wal::DeltaLog::append` /
+/// `commit`): `io-error` surfaces as a typed staging failure, `bitflip` /
+/// `truncate` leave a torn or corrupt record on disk that replay must stop
+/// at cleanly.
+pub const DELTA_WAL_APPEND: &str = "delta.wal.append";
+
+/// Write-ahead delta-log replay on snapshot load
+/// (`bestk_delta::wal::replay_path`): transient read errors must surface
+/// as typed load failures, never partial state silently applied.
+pub const DELTA_WAL_REPLAY: &str = "delta.wal.replay";
+
 /// Every site constant above, for chaos-suite sweeps.
 pub fn all() -> &'static [&'static str] {
     &[
@@ -46,6 +57,8 @@ pub fn all() -> &'static [&'static str] {
         SERVE_OVERLOAD,
         ENGINE_PRESSURE,
         EXEC_WORKER,
+        DELTA_WAL_APPEND,
+        DELTA_WAL_REPLAY,
     ]
 }
 

@@ -19,14 +19,18 @@
 //!   Hollywood / Human-Jung.
 //! * [`regular`] module — deterministic fixtures (complete, cycle, star, …).
 //! * [`paper_figure2`] — the 12-vertex worked example of the paper.
+//! * [`stream`] module — deterministic edge-stream workloads (insert/delete
+//!   sequences) for the incremental-maintenance subsystem.
 
 mod community;
 mod paper;
 mod random;
 pub mod regular;
+mod stream;
 
 pub use community::{overlapping_cliques, planted_partition, PlantedPartition};
 pub use paper::paper_figure2;
 pub use random::{
     barabasi_albert, chung_lu_power_law, erdos_renyi_gnm, erdos_renyi_gnp, rmat, watts_strogatz,
 };
+pub use stream::{edge_stream_delete_heavy, edge_stream_focused, edge_stream_mixed, EdgeOp};

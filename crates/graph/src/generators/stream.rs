@@ -1,0 +1,239 @@
+//! Deterministic edge-stream workloads for the mutation subsystem.
+//!
+//! These generators turn a starting graph into a reproducible sequence of
+//! [`EdgeOp`]s that is always *valid when applied in order*: every insert
+//! names an absent pair, every delete names a present edge, and no op is a
+//! self-loop or out of the vertex range. The three families cover the
+//! maintenance regimes the delta subsystem cares about:
+//!
+//! * [`edge_stream_mixed`] — balanced insert/delete churn across the whole
+//!   vertex set (steady-state workload).
+//! * [`edge_stream_delete_heavy`] — deletions dominate, draining the graph
+//!   and repeatedly shrinking `kmax` (the adversarial direction for
+//!   coreness maintenance).
+//! * [`edge_stream_focused`] — all churn confined to a caller-chosen vertex
+//!   subset; pass the max-`k` shell to hammer the top of the core
+//!   hierarchy, where every op dirties the deepest sweep levels.
+
+use std::collections::HashSet;
+
+use crate::csr::{CsrGraph, VertexId};
+use crate::rng::Xoshiro256;
+
+/// One edge mutation in a stream. Endpoints are unordered; generators emit
+/// them with `u < v`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeOp {
+    /// Add the (currently absent) edge `{0, 1}`.
+    Insert(VertexId, VertexId),
+    /// Remove the (currently present) edge `{0, 1}`.
+    Delete(VertexId, VertexId),
+}
+
+impl EdgeOp {
+    /// The endpoints, in the `u < v` order the generators emit.
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        match *self {
+            EdgeOp::Insert(u, v) | EdgeOp::Delete(u, v) => (u, v),
+        }
+    }
+
+    /// Whether this op is an insert.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, EdgeOp::Insert(..))
+    }
+}
+
+/// Balanced churn: each step is a delete with probability ~1/2 (when edges
+/// exist), otherwise an insert of a uniformly sampled absent pair.
+pub fn edge_stream_mixed(g: &CsrGraph, ops: usize, seed: u64) -> Vec<EdgeOp> {
+    stream_over(g, None, ops, 0.5, seed)
+}
+
+/// Delete-heavy churn (~85% deletes while edges remain): drains the graph,
+/// repeatedly collapsing shells and shrinking `kmax`.
+pub fn edge_stream_delete_heavy(g: &CsrGraph, ops: usize, seed: u64) -> Vec<EdgeOp> {
+    stream_over(g, None, ops, 0.85, seed)
+}
+
+/// Focused churn: every op has both endpoints in `focus` (callers pass the
+/// max-`k` shell for the churn-on-max-k adversarial pattern). Falls back to
+/// an empty stream when `focus` has fewer than two vertices.
+pub fn edge_stream_focused(g: &CsrGraph, focus: &[VertexId], ops: usize, seed: u64) -> Vec<EdgeOp> {
+    stream_over(g, Some(focus), ops, 0.6, seed)
+}
+
+/// Shared driver: tracks the live edge set (restricted to `focus` when
+/// given) and alternates inserts/deletes per `p_delete`, falling back to
+/// the other kind when the preferred one is impossible.
+fn stream_over(
+    g: &CsrGraph,
+    focus: Option<&[VertexId]>,
+    ops: usize,
+    p_delete: f64,
+    seed: u64,
+) -> Vec<EdgeOp> {
+    let domain: Vec<VertexId> = match focus {
+        Some(f) => {
+            let mut d: Vec<VertexId> = f
+                .iter()
+                .copied()
+                .filter(|&v| (v as usize) < g.num_vertices())
+                .collect();
+            d.sort_unstable();
+            d.dedup();
+            d
+        }
+        None => g.vertices().collect(),
+    };
+    if domain.len() < 2 {
+        return Vec::new();
+    }
+    let in_domain: HashSet<VertexId> = domain.iter().copied().collect();
+    // Live edges inside the domain: Vec for O(1) sampling via swap_remove,
+    // HashSet for O(1) membership.
+    let mut live: Vec<(VertexId, VertexId)> = g
+        .edges()
+        .filter(|&(u, v)| in_domain.contains(&u) && in_domain.contains(&v))
+        .collect();
+    let mut present: HashSet<(VertexId, VertexId)> = live.iter().copied().collect();
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        let want_delete = rng.next_bool(p_delete);
+        if want_delete && !live.is_empty() {
+            let i = rng.next_index(live.len());
+            let e = live.swap_remove(i);
+            present.remove(&e);
+            out.push(EdgeOp::Delete(e.0, e.1));
+            continue;
+        }
+        // Insert: rejection-sample an absent pair; a dense domain may
+        // defeat sampling, in which case fall back to a delete (or stop if
+        // the domain has no edges either — fully churned out).
+        let mut inserted = false;
+        for _ in 0..64 {
+            let a = domain[rng.next_index(domain.len())];
+            let b = domain[rng.next_index(domain.len())];
+            if a == b {
+                continue;
+            }
+            let e = if a < b { (a, b) } else { (b, a) };
+            if present.insert(e) {
+                live.push(e);
+                out.push(EdgeOp::Insert(e.0, e.1));
+                inserted = true;
+                break;
+            }
+        }
+        if !inserted {
+            if live.is_empty() {
+                break;
+            }
+            let i = rng.next_index(live.len());
+            let e = live.swap_remove(i);
+            present.remove(&e);
+            out.push(EdgeOp::Delete(e.0, e.1));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    /// Replays `ops` against the starting edge set, asserting validity of
+    /// every step; returns the final edge set.
+    fn replay(g: &CsrGraph, ops: &[EdgeOp]) -> HashSet<(VertexId, VertexId)> {
+        let mut present: HashSet<(VertexId, VertexId)> = g.edges().collect();
+        let n = g.num_vertices();
+        for op in ops {
+            let (u, v) = op.endpoints();
+            assert!(u < v, "{op:?} not normalized");
+            assert!((v as usize) < n, "{op:?} out of range");
+            match op {
+                EdgeOp::Insert(..) => assert!(present.insert((u, v)), "{op:?} already present"),
+                EdgeOp::Delete(..) => assert!(present.remove(&(u, v)), "{op:?} absent"),
+            }
+        }
+        present
+    }
+
+    #[test]
+    fn mixed_stream_is_valid_and_deterministic() {
+        let g = generators::erdos_renyi_gnm(50, 120, 7);
+        let ops = edge_stream_mixed(&g, 500, 42);
+        assert_eq!(ops.len(), 500);
+        replay(&g, &ops);
+        assert_eq!(ops, edge_stream_mixed(&g, 500, 42));
+        assert_ne!(ops, edge_stream_mixed(&g, 500, 43));
+        let inserts = ops.iter().filter(|o| o.is_insert()).count();
+        assert!(inserts > 100 && inserts < 400, "{inserts} inserts of 500");
+    }
+
+    #[test]
+    fn delete_heavy_stream_drains_the_graph() {
+        let g = generators::erdos_renyi_gnm(40, 100, 3);
+        let ops = edge_stream_delete_heavy(&g, 300, 5);
+        let end = replay(&g, &ops);
+        // Once drained the stream oscillates insert/delete, so over a long
+        // run deletes dominate but tend toward parity; a strict majority is
+        // the stable invariant.
+        let deletes = ops.len() - ops.iter().filter(|o| o.is_insert()).count();
+        assert!(
+            deletes * 2 > ops.len(),
+            "{deletes} deletes of {}",
+            ops.len()
+        );
+        assert!(end.len() < g.num_edges());
+        let low_tide = ops
+            .iter()
+            .scan(g.num_edges() as i64, |m, op| {
+                *m += if op.is_insert() { 1 } else { -1 };
+                Some(*m)
+            })
+            .min();
+        assert!(
+            low_tide.is_some_and(|t| t * 4 < g.num_edges() as i64),
+            "never drained: {low_tide:?}"
+        );
+    }
+
+    #[test]
+    fn focused_stream_stays_in_the_focus_set() {
+        let g = generators::erdos_renyi_gnm(60, 150, 9);
+        let focus: Vec<VertexId> = (10..20).collect();
+        let ops = edge_stream_focused(&g, &focus, 200, 11);
+        assert!(!ops.is_empty());
+        replay(&g, &ops);
+        for op in &ops {
+            let (u, v) = op.endpoints();
+            assert!(
+                focus.contains(&u) && focus.contains(&v),
+                "{op:?} left focus"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_domains_yield_empty_streams() {
+        let g = generators::erdos_renyi_gnm(30, 60, 1);
+        assert!(edge_stream_focused(&g, &[], 50, 1).is_empty());
+        assert!(edge_stream_focused(&g, &[4], 50, 1).is_empty());
+        let tiny = CsrGraph::empty(1);
+        assert!(edge_stream_mixed(&tiny, 50, 1).is_empty());
+    }
+
+    #[test]
+    fn churned_out_focus_terminates_early() {
+        // A 2-vertex focus can only toggle one edge; the stream must not
+        // spin or emit invalid ops.
+        let g = generators::regular::complete(5);
+        let focus: Vec<VertexId> = vec![0, 1];
+        let ops = edge_stream_focused(&g, &focus, 40, 2);
+        replay(&g, &ops);
+        assert!(!ops.is_empty());
+    }
+}

@@ -17,6 +17,9 @@
 //!   and the best k-truss set.
 //! * [`exec`] — the execution-policy runtime ([`bestk_exec`]): the shared
 //!   parallel substrate every hot kernel routes through.
+//! * [`delta`] — incremental maintenance ([`bestk_delta`]): edge-stream
+//!   overlays, incremental coreness/best-k repair, and the write-ahead
+//!   delta log.
 //! * [`obs`] — the observability layer ([`bestk_obs`]): metrics registry,
 //!   phase spans, and the injectable clock behind all timing reads.
 //!
@@ -27,6 +30,7 @@
 
 pub use bestk_apps as apps;
 pub use bestk_core as core;
+pub use bestk_delta as delta;
 pub use bestk_exec as exec;
 pub use bestk_graph as graph;
 pub use bestk_obs as obs;

@@ -8,7 +8,9 @@
 //! snapshot reads (transient errors retry, corruption quarantines and
 //! rebuilds from source), snapshot writes (mid-write crashes), serving
 //! reads (torn lines, socket errors), read-timeout installation, admission
-//! overload, engine memory pressure, and exec worker panics.
+//! overload, engine memory pressure, exec worker panics, and the delta
+//! write-ahead log (mid-append crashes on the mutation path, torn files
+//! truncated at every byte prefix on the replay path).
 //!
 //! Like the other integration tests, this file drives threads and sockets
 //! directly — the `no-raw-thread` / `no-raw-net` lints police library
@@ -22,7 +24,7 @@ use bestk_engine::{
 };
 use bestk_exec::ExecPolicy;
 use bestk_faults::{sites, Fault, FaultPlan, SiteSpec};
-use bestk_graph::generators;
+use bestk_graph::generators::{self, EdgeOp};
 
 /// Serializes the chaos tests within this binary: the fault plan is
 /// process-global, so fixture setup in one test must not run while another
@@ -411,5 +413,240 @@ fn timeout_install_failures_surface_on_the_connection() {
                 .unwrap_or(0);
             assert_eq!(timeout_injections, 1, "{context}: budget caps injections");
         });
+    }
+}
+
+/// Engine-level stats line for Figure 2 plus `extra` edges — the reachable
+/// post-mutation states the delta drills below assert against.
+fn fig2_stats_with(extra: &[(u32, u32)]) -> String {
+    let base = generators::paper_figure2();
+    let mut b = bestk_graph::GraphBuilder::new();
+    b.reserve_vertices(base.num_vertices());
+    for (u, v) in base.edges() {
+        b.add_edge(u, v);
+    }
+    for &(u, v) in extra {
+        b.add_edge(u, v);
+    }
+    let mut ds = Dataset::from_graph(b.build());
+    ds.ensure_built(&ExecPolicy::Sequential);
+    ds.answer(&bestk_engine::Query::Stats)
+        .expect("stats")
+        .to_line()
+}
+
+/// Loads the fixture snapshot (adopting its sibling write-ahead log) into
+/// a fresh engine and returns the stats line it serves.
+fn load_and_stats(snap: &std::path::Path, context: &str) -> String {
+    let engine = SharedEngine::with_budget(None);
+    engine
+        .load_snapshot_with_fallback(
+            "g",
+            snap.to_str().expect("utf8 path"),
+            None,
+            &RetryPolicy::none(),
+            &ExecPolicy::Sequential,
+        )
+        .unwrap_or_else(|e| panic!("{context}: load died: {e}"));
+    engine
+        .query("g", &bestk_engine::Query::Stats, &ExecPolicy::Sequential)
+        .unwrap_or_else(|e| panic!("{context}: stats died: {e}"))
+        .to_line()
+}
+
+#[test]
+fn torn_wal_prefixes_replay_a_committed_prefix_or_quarantine() {
+    let _g = gate();
+    let (dir, _source, snap) = fixture("torn-wal");
+    let wal = format!("{}.wal", snap.display());
+    // Build a real log through the engine: two single-op commits, so the
+    // file holds [insert, marker, insert, marker] and every byte offset is
+    // a distinct torn-write scenario.
+    {
+        let engine = SharedEngine::with_budget(None);
+        engine
+            .load_snapshot_with_fallback(
+                "g",
+                snap.to_str().expect("utf8 path"),
+                None,
+                &RetryPolicy::none(),
+                &ExecPolicy::Sequential,
+            )
+            .expect("seed load");
+        for op in [EdgeOp::Insert(0, 11), EdgeOp::Insert(1, 11)] {
+            engine.stage_edge("g", op).expect("stage");
+            engine
+                .commit_edges("g", &ExecPolicy::Sequential)
+                .expect("commit");
+        }
+    }
+    let full = std::fs::read(&wal).expect("read wal");
+    // Replay applies committed ops in order, so a torn file may only ever
+    // reproduce a prefix of the committed history — never a reordering,
+    // never a half-applied op.
+    let reachable = [
+        fig2_stats_with(&[]),
+        fig2_stats_with(&[(0, 11)]),
+        fig2_stats_with(&[(0, 11), (1, 11)]),
+    ];
+    for cut in 0..=full.len() {
+        let quarantine = format!("{wal}.quarantine");
+        let _ = std::fs::remove_file(&quarantine);
+        std::fs::write(&wal, &full[..cut]).expect("write torn prefix");
+        let line = load_and_stats(&snap, &format!("cut {cut}"));
+        assert!(
+            reachable.contains(&line),
+            "cut {cut}: serving a state outside the committed history: {line:?}"
+        );
+        if cut < bestk_delta::WAL_MAGIC.len() {
+            // A prefix shorter than the magic is not a delta log at all:
+            // it must land in quarantine and the base snapshot is served.
+            assert!(
+                std::path::Path::new(&quarantine).exists(),
+                "cut {cut}: non-log prefix must quarantine"
+            );
+            assert_eq!(
+                line, reachable[0],
+                "cut {cut}: quarantine serves the base snapshot"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn wal_append_faults_fail_typed_and_the_log_stays_adoptable() {
+    let _g = gate();
+    for seed in 0..8 {
+        let (dir, _source, snap) = fixture(&format!("wal-append{seed}"));
+        let plan = FaultPlan::new(seed).site(
+            sites::DELTA_WAL_APPEND,
+            SiteSpec::mixed(
+                vec![Fault::Interrupted, Fault::IoError, Fault::Truncate],
+                0.5,
+            ),
+        );
+        // The committed graph can only ever be fig2 plus a subset of the
+        // two staged inserts (an op whose append failed is neither pending
+        // nor logged; a failed commit leaves its ops staged for the next).
+        let reachable: Vec<String> = [
+            &[][..],
+            &[(0, 11)][..],
+            &[(1, 11)][..],
+            &[(0, 11), (1, 11)][..],
+        ]
+        .iter()
+        .map(|extra| fig2_stats_with(extra))
+        .collect();
+        bestk_faults::with_plan(&plan, || {
+            let before = injected_metrics();
+            let engine = SharedEngine::with_budget(None);
+            let script = format!(
+                "load g {snap}\n\
+                 add-edge g 0 11\n\
+                 commit g\n\
+                 add-edge g 1 11\n\
+                 commit g\n\
+                 query g stats\n\
+                 quit\n",
+                snap = snap.display(),
+            )
+            .into_bytes();
+            let mut out = Vec::new();
+            let control = serve_lines(&engine, &ExecPolicy::Sequential, &script[..], &mut out)
+                .unwrap_or_else(|e| panic!("seed {seed}: server died: {e}"));
+            assert!(matches!(control, Control::Quit | Control::Continue));
+            let text = String::from_utf8_lossy(&out);
+            for (i, line) in text.lines().enumerate() {
+                assert!(
+                    line.starts_with("ok\t") || line.starts_with("err\t"),
+                    "seed {seed}: reply {i} is not a typed ok/err line: {line:?}"
+                );
+                // The stats reply (second-to-last) answers for whatever
+                // subset of the mutations actually committed.
+                if i == 5 && line.starts_with("ok\t") {
+                    let answer = &line["ok\t".len()..];
+                    assert!(
+                        reachable.iter().any(|r| r == answer),
+                        "seed {seed}: stats outside the reachable states: {line:?}"
+                    );
+                }
+            }
+            assert_injection_accounting(&before, &format!("delta.wal.append seed {seed}"));
+        });
+        // Crash-consistency: whatever the injected crashes did to the log,
+        // a fresh engine adopts it (heal on the write side guarantees only
+        // fully acknowledged records remain) and serves a reachable state.
+        let line = load_and_stats(&snap, &format!("seed {seed} restart"));
+        assert!(
+            reachable.contains(&line),
+            "seed {seed}: restart serves a state outside the committed history: {line:?}"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn wal_replay_faults_surface_as_typed_load_errors() {
+    let _g = gate();
+    for seed in 0..8 {
+        let (dir, _source, snap) = fixture(&format!("wal-replay{seed}"));
+        let mutated = fig2_stats_with(&[(0, 11)]);
+        // Park one committed mutation in the log so the replay path runs.
+        {
+            let engine = SharedEngine::with_budget(None);
+            engine
+                .load_snapshot_with_fallback(
+                    "g",
+                    snap.to_str().expect("utf8 path"),
+                    None,
+                    &RetryPolicy::none(),
+                    &ExecPolicy::Sequential,
+                )
+                .expect("seed load");
+            engine
+                .stage_edge("g", EdgeOp::Insert(0, 11))
+                .expect("stage");
+            engine
+                .commit_edges("g", &ExecPolicy::Sequential)
+                .expect("commit");
+        }
+        let plan = FaultPlan::new(seed).site(
+            sites::DELTA_WAL_REPLAY,
+            SiteSpec::mixed(vec![Fault::IoError], 0.7),
+        );
+        bestk_faults::with_plan(&plan, || {
+            let before = injected_metrics();
+            let engine = SharedEngine::with_budget(None);
+            match engine.load_snapshot_with_fallback(
+                "g",
+                snap.to_str().expect("utf8 path"),
+                None,
+                &RetryPolicy::none(),
+                &ExecPolicy::Sequential,
+            ) {
+                // The injection missed: the replayed state is exact.
+                Ok(_) => {
+                    let line = engine
+                        .query("g", &bestk_engine::Query::Stats, &ExecPolicy::Sequential)
+                        .expect("stats")
+                        .to_line();
+                    assert_eq!(line, mutated, "seed {seed}");
+                }
+                // The injection hit: a typed I/O error, not a quarantine —
+                // a flaky disk must not cost us the log.
+                Err(e) => {
+                    assert!(
+                        matches!(e, bestk_engine::EngineError::Io(_)),
+                        "seed {seed}: want typed i/o error, got {e}"
+                    );
+                }
+            }
+            assert_injection_accounting(&before, &format!("delta.wal.replay seed {seed}"));
+        });
+        // Once the disk behaves, the untouched log replays in full.
+        let line = load_and_stats(&snap, &format!("seed {seed} clean reload"));
+        assert_eq!(line, mutated, "seed {seed}: log must survive replay faults");
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -1,0 +1,155 @@
+//! The delta subsystem's correctness contract, end to end: an incrementally
+//! maintained [`bestk::delta::DeltaIndex`] must stay **bit-identical** to a
+//! from-scratch rebuild of the same graph — coreness, Alg. 1 order and
+//! position tags, shell boundaries, per-k primary values, and every best-k
+//! answer — after arbitrary valid edge-op sequences, including delete-heavy
+//! drains and churn focused on the max-`k` shell. And because the rebuild
+//! pipeline is itself deterministic across thread counts, the incremental
+//! state must match `OrderedGraph::build_with` at 1, 2, and 4 threads too.
+//!
+//! Driven by the seeded in-repo property harness (`BESTK_PROP_SEED` /
+//! `BESTK_PROP_CASES`), like the other equivalence suites.
+
+use std::collections::BTreeSet;
+
+use bestk::core::{core_decomposition, core_set_profile, Metric, OrderedGraph};
+use bestk::delta::{DeltaIndex, DeltaOverlay};
+use bestk::exec::ExecPolicy;
+use bestk::graph::generators::{
+    self, edge_stream_delete_heavy, edge_stream_focused, edge_stream_mixed, EdgeOp,
+};
+use bestk::graph::testkit::{check, Gen};
+use bestk::graph::{CsrGraph, GraphBuilder, GraphView};
+
+/// Thread counts the rebuild side is exercised at.
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Rebuilds a canonical [`CsrGraph`] from an explicit edge set.
+fn csr_of(n: usize, edges: &BTreeSet<(u32, u32)>) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(edges.len());
+    b.reserve_vertices(n);
+    for &(u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// The oracle: assert the incrementally maintained `index` equals a
+/// from-scratch build over `current`, field for field, and that every
+/// non-triangle metric's best-k answer matches the full pipeline at each
+/// thread count.
+fn assert_matches_rebuild(index: &DeltaIndex, current: &CsrGraph, context: &str) {
+    let rebuilt = DeltaIndex::build(current);
+    assert_eq!(index, &rebuilt, "{context}: incremental state diverged");
+    assert_eq!(&index.to_csr(), current, "{context}: materialized graph");
+    let d = core_decomposition(current);
+    for threads in THREADS {
+        let policy = ExecPolicy::with_threads(threads).unwrap();
+        let ordered = OrderedGraph::build_with(current, &d, &policy);
+        let profile = core_set_profile(&ordered, false);
+        for metric in [
+            Metric::AverageDegree,
+            Metric::InternalDensity,
+            Metric::CutRatio,
+            Metric::Conductance,
+        ] {
+            assert_eq!(
+                index.best(metric).unwrap(),
+                profile.try_best(&metric).unwrap(),
+                "{context}: best({metric:?}) at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Runs `ops` through the index, checking against the rebuild oracle every
+/// `stride` ops and at the end.
+fn drive(g: &CsrGraph, ops: &[EdgeOp], stride: usize, label: &str) {
+    let mut index = DeltaIndex::build(g);
+    let mut edges: BTreeSet<(u32, u32)> = g.edges().collect();
+    for (i, op) in ops.iter().enumerate() {
+        let (u, v) = op.endpoints();
+        match op {
+            EdgeOp::Insert(..) => edges.insert((u, v)),
+            EdgeOp::Delete(..) => edges.remove(&(u, v)),
+        };
+        index.apply(op).unwrap();
+        if (i + 1) % stride == 0 {
+            let current = csr_of(g.num_vertices(), &edges);
+            assert_matches_rebuild(&index, &current, &format!("{label}, op {i}"));
+        }
+    }
+    let current = csr_of(g.num_vertices(), &edges);
+    assert_matches_rebuild(&index, &current, &format!("{label}, final"));
+}
+
+#[test]
+fn random_streams_match_rebuild_over_random_graphs() {
+    check("delta random sweep", 24, |gen: &mut Gen| {
+        let g = gen.graph(40, 120);
+        let seed = gen.u64();
+        let ops = edge_stream_mixed(&g, 60, seed);
+        drive(&g, &ops, 15, "mixed");
+    });
+}
+
+#[test]
+fn delete_heavy_drains_match_rebuild() {
+    check("delta delete-heavy sweep", 8, |gen: &mut Gen| {
+        let g = gen.graph(30, 100);
+        let ops = edge_stream_delete_heavy(&g, 80, gen.u64());
+        drive(&g, &ops, 20, "delete-heavy");
+    });
+}
+
+#[test]
+fn churn_on_the_max_k_shell_matches_rebuild() {
+    check("delta max-k churn sweep", 8, |gen: &mut Gen| {
+        let g = gen.graph(30, 120);
+        let d = core_decomposition(&g);
+        let focus = d.shell(d.kmax()).to_vec();
+        let ops = edge_stream_focused(&g, &focus, 60, gen.u64());
+        if ops.is_empty() {
+            return; // max-k shell too small to churn — nothing to assert
+        }
+        drive(&g, &ops, 15, "focused");
+    });
+}
+
+#[test]
+fn a_long_mixed_sequence_stays_exact() {
+    // One deep deterministic run: 1000 ops over a structured graph with
+    // sparse checkpoints (the per-checkpoint oracle is a full rebuild).
+    let g = generators::overlapping_cliques(60, 6, (4, 8), 17);
+    let ops = edge_stream_mixed(&g, 1000, 23);
+    assert_eq!(ops.len(), 1000);
+    drive(&g, &ops, 200, "long mixed");
+}
+
+#[test]
+fn overlay_round_trips_arbitrary_valid_sequences() {
+    check("delta overlay replay", 16, |gen: &mut Gen| {
+        let g = gen.graph(30, 80);
+        let ops = edge_stream_mixed(&g, 40, gen.u64());
+        let mut overlay = DeltaOverlay::new(&g);
+        let mut edges: BTreeSet<(u32, u32)> = g.edges().collect();
+        for op in &ops {
+            let (u, v) = op.endpoints();
+            match op {
+                EdgeOp::Insert(..) => edges.insert((u, v)),
+                EdgeOp::Delete(..) => edges.remove(&(u, v)),
+            };
+            overlay.apply(*op).unwrap();
+        }
+        let want = csr_of(g.num_vertices(), &edges);
+        assert_eq!(overlay.materialize(), want);
+        // The overlay's view agrees with the materialized graph edge by
+        // edge while the base is still the original graph underneath.
+        assert_eq!(overlay.num_edges(), want.num_edges());
+        for u in want.vertices() {
+            let via_overlay: Vec<u32> = overlay.neighbors(u).collect();
+            let direct: Vec<u32> = want.neighbors(u).to_vec();
+            assert_eq!(via_overlay, direct, "vertex {u}");
+        }
+    });
+}
