@@ -15,6 +15,7 @@
 //! | `no-raw-instant` | no `Instant::now(` outside `crates/obs` (timing goes through the injectable `bestk_obs` clock) |
 //! | `no-raw-graph` | no `.offsets()`/`.raw_neighbors()`/`CsrGraph::from_parts` outside `crates/graph` (graphs are observed through `GraphView`) |
 //! | `no-raw-mutation` | no `DeltaOverlay`/`DeltaLog` outside `crates/delta` and `crates/engine` (mutations go through the engine's stage/commit protocol) |
+//! | `no-raw-corpus-io` | no `Recording`/`decode_recording` outside `crates/engine` and `crates/fuzz` (corpus and `.bestkrec` files decode behind the policed seams) |
 //! | `module-doc` | every source file opens with a `//!` module doc |
 //!
 //! The deeper analysis families — lock discipline, determinism, hot-path
@@ -77,6 +78,10 @@ pub const LINTS: &[(&str, &str)] = &[
     (
         "no-raw-mutation",
         "no DeltaOverlay/DeltaLog outside crates/delta and crates/engine; mutate through SharedEngine::stage_edge/commit_edges",
+    ),
+    (
+        "no-raw-corpus-io",
+        "no Recording/decode_recording outside crates/engine and crates/fuzz; replay recordings via bestk_engine::replay_recording_path",
     ),
     (
         "module-doc",
@@ -229,6 +234,11 @@ pub fn check_model(path: &str, role: FileRole, m: &FileModel<'_>) -> Vec<Diagnos
     // else mutates through the engine's stage → commit protocol, which is
     // what makes mutations validated, write-ahead-logged, and durable.
     let mutation_exempt = path.starts_with("crates/delta/") || path.starts_with("crates/engine/");
+    // `crates/engine` owns the `.bestkrec` recording format and
+    // `crates/fuzz` owns the corpus checkers: everywhere else replays
+    // recordings through `bestk_engine::replay_recording_path`, so decode
+    // hardening (checksums, framing, typed errors) cannot be bypassed.
+    let corpus_exempt = path.starts_with("crates/engine/") || path.starts_with("crates/fuzz/");
 
     let mut push = |lint: &'static str, line: u32, msg: String| {
         diags.push(Diagnostic::new(path, line as usize, lint, msg));
@@ -385,6 +395,21 @@ pub fn check_model(path: &str, role: FileRole, m: &FileModel<'_>) -> Vec<Diagnos
                     line,
                     format!(
                         "`{name}` outside crates/delta and crates/engine (mutate through SharedEngine::stage_edge/commit_edges)"
+                    ),
+                );
+            }
+        }
+
+        // The recording/corpus decode surface, by name (any mention —
+        // import, construction, signature — couples the file to the raw
+        // byte-level decode path).
+        if !corpus_exempt && !allowed("no-raw-corpus-io") {
+            if let Some(name @ ("Recording" | "decode_recording")) = m.ident(i) {
+                push(
+                    "no-raw-corpus-io",
+                    line,
+                    format!(
+                        "`{name}` outside crates/engine and crates/fuzz (replay recordings via bestk_engine::replay_recording_path)"
                     ),
                 );
             }
@@ -720,6 +745,47 @@ mod tests {
         assert!(check_file("crates/core/src/x.rs", FileRole::Library, &src).is_empty());
         // Other Delta-prefixed names (the index, errors) are not policed.
         let src = format!("{DOC}use bestk_delta::{{DeltaError, DeltaIndex}};\n");
+        assert!(check_file("crates/core/src/x.rs", FileRole::Library, &src).is_empty());
+    }
+
+    #[test]
+    fn raw_corpus_io_outside_engine_and_fuzz_fires() {
+        for bad in [
+            "use bestk_engine::record::Recording;",
+            "fn f(bytes: &[u8]) { let _ = decode_recording(bytes); }",
+            "fn f(r: &Recording) { let _ = r; }",
+        ] {
+            let src = format!("{DOC}{bad}\n");
+            let d = check_file("crates/cli/src/commands.rs", FileRole::Library, &src);
+            assert_eq!(lints_of(&d), vec!["no-raw-corpus-io"], "{bad:?}");
+            assert_eq!(d[0].line, 2);
+        }
+    }
+
+    #[test]
+    fn raw_corpus_io_inside_engine_and_fuzz_is_blessed() {
+        let src = format!(
+            "{DOC}fn f(bytes: &[u8]) -> Recording {{\n    decode_recording(bytes).unwrap_or_else(|e| panic!(\"{{e}}\"))\n}}\n"
+        );
+        let d = check_file("crates/engine/src/record.rs", FileRole::Library, &src);
+        assert!(!lints_of(&d).contains(&"no-raw-corpus-io"), "{d:?}");
+        let d = check_file("crates/fuzz/src/harness.rs", FileRole::Library, &src);
+        assert!(!lints_of(&d).contains(&"no-raw-corpus-io"), "{d:?}");
+    }
+
+    #[test]
+    fn raw_corpus_io_in_test_code_strings_or_allowed_lines_is_fine() {
+        let src = format!(
+            "{DOC}// decode_recording( in a comment\nlet s = \"Recording\";\n\
+             #[cfg(test)]\nmod tests {{\n    use bestk_engine::record::Recording;\n}}\n"
+        );
+        assert!(check_file("crates/core/src/x.rs", FileRole::Library, &src).is_empty());
+        let src = format!(
+            "{DOC}// bestk-analyze: allow(no-raw-corpus-io) — offline corpus triage tool\nlet r = decode_recording(&bytes);\n"
+        );
+        assert!(check_file("crates/core/src/x.rs", FileRole::Library, &src).is_empty());
+        // Other recording-ish names (the replay facade) are not policed.
+        let src = format!("{DOC}let r = bestk_engine::replay_recording_path(p, &e, &pol);\n");
         assert!(check_file("crates/core/src/x.rs", FileRole::Library, &src).is_empty());
     }
 

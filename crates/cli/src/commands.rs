@@ -687,10 +687,13 @@ fn serve_limits(args: &ParsedArgs) -> Result<bestk_engine::ServeLimits, CliError
 
 /// `bestk serve [--port P | --stdin] [--budget-mb N] [--threads N]
 /// [--timeout-ms T] [--max-inflight N] [--max-line-bytes N]
-/// [--metrics-dump]`: run the line-oriented serving loop over stdin/stdout
-/// (the default; `--stdin` names it explicitly), or over a loopback TCP
-/// listener when `--port` is given. With `--metrics-dump` the metrics
-/// exposition is printed after the loop exits.
+/// [--metrics-dump] [--record FILE]`: run the line-oriented serving loop
+/// over stdin/stdout (the default; `--stdin` names it explicitly), or over
+/// a loopback TCP listener when `--port` is given. With `--metrics-dump`
+/// the metrics exposition is printed after the loop exits. With `--record`
+/// the session (requests, replies, clock readings, and the `BESTK_FAULTS`
+/// spec) is captured to a checksummed `.bestkrec` file for `bestk replay`;
+/// recording is stdio-only because the TCP accept loop owns its streams.
 pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     args.reject_unknown(&[
         "port",
@@ -701,6 +704,7 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         "max-inflight",
         "max-line-bytes",
         "metrics-dump",
+        "record",
     ])?;
     if !args.positional.is_empty() {
         return Err(CliError::Usage(
@@ -731,11 +735,41 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
             "--stdin and --port are mutually exclusive".into(),
         ));
     }
+    let record = args.opt("record");
+    if record.is_some() && port.is_some() {
+        return Err(CliError::Usage(
+            "--record requires the stdio transport (drop --port)".into(),
+        ));
+    }
     let engine = bestk_engine::SharedEngine::with_budget(budget);
     match port {
         None => {
             let stdin = std::io::stdin();
-            bestk_engine::serve_lines_with(&engine, &policy, stdin.lock(), &mut *out, &limits)?;
+            match record {
+                None => {
+                    bestk_engine::serve_lines_with(
+                        &engine,
+                        &policy,
+                        stdin.lock(),
+                        &mut *out,
+                        &limits,
+                    )?;
+                }
+                Some(path) => {
+                    let spec = std::env::var("BESTK_FAULTS").unwrap_or_default();
+                    let mut recorder = bestk_engine::ServeRecorder::new(&limits, &spec);
+                    bestk_engine::serve_lines_recorded(
+                        &engine,
+                        &policy,
+                        stdin.lock(),
+                        &mut *out,
+                        &limits,
+                        &mut recorder,
+                    )?;
+                    recorder.save(path)?;
+                    writeln!(out, "recorded\t{path}")?;
+                }
+            }
         }
         Some(port) => {
             bestk_engine::serve_tcp(&engine, &policy, port, timeout, &limits, |addr| {
@@ -746,6 +780,93 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     }
     if args.flag("metrics-dump") {
         write!(out, "{}", bestk_obs::snapshot().render())?;
+    }
+    Ok(())
+}
+
+/// `bestk replay <recording> [--threads N]`: re-drive a `.bestkrec` session
+/// recorded by `serve --record` through a fresh engine and diff every reply
+/// byte-for-byte against what was recorded. A divergence is a `Failed`
+/// error naming the first differing request, so CI can gate on it.
+pub fn replay(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&["threads"])?;
+    let policy = args.exec_policy()?;
+    let path = args.positional(0, "recording")?;
+    let engine = bestk_engine::SharedEngine::with_budget(None);
+    let report = bestk_engine::replay_recording_path(path, &engine, &policy)?;
+    writeln!(
+        out,
+        "replay\t{path}\trequests={}\tmatched={}\tmismatches={}",
+        report.requests,
+        report.matched,
+        report.mismatches.len()
+    )?;
+    for m in &report.mismatches {
+        writeln!(out, "mismatch\t#{}\t{}", m.index, m.line)?;
+        writeln!(out, "  recorded: {}", m.recorded)?;
+        writeln!(out, "  replayed: {}", m.replayed)?;
+    }
+    if !report.clean() {
+        return Err(CliError::Failed(format!(
+            "replay diverged on {} of {} requests",
+            report.mismatches.len(),
+            report.requests
+        )));
+    }
+    Ok(())
+}
+
+/// `bestk fuzz <surface>|all [--seeds N] [--budget-bytes B]
+/// [--seed-start S]`: run the structured fuzzers from `bestk-fuzz` over a
+/// deterministic seed range. Each input must parse to a valid result or a
+/// typed error — a panic or a budget violation fails the command, and the
+/// per-surface tallies are printed either way. Surfaces: `graph-io`,
+/// `snapshot`, `wal`, `serve`.
+pub fn fuzz(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&["seeds", "budget-bytes", "seed-start"])?;
+    let name = args.positional(0, "surface")?;
+    let surfaces: Vec<bestk_fuzz::Surface> = if name == "all" {
+        bestk_fuzz::ALL_SURFACES.to_vec()
+    } else {
+        vec![bestk_fuzz::Surface::parse(name).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown surface {name:?} (expected graph-io, snapshot, wal, serve, or all)"
+            ))
+        })?]
+    };
+    let seeds: u64 = args.opt_num("seeds", 256)?;
+    if seeds == 0 {
+        return Err(CliError::Usage(
+            "--seeds must be at least 1 (a zero-seed sweep proves nothing)".into(),
+        ));
+    }
+    let budget: usize = args.opt_num("budget-bytes", bestk_fuzz::DEFAULT_BUDGET_BYTES)?;
+    if budget == 0 {
+        return Err(CliError::Usage("--budget-bytes must be at least 1".into()));
+    }
+    let seed_start: u64 = args.opt_num("seed-start", 0)?;
+    let mut dirty = Vec::new();
+    for surface in surfaces {
+        let report = bestk_fuzz::run_surface(surface, seed_start, seeds, budget);
+        writeln!(
+            out,
+            "fuzz\t{}\tinputs={}\tvalid={}\ttyped_errors={}\tpanics={}\tviolations={}",
+            surface.name(),
+            report.inputs,
+            report.valid,
+            report.typed_errors,
+            report.panics,
+            report.violations
+        )?;
+        if !report.clean() {
+            dirty.push(surface.name());
+        }
+    }
+    if !dirty.is_empty() {
+        return Err(CliError::Failed(format!(
+            "fuzzing found failures on: {}",
+            dirty.join(", ")
+        )));
     }
     Ok(())
 }
@@ -1296,5 +1417,84 @@ mod tests {
         run(&["snapshot", &graph, &snap]).unwrap();
         let out = run(&["query", &snap, "stats", "--budget-mb", "64"]).unwrap();
         assert!(out.starts_with("ok\tstats"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_sweeps_a_surface_and_tallies() {
+        let out = run(&["fuzz", "wal", "--seeds", "4"]).unwrap();
+        let line = out.lines().next().unwrap();
+        assert!(line.starts_with("fuzz\twal\tinputs="), "{out}");
+        assert!(line.contains("panics=0"), "{out}");
+        assert!(line.contains("violations=0"), "{out}");
+        // `all` sweeps every surface.
+        let out = run(&["fuzz", "all", "--seeds", "2"]).unwrap();
+        for surface in ["graph-io", "snapshot", "wal", "serve"] {
+            assert!(out.contains(&format!("fuzz\t{surface}\t")), "{out}");
+        }
+        assert!(matches!(
+            run(&["fuzz", "nope"]).unwrap_err(),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run(&["fuzz", "wal", "--budget", "1"]).unwrap_err(),
+            CliError::Usage(_)
+        ));
+        // Zero-valued knobs are strict usage errors, not silent no-ops.
+        assert!(matches!(
+            run(&["fuzz", "wal", "--seeds", "0"]).unwrap_err(),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run(&["fuzz", "wal", "--budget-bytes", "0"]).unwrap_err(),
+            CliError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn replay_round_trips_a_recorded_session() {
+        let graph = write_figure2();
+        let snap = fixture_path("fig2-replay.bestk");
+        run(&["snapshot", &graph, &snap]).unwrap();
+        // Record a session by hand — the serve command reads the process
+        // stdin, so tests drive the library entry point directly.
+        let limits = bestk_engine::ServeLimits::default();
+        let mut recorder = bestk_engine::ServeRecorder::new(&limits, "");
+        let engine = bestk_engine::SharedEngine::with_budget(None);
+        let policy = bestk_exec::ExecPolicy::auto();
+        let session = format!("load g {snap}\nquery g stats\nquit\n");
+        let mut replies = Vec::new();
+        bestk_engine::serve_lines_recorded(
+            &engine,
+            &policy,
+            session.as_bytes(),
+            &mut replies,
+            &limits,
+            &mut recorder,
+        )
+        .unwrap();
+        let rec = fixture_path("session.bestkrec");
+        recorder.save(&rec).unwrap();
+
+        let out = run(&["replay", &rec]).unwrap();
+        assert!(out.contains("requests=3"), "{out}");
+        assert!(out.contains("mismatches=0"), "{out}");
+        // Thread count must not change a single reply byte.
+        for threads in ["1", "2", "4"] {
+            let out = run(&["replay", &rec, "--threads", threads]).unwrap();
+            assert!(out.contains("mismatches=0"), "{out}");
+        }
+        // A corrupt recording is a typed engine error, not a panic.
+        let bad = fixture_path("bad.bestkrec");
+        std::fs::write(&bad, b"BESTKREC1 but then garbage").unwrap();
+        assert!(matches!(
+            run(&["replay", &bad]).unwrap_err(),
+            CliError::Engine(_)
+        ));
+    }
+
+    #[test]
+    fn serve_record_rejects_the_tcp_transport() {
+        let err = run(&["serve", "--port", "1234", "--record", "x.bestkrec"]).unwrap_err();
+        assert!(err.to_string().contains("stdio"), "{err}");
     }
 }

@@ -19,6 +19,8 @@
 //! bestk query    <snapshot> <query>...         one-shot snapshot queries
 //! bestk mutate   <snapshot> <ops|--stream F>   stage + commit edge mutations
 //! bestk serve    [--port P | --stdin]          serving loop (stdio or TCP)
+//! bestk replay   <recording>                   re-drive a recorded session
+//! bestk fuzz     <surface>|all [--seeds N]     structured fuzzing sweep
 //! bestk metrics  <graph>                       pipeline run + metrics exposition
 //! ```
 //!
@@ -110,7 +112,14 @@ commands:
                                                      (durable in <snapshot>.wal)
   serve    [--port P | --stdin] [--budget-mb N] [--threads N] [--timeout-ms T]
            [--max-inflight N] [--max-line-bytes N] [--metrics-dump]
-                                                     serving loop (stdio or TCP)
+           [--record FILE]                           serving loop (stdio or TCP;
+                                                     --record captures stdio
+                                                     sessions to a .bestkrec)
+  replay   <recording> [--threads N]                 re-drive a .bestkrec and
+                                                     diff replies byte-for-byte
+  fuzz     <surface>|all [--seeds N] [--budget-bytes B] [--seed-start S]
+                                                     structured fuzzing over
+                                                     graph-io snapshot wal serve
   metrics  <graph> [--threads N]                     full best-k pipeline run,
                                                      then the metrics exposition
 metrics M: ad den cr con mod cc sep td (default: all six paper metrics)
@@ -143,6 +152,8 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "query" => commands::query(&parsed, out),
         "mutate" => commands::mutate(&parsed, out),
         "serve" => commands::serve(&parsed, out),
+        "replay" => commands::replay(&parsed, out),
+        "fuzz" => commands::fuzz(&parsed, out),
         "metrics" => commands::metrics(&parsed, out),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }

@@ -114,6 +114,27 @@ impl DeltaIndex {
         self.kmax
     }
 
+    /// Approximate heap bytes held by the index: the per-vertex adjacency
+    /// lists plus every order/tag/primary vector. Counts *capacity* (what
+    /// the allocator actually holds), so memory-budget accounting sees
+    /// the true cost of keeping the index resident.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let adj_inner: usize = self
+            .adj
+            .iter()
+            .map(|l| l.capacity() * size_of::<VertexId>())
+            .sum();
+        adj_inner
+            + self.adj.capacity() * size_of::<Vec<VertexId>>()
+            + self.coreness.capacity() * size_of::<u32>()
+            + self.order.capacity() * size_of::<VertexId>()
+            + self.shell_start.capacity() * size_of::<usize>()
+            + (self.same.capacity() + self.plus.capacity() + self.high.capacity())
+                * size_of::<u32>()
+            + self.primaries.capacity() * size_of::<PrimaryValues>()
+    }
+
     /// Coreness of `v`.
     pub fn coreness(&self, v: VertexId) -> u32 {
         self.coreness[v as usize]
@@ -592,6 +613,33 @@ mod tests {
         let top: Vec<VertexId> = index.shell(index.kmax()).to_vec();
         let ops = generators::edge_stream_focused(&g, &top, 80, 37);
         assert!(!ops.is_empty());
+        drive(&g, &ops);
+    }
+
+    #[test]
+    fn adversarial_k_chain_churn_tracks_the_oracle() {
+        // Maximum shell depth per vertex: every op near the top of the
+        // chain dirties a deep sweep range.
+        let g = generators::k_chain(6);
+        let ops = generators::edge_stream_mixed(&g, 60, 41);
+        drive(&g, &ops);
+    }
+
+    #[test]
+    fn adversarial_shell_ladder_churn_tracks_the_oracle() {
+        // Wide shells pinned to a deep core: boundary moves have many
+        // same-coreness candidates at every level.
+        let g = generators::shell_ladder(5, 4);
+        let ops = generators::edge_stream_mixed(&g, 80, 43);
+        drive(&g, &ops);
+    }
+
+    #[test]
+    fn adversarial_tie_storm_churn_tracks_the_oracle() {
+        // Shuffled identical cliques: one giant run of (coreness, id)
+        // ties whose repair order must match the rebuild exactly.
+        let g = generators::tie_storm(5, 4, 47);
+        let ops = generators::edge_stream_mixed(&g, 80, 53);
         drive(&g, &ops);
     }
 

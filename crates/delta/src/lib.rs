@@ -28,7 +28,7 @@ pub mod wal;
 
 pub use index::{ApplyStats, DeltaIndex};
 pub use overlay::DeltaOverlay;
-pub use wal::{replay_bytes, replay_path, DeltaLog, Replay, WAL_MAGIC};
+pub use wal::{first_bad_record, replay_bytes, replay_path, DeltaLog, Replay, WAL_MAGIC};
 
 /// Failures from staging, applying, or replaying edge mutations.
 #[derive(Debug)]

@@ -164,6 +164,53 @@ pub fn replay_bytes(bytes: &[u8]) -> Result<Replay, DeltaError> {
     })
 }
 
+/// Locates the first byte-level damage in a log image: the offset of the
+/// first record that fails to frame or verify, together with the fnv1a64
+/// of everything from that offset on (a broken frame makes the record's
+/// own length unknowable, so the checksum covers the whole suspect
+/// suffix). Missing magic is damage at offset 0. `None` when every byte
+/// belongs to a well-formed record — a log can still be quarantined for
+/// *semantic* reasons (committed ops that no longer apply), just not
+/// because of these bytes.
+pub fn first_bad_record(bytes: &[u8]) -> Option<(u64, u64)> {
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Some((0, fnv1a64(bytes)));
+    }
+    let mut off = WAL_MAGIC.len();
+    loop {
+        if off == bytes.len() {
+            return None;
+        }
+        // Mirrors the `replay_bytes` scan, but reports the *start* of the
+        // record that failed instead of stopping silently.
+        let Some(len_bytes) = bytes.get(off..off + 4) else {
+            break;
+        };
+        let len =
+            u32::from_le_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]]) as usize;
+        if len == 0 || len > MAX_PAYLOAD {
+            break;
+        }
+        let Some(payload) = bytes.get(off + 4..off + 4 + len) else {
+            break;
+        };
+        let Some(sum_bytes) = bytes.get(off + 4 + len..off + 4 + len + 8) else {
+            break;
+        };
+        let mut sum = [0u8; 8];
+        sum.copy_from_slice(sum_bytes);
+        if u64::from_le_bytes(sum) != fnv1a64(payload) {
+            break;
+        }
+        match (payload[0], len) {
+            (OP_COMMIT, 1) | (OP_INSERT | OP_DELETE, 9) => {}
+            _ => break,
+        }
+        off += 4 + len + 8;
+    }
+    Some((off as u64, fnv1a64(&bytes[off..])))
+}
+
 /// An open, append-positioned delta log.
 ///
 /// Plain struct, no interior locking: the engine owns the handle inside
@@ -443,6 +490,40 @@ mod tests {
             Err(DeltaError::BadLog(_))
         ));
         assert!(matches!(replay_bytes(b""), Err(DeltaError::BadLog(_))));
+    }
+
+    #[test]
+    fn first_bad_record_pinpoints_the_damage() {
+        // Not a log at all: damage at offset 0, checksum over everything.
+        let junk = b"not a delta log at all";
+        assert_eq!(first_bad_record(junk), Some((0, fnv1a64(junk))));
+        assert_eq!(first_bad_record(b""), Some((0, fnv1a64(b""))));
+
+        // A clean log (committed or not) has no bad record.
+        let mut clean = WAL_MAGIC.to_vec();
+        clean.extend_from_slice(&frame(&encode_payload(&EdgeOp::Insert(1, 2))));
+        clean.extend_from_slice(&frame(&[OP_COMMIT]));
+        assert_eq!(first_bad_record(&clean), None);
+        assert_eq!(first_bad_record(WAL_MAGIC), None);
+
+        // Corrupt the second record's payload: the report points at that
+        // record's frame start and hashes the suffix from there.
+        let mut bytes = clean.clone();
+        bytes.extend_from_slice(&frame(&encode_payload(&EdgeOp::Delete(3, 4))));
+        let second = clean.len();
+        bytes[second + 5] ^= 0x01;
+        assert_eq!(
+            first_bad_record(&bytes),
+            Some((second as u64, fnv1a64(&bytes[second..])))
+        );
+
+        // An alien tag with a *valid* checksum is still a bad record.
+        let mut alien = clean.clone();
+        alien.extend_from_slice(&frame(&[0x7f]));
+        assert_eq!(
+            first_bad_record(&alien),
+            Some((second as u64, fnv1a64(&alien[second..])))
+        );
     }
 
     #[test]

@@ -64,6 +64,12 @@ struct Slot {
     delta: Option<DeltaSlot>,
 }
 
+impl Slot {
+    fn resident_bytes(&self) -> usize {
+        self.dataset.resident_bytes() + self.delta.as_ref().map_or(0, DeltaSlot::heap_bytes)
+    }
+}
+
 /// A registry of named datasets answering typed best-k queries.
 pub struct Engine {
     slots: BTreeMap<String, Slot>,
@@ -120,12 +126,12 @@ impl Engine {
         self.slots.is_empty()
     }
 
-    /// Total resident bytes across every dataset (graphs + artifacts).
+    /// Total resident bytes across every dataset (graphs + artifacts),
+    /// plus each slot's mutation state — the maintained [`DeltaIndex`]
+    /// (`bestk_delta`) is real heap the budget must see, or a mutating
+    /// workload could dodge eviction entirely.
     pub fn resident_bytes(&self) -> usize {
-        self.slots
-            .values()
-            .map(|s| s.dataset.resident_bytes())
-            .sum()
+        self.slots.values().map(Slot::resident_bytes).sum()
     }
 
     /// Registers a bare graph under `name` (artifacts build lazily on first

@@ -18,6 +18,10 @@
 //! - [`serve`] — a line-oriented request/response loop over stdio or a
 //!   loopback TCP listener (the one `std::net` user the workspace's
 //!   `no-raw-net` lint permits), running against the shared registry.
+//! - [`record`] — deterministic serve record/replay: a `.bestkrec` file
+//!   captures a session's requests, replies, clock readings, and fault
+//!   spec, and replays byte-for-byte against a fresh engine at any thread
+//!   count.
 //! - [`mutate`] — edge mutations under a stage → commit → compact
 //!   protocol: ops are validated against a `bestk-delta` overlay,
 //!   write-ahead-logged beside the snapshot, folded into an incrementally
@@ -42,6 +46,7 @@ pub mod error;
 pub mod mmap;
 pub mod mutate;
 pub mod query;
+pub mod record;
 pub mod registry;
 pub mod serve;
 pub mod snapshot;
@@ -53,10 +58,13 @@ pub use engine::{Counters, DatasetRow, Engine, LoadOutcome};
 pub use error::EngineError;
 pub use mutate::{CommitSummary, DeltaSlot, COMPACT_OPS};
 pub use query::{metric_by_abbrev, Answer, Query};
+pub use record::{
+    replay_path as replay_recording_path, Mismatch, ReplayReport, ServeRecorder, RECORD_MAGIC,
+};
 pub use registry::SharedEngine;
 pub use serve::{
-    handle_request, serve_lines, serve_lines_with, serve_on_listener, serve_tcp, Control,
-    ServeLimits,
+    handle_request, serve_lines, serve_lines_recorded, serve_lines_with, serve_on_listener,
+    serve_on_listener_recorded, serve_tcp, Control, ServeLimits,
 };
 pub use snapshot::{
     load_path as load_snapshot_path, load_path_with_retry, save_path as save_snapshot_path,

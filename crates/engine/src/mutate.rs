@@ -80,6 +80,17 @@ impl Default for DeltaSlot {
 }
 
 impl DeltaSlot {
+    /// Heap bytes this slot's mutation state keeps resident: the
+    /// maintained index (dominant after the first commit) plus the staged
+    /// op buffer. Counted by [`Engine::resident_bytes`], so a mutating
+    /// dataset pressures the LRU budget like any other resident state.
+    ///
+    /// [`Engine::resident_bytes`]: crate::Engine::resident_bytes
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.index.as_ref().map_or(0, DeltaIndex::heap_bytes)
+            + self.pending.capacity() * std::mem::size_of::<EdgeOp>()
+    }
+
     fn with_wal(wal: DeltaLog, committed_ops: u64) -> DeltaSlot {
         DeltaSlot {
             wal: Some(wal),
@@ -264,9 +275,22 @@ pub(crate) fn adopt_wal(
     ))
 }
 
+/// Moves an unusable write-ahead log aside as `<wal>.quarantine`,
+/// prefixing one forensic header line: the byte offset of the first bad
+/// record and the fnv1a64 of the log from that offset on (see
+/// [`bestk_delta::first_bad_record`]). A byte-clean log quarantined for
+/// semantic reasons — committed ops that no longer apply — records its
+/// full length and whole-file checksum instead. The original bytes follow
+/// the header verbatim, so triage never has to re-scan for the damage.
 fn quarantine_wal(wal_path: &str) -> Result<(), EngineError> {
     bestk_obs::counter("delta.wal_quarantined").inc();
-    std::fs::rename(wal_path, format!("{wal_path}.quarantine"))?;
+    let bytes = std::fs::read(wal_path)?;
+    let (off, sum) = bestk_delta::first_bad_record(&bytes)
+        .unwrap_or((bytes.len() as u64, crate::snapshot::fnv1a(&bytes)));
+    let mut out = format!("bestk-quarantine off={off} fnv1a64={sum:016x}\n").into_bytes();
+    out.extend_from_slice(&bytes);
+    std::fs::write(format!("{wal_path}.quarantine"), out)?;
+    std::fs::remove_file(wal_path)?;
     Ok(())
 }
 
@@ -528,6 +552,16 @@ mod tests {
         )
         .unwrap();
         assert!(quarantine.exists(), "bad log must be preserved");
+        // The quarantine file leads with the forensic header — damage at
+        // offset 0 (no magic), checksum over the whole preserved log —
+        // followed by the original bytes verbatim.
+        let preserved = std::fs::read(&quarantine).unwrap();
+        let alien = b"not a delta log at all";
+        let (off, sum) = bestk_delta::first_bad_record(alien).unwrap();
+        assert_eq!(off, 0);
+        let header = format!("bestk-quarantine off=0 fnv1a64={sum:016x}\n");
+        assert_eq!(&preserved[..header.len()], header.as_bytes());
+        assert_eq!(&preserved[header.len()..], alien);
         let a = eng.query("g", &Query::Stats, &policy()).unwrap();
         assert_eq!(a.to_line(), "stats\tn=12\tm=19\tkmax=3\tcores=3");
         // Mutations keep working on the fresh log.
@@ -536,6 +570,61 @@ mod tests {
         for f in [snap, wal, quarantine] {
             let _ = std::fs::remove_file(f);
         }
+    }
+
+    #[test]
+    fn index_bytes_pressure_the_budget_and_eviction_survives_mutation() {
+        // Satellite: the maintained index's heap counts toward the LRU
+        // budget, and eviction keeps working while a dataset mutates.
+        let eng = SharedEngine::with_budget(Some(1));
+        let base = generators::erdos_renyi_gnm(60, 200, 1);
+        eng.insert_graph("hot", base.clone());
+        eng.insert_graph("cold", generators::erdos_renyi_gnm(60, 200, 2));
+        // Build `cold`'s artifacts: with a 1-byte budget it is the standing
+        // eviction candidate whenever another slot is touched.
+        let cold_line = eng
+            .query("cold", &Query::Stats, &policy())
+            .unwrap()
+            .to_line();
+        for op in generators::edge_stream_mixed(&base, 10, 5) {
+            eng.stage_edge("hot", op).unwrap();
+        }
+        eng.commit_edges("hot", &policy()).unwrap();
+        {
+            let mut guard = eng.guard();
+            // The commit seeded `hot`'s maintained index; its heap shows up
+            // in the registry total beyond the per-dataset bytes.
+            let dataset_only: usize = guard.dataset_rows().iter().map(|r| r.resident_bytes).sum();
+            assert!(
+                guard.resident_bytes() > dataset_only,
+                "index heap must be counted: total {} vs datasets {}",
+                guard.resident_bytes(),
+                dataset_only
+            );
+            let (_, delta) = guard.delta_checkout("hot").unwrap();
+            assert!(delta.heap_bytes() > 0, "committed slot keeps its index");
+            guard.delta_restore("hot", delta);
+            // The commit's budget pass evicted `cold` (the only built,
+            // unprotected slot) while `hot` was mid-mutation.
+            let built: Vec<(String, bool)> = guard
+                .dataset_rows()
+                .iter()
+                .map(|r| (r.name.clone(), r.built))
+                .collect();
+            assert_eq!(
+                built,
+                vec![("cold".to_owned(), false), ("hot".to_owned(), false)]
+            );
+        }
+        // Both datasets still answer correctly after the squeeze: `cold`
+        // rebuilds to the identical answer, `hot` serves the mutated graph.
+        assert_eq!(
+            eng.query("cold", &Query::Stats, &policy())
+                .unwrap()
+                .to_line(),
+            cold_line
+        );
+        eng.query("hot", &Query::Stats, &policy()).unwrap();
     }
 
     #[test]

@@ -69,12 +69,15 @@ use bestk_graph::generators::EdgeOp;
 use crate::engine::LoadOutcome;
 use crate::error::EngineError;
 use crate::query::Query;
+use crate::record::ServeRecorder;
 use crate::registry::SharedEngine;
 use crate::snapshot::RetryPolicy;
 
 /// Bucket bounds (inclusive, nanoseconds) for `serve.latency_nanos`:
-/// 1µs … 1s in decades, overflow above.
-const LATENCY_BOUNDS_NANOS: &[u64] = &[
+/// 1µs … 1s in decades, overflow above. Shared with replay
+/// ([`crate::record`]), which re-observes recorded latencies into the
+/// same histogram.
+pub(crate) const LATENCY_BOUNDS_NANOS: &[u64] = &[
     1_000,
     10_000,
     100_000,
@@ -384,9 +387,36 @@ pub fn serve_lines<R: BufRead, W: Write>(
 pub fn serve_lines_with<R: BufRead, W: Write>(
     engine: &SharedEngine,
     policy: &ExecPolicy,
+    reader: R,
+    writer: W,
+    limits: &ServeLimits,
+) -> Result<Control, EngineError> {
+    serve_lines_inner(engine, policy, reader, writer, limits, None)
+}
+
+/// [`serve_lines_with`] with a [`ServeRecorder`] riding along: every
+/// request the engine sees (post-mangle), every reply, the clock readings
+/// around each admitted request, and every oversized-line rejection are
+/// logged into the recorder, so the session can later be re-driven and
+/// diffed byte-for-byte by [`crate::record::replay_recording`].
+pub fn serve_lines_recorded<R: BufRead, W: Write>(
+    engine: &SharedEngine,
+    policy: &ExecPolicy,
+    reader: R,
+    writer: W,
+    limits: &ServeLimits,
+    recorder: &mut ServeRecorder,
+) -> Result<Control, EngineError> {
+    serve_lines_inner(engine, policy, reader, writer, limits, Some(recorder))
+}
+
+fn serve_lines_inner<R: BufRead, W: Write>(
+    engine: &SharedEngine,
+    policy: &ExecPolicy,
     mut reader: R,
     mut writer: W,
     limits: &ServeLimits,
+    mut recorder: Option<&mut ServeRecorder>,
 ) -> Result<Control, EngineError> {
     // Resolved once per serving loop: a loop lives entirely inside one
     // registry epoch, and pre-registering here means a bare `metrics`
@@ -405,6 +435,9 @@ pub fn serve_lines_with<R: BufRead, W: Write>(
         };
         let (reply, control) = match line {
             Err(e) => {
+                if let Some(rec) = recorder.as_deref_mut() {
+                    rec.oversized();
+                }
                 record_error(e.kind());
                 (format!("err\t{e}"), Control::Continue)
             }
@@ -415,6 +448,12 @@ pub fn serve_lines_with<R: BufRead, W: Write>(
                 bestk_faults::mangle_line(sites::SERVE_READ, &mut line);
                 if line.trim().is_empty() {
                     continue;
+                }
+                // Recorded *after* the mangle: the recording holds the line
+                // the engine actually saw, so replay needs no serve.read
+                // faults (and strips that site from the reconstructed plan).
+                if let Some(rec) = recorder.as_deref_mut() {
+                    rec.request(&line);
                 }
                 requests.inc();
                 let verb = line.split_whitespace().next().unwrap_or("");
@@ -440,13 +479,21 @@ pub fn serve_lines_with<R: BufRead, W: Write>(
                 } else {
                     let start = bestk_obs::now_nanos();
                     let answered = handle_request(engine, policy, &line);
-                    latency.observe(bestk_obs::now_nanos().saturating_sub(start));
+                    let end = bestk_obs::now_nanos();
+                    latency.observe(end.saturating_sub(start));
+                    if let Some(rec) = recorder.as_deref_mut() {
+                        rec.clock(start);
+                        rec.clock(end);
+                    }
                     answered
                 };
                 inflight -= 1;
                 answered
             }
         };
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.reply(&reply);
+        }
         writer.write_all(reply.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
@@ -473,6 +520,32 @@ pub fn serve_on_listener(
     listener: &TcpListener,
     timeout: Option<Duration>,
     limits: &ServeLimits,
+) -> Result<(), EngineError> {
+    serve_on_listener_inner(engine, policy, listener, timeout, limits, None)
+}
+
+/// [`serve_on_listener`] with a [`ServeRecorder`] riding along: the
+/// sequential connections' traffic is logged into one recording, in
+/// arrival order, exactly as [`serve_lines_recorded`] does for a single
+/// stream.
+pub fn serve_on_listener_recorded(
+    engine: &SharedEngine,
+    policy: &ExecPolicy,
+    listener: &TcpListener,
+    timeout: Option<Duration>,
+    limits: &ServeLimits,
+    recorder: &mut ServeRecorder,
+) -> Result<(), EngineError> {
+    serve_on_listener_inner(engine, policy, listener, timeout, limits, Some(recorder))
+}
+
+fn serve_on_listener_inner(
+    engine: &SharedEngine,
+    policy: &ExecPolicy,
+    listener: &TcpListener,
+    timeout: Option<Duration>,
+    limits: &ServeLimits,
+    mut recorder: Option<&mut ServeRecorder>,
 ) -> Result<(), EngineError> {
     for stream in listener.incoming() {
         let mut stream = match stream {
@@ -504,7 +577,15 @@ pub fn serve_on_listener(
         // The `serve.read` failpoint also injects socket-level faults
         // (errors, short reads) under the buffered reader.
         let reader = BufReader::new(bestk_faults::FaultyRead::new(sites::SERVE_READ, cloned));
-        if serve_lines_with(engine, policy, reader, &stream, limits)? == Control::Quit {
+        let control = serve_lines_inner(
+            engine,
+            policy,
+            reader,
+            &stream,
+            limits,
+            recorder.as_deref_mut(),
+        )?;
+        if control == Control::Quit {
             // Drain-on-shutdown: every reply (including `ok bye`) was
             // flushed by serve_lines_with; close both directions so the
             // client observes EOF rather than a reset.

@@ -149,6 +149,17 @@ impl FaultPlan {
         self.sites.get(name)
     }
 
+    /// A copy of this plan with one site removed. Because every site draws
+    /// from its own seed-derived stream, dropping a site leaves the other
+    /// sites' injection sequences bit-identical — serve replay uses this to
+    /// strip `serve.read` (recorded lines are already post-mangle) without
+    /// disturbing the rest of the recorded plan.
+    pub fn without_site(&self, name: &str) -> FaultPlan {
+        let mut plan = self.clone();
+        plan.sites.remove(name);
+        plan
+    }
+
     /// Iterates `(site name, spec)` in name order.
     pub fn sites(&self) -> impl Iterator<Item = (&str, &SiteSpec)> {
         self.sites.iter().map(|(n, s)| (n.as_str(), s))

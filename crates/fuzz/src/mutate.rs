@@ -1,0 +1,204 @@
+//! The byte-level mutation engine.
+//!
+//! [`ByteMutator`] derives adversarial children from a (usually valid)
+//! base input by composing a handful of classic structure-blind mutations:
+//! truncation, bit flips, splices of the input into itself, length-field
+//! corruption (little-endian boundary values written at arbitrary
+//! offsets), byte overwrites, and junk insertion. Everything is driven by
+//! the in-repo [`Xoshiro256`] stream, so a `(base, seed)` pair always
+//! produces the same child — a crashing input is reproducible from its
+//! seed alone.
+//!
+//! The mutator never grows an input past the caller's byte cap: the fuzz
+//! contract is "typed error or valid result, never panic, never OOM
+//! beyond a byte budget", and the cap is the input half of that budget.
+
+use bestk_graph::cast;
+use bestk_graph::rng::Xoshiro256;
+
+/// Little-endian boundary values for length-field corruption: the values
+/// most likely to expose unchecked `with_capacity`/`reserve` calls or
+/// wrap-around arithmetic in a length-prefixed format.
+const BOUNDARY_VALUES: &[u64] = &[
+    0,
+    1,
+    u8::MAX as u64,
+    u16::MAX as u64,
+    u32::MAX as u64 - 1,
+    u32::MAX as u64,
+    u32::MAX as u64 + 1,
+    1 << 40,
+    1 << 60,
+    u64::MAX - 1,
+    u64::MAX,
+];
+
+/// A deterministic, structure-blind byte mutator.
+#[derive(Debug)]
+pub struct ByteMutator {
+    rng: Xoshiro256,
+}
+
+impl ByteMutator {
+    /// A mutator whose whole decision stream derives from `seed`.
+    pub fn new(seed: u64) -> ByteMutator {
+        ByteMutator {
+            rng: Xoshiro256::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives one mutated child of `base`, applying 1–4 mutation ops and
+    /// never returning more than `cap` bytes.
+    pub fn mutate(&mut self, base: &[u8], cap: usize) -> Vec<u8> {
+        let mut buf = base.to_vec();
+        if buf.len() > cap {
+            buf.truncate(cap);
+        }
+        let rounds = 1 + self.rng.next_index(4);
+        for _ in 0..rounds {
+            self.apply_one(&mut buf, cap);
+        }
+        buf
+    }
+
+    fn apply_one(&mut self, buf: &mut Vec<u8>, cap: usize) {
+        match self.rng.next_index(6) {
+            0 => self.truncate(buf),
+            1 => self.bit_flip(buf),
+            2 => self.splice(buf, cap),
+            3 => self.length_field(buf),
+            4 => self.overwrite(buf),
+            _ => self.insert_junk(buf, cap),
+        }
+    }
+
+    /// Cuts the buffer at a uniformly chosen point (mid-record truncation
+    /// is the classic torn-write shape).
+    fn truncate(&mut self, buf: &mut Vec<u8>) {
+        if buf.is_empty() {
+            return;
+        }
+        let at = self.rng.next_index(buf.len());
+        buf.truncate(at);
+    }
+
+    /// Flips 1–8 individual bits at uniform positions.
+    fn bit_flip(&mut self, buf: &mut [u8]) {
+        if buf.is_empty() {
+            return;
+        }
+        let flips = 1 + self.rng.next_index(8);
+        for _ in 0..flips {
+            let i = self.rng.next_index(buf.len());
+            let bit = cast::u32_of(self.rng.next_index(8));
+            buf[i] ^= 1u8 << bit;
+        }
+    }
+
+    /// Copies a random span of the input to a random insertion point —
+    /// duplicated records, repeated sections, self-referential tables.
+    fn splice(&mut self, buf: &mut Vec<u8>, cap: usize) {
+        if buf.len() < 2 {
+            return;
+        }
+        let start = self.rng.next_index(buf.len());
+        let max_len = (buf.len() - start)
+            .min(64)
+            .min(cap.saturating_sub(buf.len()));
+        if max_len == 0 {
+            return;
+        }
+        let len = 1 + self.rng.next_index(max_len);
+        let chunk: Vec<u8> = buf[start..start + len].to_vec();
+        let at = self.rng.next_index(buf.len() + 1);
+        buf.splice(at..at, chunk);
+    }
+
+    /// Writes a little-endian boundary value (4 or 8 bytes) at a random
+    /// offset — the length-field corruption that hunts unchecked
+    /// allocations behind `n`/`nnz`/section-length headers.
+    fn length_field(&mut self, buf: &mut [u8]) {
+        if buf.len() < 4 {
+            return;
+        }
+        let value = BOUNDARY_VALUES[self.rng.next_index(BOUNDARY_VALUES.len())];
+        let wide = buf.len() >= 8 && self.rng.next_bool(0.5);
+        let width = if wide { 8 } else { 4 };
+        let at = self.rng.next_index(buf.len() - width + 1);
+        if wide {
+            buf[at..at + 8].copy_from_slice(&value.to_le_bytes());
+        } else {
+            buf[at..at + 4].copy_from_slice(&value.to_le_bytes()[..4]);
+        }
+    }
+
+    /// Overwrites 1–16 bytes with fresh random values.
+    fn overwrite(&mut self, buf: &mut [u8]) {
+        if buf.is_empty() {
+            return;
+        }
+        let n = 1 + self.rng.next_index(16);
+        for _ in 0..n {
+            let i = self.rng.next_index(buf.len());
+            buf[i] = cast::low_byte(self.rng.next_below(256));
+        }
+    }
+
+    /// Inserts 1–32 random bytes at a random point, respecting the cap.
+    fn insert_junk(&mut self, buf: &mut Vec<u8>, cap: usize) {
+        let room = cap.saturating_sub(buf.len()).min(32);
+        if room == 0 {
+            return;
+        }
+        let n = 1 + self.rng.next_index(room);
+        let at = self.rng.next_index(buf.len() + 1);
+        let junk: Vec<u8> = (0..n)
+            .map(|_| cast::low_byte(self.rng.next_below(256)))
+            .collect();
+        buf.splice(at..at, junk);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let base: Vec<u8> = (0..200u8).collect();
+        let a = ByteMutator::new(7).mutate(&base, 1024);
+        let b = ByteMutator::new(7).mutate(&base, 1024);
+        let c = ByteMutator::new(8).mutate(&base, 1024);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mutants_respect_the_byte_cap() {
+        let base = vec![0xAAu8; 100];
+        for seed in 0..200 {
+            let child = ByteMutator::new(seed).mutate(&base, 120);
+            assert!(child.len() <= 120, "seed {seed}: {}", child.len());
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_bases_never_panic() {
+        for seed in 0..100 {
+            let mut m = ByteMutator::new(seed);
+            let _ = m.mutate(&[], 64);
+            let _ = m.mutate(&[1], 64);
+            let _ = m.mutate(&[1, 2, 3], 3);
+            let _ = m.mutate(&[1, 2, 3, 4, 5, 6, 7, 8, 9], 4);
+        }
+    }
+
+    #[test]
+    fn mutants_usually_differ_from_the_base() {
+        let base: Vec<u8> = (0..128u8).collect();
+        let changed = (0..100)
+            .filter(|&s| ByteMutator::new(s).mutate(&base, 256) != base)
+            .count();
+        assert!(changed > 90, "{changed}/100 mutants changed");
+    }
+}

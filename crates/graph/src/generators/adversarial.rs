@@ -1,0 +1,165 @@
+//! Adversarial constructions that stress the paper's shell machinery.
+//!
+//! The best-k pipeline's hard cases are structural, not statistical:
+//! Algorithm 1's `(coreness, id)` order and position tags, Algorithm 2's
+//! top-down sweep, and the delta subsystem's shell-boundary repairs all
+//! hinge on *where the shells sit*, not on how random the graph looks.
+//! These generators build the shapes random models almost never produce:
+//!
+//! * [`k_chain`] — maximum shell count per vertex budget: a chain of
+//!   cliques `K_2, K_3, …, K_{L+1}`, one nonempty shell per level
+//!   `1..=L`, so every level of the Alg. 2 sweep carries weight and
+//!   `kmax` is as deep as the vertex count allows (`n = Θ(L²)`).
+//! * [`shell_ladder`] — a deep core with wide rungs: a clique of size
+//!   `depth + 1` plus `width` pendant vertices per shell below it, so a
+//!   single edge op near the core dirties a deep sweep range while every
+//!   shell boundary move has many same-coreness candidates.
+//! * [`tie_storm`] — tie-breaking stress: `groups` identical cliques with
+//!   vertex ids interleaved by a seeded shuffle, so entire shells share
+//!   one coreness, metric scores tie across components, and the
+//!   `(coreness, id)` order is a dense run of ties whose repair order the
+//!   delta index must get exactly right.
+//!
+//! All three are deterministic (the storm from its seed), so equivalence
+//! failures reproduce from the call site alone.
+
+use crate::builder::GraphBuilder;
+use crate::cast;
+use crate::csr::{CsrGraph, VertexId};
+use crate::rng::Xoshiro256;
+
+/// A chain of cliques `K_2, K_3, …, K_{levels+1}`, consecutive cliques
+/// bridged by a single edge. Clique `K_{k+1}` is exactly the `k`-core
+/// beyond its neighbors, so the decomposition has one nonempty shell per
+/// level `1..=levels` and `kmax == levels` — the maximum shell depth a
+/// `Θ(levels²)` vertex budget can buy. The single bridges do not lift
+/// anyone's coreness (a bridged member's extra neighbor peels away at its
+/// own, lower or equal, level first under the standard peel).
+///
+/// Returns the empty graph for `levels == 0`.
+pub fn k_chain(levels: u32) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    let mut next: VertexId = 0;
+    for k in 1..=levels {
+        let size = k + 1;
+        let first = next;
+        for i in 0..size {
+            for j in (i + 1)..size {
+                b.add_edge(first + i, first + j);
+            }
+        }
+        if first > 0 {
+            // Bridge the last vertex of the previous clique to the first
+            // vertex of this one.
+            b.add_edge(first - 1, first);
+        }
+        next = first + size;
+    }
+    b.build()
+}
+
+/// A clique of size `depth + 1` (coreness `depth`) with `width` pendant
+/// vertices per shell `k` in `1..depth`: each rung vertex attaches to
+/// exactly `k` clique members, pinning its coreness at `k`. Shells
+/// `1..depth` therefore hold `width` vertices each, all adjacent to the
+/// deep core — one edge op against a clique member dirties every sweep
+/// level, and every shell is wide enough to make boundary moves
+/// non-trivial.
+///
+/// Returns just the clique when `width == 0` or `depth < 2`.
+pub fn shell_ladder(depth: u32, width: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    let core = depth + 1;
+    for i in 0..core {
+        for j in (i + 1)..core {
+            b.add_edge(i, j);
+        }
+    }
+    let mut next = core;
+    for k in 1..depth {
+        for _ in 0..width {
+            for c in 0..k {
+                b.add_edge(next, c);
+            }
+            next += 1;
+        }
+    }
+    b.build()
+}
+
+/// `groups` identical cliques of `clique` vertices each, with all vertex
+/// ids interleaved by a seeded shuffle. Every vertex shares one coreness
+/// (`clique - 1`), every component scores identically under every
+/// metric, and the global `(coreness, id)` order is one long run of ties
+/// cutting across components — the worst case for tag repair and for
+/// best-k tie-breaking.
+///
+/// Returns the empty graph when `groups == 0` or `clique < 2`.
+pub fn tie_storm(groups: usize, clique: usize, seed: u64) -> CsrGraph {
+    if groups == 0 || clique < 2 {
+        return CsrGraph::empty(0);
+    }
+    let n = groups * clique;
+    let mut ids: Vec<VertexId> = (0..cast::u32_of(n)).collect();
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    rng.shuffle(&mut ids);
+    let mut b = GraphBuilder::with_capacity(groups * clique * (clique - 1) / 2);
+    for g in 0..groups {
+        let members = &ids[g * clique..(g + 1) * clique];
+        for i in 0..clique {
+            for j in (i + 1)..clique {
+                b.add_edge(members[i], members[j]);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_chain_has_one_clique_per_level() {
+        let g = k_chain(5);
+        // n = 2 + 3 + 4 + 5 + 6, m = sum C(k+1,2) + 4 bridges.
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges(), 1 + 3 + 6 + 10 + 15 + 4);
+        assert_eq!(k_chain(0).num_vertices(), 0);
+        assert_eq!(g, k_chain(5));
+        // Bridges connect the chain end to end.
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(4, 5));
+    }
+
+    #[test]
+    fn shell_ladder_rungs_have_exact_degrees() {
+        let (depth, width) = (4u32, 3usize);
+        let g = shell_ladder(depth, width);
+        assert_eq!(g.num_vertices(), 5 + 3 * 3);
+        // Rung vertices for shell k have degree exactly k.
+        let mut v = depth + 1;
+        for k in 1..depth {
+            for _ in 0..width {
+                assert_eq!(g.degree(v), k as usize, "rung vertex {v}");
+                v += 1;
+            }
+        }
+        assert_eq!(shell_ladder(3, 0).num_vertices(), 4);
+    }
+
+    #[test]
+    fn tie_storm_is_a_shuffled_union_of_cliques() {
+        let g = tie_storm(4, 5, 9);
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges(), 4 * 10);
+        // Every vertex has clique-internal degree exactly clique - 1.
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4, "vertex {v}");
+        }
+        assert_eq!(g, tie_storm(4, 5, 9));
+        assert_ne!(g, tie_storm(4, 5, 10));
+        assert_eq!(tie_storm(0, 5, 1).num_vertices(), 0);
+        assert_eq!(tie_storm(3, 1, 1).num_vertices(), 0);
+    }
+}

@@ -21,13 +21,17 @@
 //! * [`paper_figure2`] — the 12-vertex worked example of the paper.
 //! * [`stream`] module — deterministic edge-stream workloads (insert/delete
 //!   sequences) for the incremental-maintenance subsystem.
+//! * [`adversarial`] module — worst-case shell structures ([`k_chain`],
+//!   [`shell_ladder`], [`tie_storm`]) for the equivalence and fuzz suites.
 
+mod adversarial;
 mod community;
 mod paper;
 mod random;
 pub mod regular;
 mod stream;
 
+pub use adversarial::{k_chain, shell_ladder, tie_storm};
 pub use community::{overlapping_cliques, planted_partition, PlantedPartition};
 pub use paper::paper_figure2;
 pub use random::{

@@ -62,7 +62,13 @@ pub fn read_metis<R: Read>(reader: R) -> Result<CsrGraph> {
         return Err(GraphError::TooManyVertices(n as u64));
     }
 
-    let mut b = GraphBuilder::with_capacity(m);
+    // Trust the header's edge count only up to a fixed pre-allocation cap:
+    // a hostile header ("4 999999999999") must not reserve terabytes before
+    // the adjacency lines prove the edges exist. The buffer grows on demand
+    // past the cap, and `reserve_vertices` is lazy (build-time allocation is
+    // gated on the file really containing `n` adjacency lines).
+    const PREALLOC_EDGE_CAP: usize = 1 << 22;
+    let mut b = GraphBuilder::with_capacity(m.min(PREALLOC_EDGE_CAP));
     b.reserve_vertices(n);
     let mut vertex = 0u32;
     for (i, line) in lines {
@@ -201,6 +207,25 @@ mod tests {
         assert!(read_metis(&b"2 1 011\n2\n1\n"[..]).is_err());
         // Unweighted flag "000" accepted.
         assert!(read_metis(&b"2 1 000\n2\n1\n"[..]).is_ok());
+    }
+
+    #[test]
+    fn hostile_header_counts_do_not_allocate() {
+        // A header claiming ~1e12 edges (or the u32::MAX vertex ceiling)
+        // must come back as a cheap typed error, not an allocation of the
+        // claimed size — the body never substantiates the counts.
+        assert!(matches!(
+            read_metis(&b"4000000000 999999999999\n1 2\n"[..]),
+            Err(GraphError::Parse { .. })
+        ));
+        assert!(matches!(
+            read_metis(&b"4294967295 18446744073709551615\n"[..]),
+            Err(GraphError::Parse { .. })
+        ));
+        assert!(matches!(
+            read_metis(&b"18446744073709551615 1\n"[..]),
+            Err(GraphError::TooManyVertices(_))
+        ));
     }
 
     #[test]

@@ -76,9 +76,51 @@ impl Clock for ManualClock {
     }
 }
 
+/// A clock that replays a recorded sequence of readings: reading `i`
+/// returns `readings[i]`, and once the script is exhausted every further
+/// reading sticks at the last value (an empty script sticks at zero).
+/// Serve replay installs one so the re-driven session observes the exact
+/// timestamps the original recorded, making latency histograms — not just
+/// replies — bit-identical.
+#[derive(Debug)]
+pub struct ScriptedClock {
+    readings: Vec<u64>,
+    next: AtomicU64,
+}
+
+impl ScriptedClock {
+    /// A clock replaying `readings` in order.
+    pub fn new(readings: Vec<u64>) -> ScriptedClock {
+        ScriptedClock {
+            readings,
+            next: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Clock for ScriptedClock {
+    fn now_nanos(&self) -> u64 {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) as usize;
+        match self.readings.get(i) {
+            Some(&t) => t,
+            None => self.readings.last().copied().unwrap_or(0),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scripted_clock_replays_then_sticks() {
+        let c = ScriptedClock::new(vec![5, 9, 100]);
+        assert_eq!(c.now_nanos(), 5);
+        assert_eq!(c.now_nanos(), 9);
+        assert_eq!(c.now_nanos(), 100);
+        assert_eq!(c.now_nanos(), 100, "exhausted script sticks at the end");
+        assert_eq!(ScriptedClock::new(Vec::new()).now_nanos(), 0);
+    }
 
     #[test]
     fn manual_clock_advances_a_fixed_step_per_reading() {

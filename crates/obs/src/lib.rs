@@ -36,7 +36,7 @@ pub mod registry;
 mod render;
 pub mod span;
 
-pub use clock::{Clock, ManualClock, SystemClock};
+pub use clock::{Clock, ManualClock, ScriptedClock, SystemClock};
 pub use global::{counter, gauge, histogram, now_nanos, registry, snapshot, with_fresh};
 pub use registry::{
     Counter, Gauge, Histogram, HistogramValue, MetricValue, MetricsRegistry, Snapshot,

@@ -127,6 +127,109 @@ fn a_long_mixed_sequence_stays_exact() {
 }
 
 #[test]
+fn adversarial_workloads_match_rebuild() {
+    // The worst-case shell structures from `generators::adversarial`:
+    // maximum shell depth (k_chain), wide shells on a deep core
+    // (shell_ladder), and cross-component coreness/metric ties
+    // (tie_storm). Deterministic streams, rebuild oracle at 1/2/4
+    // threads via assert_matches_rebuild.
+    let chain = generators::k_chain(7);
+    drive(&chain, &edge_stream_mixed(&chain, 80, 61), 20, "k-chain");
+
+    let ladder = generators::shell_ladder(6, 5);
+    drive(
+        &ladder,
+        &edge_stream_mixed(&ladder, 100, 67),
+        25,
+        "shell-ladder",
+    );
+
+    let storm = generators::tie_storm(6, 5, 71);
+    drive(&storm, &edge_stream_mixed(&storm, 100, 73), 25, "tie-storm");
+
+    // Focused churn on the deepest shell of the ladder: every op dirties
+    // the full sweep range.
+    let d = core_decomposition(&ladder);
+    let focus = d.shell(d.kmax()).to_vec();
+    let ops = edge_stream_focused(&ladder, &focus, 60, 79);
+    assert!(!ops.is_empty(), "ladder core too small to churn");
+    drive(&ladder, &ops, 15, "ladder focused");
+}
+
+#[test]
+fn triangle_metrics_rebuild_lazily_after_focused_mutation() {
+    // The maintained DeltaIndex never carries triangle counts (its
+    // profile is built `with_triangles = false`), so after a commit the
+    // first triangle-metric query must fall back to a lazy from-scratch
+    // artifact rebuild — and that rebuild must produce primaries
+    // bit-identical to building the mutated graph directly, at every
+    // thread count.
+    let g = generators::overlapping_cliques(40, 5, (4, 7), 31);
+    let d = core_decomposition(&g);
+    let focus = d.shell(d.kmax()).to_vec();
+    let ops = edge_stream_focused(&g, &focus, 40, 83);
+    assert!(!ops.is_empty(), "max-k shell too small to churn");
+
+    // Oracle: the mutated graph, materialized independently of the engine.
+    let mut edges: BTreeSet<(u32, u32)> = g.edges().collect();
+    for op in &ops {
+        let (u, v) = op.endpoints();
+        match op {
+            EdgeOp::Insert(..) => edges.insert((u, v)),
+            EdgeOp::Delete(..) => edges.remove(&(u, v)),
+        };
+    }
+    let mutated = csr_of(g.num_vertices(), &edges);
+
+    // Engine path: warm the artifacts pre-mutation (so the commit really
+    // invalidates a built dataset), then stage + commit the stream.
+    let engine = bestk_engine::SharedEngine::with_budget(None);
+    engine.insert_graph("g", g.clone());
+    let warm = ExecPolicy::with_threads(1).unwrap();
+    engine
+        .query("g", &bestk_engine::Query::Stats, &warm)
+        .unwrap();
+    for op in &ops {
+        engine.stage_edge("g", *op).unwrap();
+    }
+    engine.commit_edges("g", &warm).unwrap();
+
+    let mutated_d = core_decomposition(&mutated);
+    let warm_ordered = OrderedGraph::build_with(&mutated, &mutated_d, &warm);
+    let baseline = core_set_profile(&warm_ordered, true);
+    for threads in THREADS {
+        let policy = ExecPolicy::with_threads(threads).unwrap();
+        // Rebuilt primaries (Δ and t included) are bit-identical to the
+        // single-threaded from-scratch build.
+        let ordered = OrderedGraph::build_with(&mutated, &mutated_d, &policy);
+        let profile = core_set_profile(&ordered, true);
+        assert!(profile.has_triangles);
+        assert_eq!(
+            profile.primaries, baseline.primaries,
+            "primaries diverged at {threads} threads"
+        );
+        // And the engine's lazy rebuild serves the same triangle answers.
+        for metric in [Metric::ClusteringCoefficient, Metric::TriangleDensity] {
+            let line = engine
+                .query("g", &bestk_engine::Query::BestKSet { metric }, &policy)
+                .unwrap()
+                .to_line();
+            let best = baseline.try_best(&metric).unwrap().expect("feasible");
+            assert_eq!(
+                line,
+                format!(
+                    "bestkset\t{}\tk={}\tscore={}",
+                    metric.abbrev(),
+                    best.k,
+                    best.score
+                ),
+                "engine answer diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
 fn overlay_round_trips_arbitrary_valid_sequences() {
     check("delta overlay replay", 16, |gen: &mut Gen| {
         let g = gen.graph(30, 80);
