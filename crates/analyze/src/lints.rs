@@ -16,6 +16,7 @@
 //! | `no-raw-graph` | no `.offsets()`/`.raw_neighbors()`/`CsrGraph::from_parts` outside `crates/graph` (graphs are observed through `GraphView`) |
 //! | `no-raw-mutation` | no `DeltaOverlay`/`DeltaLog` outside `crates/delta` and `crates/engine` (mutations go through the engine's stage/commit protocol) |
 //! | `no-raw-corpus-io` | no `Recording`/`decode_recording` outside `crates/engine` and `crates/fuzz` (corpus and `.bestkrec` files decode behind the policed seams) |
+//! | `no-raw-peel` | no degree-bucket pops or degree-slot decrements outside `crates/core` (peeling goes through `bestk_core`'s `PeelStrategy`) |
 //! | `module-doc` | every source file opens with a `//!` module doc |
 //!
 //! The deeper analysis families — lock discipline, determinism, hot-path
@@ -82,6 +83,10 @@ pub const LINTS: &[(&str, &str)] = &[
     (
         "no-raw-corpus-io",
         "no Recording/decode_recording outside crates/engine and crates/fuzz; replay recordings via bestk_engine::replay_recording_path",
+    ),
+    (
+        "no-raw-peel",
+        "no degree-bucket pops or degree-slot writes outside crates/core; peel through bestk_core's PeelStrategy",
     ),
     (
         "module-doc",
@@ -239,6 +244,12 @@ pub fn check_model(path: &str, role: FileRole, m: &FileModel<'_>) -> Vec<Diagnos
     // recordings through `bestk_engine::replay_recording_path`, so decode
     // hardening (checksums, framing, typed errors) cannot be bypassed.
     let corpus_exempt = path.starts_with("crates/engine/") || path.starts_with("crates/fuzz/");
+    // `crates/core` owns the peel: its two strategies (sequential oracle,
+    // parallel bucket-frontier primary) are the one place allowed to pop
+    // degree buckets and write degree slots, because that is the machinery
+    // the differential test layer proves bit-identical. A peel hand-rolled
+    // anywhere else silently escapes that proof.
+    let peel_exempt = path.starts_with("crates/core/");
 
     let mut push = |lint: &'static str, line: u32, msg: String| {
         diags.push(Diagnostic::new(path, line as usize, lint, msg));
@@ -415,6 +426,47 @@ pub fn check_model(path: &str, role: FileRole, m: &FileModel<'_>) -> Vec<Diagnos
             }
         }
 
+        // Hand-rolled peel machinery: a `.pop()`/`.swap_remove()` on a
+        // bucket-named receiver, or a write (`=` / `-=`) into a
+        // degree-named slot — the two moves every bucket-peel loop is
+        // made of.
+        if !peel_exempt {
+            if m.is_punct(i, b'.') && m.is_punct(i + 2, b'(') {
+                if let Some(name @ ("pop" | "swap_remove")) = m.ident(i + 1) {
+                    let near_bucket = (i.saturating_sub(6)..i).any(|j| {
+                        m.ident(j)
+                            .is_some_and(|id| id.to_ascii_lowercase().contains("bucket"))
+                    });
+                    if near_bucket && !allowed("no-raw-peel") {
+                        push("no-raw-peel", line, format!(
+                            "`.{name}()` on a degree bucket outside crates/core (peel through bestk_core's PeelStrategy)"
+                        ));
+                    }
+                }
+            }
+            if m.ident(i)
+                .is_some_and(|id| id.to_ascii_lowercase().contains("deg"))
+                && m.is_punct(i + 1, b'[')
+            {
+                // Find the closing bracket of a simple index expression; a
+                // write into the slot is `] =` (not `==`) or `] -=`.
+                let mut j = i + 2;
+                let end = (i + 12).min(m.len());
+                while j < end && !m.is_punct(j, b']') {
+                    j += 1;
+                }
+                let is_store = m.is_punct(j, b']')
+                    && ((m.is_punct(j + 1, b'=') && !m.is_punct(j + 2, b'='))
+                        || (m.is_punct(j + 1, b'-') && m.is_punct(j + 2, b'=')));
+                if is_store && !allowed("no-raw-peel") {
+                    push("no-raw-peel", line, format!(
+                        "write into degree slot `{}[…]` outside crates/core (peel through bestk_core's PeelStrategy)",
+                        m.ident(i).unwrap_or("deg")
+                    ));
+                }
+            }
+        }
+
         // Truncating `as` casts.
         if role != FileRole::CastModule && m.is_ident(i, "as") {
             if let Some(target) = m.ident(i + 1) {
@@ -567,6 +619,55 @@ mod tests {
              #[cfg(test)]\nmod tests {{\n    fn t() {{ std::thread::spawn(|| ()); }}\n}}\n"
         );
         assert!(check_file("crates/core/src/x.rs", FileRole::Library, &src).is_empty());
+    }
+
+    #[test]
+    fn raw_peel_outside_core_fires() {
+        for bad in [
+            "fn f(buckets: &mut Vec<Vec<u32>>, k: usize) { buckets[k].pop(); }",
+            "fn f(bucket_q: &mut Vec<u32>) { bucket_q.swap_remove(0); }",
+            "fn f(degree: &mut [u32], u: usize) { degree[u] -= 1; }",
+            "fn f(deg: &mut [u32], u: usize) { deg[u] = 0; }",
+        ] {
+            let src = format!("{DOC}{bad}\n");
+            let d = check_file("crates/apps/src/densest.rs", FileRole::Library, &src);
+            assert_eq!(lints_of(&d), vec!["no-raw-peel"], "{bad:?}");
+            assert_eq!(d[0].line, 2);
+        }
+    }
+
+    #[test]
+    fn raw_peel_inside_core_is_blessed() {
+        let src = format!(
+            "{DOC}fn f(buckets: &mut Vec<Vec<u32>>, degree: &mut [u32], k: usize) {{\n\
+             \x20   buckets[k].pop();\n    degree[k] -= 1;\n}}\n"
+        );
+        assert!(check_file("crates/core/src/decomposition.rs", FileRole::Library, &src).is_empty());
+    }
+
+    #[test]
+    fn degree_reads_compares_and_plain_pops_are_fine() {
+        // Reads, comparisons, and pops on non-bucket receivers are not
+        // peel machinery.
+        let src = format!(
+            "{DOC}fn f(degree: &[u32], u: usize, k: u32) -> bool {{ degree[u] == k || degree[u] >= k }}\n\
+             fn g(degree: &[u32], u: usize) -> u32 {{ degree[u] - 1 }}\n\
+             fn h(stack: &mut Vec<u32>) {{ stack.pop(); }}\n"
+        );
+        assert!(check_file("crates/apps/src/x.rs", FileRole::Library, &src).is_empty());
+    }
+
+    #[test]
+    fn raw_peel_in_test_code_or_allowed_lines_is_fine() {
+        let src = format!(
+            "{DOC}// buckets[k].pop() in a comment\n\
+             #[cfg(test)]\nmod tests {{\n    fn t(deg: &mut [u32]) {{ deg[0] -= 1; }}\n}}\n"
+        );
+        assert!(check_file("crates/apps/src/x.rs", FileRole::Library, &src).is_empty());
+        let src = format!(
+            "{DOC}// bestk-analyze: allow(no-raw-peel) — Charikar peel, not a core decomposition\nbuckets[cur_min].pop();\n"
+        );
+        assert!(check_file("crates/apps/src/x.rs", FileRole::Library, &src).is_empty());
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub fn opt_d<G: GraphView>(g: &G, analysis: &BestKAnalysis) -> DenseSubgraph {
 }
 
 /// Convenience wrapper running the analysis internally.
-pub fn opt_d_standalone<G: GraphView>(g: &G) -> DenseSubgraph {
+pub fn opt_d_standalone<G: GraphView + Sync>(g: &G) -> DenseSubgraph {
     opt_d(g, &analyze_basic(g))
 }
 
@@ -137,6 +137,7 @@ pub fn charikar_peeling<G: GraphView>(g: &G) -> DenseSubgraph {
             while cur_min <= max_deg && buckets[cur_min].is_empty() {
                 cur_min += 1;
             }
+            // bestk-analyze: allow(no-raw-peel) — Charikar's greedy 1/2-approximation peels by its own schedule, not the core decomposition's
             if let Some(cand) = buckets[cur_min].pop() {
                 if !removed[cand as usize] && degree[cand as usize] == cur_min {
                     break cand;
@@ -150,6 +151,7 @@ pub fn charikar_peeling<G: GraphView>(g: &G) -> DenseSubgraph {
         for u in g.neighbors(v) {
             if !removed[u as usize] {
                 let du = degree[u as usize];
+                // bestk-analyze: allow(no-raw-peel) — density-peel degree bookkeeping, independent of the coreness peel
                 degree[u as usize] = du - 1;
                 buckets[du - 1].push(u);
                 cur_min = cur_min.min(du - 1);

@@ -115,6 +115,7 @@ fn peel_to_size<G: GraphView>(
     let mut max_deg = 0u32;
     for &v in members {
         let d = cast::u32_of(g.neighbors(v).filter(|&u| inside[u as usize]).count());
+        // bestk-analyze: allow(no-raw-peel) — Opt-SC maintains subgraph degrees for its own size-bounded deletion order
         degree[v as usize] = d;
         max_deg = max_deg.max(d);
     }
@@ -139,6 +140,7 @@ fn peel_to_size<G: GraphView>(
             if cur_min >= buckets.len() {
                 break 'outer; // only q left deletable
             }
+            // bestk-analyze: allow(no-raw-peel) — Opt-SC's min-degree deletion is a different algorithm than the coreness peel
             let Some(cand) = buckets[cur_min].pop() else {
                 continue;
             };
@@ -223,6 +225,7 @@ fn remove<G: GraphView>(
     for u in g.neighbors(v) {
         if inside[u as usize] {
             let du = degree[u as usize] - 1;
+            // bestk-analyze: allow(no-raw-peel) — Opt-SC deletion cascade updates its own subgraph degrees
             degree[u as usize] = du;
             buckets[du as usize].push(u);
             *cur_min = (*cur_min).min(du as usize);

@@ -1,0 +1,73 @@
+//! Micro-bench: the two peel strategies on the 20k-vertex deep-shell
+//! stand-in (`k_chain(197)`: n = 19,700, `kmax` = 197 — the regime the
+//! paper's Table III datasets occupy once their shell structure matters).
+//!
+//! `core_decomposition_with` at 1 thread is the sequential oracle — a
+//! per-level rescan transcription of the canonical peel spec,
+//! `O(n·kmax + m)`. At N > 1 threads it dispatches to the parallel
+//! bucket-frontier primary: an `O(n + m)` lazy bucket queue whose
+//! decrement events fan out over the shared runtime. The benchmark pins
+//! the 1-vs-N gap:
+//!
+//! * `peel/decompose/tN` — full decomposition under the dispatched
+//!   strategy at N threads;
+//! * `peel/speedup_tN_permille` — oracle min time over tN min time,
+//!   ×1000 (2000 = the primary is 2× faster than the oracle);
+//! * `peel/speedup_permille` — the best of those ratios; the committed
+//!   `BENCH_peel.json` must carry this gauge above 1000, and CI's bench
+//!   smoke re-checks it on every run.
+//!
+//! On a single-core host the ratio is the algorithmic gap alone (the
+//! level rescans the lazy buckets avoid); extra cores widen it further.
+//! With `BESTK_BENCH_JSON` set, all records land in the JSON report.
+
+use std::time::Duration;
+
+use bestk_bench::Bench;
+use bestk_core::core_decomposition_with;
+use bestk_exec::ExecPolicy;
+use bestk_graph::generators;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    let b = Bench::from_env_or_exit();
+    assert!(
+        !bestk_faults::is_enabled(),
+        "fault injection must be disabled for benchmarks"
+    );
+    let g = generators::k_chain(197);
+    println!(
+        "# graph: k_chain_197 (n = {}, m = {})",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let mut base: Option<Duration> = None;
+    let mut best_permille: u128 = 0;
+    for threads in THREADS {
+        let policy = ExecPolicy::with_threads(threads).expect("thread count");
+        let timings = b.run_threads(&format!("peel/decompose/t{threads}"), threads, || {
+            core_decomposition_with(&g, &policy)
+        });
+        let min = timings.iter().min().copied();
+        match (threads, base, min) {
+            (1, _, m) => base = m,
+            (_, Some(oracle), Some(m)) if m > Duration::ZERO => {
+                let permille = oracle.as_nanos().saturating_mul(1000) / m.as_nanos();
+                b.gauge(&format!("peel/speedup_t{threads}_permille"), permille);
+                best_permille = best_permille.max(permille);
+                println!(
+                    "{:<48} speedup {:.2}x vs sequential oracle",
+                    format!("peel/decompose/t{threads}"),
+                    oracle.as_secs_f64() / m.as_secs_f64()
+                );
+            }
+            _ => {}
+        }
+    }
+    if base.is_some() {
+        b.gauge("peel/speedup_permille", best_permille);
+    }
+    b.finish_or_exit();
+}

@@ -11,7 +11,7 @@ use bestk_graph::{GraphView, VertexId};
 
 use crate::bestcore::{single_core_profile, BestCore, SingleCoreProfile};
 use crate::bestkset::{core_set_profile, BestKSet, CoreSetProfile};
-use crate::decomposition::{core_decomposition, CoreDecomposition};
+use crate::decomposition::{core_decomposition_with, CoreDecomposition};
 use crate::forest::CoreForest;
 use crate::metrics::{CommunityMetric, MetricError};
 use crate::ordering::OrderedGraph;
@@ -28,39 +28,42 @@ pub struct BestKAnalysis {
 
 /// Runs the full pipeline with triangle counting (`O(m^1.5)`), enabling all
 /// six paper metrics plus any custom one.
-pub fn analyze<G: GraphView>(g: &G) -> BestKAnalysis {
+pub fn analyze<G: GraphView + Sync>(g: &G) -> BestKAnalysis {
     analyze_inner(g, true)
 }
 
 /// Runs the pipeline without triangle counting (`O(m)`); clustering
 /// coefficient (and any [`CommunityMetric`] with
 /// [`needs_triangles`](CommunityMetric::needs_triangles)) is unavailable.
-pub fn analyze_basic<G: GraphView>(g: &G) -> BestKAnalysis {
+pub fn analyze_basic<G: GraphView + Sync>(g: &G) -> BestKAnalysis {
     analyze_inner(g, false)
 }
 
-/// [`analyze`] under an execution policy: the ordered-adjacency tag scan
-/// runs on the shared runtime (the peel itself is inherently sequential).
-/// The analysis is identical to the sequential one at every thread count.
-pub fn analyze_with<G: GraphView>(g: &G, policy: &ExecPolicy) -> BestKAnalysis {
+/// [`analyze`] under an execution policy: the peel dispatches to the
+/// [`PeelStrategy`](crate::PeelStrategy) the policy selects (the parallel
+/// bucket-frontier primary under `Parallel`, the sequential oracle
+/// otherwise) and the ordered-adjacency tag scan runs on the shared
+/// runtime. The analysis is identical to the sequential one at every
+/// thread count.
+pub fn analyze_with<G: GraphView + Sync>(g: &G, policy: &ExecPolicy) -> BestKAnalysis {
     analyze_inner_with(g, true, policy)
 }
 
 /// [`analyze_basic`] under an execution policy; see [`analyze_with`].
-pub fn analyze_basic_with<G: GraphView>(g: &G, policy: &ExecPolicy) -> BestKAnalysis {
+pub fn analyze_basic_with<G: GraphView + Sync>(g: &G, policy: &ExecPolicy) -> BestKAnalysis {
     analyze_inner_with(g, false, policy)
 }
 
-fn analyze_inner<G: GraphView>(g: &G, with_triangles: bool) -> BestKAnalysis {
+fn analyze_inner<G: GraphView + Sync>(g: &G, with_triangles: bool) -> BestKAnalysis {
     analyze_inner_with(g, with_triangles, &ExecPolicy::Sequential)
 }
 
-fn analyze_inner_with<G: GraphView>(
+fn analyze_inner_with<G: GraphView + Sync>(
     g: &G,
     with_triangles: bool,
     policy: &ExecPolicy,
 ) -> BestKAnalysis {
-    let decomp = core_decomposition(g);
+    let decomp = core_decomposition_with(g, policy);
     let ordered = OrderedGraph::build_with(g, &decomp, policy);
     let set_profile = core_set_profile(&ordered, with_triangles);
     let forest = CoreForest::build(g, &decomp);
@@ -255,7 +258,7 @@ mod tests {
     fn facade_consistent_with_direct_calls() {
         let g = generators::chung_lu_power_law(600, 7.0, 2.5, 99);
         let a = analyze(&g);
-        let d = core_decomposition(&g);
+        let d = crate::core_decomposition(&g);
         let o = OrderedGraph::build(&g, &d);
         for m in Metric::ALL {
             assert_eq!(

@@ -1,10 +1,34 @@
-//! Core decomposition (paper §II-A).
+//! Core decomposition (paper §II-A) under a canonical frontier peel.
 //!
-//! The Batagelj–Zaveršnik peeling algorithm: repeatedly remove a vertex of
-//! minimum degree; the value of `k` being peeled when a vertex is removed is
-//! its *coreness*. With bucketed degree queues the whole decomposition runs
-//! in `O(n + m)` time and `O(n)` extra space.
+//! Peeling repeatedly removes every vertex of minimum current degree; the
+//! level `k` being peeled when a vertex is removed is its *coreness*. Both
+//! strategies here implement one **canonical peel order** so their output —
+//! coreness, rank order, shell boundaries, *and the peel order itself* — is
+//! bit-identical at every thread count:
+//!
+//! * a level `k` opens with every live vertex of current degree `k`,
+//!   ascending by id (the *opening frontier*);
+//! * the whole frontier is removed **simultaneously**, then each removed
+//!   vertex's live neighbors are decremented in frontier-scan order; the
+//!   vertices that cross the level (current degree ≤ `k`) form the next
+//!   *cascade frontier*, ordered by first crossing;
+//! * when the cascade dries up, the next level opens at the new minimum.
+//!
+//! [`PeelStrategy::Sequential`] (the oracle behind [`core_decomposition`])
+//! is the auditably simple transcription of that specification: it rescans
+//! all vertices at each level opening, `O(n·kmax + m)` total.
+//! [`PeelStrategy::Parallel`] ([`par_peel`]) is the primary path: a lazy
+//! bucket queue finds level openings in `O(n + m)` total, and each
+//! sub-round's degree decrements are *generated* in parallel on
+//! [`bestk_exec::ExecPolicy::for_each_disjoint`] — one count-prefixed
+//! event region per chunk — then *applied* in chunk order. Because the
+//! frontier is contiguously chunked, the chunk-order merge replays the
+//! exact sequential decrement order, which is what keeps the cascade
+//! frontiers (and therefore the peel order the Alg. 2 sweep and the
+//! snapshot serializer consume) identical. See `tests/peel_equivalence.rs`
+//! for the differential layer and DESIGN.md §17 for the contract.
 
+use bestk_exec::{prefix_sum, ExecPolicy};
 use bestk_graph::cast;
 use bestk_graph::{GraphView, VertexId};
 
@@ -21,7 +45,7 @@ pub struct CoreDecomposition {
     kmax: u32,
     /// Vertices sorted by (coreness, id) ascending.
     order: Vec<VertexId>,
-    /// Vertices in the order they were peeled (a degeneracy ordering).
+    /// Vertices in the canonical peel order (a degeneracy ordering).
     peel_order: Vec<VertexId>,
     /// `shell_start[k]..shell_start[k + 1]` indexes the k-shell `H_k` inside
     /// `order`. Length `kmax + 2`.
@@ -90,6 +114,11 @@ impl CoreDecomposition {
     /// peeled, at most `c(v) ≤ kmax` of its neighbors are still unpeeled
     /// (i.e. appear later in this order). Useful for branch-and-bound
     /// algorithms such as maximum clique (paper §V-D).
+    ///
+    /// The order is *canonical* — defined by the graph alone, not by the
+    /// peel implementation — so both [`PeelStrategy`]s reproduce it
+    /// bit-identically (and v1 snapshots round-trip byte-for-byte under
+    /// either strategy).
     #[inline]
     pub fn peel_ordering(&self) -> &[VertexId] {
         &self.peel_order
@@ -182,76 +211,94 @@ impl CoreDecomposition {
     }
 }
 
-/// Runs the `O(m)` bucket-based core decomposition of [Batagelj &
-/// Zaveršnik 2003] (paper §II-A, reference \[7\]), over any storage
-/// backend implementing [`GraphView`].
-pub fn core_decomposition<G: GraphView>(g: &G) -> CoreDecomposition {
-    let _span = bestk_obs::span!("phase.peel");
-    let n = g.num_vertices();
-    if n == 0 {
-        return CoreDecomposition {
-            coreness: Vec::new(),
-            kmax: 0,
-            order: Vec::new(),
-            peel_order: Vec::new(),
-            shell_start: vec![0, 0],
-        };
-    }
-    let max_deg = g.max_degree();
+/// Which peel implementation a decomposition runs on.
+///
+/// Both strategies produce bit-identical [`CoreDecomposition`]s (the
+/// differential contract in `tests/peel_equivalence.rs`); they differ only
+/// in cost. `Sequential` is the auditable oracle, `Parallel` the primary
+/// production path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeelStrategy {
+    /// The straight-line transcription of the canonical peel: per-level
+    /// `O(n)` frontier rescans, direct in-place decrements. `O(n·kmax + m)`.
+    Sequential,
+    /// The bucket-frontier primary: lazy bucket queue for level openings
+    /// (`O(n + m)` total) and parallel decrement-event generation with a
+    /// deterministic chunk-order merge.
+    Parallel,
+}
 
-    // Bucket sort vertices by current degree.
-    // pos[v]: index of v in vert; vert: vertices sorted by degree;
-    // bin[d]: start index of degree-d block inside vert.
-    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(cast::vertex_id(v))).collect();
-    let mut bin = vec![0usize; max_deg.saturating_add(2)];
-    for &d in &degree {
-        bin[d + 1] += 1;
-    }
-    for d in 0..=max_deg {
-        bin[d + 1] += bin[d];
-    }
-    let mut start = bin.clone(); // start[d] = first index of degree-d block
-    let mut vert: Vec<VertexId> = vec![0; n];
-    let mut pos = vec![0usize; n];
-    {
-        let mut cursor = bin.clone();
-        for v in 0..n {
-            let d = degree[v];
-            vert[cursor[d]] = cast::vertex_id(v);
-            pos[v] = cursor[d];
-            cursor[d] += 1;
+impl PeelStrategy {
+    /// The strategy an [`ExecPolicy`] selects: the parallel primary
+    /// whenever the policy spawns workers, the sequential oracle otherwise.
+    pub fn for_policy(policy: &ExecPolicy) -> PeelStrategy {
+        if policy.is_parallel() {
+            PeelStrategy::Parallel
+        } else {
+            PeelStrategy::Sequential
         }
     }
 
-    let mut coreness = vec![0u32; n];
-    let mut kmax = 0u32;
-    for i in 0..n {
-        let v = vert[i];
-        let k = degree[v as usize];
-        coreness[v as usize] = cast::u32_of(k);
-        kmax = kmax.max(cast::u32_of(k));
-        for u in g.neighbors(v) {
-            let du = degree[u as usize];
-            if du > k {
-                // Move u to the front of its degree block, then shrink the
-                // block: u's degree drops by one.
-                let pu = pos[u as usize];
-                let pw = start[du];
-                let w = vert[pw];
-                if u != w {
-                    vert[pu] = w;
-                    vert[pw] = u;
-                    pos[w as usize] = pu;
-                    pos[u as usize] = pw;
-                }
-                start[du] += 1;
-                degree[u as usize] = du - 1;
-            }
+    /// Runs this strategy's decomposition over `g`.
+    pub fn decompose<G: GraphView + Sync>(&self, g: &G, policy: &ExecPolicy) -> CoreDecomposition {
+        match self {
+            PeelStrategy::Sequential => core_decomposition(g),
+            PeelStrategy::Parallel => par_peel(g, policy, PAR_PEEL_MIN_WORK),
+        }
+    }
+}
+
+/// Minimum sub-round work (sum of frontier degrees) before [`par_peel`]
+/// dispatches event generation to worker threads; below it the events are
+/// generated inline. Output is identical either way — the threshold only
+/// gates the per-dispatch thread-spawn cost — so correctness tests force
+/// the parallel path with an explicit `min_work` of 0.
+const PAR_PEEL_MIN_WORK: usize = 32_768;
+
+/// Histogram bounds for `core.frontier_size` (sub-round frontier sizes).
+const FRONTIER_BOUNDS: &[u64] = &[1, 4, 16, 64, 256, 1024, 4096, 16384, 65536];
+
+/// Per-sub-round observability: both strategies record the same canonical
+/// round structure, so `phase.peel.rounds` and `core.frontier_size` are
+/// strategy- and thread-count-invariant (golden-covered in
+/// `tests/obs_golden.rs`).
+struct PeelObs {
+    rounds: bestk_obs::Counter,
+    frontier_size: bestk_obs::Histogram,
+}
+
+impl PeelObs {
+    fn new() -> PeelObs {
+        let registry = bestk_obs::registry();
+        PeelObs {
+            rounds: registry.counter("phase.peel.rounds"),
+            frontier_size: registry.histogram("core.frontier_size", FRONTIER_BOUNDS),
         }
     }
 
-    // Bin-sort vertices by coreness (stable in id because we scan ids
-    // ascending), recording shell boundaries — the §III-A ordering.
+    #[inline]
+    fn round(&self, frontier_len: usize) {
+        self.rounds.inc();
+        self.frontier_size.observe(frontier_len as u64);
+    }
+}
+
+/// The `n == 0` decomposition both strategies short-circuit to.
+fn empty_decomposition() -> CoreDecomposition {
+    CoreDecomposition {
+        coreness: Vec::new(),
+        kmax: 0,
+        order: Vec::new(),
+        peel_order: Vec::new(),
+        shell_start: vec![0, 0],
+    }
+}
+
+/// Bin-sorts `coreness` into the (coreness, id) rank order with shell
+/// boundaries (stable in id because vertices are scanned ascending) — the
+/// §III-A ordering — and assembles the final decomposition.
+fn assemble(coreness: Vec<u32>, kmax: u32, peel_order: Vec<VertexId>) -> CoreDecomposition {
+    let n = coreness.len();
     let mut shell_start = vec![0usize; kmax as usize + 2];
     for &c in &coreness {
         shell_start[c as usize + 1] += 1;
@@ -266,14 +313,276 @@ pub fn core_decomposition<G: GraphView>(g: &G) -> CoreDecomposition {
         order[cursor[c]] = cast::vertex_id(v);
         cursor[c] += 1;
     }
-
     CoreDecomposition {
         coreness,
         kmax,
         order,
-        peel_order: vert,
+        peel_order,
         shell_start,
     }
+}
+
+/// Applies one degree decrement to `u` at level `k`: crossing the level
+/// queues `u` for the next cascade frontier exactly once; staying above it
+/// re-files `u` in the lazy bucket queue (when one is maintained). This is
+/// the *shared application step* both the sequential scan and the parallel
+/// chunk-order merge replay — identical event order in, identical state
+/// trajectory out.
+#[inline]
+fn apply_decrement(
+    u: VertexId,
+    k: usize,
+    cur: &mut [usize],
+    queued: &mut [bool],
+    next: &mut Vec<VertexId>,
+    mut buckets: Option<&mut Vec<Vec<VertexId>>>,
+) {
+    let uu = u as usize;
+    cur[uu] -= 1;
+    if queued[uu] {
+        return;
+    }
+    if cur[uu] <= k {
+        queued[uu] = true;
+        next.push(u);
+    } else if let Some(buckets) = buckets.as_mut() {
+        buckets[cur[uu]].push(u);
+    }
+}
+
+/// The sequential oracle: runs the canonical frontier peel exactly as
+/// specified in the module docs, favoring auditability over constants —
+/// every level opening is a fresh `O(n)` scan for the minimum live degree,
+/// and decrements are applied directly in frontier-scan order.
+/// `O(n·kmax + m)` time, `O(n)` extra space.
+///
+/// This is the reference [`par_peel`] is differentially tested against;
+/// see [`core_decomposition_with`] for the policy-dispatched entry point.
+pub fn core_decomposition<G: GraphView>(g: &G) -> CoreDecomposition {
+    let _span = bestk_obs::span!("phase.peel");
+    let n = g.num_vertices();
+    if n == 0 {
+        return empty_decomposition();
+    }
+    let obs = PeelObs::new();
+    let mut cur: Vec<usize> = (0..n).map(|v| g.degree(cast::vertex_id(v))).collect();
+    // `queued`: scheduled for peeling (frontier membership is permanent);
+    // `peeled`: actually removed from the graph — the two differ only for
+    // vertices sitting in the not-yet-processed cascade frontier.
+    let mut queued = vec![false; n];
+    let mut peeled = vec![false; n];
+    let mut coreness = vec![0u32; n];
+    let mut peel_order: Vec<VertexId> = Vec::with_capacity(n);
+    let mut kmax = 0u32;
+    let mut remaining = n;
+    let mut frontier: Vec<VertexId> = Vec::new();
+    let mut next: Vec<VertexId> = Vec::new();
+    while remaining > 0 {
+        // Open the next level: the minimum current degree over live
+        // vertices, frontier collected ascending by id in the same scan.
+        let mut k = usize::MAX;
+        frontier.clear();
+        for v in 0..n {
+            if queued[v] {
+                continue;
+            }
+            if cur[v] < k {
+                k = cur[v];
+                frontier.clear();
+            }
+            if cur[v] == k {
+                frontier.push(cast::vertex_id(v));
+            }
+        }
+        for &v in &frontier {
+            queued[v as usize] = true;
+        }
+        let level = cast::u32_of(k);
+        kmax = level; // levels open in strictly increasing order
+        while !frontier.is_empty() {
+            obs.round(frontier.len());
+            remaining -= frontier.len();
+            // Simultaneous removal: the whole frontier leaves the graph
+            // before any decrement is generated, so edges internal to the
+            // frontier never decrement anybody.
+            for &v in &frontier {
+                peeled[v as usize] = true;
+                coreness[v as usize] = level;
+                peel_order.push(v);
+            }
+            next.clear();
+            for &v in &frontier {
+                for u in g.neighbors(v) {
+                    if !peeled[u as usize] {
+                        apply_decrement(u, k, &mut cur, &mut queued, &mut next, None);
+                    }
+                }
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+    }
+    assemble(coreness, kmax, peel_order)
+}
+
+/// [`core_decomposition`] under an execution policy: dispatches to the
+/// [`PeelStrategy`] the policy selects. The primary entry point for every
+/// engine build/rebuild/compaction and CLI path; output is bit-identical
+/// to the sequential oracle at every thread count.
+pub fn core_decomposition_with<G: GraphView + Sync>(
+    g: &G,
+    policy: &ExecPolicy,
+) -> CoreDecomposition {
+    PeelStrategy::for_policy(policy).decompose(g, policy)
+}
+
+/// The parallel primary: bucket-frontier peeling.
+///
+/// Level openings come from a *lazy bucket queue* — every vertex always has
+/// an entry filed under its current degree (stale higher entries are
+/// skipped on drain), so advancing the level pointer is `O(n + m)` over the
+/// whole run instead of the oracle's per-level rescan. Opening frontiers
+/// are sorted ascending by id to match the canonical order; cascade
+/// frontiers need no sort because the decrement *events* are already
+/// replayed in the oracle's scan order.
+///
+/// Each sub-round with at least `min_work` total frontier degree generates
+/// its decrement events on [`ExecPolicy::for_each_disjoint`]: the frontier
+/// is chunked by cumulative degree, each chunk writes the live-neighbor
+/// events of its contiguous frontier slice into a private count-prefixed
+/// region, and the regions are then applied in chunk order. Concatenating
+/// contiguous chunks in chunk order *is* the frontier-scan order, so the
+/// merged event stream — and with it every `cur`/bucket/frontier
+/// trajectory — is identical to the sequential oracle's.
+///
+/// `min_work` gates the per-dispatch thread-spawn cost; pass 0 to force
+/// every sub-round through the parallel machinery (what the differential
+/// tests do on small graphs).
+pub fn par_peel<G: GraphView + Sync>(
+    g: &G,
+    policy: &ExecPolicy,
+    min_work: usize,
+) -> CoreDecomposition {
+    let _span = bestk_obs::span!("phase.peel");
+    let n = g.num_vertices();
+    if n == 0 {
+        return empty_decomposition();
+    }
+    let obs = PeelObs::new();
+    let mut cur: Vec<usize> = (0..n).map(|v| g.degree(cast::vertex_id(v))).collect();
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); g.max_degree() + 1];
+    for v in 0..n {
+        buckets[cur[v]].push(cast::vertex_id(v));
+    }
+    let mut queued = vec![false; n];
+    let mut peeled = vec![false; n];
+    let mut coreness = vec![0u32; n];
+    let mut peel_order: Vec<VertexId> = Vec::with_capacity(n);
+    let mut kmax = 0u32;
+    let mut remaining = n;
+    let mut frontier: Vec<VertexId> = Vec::new();
+    let mut next: Vec<VertexId> = Vec::new();
+    // Reused event buffer: one count-prefixed region per chunk per
+    // dispatched sub-round.
+    let mut events: Vec<VertexId> = Vec::new();
+    let mut k = 0usize;
+    while remaining > 0 {
+        // Advance the level pointer over the lazy bucket queue. An entry
+        // is live iff its vertex still has exactly this degree and was
+        // never scheduled; every live vertex has a live entry, so the
+        // first non-empty drain is exactly the oracle's opening frontier.
+        frontier.clear();
+        while frontier.is_empty() {
+            let bucket = std::mem::take(&mut buckets[k]);
+            for v in bucket {
+                let vu = v as usize;
+                if !queued[vu] && cur[vu] == k {
+                    frontier.push(v);
+                }
+            }
+            if frontier.is_empty() {
+                k += 1;
+            }
+        }
+        frontier.sort_unstable(); // canonical: openings ascend by id
+        for &v in &frontier {
+            queued[v as usize] = true;
+        }
+        let level = cast::u32_of(k);
+        kmax = level;
+        while !frontier.is_empty() {
+            obs.round(frontier.len());
+            remaining -= frontier.len();
+            for &v in &frontier {
+                peeled[v as usize] = true;
+                coreness[v as usize] = level;
+                peel_order.push(v);
+            }
+            next.clear();
+            let prefix = prefix_sum(frontier.iter().map(|&v| g.degree(v)));
+            let work = prefix[frontier.len()];
+            if policy.is_parallel() && work >= min_work.max(1) {
+                let plan = policy.plan_weighted(&prefix);
+                let chunks = plan.num_chunks();
+                // Region `c` holds chunk `c`'s events behind one count
+                // slot: `cuts` shifts each degree-balanced boundary right
+                // by its chunk index to make room.
+                let cuts: Vec<usize> = plan
+                    .bounds()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &b)| prefix[b] + i)
+                    .collect();
+                events.clear();
+                events.resize(work + chunks, 0);
+                let frontier_ref = &frontier;
+                let peeled_ref = &peeled;
+                policy.for_each_disjoint(
+                    &plan,
+                    &mut events,
+                    &cuts,
+                    || (),
+                    |_, _, items, region| {
+                        let mut count = 0usize;
+                        for i in items {
+                            for u in g.neighbors(frontier_ref[i]) {
+                                if !peeled_ref[u as usize] {
+                                    count += 1;
+                                    region[count] = u;
+                                }
+                            }
+                        }
+                        region[0] = cast::u32_of(count);
+                    },
+                );
+                // Deterministic ordered merge: applying the regions in
+                // chunk order replays the sequential decrement order.
+                for c in 0..chunks {
+                    let region = &events[cuts[c]..cuts[c + 1]];
+                    let count = region[0] as usize;
+                    for &u in &region[1..=count] {
+                        apply_decrement(u, k, &mut cur, &mut queued, &mut next, Some(&mut buckets));
+                    }
+                }
+            } else {
+                for &v in &frontier {
+                    for u in g.neighbors(v) {
+                        if !peeled[u as usize] {
+                            apply_decrement(
+                                u,
+                                k,
+                                &mut cur,
+                                &mut queued,
+                                &mut next,
+                                Some(&mut buckets),
+                            );
+                        }
+                    }
+                }
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+    }
+    assemble(coreness, kmax, peel_order)
 }
 
 #[cfg(test)]
@@ -377,6 +686,75 @@ mod tests {
                 "order not strictly sorted by (coreness, id)"
             );
         }
+    }
+
+    #[test]
+    fn canonical_peel_order_on_fixed_shapes() {
+        // A cycle is one simultaneous level-2 frontier: ascending by id.
+        let d = core_decomposition(&regular::cycle(6));
+        assert_eq!(d.peel_ordering(), &[0, 1, 2, 3, 4, 5]);
+
+        // A star peels all leaves in one level-1 opening, then the hub
+        // cascades (its degree collapses past the level).
+        let d = core_decomposition(&regular::star(4));
+        assert_eq!(d.peel_ordering(), &[1, 2, 3, 4, 0]);
+
+        // A path peels both endpoints, then cascades inward pairwise from
+        // the ends, in decrement (= frontier-scan) order.
+        let d = core_decomposition(&regular::path(6));
+        assert_eq!(d.peel_ordering(), &[0, 5, 1, 4, 2, 3]);
+    }
+
+    #[test]
+    fn par_peel_is_bit_identical_to_the_oracle() {
+        // The unit-level differential smoke; the full sweep (adversarial
+        // shapes, snapshot bytes, tags) lives in tests/peel_equivalence.rs.
+        for seed in 0..4 {
+            let g = generators::erdos_renyi_gnm(120, 400, seed);
+            let want = core_decomposition(&g);
+            for threads in [1, 2, 4, 7] {
+                let policy = ExecPolicy::with_threads(threads).unwrap();
+                let got = par_peel(&g, &policy, 0);
+                assert_eq!(got, want, "seed {seed}, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_dispatch_follows_the_policy() {
+        assert_eq!(
+            PeelStrategy::for_policy(&ExecPolicy::Sequential),
+            PeelStrategy::Sequential
+        );
+        let par = ExecPolicy::with_threads(3).unwrap();
+        assert_eq!(PeelStrategy::for_policy(&par), PeelStrategy::Parallel);
+        // And the policy entry point agrees with the oracle either way.
+        let g = generators::erdos_renyi_gnm(80, 240, 9);
+        let want = core_decomposition(&g);
+        assert_eq!(core_decomposition_with(&g, &ExecPolicy::Sequential), want);
+        assert_eq!(core_decomposition_with(&g, &par), want);
+    }
+
+    #[test]
+    fn peel_obs_rounds_are_strategy_invariant() {
+        use std::sync::Arc;
+        let g = generators::erdos_renyi_gnm(100, 300, 5);
+        let clock = || Arc::new(bestk_obs::ManualClock::with_step(1)) as Arc<dyn bestk_obs::Clock>;
+        let ((), seq) = bestk_obs::with_fresh(clock(), || {
+            core_decomposition(&g);
+        });
+        let policy = ExecPolicy::with_threads(4).unwrap();
+        let ((), par) = bestk_obs::with_fresh(clock(), || {
+            par_peel(&g, &policy, 0);
+        });
+        let rounds = seq.counter("phase.peel.rounds");
+        assert!(rounds.is_some_and(|r| r > 0), "rounds must be recorded");
+        assert_eq!(rounds, par.counter("phase.peel.rounds"));
+        assert_eq!(
+            seq.histogram("core.frontier_size"),
+            par.histogram("core.frontier_size"),
+            "frontier-size histogram must be strategy-invariant"
+        );
     }
 
     /// Definitional check: c(v) ≥ k iff v survives peeling to min degree k.

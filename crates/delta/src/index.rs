@@ -28,9 +28,10 @@
 
 use bestk_core::bestkset::core_set_primaries;
 use bestk_core::{
-    core_decomposition, BestKSet, CoreSetProfile, GraphContext, Metric, MetricError, OrderedGraph,
-    PrimaryValues,
+    core_decomposition, core_decomposition_with, BestKSet, CoreSetProfile, GraphContext, Metric,
+    MetricError, OrderedGraph, PrimaryValues,
 };
+use bestk_exec::ExecPolicy;
 use bestk_graph::generators::EdgeOp;
 use bestk_graph::{cast, CsrGraph, GraphBuilder, GraphView, VertexId};
 
@@ -75,6 +76,19 @@ impl DeltaIndex {
     /// the mutated graph exactly).
     pub fn build<G: GraphView>(g: &G) -> DeltaIndex {
         let decomp = core_decomposition(g);
+        Self::assemble_from(g, decomp)
+    }
+
+    /// [`build`](Self::build) under an execution policy: the peel runs on
+    /// the [`PeelStrategy`](bestk_core::PeelStrategy) the policy selects
+    /// (bit-identical output either way), which is what the engine's
+    /// commit-after-eviction rebuild routes through.
+    pub fn build_with<G: GraphView + Sync>(g: &G, policy: &ExecPolicy) -> DeltaIndex {
+        let decomp = core_decomposition_with(g, policy);
+        Self::assemble_from(g, decomp)
+    }
+
+    fn assemble_from<G: GraphView>(g: &G, decomp: bestk_core::CoreDecomposition) -> DeltaIndex {
         let ordered = OrderedGraph::build(g, &decomp);
         let primaries = core_set_primaries(&ordered);
         let n = g.num_vertices();

@@ -18,7 +18,7 @@
 //! thread count.
 
 use bestk_core::{
-    core_decomposition, core_set_profile, single_core_profile, CoreDecomposition, CoreForest,
+    core_decomposition_with, core_set_profile, single_core_profile, CoreDecomposition, CoreForest,
     CoreSetProfile, OrderedGraph, SingleCoreProfile,
 };
 use bestk_exec::ExecPolicy;
@@ -56,8 +56,8 @@ impl Artifacts {
     /// Builds every artifact from scratch under an execution policy
     /// (`O(m^1.5)` — triangles are always computed so triangle metrics
     /// answer without a rebuild).
-    pub fn build<G: GraphView>(graph: &G, policy: &ExecPolicy) -> Artifacts {
-        let decomp = core_decomposition(graph);
+    pub fn build<G: GraphView + Sync>(graph: &G, policy: &ExecPolicy) -> Artifacts {
+        let decomp = core_decomposition_with(graph, policy);
         let ordered = OrderedGraph::build_with(graph, &decomp, policy);
         let set_profile = core_set_profile(&ordered, true);
         let forest = CoreForest::build(graph, &decomp);

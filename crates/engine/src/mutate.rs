@@ -158,7 +158,7 @@ fn commit_ops(
         Some(index) => index,
         // First commit on this slot: seed the maintained index once; every
         // later commit repairs it incrementally.
-        None => DeltaIndex::build(dataset.graph()),
+        None => DeltaIndex::build_with(dataset.graph(), policy),
     };
     for op in &delta.pending {
         if let Err(e) = index.apply(op) {

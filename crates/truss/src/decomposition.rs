@@ -227,12 +227,14 @@ fn peel_from_supports(idx: &EdgeIndex, mut support: Vec<u32>) -> TrussDecomposit
             // Pop stale entries; advance when the bucket is exhausted.
             match buckets[cur].last() {
                 Some(&e) if !alive_edge[e as usize] || support[e as usize] as usize != cur => {
+                    // bestk-analyze: allow(no-raw-peel) — truss peeling pops *edge-support* buckets, not vertex-degree buckets
                     buckets[cur].pop();
                 }
                 Some(_) => break,
                 None => cur += 1,
             }
         }
+        // bestk-analyze: allow(no-raw-peel) — truss peeling pops *edge-support* buckets, not vertex-degree buckets
         let Some(e) = buckets[cur].pop() else {
             continue;
         };

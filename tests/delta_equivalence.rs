@@ -230,6 +230,65 @@ fn triangle_metrics_rebuild_lazily_after_focused_mutation() {
 }
 
 #[test]
+fn triangle_rebuild_after_parallel_commit_matches_cold_sequential() {
+    // The parallel-peel variant of the lazy-rebuild drill above: the whole
+    // engine path — warm-up build, delta maintenance across the focused
+    // commit, and the lazy triangle-artifact rebuild — runs under the
+    // *parallel* bucket-frontier strategy, and every triangle-metric
+    // answer must still match a cold sequential rebuild of the mutated
+    // graph. This is the `mutate --stream focused` CLI path in miniature.
+    let g = generators::overlapping_cliques(40, 5, (4, 7), 31);
+    let d = core_decomposition(&g);
+    let focus = d.shell(d.kmax()).to_vec();
+    let ops = edge_stream_focused(&g, &focus, 40, 83);
+    assert!(!ops.is_empty(), "max-k shell too small to churn");
+
+    // Cold oracle: materialize the mutated graph outside the engine and
+    // rebuild it sequentially, triangles included.
+    let mut edges: BTreeSet<(u32, u32)> = g.edges().collect();
+    for op in &ops {
+        let (u, v) = op.endpoints();
+        match op {
+            EdgeOp::Insert(..) => edges.insert((u, v)),
+            EdgeOp::Delete(..) => edges.remove(&(u, v)),
+        };
+    }
+    let mutated = csr_of(g.num_vertices(), &edges);
+    let cold_d = core_decomposition(&mutated);
+    let cold = core_set_profile(&OrderedGraph::build(&mutated, &cold_d), true);
+
+    for threads in THREADS {
+        let policy = ExecPolicy::with_threads(threads).unwrap();
+        let engine = bestk_engine::SharedEngine::with_budget(None);
+        engine.insert_graph("g", g.clone());
+        engine
+            .query("g", &bestk_engine::Query::Stats, &policy)
+            .unwrap();
+        for op in &ops {
+            engine.stage_edge("g", *op).unwrap();
+        }
+        engine.commit_edges("g", &policy).unwrap();
+        for metric in [Metric::ClusteringCoefficient, Metric::TriangleDensity] {
+            let line = engine
+                .query("g", &bestk_engine::Query::BestKSet { metric }, &policy)
+                .unwrap()
+                .to_line();
+            let best = cold.try_best(&metric).unwrap().expect("feasible");
+            assert_eq!(
+                line,
+                format!(
+                    "bestkset\t{}\tk={}\tscore={}",
+                    metric.abbrev(),
+                    best.k,
+                    best.score
+                ),
+                "parallel commit diverged from cold rebuild at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
 fn overlay_round_trips_arbitrary_valid_sequences() {
     check("delta overlay replay", 16, |gen: &mut Gen| {
         let g = gen.graph(30, 80);
